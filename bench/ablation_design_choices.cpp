@@ -1,0 +1,202 @@
+// Ablations over the attack/defense design choices DESIGN.md calls out:
+//  1. the stealer's D safety factor (fraction of the Table II bound);
+//  2. toast duration 2 s vs 3.5 s (Section IV-D's recommendation);
+//  3. the enhanced-notification delay t (the paper picked 690 ms);
+//  4. IPC-defense decision thresholds vs detection latency / false
+//     positives;
+//  5. ACTION_DOWN harvesting vs full-gesture registration.
+#include <cstdio>
+
+#include "core/overlay_attack.hpp"
+#include "core/report.hpp"
+#include "defense/ipc_defense.hpp"
+#include "defense/notification_defense.hpp"
+#include "defense/toast_defense.hpp"
+#include "device/registry.hpp"
+#include "input/password.hpp"
+#include "input/typist.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/table.hpp"
+#include "victim/catalog.hpp"
+
+using namespace animus;
+
+namespace {
+
+double password_success(double safety_factor, int trials) {
+  const auto panel = input::participant_panel();
+  const auto devices = device::all_devices();
+  int ok = 0;
+  for (int i = 0; i < trials; ++i) {
+    core::PasswordTrialConfig c;
+    c.profile = devices[static_cast<std::size_t>(i) % devices.size()];
+    c.app = victim::table_iv_apps()[static_cast<std::size_t>(i) % 7].spec;
+    c.typist = panel[static_cast<std::size_t>(i) % panel.size()];
+    sim::Rng rng{static_cast<std::uint64_t>(40000 + i)};
+    c.password = input::random_password(8, rng);
+    c.seed = static_cast<std::uint64_t>(50000 + i);
+    c.d_override = sim::ms_f(safety_factor * c.profile.d_upper_bound_table_ms);
+    ok += core::run_password_trial(c).success;
+  }
+  return 100.0 * ok / trials;
+}
+
+double alert_leak_rate(double safety_factor, int trials) {
+  const auto panel = input::participant_panel();
+  const auto devices = device::all_devices();
+  int leaked = 0;
+  for (int i = 0; i < trials; ++i) {
+    core::PasswordTrialConfig c;
+    c.profile = devices[static_cast<std::size_t>(i) % devices.size()];
+    c.app = victim::table_iv_apps()[static_cast<std::size_t>(i) % 7].spec;
+    c.typist = panel[static_cast<std::size_t>(i) % panel.size()];
+    sim::Rng rng{static_cast<std::uint64_t>(41000 + i)};
+    c.password = input::random_password(8, rng);
+    c.seed = static_cast<std::uint64_t>(51000 + i);
+    c.d_override = sim::ms_f(safety_factor * c.profile.d_upper_bound_table_ms);
+    leaked += core::run_password_trial(c).alert_outcome != percept::LambdaOutcome::kL1;
+  }
+  return 100.0 * leaked / trials;
+}
+
+}  // namespace
+
+int main() {
+  const auto& dev = device::reference_device_android9();
+
+  std::puts("=== Ablation 1: attacking-window safety factor (D / Table II bound) ===\n");
+  {
+    metrics::Table t({"factor", "len-8 success %", "alert leaked %"});
+    for (double f : {0.70, 0.80, 0.88, 0.95, 1.00, 1.05}) {
+      t.add_row({metrics::fmt("%.2f", f), metrics::fmt("%.1f", password_success(f, 90)),
+                 metrics::fmt("%.1f", alert_leak_rate(f, 90))});
+    }
+    std::fputs(t.to_string().c_str(), stdout);
+    std::puts("\nLarger D captures more touches (fewer mistouch gaps per keystroke) but");
+    std::puts("past the bound the warning alert escapes; 0.88 keeps leakage at zero with");
+    std::puts("nearly-peak success — the stealer's default.\n");
+  }
+
+  std::puts("=== Ablation 2: toast duration 2 s vs 3.5 s (Section IV-D) ===\n");
+  {
+    metrics::Table t({"duration", "toasts/30s", "min alpha", "flicker"});
+    for (auto dur : {server::kToastShort, server::kToastLong}) {
+      const auto probe = defense::probe_toast_attack(dev, sim::SimTime{0}, sim::seconds(30), dur);
+      t.add_row({metrics::fmt("%.1f s", sim::to_seconds(dur)),
+                 metrics::fmt("%d", probe.toasts_shown),
+                 metrics::fmt("%.2f", probe.flicker.min_alpha),
+                 probe.flicker.noticeable ? "YES" : "no"});
+    }
+    std::fputs(t.to_string().c_str(), stdout);
+    std::puts("\n3.5 s halves the number of switch points — the paper's recommendation.\n");
+  }
+
+  std::puts("=== Ablation 3: enhanced-notification delay t ===\n");
+  {
+    metrics::Table t({"t (ms)", "outcome under attack (D=190)", "alert visible (of 10 s)"});
+    for (int delay : {0, 100, 200, 400, 690, 1000}) {
+      const auto probe = defense::probe_attack_under_defense(dev, sim::ms(190),
+                                                             sim::ms(delay), sim::seconds(10));
+      t.add_row({metrics::fmt("%d", delay),
+                 std::string(percept::to_string(probe.outcome)),
+                 metrics::fmt("%.1f s", sim::to_seconds(probe.alert.visible_time))});
+    }
+    std::fputs(t.to_string().c_str(), stdout);
+    std::puts("\nAny t >= the attack period D defeats the suppression; 690 ms covers every");
+    std::puts("device bound in Table II with margin, which is why the paper chose it.\n");
+  }
+
+  std::puts("=== Ablation 4: IPC-defense thresholds ===\n");
+  {
+    metrics::Table t({"min pairs", "gap thr (ms)", "detects attack", "flags 2s toggler",
+                      "detection latency"});
+    for (int pairs : {4, 8, 16}) {
+      for (int gap : {100, 500}) {
+        server::WorldConfig wc;
+        wc.profile = dev;
+        wc.trace_enabled = false;
+        server::World world{wc};
+        world.server().grant_overlay_permission(server::kMalwareUid);
+        world.server().grant_overlay_permission(server::kBenignUid);
+        defense::IpcDefenseConfig cfg;
+        cfg.min_pairs = pairs;
+        cfg.pair_gap_threshold = sim::ms(gap);
+        defense::IpcDefenseAnalyzer analyzer{cfg};
+        analyzer.attach(world.transactions());
+        core::OverlayAttackConfig oc;
+        oc.attacking_window = sim::ms(190);
+        core::OverlayAttack attack{world, oc};
+        attack.start();
+        // Benign toggler: show 1.5 s, hide, every 2 s.
+        for (int i = 0; i < 20; ++i) {
+          world.loop().schedule_at(sim::seconds(2 * i), [&world] {
+            server::OverlaySpec spec;
+            spec.bounds = {0, 0, 200, 200};
+            const auto h = world.server().add_view(server::kBenignUid, spec);
+            world.loop().schedule_after(sim::ms(1500), [&world, h] {
+              world.server().remove_view(server::kBenignUid, h);
+            });
+          });
+        }
+        world.run_until(sim::seconds(40));
+        attack.stop();
+        std::string latency = "-";
+        for (const auto& d : analyzer.detections()) {
+          if (d.uid == server::kMalwareUid) {
+            latency = metrics::fmt("%.1f s", sim::to_seconds(d.last_pair));
+          }
+        }
+        t.add_row({metrics::fmt("%d", pairs), metrics::fmt("%d", gap),
+                   analyzer.flagged(server::kMalwareUid) ? "yes" : "NO",
+                   analyzer.flagged(server::kBenignUid) ? "YES (false positive)" : "no",
+                   latency});
+      }
+    }
+    std::fputs(t.to_string().c_str(), stdout);
+    std::puts("\nThe rule is robust across thresholds: the attack's remove->add pairs are");
+    std::puts("orders of magnitude denser than any benign overlay usage.\n");
+  }
+
+  std::puts("=== Ablation 5: ACTION_DOWN harvesting vs gesture registration ===\n");
+  {
+    metrics::Table t({"delivery", "capture % (D=150, Android 9)", "capture % (Android 10)"});
+    for (bool on_down : {true, false}) {
+      double rates[2] = {0, 0};
+      int idx = 0;
+      for (const char* model : {"mi8", "mi9"}) {
+        const auto d = device::find_device(model);
+        metrics::RunningStats rs;
+        for (int i = 0; i < 10; ++i) {
+          server::WorldConfig wc;
+          wc.profile = *d;
+          wc.seed = 600 + i;
+          wc.trace_enabled = false;
+          server::World world{wc};
+          world.server().grant_overlay_permission(server::kMalwareUid);
+          core::OverlayAttackConfig oc;
+          oc.attacking_window = sim::ms(150);
+          oc.bounds = {90, 900, 900, 600};
+          oc.capture_on_down = on_down;
+          core::OverlayAttack attack{world, oc};
+          attack.start();
+          input::Typist typist{input::participant_panel()[i % 30],
+                               world.fork_rng("t").fork(i)};
+          const auto taps = typist.plan_taps({90, 900, 900, 600}, 100, sim::ms(500));
+          for (const auto& pt : taps) {
+            world.loop().schedule_at(pt.at, [&world, pt] { world.input().inject_tap(pt.point); });
+          }
+          world.run_until(taps.back().at + sim::ms(500));
+          rs.add(attack.stats().captures);
+          attack.stop();
+        }
+        rates[idx++] = rs.mean();
+      }
+      t.add_row({on_down ? "ACTION_DOWN (password attack)" : "full gesture (test app)",
+                 metrics::fmt("%.1f", rates[0]), metrics::fmt("%.1f", rates[1])});
+    }
+    std::fputs(t.to_string().c_str(), stdout);
+    std::puts("\nDOWN-harvesting is immune to mid-gesture window destruction, which is how");
+    std::puts("Table III's near-perfect per-touch capture coexists with Fig. 7's ~90%.");
+  }
+  return 0;
+}

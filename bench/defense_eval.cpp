@@ -1,0 +1,157 @@
+// Section VII — defense evaluation.
+//  (a) IPC-based detection: Binder transaction analysis flags the
+//      draw-and-destroy overlay attack and spares benign overlay apps.
+//  (b) Enhanced notification defense (t = 690 ms): the alert completes
+//      its slide-in and stays visible; the attack is defeated at any D.
+//  (c) Toast-gap scheduling: successive toasts are separated, making the
+//      fake keyboard flicker perceptibly.
+#include <cstdio>
+
+#include "core/overlay_attack.hpp"
+#include "defense/enforcement.hpp"
+#include "defense/ipc_defense.hpp"
+#include "defense/notification_defense.hpp"
+#include "defense/toast_defense.hpp"
+#include "device/registry.hpp"
+#include "metrics/table.hpp"
+#include "percept/outcomes.hpp"
+#include "server/world.hpp"
+
+using namespace animus;
+
+namespace {
+
+server::World make_world(const device::DeviceProfile& dev) {
+  server::WorldConfig wc;
+  wc.profile = dev;
+  wc.trace_enabled = false;
+  return server::World{wc};
+}
+
+void run_benign_widget(server::World& world, int uid) {
+  world.server().grant_overlay_permission(uid);
+  server::OverlaySpec spec;
+  spec.bounds = {800, 200, 200, 200};
+  spec.content = "music:bubble";
+  const auto h = world.server().add_view(uid, spec);
+  world.loop().schedule_at(sim::seconds(50), [&world, uid, h] {
+    world.server().remove_view(uid, h);
+  });
+}
+
+void run_toggler(server::World& world, int uid) {
+  world.server().grant_overlay_permission(uid);
+  for (int i = 0; i < 15; ++i) {
+    world.loop().schedule_at(sim::seconds(2 * i), [&world, uid] {
+      server::OverlaySpec spec;
+      spec.bounds = {0, 0, 300, 300};
+      spec.content = "nav:banner";
+      const auto h = world.server().add_view(uid, spec);
+      world.loop().schedule_after(sim::ms(1500),
+                                  [&world, uid, h] { world.server().remove_view(uid, h); });
+    });
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto& dev = device::reference_device_android9();
+
+  // ---------------------------------------------------------- (a) IPC --
+  std::puts("=== Defense (a): IPC-based Binder transaction analysis ===\n");
+  metrics::Table ipc_table({"workload", "uid", "transactions", "flagged", "expected"});
+  {
+    auto world = make_world(dev);
+    world.server().grant_overlay_permission(server::kMalwareUid);
+    defense::IpcDefenseAnalyzer analyzer;
+    analyzer.attach(world.transactions());
+    core::OverlayAttack attack{world, {}};
+    attack.start();
+    run_benign_widget(world, server::kBenignUid);
+    run_toggler(world, server::kBenignUid + 1);
+    world.run_until(sim::seconds(60));
+    attack.stop();
+    auto row = [&](const char* name, int uid, bool expected) {
+      ipc_table.add_row({name, metrics::fmt("%d", uid),
+                         metrics::fmt("%zu", world.transactions().for_uid(uid).size()),
+                         analyzer.flagged(uid) ? "YES" : "no", expected ? "YES" : "no"});
+    };
+    row("draw-and-destroy overlay attack", server::kMalwareUid, true);
+    row("benign floating widget", server::kBenignUid, false);
+    row("benign 2s-toggling banner", server::kBenignUid + 1, false);
+    std::fputs(ipc_table.to_string().c_str(), stdout);
+    const auto& det = analyzer.detections();
+    if (!det.empty()) {
+      std::printf("\nDetection: uid=%d after %d rapid remove->add pairs, flagged at "
+                  "%.1f s into the attack.\n",
+                  det[0].uid, det[0].pairs, sim::to_seconds(det[0].last_pair));
+    }
+  }
+
+  // --------------------------------------- (b) enhanced notification --
+  std::puts("\n=== Defense (b): enhanced notification (t = 690 ms) ===\n");
+  metrics::Table nd_table({"D (ms)", "outcome w/o defense", "outcome with defense",
+                           "alert visible (s, 10s attack)"});
+  for (int d : {60, 150, 215, 300}) {
+    const auto plain = core::probe_outcome(dev, sim::ms(d), sim::seconds(10));
+    const auto defended = defense::probe_attack_under_defense(
+        dev, sim::ms(d), defense::kEnhancedAlertRemovalDelay, sim::seconds(10));
+    nd_table.add_row({metrics::fmt("%d", d), std::string(percept::to_string(plain.outcome)),
+                      std::string(percept::to_string(defended.outcome)),
+                      metrics::fmt("%.1f", sim::to_seconds(defended.alert.visible_time))});
+  }
+  std::fputs(nd_table.to_string().c_str(), stdout);
+  std::puts("\nWith the defense the alert always completes (L5) and remains readable —");
+  std::puts("the paper validated t = 690 ms on a Google Pixel 2.");
+
+  // ------------------------------------------------- (c) toast gap --
+  std::puts("\n=== Defense (c): toast scheduling gap ===\n");
+  metrics::Table tg_table({"inter-toast gap (ms)", "min alpha", "longest dip (ms)",
+                           "flicker noticed", "toasts shown (20s)"});
+  for (int gap : {0, 250, 500}) {
+    const auto probe = defense::probe_toast_attack(dev, sim::ms(gap));
+    tg_table.add_row({metrics::fmt("%d", gap), metrics::fmt("%.2f", probe.flicker.min_alpha),
+                      metrics::fmt("%.0f", sim::to_ms(probe.flicker.longest_dip)),
+                      probe.flicker.noticeable ? "YES" : "no",
+                      metrics::fmt("%d", probe.toasts_shown)});
+  }
+  std::fputs(tg_table.to_string().c_str(), stdout);
+  std::puts("\nStock scheduling: the fade-out overlap hides toast switching entirely;");
+  std::puts("an enforced gap exposes the draw-and-destroy toast attack as flicker.");
+
+  // --------------------------------------------- (d) enforcement --
+  std::puts("\n=== Defense (d): detection-to-enforcement daemon ===\n");
+  {
+    metrics::Table en_table({"scenario", "touches stolen (30, 1/s)", "neutralized at"});
+    for (bool defended : {false, true}) {
+      server::WorldConfig wc;
+      wc.profile = dev;
+      wc.trace_enabled = false;
+      server::World world{wc};
+      world.server().grant_overlay_permission(server::kMalwareUid);
+      defense::DefenseDaemon daemon{world};
+      if (defended) daemon.install();
+      core::OverlayAttackConfig oc;
+      oc.attacking_window = sim::ms(190);
+      core::OverlayAttack attack{world, oc};
+      attack.start();
+      for (int i = 1; i <= 30; ++i) {
+        world.loop().schedule_at(sim::seconds(i),
+                                 [&world] { world.input().inject_tap({540, 1200}); });
+      }
+      world.run_until(sim::seconds(31));
+      attack.stop();
+      std::string when = "-";
+      if (!daemon.actions().empty()) {
+        when = metrics::fmt("%.2f s", sim::to_seconds(daemon.actions()[0].enforced_at));
+      }
+      en_table.add_row({defended ? "daemon installed" : "stock system",
+                        metrics::fmt("%d", attack.stats().captures), when});
+    }
+    std::fputs(en_table.to_string().c_str(), stdout);
+    std::puts("\nThe daemon revokes SYSTEM_ALERT_WINDOW and sweeps the attacker's windows");
+    std::puts("~1.3 s into the attack, capping the theft at the first keystroke or two.");
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Fig. 1 — the built-in notification defense, rendered: the status bar
+// with its icon slots and the notification drawer with the overlay
+// warning entry, drawn as ASCII from live System UI state. Shows the
+// three situations a user can be in: benign overlay (alert fully shown),
+// draw-and-destroy attack (nothing to see), attack under the enhanced
+// defense (alert pinned visible).
+#include <cstdio>
+#include <string>
+
+#include "core/overlay_attack.hpp"
+#include "defense/notification_defense.hpp"
+#include "device/registry.hpp"
+#include "percept/outcomes.hpp"
+#include "server/world.hpp"
+
+using namespace animus;
+
+namespace {
+
+void render_drawer(server::World& world, int uid, const char* app_name) {
+  const auto& sysui = world.system_ui();
+  const int px = sysui.current_pixels(uid);
+  const int height = world.profile().notification_height_px;
+  std::string icons = "[";
+  for (int i = 0; i < server::kStatusBarIconCapacity; ++i) {
+    icons += i < sysui.status_bar_icon_count() ? "!" : ".";
+  }
+  icons += "]";
+  std::printf("  +------------------------------------------------+\n");
+  std::printf("  | 12:00  %s            status bar   (#/4 icons) |\n", icons.c_str());
+  std::printf("  +------------------------------------------------+\n");
+  if (px == 0) {
+    std::printf("  |   (notification drawer: no entry visible)     |\n");
+  } else {
+    const int bar = px * 40 / height;
+    std::printf("  | +--------------------------------------------+ |\n");
+    std::printf("  | |%-44s| |\n",
+                (std::string(static_cast<std::size_t>(bar), '#') + " " +
+                 std::to_string(px) + "/" + std::to_string(height) + "px")
+                    .c_str());
+    const auto snapshot = sysui.snapshot(uid);
+    if (snapshot.max_completeness >= 1.0 && snapshot.max_message_progress > 0) {
+      std::printf("  | | %-42s | |\n",
+                  (std::string(app_name) + " is displaying over other apps").c_str());
+    }
+    if (snapshot.icon_shown) {
+      std::printf("  | | (i) tap to open Settings and revoke        | |\n");
+    }
+    std::printf("  | +--------------------------------------------+ |\n");
+  }
+  std::printf("  +------------------------------------------------+\n");
+}
+
+}  // namespace
+
+int main() {
+  const auto& dev = device::reference_device_android9();
+  std::puts("=== Fig. 1: the built-in notification defense (rendered) ===\n");
+
+  {
+    std::puts("(a) benign overlay app, alert fully drawn:\n");
+    server::WorldConfig wc;
+    wc.profile = dev;
+    wc.deterministic = true;
+    wc.trace_enabled = false;
+    server::World world{wc};
+    world.server().grant_overlay_permission(server::kBenignUid);
+    server::OverlaySpec spec;
+    spec.bounds = {800, 200, 200, 200};
+    world.server().add_view(server::kBenignUid, spec);
+    world.run_until(sim::seconds(2));
+    render_drawer(world, server::kBenignUid, "MusicBubble");
+  }
+  {
+    std::puts("\n(b) draw-and-destroy overlay attack at D = 190 ms:\n");
+    server::WorldConfig wc;
+    wc.profile = dev;
+    wc.deterministic = true;
+    wc.trace_enabled = false;
+    server::World world{wc};
+    world.server().grant_overlay_permission(server::kMalwareUid);
+    core::OverlayAttackConfig oc;
+    oc.attacking_window = sim::ms(190);
+    core::OverlayAttack attack{world, oc};
+    attack.start();
+    world.run_until(sim::seconds(2));
+    render_drawer(world, server::kMalwareUid, "TotallyFine");
+    attack.stop();
+  }
+  {
+    std::puts("\n(c) the same attack under the enhanced notification defense:\n");
+    server::WorldConfig wc;
+    wc.profile = dev;
+    wc.deterministic = true;
+    wc.trace_enabled = false;
+    server::World world{wc};
+    world.server().grant_overlay_permission(server::kMalwareUid);
+    defense::install_enhanced_notification_defense(world);
+    core::OverlayAttackConfig oc;
+    oc.attacking_window = sim::ms(190);
+    core::OverlayAttack attack{world, oc};
+    attack.start();
+    world.run_until(sim::seconds(2));
+    render_drawer(world, server::kMalwareUid, "TotallyFine");
+    attack.stop();
+  }
+  std::puts("\nThe notification entry contains the view (container), the message and an");
+  std::puts("icon, which is also pinned to the status bar when there is space (<= 4).");
+  return 0;
+}

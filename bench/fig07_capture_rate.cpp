@@ -1,0 +1,48 @@
+// Fig. 7 — box plot of touch-event capture rate vs the attacking window
+// D in the draw-and-destroy overlay attack: 30 participants, each typing
+// 10 strings of 10 random characters into the instrumented test app on
+// their own phone, for D in {50..200} ms.
+//
+// Paper means: 61.0 79.8 86.7 89.0 91.0 92.8 92.8 (%).
+#include <cstdio>
+#include <vector>
+
+#include "core/report.hpp"
+#include "device/registry.hpp"
+#include "input/typist.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/table.hpp"
+
+int main() {
+  using namespace animus;
+  const auto panel = input::participant_panel();
+  const auto devices = device::all_devices();
+  const double paper_means[] = {61.0, 79.8, 86.7, 89.0, 91.0, 92.8, 92.8};
+
+  std::puts("=== Fig. 7: touch-event capture rate vs D (30 participants) ===\n");
+  metrics::Table table({"D (ms)", "min", "Q1", "median", "Q3", "max", "mean", "paper mean"});
+  int idx = 0;
+  for (int d : {50, 75, 100, 125, 150, 175, 200}) {
+    std::vector<double> rates;
+    for (std::size_t p = 0; p < panel.size(); ++p) {
+      core::CaptureTrialConfig c;
+      c.profile = devices[p % devices.size()];
+      c.typist = panel[p];
+      c.attacking_window = sim::ms(d);
+      c.touches = 100;  // 10 strings x 10 characters
+      c.seed = 1000 + p;
+      rates.push_back(core::run_capture_trial(c).rate * 100.0);
+    }
+    const auto bp = metrics::box_plot(rates);
+    table.add_row({metrics::fmt("%d", d), metrics::fmt("%.1f", bp.summary.min),
+                   metrics::fmt("%.1f", bp.summary.q1), metrics::fmt("%.1f", bp.summary.median),
+                   metrics::fmt("%.1f", bp.summary.q3), metrics::fmt("%.1f", bp.summary.max),
+                   metrics::fmt("%.1f", bp.mean), metrics::fmt("%.1f", paper_means[idx++])});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts("\nShape checks (paper, Section VI-B):");
+  std::puts("  - mean capture rate increases monotonically with D;");
+  std::puts("  - saturates around ~92% by D = 175-200 ms;");
+  std::puts("  - ~90% is reached near D = 150 ms.");
+  return 0;
+}

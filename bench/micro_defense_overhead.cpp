@@ -1,0 +1,82 @@
+// Section VII-A claims the IPC defense's overhead is negligible. These
+// google-benchmark microbenches measure the defense hot paths: the
+// per-transaction Binder instrumentation cost, the online decision rule,
+// and the end-to-end slowdown of a full attack simulation with the
+// defense attached.
+#include <benchmark/benchmark.h>
+
+#include "core/overlay_attack.hpp"
+#include "defense/ipc_defense.hpp"
+#include "device/registry.hpp"
+#include "server/world.hpp"
+
+namespace {
+
+using namespace animus;
+
+void BM_TransactionRecord(benchmark::State& state) {
+  ipc::TransactionLog log;
+  sim::SimTime t{0};
+  for (auto _ : state) {
+    t += sim::ms(1);
+    benchmark::DoNotOptimize(
+        log.record(1, ipc::MethodCode::kAddView, "android.view.IWindowManager", t, t));
+    if (log.size() > 1'000'000) {
+      state.PauseTiming();
+      log.clear();
+      state.ResumeTiming();
+    }
+  }
+  state.SetLabel("Binder instrumentation per call");
+}
+BENCHMARK(BM_TransactionRecord);
+
+void BM_OnlineDecisionRule(benchmark::State& state) {
+  defense::IpcDefenseAnalyzer analyzer;
+  sim::SimTime t{0};
+  bool add = false;
+  for (auto _ : state) {
+    t += sim::ms(75);
+    ipc::Transaction tx;
+    tx.caller_uid = 1;
+    tx.code = add ? ipc::MethodCode::kAddView : ipc::MethodCode::kRemoveView;
+    tx.sent = t;
+    tx.delivered = t + sim::ms(3);
+    add = !add;
+    analyzer.observe(tx);
+  }
+  state.SetLabel("analyzer cost per transaction");
+}
+BENCHMARK(BM_OnlineDecisionRule);
+
+void attack_run(bool with_defense) {
+  server::WorldConfig wc;
+  wc.profile = device::reference_device_android9();
+  wc.trace_enabled = false;
+  server::World world{wc};
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  world.transactions().set_enabled(with_defense);
+  defense::IpcDefenseAnalyzer analyzer;
+  if (with_defense) analyzer.attach(world.transactions());
+  core::OverlayAttack attack{world, {}};
+  attack.start();
+  world.run_until(sim::seconds(30));
+  attack.stop();
+  benchmark::DoNotOptimize(analyzer.flagged(server::kMalwareUid));
+}
+
+void BM_AttackSim30sNoDefense(benchmark::State& state) {
+  for (auto _ : state) attack_run(false);
+  state.SetLabel("30 s simulated attack, defense off");
+}
+BENCHMARK(BM_AttackSim30sNoDefense);
+
+void BM_AttackSim30sWithDefense(benchmark::State& state) {
+  for (auto _ : state) attack_run(true);
+  state.SetLabel("30 s simulated attack, defense on (overhead = delta)");
+}
+BENCHMARK(BM_AttackSim30sWithDefense);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Microbenchmarks of the simulation kernel and hot substrate paths
+// (google-benchmark). These bound the cost of the experiment harness
+// itself: a full 30-participant capture sweep must stay interactive.
+#include <benchmark/benchmark.h>
+
+#include "analysis/corpus.hpp"
+#include "analysis/manifest.hpp"
+#include "analysis/scanner.hpp"
+#include "core/report.hpp"
+#include "device/registry.hpp"
+#include "input/typist.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/rng.hpp"
+#include "ui/interpolator.hpp"
+
+namespace {
+
+using namespace animus;
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      loop.schedule_at(sim::us(i * 7 % 997), [&sink] { ++sink; });
+    }
+    loop.run_all();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopScheduleRun);
+
+void BM_RngNormal(benchmark::State& state) {
+  sim::Rng rng{42};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.normal(0.0, 1.0));
+  }
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_FastOutSlowInEval(benchmark::State& state) {
+  const auto& interp = ui::fast_out_slow_in();
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 0.001;
+    if (x >= 1.0) x = 0.0;
+    benchmark::DoNotOptimize(interp.value(x));
+  }
+}
+BENCHMARK(BM_FastOutSlowInEval);
+
+void BM_ManifestRoundTrip(benchmark::State& state) {
+  const analysis::Corpus corpus{2016};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto apk = corpus.app(i++ % 10000);
+    const auto parsed = analysis::parse_manifest_xml(analysis::write_manifest_xml(apk));
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+}
+BENCHMARK(BM_ManifestRoundTrip);
+
+void BM_FullApkScan(benchmark::State& state) {
+  const analysis::Corpus corpus{2016};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::scan_apk(corpus.app(i++ % 10000)));
+  }
+}
+BENCHMARK(BM_FullApkScan);
+
+void BM_CaptureTrial(benchmark::State& state) {
+  const auto panel = input::participant_panel();
+  std::size_t seed = 0;
+  for (auto _ : state) {
+    core::CaptureTrialConfig c;
+    c.profile = device::reference_device_android9();
+    c.typist = panel[seed % panel.size()];
+    c.attacking_window = sim::ms(150);
+    c.touches = 100;
+    c.seed = seed++;
+    benchmark::DoNotOptimize(core::run_capture_trial(c).rate);
+  }
+  state.SetLabel("one participant, 100 touches");
+}
+BENCHMARK(BM_CaptureTrial);
+
+void BM_PasswordTrial(benchmark::State& state) {
+  const auto panel = input::participant_panel();
+  std::size_t seed = 0;
+  for (auto _ : state) {
+    core::PasswordTrialConfig c;
+    c.profile = device::reference_device_android9();
+    c.typist = panel[seed % panel.size()];
+    c.password = "tk&%48GH";
+    c.seed = seed++;
+    benchmark::DoNotOptimize(core::run_password_trial(c).success);
+  }
+  state.SetLabel("full login + theft simulation");
+}
+BENCHMARK(BM_PasswordTrial);
+
+}  // namespace
+
+BENCHMARK_MAIN();

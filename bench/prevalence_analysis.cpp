@@ -1,0 +1,44 @@
+// Section VI-C2 — legality/prevalence of the attack's permissions and
+// methods across an app-store-scale corpus: 890,855 (synthetic) apps run
+// through the full aapt-lite + FlowDroid-lite pipeline.
+//
+// Paper counts: 4,405 apps with SYSTEM_ALERT_WINDOW + accessibility
+// service; 18,887 apps calling addView+removeView with
+// SYSTEM_ALERT_WINDOW; 15,179 apps using a customized toast.
+#include <chrono>
+#include <cstdio>
+
+#include "analysis/corpus.hpp"
+#include "metrics/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace animus;
+  // Full scan by default; `--quick` samples 1 in 37 and scales.
+  std::size_t stride = 1;
+  if (argc > 1 && std::string_view(argv[1]) == "--quick") stride = 37;
+
+  analysis::Corpus corpus{2016};
+  std::printf("=== Prevalence analysis over %zu apps (stride %zu) ===\n\n", corpus.size(),
+              stride);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto counts = analysis::count_attack_prerequisites(corpus, stride);
+  const auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0);
+
+  metrics::Table table({"Predicate", "measured", "paper", "delta"});
+  auto row = [&table](const char* name, std::size_t got, std::size_t want) {
+    table.add_row({name, metrics::fmt("%zu", got), metrics::fmt("%zu", want),
+                   metrics::fmt("%+.1f%%", 100.0 * (static_cast<double>(got) -
+                                                    static_cast<double>(want)) /
+                                               static_cast<double>(want))});
+  };
+  row("SYSTEM_ALERT_WINDOW + accessibility service", counts.saw_and_accessibility, 4405);
+  row("addView + removeView + SYSTEM_ALERT_WINDOW", counts.addremove_and_saw, 18887);
+  row("customized toast (Toast.setView)", counts.custom_toast, 15179);
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\nManifests parsed: %zu, parse failures: %zu, %.2f s (%.0f apps/s)\n",
+              counts.total / stride, counts.parse_failures, elapsed.count(),
+              static_cast<double>(counts.total / stride) / elapsed.count());
+  std::puts("\nConclusion (paper): app stores admit apps using the accessibility service,");
+  std::puts("overlays and customized toasts, so the malicious app has distribution paths.");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Defense demo (Section VII): the same draw-and-destroy overlay attack,
+// first against a stock system, then against a system running both the
+// IPC transaction analyzer and the enhanced notification defense.
+//
+// Build & run:   ./build/examples/defense_demo
+#include <cstdio>
+
+#include "core/overlay_attack.hpp"
+#include "defense/ipc_defense.hpp"
+#include "defense/notification_defense.hpp"
+#include "device/registry.hpp"
+#include "percept/outcomes.hpp"
+#include "server/world.hpp"
+
+using namespace animus;
+
+namespace {
+
+void run_scenario(bool defended) {
+  server::World world{{.profile = device::reference_device_android9(), .seed = 5}};
+  world.server().grant_overlay_permission(server::kMalwareUid);
+
+  defense::IpcDefenseAnalyzer analyzer;
+  if (defended) {
+    analyzer.attach(world.transactions());
+    defense::install_enhanced_notification_defense(world);
+  }
+
+  core::OverlayAttackConfig config;
+  config.attacking_window = sim::ms(190);
+  core::OverlayAttack attack{world, config};
+  attack.start();
+  for (int i = 0; i < 10; ++i) {
+    world.loop().schedule_at(sim::seconds(1 + i), [&world] {
+      world.input().inject_tap({540, 1200});
+    });
+  }
+  world.run_until(sim::seconds(12));
+  const auto alert = world.system_ui().snapshot(server::kMalwareUid);
+  attack.stop();
+  world.run_all();
+
+  std::printf("%s system:\n", defended ? "DEFENDED" : "Stock");
+  std::printf("  touches intercepted : %d / 10\n", attack.stats().captures);
+  std::printf("  warning alert       : %s, visible for %.1f s\n",
+              std::string(percept::to_string(percept::classify(alert))).c_str(),
+              sim::to_seconds(alert.visible_time));
+  if (defended) {
+    if (analyzer.flagged(server::kMalwareUid)) {
+      const auto& d = analyzer.detections().front();
+      std::printf("  IPC analyzer        : FLAGGED uid %d after %d rapid remove->add "
+                  "pairs (%.1f s into the attack)\n",
+                  d.uid, d.pairs, sim::to_seconds(d.last_pair));
+    } else {
+      std::puts("  IPC analyzer        : no detection");
+    }
+  }
+  std::puts("");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Draw-and-destroy overlay attack, D = 190 ms, 10 user touches over 12 s.\n");
+  run_scenario(/*defended=*/false);
+  run_scenario(/*defended=*/true);
+  std::puts("With the enhanced notification defense the removal of the alert is");
+  std::puts("postponed by 690 ms and cancelled when the app re-adds an overlay, so the");
+  std::puts("slide-in completes and stays in the drawer; independently, the Binder");
+  std::puts("transaction analyzer identifies the attack within seconds.");
+  return 0;
+}

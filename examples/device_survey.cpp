@@ -1,0 +1,40 @@
+// Device survey: what an attacker's reconnaissance pass looks like.
+//
+// For every handset in the Table I/II fleet, derive the largest stealthy
+// attacking window (full simulation), the expected mistouch gap, and the
+// predicted per-touch capture probability at that window — the numbers a
+// real malicious app would precompute per model before attacking
+// ("the malicious app can collect the phone information before launching
+// the attack", Section VI-B).
+//
+// Build & run:   ./build/examples/device_survey
+#include <cstdio>
+
+#include "core/attack_analysis.hpp"
+#include "core/password_stealer.hpp"
+#include "device/registry.hpp"
+#include "metrics/table.hpp"
+
+int main() {
+  using namespace animus;
+  std::puts("Attacker reconnaissance over the 30-device fleet:\n");
+  metrics::Table table({"Model", "Android", "max stealthy D (ms)", "attack D (ms)",
+                        "E[Tmis] (ms)", "per-touch capture", "len-8 success est."});
+  for (const auto& dev : device::all_devices()) {
+    const int bound = core::find_d_upper_bound_ms(dev);
+    const double attack_d = core::kBoundSafetyFactor * bound;
+    // ACTION_DOWN harvesting: contact duration does not matter.
+    const double per_touch = core::predicted_capture_rate(dev, attack_d, 0.0);
+    double est = 1.0;
+    for (int i = 0; i < 11; ++i) est *= per_touch;  // ~11 touches for length 8
+    table.add_row({dev.model, std::string(device::to_string(dev.version)),
+                   metrics::fmt("%d", bound), metrics::fmt("%.0f", attack_d),
+                   metrics::fmt("%.1f", dev.expected_tmis_ms()), metrics::percent(per_touch),
+                   metrics::percent(est)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts("\nDevices with small D bounds (Vivo x21iA/v1813A, Samsung s8) are the");
+  std::puts("attacker's hardest targets: the alert animation must be reset so often that");
+  std::puts("mistouch gaps eat into the capture rate.");
+  return 0;
+}

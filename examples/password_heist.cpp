@@ -1,0 +1,86 @@
+// End-to-end password-stealing scenario (Section V), narrated.
+//
+// A user logs into the simulated Bank of America app. The malicious app
+// waits for the password field to take focus (accessibility events),
+// then raises a fake keyboard out of draw-and-destroy toasts and stacks
+// transparent draw-and-destroy overlays over it. Every keystroke's
+// coordinates are intercepted and decoded by Euclidean nearest-key
+// matching, tracking shift/symbol sub-keyboard switches; the decoded
+// password is finally written back into the real widget.
+//
+// Build & run:   ./build/examples/password_heist
+#include <cstdio>
+
+#include "core/password_stealer.hpp"
+#include "device/registry.hpp"
+#include "input/typist.hpp"
+#include "percept/flicker.hpp"
+#include "percept/outcomes.hpp"
+#include "victim/catalog.hpp"
+
+int main() {
+  using namespace animus;
+  const char* kPassword = "tk&%48GH";  // the password from the paper's video demo
+
+  server::World world{{.profile = device::reference_device(), .seed = 2022}};
+  std::printf("Device: %s\n", world.profile().display_name().c_str());
+  world.server().grant_overlay_permission(server::kMalwareUid);
+
+  victim::VictimApp bofa{world, victim::find_app("Bank of America")->spec};
+  bofa.open_login_screen();
+
+  core::PasswordStealer stealer{world, bofa, {}};
+  stealer.arm();
+  std::printf("Malware armed; attacking window D = %.0f ms (from the device profile)\n\n",
+              sim::to_ms(stealer.attacking_window()));
+
+  // The user: focus username, type it, focus password, type the password.
+  input::TypistProfile user;
+  user.jitter_frac = 0.05;
+  user.misspell_rate = 0.0;  // a careful typist, to showcase an exact steal
+  input::Typist typist{user, world.fork_rng("user")};
+  const input::Keyboard keyboard{bofa.keyboard_bounds()};
+
+  world.loop().schedule_at(sim::ms(300), [&] {
+    world.input().inject_tap(bofa.username_bounds().center());
+  });
+  auto touches = typist.plan(keyboard, "alice", sim::ms(800));
+  const sim::SimTime username_done = touches.back().at;
+  world.loop().schedule_at(username_done + sim::ms(400), [&] {
+    world.input().inject_tap(bofa.password_bounds().center());
+  });
+  auto pw_touches = typist.plan(keyboard, kPassword, username_done + sim::ms(1400));
+  touches.insert(touches.end(), pw_touches.begin(), pw_touches.end());
+  for (const auto& pt : touches) {
+    world.loop().schedule_at(pt.at, [&world, pt] { world.input().inject_tap(pt.point); });
+  }
+
+  const sim::SimTime end = touches.back().at + sim::ms(600);
+  world.run_until(end);
+
+  const auto alert = world.system_ui().snapshot(server::kMalwareUid);
+  const std::string decoded = stealer.finalize();
+  world.run_all();
+
+  std::puts("Keystroke decode trace:");
+  for (const auto& ks : stealer.result().keystrokes) {
+    std::printf("  [%.2f s] (%4d,%4d) -> key '%s'%s\n", sim::to_seconds(ks.at), ks.point.x,
+                ks.point.y, ks.decoded_key.c_str(), ks.ch ? "" : " (mode switch)");
+  }
+
+  const auto flicker =
+      percept::scan_flicker(world.wms(), server::kMalwareUid, "fake_keyboard",
+                            stealer.result().triggered_at + sim::ms(800), end);
+  std::printf("\nTyped password   : %s\n", kPassword);
+  std::printf("Stolen password  : %s  (%s)\n", decoded.c_str(),
+              decoded == kPassword ? "exact match" : "mismatch");
+  std::printf("Widget filled    : %s (victim UI looks normal)\n",
+              stealer.result().widget_filled ? "yes" : "no");
+  std::printf("Warning alert    : %s\n",
+              std::string(percept::to_string(percept::classify(alert))).c_str());
+  std::printf("Fake-kbd flicker : %s (min composited alpha %.2f)\n",
+              flicker.noticeable ? "NOTICEABLE" : "imperceptible", flicker.min_alpha);
+  std::printf("Sub-kbd switches : %d toast view swaps\n",
+              stealer.toast_attack().stats().content_switches);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Payment hijack scenario (Section I names it as a composition of the
+// two draw-and-destroy primitives): the user believes they are approving
+// a small coffee payment; the attacker covers the payee/amount label
+// with a draw-and-destroy toast, steals the PIN through transparent
+// draw-and-destroy overlays over the pad, replays it, and the user's own
+// confirm tap executes the attacker's transaction.
+//
+// Build & run:   ./build/examples/payment_hijack
+#include <cstdio>
+
+#include "core/payment_hijack.hpp"
+#include "device/registry.hpp"
+#include "percept/flicker.hpp"
+#include "percept/outcomes.hpp"
+#include "victim/payment_app.hpp"
+
+int main() {
+  using namespace animus;
+  server::World world{{.profile = device::reference_device(), .seed = 17}};
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  std::printf("Device: %s\n\n", world.profile().display_name().c_str());
+
+  victim::PaymentApp pay{world, "PayFast"};
+  pay.set_expected_pin("4711");
+
+  core::PaymentHijack::Config cfg;
+  cfg.displayed_payee = "Coffee Corner";
+  cfg.displayed_amount_cents = 450;
+  core::PaymentHijack hijack{world, pay, cfg};
+  hijack.arm();
+
+  // The malware initiates its own transfer; the confirmation screen
+  // opens and the hijack triggers off the accessibility event.
+  pay.open_payment_screen({"Mallory Ltd", 99900});
+  std::printf("Real pending transaction : %s, %.2f EUR\n", pay.request().payee.c_str(),
+              pay.request().amount_cents / 100.0);
+  std::printf("What the cover displays  : %s, %.2f EUR\n\n", cfg.displayed_payee.c_str(),
+              cfg.displayed_amount_cents / 100.0);
+
+  // The user reads "Coffee Corner 4.50", types their PIN, confirms.
+  const std::string pin = "4711";
+  for (std::size_t i = 0; i < pin.size(); ++i) {
+    world.loop().schedule_at(sim::seconds(2) + sim::ms(450 * static_cast<long>(i)),
+                             [&world, &pay, &pin, i] {
+                               world.input().inject_tap(pay.digit_center(pin[i] - '0'));
+                             });
+  }
+  world.loop().schedule_at(sim::seconds(5), [&world, &pay] {
+    world.input().inject_tap(pay.confirm_bounds().center());
+  });
+  world.run_until(sim::seconds(6));
+
+  const auto flicker = percept::scan_flicker(world.wms(), server::kMalwareUid,
+                                             "attack:fake_amount", sim::seconds(1),
+                                             sim::seconds(6));
+  const auto alert = world.system_ui().snapshot(server::kMalwareUid);
+  std::printf("Stolen PIN          : %s\n", hijack.result().stolen_pin.c_str());
+  std::printf("Transaction executed: %s -> %s, %.2f EUR\n",
+              pay.executed() ? "YES" : "no", pay.request().payee.c_str(),
+              pay.request().amount_cents / 100.0);
+  std::printf("Cover flicker       : %s (min alpha %.2f)\n",
+              flicker.noticeable ? "NOTICEABLE" : "imperceptible", flicker.min_alpha);
+  std::printf("Warning alert       : %s\n",
+              std::string(percept::to_string(percept::classify(alert))).c_str());
+  hijack.stop();
+  std::puts("\nThe user authorized 999.00 EUR to Mallory Ltd while reading a 4.50 EUR");
+  std::puts("coffee receipt; their PIN is in the attacker's hands as a bonus.");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Scenario runner: execute ANIMUS scenario scripts from a file, or run
+// the built-in demo when no file is given.
+//
+//   ./build/examples/scenario_runner              # built-in demo
+//   ./build/examples/scenario_runner my.scenario  # run a script file
+//
+// The DSL (see src/script/scenario.hpp): device/seed/grant-overlay/
+// defense/window/attack/tap/run/stop-attacks/expect.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "script/scenario.hpp"
+
+namespace {
+
+constexpr const char* kDemo = R"(# Demo: draw-and-destroy overlay attack vs the defense daemon.
+device mi8 9
+seed 1
+
+# --- attacker setup ---
+grant-overlay 10666
+window activity uid=10100 bounds=0,0,1080,2280
+attack overlay d=190 bounds=0,0,1080,2280
+
+# --- the user taps around; the attack intercepts ---
+tap 540 1100 at=1000
+tap 300  900 at=1600
+tap 700 1400 at=2300
+run 4000
+expect alert L1
+expect captures >= 3
+
+# --- now the same attack with the enforcement daemon watching ---
+defense daemon
+run 8000
+expect flagged 10666 true
+expect overlays 10666 == 0
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string text = kDemo;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  } else {
+    std::puts("(no script given — running the built-in demo)\n");
+  }
+
+  const auto result = animus::script::run_scenario(text);
+  std::fputs(result.log.c_str(), stdout);
+  if (result.ok) {
+    std::printf("\nscenario OK — %d expectation(s) checked\n", result.expects_checked);
+    return 0;
+  }
+  std::printf("\nscenario FAILED at line %zu: %s\n", result.error->line,
+              result.error->message.c_str());
+  return 1;
+}

@@ -1,0 +1,63 @@
+// Draw-and-destroy toast attack demo (Section IV): keep a customized
+// toast ("fake keyboard", here a phishing banner) on screen far beyond
+// the 3.5 s Android allows, with no perceptible flicker, then swap its
+// content mid-flight via Toast.cancel().
+//
+// Build & run:   ./build/examples/toast_banner
+#include <cstdio>
+
+#include "core/toast_attack.hpp"
+#include "device/registry.hpp"
+#include "percept/flicker.hpp"
+
+int main() {
+  using namespace animus;
+  server::World world{{.profile = device::reference_device(), .seed = 99}};
+  std::printf("Device: %s — no permissions requested, no alert triggered.\n\n",
+              world.profile().display_name().c_str());
+
+  core::ToastAttackConfig config;
+  config.toast_duration = server::kToastLong;  // 3.5 s per toast (Section IV-D)
+  config.content = "fake_keyboard:lower";
+  core::ToastAttack attack{world, config};
+  attack.start();
+
+  // Swap the displayed board twice mid-run (what a fake keyboard does on
+  // shift / ?123 presses).
+  world.loop().schedule_at(sim::seconds(12), [&attack] {
+    attack.switch_content("fake_keyboard:upper");
+  });
+  world.loop().schedule_at(sim::seconds(20), [&attack] {
+    attack.switch_content("fake_keyboard:symbols");
+  });
+
+  const sim::SimTime horizon = sim::seconds(30);
+  world.run_until(horizon);
+
+  // Coverage + opacity timeline, sampled every second.
+  std::puts("t(s)  toasts-alive  composited-alpha  queue-tokens");
+  for (int t = 1; t <= 30; ++t) {
+    const auto at = sim::seconds(t);
+    int alive = 0;
+    for (const auto& rec : world.wms().history()) {
+      alive += rec.window.type == ui::WindowType::kToast && rec.alive_at(at);
+    }
+    std::printf("%3d   %8d      %10.2f      %6d\n", t, alive,
+                world.wms().combined_alpha_at(server::kMalwareUid, "fake_keyboard", at),
+                world.nms().queued_tokens(server::kMalwareUid));
+  }
+
+  const auto flicker = percept::scan_flicker(world.wms(), server::kMalwareUid,
+                                             "fake_keyboard", sim::ms(1500), horizon);
+  std::printf("\nToasts shown: %d over 30 s (one visible at a time, tokens <= %d/app)\n",
+              attack.stats().shown, world.nms().max_tokens_per_app());
+  std::printf("Content switches: %d (Toast.cancel + fresh token)\n",
+              attack.stats().content_switches);
+  std::printf("Flicker: %s — min composited alpha %.2f, longest dip %.0f ms\n",
+              flicker.noticeable ? "NOTICEABLE" : "imperceptible", flicker.min_alpha,
+              sim::to_ms(flicker.longest_dip));
+  std::puts("\nThe slow y = x^2 fade-out keeps each dying toast nearly opaque while its");
+  std::puts("successor fades in fast (y = 1-(1-x)^2); stacked, the surface never dips.");
+  attack.stop();
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "analysis/apk.hpp"
+
+#include <algorithm>
+
+namespace animus::analysis {
+
+bool ApkInfo::has_permission(std::string_view perm) const {
+  return std::find(permissions.begin(), permissions.end(), perm) != permissions.end();
+}
+
+bool ApkInfo::registers_accessibility_service() const {
+  return std::any_of(services.begin(), services.end(),
+                     [](const ServiceDecl& s) { return s.accessibility; });
+}
+
+bool ApkInfo::references_method(std::string_view method) const {
+  return std::find(method_refs.begin(), method_refs.end(), method) != method_refs.end();
+}
+
+bool ApkInfo::uses_custom_toast() const { return references_method(kMethodToastSetView); }
+
+}  // namespace animus::analysis

@@ -1,0 +1,42 @@
+// Synthetic APK model for the prevalence study (Section VI-C2).
+//
+// The paper crawls 890,855 real apps from AndroZoo and measures, with an
+// aapt-based manifest tool and a FlowDroid-based method scanner, how many
+// apps legitimately use the primitives the attacks need. We cannot ship
+// AndroZoo, so we synthesize a corpus with the *measured* prevalence and
+// rebuild the analysis pipeline end to end: ApkInfo -> AndroidManifest
+// XML + method-reference table -> parse -> predicate evaluation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace animus::analysis {
+
+inline constexpr char kPermSystemAlertWindow[] = "android.permission.SYSTEM_ALERT_WINDOW";
+inline constexpr char kPermBindAccessibility[] = "android.permission.BIND_ACCESSIBILITY_SERVICE";
+inline constexpr char kMethodAddView[] = "android.view.WindowManager.addView";
+inline constexpr char kMethodRemoveView[] = "android.view.WindowManager.removeView";
+inline constexpr char kMethodToastSetView[] = "android.widget.Toast.setView";
+
+struct ServiceDecl {
+  std::string name;
+  /// Declares the accessibility-service intent filter + BIND permission.
+  bool accessibility = false;
+};
+
+struct ApkInfo {
+  std::string package;
+  std::vector<std::string> permissions;
+  std::vector<ServiceDecl> services;
+  /// Dex method references (FlowDroid-lite's input).
+  std::vector<std::string> method_refs;
+
+  [[nodiscard]] bool has_permission(std::string_view perm) const;
+  [[nodiscard]] bool registers_accessibility_service() const;
+  [[nodiscard]] bool references_method(std::string_view method) const;
+  /// Customized toast: the app sets its own view on a Toast.
+  [[nodiscard]] bool uses_custom_toast() const;
+};
+
+}  // namespace animus::analysis

@@ -1,0 +1,148 @@
+#include "analysis/corpus.hpp"
+
+#include <numeric>
+
+#include "analysis/manifest.hpp"
+#include "analysis/scanner.hpp"
+#include "metrics/table.hpp"
+
+namespace animus::analysis {
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash3(std::uint64_t seed, std::uint64_t i, std::uint64_t salt) {
+  return mix(seed ^ mix(i + 0x9e3779b97f4a7c15ULL * salt));
+}
+
+/// Smallest multiplier >= base coprime with n (n >= 1).
+std::size_t coprime_multiplier(std::size_t base, std::size_t n) {
+  std::size_t a = base % n;
+  if (a == 0) a = 1;
+  while (std::gcd(a, n) != 1) ++a;
+  return a;
+}
+
+}  // namespace
+
+Corpus::Corpus(std::uint64_t seed, std::size_t size) : seed_(seed), size_(size ? size : 1) {}
+
+std::size_t Corpus::perm1(std::size_t i) const {
+  const std::size_t a = coprime_multiplier(48271, size_);
+  const std::size_t b = mix(seed_ ^ 0x11) % size_;
+  return (i * a + b) % size_;
+}
+
+std::size_t Corpus::perm3(std::size_t i) const {
+  const std::size_t a = coprime_multiplier(69621, size_);
+  const std::size_t b = mix(seed_ ^ 0x33) % size_;
+  return (i * a + b) % size_;
+}
+
+std::size_t Corpus::perm4(std::size_t i) const {
+  const std::size_t a = coprime_multiplier(40692, size_);
+  const std::size_t b = mix(seed_ ^ 0x44) % size_;
+  return (i * a + b) % size_;
+}
+
+namespace {
+/// Scale a full-corpus quota to a smaller (test-sized) corpus.
+std::size_t scaled_quota(std::size_t target, std::size_t size) {
+  if (size >= kAndroZooSize) return target;
+  return static_cast<std::size_t>(static_cast<__uint128_t>(target) * size / kAndroZooSize);
+}
+}  // namespace
+
+bool Corpus::truth_saw_addremove(std::size_t i) const {
+  return perm1(i) < scaled_quota(kTargetSawAddRemove, size_);
+}
+
+bool Corpus::truth_saw_accessibility(std::size_t i) const {
+  // A subset of the SAW+add/remove apps (perm1 is a bijection, so the
+  // count is exact and the subset relation structural).
+  return perm1(i) < scaled_quota(kTargetSawAccessibility, size_);
+}
+
+bool Corpus::truth_custom_toast(std::size_t i) const {
+  return perm4(i) < scaled_quota(kTargetCustomToast, size_);
+}
+
+ApkInfo Corpus::app(std::size_t i) const {
+  ApkInfo apk;
+  const std::uint64_t h = hash3(seed_, i, 1);
+  static constexpr const char* kVendors[] = {"com", "org", "io", "net", "cn"};
+  static constexpr const char* kWords[] = {"photo", "music", "chat", "game",  "bank",
+                                           "news",  "map",   "shop", "video", "tool"};
+  apk.package = metrics::fmt("%s.%s%s.app%07zu", kVendors[h % 5], kWords[(h >> 8) % 10],
+                             kWords[(h >> 16) % 10], i);
+
+  // Background permissions for realism.
+  apk.permissions.emplace_back("android.permission.INTERNET");
+  if (hash3(seed_, i, 2) % 100 < 40) {
+    apk.permissions.emplace_back("android.permission.ACCESS_NETWORK_STATE");
+  }
+  if (hash3(seed_, i, 3) % 100 < 12) {
+    apk.permissions.emplace_back("android.permission.CAMERA");
+  }
+
+  // Baseline method references every app has.
+  apk.method_refs.emplace_back("android.app.Activity.onCreate");
+  apk.method_refs.emplace_back("android.view.View.setOnClickListener");
+  if (hash3(seed_, i, 4) % 100 < 55) {
+    apk.method_refs.emplace_back("android.widget.Toast.makeText");  // plain toasts
+  }
+
+  if (truth_saw_addremove(i)) {
+    apk.permissions.emplace_back(kPermSystemAlertWindow);
+    apk.method_refs.emplace_back(kMethodAddView);
+    apk.method_refs.emplace_back(kMethodRemoveView);
+  }
+  if (truth_saw_accessibility(i)) {
+    apk.services.push_back(ServiceDecl{apk.package + ".A11yService", true});
+  } else if (hash3(seed_, i, 5) % 100 < 8) {
+    apk.services.push_back(ServiceDecl{apk.package + ".SyncService", false});
+  }
+  if (truth_custom_toast(i)) {
+    apk.method_refs.emplace_back(kMethodToastSetView);
+  }
+  return apk;
+}
+
+CorpusCounts count_attack_prerequisites(const Corpus& corpus, std::size_t stride) {
+  CorpusCounts counts;
+  if (stride == 0) stride = 1;
+  std::size_t sampled = 0;
+  for (std::size_t i = 0; i < corpus.size(); i += stride) {
+    ++sampled;
+    const ApkInfo apk = corpus.app(i);
+    const ScanResult scan = scan_apk(apk);
+    if (!scan.manifest_ok || !scan.dex_ok) {
+      ++counts.parse_failures;
+      continue;
+    }
+    if (scan.has_system_alert_window && scan.registers_accessibility) {
+      ++counts.saw_and_accessibility;
+    }
+    if (scan.has_system_alert_window && scan.calls_add_view && scan.calls_remove_view) {
+      ++counts.addremove_and_saw;
+    }
+    if (scan.custom_toast) ++counts.custom_toast;
+  }
+  counts.total = sampled;
+  if (stride > 1 && sampled > 0) {
+    const double scale = static_cast<double>(corpus.size()) / static_cast<double>(sampled);
+    counts.total = corpus.size();
+    counts.saw_and_accessibility =
+        static_cast<std::size_t>(counts.saw_and_accessibility * scale + 0.5);
+    counts.addremove_and_saw =
+        static_cast<std::size_t>(counts.addremove_and_saw * scale + 0.5);
+    counts.custom_toast = static_cast<std::size_t>(counts.custom_toast * scale + 0.5);
+  }
+  return counts;
+}
+
+}  // namespace animus::analysis

@@ -1,0 +1,85 @@
+#include "analysis/dex.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace animus::analysis {
+
+bool ParsedDex::references(std::string_view method) const {
+  return std::find(method_refs.begin(), method_refs.end(), method) != method_refs.end();
+}
+
+std::string write_dex_table(const ApkInfo& apk) {
+  std::string blob;
+  std::size_t payload = 0;
+  for (const auto& m : apk.method_refs) payload += m.size() + 1;
+  blob.reserve(16 + payload);
+  blob += kDexMagic;
+  blob += '\n';
+  blob += kDexVersion;
+  blob += '\n';
+  blob += std::to_string(apk.method_refs.size());
+  blob += '\n';
+  for (const auto& m : apk.method_refs) {
+    blob += m;
+    blob += '\n';
+  }
+  return blob;
+}
+
+namespace {
+
+/// Consume the next '\n'-terminated line; nullopt at end of input.
+std::optional<std::string_view> next_line(std::string_view& rest) {
+  if (rest.empty()) return std::nullopt;
+  const auto nl = rest.find('\n');
+  if (nl == std::string_view::npos) {
+    // Unterminated trailing line: treated as a line, caller validates.
+    std::string_view line = rest;
+    rest = {};
+    return line;
+  }
+  std::string_view line = rest.substr(0, nl);
+  rest.remove_prefix(nl + 1);
+  return line;
+}
+
+DexParseResult fail(std::size_t offset, std::string message) {
+  DexParseResult r;
+  r.error = ParseError{offset, std::move(message)};
+  return r;
+}
+
+}  // namespace
+
+DexParseResult parse_dex_table(std::string_view blob) {
+  std::string_view rest = blob;
+  const auto magic = next_line(rest);
+  if (!magic || *magic != kDexMagic) return fail(0, "bad dex magic");
+  const auto version = next_line(rest);
+  if (!version || *version != kDexVersion) {
+    return fail(4, "unsupported dex version");
+  }
+  const auto count_line = next_line(rest);
+  if (!count_line || count_line->empty()) return fail(8, "missing method count");
+  std::size_t count = 0;
+  const auto [ptr, ec] =
+      std::from_chars(count_line->data(), count_line->data() + count_line->size(), count);
+  if (ec != std::errc{} || ptr != count_line->data() + count_line->size()) {
+    return fail(8, "malformed method count");
+  }
+  ParsedDex dex;
+  dex.method_refs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto line = next_line(rest);
+    if (!line) return fail(blob.size(), "truncated dex table");
+    if (line->empty()) return fail(blob.size() - rest.size(), "empty method name");
+    dex.method_refs.emplace_back(*line);
+  }
+  if (!rest.empty()) return fail(blob.size() - rest.size(), "trailing data after table");
+  DexParseResult r;
+  r.dex = std::move(dex);
+  return r;
+}
+
+}  // namespace animus::analysis

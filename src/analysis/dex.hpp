@@ -1,0 +1,44 @@
+// FlowDroid-lite's input format: a serialized method-reference table
+// ("dex table") with a magic header and a declared entry count, so the
+// scanner genuinely parses bytes — with error detection — rather than
+// inspecting in-memory structures.
+//
+// Format (text, line-oriented):
+//   dex\n
+//   037\n            version
+//   <count>\n
+//   <method-ref>\n   x count, e.g. android.view.WindowManager.addView
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/apk.hpp"
+#include "analysis/manifest.hpp"  // ParseError
+
+namespace animus::analysis {
+
+inline constexpr char kDexMagic[] = "dex";
+inline constexpr char kDexVersion[] = "037";
+
+/// Serialize the APK's method-reference table.
+std::string write_dex_table(const ApkInfo& apk);
+
+struct ParsedDex {
+  std::vector<std::string> method_refs;
+
+  [[nodiscard]] bool references(std::string_view method) const;
+};
+
+struct DexParseResult {
+  std::optional<ParsedDex> dex;
+  std::optional<ParseError> error;
+  [[nodiscard]] bool ok() const { return dex.has_value(); }
+};
+
+/// Parse a dex table; rejects bad magic/version, non-numeric or
+/// mismatched counts, and embedded blank method names.
+DexParseResult parse_dex_table(std::string_view blob);
+
+}  // namespace animus::analysis

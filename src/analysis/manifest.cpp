@@ -1,0 +1,233 @@
+#include "analysis/manifest.hpp"
+
+#include <cctype>
+
+namespace animus::analysis {
+
+std::string write_manifest_xml(const ApkInfo& apk) {
+  std::string xml;
+  xml.reserve(256 + apk.permissions.size() * 64 + apk.services.size() * 96);
+  xml += "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n";
+  xml += "<manifest package=\"" + apk.package + "\">\n";
+  for (const auto& perm : apk.permissions) {
+    xml += "  <uses-permission android:name=\"" + perm + "\"/>\n";
+  }
+  xml += "  <application>\n";
+  for (const auto& svc : apk.services) {
+    xml += "    <service android:name=\"" + svc.name + "\"";
+    if (svc.accessibility) {
+      xml += " android:permission=\"" + std::string(kPermBindAccessibility) + "\"";
+    }
+    xml += ">\n";
+    if (svc.accessibility) {
+      xml += "      <intent-filter>\n";
+      xml += "        <action android:name=\"android.accessibilityservice."
+             "AccessibilityService\"/>\n";
+      xml += "      </intent-filter>\n";
+    }
+    xml += "    </service>\n";
+  }
+  xml += "  </application>\n";
+  xml += "</manifest>\n";
+  return xml;
+}
+
+namespace {
+
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+struct Tag {
+  std::string name;
+  std::vector<Attribute> attrs;
+  bool closing = false;       // </name>
+  bool self_closing = false;  // <name/>
+};
+
+/// Minimal XML tokenizer: yields tags in order, skipping text, comments
+/// and the <?xml?> declaration.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view xml) : xml_(xml) {}
+
+  /// Next tag; nullopt at clean end-of-input; error via fail().
+  std::optional<Tag> next(ParseError& err) {
+    while (pos_ < xml_.size()) {
+      if (xml_[pos_] != '<') {
+        ++pos_;  // character data: ignored
+        continue;
+      }
+      if (starts_with("<?")) {
+        const auto end = xml_.find("?>", pos_);
+        if (end == std::string_view::npos) return fail(err, "unterminated declaration");
+        pos_ = end + 2;
+        continue;
+      }
+      if (starts_with("<!--")) {
+        const auto end = xml_.find("-->", pos_);
+        if (end == std::string_view::npos) return fail(err, "unterminated comment");
+        pos_ = end + 3;
+        continue;
+      }
+      return lex_tag(err);
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool failed() const { return failed_; }
+
+ private:
+  std::optional<Tag> fail(ParseError& err, std::string message) {
+    err = ParseError{pos_, std::move(message)};
+    failed_ = true;
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool starts_with(std::string_view s) const {
+    return xml_.substr(pos_, s.size()) == s;
+  }
+
+  void skip_space() {
+    while (pos_ < xml_.size() && std::isspace(static_cast<unsigned char>(xml_[pos_]))) ++pos_;
+  }
+
+  std::string lex_name() {
+    const std::size_t start = pos_;
+    while (pos_ < xml_.size()) {
+      const char c = xml_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_' || c == ':' ||
+          c == '.') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return std::string(xml_.substr(start, pos_ - start));
+  }
+
+  std::optional<Tag> lex_tag(ParseError& err) {
+    ++pos_;  // consume '<'
+    Tag tag;
+    if (pos_ < xml_.size() && xml_[pos_] == '/') {
+      tag.closing = true;
+      ++pos_;
+    }
+    tag.name = lex_name();
+    if (tag.name.empty()) return fail(err, "expected tag name");
+    while (true) {
+      skip_space();
+      if (pos_ >= xml_.size()) return fail(err, "unterminated tag <" + tag.name);
+      if (xml_[pos_] == '>') {
+        ++pos_;
+        return tag;
+      }
+      if (starts_with("/>")) {
+        tag.self_closing = true;
+        pos_ += 2;
+        return tag;
+      }
+      if (tag.closing) return fail(err, "attributes on closing tag");
+      Attribute attr;
+      attr.name = lex_name();
+      if (attr.name.empty()) return fail(err, "expected attribute name");
+      skip_space();
+      if (pos_ >= xml_.size() || xml_[pos_] != '=') return fail(err, "expected '='");
+      ++pos_;
+      skip_space();
+      if (pos_ >= xml_.size() || (xml_[pos_] != '"' && xml_[pos_] != '\'')) {
+        return fail(err, "expected quoted value");
+      }
+      const char quote = xml_[pos_++];
+      const auto end = xml_.find(quote, pos_);
+      if (end == std::string_view::npos) return fail(err, "unterminated attribute value");
+      attr.value = std::string(xml_.substr(pos_, end - pos_));
+      pos_ = end + 1;
+      tag.attrs.push_back(std::move(attr));
+    }
+  }
+
+  std::string_view xml_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+const std::string* find_attr(const Tag& tag, std::string_view name) {
+  for (const auto& a : tag.attrs) {
+    if (a.name == name) return &a.value;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ParseResult parse_manifest_xml(std::string_view xml) {
+  ParseResult result;
+  ParseError err;
+  Lexer lexer{xml};
+
+  ParsedManifest manifest;
+  std::vector<std::string> stack;
+  bool saw_root = false;
+  ServiceDecl* open_service = nullptr;
+
+  while (true) {
+    auto tag = lexer.next(err);
+    if (!tag) {
+      if (lexer.failed()) {
+        result.error = err;
+        return result;
+      }
+      break;
+    }
+    if (tag->closing) {
+      if (stack.empty() || stack.back() != tag->name) {
+        result.error = ParseError{0, "mismatched closing tag </" + tag->name + ">"};
+        return result;
+      }
+      if (tag->name == "service") open_service = nullptr;
+      stack.pop_back();
+      continue;
+    }
+    if (!saw_root) {
+      if (tag->name != "manifest") {
+        result.error = ParseError{0, "root element must be <manifest>"};
+        return result;
+      }
+      saw_root = true;
+      if (const auto* pkg = find_attr(*tag, "package")) manifest.package = *pkg;
+    } else if (tag->name == "uses-permission") {
+      if (const auto* name = find_attr(*tag, "android:name")) {
+        manifest.permissions.push_back(*name);
+      }
+    } else if (tag->name == "service") {
+      ServiceDecl svc;
+      if (const auto* name = find_attr(*tag, "android:name")) svc.name = *name;
+      if (const auto* perm = find_attr(*tag, "android:permission")) {
+        svc.accessibility = *perm == kPermBindAccessibility;
+      }
+      manifest.services.push_back(std::move(svc));
+      if (!tag->self_closing) open_service = &manifest.services.back();
+    } else if (tag->name == "action" && open_service != nullptr) {
+      if (const auto* name = find_attr(*tag, "android:name")) {
+        if (*name == "android.accessibilityservice.AccessibilityService") {
+          open_service->accessibility = true;
+        }
+      }
+    }
+    if (!tag->self_closing) stack.push_back(tag->name);
+  }
+  if (!saw_root) {
+    result.error = ParseError{0, "empty document"};
+    return result;
+  }
+  if (!stack.empty()) {
+    result.error = ParseError{xml.size(), "unclosed element <" + stack.back() + ">"};
+    return result;
+  }
+  result.manifest = std::move(manifest);
+  return result;
+}
+
+}  // namespace animus::analysis

@@ -1,0 +1,44 @@
+// aapt-lite: AndroidManifest serialization and parsing.
+//
+// A deliberately small XML subset (elements, attributes, self-closing
+// tags, comments) — enough to round-trip the manifest features the
+// prevalence study needs, with real error reporting so malformed inputs
+// are rejected rather than misread.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/apk.hpp"
+
+namespace animus::analysis {
+
+/// Serialize the manifest portion of an ApkInfo as AndroidManifest-style
+/// XML.
+std::string write_manifest_xml(const ApkInfo& apk);
+
+struct ParsedManifest {
+  std::string package;
+  std::vector<std::string> permissions;
+  std::vector<ServiceDecl> services;
+};
+
+struct ParseError {
+  std::size_t offset = 0;
+  std::string message;
+};
+
+struct ParseResult {
+  std::optional<ParsedManifest> manifest;  // set on success
+  std::optional<ParseError> error;         // set on failure
+
+  [[nodiscard]] bool ok() const { return manifest.has_value(); }
+};
+
+/// Parse manifest XML. Unknown elements/attributes are ignored (forward
+/// compatibility); structural errors (unterminated tags, bad quoting,
+/// mismatched close tags, missing <manifest> root) are reported.
+ParseResult parse_manifest_xml(std::string_view xml);
+
+}  // namespace animus::analysis

@@ -1,0 +1,34 @@
+#include "analysis/scanner.hpp"
+
+#include <algorithm>
+
+#include "analysis/dex.hpp"
+
+namespace animus::analysis {
+
+bool references(const ApkInfo& apk, std::string_view method) {
+  return apk.references_method(method);
+}
+
+ScanResult scan_apk(const ApkInfo& apk) {
+  ScanResult r;
+  const std::string xml = write_manifest_xml(apk);
+  const ParseResult parsed = parse_manifest_xml(xml);
+  if (!parsed.ok()) return r;
+  r.manifest_ok = true;
+  const ParsedManifest& m = *parsed.manifest;
+  r.has_system_alert_window =
+      std::find(m.permissions.begin(), m.permissions.end(), kPermSystemAlertWindow) !=
+      m.permissions.end();
+  r.registers_accessibility = std::any_of(m.services.begin(), m.services.end(),
+                                          [](const ServiceDecl& s) { return s.accessibility; });
+  const DexParseResult dex = parse_dex_table(write_dex_table(apk));
+  if (!dex.ok()) return r;
+  r.dex_ok = true;
+  r.calls_add_view = dex.dex->references(kMethodAddView);
+  r.calls_remove_view = dex.dex->references(kMethodRemoveView);
+  r.custom_toast = dex.dex->references(kMethodToastSetView);
+  return r;
+}
+
+}  // namespace animus::analysis

@@ -1,0 +1,31 @@
+// The static-analysis pipeline: aapt-lite (manifest) + FlowDroid-lite
+// (method references) composed into per-app scan predicates.
+#pragma once
+
+#include <string_view>
+
+#include "analysis/apk.hpp"
+#include "analysis/manifest.hpp"
+
+namespace animus::analysis {
+
+struct ScanResult {
+  bool manifest_ok = false;
+  bool dex_ok = false;
+  bool has_system_alert_window = false;
+  bool registers_accessibility = false;
+  bool calls_add_view = false;
+  bool calls_remove_view = false;
+  bool custom_toast = false;
+};
+
+/// FlowDroid-lite: whether the method table references `method`.
+bool references(const ApkInfo& apk, std::string_view method);
+
+/// Full pipeline: serialize the manifest and the dex method table,
+/// re-parse both (aapt-lite + FlowDroid-lite), and evaluate every
+/// predicate from the *parsed* forms. Exercising serialize->parse on
+/// every app keeps both parsers honest at corpus scale.
+ScanResult scan_apk(const ApkInfo& apk);
+
+}  // namespace animus::analysis

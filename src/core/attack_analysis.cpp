@@ -1,0 +1,66 @@
+#include "core/attack_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/overlay_attack.hpp"
+#include "server/world.hpp"
+
+namespace animus::core {
+
+double expected_total_mistouch_ms(const device::DeviceProfile& profile, double total_ms,
+                                  double d_ms) {
+  const double n = std::ceil(total_ms / d_ms);
+  return std::max(0.0, n - 1.0) * profile.expected_tmis_ms() + profile.tam.mean_ms +
+         profile.tas.mean_ms;
+}
+
+double predicted_capture_rate(const device::DeviceProfile& profile, double d_ms,
+                              double contact_ms) {
+  const double loss = (contact_ms + profile.expected_tmis_ms()) / d_ms;
+  return std::clamp(1.0 - loss, 0.0, 1.0);
+}
+
+OutcomeProbe probe_outcome(const device::DeviceProfile& profile, sim::SimTime d,
+                           sim::SimTime duration, bool add_before_remove) {
+  server::WorldConfig wc;
+  wc.profile = profile;
+  wc.deterministic = true;
+  wc.trace_enabled = false;
+  server::World world{wc};
+  world.server().grant_overlay_permission(server::kMalwareUid);
+
+  OverlayAttackConfig oc;
+  oc.attacking_window = d;
+  oc.add_before_remove = add_before_remove;
+  OverlayAttack attack{world, oc};
+  attack.start();
+  world.run_until(duration);
+
+  OutcomeProbe probe;
+  probe.alert = world.system_ui().snapshot(server::kMalwareUid);
+  probe.outcome = percept::classify(probe.alert);
+  probe.cycles = attack.stats().cycles;
+  attack.stop();
+  return probe;
+}
+
+int find_d_upper_bound_ms(const device::DeviceProfile& profile, int max_ms) {
+  // Λ1(D) is monotone: more waiting lets the slide-in animation play
+  // further. Binary search the boundary.
+  auto lambda1 = [&profile](int d_ms) {
+    return probe_outcome(profile, sim::ms(d_ms), sim::seconds(3)).outcome ==
+           percept::LambdaOutcome::kL1;
+  };
+  int lo = 1;          // assumed Λ1 (checked below)
+  int hi = max_ms;     // assumed not Λ1
+  if (!lambda1(lo)) return 0;
+  if (lambda1(hi)) return hi;
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo) / 2;
+    (lambda1(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace animus::core

@@ -1,0 +1,41 @@
+// Closed-form analysis of Section III-D and simulation probes that
+// cross-check it (Eq. 1-3, Table II regeneration, Fig. 6 outcomes).
+#pragma once
+
+#include "device/profile.hpp"
+#include "percept/outcomes.hpp"
+#include "server/system_ui.hpp"
+#include "sim/time.hpp"
+
+namespace animus::core {
+
+/// Eq. (2): E(Tm) = (ceil(T/D) - 1) E(Tmis) + E(Tam) + E(Tas), the
+/// expected total mistouch time over an attack of length `total_ms` with
+/// attacking window `d_ms`.
+double expected_total_mistouch_ms(const device::DeviceProfile& profile, double total_ms,
+                                  double d_ms);
+
+/// First-order per-touch capture probability for a gesture of
+/// `contact_ms` under window `d_ms` (used as an analytic cross-check of
+/// the simulated Fig. 7/8 rates): 1 - (contact + E(Tmis)) / D, floored
+/// at 0. Pass contact_ms = 0 for ACTION_DOWN capture.
+double predicted_capture_rate(const device::DeviceProfile& profile, double d_ms,
+                              double contact_ms);
+
+/// Run the draw-and-destroy overlay attack deterministically for
+/// `duration` on a fresh world and report what the notification alert
+/// did — the Fig. 6 outcome probe.
+struct OutcomeProbe {
+  percept::LambdaOutcome outcome = percept::LambdaOutcome::kL1;
+  server::SystemUi::AlertStats alert;
+  int cycles = 0;
+};
+OutcomeProbe probe_outcome(const device::DeviceProfile& profile, sim::SimTime d,
+                           sim::SimTime duration = sim::seconds(5),
+                           bool add_before_remove = false);
+
+/// Largest integer-millisecond D that still yields Λ1, found by binary
+/// search over full attack simulations — the procedure behind Table II.
+int find_d_upper_bound_ms(const device::DeviceProfile& profile, int max_ms = 1200);
+
+}  // namespace animus::core

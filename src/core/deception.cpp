@@ -1,0 +1,62 @@
+#include "core/deception.hpp"
+
+namespace animus::core {
+
+double surface_coverage(const server::WindowManagerService& wms, int uid,
+                        std::string_view content_prefix, sim::SimTime from, sim::SimTime to,
+                        double min_alpha, sim::SimTime step) {
+  if (to <= from) return 0.0;
+  std::size_t covered = 0, samples = 0;
+  for (sim::SimTime t = from; t <= to; t += step) {
+    ++samples;
+    covered += wms.combined_alpha_at(uid, content_prefix, t) >= min_alpha;
+  }
+  return static_cast<double>(covered) / static_cast<double>(samples);
+}
+
+namespace {
+
+OverlayAttackConfig clickjack_overlay_config(const ClickjackingAttack::Config& c) {
+  OverlayAttackConfig oc;
+  oc.attacking_window = c.attacking_window;
+  oc.bounds = c.bounds;
+  oc.transparent = false;        // the bait must be visible
+  oc.intercept_touches = false;  // taps fall through to the victim
+  oc.content = c.bait_content;
+  oc.uid = c.uid;
+  return oc;
+}
+
+ToastAttackConfig content_hiding_toast_config(const ContentHidingAttack::Config& c) {
+  ToastAttackConfig tc;
+  tc.bounds = c.cover_region;
+  tc.content = c.cover_content;
+  tc.toast_duration = c.toast_duration;
+  tc.uid = c.uid;
+  return tc;
+}
+
+}  // namespace
+
+ClickjackingAttack::ClickjackingAttack(server::World& world, Config config)
+    : world_(&world),
+      config_(std::move(config)),
+      overlay_(world, clickjack_overlay_config(config_)) {}
+
+double ClickjackingAttack::bait_coverage(sim::SimTime from, sim::SimTime to) const {
+  // Opaque overlays have no fade; coverage is presence of a live surface.
+  return surface_coverage(world_->wms(), config_.uid, config_.bait_content, from, to,
+                          /*min_alpha=*/0.99);
+}
+
+ContentHidingAttack::ContentHidingAttack(server::World& world, Config config)
+    : world_(&world),
+      config_(std::move(config)),
+      toast_(world, content_hiding_toast_config(config_)) {}
+
+double ContentHidingAttack::cover_coverage(sim::SimTime from, sim::SimTime to,
+                                           double min_alpha) const {
+  return surface_coverage(world_->wms(), config_.uid, "attack:", from, to, min_alpha);
+}
+
+}  // namespace animus::core

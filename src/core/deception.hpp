@@ -1,0 +1,89 @@
+// UI-deception building blocks the paper derives from the two
+// draw-and-destroy primitives (Sections I, II-A): clickjacking with
+// non-UI-intercepting overlays, and content hiding with customized
+// toasts. Both inherit the alert suppression / flicker-free persistence
+// of the underlying attacks.
+#pragma once
+
+#include <string>
+
+#include "core/overlay_attack.hpp"
+#include "core/toast_attack.hpp"
+#include "server/world.hpp"
+
+namespace animus::core {
+
+/// Clickjacking (Section II-A, "non-UI-intercepting overlay"): a
+/// draw-and-destroy overlay with FLAG_NOT_TOUCHABLE shows misleading
+/// content; the user's taps pass through to the victim beneath (e.g. a
+/// permission-granting button). Draw-and-destroy keeps the overlay
+/// warning suppressed while the bait is on screen.
+class ClickjackingAttack {
+ public:
+  struct Config {
+    sim::SimTime attacking_window = sim::ms(150);
+    ui::Rect bounds{0, 0, 1080, 2280};
+    /// What the user believes they are tapping.
+    std::string bait_content = "attack:prize_banner";
+    int uid = server::kMalwareUid;
+  };
+
+  ClickjackingAttack(server::World& world, Config config);
+
+  void start() { overlay_.start(); }
+  void stop() { overlay_.stop(); }
+
+  /// Fraction of [from, to] during which the bait covered its region
+  /// (sampled every 10 ms).
+  [[nodiscard]] double bait_coverage(sim::SimTime from, sim::SimTime to) const;
+
+  [[nodiscard]] const OverlayAttack::Stats& stats() const { return overlay_.stats(); }
+
+ private:
+  server::World* world_;
+  Config config_;
+  OverlayAttack overlay_;
+};
+
+/// Content hiding (Section I): a draw-and-destroy toast covers a region
+/// of the victim UI — a security warning, a transaction amount — with
+/// attacker-chosen content, indefinitely and without flicker, requiring
+/// no permission at all.
+class ContentHidingAttack {
+ public:
+  struct Config {
+    ui::Rect cover_region{90, 700, 900, 300};
+    std::string cover_content = "attack:benign_banner";
+    sim::SimTime toast_duration = server::kToastLong;
+    int uid = server::kMalwareUid;
+  };
+
+  ContentHidingAttack(server::World& world, Config config);
+
+  void start() { toast_.start(); }
+  void stop() { toast_.stop(); }
+
+  /// Replace what the cover shows.
+  void set_cover_content(std::string content) { toast_.switch_content(std::move(content)); }
+
+  /// Fraction of [from, to] during which the cover was effectively
+  /// opaque (composited alpha >= `min_alpha`).
+  [[nodiscard]] double cover_coverage(sim::SimTime from, sim::SimTime to,
+                                      double min_alpha = 0.85) const;
+
+  [[nodiscard]] const ToastAttack::Stats& stats() const { return toast_.stats(); }
+
+ private:
+  server::World* world_;
+  Config config_;
+  ToastAttack toast_;
+};
+
+/// Shared helper: fraction of sampled instants in [from, to] where the
+/// composited opacity of `uid`'s surfaces matching `content_prefix`
+/// reaches `min_alpha`.
+double surface_coverage(const server::WindowManagerService& wms, int uid,
+                        std::string_view content_prefix, sim::SimTime from, sim::SimTime to,
+                        double min_alpha = 0.85, sim::SimTime step = sim::ms(10));
+
+}  // namespace animus::core

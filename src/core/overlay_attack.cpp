@@ -1,0 +1,88 @@
+#include "core/overlay_attack.hpp"
+
+#include "metrics/table.hpp"
+
+namespace animus::core {
+
+OverlayAttack::OverlayAttack(server::World& world, OverlayAttackConfig config)
+    : world_(&world),
+      config_(std::move(config)),
+      main_thread_(&world.new_actor("malware-main")),
+      worker_thread_(&world.new_actor("malware-worker")),
+      rng_(world.fork_rng("overlay_attack")) {}
+
+server::OverlaySpec OverlayAttack::make_spec() {
+  server::OverlaySpec spec;
+  spec.bounds = config_.bounds;
+  spec.flags = config_.transparent ? ui::kFlagTransparent : ui::kFlagNone;
+  if (!config_.intercept_touches) spec.flags |= ui::kFlagNotTouchable;
+  spec.content = config_.content;
+  spec.deliver_on_down = config_.capture_on_down;
+  spec.on_touch = [this](sim::SimTime t, ui::Point p) {
+    ++stats_.captures;
+    if (config_.on_capture) config_.on_capture(t, p);
+  };
+  return spec;
+}
+
+void OverlayAttack::start() {
+  if (stats_.running) return;
+  stats_ = Stats{};
+  stats_.running = true;
+  stats_.started = world_->now();
+  world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
+                         metrics::fmt("overlay attack start D=%.1fms",
+                                      sim::to_ms(config_.attacking_window)));
+  // Step 1: the first notification performs only addView(O1).
+  main_thread_->post(sim::ms_f(0.1), server::kAddViewClientCost, [this] {
+    current_ = world_->server().add_view(config_.uid, make_spec());
+  });
+  // Step 3/4: the worker thread waits D and repeats.
+  const double jitter =
+      world_->server().deterministic() ? 0.0 : rng_.normal(0.0, config_.timer_jitter_ms);
+  timer_ = world_->loop().schedule_after(config_.attacking_window + sim::ms_f(jitter),
+                                         [this] { tick(); });
+}
+
+void OverlayAttack::tick() {
+  if (!stats_.running) return;
+  ++stats_.cycles;
+  // Step 2: remove the displayed overlay, then add the other one. The
+  // add call blocks the main thread for kAddViewClientCost, which is why
+  // issuing it first (add_before_remove) delays the removal dispatch.
+  main_thread_->post(sim::ms_f(0.1), server::kAddViewClientCost, [this] {
+    const server::OverlaySpec spec = make_spec();
+    const server::ViewHandle previous = current_;
+    if (config_.add_before_remove) {
+      current_ = world_->server().add_view(config_.uid, spec);
+      // addView blocks; the removeView call only leaves the app after
+      // the client-side cost has elapsed.
+      main_thread_->post(sim::SimTime{0}, sim::ms_f(0.2), [this, previous] {
+        world_->server().remove_view(config_.uid, previous);
+      });
+    } else {
+      world_->server().remove_view(config_.uid, previous);
+      current_ = world_->server().add_view(config_.uid, spec);
+    }
+  });
+  const double jitter =
+      world_->server().deterministic() ? 0.0 : rng_.normal(0.0, config_.timer_jitter_ms);
+  timer_ = world_->loop().schedule_after(config_.attacking_window + sim::ms_f(jitter),
+                                         [this] { tick(); });
+}
+
+void OverlayAttack::stop() {
+  if (!stats_.running) return;
+  stats_.running = false;
+  stats_.stopped = world_->now();
+  world_->loop().cancel(timer_);
+  // Step 5: remove the last displayed overlay.
+  main_thread_->post(sim::ms_f(0.1), sim::ms_f(0.2), [this] {
+    if (current_ != 0) world_->server().remove_view(config_.uid, current_);
+    current_ = 0;
+  });
+  world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
+                         metrics::fmt("overlay attack stop after %d cycles", stats_.cycles));
+}
+
+}  // namespace animus::core

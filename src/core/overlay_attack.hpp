@@ -1,0 +1,95 @@
+// Draw-and-destroy overlay attack (Section III).
+//
+// A worker thread ticks every attacking-window D; on each tick it
+// notifies the malware's main thread, which removes the currently shown
+// UI-intercepting overlay and adds the other one of a pre-created pair
+// (O1/O2). Because the remove-view Binder event travels slower than the
+// add-view event (Tam < Trm), System Server briefly observes *zero*
+// overlays from the app and resets the warning-alert animation — which,
+// for D below the device's Table II bound, never reveals a single pixel.
+//
+// Workflow steps map to Section III-C:
+//   Step 1  start(): worker notifies main; main performs only addView(O1)
+//   Step 2  tick: main calls removeView(previous) then addView(other)
+//   Step 3  worker waits D
+//   Step 4  repeat
+//   Step 5  stop(): the last displayed overlay is removed
+//
+// `add_before_remove` flips Step 2's call order to reproduce the failure
+// mode the paper describes: the blocking addView delays removeView, the
+// replacement overlay registers before the removal check, and the alert
+// animation is never reset.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "server/world.hpp"
+
+namespace animus::core {
+
+struct OverlayAttackConfig {
+  /// Attacking window D.
+  sim::SimTime attacking_window = sim::ms(150);
+  /// Screen region the overlays cover (e.g. the keyboard area, or an
+  /// input widget in the capture-rate test app).
+  ui::Rect bounds{0, 0, 1080, 2280};
+  /// Transparent UI-intercepting overlays (the password-attack shape).
+  bool transparent = true;
+  /// When false the overlays carry FLAG_NOT_TOUCHABLE: touches pass
+  /// through to the victim beneath — the clickjacking configuration of
+  /// Section II-A ("non-UI-intercepting overlay").
+  bool intercept_touches = true;
+  /// Surface content tag (what the user sees when not transparent).
+  std::string content = "attack:overlay";
+  /// Reproduce the paper's failure mode (addView before removeView).
+  bool add_before_remove = false;
+  /// Capture coordinates from ACTION_DOWN (the password attack). The
+  /// capture-rate study of Fig. 7/8 instead counts fully-registered
+  /// characters, i.e. complete gestures — set false to reproduce it.
+  bool capture_on_down = true;
+  /// Jitter of the worker thread's timer (thread scheduling noise).
+  double timer_jitter_ms = 0.4;
+  int uid = server::kMalwareUid;
+  /// Callback for every intercepted touch (down-time, point).
+  std::function<void(sim::SimTime, ui::Point)> on_capture;
+};
+
+class OverlayAttack {
+ public:
+  struct Stats {
+    int cycles = 0;            // draw-and-destroy rounds completed
+    int captures = 0;          // touches intercepted
+    sim::SimTime started{0};
+    sim::SimTime stopped{0};
+    bool running = false;
+  };
+
+  OverlayAttack(server::World& world, OverlayAttackConfig config);
+
+  /// Begin the attack now (Step 1). Requires SYSTEM_ALERT_WINDOW to have
+  /// been granted; otherwise every addView is refused and the attack is
+  /// inert (observable via world.server().rejected_overlays()).
+  void start();
+
+  /// Step 5: stop ticking and remove the last displayed overlay.
+  void stop();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const OverlayAttackConfig& config() const { return config_; }
+
+ private:
+  void tick();
+  server::OverlaySpec make_spec();
+
+  server::World* world_;
+  OverlayAttackConfig config_;
+  sim::Actor* main_thread_;
+  sim::Actor* worker_thread_;
+  sim::Rng rng_;
+  server::ViewHandle current_ = 0;
+  sim::EventLoop::EventId timer_{};
+  Stats stats_;
+};
+
+}  // namespace animus::core

@@ -1,0 +1,154 @@
+#include "core/password_stealer.hpp"
+
+#include "metrics/table.hpp"
+
+namespace animus::core {
+
+PasswordStealer::PasswordStealer(server::World& world, victim::VictimApp& victim,
+                                 PasswordStealerConfig config)
+    : world_(&world),
+      victim_(&victim),
+      config_(config),
+      keyboard_(victim.keyboard_bounds()) {
+  ToastAttackConfig tc;
+  tc.toast_duration = config_.toast_duration;
+  tc.bounds = victim.keyboard_bounds();
+  tc.content = "fake_keyboard:lower";
+  tc.uid = config_.uid;
+  toast_ = std::make_unique<ToastAttack>(world, tc);
+
+  OverlayAttackConfig oc;
+  oc.attacking_window = attacking_window();
+  oc.bounds = victim.keyboard_bounds();
+  oc.transparent = true;
+  oc.uid = config_.uid;
+  oc.on_capture = [this](sim::SimTime t, ui::Point p) { on_capture(t, p); };
+  overlay_ = std::make_unique<OverlayAttack>(world, oc);
+}
+
+sim::SimTime PasswordStealer::attacking_window() const {
+  if (config_.attacking_window > sim::SimTime{0}) return config_.attacking_window;
+  // The Table II value is the razor's edge; real latency jitter would
+  // occasionally push a cycle past it, so the malware backs off by a
+  // safety margin ("avoid being discovered by the users", Section VI-C1).
+  return sim::ms_f(kBoundSafetyFactor * world_->profile().d_upper_bound_table_ms);
+}
+
+bool PasswordStealer::arm() {
+  if (armed_) return true;
+  const auto& spec = victim_->spec();
+  if (config_.trigger == TriggerMode::kSharedMemory) {
+    if (config_.oracle == nullptr) return false;
+    armed_ = true;
+    inferrer_ = std::make_unique<sidechannel::UiStateInferrer>(*world_, *config_.oracle,
+                                                               server::kVictimUid);
+    inferrer_->learn("LoginActivity", sidechannel::login_screen_signature());
+    inferrer_->learn("LoginActivity:password", sidechannel::password_focus_signature());
+    inferrer_->start([this](const std::string& activity, sim::SimTime) {
+      if (!running_ && activity == "LoginActivity:password") trigger(false);
+    });
+    world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
+                           "password stealer armed (shared-memory side channel) on " +
+                               spec.name);
+    return true;
+  }
+  if (spec.disables_password_accessibility && !spec.shares_parent_view) return false;
+  armed_ = true;
+  victim_->bus().subscribe(
+      [this](const victim::AccessibilityEvent& ev) { on_accessibility_event(ev); });
+  world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
+                         "password stealer armed on " + spec.name);
+  return true;
+}
+
+void PasswordStealer::on_accessibility_event(const victim::AccessibilityEvent& ev) {
+  if (running_) {
+    last_event_ = ev;
+    return;
+  }
+  const auto& spec = victim_->spec();
+  if (!spec.disables_password_accessibility) {
+    // Direct trigger: the password widget announces focus or typing.
+    if (ev.widget_id == victim::kPasswordField) trigger(false);
+    last_event_ = ev;
+    return;
+  }
+  // Alipay path: while the user types, events arrive in
+  // (TYPE_VIEW_TEXT_CHANGED, TYPE_WINDOW_CONTENT_CHANGED) pairs; when
+  // the user finishes and moves focus, a *lone* WINDOW_CONTENT_CHANGED
+  // arrives from the username widget — that is the start signal
+  // (Section VI-C1).
+  if (ev.widget_id == victim::kUsernameField &&
+      ev.type == victim::AccessibilityEventType::kWindowContentChanged) {
+    const bool typing_pair =
+        last_event_ &&
+        last_event_->type == victim::AccessibilityEventType::kViewTextChanged &&
+        last_event_->widget_id == victim::kUsernameField && last_event_->time == ev.time;
+    if (!typing_pair) trigger(true);
+  }
+  last_event_ = ev;
+}
+
+void PasswordStealer::trigger(bool via_username_workaround) {
+  running_ = true;
+  result_.triggered = true;
+  result_.used_username_workaround = via_username_workaround;
+  result_.triggered_at = world_->now();
+  believed_.reset(input::LayoutKind::kLower);
+  stream_.clear();
+  world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
+                         metrics::fmt("password stealer triggered (%s) D=%.1fms",
+                                      via_username_workaround ? "username workaround"
+                                                              : "password focus",
+                                      sim::to_ms(attacking_window())));
+  toast_->start();
+  overlay_->start();
+}
+
+void PasswordStealer::on_capture(sim::SimTime t, ui::Point p) {
+  if (!running_) return;
+  ++result_.captured_touches;
+  // Euclidean decode against the believed sub-keyboard (Section V).
+  const input::KeyboardLayout& layout = keyboard_.layout(believed_.current());
+  const input::Key& key = layout.nearest(p);
+  const auto press = believed_.press(key);
+
+  Keystroke ks;
+  ks.at = t;
+  ks.point = p;
+  ks.decoded_key = key.label;
+  ks.ch = press.ch;
+  result_.keystrokes.push_back(ks);
+
+  if (press.layout_changed) {
+    toast_->switch_content("fake_keyboard:" +
+                           std::string(input::to_string(believed_.current())));
+  }
+  if (press.ch) {
+    stream_.push_back(*press.ch);
+  } else if (press.backspace && !stream_.empty()) {
+    stream_.pop_back();
+  }
+}
+
+std::string PasswordStealer::finalize() {
+  if (inferrer_) inferrer_->stop();
+  if (result_.triggered) {
+    overlay_->stop();
+    toast_->stop();
+  }
+  running_ = false;
+  result_.decoded = stream_;
+  // Fill the real widget so the UI looks consistent: direct reference
+  // when the app exposes password events, otherwise via getParent().
+  auto ref = victim_->password_ref_via_events();
+  if (!ref) ref = victim_->password_ref_via_parent();
+  if (ref && result_.triggered) {
+    result_.widget_filled = victim_->set_text_by_ref(*ref, result_.decoded);
+  }
+  world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
+                         "password stealer decoded: " + result_.decoded);
+  return result_.decoded;
+}
+
+}  // namespace animus::core

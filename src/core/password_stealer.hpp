@@ -1,0 +1,118 @@
+// Password-stealing attack (Section V): draw-and-destroy toast attack
+// renders a fake keyboard aligned with the real one; draw-and-destroy
+// overlay attack stacks transparent UI-intercepting overlays over it;
+// intercepted touch coordinates are decoded by nearest-key-center
+// Euclidean distance against the sub-keyboard the malware believes is
+// showing, mirroring shift/symbol switches as they are captured.
+//
+// Trigger logic (Section VI-C1): the attack arms on the victim's
+// accessibility events. For normal apps the password widget's focus/text
+// events start the attack directly. Alipay suppresses password-widget
+// events, so the malware instead watches the *username* widget's
+// TYPE_WINDOW_CONTENT_CHANGED (sent when focus leaves it), then walks
+// getParent() to locate the password widget reference.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/overlay_attack.hpp"
+#include "core/toast_attack.hpp"
+#include "input/keyboard.hpp"
+#include "server/world.hpp"
+#include "sidechannel/shared_mem.hpp"
+#include "victim/victim_app.hpp"
+
+namespace animus::core {
+
+/// Fraction of the device's Table II bound the stealer uses by default:
+/// close to optimal capture, with margin against latency jitter.
+inline constexpr double kBoundSafetyFactor = 0.88;
+
+/// How the malware learns that the user is about to type a password.
+enum class TriggerMode {
+  kAccessibility,  // accessibility events (the paper's worked example)
+  kSharedMemory,   // shared-memory UI-state side channel (Chen et al.),
+                   // the alternative Section V cites
+};
+
+struct PasswordStealerConfig {
+  TriggerMode trigger = TriggerMode::kAccessibility;
+  /// Required when trigger == kSharedMemory; the victim app must have
+  /// the same oracle attached.
+  sidechannel::SharedMemOracle* oracle = nullptr;
+  /// Attacking window D; 0 selects the device's Table II upper bound
+  /// scaled by kBoundSafetyFactor ("the malicious app can collect the
+  /// phone information before launching the attack so as to select an
+  /// appropriate upper boundary of D", Section VI-B).
+  sim::SimTime attacking_window{0};
+  sim::SimTime toast_duration = server::kToastLong;
+  int uid = server::kMalwareUid;
+};
+
+class PasswordStealer {
+ public:
+  struct Keystroke {
+    sim::SimTime at{0};
+    ui::Point point{};
+    std::string decoded_key;  // label of the nearest key
+    std::optional<char> ch;   // produced character, if any
+  };
+
+  struct Result {
+    bool triggered = false;
+    bool used_username_workaround = false;
+    sim::SimTime triggered_at{0};
+    int captured_touches = 0;
+    std::string decoded;          // final decoded password (after finalize)
+    bool widget_filled = false;   // decoded text written into the widget
+    std::vector<Keystroke> keystrokes;
+  };
+
+  PasswordStealer(server::World& world, victim::VictimApp& victim,
+                  PasswordStealerConfig config);
+
+  /// Subscribe to the configured trigger channel; the attack starts
+  /// itself when the condition fires. For the accessibility channel this
+  /// returns false when neither the direct nor the workaround trigger
+  /// can ever fire for this victim (password events suppressed and no
+  /// shared parent view); the side channel has no such prerequisite but
+  /// requires an oracle.
+  bool arm();
+
+  /// Stop both attacks, decode the captured stream, and fill the real
+  /// password widget through the accessibility reference so the victim
+  /// UI looks normal. Returns the decoded password.
+  std::string finalize();
+
+  [[nodiscard]] const Result& result() const { return result_; }
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] const ToastAttack& toast_attack() const { return *toast_; }
+  [[nodiscard]] const OverlayAttack& overlay_attack() const { return *overlay_; }
+
+  /// The D actually used (config override or the device table bound).
+  [[nodiscard]] sim::SimTime attacking_window() const;
+
+ private:
+  void on_accessibility_event(const victim::AccessibilityEvent& ev);
+  void trigger(bool via_username_workaround);
+  void on_capture(sim::SimTime t, ui::Point p);
+
+  server::World* world_;
+  victim::VictimApp* victim_;
+  PasswordStealerConfig config_;
+  input::Keyboard keyboard_;       // offline analysis of the layout
+  input::KeyboardState believed_;  // layout the malware thinks is showing
+  std::unique_ptr<ToastAttack> toast_;
+  std::unique_ptr<OverlayAttack> overlay_;
+  std::unique_ptr<sidechannel::UiStateInferrer> inferrer_;
+  std::string stream_;  // decoded characters (backspace-aware)
+  std::optional<victim::AccessibilityEvent> last_event_;
+  bool armed_ = false;
+  bool running_ = false;
+  Result result_;
+};
+
+}  // namespace animus::core

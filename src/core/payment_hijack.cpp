@@ -1,0 +1,72 @@
+#include "core/payment_hijack.hpp"
+
+#include "core/password_stealer.hpp"  // kBoundSafetyFactor
+#include "metrics/table.hpp"
+
+namespace animus::core {
+
+PaymentHijack::PaymentHijack(server::World& world, victim::PaymentApp& victim, Config config)
+    : world_(&world), victim_(&victim), config_(std::move(config)) {
+  ToastAttackConfig tc;
+  tc.toast_duration = config_.toast_duration;
+  tc.bounds = victim.amount_bounds();
+  tc.content = metrics::fmt("attack:fake_amount:%s:%ld", config_.displayed_payee.c_str(),
+                            config_.displayed_amount_cents);
+  tc.uid = config_.uid;
+  cover_ = std::make_unique<ToastAttack>(world, tc);
+
+  OverlayAttackConfig oc;
+  oc.attacking_window = attacking_window();
+  oc.bounds = victim.pin_pad_bounds();
+  oc.transparent = true;
+  oc.uid = config_.uid;
+  oc.on_capture = [this](sim::SimTime t, ui::Point p) { on_capture(t, p); };
+  pad_overlay_ = std::make_unique<OverlayAttack>(world, oc);
+}
+
+sim::SimTime PaymentHijack::attacking_window() const {
+  if (config_.attacking_window > sim::SimTime{0}) return config_.attacking_window;
+  return sim::ms_f(kBoundSafetyFactor * world_->profile().d_upper_bound_table_ms);
+}
+
+void PaymentHijack::arm() {
+  if (armed_) return;
+  armed_ = true;
+  victim_->bus().subscribe([this](const victim::AccessibilityEvent& ev) {
+    if (!running_ && ev.widget_id == victim::kAmountLabel) trigger();
+  });
+  world_->trace().record(world_->now(), sim::TraceCategory::kAttack, "payment hijack armed");
+}
+
+void PaymentHijack::trigger() {
+  running_ = true;
+  result_.triggered = true;
+  world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
+                         metrics::fmt("payment hijack triggered, D=%.1fms",
+                                      sim::to_ms(attacking_window())));
+  cover_->start();
+  pad_overlay_->start();
+}
+
+void PaymentHijack::on_capture(sim::SimTime, ui::Point p) {
+  if (!running_) return;
+  ++result_.captured_touches;
+  const int d = victim_->digit_at(p);
+  if (d < 0) return;
+  result_.stolen_pin.push_back(static_cast<char>('0' + d));
+  // Replay immediately: the real PIN field mirrors the user's intent, so
+  // the confirm tap (which the overlays do not cover) goes through.
+  victim_->set_pin_by_ref(result_.stolen_pin);
+  result_.pin_replayed = true;
+}
+
+void PaymentHijack::stop() {
+  if (!running_) return;
+  running_ = false;
+  pad_overlay_->stop();
+  cover_->stop();
+  world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
+                         "payment hijack stopped; pin=" + result_.stolen_pin);
+}
+
+}  // namespace animus::core

@@ -1,0 +1,72 @@
+// Payment hijack (Section I names it as a third composition of the two
+// draw-and-destroy primitives).
+//
+// When the victim's payment-confirmation screen appears (accessibility
+// trigger), the malware:
+//  1. covers the payee/amount label with a draw-and-destroy toast that
+//     shows a *benign-looking* transaction (content hiding);
+//  2. stacks transparent draw-and-destroy overlays over the PIN pad to
+//     harvest the user's PIN digits from ACTION_DOWN coordinates;
+//  3. replays the decoded PIN into the real widget via the accessibility
+//     reference, so the user's tap on the (uncovered) confirm button
+//     executes the attacker's transaction while the user believes they
+//     approved the displayed one.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/overlay_attack.hpp"
+#include "core/toast_attack.hpp"
+#include "victim/payment_app.hpp"
+
+namespace animus::core {
+
+class PaymentHijack {
+ public:
+  struct Config {
+    /// What the fake cover claims the user is approving.
+    std::string displayed_payee = "Coffee Corner";
+    long displayed_amount_cents = 450;
+    /// 0 selects the device's Table II bound scaled by the safety factor.
+    sim::SimTime attacking_window{0};
+    sim::SimTime toast_duration = server::kToastLong;
+    int uid = server::kMalwareUid;
+  };
+
+  struct Result {
+    bool triggered = false;
+    std::string stolen_pin;   // decoded from intercepted coordinates
+    bool pin_replayed = false;
+    int captured_touches = 0;
+  };
+
+  PaymentHijack(server::World& world, victim::PaymentApp& victim, Config config);
+
+  /// Subscribe to the victim's accessibility events; the hijack starts
+  /// itself when the confirmation screen appears.
+  void arm();
+
+  /// Stop the attacks. The decoded PIN remains available.
+  void stop();
+
+  [[nodiscard]] const Result& result() const { return result_; }
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] const ToastAttack& cover() const { return *cover_; }
+  [[nodiscard]] sim::SimTime attacking_window() const;
+
+ private:
+  void trigger();
+  void on_capture(sim::SimTime t, ui::Point p);
+
+  server::World* world_;
+  victim::PaymentApp* victim_;
+  Config config_;
+  std::unique_ptr<ToastAttack> cover_;
+  std::unique_ptr<OverlayAttack> pad_overlay_;
+  bool armed_ = false;
+  bool running_ = false;
+  Result result_;
+};
+
+}  // namespace animus::core

@@ -1,0 +1,92 @@
+// Error taxonomy (Table III) and end-to-end trial runners shared by the
+// tests, examples and bench harnesses.
+#pragma once
+
+#include <string>
+
+#include "device/profile.hpp"
+#include "input/typist.hpp"
+#include "percept/flicker.hpp"
+#include "percept/outcomes.hpp"
+#include "server/system_ui.hpp"
+#include "victim/victim_app.hpp"
+
+namespace animus::core {
+
+/// Table III's three error classes. Exactly one class is assigned per
+/// failed trial:
+///   length error          derived length != entered length (a mistouch
+///                         or misspelling dropped/added a character)
+///   capitalization error  same length, differs only in letter case
+///                         (a missed "shift" tap)
+///   wrong touched key     same length, some character differs beyond
+///                         case (touch jitter / misspelling)
+enum class PasswordErrorKind { kNone, kLength, kCapitalization, kWrongKey };
+
+std::string_view to_string(PasswordErrorKind k);
+
+PasswordErrorKind classify_password_error(const std::string& intended,
+                                          const std::string& decoded);
+
+// ---------------------------------------------------------------------
+// Full password-stealing trial (Section VI-C1): login screen, username
+// typed on the real keyboard, attack triggered by accessibility events,
+// password typed over the fake keyboard, decode + widget fill-up.
+// ---------------------------------------------------------------------
+
+struct PasswordTrialConfig {
+  device::DeviceProfile profile;
+  victim::VictimAppSpec app;
+  input::TypistProfile typist;
+  std::string username = "alice";
+  std::string password;
+  std::uint64_t seed = 1;
+  /// 0 = use the device's Table II upper bound of D.
+  sim::SimTime d_override{0};
+  sim::SimTime toast_duration = server::kToastLong;
+};
+
+struct PasswordTrialResult {
+  std::string intended;
+  std::string decoded;
+  PasswordErrorKind error = PasswordErrorKind::kNone;
+  bool success = false;
+  bool triggered = false;
+  bool used_username_workaround = false;
+  bool widget_filled = false;
+  int captured_touches = 0;
+  int password_touches = 0;       // touches the user made for the password
+  int leaked_to_real_keyboard = 0;  // characters the real IME received
+  server::SystemUi::AlertStats alert;
+  percept::LambdaOutcome alert_outcome = percept::LambdaOutcome::kL1;
+  percept::FlickerResult flicker;
+};
+
+PasswordTrialResult run_password_trial(const PasswordTrialConfig& config);
+
+// ---------------------------------------------------------------------
+// Capture-rate trial (Section VI-B): the instrumented test app records
+// random taps into an input widget while the draw-and-destroy overlay
+// attack runs with a given D; the rate is captured characters over all
+// characters. Characters register on complete gestures.
+// ---------------------------------------------------------------------
+
+struct CaptureTrialConfig {
+  device::DeviceProfile profile;
+  input::TypistProfile typist;
+  sim::SimTime attacking_window = sim::ms(150);
+  std::size_t touches = 100;  // 10 strings x 10 characters
+  std::uint64_t seed = 1;
+};
+
+struct CaptureTrialResult {
+  std::size_t touches = 0;
+  std::size_t captured = 0;
+  double rate = 0.0;
+  server::SystemUi::AlertStats alert;
+  percept::LambdaOutcome alert_outcome = percept::LambdaOutcome::kL1;
+};
+
+CaptureTrialResult run_capture_trial(const CaptureTrialConfig& config);
+
+}  // namespace animus::core

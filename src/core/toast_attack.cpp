@@ -1,0 +1,87 @@
+#include "core/toast_attack.hpp"
+
+#include "metrics/table.hpp"
+
+namespace animus::core {
+
+ToastAttack::ToastAttack(server::World& world, ToastAttackConfig config)
+    : world_(&world),
+      config_(std::move(config)),
+      main_thread_(&world.new_actor("malware-toast")) {
+  world_->nms().add_shown_listener(
+      [this](const server::ToastRequest& r, ui::WindowId id) { on_toast_shown(r, id); });
+}
+
+void ToastAttack::enqueue_one() {
+  server::ToastRequest req;
+  req.uid = config_.uid;
+  req.content = config_.content;
+  req.bounds = config_.bounds;
+  req.duration = config_.toast_duration;
+  world_->server().enqueue_toast(config_.uid, req);
+  ++stats_.enqueued;
+}
+
+void ToastAttack::start() {
+  if (stats_.running) return;
+  stats_ = Stats{};
+  stats_.running = true;
+  stats_.started = world_->now();
+  world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
+                         metrics::fmt("toast attack start dur=%.0fms",
+                                      sim::to_ms(config_.toast_duration)));
+  if (config_.enqueue_interval > sim::SimTime{0}) {
+    // Fig. 5 workflow: the worker thread enqueues every D.
+    timer_tick();
+    return;
+  }
+  // Reactive strategy: prime the queue, then top it up on every show.
+  for (int i = 0; i < std::max(1, config_.queue_target) + 1; ++i) {
+    main_thread_->post(sim::ms_f(0.1), sim::ms_f(0.3), [this] { enqueue_one(); });
+  }
+}
+
+void ToastAttack::timer_tick() {
+  if (!stats_.running) return;
+  main_thread_->post(sim::ms_f(0.1), sim::ms_f(0.3), [this] { enqueue_one(); });
+  timer_ = world_->loop().schedule_after(config_.enqueue_interval, [this] { timer_tick(); });
+}
+
+void ToastAttack::on_toast_shown(const server::ToastRequest& request, ui::WindowId) {
+  if (!stats_.running || request.uid != config_.uid) return;
+  ++stats_.shown;
+  if (config_.enqueue_interval > sim::SimTime{0}) return;  // timer mode tops up itself
+  // Keep the queue primed without approaching the 50-token cap.
+  const int queued = world_->nms().queued_tokens(config_.uid);
+  if (queued < std::max(1, config_.queue_target)) {
+    main_thread_->post(sim::ms_f(0.1), sim::ms_f(0.3), [this] { enqueue_one(); });
+  }
+}
+
+void ToastAttack::switch_content(std::string content) {
+  if (config_.content == content) return;
+  config_.content = std::move(content);
+  ++stats_.content_switches;
+  world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
+                         "toast attack: switch to " + config_.content);
+  if (!stats_.running) return;
+  // Purge stale queued boards, queue a toast with the new board, then
+  // cancel the current one so the replacement appears immediately
+  // (Toast.cancel() on held references).
+  main_thread_->post(sim::ms_f(0.1), sim::ms_f(0.3), [this] {
+    world_->server().cancel_queued_toasts(config_.uid, config_.content);
+    enqueue_one();
+    world_->server().cancel_toast(config_.uid);
+  });
+}
+
+void ToastAttack::stop() {
+  if (!stats_.running) return;
+  stats_.running = false;
+  stats_.stopped = world_->now();
+  world_->loop().cancel(timer_);
+  world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
+                         metrics::fmt("toast attack stop after %d toasts", stats_.shown));
+}
+
+}  // namespace animus::core

@@ -1,0 +1,78 @@
+// Draw-and-destroy toast attack (Section IV).
+//
+// The malware keeps a customized toast (e.g. a fake keyboard image) on
+// top of the victim app indefinitely. Android shows toasts one at a time
+// from a token queue (max 50 tokens per app), but a toast exits through a
+// 500 ms AccelerateInterpolator fade-out that is slow at first — so a new
+// toast whose token is already queued appears (Tas after the fade-out
+// starts) while the old one still looks solid, and the user perceives a
+// single continuous surface.
+//
+// Token strategy: keep the queue primed with `queue_target` tokens; every
+// time the Notification Manager shows one of our toasts we enqueue a
+// replacement. The queue therefore never empties and never approaches
+// the 50-token cap (Section IV-D). A timer-driven strategy (enqueue
+// every D) is also available to mirror the paper's Fig. 5 workflow.
+#pragma once
+
+#include <string>
+
+#include "server/world.hpp"
+
+namespace animus::core {
+
+struct ToastAttackConfig {
+  /// Per-toast on-screen duration; the paper recommends 3.5 s to reduce
+  /// the number of switches within the attack period (Section IV-D).
+  sim::SimTime toast_duration = server::kToastLong;
+  ui::Rect bounds{0, 1500, 1080, 780};  // fake keyboard area
+  /// Content tag of the toast surface; sub-keyboard switches change it.
+  std::string content = "fake_keyboard:lower";
+  int uid = server::kMalwareUid;
+  /// Tokens to keep waiting in the queue (>= 1; well below the cap).
+  int queue_target = 2;
+  /// If nonzero, enqueue on a fixed period D instead of reactively.
+  sim::SimTime enqueue_interval{0};
+};
+
+class ToastAttack {
+ public:
+  struct Stats {
+    int enqueued = 0;
+    int shown = 0;
+    int content_switches = 0;
+    bool running = false;
+    sim::SimTime started{0};
+    sim::SimTime stopped{0};
+  };
+
+  ToastAttack(server::World& world, ToastAttackConfig config);
+
+  /// Begin keeping a toast on screen. No permission is required — the
+  /// paper's toast threat model (Section IV-A).
+  void start();
+
+  /// Stop enqueuing; the last toast fades out naturally.
+  void stop();
+
+  /// Switch the fake surface (sub-keyboard change): future toasts carry
+  /// `content`, and the currently showing toast is cancelled so the new
+  /// board appears immediately.
+  void switch_content(std::string content);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const std::string& content() const { return config_.content; }
+
+ private:
+  void enqueue_one();
+  void timer_tick();
+  void on_toast_shown(const server::ToastRequest& request, ui::WindowId id);
+
+  server::World* world_;
+  ToastAttackConfig config_;
+  sim::Actor* main_thread_;
+  sim::EventLoop::EventId timer_{};
+  Stats stats_;
+};
+
+}  // namespace animus::core

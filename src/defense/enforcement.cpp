@@ -1,0 +1,63 @@
+#include "defense/enforcement.hpp"
+
+#include "metrics/table.hpp"
+
+namespace animus::defense {
+
+DefenseDaemon::DefenseDaemon(server::World& world, EnforcementConfig config)
+    : world_(&world), config_(config), analyzer_(config.detector) {}
+
+void DefenseDaemon::install() {
+  if (installed_) return;
+  installed_ = true;
+  world_->transactions().add_observer([this](const ipc::Transaction& t) {
+    analyzer_.observe(t);
+    // The analyzer appends a Detection exactly once per uid; enforce any
+    // detection we have not yet acted on.
+    for (const auto& d : analyzer_.detections()) {
+      if (neutralized_.count(d.uid) == 0) {
+        neutralized_.insert(d.uid);
+        const sim::SimTime detected = world_->now();
+        world_->loop().schedule_after(config_.reaction_delay, [this, d, detected] {
+          Detection det = d;
+          det.last_pair = detected;
+          enforce(det);
+        });
+      }
+    }
+  });
+  world_->trace().record(world_->now(), sim::TraceCategory::kDefense,
+                         "defense daemon installed");
+}
+
+void DefenseDaemon::enforce(const Detection& detection) {
+  const int uid = detection.uid;
+  Action action;
+  action.uid = uid;
+  action.detected_at = detection.last_pair;
+  action.enforced_at = world_->now();
+
+  if (config_.revoke_permission) world_->server().revoke_overlay_permission(uid);
+  if (config_.remove_windows) {
+    // Sweep every live window the uid still holds (overlays and any
+    // legacy toast-layer views).
+    for (const auto& rec : world_->wms().history()) {
+      if (rec.window.owner_uid != uid || !rec.alive_at(world_->now())) continue;
+      if (rec.window.type != ui::WindowType::kAppOverlay &&
+          rec.window.type != ui::WindowType::kToast) {
+        continue;
+      }
+      if (world_->wms().remove_window_now(rec.window.id)) ++action.windows_removed;
+    }
+  }
+  if (config_.purge_toasts) {
+    world_->nms().cancel_queued(uid, /*keep_content=*/"");
+    world_->nms().cancel_current(uid);
+  }
+  world_->trace().record(world_->now(), sim::TraceCategory::kDefense,
+                         metrics::fmt("defense daemon: uid %d neutralized (%d windows)", uid,
+                                      action.windows_removed));
+  actions_.push_back(action);
+}
+
+}  // namespace animus::defense

@@ -1,0 +1,59 @@
+// Detection-to-enforcement pipeline (Section VII-A closes with "...to
+// detect and thus terminate them").
+//
+// The DefenseDaemon couples the online IPC analyzer to System Server
+// policy actions: when a uid is flagged, the daemon (after a configurable
+// reaction delay modelling the kill path) revokes SYSTEM_ALERT_WINDOW,
+// removes every overlay the uid still has on screen, and purges its toast
+// tokens — neutralizing a running draw-and-destroy attack mid-flight.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "defense/ipc_defense.hpp"
+#include "server/world.hpp"
+
+namespace animus::defense {
+
+struct EnforcementConfig {
+  IpcDefenseConfig detector;
+  /// Time between the analyzer flagging a uid and the policy actions
+  /// landing (collector -> analyzer -> activity manager round trip).
+  sim::SimTime reaction_delay = sim::ms(50);
+  bool revoke_permission = true;
+  bool remove_windows = true;
+  bool purge_toasts = true;
+};
+
+class DefenseDaemon {
+ public:
+  struct Action {
+    int uid = -1;
+    sim::SimTime detected_at{0};
+    sim::SimTime enforced_at{0};
+    int windows_removed = 0;
+  };
+
+  DefenseDaemon(server::World& world, EnforcementConfig config = {});
+
+  /// Attach to the world's transaction log and start enforcing.
+  void install();
+
+  [[nodiscard]] bool installed() const { return installed_; }
+  [[nodiscard]] const std::vector<Action>& actions() const { return actions_; }
+  [[nodiscard]] bool neutralized(int uid) const { return neutralized_.count(uid) > 0; }
+  [[nodiscard]] const IpcDefenseAnalyzer& analyzer() const { return analyzer_; }
+
+ private:
+  void enforce(const Detection& detection);
+
+  server::World* world_;
+  EnforcementConfig config_;
+  IpcDefenseAnalyzer analyzer_;
+  bool installed_ = false;
+  std::set<int> neutralized_;
+  std::vector<Action> actions_;
+};
+
+}  // namespace animus::defense

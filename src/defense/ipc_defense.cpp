@@ -1,0 +1,61 @@
+#include "defense/ipc_defense.hpp"
+
+#include <algorithm>
+
+namespace animus::defense {
+
+IpcDefenseAnalyzer::IpcDefenseAnalyzer(IpcDefenseConfig config) : config_(config) {}
+
+bool IpcDefenseAnalyzer::advance(UidState& st, const ipc::Transaction& t,
+                                 const IpcDefenseConfig& cfg, Detection* out) {
+  if (t.code == ipc::MethodCode::kRemoveView) {
+    st.last_remove = t.sent;
+    st.remove_pending = true;
+    return false;
+  }
+  if (t.code != ipc::MethodCode::kAddView) return false;
+  if (!st.remove_pending || t.sent - st.last_remove > cfg.pair_gap_threshold) return false;
+  st.remove_pending = false;
+  st.pair_times.push_back(t.sent);
+  // Count pairs inside the trailing window.
+  const sim::SimTime horizon = t.sent - cfg.window;
+  const auto begin = std::lower_bound(st.pair_times.begin(), st.pair_times.end(), horizon);
+  const int in_window = static_cast<int>(st.pair_times.end() - begin);
+  if (in_window >= cfg.min_pairs && !st.flagged) {
+    st.flagged = true;
+    if (out != nullptr) {
+      out->uid = t.caller_uid;
+      out->pairs = in_window;
+      out->first_pair = *begin;
+      out->last_pair = t.sent;
+    }
+    return true;
+  }
+  return false;
+}
+
+void IpcDefenseAnalyzer::observe(const ipc::Transaction& t) {
+  Detection det;
+  if (advance(online_[t.caller_uid], t, config_, &det)) detections_.push_back(det);
+}
+
+std::vector<Detection> IpcDefenseAnalyzer::scan(const ipc::TransactionLog& log) const {
+  std::map<int, UidState> state;
+  std::vector<Detection> found;
+  for (const auto& t : log.all()) {
+    Detection det;
+    if (advance(state[t.caller_uid], t, config_, &det)) found.push_back(det);
+  }
+  return found;
+}
+
+void IpcDefenseAnalyzer::attach(ipc::TransactionLog& log) {
+  log.add_observer([this](const ipc::Transaction& t) { observe(t); });
+}
+
+bool IpcDefenseAnalyzer::flagged(int uid) const {
+  const auto it = online_.find(uid);
+  return it != online_.end() && it->second.flagged;
+}
+
+}  // namespace animus::defense

@@ -1,0 +1,74 @@
+// IPC-based defense (Section VII-A).
+//
+// Binder is modified (in a minor fashion) to collect transactions of
+// interest — addView / removeView with caller and timestamp — and an
+// analyzer applies a decision rule over two factors: the number of
+// add/remove call pairs, and the duration between the calls of a pair.
+// The draw-and-destroy overlay attack produces a dense train of
+// near-simultaneous removeView→addView pairs (one per attacking window
+// D); benign overlay apps (floating players, navigation bubbles) add an
+// overlay once and remove it much later.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ipc/transaction_log.hpp"
+#include "sim/time.hpp"
+
+namespace animus::defense {
+
+struct IpcDefenseConfig {
+  /// A removeView followed by an addView from the same uid within this
+  /// gap counts as one draw-and-destroy pair.
+  sim::SimTime pair_gap_threshold = sim::ms(500);
+  /// Pairs within `window` needed to flag the uid.
+  int min_pairs = 8;
+  sim::SimTime window = sim::seconds(10);
+};
+
+struct Detection {
+  int uid = -1;
+  int pairs = 0;
+  sim::SimTime first_pair{0};
+  sim::SimTime last_pair{0};
+};
+
+class IpcDefenseAnalyzer {
+ public:
+  explicit IpcDefenseAnalyzer(IpcDefenseConfig config = {});
+
+  /// Feed one transaction (online mode — attach as a log observer).
+  void observe(const ipc::Transaction& t);
+
+  /// Offline scan of a recorded log. Stateless with respect to online
+  /// observations.
+  [[nodiscard]] std::vector<Detection> scan(const ipc::TransactionLog& log) const;
+
+  /// Attach to a live log; from then on every recorded transaction is
+  /// analyzed immediately.
+  void attach(ipc::TransactionLog& log);
+
+  [[nodiscard]] bool flagged(int uid) const;
+  [[nodiscard]] const std::vector<Detection>& detections() const { return detections_; }
+  [[nodiscard]] const IpcDefenseConfig& config() const { return config_; }
+
+ private:
+  struct UidState {
+    sim::SimTime last_remove{-1};
+    bool remove_pending = false;
+    std::vector<sim::SimTime> pair_times;  // pair completion times
+    bool flagged = false;
+  };
+
+  /// Shared incremental rule; returns a detection when the uid crosses
+  /// the threshold for the first time.
+  static bool advance(UidState& st, const ipc::Transaction& t, const IpcDefenseConfig& cfg,
+                      Detection* out);
+
+  IpcDefenseConfig config_;
+  std::map<int, UidState> online_;
+  std::vector<Detection> detections_;
+};
+
+}  // namespace animus::defense

@@ -1,0 +1,39 @@
+#include "defense/notification_defense.hpp"
+
+#include "core/overlay_attack.hpp"
+#include "percept/outcomes.hpp"
+
+namespace animus::defense {
+
+void install_enhanced_notification_defense(server::World& world, sim::SimTime delay) {
+  world.server().set_alert_removal_delay(delay);
+  world.trace().record(world.now(), sim::TraceCategory::kDefense,
+                       "enhanced notification defense installed", sim::to_ms(delay));
+}
+
+core::OutcomeProbe probe_attack_under_defense(const device::DeviceProfile& profile,
+                                              sim::SimTime d, sim::SimTime delay,
+                                              sim::SimTime duration) {
+  server::WorldConfig wc;
+  wc.profile = profile;
+  wc.deterministic = true;
+  wc.trace_enabled = false;
+  server::World world{wc};
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  install_enhanced_notification_defense(world, delay);
+
+  core::OverlayAttackConfig oc;
+  oc.attacking_window = d;
+  core::OverlayAttack attack{world, oc};
+  attack.start();
+  world.run_until(duration);
+
+  core::OutcomeProbe probe;
+  probe.alert = world.system_ui().snapshot(server::kMalwareUid);
+  probe.outcome = percept::classify(probe.alert);
+  probe.cycles = attack.stats().cycles;
+  attack.stop();
+  return probe;
+}
+
+}  // namespace animus::defense

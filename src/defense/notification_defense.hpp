@@ -1,0 +1,32 @@
+// Enhanced-notification defense (Section VII-B).
+//
+// The System Server postpones the "remove the alert" notification to
+// System UI by t = 690 ms after an app's last overlay disappears; if the
+// same app re-adds an overlay during the grace period, the removal is
+// cancelled and the slide-in animation keeps playing — so under the
+// draw-and-destroy attack the alert completes and becomes fully visible
+// (Λ5), defeating the suppression.
+#pragma once
+
+#include "core/attack_analysis.hpp"
+#include "device/profile.hpp"
+#include "server/world.hpp"
+
+namespace animus::defense {
+
+/// The delay validated on a Google Pixel 2 in the paper.
+inline constexpr sim::SimTime kEnhancedAlertRemovalDelay = sim::ms(690);
+
+/// Install the defense on a live world.
+void install_enhanced_notification_defense(server::World& world,
+                                           sim::SimTime delay = kEnhancedAlertRemovalDelay);
+
+/// Run the draw-and-destroy overlay attack against a device with the
+/// defense installed and report the alert outcome (expected: Λ5 for any
+/// D, vs Λ1 without the defense at D below the Table II bound).
+core::OutcomeProbe probe_attack_under_defense(const device::DeviceProfile& profile,
+                                              sim::SimTime d,
+                                              sim::SimTime delay = kEnhancedAlertRemovalDelay,
+                                              sim::SimTime duration = sim::seconds(5));
+
+}  // namespace animus::defense

@@ -1,0 +1,38 @@
+#include "defense/toast_defense.hpp"
+
+#include "core/toast_attack.hpp"
+
+namespace animus::defense {
+
+void install_toast_gap_defense(server::World& world, sim::SimTime gap) {
+  world.nms().set_inter_toast_gap(gap);
+  world.trace().record(world.now(), sim::TraceCategory::kDefense,
+                       "toast gap defense installed", sim::to_ms(gap));
+}
+
+ToastDefenseProbe probe_toast_attack(const device::DeviceProfile& profile, sim::SimTime gap,
+                                     sim::SimTime duration, sim::SimTime toast_duration) {
+  server::WorldConfig wc;
+  wc.profile = profile;
+  wc.deterministic = true;
+  wc.trace_enabled = false;
+  server::World world{wc};
+  if (gap > sim::SimTime{0}) install_toast_gap_defense(world, gap);
+
+  core::ToastAttackConfig tc;
+  tc.toast_duration = toast_duration;
+  tc.content = "fake_keyboard:lower";
+  core::ToastAttack attack{world, tc};
+  attack.start();
+  world.run_until(duration);
+
+  ToastDefenseProbe probe;
+  // Measure once the first toast is up (skip the initial fade-in).
+  probe.flicker = percept::scan_flicker(world.wms(), server::kMalwareUid, "fake_keyboard",
+                                        sim::ms(1200), duration);
+  probe.toasts_shown = attack.stats().shown;
+  attack.stop();
+  return probe;
+}
+
+}  // namespace animus::defense

@@ -1,0 +1,29 @@
+// Toast-gap defense (Section VII-B, closing remark): change the toast
+// scheduling so successive toasts are separated by an enforced gap; the
+// fake surface then visibly flickers and alerts the user.
+#pragma once
+
+#include "device/profile.hpp"
+#include "percept/flicker.hpp"
+#include "server/world.hpp"
+
+namespace animus::defense {
+
+inline constexpr sim::SimTime kDefaultToastGap = sim::ms(500);
+
+/// Install on a live world.
+void install_toast_gap_defense(server::World& world, sim::SimTime gap = kDefaultToastGap);
+
+struct ToastDefenseProbe {
+  percept::FlickerResult flicker;
+  int toasts_shown = 0;
+};
+
+/// Run the draw-and-destroy toast attack for `duration` with the given
+/// scheduling gap (0 = stock behaviour) and measure the perceived
+/// flicker of the fake surface.
+ToastDefenseProbe probe_toast_attack(const device::DeviceProfile& profile, sim::SimTime gap,
+                                     sim::SimTime duration = sim::seconds(20),
+                                     sim::SimTime toast_duration = server::kToastLong);
+
+}  // namespace animus::defense

@@ -1,0 +1,56 @@
+#include "device/android_version.hpp"
+
+namespace animus::device {
+
+std::string_view to_string(AndroidVersion v) {
+  switch (v) {
+    case AndroidVersion::kV7: return "7";
+    case AndroidVersion::kV8: return "8";
+    case AndroidVersion::kV9: return "9";
+    case AndroidVersion::kV9_1: return "9.1";
+    case AndroidVersion::kV10: return "10";
+    case AndroidVersion::kV11: return "11";
+  }
+  return "?";
+}
+
+std::string_view version_family(AndroidVersion v) {
+  switch (v) {
+    case AndroidVersion::kV7: return "Android 7.x";
+    case AndroidVersion::kV8: return "Android 8.x";
+    case AndroidVersion::kV9:
+    case AndroidVersion::kV9_1: return "Android 9.x";
+    case AndroidVersion::kV10: return "Android 10.0";
+    case AndroidVersion::kV11: return "Android 11.0";
+  }
+  return "?";
+}
+
+VersionTraits traits(AndroidVersion v) {
+  VersionTraits t;
+  switch (v) {
+    case AndroidVersion::kV7:
+      // The world the legacy toast attacks of Section II-B lived in.
+      t.overlay_notification = false;
+      t.type_toast_removed = false;
+      t.serialized_toasts = false;
+      break;
+    case AndroidVersion::kV8:
+    case AndroidVersion::kV9:
+    case AndroidVersion::kV9_1:
+      break;
+    case AndroidVersion::kV10:
+      t.ana_delay = sim::ms(100);
+      t.reduced_trm = true;
+      break;
+    case AndroidVersion::kV11:
+      t.ana_delay = sim::ms(200);
+      t.reduced_trm = true;
+      break;
+  }
+  return t;
+}
+
+bool custom_toast_allowed(AndroidVersion) { return true; }
+
+}  // namespace animus::device

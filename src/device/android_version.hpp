@@ -1,0 +1,57 @@
+// Android OS version behaviour table.
+//
+// The paper's attacks interact with version-specific framework behaviour:
+//  - Android 8.0+: overlay warning notification, TYPE_TOAST removed,
+//    one-toast-at-a-time scheduling (Section II).
+//  - Android 10: Android Notification Assistant (ANA) adds a 100 ms delay
+//    before System Server sends the overlay notification, enlarging the
+//    attack window D; Trm is significantly reduced, enlarging the
+//    mistouch gap Tmis (Sections VI-B, Fig. 8).
+//  - Android 11: the ANA delay grows to 200 ms.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace animus::device {
+
+enum class AndroidVersion : std::uint8_t {
+  kV7,  // legacy baseline: pre-dates every defense the paper discusses
+  kV8,
+  kV9,
+  kV9_1,
+  kV10,
+  kV11,
+};
+
+std::string_view to_string(AndroidVersion v);
+
+/// "8.x" / "9.x" / "10.0" / "11.0" grouping used by Fig. 8.
+std::string_view version_family(AndroidVersion v);
+
+struct VersionTraits {
+  /// Overlay warning notification exists (Android >= 8).
+  bool overlay_notification = true;
+  /// TYPE_TOAST windows (persistent attacker-controlled toasts) removed.
+  bool type_toast_removed = true;
+  /// Toasts are shown one at a time by the notification manager.
+  bool serialized_toasts = true;
+  /// Max queued toast tokens per app (AOSP MAX_PACKAGE_NOTIFICATIONS).
+  int max_toast_tokens_per_app = 50;
+  /// Extra delay before System Server notifies System UI of the overlay
+  /// notification, introduced for ANA initialization.
+  sim::SimTime ana_delay{0};
+  /// Android 10 reduced the transit latency of remove-view events, which
+  /// the paper identifies as the cause of the larger mistouch gap.
+  bool reduced_trm = false;
+};
+
+VersionTraits traits(AndroidVersion v);
+
+/// True for versions where customized toasts from background apps are
+/// still allowed (all versions the paper evaluates).
+bool custom_toast_allowed(AndroidVersion v);
+
+}  // namespace animus::device

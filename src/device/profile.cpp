@@ -1,0 +1,35 @@
+#include "device/profile.hpp"
+
+#include <algorithm>
+
+#include "ui/animation.hpp"
+
+namespace animus::device {
+
+double DeviceProfile::expected_tmis_ms() const {
+  return std::max(0.0, tas.mean_ms + tam.mean_ms - trm.mean_ms);
+}
+
+double DeviceProfile::predicted_d_max_ms(int min_pixels) const {
+  const ui::Animation anim = ui::notification_slide_in();
+  const double ta_ms = sim::to_ms(anim.time_to_reveal(min_pixels, notification_height_px));
+  // Λ1 iff D + Trm + Tnr - (Tam + Tas + Tn + Tv) < Ta.
+  return tam.mean_ms + tas.mean_ms + tn.mean_ms + tv.mean_ms + ta_ms - trm.mean_ms -
+         tnr.mean_ms;
+}
+
+DeviceProfile DeviceProfile::with_load(int background_apps) const {
+  DeviceProfile p = *this;
+  p.load_factor = 1.0 + 0.005 * static_cast<double>(std::max(0, background_apps));
+  for (ipc::LatencyModel* m : {&p.tam, &p.trm, &p.tas, &p.tn, &p.tv, &p.tnr, &p.toast_create}) {
+    m->mean_ms *= p.load_factor;
+    m->sd_ms *= p.load_factor;
+  }
+  return p;
+}
+
+std::string DeviceProfile::display_name() const {
+  return model + " (Android " + std::string(to_string(version)) + ")";
+}
+
+}  // namespace animus::device

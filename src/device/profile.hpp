@@ -1,0 +1,75 @@
+// Device profile: everything about one phone that the timing attacks
+// depend on.
+//
+// The paper's Fig. 3 timing symbols map to profile fields as follows:
+//   Tam  transit latency of an add-view Binder event (app -> System Server)
+//   Trm  transit latency of a remove-view Binder event (Tam < Trm on 8/9;
+//        Android 10 reduced Trm, enlarging Tmis = Tas + Tam - Trm)
+//   Tas  System Server time to create + place a window on screen
+//   Tn   System Server -> System UI notification dispatch (includes the
+//        ANA delay on Android 10/11)
+//   Tv   System UI time to construct the notification view
+//   Tnr  System Server -> System UI "remove notification" dispatch
+//
+// Profiles are *calibrated*: the paper publishes, per phone, the measured
+// upper boundary of the attacking window D for outcome Λ1 (Table II); the
+// registry derives Tn so that the deterministic simulation reproduces
+// exactly that boundary, and the closed-form prediction of Eq. (3) can be
+// cross-checked against the simulated search (tested).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/android_version.hpp"
+#include "ipc/binder.hpp"
+#include "sim/time.hpp"
+
+namespace animus::device {
+
+struct DeviceProfile {
+  std::string manufacturer;
+  std::string model;
+  AndroidVersion version = AndroidVersion::kV9;
+
+  int screen_w = 1080;
+  int screen_h = 2280;
+  /// Height of the notification alert view (72 px on the Nexus 6P per
+  /// Section III-B).
+  int notification_height_px = 72;
+
+  ipc::LatencyModel tam;   // add-view transit
+  ipc::LatencyModel trm;   // remove-view transit
+  ipc::LatencyModel tas;   // server-side window creation
+  ipc::LatencyModel tn;    // server -> System UI notify (incl. ANA share)
+  ipc::LatencyModel tv;    // System UI notification view construction
+  ipc::LatencyModel tnr;   // server -> System UI notification removal
+  ipc::LatencyModel toast_create;  // server-side toast window creation
+
+  /// Published Table II upper boundary of D (ms) — calibration target.
+  double d_upper_bound_table_ms = 0.0;
+
+  /// Background-load multiplier applied to all latencies (Section VI-B
+  /// finds the effect of load negligible; the model is ~0.5% per app).
+  double load_factor = 1.0;
+
+  [[nodiscard]] VersionTraits version_traits() const { return traits(version); }
+
+  /// Expected mistouch gap E(Tmis) = E(Tas) + E(Tam) - E(Trm), clamped
+  /// at zero (Section III-D).
+  [[nodiscard]] double expected_tmis_ms() const;
+
+  /// Closed-form prediction of the Λ1 upper boundary of D from Eq. (3):
+  /// the animation may play for A(D) = D + Trm + Tnr - Tam - Tas - Tn - Tv
+  /// before the removal lands, and Λ1 requires A(D) < Ta where Ta is the
+  /// frame-quantized time for the alert view to reveal `min_pixels`.
+  [[nodiscard]] double predicted_d_max_ms(int min_pixels) const;
+
+  /// Profile with all latencies scaled for `background_apps` running.
+  [[nodiscard]] DeviceProfile with_load(int background_apps) const;
+
+  /// Display name "pixel 2 (Android 11)".
+  [[nodiscard]] std::string display_name() const;
+};
+
+}  // namespace animus::device

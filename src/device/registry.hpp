@@ -1,0 +1,40 @@
+// The 30 evaluation phones of Table I / Table II.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "device/profile.hpp"
+
+namespace animus::device {
+
+/// All 30 devices, in Table II order. Versions follow Table II (Table I
+/// lists pixel 2xl / pixel 4 under Android 9 but Table II measures them
+/// on Android 10; we follow Table II since it drives every experiment —
+/// the discrepancy is noted in EXPERIMENTS.md).
+std::span<const DeviceProfile> all_devices();
+
+/// Lookup by model name (case-sensitive, e.g. "pixel 2"). When the paper
+/// lists a model at two OS versions (mi8), the version disambiguates.
+std::optional<DeviceProfile> find_device(std::string_view model);
+std::optional<DeviceProfile> find_device(std::string_view model, AndroidVersion version);
+
+/// Devices filtered by version family (Fig. 8 grouping).
+std::vector<DeviceProfile> devices_with_version(AndroidVersion v);
+
+/// The paper's reference handset for single-device experiments (Fig. 6
+/// uses a notification-view sweep; the defense prototype runs on a
+/// Google Pixel 2 with Android 11 per Sections VI-C3/VII-B).
+const DeviceProfile& reference_device();
+
+/// A mid-range Android 9 handset used by single-device Android-9 demos.
+const DeviceProfile& reference_device_android9();
+
+/// Build a custom profile from version baselines + a Table-II-style D
+/// bound; exposed so tests and what-if benches can synthesize devices.
+DeviceProfile make_profile(std::string_view manufacturer, std::string_view model,
+                           AndroidVersion version, double d_upper_bound_ms);
+
+}  // namespace animus::device

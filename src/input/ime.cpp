@@ -1,0 +1,40 @@
+#include "input/ime.hpp"
+
+#include "metrics/table.hpp"
+
+namespace animus::input {
+
+SoftKeyboard::SoftKeyboard(server::World& world, ui::Rect bounds)
+    : world_(&world), keyboard_(bounds) {}
+
+void SoftKeyboard::show() {
+  if (window_ != ui::kInvalidWindow) return;
+  ui::Window w;
+  w.owner_uid = server::kImeUid;
+  w.type = ui::WindowType::kInputMethod;
+  w.bounds = keyboard_.bounds();
+  w.content = "ime:keyboard";
+  w.on_touch = [this](sim::SimTime t, ui::Point p) { on_touch(t, p); };
+  window_ = world_->wms().add_window_now(std::move(w));
+  state_.reset();
+}
+
+void SoftKeyboard::hide() {
+  if (window_ == ui::kInvalidWindow) return;
+  world_->wms().remove_window_now(window_);
+  window_ = ui::kInvalidWindow;
+}
+
+void SoftKeyboard::on_touch(sim::SimTime, ui::Point p) {
+  const KeyboardLayout& layout = keyboard_.layout(state_.current());
+  const Key* key = layout.key_at(p);
+  if (key == nullptr) return;  // dead zone between keys
+  ++presses_;
+  const auto result = state_.press(*key);
+  world_->trace().record(world_->now(), sim::TraceCategory::kInput,
+                         metrics::fmt("ime: press '%s' layout=%s", key->label.c_str(),
+                                      std::string(to_string(state_.current())).c_str()));
+  if (sink_) sink_(result);
+}
+
+}  // namespace animus::input

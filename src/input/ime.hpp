@@ -1,0 +1,53 @@
+// The real software keyboard (input method editor) as an on-screen,
+// touchable window.
+//
+// In the password-stealing attack the real keyboard sits *under* the
+// attacker's fake-keyboard toast and transparent overlays, so it normally
+// receives nothing; but during a mistouch gap a tap falls through to it
+// and types a real character into the focused widget — one of the error
+// sources of Table III.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "input/keyboard.hpp"
+#include "server/world.hpp"
+
+namespace animus::input {
+
+class SoftKeyboard {
+ public:
+  /// Sink receiving the effects of real key presses.
+  using TextSink = std::function<void(const KeyboardState::PressResult&)>;
+
+  /// `bounds`: the keyboard rect (the fake keyboard must align with it).
+  SoftKeyboard(server::World& world, ui::Rect bounds);
+
+  /// Place the IME window on screen / remove it.
+  void show();
+  void hide();
+  [[nodiscard]] bool visible() const { return window_ != ui::kInvalidWindow; }
+
+  void set_text_sink(TextSink sink) { sink_ = std::move(sink); }
+
+  [[nodiscard]] const Keyboard& keyboard() const { return keyboard_; }
+  [[nodiscard]] LayoutKind current_layout() const { return state_.current(); }
+  [[nodiscard]] ui::WindowId window_id() const { return window_; }
+
+  /// Keys actually pressed on the real keyboard (fell through an attack,
+  /// or no attack running).
+  [[nodiscard]] int presses() const { return presses_; }
+
+ private:
+  void on_touch(sim::SimTime t, ui::Point p);
+
+  server::World* world_;
+  Keyboard keyboard_;
+  KeyboardState state_;
+  TextSink sink_;
+  ui::WindowId window_ = ui::kInvalidWindow;
+  int presses_ = 0;
+};
+
+}  // namespace animus::input

@@ -1,0 +1,249 @@
+#include "input/keyboard.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <limits>
+
+namespace animus::input {
+
+std::string_view to_string(LayoutKind k) {
+  switch (k) {
+    case LayoutKind::kLower: return "lower";
+    case LayoutKind::kUpper: return "upper";
+    case LayoutKind::kSymbols: return "symbols";
+  }
+  return "?";
+}
+
+std::string_view to_string(Key::Kind k) {
+  switch (k) {
+    case Key::Kind::kChar: return "char";
+    case Key::Kind::kShift: return "shift";
+    case Key::Kind::kSymbols: return "symbols";
+    case Key::Kind::kLetters: return "letters";
+    case Key::Kind::kBackspace: return "backspace";
+    case Key::Kind::kEnter: return "enter";
+    case Key::Kind::kSpace: return "space";
+  }
+  return "?";
+}
+
+KeyboardLayout::KeyboardLayout(LayoutKind kind, std::vector<Key> keys)
+    : kind_(kind), keys_(std::move(keys)) {
+  assert(!keys_.empty());
+}
+
+const Key* KeyboardLayout::key_at(ui::Point p) const {
+  for (const auto& k : keys_) {
+    if (k.bounds.contains(p)) return &k;
+  }
+  return nullptr;
+}
+
+const Key& KeyboardLayout::nearest(ui::Point p) const {
+  const Key* best = &keys_.front();
+  double best_d = std::numeric_limits<double>::max();
+  for (const auto& k : keys_) {
+    const double d = ui::distance(k.center(), p);
+    if (d < best_d) {
+      best_d = d;
+      best = &k;
+    }
+  }
+  return *best;
+}
+
+const Key* KeyboardLayout::find_char(char c) const {
+  for (const auto& k : keys_) {
+    if ((k.kind == Key::Kind::kChar || k.kind == Key::Kind::kSpace) && k.ch == c) return &k;
+  }
+  return nullptr;
+}
+
+const Key* KeyboardLayout::find_kind(Key::Kind kind) const {
+  for (const auto& k : keys_) {
+    if (k.kind == kind) return &k;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Characters on the symbols board, row by row.
+constexpr std::string_view kSymRow1 = "1234567890";
+constexpr std::string_view kSymRow2 = "@#$%&-+()";
+constexpr std::string_view kSymRow3 = "*\"':;!?";
+
+struct RowBuilder {
+  std::vector<Key>* keys;
+  ui::Rect kb;
+  int row_h;
+
+  void chars(int row, std::string_view cs, int left_pad_keys_halves = 0) {
+    const int n = static_cast<int>(cs.size());
+    const int key_w = kb.w / 10;
+    const int x0 = kb.x + left_pad_keys_halves * key_w / 2;
+    for (int i = 0; i < n; ++i) {
+      Key k;
+      k.kind = Key::Kind::kChar;
+      k.ch = cs[static_cast<std::size_t>(i)];
+      k.label = std::string(1, k.ch);
+      k.bounds = ui::Rect{x0 + i * key_w, kb.y + row * row_h, key_w, row_h};
+      keys->push_back(k);
+    }
+  }
+
+  void special(int row, Key::Kind kind, std::string label, int x_keys_tenths, int w_keys_tenths,
+               char ch = '\0') {
+    Key k;
+    k.kind = kind;
+    k.ch = ch;
+    k.label = std::move(label);
+    k.bounds = ui::Rect{kb.x + kb.w * x_keys_tenths / 10, kb.y + row * row_h,
+                        kb.w * w_keys_tenths / 10, row_h};
+    keys->push_back(k);
+  }
+};
+
+std::vector<Key> build_layout(LayoutKind kind, ui::Rect kb) {
+  std::vector<Key> keys;
+  const int row_h = kb.h / 4;
+  RowBuilder rb{&keys, kb, row_h};
+  switch (kind) {
+    case LayoutKind::kLower:
+    case LayoutKind::kUpper: {
+      const bool upper = kind == LayoutKind::kUpper;
+      auto cased = [upper](std::string_view s) {
+        std::string out(s);
+        if (upper) {
+          for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+        }
+        return out;
+      };
+      rb.chars(0, cased("qwertyuiop"));
+      rb.chars(1, cased("asdfghjkl"), 1);
+      rb.special(2, Key::Kind::kShift, "shift", 0, 1);
+      {
+        // z..m sit between shift and backspace.
+        const std::string row3 = cased("zxcvbnm");
+        const int key_w = kb.w / 10;
+        const int x0 = kb.x + key_w * 3 / 2;
+        for (std::size_t i = 0; i < row3.size(); ++i) {
+          Key k;
+          k.kind = Key::Kind::kChar;
+          k.ch = row3[i];
+          k.label = std::string(1, k.ch);
+          k.bounds = ui::Rect{x0 + static_cast<int>(i) * key_w, kb.y + 2 * row_h, key_w, row_h};
+          keys.push_back(k);
+        }
+      }
+      rb.special(2, Key::Kind::kBackspace, "bksp", 9, 1);
+      break;
+    }
+    case LayoutKind::kSymbols: {
+      rb.chars(0, kSymRow1);
+      rb.chars(1, kSymRow2, 1);
+      {
+        const int key_w = kb.w / 10;
+        const int x0 = kb.x + key_w * 3 / 2;
+        for (std::size_t i = 0; i < kSymRow3.size(); ++i) {
+          Key k;
+          k.kind = Key::Kind::kChar;
+          k.ch = kSymRow3[i];
+          k.label = std::string(1, k.ch);
+          k.bounds = ui::Rect{x0 + static_cast<int>(i) * key_w, kb.y + 2 * row_h, key_w, row_h};
+          keys.push_back(k);
+        }
+      }
+      rb.special(2, Key::Kind::kBackspace, "bksp", 9, 1);
+      break;
+    }
+  }
+  // Bottom row is shared by every board: mode switch, comma, space,
+  // period, enter.
+  const bool symbols = kind == LayoutKind::kSymbols;
+  rb.special(3, symbols ? Key::Kind::kLetters : Key::Kind::kSymbols, symbols ? "ABC" : "?123",
+             0, 2);
+  rb.special(3, Key::Kind::kChar, ",", 2, 1, ',');
+  rb.special(3, Key::Kind::kSpace, "space", 3, 4, ' ');
+  rb.special(3, Key::Kind::kChar, ".", 7, 1, '.');
+  rb.special(3, Key::Kind::kEnter, "enter", 8, 2);
+  return keys;
+}
+
+}  // namespace
+
+Keyboard::Keyboard(ui::Rect bounds) : bounds_(bounds) {
+  layouts_.emplace_back(LayoutKind::kLower, build_layout(LayoutKind::kLower, bounds));
+  layouts_.emplace_back(LayoutKind::kUpper, build_layout(LayoutKind::kUpper, bounds));
+  layouts_.emplace_back(LayoutKind::kSymbols, build_layout(LayoutKind::kSymbols, bounds));
+}
+
+const KeyboardLayout& Keyboard::layout(LayoutKind k) const {
+  return layouts_[static_cast<std::size_t>(static_cast<int>(k))];
+}
+
+std::optional<LayoutKind> Keyboard::required_layout(char c) {
+  const auto uc = static_cast<unsigned char>(c);
+  if (c == ' ' || c == ',' || c == '.') return std::nullopt;  // on every board
+  if (std::islower(uc)) return LayoutKind::kLower;
+  if (std::isupper(uc)) return LayoutKind::kUpper;
+  if (std::isdigit(uc)) return LayoutKind::kSymbols;
+  if (kSymRow2.find(c) != std::string_view::npos || kSymRow3.find(c) != std::string_view::npos) {
+    return LayoutKind::kSymbols;
+  }
+  return std::nullopt;
+}
+
+bool Keyboard::typeable(char c) {
+  if (c == ' ' || c == ',' || c == '.') return true;
+  const auto uc = static_cast<unsigned char>(c);
+  if (std::islower(uc) || std::isupper(uc) || std::isdigit(uc)) return true;
+  return kSymRow2.find(c) != std::string_view::npos ||
+         kSymRow3.find(c) != std::string_view::npos;
+}
+
+KeyboardState::PressResult KeyboardState::press(const Key& key) {
+  PressResult r;
+  switch (key.kind) {
+    case Key::Kind::kChar:
+    case Key::Kind::kSpace:
+      r.ch = key.ch;
+      if (current_ == LayoutKind::kUpper && key.kind == Key::Kind::kChar) {
+        current_ = LayoutKind::kLower;  // shift auto-reverts
+        r.layout_changed = true;
+      }
+      return r;
+    case Key::Kind::kShift:
+      if (current_ == LayoutKind::kLower) {
+        current_ = LayoutKind::kUpper;
+        r.layout_changed = true;
+      } else if (current_ == LayoutKind::kUpper) {
+        current_ = LayoutKind::kLower;
+        r.layout_changed = true;
+      }
+      return r;
+    case Key::Kind::kSymbols:
+      if (current_ != LayoutKind::kSymbols) {
+        current_ = LayoutKind::kSymbols;
+        r.layout_changed = true;
+      }
+      return r;
+    case Key::Kind::kLetters:
+      if (current_ != LayoutKind::kLower) {
+        current_ = LayoutKind::kLower;
+        r.layout_changed = true;
+      }
+      return r;
+    case Key::Kind::kBackspace:
+      r.backspace = true;
+      return r;
+    case Key::Kind::kEnter:
+      r.enter = true;
+      return r;
+  }
+  return r;
+}
+
+}  // namespace animus::input

@@ -1,0 +1,110 @@
+// Software keyboard geometry and layout state machine.
+//
+// The password-stealing attack (Section V) depends on keyboard geometry
+// twice: the attacker "derives the center coordinate of each key on the
+// real keyboard by performing an offline analysis of the keyboard layout
+// in advance", and then decodes each intercepted touch as the key whose
+// center has the smallest Euclidean distance. The fake keyboard rendered
+// with toasts uses the *same* layouts, aligned with the real keyboard.
+//
+// Three sub-keyboards are modelled (lower-case, upper-case via shift,
+// and the "?123" symbols board), with the standard Android behaviour
+// that a non-latched shift reverts to lower case after one character.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ui/geometry.hpp"
+
+namespace animus::input {
+
+enum class LayoutKind : int { kLower = 0, kUpper = 1, kSymbols = 2 };
+
+std::string_view to_string(LayoutKind k);
+
+struct Key {
+  enum class Kind { kChar, kShift, kSymbols, kLetters, kBackspace, kEnter, kSpace };
+
+  Kind kind = Kind::kChar;
+  char ch = '\0';      // for kChar keys (and ' ' for kSpace)
+  std::string label;   // display label ("A", "?123", "shift", ...)
+  ui::Rect bounds{};
+
+  [[nodiscard]] ui::Point center() const { return bounds.center(); }
+};
+
+std::string_view to_string(Key::Kind k);
+
+/// Geometry of one sub-keyboard.
+class KeyboardLayout {
+ public:
+  KeyboardLayout(LayoutKind kind, std::vector<Key> keys);
+
+  [[nodiscard]] LayoutKind kind() const { return kind_; }
+  [[nodiscard]] std::span<const Key> keys() const { return keys_; }
+
+  /// Key whose bounds contain `p` (how the real keyboard resolves a tap).
+  [[nodiscard]] const Key* key_at(ui::Point p) const;
+
+  /// Key with the smallest Euclidean distance from center to `p` (how
+  /// the attacker decodes an intercepted coordinate, Section V).
+  [[nodiscard]] const Key& nearest(ui::Point p) const;
+
+  /// The key that types character `c` in this layout, if any.
+  [[nodiscard]] const Key* find_char(char c) const;
+
+  /// First key of the given kind, if present.
+  [[nodiscard]] const Key* find_kind(Key::Kind k) const;
+
+ private:
+  LayoutKind kind_;
+  std::vector<Key> keys_;
+};
+
+/// The full keyboard: three aligned sub-keyboards sharing one screen rect.
+class Keyboard {
+ public:
+  /// Build the standard QWERTY geometry inside `bounds`.
+  explicit Keyboard(ui::Rect bounds);
+
+  [[nodiscard]] const KeyboardLayout& layout(LayoutKind k) const;
+  [[nodiscard]] ui::Rect bounds() const { return bounds_; }
+
+  /// Which sub-keyboard is needed to type `c`; nullopt if untypeable.
+  [[nodiscard]] static std::optional<LayoutKind> required_layout(char c);
+
+  /// Whether `c` can be typed on this keyboard at all.
+  [[nodiscard]] static bool typeable(char c);
+
+ private:
+  ui::Rect bounds_;
+  std::vector<KeyboardLayout> layouts_;
+};
+
+/// Layout-tracking state machine shared by the real IME, the attacker's
+/// fake keyboard, and the attacker's decoder.
+class KeyboardState {
+ public:
+  struct PressResult {
+    std::optional<char> ch;  // character produced, if any
+    bool backspace = false;
+    bool enter = false;
+    bool layout_changed = false;
+  };
+
+  [[nodiscard]] LayoutKind current() const { return current_; }
+  void reset(LayoutKind k = LayoutKind::kLower) { current_ = k; }
+
+  /// Apply a key press and advance the layout state (shift reverts after
+  /// one character; "?123" and "ABC" switch boards; shift from symbols
+  /// is a no-op).
+  PressResult press(const Key& key);
+
+ private:
+  LayoutKind current_ = LayoutKind::kLower;
+};
+
+}  // namespace animus::input

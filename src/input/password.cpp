@@ -1,0 +1,42 @@
+#include "input/password.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace animus::input {
+
+std::string_view password_lower() { return "abcdefghijklmnopqrstuvwxyz"; }
+std::string_view password_upper() { return "ABCDEFGHIJKLMNOPQRSTUVWXYZ"; }
+std::string_view password_digits() { return "0123456789"; }
+std::string_view password_symbols() { return "@#$%&-+()*\"':;!?"; }
+
+std::string random_password(std::size_t length, sim::Rng& rng, PasswordClasses classes) {
+  std::vector<std::string_view> pools;
+  if (classes.lower) pools.push_back(password_lower());
+  if (classes.upper) pools.push_back(password_upper());
+  if (classes.digits) pools.push_back(password_digits());
+  if (classes.symbols) pools.push_back(password_symbols());
+  if (pools.empty() || length == 0) return {};
+
+  std::string out(length, '\0');
+  for (std::size_t i = 0; i < length; ++i) {
+    const std::string_view pool = pools[rng.index(pools.size())];
+    out[i] = pool[rng.index(pool.size())];
+  }
+  // Guarantee one character of each class when the password is long
+  // enough, by overwriting distinct positions.
+  if (length >= pools.size()) {
+    std::vector<std::size_t> positions(length);
+    for (std::size_t i = 0; i < length; ++i) positions[i] = i;
+    // Deterministic Fisher-Yates with the caller's rng.
+    for (std::size_t i = length; i > 1; --i) {
+      std::swap(positions[i - 1], positions[rng.index(i)]);
+    }
+    for (std::size_t c = 0; c < pools.size(); ++c) {
+      out[positions[c]] = pools[c][rng.index(pools[c].size())];
+    }
+  }
+  return out;
+}
+
+}  // namespace animus::input

@@ -1,0 +1,35 @@
+// Random password generation matching the paper's user study: "a
+// password is random and may contain lower case and upper case
+// characters, numbers and special symbols on different sub-keyboards"
+// (Section I / VI-C1). Every emitted character is typeable on the
+// simulated keyboard.
+#pragma once
+
+#include <string>
+
+#include "sim/rng.hpp"
+
+namespace animus::input {
+
+struct PasswordClasses {
+  bool lower = true;
+  bool upper = true;
+  bool digits = true;
+  bool symbols = true;
+};
+
+/// Characters available per class (symbols mirror the keyboard's "?123"
+/// board, which includes the paper's demo password characters & and %).
+std::string_view password_lower();
+std::string_view password_upper();
+std::string_view password_digits();
+std::string_view password_symbols();
+
+/// Random password of `length` drawing from the enabled classes; for
+/// length >= number of enabled classes, at least one character of each
+/// enabled class is guaranteed (mixed-class passwords exercise the
+/// sub-keyboard switching the attack must mirror).
+std::string random_password(std::size_t length, sim::Rng& rng,
+                            PasswordClasses classes = {});
+
+}  // namespace animus::input

@@ -1,0 +1,120 @@
+#include "input/typist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/table.hpp"
+
+namespace animus::input {
+
+std::vector<TypistProfile> participant_panel(std::size_t n, std::uint64_t seed) {
+  std::vector<TypistProfile> panel;
+  panel.reserve(n);
+  sim::Rng rng{seed};
+  for (std::size_t i = 0; i < n; ++i) {
+    sim::Rng r = rng.fork(i + 1);
+    TypistProfile p;
+    p.name = metrics::fmt("P%02zu", i + 1);
+    p.inter_key_mean_ms = r.truncated_normal(310.0, 70.0, 180.0, 520.0);
+    p.inter_key_sd_ms = r.truncated_normal(75.0, 20.0, 35.0, 130.0);
+    p.jitter_frac = r.truncated_normal(0.08, 0.02, 0.04, 0.13);
+    p.misspell_rate = r.truncated_normal(0.0025, 0.0015, 0.0, 0.008);
+    panel.push_back(p);
+  }
+  return panel;
+}
+
+Typist::Typist(TypistProfile profile, sim::Rng rng)
+    : profile_(std::move(profile)), rng_(rng) {}
+
+sim::SimTime Typist::next_gap() {
+  const double g = rng_.truncated_normal(profile_.inter_key_mean_ms, profile_.inter_key_sd_ms,
+                                         profile_.inter_key_min_ms,
+                                         profile_.inter_key_mean_ms + 4 * profile_.inter_key_sd_ms);
+  return sim::ms_f(g);
+}
+
+ui::Point Typist::jittered(const Key& key) {
+  const ui::Point c = key.center();
+  const double sx = profile_.jitter_frac * key.bounds.w;
+  const double sy = profile_.jitter_frac * key.bounds.h;
+  return ui::Point{c.x + static_cast<int>(std::lround(rng_.normal(0.0, sx))),
+                   c.y + static_cast<int>(std::lround(rng_.normal(0.0, sy)))};
+}
+
+std::vector<PlannedTouch> Typist::plan(const Keyboard& keyboard, const std::string& text,
+                                       sim::SimTime start, bool press_enter) {
+  std::vector<PlannedTouch> touches;
+  KeyboardState state;
+  sim::SimTime t = start;
+
+  auto emit = [&](const Key& key, char intended, bool misspelled) {
+    PlannedTouch pt;
+    pt.at = t;
+    pt.intended = intended;
+    pt.intended_kind = key.kind;
+    pt.misspelled = misspelled;
+    if (misspelled) {
+      // The finger lands on a random character key of the current board;
+      // the typist's mental layout state still follows their intent.
+      const auto& layout = keyboard.layout(state.current());
+      const Key* wrong = &layout.keys()[rng_.index(layout.keys().size())];
+      for (int tries = 0; tries < 8 && wrong->kind != Key::Kind::kChar; ++tries) {
+        wrong = &layout.keys()[rng_.index(layout.keys().size())];
+      }
+      pt.point = jittered(*wrong);
+    } else {
+      pt.point = jittered(key);
+    }
+    state.press(key);
+    touches.push_back(pt);
+    t += next_gap();
+  };
+
+  for (char c : text) {
+    if (!Keyboard::typeable(c)) continue;
+    // Reach the sub-keyboard that carries `c`.
+    for (int guard = 0; guard < 3; ++guard) {
+      const auto needed = Keyboard::required_layout(c);
+      if (!needed || *needed == state.current()) break;
+      const auto& layout = keyboard.layout(state.current());
+      const Key* mode = nullptr;
+      if (*needed == LayoutKind::kSymbols) {
+        mode = layout.find_kind(Key::Kind::kSymbols);
+      } else if (state.current() == LayoutKind::kSymbols) {
+        mode = layout.find_kind(Key::Kind::kLetters);  // then maybe shift
+      } else {
+        mode = layout.find_kind(Key::Kind::kShift);
+      }
+      if (mode == nullptr) break;
+      emit(*mode, '\0', false);
+    }
+    const Key* key = keyboard.layout(state.current()).find_char(c);
+    if (key == nullptr) continue;  // unreachable for generator output
+    emit(*key, c, rng_.bernoulli(profile_.misspell_rate));
+  }
+  if (press_enter) {
+    const Key* enter = keyboard.layout(state.current()).find_kind(Key::Kind::kEnter);
+    if (enter != nullptr) emit(*enter, '\0', false);
+  }
+  return touches;
+}
+
+std::vector<PlannedTouch> Typist::plan_taps(ui::Rect area, std::size_t n, sim::SimTime start) {
+  std::vector<PlannedTouch> touches;
+  touches.reserve(n);
+  sim::SimTime t = start;
+  for (std::size_t i = 0; i < n; ++i) {
+    PlannedTouch pt;
+    pt.at = t;
+    pt.point = ui::Point{
+        static_cast<int>(rng_.uniform_int(area.x, area.x + std::max(1, area.w) - 1)),
+        static_cast<int>(rng_.uniform_int(area.y, area.y + std::max(1, area.h) - 1))};
+    pt.intended = '?';
+    touches.push_back(pt);
+    t += next_gap();
+  }
+  return touches;
+}
+
+}  // namespace animus::input

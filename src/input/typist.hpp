@@ -1,0 +1,69 @@
+// Stochastic human typing model — the simulation's stand-in for the
+// paper's 30 user-study participants.
+//
+// A typist converts a target string into a timed sequence of screen
+// touches against the (fake or real) keyboard geometry: mode-switch keys
+// are inserted where the current sub-keyboard lacks the next character,
+// touch points scatter around key centers with per-participant jitter,
+// and occasional misspellings target an adjacent key. Inter-key timing is
+// a truncated normal per participant (the paper models total attack time
+// as T = S x L, typing speed times password length).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "input/keyboard.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace animus::input {
+
+struct TypistProfile {
+  std::string name = "participant";
+  double inter_key_mean_ms = 300.0;
+  double inter_key_sd_ms = 80.0;
+  double inter_key_min_ms = 120.0;
+  /// Touch scatter as a fraction of key width/height (std dev).
+  double jitter_frac = 0.10;
+  /// Probability a key press targets an adjacent key by mistake.
+  double misspell_rate = 0.004;
+};
+
+/// The 30-participant panel of Section VI-A (ages 22-33, seeded
+/// per-participant variation in speed and accuracy).
+std::vector<TypistProfile> participant_panel(std::size_t n = 30, std::uint64_t seed = 2022);
+
+struct PlannedTouch {
+  sim::SimTime at{0};
+  ui::Point point{};
+  char intended = '\0';        // '\0' for mode keys
+  Key::Kind intended_kind = Key::Kind::kChar;
+  bool misspelled = false;
+};
+
+class Typist {
+ public:
+  Typist(TypistProfile profile, sim::Rng rng);
+
+  /// Plan the touches that type `text` starting at `start` from the
+  /// lower-case layout, optionally pressing enter at the end. Characters
+  /// the keyboard cannot type are skipped (none, for our generators).
+  std::vector<PlannedTouch> plan(const Keyboard& keyboard, const std::string& text,
+                                 sim::SimTime start, bool press_enter = false);
+
+  /// Plan `n` free-form taps uniformly inside `area` (the capture-rate
+  /// test app of Section VI-B: random strings into an input widget).
+  std::vector<PlannedTouch> plan_taps(ui::Rect area, std::size_t n, sim::SimTime start);
+
+  [[nodiscard]] const TypistProfile& profile() const { return profile_; }
+
+ private:
+  sim::SimTime next_gap();
+  ui::Point jittered(const Key& key);
+
+  TypistProfile profile_;
+  sim::Rng rng_;
+};
+
+}  // namespace animus::input

@@ -1,0 +1,15 @@
+#include "ipc/binder.hpp"
+
+namespace animus::ipc {
+
+sim::SimTime BinderChannel::call(int caller_uid, MethodCode code, std::string_view interface,
+                                 const LatencyModel& transit, sim::SimTime server_cost,
+                                 Handler handler) {
+  const sim::SimTime latency = deterministic_ ? transit.mean() : transit.sample(rng_);
+  const sim::SimTime sent = server_->loop().now();
+  if (log_ != nullptr) log_->record(caller_uid, code, interface, sent, sent + latency);
+  server_->post(latency, server_cost, std::move(handler));
+  return latency;
+}
+
+}  // namespace animus::ipc

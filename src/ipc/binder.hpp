@@ -1,0 +1,65 @@
+// One-way Binder call model.
+//
+// A BinderChannel delivers calls from a client thread to a server actor
+// with a sampled transit latency and an on-server execution cost, and
+// records each call in the TransactionLog. Distinct per-method latency
+// models let the simulation reproduce the paper's key timing asymmetry:
+// the add-view event overtakes the remove-view event in transit
+// (Tam < Trm, Section III-C), and Android 10's reduced Trm enlarging the
+// mistouch gap Tmis = Tas + Tam - Trm (Section VI-B, Fig. 8).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "ipc/transaction_log.hpp"
+#include "sim/actor.hpp"
+#include "sim/rng.hpp"
+
+namespace animus::ipc {
+
+/// Gaussian latency with a hard floor, sampled per call.
+struct LatencyModel {
+  double mean_ms = 1.0;
+  double sd_ms = 0.0;
+  double floor_ms = 0.05;
+
+  [[nodiscard]] sim::SimTime sample(sim::Rng& rng) const {
+    return rng.normal_ms(mean_ms, sd_ms, floor_ms);
+  }
+  /// Deterministic central value (used when jitter is disabled).
+  [[nodiscard]] sim::SimTime mean() const { return sim::ms_f(mean_ms); }
+};
+
+class BinderChannel {
+ public:
+  using Handler = std::function<void()>;
+
+  BinderChannel(sim::Actor& server, sim::Rng rng, TransactionLog* log)
+      : server_(&server), rng_(rng), log_(log) {}
+
+  /// When true, every call uses the latency model's mean instead of a
+  /// sample; experiments that binary-search timing boundaries (Table II)
+  /// run in this mode.
+  void set_deterministic(bool on) { deterministic_ = on; }
+  [[nodiscard]] bool deterministic() const { return deterministic_; }
+
+  /// Issue a one-way call: it reaches the server after a latency drawn
+  /// from `transit`, then occupies the server actor for `server_cost`
+  /// before `handler` runs. Returns the sampled transit latency so
+  /// callers/tests can reason about arrival order.
+  sim::SimTime call(int caller_uid, MethodCode code, std::string_view interface,
+                    const LatencyModel& transit, sim::SimTime server_cost, Handler handler);
+
+  [[nodiscard]] TransactionLog* log() { return log_; }
+  [[nodiscard]] sim::Actor& server() { return *server_; }
+
+ private:
+  sim::Actor* server_;
+  sim::Rng rng_;
+  TransactionLog* log_;
+  bool deterministic_ = false;
+};
+
+}  // namespace animus::ipc

@@ -1,0 +1,39 @@
+#include "ipc/transaction_log.hpp"
+
+namespace animus::ipc {
+
+std::string_view to_string(MethodCode m) {
+  switch (m) {
+    case MethodCode::kAddView: return "addView";
+    case MethodCode::kRemoveView: return "removeView";
+    case MethodCode::kEnqueueToast: return "enqueueToast";
+    case MethodCode::kOther: return "other";
+  }
+  return "?";
+}
+
+std::uint64_t TransactionLog::record(int caller_uid, MethodCode code,
+                                     std::string_view interface, sim::SimTime sent,
+                                     sim::SimTime delivered) {
+  if (!enabled_) return 0;
+  Transaction t;
+  t.id = next_id_++;
+  t.caller_uid = caller_uid;
+  t.code = code;
+  t.interface = std::string(interface);
+  t.sent = sent;
+  t.delivered = delivered;
+  log_.push_back(t);
+  for (const auto& obs : observers_) obs(log_.back());
+  return t.id;
+}
+
+std::vector<Transaction> TransactionLog::for_uid(int uid) const {
+  std::vector<Transaction> out;
+  for (const auto& t : log_) {
+    if (t.caller_uid == uid) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace animus::ipc

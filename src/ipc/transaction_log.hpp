@@ -1,0 +1,66 @@
+// Binder transaction ledger.
+//
+// Section VII-A: "Such a call incurs an information-rich Binder
+// transaction, which can be used to determine which method is called as
+// well as the caller". The IPC-based defense instruments Binder in a
+// minor fashion and analyzes transactions of interest; this ledger is
+// that instrumentation point in the simulation. It is also what the
+// overhead microbenchmark measures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace animus::ipc {
+
+/// Binder method codes for the calls the defense cares about.
+enum class MethodCode : std::uint16_t {
+  kAddView = 1,       // WindowManager.addView
+  kRemoveView = 2,    // WindowManager.removeView
+  kEnqueueToast = 3,  // NotificationManager.enqueueToast
+  kOther = 99,
+};
+
+std::string_view to_string(MethodCode m);
+
+struct Transaction {
+  std::uint64_t id = 0;
+  int caller_uid = -1;
+  MethodCode code = MethodCode::kOther;
+  std::string interface;   // e.g. "android.view.IWindowManager"
+  sim::SimTime sent{0};      // when the caller issued the call
+  sim::SimTime delivered{0}; // when the server received it
+};
+
+class TransactionLog {
+ public:
+  /// Observer invoked synchronously on each record (online defense mode).
+  using Observer = std::function<void(const Transaction&)>;
+
+  std::uint64_t record(int caller_uid, MethodCode code, std::string_view interface,
+                       sim::SimTime sent, sim::SimTime delivered);
+
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void add_observer(Observer obs) { observers_.push_back(std::move(obs)); }
+
+  [[nodiscard]] std::span<const Transaction> all() const { return log_; }
+  [[nodiscard]] std::vector<Transaction> for_uid(int uid) const;
+  [[nodiscard]] std::size_t size() const { return log_.size(); }
+  void clear() { log_.clear(); }
+
+ private:
+  bool enabled_ = true;
+  std::uint64_t next_id_ = 1;
+  std::vector<Transaction> log_;
+  std::vector<Observer> observers_;
+};
+
+}  // namespace animus::ipc

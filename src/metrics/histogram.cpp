@@ -1,0 +1,71 @@
+#include "metrics/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "metrics/table.hpp"
+
+namespace animus::metrics {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto i = static_cast<std::ptrdiff_t>(std::floor(t * static_cast<double>(counts_.size())));
+  i = std::clamp<std::ptrdiff_t>(i, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(i)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+std::string Histogram::to_string(std::size_t max_bar) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        std::llround(static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+                     static_cast<double>(max_bar)));
+    out += fmt("[%8.2f, %8.2f) %6zu ", bin_lo(i), bin_hi(i), counts_[i]);
+    out += std::string(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ascii_curve(const std::vector<double>& xs, const std::vector<double>& ys,
+                        std::size_t width, std::size_t height) {
+  if (xs.empty() || xs.size() != ys.size() || width < 2 || height < 2) return {};
+  const auto [xmin_it, xmax_it] = std::minmax_element(xs.begin(), xs.end());
+  const auto [ymin_it, ymax_it] = std::minmax_element(ys.begin(), ys.end());
+  const double xmin = *xmin_it, xmax = *xmax_it;
+  double ymin = *ymin_it, ymax = *ymax_it;
+  if (xmax <= xmin) return {};
+  if (ymax <= ymin) ymax = ymin + 1.0;
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    auto col = static_cast<std::size_t>(std::llround((xs[i] - xmin) / (xmax - xmin) *
+                                                     static_cast<double>(width - 1)));
+    auto row = static_cast<std::size_t>(std::llround((ys[i] - ymin) / (ymax - ymin) *
+                                                     static_cast<double>(height - 1)));
+    grid[height - 1 - row][col] = '*';
+  }
+  std::string out;
+  for (std::size_t r = 0; r < height; ++r) {
+    const double yv = ymax - (ymax - ymin) * static_cast<double>(r) / static_cast<double>(height - 1);
+    out += fmt("%8.2f |", yv) + grid[r] + '\n';
+  }
+  out += "         +" + std::string(width, '-') + '\n';
+  out += fmt("          %-10.2f%*s%.2f\n", xmin, static_cast<int>(width) - 14, "", xmax);
+  return out;
+}
+
+}  // namespace animus::metrics

@@ -1,0 +1,39 @@
+// Fixed-bin histogram with ASCII rendering for the curve figures
+// (Fig. 2 / Fig. 4) and latency distributions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace animus::metrics {
+
+class Histogram {
+ public:
+  /// `bins` equal-width bins over [lo, hi); out-of-range samples clamp
+  /// into the first/last bin.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+  /// Horizontal bar chart, one line per bin.
+  [[nodiscard]] std::string to_string(std::size_t max_bar = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Render a y(x) series as a coarse ASCII line chart (used by the
+/// figure benches to show the interpolator curves in the terminal).
+std::string ascii_curve(const std::vector<double>& xs, const std::vector<double>& ys,
+                        std::size_t width = 72, std::size_t height = 20);
+
+}  // namespace animus::metrics

@@ -1,0 +1,104 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace animus::metrics {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double delta = o.mean_ - mean_;
+  const auto n = static_cast<double>(n_), m = static_cast<double>(o.n_);
+  const double total = n + m;
+  m2_ = m2_ + o.m2_ + delta * delta * n * m / total;
+  mean_ = (n * mean_ + m * o.mean_) / total;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  n_ += o.n_;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double stddev(std::span<const double> xs) {
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  return rs.stddev();
+}
+
+FiveNumber five_number_summary(std::span<const double> xs) {
+  FiveNumber f;
+  if (xs.empty()) return f;
+  f.min = quantile(xs, 0.0);
+  f.q1 = quantile(xs, 0.25);
+  f.median = quantile(xs, 0.5);
+  f.q3 = quantile(xs, 0.75);
+  f.max = quantile(xs, 1.0);
+  return f;
+}
+
+BoxPlot box_plot(std::span<const double> xs) {
+  BoxPlot bp;
+  bp.summary = five_number_summary(xs);
+  bp.mean = mean(xs);
+  const double iqr = bp.summary.q3 - bp.summary.q1;
+  const double lo_fence = bp.summary.q1 - 1.5 * iqr;
+  const double hi_fence = bp.summary.q3 + 1.5 * iqr;
+  bp.lower_whisker = bp.summary.max;  // start inverted; tighten below
+  bp.upper_whisker = bp.summary.min;
+  bool any_in_fence = false;
+  for (double x : xs) {
+    if (x < lo_fence || x > hi_fence) {
+      bp.outliers.push_back(x);
+    } else {
+      any_in_fence = true;
+      bp.lower_whisker = std::min(bp.lower_whisker, x);
+      bp.upper_whisker = std::max(bp.upper_whisker, x);
+    }
+  }
+  if (!any_in_fence) {
+    bp.lower_whisker = bp.summary.min;
+    bp.upper_whisker = bp.summary.max;
+  }
+  std::sort(bp.outliers.begin(), bp.outliers.end());
+  return bp;
+}
+
+}  // namespace animus::metrics

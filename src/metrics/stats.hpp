@@ -1,0 +1,54 @@
+// Small numerically-stable statistics toolkit used by every experiment.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace animus::metrics {
+
+/// Welford running mean/variance with min/max.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& o);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolated quantile of a sample (q in [0,1]). Copies + sorts.
+double quantile(std::span<const double> xs, double q);
+
+double mean(std::span<const double> xs);
+double median(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+
+/// Tukey five-number summary (the box-plot of Fig. 7).
+struct FiveNumber {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+};
+FiveNumber five_number_summary(std::span<const double> xs);
+
+/// Box-plot whiskers at 1.5*IQR with outliers listed (box-plot rendering).
+struct BoxPlot {
+  FiveNumber summary;
+  double lower_whisker = 0, upper_whisker = 0;
+  std::vector<double> outliers;
+  double mean = 0;
+};
+BoxPlot box_plot(std::span<const double> xs);
+
+}  // namespace animus::metrics

@@ -1,0 +1,64 @@
+#include "metrics/table.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace animus::metrics {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      line += ' ' + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    return line + '\n';
+  };
+  std::string out = render_row(headers_);
+  std::string sep = "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) sep += std::string(width[c] + 2, '-') + "|";
+  out += sep + '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Table::to_csv() const {
+  auto join = [](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) line += ',';
+      line += row[c];
+    }
+    return line + '\n';
+  };
+  std::string out = join(headers_);
+  for (const auto& row : rows_) out += join(row);
+  return out;
+}
+
+std::string fmt(const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+std::string percent(double fraction) { return fmt("%.1f%%", fraction * 100.0); }
+
+}  // namespace animus::metrics

@@ -1,0 +1,38 @@
+// Fixed-width ASCII table printer used by every bench binary so that the
+// reproduced tables visually resemble the paper's.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace animus::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; extra/missing cells relative to the header count are
+  /// an error in the caller and are padded/truncated defensively.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Render with a header separator, columns padded to content width.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as CSV (no quoting of separators; cells must be simple).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style convenience: fmt("%.1f", x).
+std::string fmt(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+/// "93.2%"-style percent with one decimal.
+std::string percent(double fraction);
+
+}  // namespace animus::metrics

@@ -1,0 +1,31 @@
+#include "percept/flicker.hpp"
+
+#include <algorithm>
+
+namespace animus::percept {
+
+FlickerResult scan_flicker(const server::WindowManagerService& wms, int uid,
+                           std::string_view content_prefix, sim::SimTime from, sim::SimTime to,
+                           const FlickerConfig& config) {
+  FlickerResult r;
+  sim::SimTime dip_started{0};
+  bool in_dip = false;
+  for (sim::SimTime t = from; t <= to; t += config.step) {
+    const double alpha = wms.combined_alpha_at(uid, content_prefix, t);
+    r.min_alpha = std::min(r.min_alpha, alpha);
+    const bool below = alpha < config.threshold;
+    if (below && !in_dip) {
+      in_dip = true;
+      dip_started = t;
+      ++r.dips;
+    } else if (!below && in_dip) {
+      in_dip = false;
+      r.longest_dip = std::max(r.longest_dip, t - dip_started);
+    }
+  }
+  if (in_dip) r.longest_dip = std::max(r.longest_dip, to - dip_started);
+  r.noticeable = r.longest_dip >= config.min_duration;
+  return r;
+}
+
+}  // namespace animus::percept

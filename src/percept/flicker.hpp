@@ -1,0 +1,41 @@
+// Toast-switch flicker perception.
+//
+// The user perceives the attacker's fake surface as the composited
+// opacity of all of its overlapping toast windows. A "flicker" is a dip
+// of that opacity below a perception threshold lasting at least one
+// perception window — exactly what Android's one-at-a-time toast
+// scheduling was meant to create ("the user will notice that the
+// keyboard flickers because of the gaps", Section II-B) and what the
+// fade-out overlap of the draw-and-destroy toast attack avoids.
+#pragma once
+
+#include <string>
+
+#include "server/window_manager.hpp"
+
+namespace animus::percept {
+
+struct FlickerConfig {
+  /// Opacity below this reads as a visible gap.
+  double threshold = 0.85;
+  /// A dip must persist this long to be perceived (~2 frames at 60 Hz).
+  sim::SimTime min_duration = sim::ms(35);
+  /// Sampling step (display frame).
+  sim::SimTime step = sim::ms(10);
+};
+
+struct FlickerResult {
+  double min_alpha = 1.0;            // lowest composited opacity observed
+  sim::SimTime longest_dip{0};       // longest contiguous time below threshold
+  int dips = 0;                      // number of distinct dips
+  bool noticeable = false;           // longest_dip >= min_duration
+};
+
+/// Scan the composited opacity of `uid`'s windows matching
+/// `content_prefix` over [from, to]. Works on live or historical windows
+/// (the WMS keeps window history).
+FlickerResult scan_flicker(const server::WindowManagerService& wms, int uid,
+                           std::string_view content_prefix, sim::SimTime from, sim::SimTime to,
+                           const FlickerConfig& config = {});
+
+}  // namespace animus::percept

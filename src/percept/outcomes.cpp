@@ -1,0 +1,30 @@
+#include "percept/outcomes.hpp"
+
+#include "ui/animation.hpp"
+
+namespace animus::percept {
+
+std::string_view to_string(LambdaOutcome o) {
+  switch (o) {
+    case LambdaOutcome::kL1: return "L1 (no view)";
+    case LambdaOutcome::kL2: return "L2 (partial view)";
+    case LambdaOutcome::kL3: return "L3 (view, no message)";
+    case LambdaOutcome::kL4: return "L4 (partial message)";
+    case LambdaOutcome::kL5: return "L5 (message + icon)";
+  }
+  return "?";
+}
+
+LambdaOutcome classify(const server::SystemUi::AlertStats& stats) {
+  if (stats.max_pixels < ui::kNakedEyeMinPixels) return LambdaOutcome::kL1;
+  if (stats.max_completeness < 1.0) return LambdaOutcome::kL2;
+  if (stats.icon_shown && stats.max_message_progress >= 1.0) return LambdaOutcome::kL5;
+  if (stats.max_message_progress > 0.0) return LambdaOutcome::kL4;
+  return LambdaOutcome::kL3;
+}
+
+bool alert_noticed(const server::SystemUi::AlertStats& stats, sim::SimTime min_visible) {
+  return classify(stats) != LambdaOutcome::kL1 && stats.visible_time >= min_visible;
+}
+
+}  // namespace animus::percept

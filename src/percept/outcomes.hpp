@@ -1,0 +1,29 @@
+// Classification of the notification view's observable outcome into the
+// paper's five cases (Fig. 6):
+//   Λ1 no view ever visible            (attacker's best case)
+//   Λ2 view partially visible, animation never completed
+//   Λ3 view fully visible, no message or icon yet
+//   Λ4 view fully visible, message partially drawn
+//   Λ5 view + message + icon all drawn (attacker's worst case)
+#pragma once
+
+#include <string_view>
+
+#include "server/system_ui.hpp"
+
+namespace animus::percept {
+
+enum class LambdaOutcome : int { kL1 = 1, kL2 = 2, kL3 = 3, kL4 = 4, kL5 = 5 };
+
+std::string_view to_string(LambdaOutcome o);
+
+/// Classify from an alert-stats snapshot. The Λ1/Λ2 boundary uses the
+/// naked-eye pixel threshold (ui::kNakedEyeMinPixels).
+LambdaOutcome classify(const server::SystemUi::AlertStats& stats);
+
+/// Whether a user would notice the alert at all (Λ2 and above, provided
+/// it stayed visible for at least a perception window).
+bool alert_noticed(const server::SystemUi::AlertStats& stats,
+                   sim::SimTime min_visible = sim::ms(80));
+
+}  // namespace animus::percept

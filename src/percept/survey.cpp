@@ -1,0 +1,26 @@
+#include "percept/survey.hpp"
+
+namespace animus::percept {
+
+ParticipantPerception judge_session(const server::SystemUi::AlertStats& alert,
+                                    const FlickerResult& flicker, sim::Rng& rng,
+                                    const SurveyConfig& config) {
+  ParticipantPerception p;
+  p.noticed_alert = alert_noticed(alert, config.min_alert_visible);
+  p.noticed_flicker = flicker.noticeable;
+  p.reported_lag = rng.bernoulli(config.lag_report_rate);
+  return p;
+}
+
+void SurveyTally::add(const ParticipantPerception& p) {
+  ++participants;
+  if (p.noticed_attack()) {
+    ++noticed_attack;
+  } else if (p.reported_lag) {
+    ++reported_lag;
+  } else {
+    ++reported_nothing;
+  }
+}
+
+}  // namespace animus::percept

@@ -1,0 +1,47 @@
+// Stealthiness survey model (Section VI-C3).
+//
+// Thirty participants type passwords on the Bank of America app with the
+// attack running; afterwards each is asked whether they observed
+// anything abnormal. A participant notices the attack if the warning
+// alert became perceptible or the fake surface flickered; independently,
+// a small fraction report generic "lag" (the paper's single such report
+// came from the extra scheduling load of the attack).
+#pragma once
+
+#include "percept/flicker.hpp"
+#include "percept/outcomes.hpp"
+#include "sim/rng.hpp"
+
+namespace animus::percept {
+
+struct SurveyConfig {
+  /// Probability a participant attributes attack overhead to "lag"
+  /// (calibrated to ~1 report out of 30, Section VI-C3).
+  double lag_report_rate = 1.0 / 30.0;
+  sim::SimTime min_alert_visible = sim::ms(80);
+};
+
+struct ParticipantPerception {
+  bool noticed_alert = false;
+  bool noticed_flicker = false;
+  bool reported_lag = false;
+
+  [[nodiscard]] bool noticed_attack() const { return noticed_alert || noticed_flicker; }
+  [[nodiscard]] bool reported_anything() const { return noticed_attack() || reported_lag; }
+};
+
+/// Judge one participant's session.
+ParticipantPerception judge_session(const server::SystemUi::AlertStats& alert,
+                                    const FlickerResult& flicker, sim::Rng& rng,
+                                    const SurveyConfig& config = {});
+
+struct SurveyTally {
+  int participants = 0;
+  int noticed_attack = 0;
+  int reported_lag = 0;
+  int reported_nothing = 0;
+
+  void add(const ParticipantPerception& p);
+};
+
+}  // namespace animus::percept

@@ -1,0 +1,364 @@
+#include "script/scenario.hpp"
+
+#include <charconv>
+#include <map>
+
+#include "device/registry.hpp"
+#include "metrics/table.hpp"
+#include "percept/outcomes.hpp"
+#include "sim/chrome_trace.hpp"
+
+namespace animus::script {
+namespace {
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i >= line.size() || line[i] == '#') break;
+    if (line[i] == '"') {
+      const auto end = line.find('"', i + 1);
+      if (end == std::string_view::npos) {
+        tokens.emplace_back(line.substr(i));  // unterminated; caller rejects
+        return tokens;
+      }
+      tokens.emplace_back(line.substr(i + 1, end - i - 1));
+      i = end + 1;
+      continue;
+    }
+    std::size_t start = i;
+    while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    tokens.emplace_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+/// "key=value" accessor over a command's arguments.
+std::optional<std::string_view> keyed(const std::vector<std::string>& args,
+                                      std::string_view key) {
+  for (const auto& a : args) {
+    if (a.size() > key.size() + 1 && a.compare(0, key.size(), key) == 0 &&
+        a[key.size()] == '=') {
+      return std::string_view(a).substr(key.size() + 1);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<long> to_long(std::string_view s) {
+  long v = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<ui::Rect> to_rect(std::string_view s) {
+  ui::Rect r;
+  int* fields[4] = {&r.x, &r.y, &r.w, &r.h};
+  std::size_t pos = 0;
+  for (int f = 0; f < 4; ++f) {
+    const auto comma = s.find(',', pos);
+    const auto part = s.substr(pos, comma == std::string_view::npos ? s.size() - pos
+                                                                    : comma - pos);
+    const auto v = to_long(part);
+    if (!v) return std::nullopt;
+    *fields[f] = static_cast<int>(*v);
+    if (f < 3) {
+      if (comma == std::string_view::npos) return std::nullopt;
+      pos = comma + 1;
+    } else if (comma != std::string_view::npos) {
+      return std::nullopt;
+    }
+  }
+  return r;
+}
+
+const std::map<std::string, int, std::less<>>& verb_arity() {
+  // verb -> minimum positional arguments (excluding key=value ones).
+  static const std::map<std::string, int, std::less<>> kArity = {
+      {"device", 1},      {"seed", 1},           {"deterministic", 1},
+      {"grant-overlay", 1}, {"defense", 1},      {"attack", 1},
+      {"window", 1},      {"tap", 2},            {"run", 1},
+      {"stop-attacks", 0}, {"expect", 2},
+      {"export-trace", 1},
+  };
+  return kArity;
+}
+
+struct Runtime {
+  explicit Runtime(server::WorldConfig config) : world(std::move(config)) {}
+  server::World world;
+  std::vector<std::unique_ptr<core::OverlayAttack>> overlay_attacks;
+  std::vector<std::unique_ptr<core::ToastAttack>> toast_attacks;
+  std::unique_ptr<defense::DefenseDaemon> daemon;
+  int captures = 0;
+};
+
+}  // namespace
+
+std::optional<Scenario> Scenario::parse(std::string_view text, ScenarioError* error) {
+  Scenario scenario;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto nl = text.find('\n', pos);
+    const auto line = text.substr(pos, nl == std::string_view::npos ? text.size() - pos
+                                                                    : nl - pos);
+    ++line_no;
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+
+    auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (!tokens.back().empty() && tokens.back().front() == '"') {
+      if (error != nullptr) *error = {line_no, "unterminated quote"};
+      return std::nullopt;
+    }
+    Command cmd;
+    cmd.line = line_no;
+    cmd.verb = tokens.front();
+    cmd.args.assign(tokens.begin() + 1, tokens.end());
+
+    const auto arity = verb_arity().find(cmd.verb);
+    if (arity == verb_arity().end()) {
+      if (error != nullptr) *error = {line_no, "unknown command '" + cmd.verb + "'"};
+      return std::nullopt;
+    }
+    int positional = 0;
+    for (const auto& a : cmd.args) {
+      positional += a.find('=') == std::string::npos;
+    }
+    if (positional < arity->second) {
+      if (error != nullptr) {
+        *error = {line_no, "'" + cmd.verb + "' needs at least " +
+                               std::to_string(arity->second) + " arguments"};
+      }
+      return std::nullopt;
+    }
+    scenario.commands_.push_back(std::move(cmd));
+  }
+  return scenario;
+}
+
+ScenarioResult Scenario::run() const {
+  ScenarioResult result;
+  // Pre-scan configuration commands that must precede world creation.
+  server::WorldConfig config;
+  config.profile = device::reference_device_android9();
+  config.trace_enabled = false;
+  for (const auto& cmd : commands_) {
+    if (cmd.verb == "device") {
+      std::optional<device::DeviceProfile> dev;
+      if (cmd.args.size() >= 2) {
+        for (const auto& d : device::all_devices()) {
+          if (d.model == cmd.args[0] &&
+              device::to_string(d.version) == cmd.args[1]) {
+            dev = d;
+          }
+        }
+      } else {
+        dev = device::find_device(cmd.args[0]);
+      }
+      if (!dev) {
+        result.error = {cmd.line, "unknown device '" + cmd.args[0] + "'"};
+        return result;
+      }
+      config.profile = *dev;
+    } else if (cmd.verb == "seed") {
+      const auto v = to_long(cmd.args[0]);
+      if (!v) {
+        result.error = {cmd.line, "bad seed"};
+        return result;
+      }
+      config.seed = static_cast<std::uint64_t>(*v);
+    } else if (cmd.verb == "deterministic") {
+      config.deterministic = cmd.args[0] == "on";
+    } else if (cmd.verb == "export-trace") {
+      config.trace_enabled = true;
+    }
+  }
+
+  Runtime rt{config};
+  auto fail = [&result](std::size_t line, std::string msg) {
+    result.error = {line, std::move(msg)};
+    return result;
+  };
+  auto log = [&result, &rt](const Command& cmd) {
+    result.log += metrics::fmt("%8.1fms  %s", sim::to_ms(rt.world.now()), cmd.verb.c_str());
+    for (const auto& a : cmd.args) result.log += " " + a;
+    result.log += '\n';
+  };
+
+  std::string trace_path;
+  for (const auto& cmd : commands_) {
+    log(cmd);
+    if (cmd.verb == "device" || cmd.verb == "seed" || cmd.verb == "deterministic") {
+      continue;  // consumed during pre-scan
+    }
+    if (cmd.verb == "export-trace") {
+      trace_path = cmd.args[0];
+      continue;
+    }
+    if (cmd.verb == "grant-overlay") {
+      const auto uid = to_long(cmd.args[0]);
+      if (!uid) return fail(cmd.line, "bad uid");
+      rt.world.server().grant_overlay_permission(static_cast<int>(*uid));
+    } else if (cmd.verb == "defense") {
+      if (cmd.args[0] == "notification") {
+        const auto t = cmd.args.size() > 1 ? to_long(cmd.args[1]) : std::optional<long>(690);
+        if (!t) return fail(cmd.line, "bad delay");
+        rt.world.server().set_alert_removal_delay(sim::ms(*t));
+      } else if (cmd.args[0] == "toast-gap") {
+        const auto t = cmd.args.size() > 1 ? to_long(cmd.args[1]) : std::optional<long>(500);
+        if (!t) return fail(cmd.line, "bad gap");
+        rt.world.nms().set_inter_toast_gap(sim::ms(*t));
+      } else if (cmd.args[0] == "daemon") {
+        rt.daemon = std::make_unique<defense::DefenseDaemon>(rt.world);
+        rt.daemon->install();
+      } else {
+        return fail(cmd.line, "unknown defense '" + cmd.args[0] + "'");
+      }
+    } else if (cmd.verb == "window") {
+      if (cmd.args[0] != "activity") return fail(cmd.line, "only 'window activity' supported");
+      const auto uid = keyed(cmd.args, "uid");
+      const auto bounds = keyed(cmd.args, "bounds");
+      if (!uid || !to_long(*uid)) return fail(cmd.line, "window needs uid=");
+      const auto rect = bounds ? to_rect(*bounds) : std::optional<ui::Rect>(ui::Rect{0, 0, 1080, 2280});
+      if (!rect) return fail(cmd.line, "bad bounds");
+      ui::Window w;
+      w.owner_uid = static_cast<int>(*to_long(*uid));
+      w.type = ui::WindowType::kActivity;
+      w.bounds = *rect;
+      w.content = "script:activity";
+      rt.world.wms().add_window_now(std::move(w));
+    } else if (cmd.verb == "attack") {
+      const auto at = keyed(cmd.args, "at");
+      const auto delay = at ? to_long(*at) : std::optional<long>(0);
+      if (!delay) return fail(cmd.line, "bad at=");
+      if (cmd.args[0] == "overlay") {
+        core::OverlayAttackConfig oc;
+        if (const auto d = keyed(cmd.args, "d")) {
+          const auto v = to_long(*d);
+          if (!v) return fail(cmd.line, "bad d=");
+          oc.attacking_window = sim::ms(*v);
+        }
+        if (const auto b = keyed(cmd.args, "bounds")) {
+          const auto r = to_rect(*b);
+          if (!r) return fail(cmd.line, "bad bounds=");
+          oc.bounds = *r;
+        }
+        if (const auto u = keyed(cmd.args, "uid")) {
+          const auto v = to_long(*u);
+          if (!v) return fail(cmd.line, "bad uid=");
+          oc.uid = static_cast<int>(*v);
+        }
+        oc.on_capture = [&rt](sim::SimTime, ui::Point) { ++rt.captures; };
+        rt.overlay_attacks.push_back(std::make_unique<core::OverlayAttack>(rt.world, oc));
+        auto* attack = rt.overlay_attacks.back().get();
+        rt.world.loop().schedule_after(sim::ms(*delay), [attack] { attack->start(); });
+      } else if (cmd.args[0] == "toast") {
+        core::ToastAttackConfig tc;
+        if (const auto d = keyed(cmd.args, "duration")) {
+          const auto v = to_long(*d);
+          if (!v) return fail(cmd.line, "bad duration=");
+          tc.toast_duration = sim::ms(*v);
+        }
+        if (const auto c = keyed(cmd.args, "content")) tc.content = std::string(*c);
+        if (const auto b = keyed(cmd.args, "bounds")) {
+          const auto r = to_rect(*b);
+          if (!r) return fail(cmd.line, "bad bounds=");
+          tc.bounds = *r;
+        }
+        rt.toast_attacks.push_back(std::make_unique<core::ToastAttack>(rt.world, tc));
+        auto* attack = rt.toast_attacks.back().get();
+        rt.world.loop().schedule_after(sim::ms(*delay), [attack] { attack->start(); });
+      } else {
+        return fail(cmd.line, "unknown attack '" + cmd.args[0] + "'");
+      }
+    } else if (cmd.verb == "tap") {
+      const auto x = to_long(cmd.args[0]);
+      const auto y = to_long(cmd.args[1]);
+      if (!x || !y) return fail(cmd.line, "bad coordinates");
+      const auto at = keyed(cmd.args, "at");
+      const auto delay = at ? to_long(*at) : std::optional<long>(0);
+      if (!delay) return fail(cmd.line, "bad at=");
+      const ui::Point p{static_cast<int>(*x), static_cast<int>(*y)};
+      rt.world.loop().schedule_after(sim::ms(*delay),
+                                     [&rt, p] { rt.world.input().inject_tap(p); });
+    } else if (cmd.verb == "run") {
+      const auto v = to_long(cmd.args[0]);
+      if (!v) return fail(cmd.line, "bad duration");
+      rt.world.run_until(rt.world.now() + sim::ms(*v));
+    } else if (cmd.verb == "stop-attacks") {
+      for (auto& a : rt.overlay_attacks) a->stop();
+      for (auto& a : rt.toast_attacks) a->stop();
+    } else if (cmd.verb == "expect") {
+      ++result.expects_checked;
+      const std::string& what = cmd.args[0];
+      if (what == "alert") {
+        const auto snapshot = rt.world.system_ui().snapshot(server::kMalwareUid);
+        const auto got = percept::classify(snapshot);
+        const std::string want = cmd.args[1];
+        const std::string got_s = "L" + std::to_string(static_cast<int>(got));
+        if (got_s != want) {
+          return fail(cmd.line, "expected alert " + want + ", got " + got_s);
+        }
+      } else if (what == "captures") {
+        // expect captures >= N | == N
+        if (cmd.args.size() < 3) return fail(cmd.line, "expect captures <op> <n>");
+        const auto n = to_long(cmd.args[2]);
+        if (!n) return fail(cmd.line, "bad count");
+        const bool ok = cmd.args[1] == ">=" ? rt.captures >= *n
+                        : cmd.args[1] == "==" ? rt.captures == *n
+                                              : false;
+        if (!ok) {
+          return fail(cmd.line, metrics::fmt("expected captures %s %ld, got %d",
+                                             cmd.args[1].c_str(), *n, rt.captures));
+        }
+      } else if (what == "overlays") {
+        if (cmd.args.size() < 4) return fail(cmd.line, "expect overlays <uid> <op> <n>");
+        const auto uid = to_long(cmd.args[1]);
+        const auto n = to_long(cmd.args[3]);
+        if (!uid || !n) return fail(cmd.line, "bad arguments");
+        const int got = rt.world.wms().overlay_count(static_cast<int>(*uid));
+        const bool ok = cmd.args[2] == ">=" ? got >= *n
+                        : cmd.args[2] == "==" ? got == *n
+                                              : false;
+        if (!ok) {
+          return fail(cmd.line, metrics::fmt("expected overlays(%ld) %s %ld, got %d", *uid,
+                                             cmd.args[2].c_str(), *n, got));
+        }
+      } else if (what == "flagged") {
+        if (cmd.args.size() < 3) return fail(cmd.line, "expect flagged <uid> true|false");
+        if (rt.daemon == nullptr) return fail(cmd.line, "no defense daemon installed");
+        const auto uid = to_long(cmd.args[1]);
+        if (!uid) return fail(cmd.line, "bad uid");
+        const bool want = cmd.args[2] == "true";
+        if (rt.daemon->neutralized(static_cast<int>(*uid)) != want) {
+          return fail(cmd.line, "flagged state mismatch for uid " + cmd.args[1]);
+        }
+      } else {
+        return fail(cmd.line, "unknown expectation '" + what + "'");
+      }
+    }
+  }
+  if (!trace_path.empty() && !sim::write_chrome_trace(rt.world.trace(), trace_path)) {
+    result.error = {0, "cannot write trace to " + trace_path};
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+ScenarioResult run_scenario(std::string_view text) {
+  ScenarioError error;
+  const auto scenario = Scenario::parse(text, &error);
+  if (!scenario) {
+    ScenarioResult r;
+    r.error = error;
+    return r;
+  }
+  return scenario->run();
+}
+
+}  // namespace animus::script

@@ -1,0 +1,75 @@
+// Scenario scripting: a small line-oriented DSL that drives a World, so
+// experiments can be written, shared and replayed as text instead of
+// C++. Used by the scenario_runner example and by tests; every command
+// maps 1:1 onto public API calls.
+//
+//   # comment
+//   device mi8 9
+//   seed 42
+//   grant-overlay 10666
+//   window activity uid=10100 bounds=0,0,1080,2280
+//   attack overlay d=190 bounds=0,0,1080,2280 at=0
+//   tap 540 1200 at=1500
+//   run 5000
+//   expect alert L1
+//   expect captures >= 1
+//   expect overlays 10666 >= 1
+//   stop-attacks
+//   run 2000
+//   expect overlays 10666 == 0
+//
+// Times are milliseconds. `at=` schedules relative to the current
+// simulation time when the command executes; commands without `at=` act
+// immediately. `run` advances virtual time. `expect` failures abort the
+// scenario with a line-numbered message.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/overlay_attack.hpp"
+#include "core/toast_attack.hpp"
+#include "defense/enforcement.hpp"
+#include "server/world.hpp"
+
+namespace animus::script {
+
+struct ScenarioError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct ScenarioResult {
+  bool ok = false;
+  std::optional<ScenarioError> error;
+  int expects_checked = 0;
+  std::string log;  // one line per executed command
+};
+
+/// Parsed-but-not-yet-run scenario. Parsing validates syntax only;
+/// execution validates semantics (unknown device, bad uid...).
+class Scenario {
+ public:
+  /// Parse a script; returns nullopt + error on syntax problems.
+  static std::optional<Scenario> parse(std::string_view text, ScenarioError* error);
+
+  /// Execute on a fresh world. Deterministic per script (plus `seed`).
+  [[nodiscard]] ScenarioResult run() const;
+
+  [[nodiscard]] std::size_t command_count() const { return commands_.size(); }
+
+ private:
+  struct Command {
+    std::size_t line = 0;
+    std::string verb;
+    std::vector<std::string> args;
+  };
+  std::vector<Command> commands_;
+};
+
+/// Convenience: parse + run, folding syntax errors into the result.
+ScenarioResult run_scenario(std::string_view text);
+
+}  // namespace animus::script

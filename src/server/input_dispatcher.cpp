@@ -1,0 +1,67 @@
+#include "server/input_dispatcher.hpp"
+
+#include "metrics/table.hpp"
+
+namespace animus::server {
+
+InputDispatcher::InputDispatcher(sim::EventLoop& loop, sim::TraceRecorder& trace,
+                                 WindowManagerService& wms, sim::Rng rng)
+    : loop_(&loop), trace_(&trace), wms_(&wms), rng_(rng) {}
+
+void InputDispatcher::inject_tap(ui::Point p, std::function<void(const TouchOutcome&)> done) {
+  const double c = rng_.truncated_normal(contact_.mean_ms, contact_.sd_ms, contact_.min_ms,
+                                         contact_.max_ms);
+  inject_tap(p, sim::ms_f(c), std::move(done));
+}
+
+void InputDispatcher::inject_tap(ui::Point p, sim::SimTime contact,
+                                 std::function<void(const TouchOutcome&)> done) {
+  ++stats_.taps;
+  const sim::SimTime down = loop_->now();
+  const WindowRecord* rec = wms_->topmost_touchable_at(p, down);
+  if (rec == nullptr) {
+    ++stats_.untargeted;
+    trace_->record(down, sim::TraceCategory::kInput,
+                   metrics::fmt("input: tap (%d,%d) -> no target", p.x, p.y));
+    if (done) done(TouchOutcome{});
+    return;
+  }
+  TouchOutcome outcome;
+  outcome.target = rec->window.id;
+  outcome.target_type = rec->window.type;
+  outcome.target_uid = rec->window.owner_uid;
+  const ui::WindowId id = rec->window.id;
+  if (rec->window.deliver_on_down) {
+    // ACTION_DOWN capture: the handler sees the coordinate immediately;
+    // later destruction of the window cannot take it back.
+    outcome.kind = TouchOutcome::Kind::kDelivered;
+    ++stats_.delivered;
+    trace_->record(down, sim::TraceCategory::kInput,
+                   metrics::fmt("input: down (%d,%d) -> %s uid=%d", p.x, p.y,
+                                std::string(ui::to_string(outcome.target_type)).c_str(),
+                                outcome.target_uid));
+    if (rec->window.on_touch) rec->window.on_touch(down, p);
+    if (done) done(outcome);
+    return;
+  }
+  loop_->schedule_after(contact, [this, id, p, down, outcome, done = std::move(done)]() mutable {
+    const WindowRecord* bound = wms_->find(id);
+    if (bound != nullptr && bound->alive_at(loop_->now())) {
+      outcome.kind = TouchOutcome::Kind::kDelivered;
+      ++stats_.delivered;
+      trace_->record(loop_->now(), sim::TraceCategory::kInput,
+                     metrics::fmt("input: tap (%d,%d) -> %s uid=%d", p.x, p.y,
+                                  std::string(ui::to_string(outcome.target_type)).c_str(),
+                                  outcome.target_uid));
+      if (bound->window.on_touch) bound->window.on_touch(down, p);
+    } else {
+      outcome.kind = TouchOutcome::Kind::kCancelled;
+      ++stats_.cancelled;
+      trace_->record(loop_->now(), sim::TraceCategory::kInput,
+                     metrics::fmt("input: tap (%d,%d) cancelled (window gone)", p.x, p.y));
+    }
+    if (done) done(outcome);
+  });
+}
+
+}  // namespace animus::server

@@ -1,0 +1,79 @@
+// Simulated input pipeline.
+//
+// A tap is a short *gesture*: finger down, contact for ~10-20 ms, finger
+// up. The dispatcher binds the gesture to the topmost touchable window
+// under the down-point; if that window disappears before the finger
+// lifts, the gesture is cancelled (Android sends ACTION_CANCEL) and the
+// tap is delivered to no one. This is the microscopic mechanism behind
+// the paper's "mistouch" losses: a draw-and-destroy cycle boundary that
+// lands inside a gesture destroys that gesture, and a tap that begins
+// inside the gap Tmis finds no overlay at all and falls through to the
+// window beneath (the victim app or the real keyboard).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "server/window_manager.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/rng.hpp"
+#include "sim/trace.hpp"
+#include "ui/geometry.hpp"
+
+namespace animus::server {
+
+/// Finger-contact duration model (milliseconds).
+struct TouchContactModel {
+  double mean_ms = 14.0;
+  double sd_ms = 4.0;
+  double min_ms = 6.0;
+  double max_ms = 28.0;
+};
+
+struct TouchOutcome {
+  enum class Kind : std::uint8_t {
+    kDelivered,  // gesture completed on the bound window
+    kCancelled,  // bound window vanished mid-contact (ACTION_CANCEL)
+    kNoTarget,   // no touchable window under the point
+  };
+  Kind kind = Kind::kNoTarget;
+  ui::WindowId target = ui::kInvalidWindow;
+  ui::WindowType target_type = ui::WindowType::kActivity;
+  int target_uid = -1;
+};
+
+class InputDispatcher {
+ public:
+  struct Stats {
+    std::size_t taps = 0;
+    std::size_t delivered = 0;
+    std::size_t cancelled = 0;
+    std::size_t untargeted = 0;
+  };
+
+  InputDispatcher(sim::EventLoop& loop, sim::TraceRecorder& trace, WindowManagerService& wms,
+                  sim::Rng rng);
+
+  /// Inject a tap at `p` now. The outcome is known when the finger lifts;
+  /// `done` (optional) runs at that point. On delivery the target
+  /// window's on_touch handler receives (down_time, p).
+  void inject_tap(ui::Point p, std::function<void(const TouchOutcome&)> done = {});
+
+  /// Same, with an explicit contact duration (tests).
+  void inject_tap(ui::Point p, sim::SimTime contact,
+                  std::function<void(const TouchOutcome&)> done = {});
+
+  void set_contact_model(const TouchContactModel& m) { contact_ = m; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  sim::EventLoop* loop_;
+  sim::TraceRecorder* trace_;
+  WindowManagerService* wms_;
+  sim::Rng rng_;
+  TouchContactModel contact_;
+  Stats stats_;
+};
+
+}  // namespace animus::server

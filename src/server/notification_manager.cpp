@@ -1,0 +1,140 @@
+#include "server/notification_manager.hpp"
+
+#include <algorithm>
+
+#include "metrics/table.hpp"
+
+namespace animus::server {
+
+NotificationManagerService::NotificationManagerService(sim::EventLoop& loop,
+                                                       sim::TraceRecorder& trace,
+                                                       WindowManagerService& wms,
+                                                       const device::DeviceProfile& profile,
+                                                       sim::Rng rng)
+    : loop_(&loop),
+      trace_(&trace),
+      wms_(&wms),
+      rng_(rng),
+      toast_create_(profile.toast_create),
+      max_tokens_per_app_(traits(profile.version).max_toast_tokens_per_app),
+      serialized_(traits(profile.version).serialized_toasts) {}
+
+bool NotificationManagerService::enqueue_toast_now(ToastRequest request) {
+  // Clamp to the two durations Android offers.
+  request.duration = request.duration >= kToastLong ? kToastLong : kToastShort;
+  int& tokens = tokens_per_uid_[request.uid];
+  if (tokens >= max_tokens_per_app_) {
+    ++stats_.rejected;
+    trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
+                   metrics::fmt("nms: enqueueToast rejected uid=%d (cap %d)", request.uid,
+                                max_tokens_per_app_));
+    return false;
+  }
+  ++tokens;
+  ++stats_.enqueued;
+  if (!serialized_) {
+    // Legacy (pre-Android 8): no one-at-a-time scheduling; the toast is
+    // shown immediately and may overlap others ("one toast may appear
+    // before the previous toast disappears", Section II-B).
+    --tokens;
+    const sim::SimTime create =
+        deterministic_ ? toast_create_.mean() : toast_create_.sample(rng_);
+    loop_->schedule_after(create, [this, request = std::move(request)] {
+      ui::Window w;
+      w.owner_uid = request.uid;
+      w.bounds = request.bounds;
+      w.content = request.content;
+      const ui::WindowId id = wms_->add_toast_now(w);
+      ++stats_.shown;
+      for (const auto& l : listeners_) l(request, id);
+      loop_->schedule_after(request.duration,
+                            [this, id] { wms_->fade_out_and_remove(id); });
+    });
+    return true;
+  }
+  queue_.push_back(std::move(request));
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+  trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
+                 metrics::fmt("nms: token enqueued uid=%d depth=%zu", queue_.back().uid,
+                              queue_.size()));
+  maybe_show_next();
+  return true;
+}
+
+void NotificationManagerService::maybe_show_next() {
+  if (showing_ || queue_.empty()) return;
+  if (loop_->now() < next_allowed_show_) {
+    // Toast-gap defense: wait out the mandated gap, then retry.
+    loop_->schedule_at(next_allowed_show_, [this] { maybe_show_next(); });
+    return;
+  }
+  showing_ = true;
+  const ToastRequest request = queue_.front();
+  queue_.pop_front();
+  --tokens_per_uid_[request.uid];
+  current_ = Current{request.uid, ui::kInvalidWindow, {}, false};
+
+  // The Window Manager needs Tas to create the toast surface.
+  const sim::SimTime create = deterministic_ ? toast_create_.mean() : toast_create_.sample(rng_);
+  loop_->schedule_after(create, [this, request] {
+    ui::Window w;
+    w.owner_uid = request.uid;
+    w.bounds = request.bounds;
+    w.content = request.content;
+    const ui::WindowId id = wms_->add_toast_now(w);
+    ++stats_.shown;
+    trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
+                   metrics::fmt("nms: toast shown uid=%d id=%llu dur=%.0fms", request.uid,
+                                static_cast<unsigned long long>(id),
+                                sim::to_ms(request.duration)));
+    current_.window = id;
+    current_.on_screen = true;
+    // When the duration elapses, start the fade-out and immediately
+    // fetch the next token (Section IV-C step 2).
+    current_.expiry = loop_->schedule_after(request.duration, [this, id] { retire(id); });
+    for (const auto& l : listeners_) l(request, id);
+  });
+}
+
+void NotificationManagerService::retire(ui::WindowId id) {
+  wms_->fade_out_and_remove(id);
+  showing_ = false;
+  current_ = Current{};
+  next_allowed_show_ = loop_->now() + inter_toast_gap_;
+  maybe_show_next();
+}
+
+bool NotificationManagerService::cancel_current(int uid) {
+  if (!showing_ || current_.uid != uid || !current_.on_screen) return false;
+  loop_->cancel(current_.expiry);
+  trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
+                 metrics::fmt("nms: toast cancelled uid=%d id=%llu", uid,
+                              static_cast<unsigned long long>(current_.window)));
+  retire(current_.window);
+  return true;
+}
+
+int NotificationManagerService::cancel_queued(int uid, std::string_view keep_content) {
+  int dropped = 0;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->uid == uid && it->content != keep_content) {
+      --tokens_per_uid_[uid];
+      it = queue_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped > 0) {
+    trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
+                   metrics::fmt("nms: %d queued tokens cancelled uid=%d", dropped, uid));
+  }
+  return dropped;
+}
+
+int NotificationManagerService::queued_tokens(int uid) const {
+  const auto it = tokens_per_uid_.find(uid);
+  return it == tokens_per_uid_.end() ? 0 : it->second;
+}
+
+}  // namespace animus::server

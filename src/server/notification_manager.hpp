@@ -1,0 +1,114 @@
+// Simulated NotificationManagerService: the toast pipeline.
+//
+// Post-Android-8 semantics the paper exploits (Sections II-B, IV):
+//  - every Toast.show() enqueues a *token*; the queue holds at most 50
+//    tokens per app (enqueueToast rejects beyond that);
+//  - toasts are shown strictly one at a time, in FIFO order, for their
+//    requested duration (2 s or 3.5 s);
+//  - when a toast's time is up, the service calls removeView on the
+//    Window Manager — which starts the 500 ms fade-out — and *immediately*
+//    fetches the next token, whose window appears after the server-side
+//    creation time Tas. The fade-out overlap is the attack surface.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "device/profile.hpp"
+#include "server/window_manager.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/rng.hpp"
+#include "sim/trace.hpp"
+
+namespace animus::server {
+
+/// Toast durations Android allows (Toast.LENGTH_SHORT / LENGTH_LONG).
+inline constexpr sim::SimTime kToastShort = sim::ms(2000);
+inline constexpr sim::SimTime kToastLong = sim::ms(3500);
+
+struct ToastRequest {
+  int uid = -1;
+  std::string content;    // customized view content tag
+  ui::Rect bounds{};
+  sim::SimTime duration = kToastShort;  // clamped to SHORT/LONG
+};
+
+class NotificationManagerService {
+ public:
+  struct Stats {
+    std::size_t enqueued = 0;
+    std::size_t rejected = 0;   // over the per-app token cap
+    std::size_t shown = 0;
+    std::size_t max_queue_depth = 0;
+  };
+
+  /// Hook invoked whenever a toast window is placed on screen; the toast
+  /// attack uses it to keep the token queue primed.
+  using ToastShownListener = std::function<void(const ToastRequest&, ui::WindowId)>;
+
+  NotificationManagerService(sim::EventLoop& loop, sim::TraceRecorder& trace,
+                             WindowManagerService& wms, const device::DeviceProfile& profile,
+                             sim::Rng rng);
+
+  /// Server-side entry point (Binder transit already applied by
+  /// SystemServer). Returns false when the per-app cap rejects the token.
+  bool enqueue_toast_now(ToastRequest request);
+
+  /// Toast.cancel(): if `uid`'s toast is currently showing, remove it
+  /// early (fade-out starts now) and immediately fetch the next token —
+  /// this is how the attack swaps sub-keyboard views without waiting for
+  /// the toast duration to elapse.
+  bool cancel_current(int uid);
+
+  /// Cancel `uid`'s *queued* tokens whose content differs from
+  /// `keep_content` (an app can cancel Toast objects it still holds
+  /// references to). Returns the number of tokens dropped. The attack
+  /// uses this to purge stale sub-keyboard toasts on a layout switch.
+  int cancel_queued(int uid, std::string_view keep_content);
+
+  /// Enforce an artificial gap between successive toasts (the scheduling
+  /// defense of Section VII-B: "change the scheduling algorithm for
+  /// adding more delay between successive toasts").
+  void set_inter_toast_gap(sim::SimTime gap) { inter_toast_gap_ = gap; }
+
+  void set_deterministic(bool on) { deterministic_ = on; }
+  void add_shown_listener(ToastShownListener l) { listeners_.push_back(std::move(l)); }
+
+  [[nodiscard]] int queued_tokens(int uid) const;
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] bool showing() const { return showing_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] int max_tokens_per_app() const { return max_tokens_per_app_; }
+
+ private:
+  void maybe_show_next();
+  void retire(ui::WindowId id);
+
+  sim::EventLoop* loop_;
+  sim::TraceRecorder* trace_;
+  WindowManagerService* wms_;
+  sim::Rng rng_;
+  ipc::LatencyModel toast_create_;
+  int max_tokens_per_app_;
+  bool serialized_;  // false on legacy Android 7: toasts may overlap
+  bool deterministic_ = false;
+  sim::SimTime inter_toast_gap_{0};
+  sim::SimTime next_allowed_show_{0};
+
+  std::deque<ToastRequest> queue_;
+  std::map<int, int> tokens_per_uid_;
+  bool showing_ = false;
+  struct Current {
+    int uid = -1;
+    ui::WindowId window = ui::kInvalidWindow;
+    sim::EventLoop::EventId expiry{};
+    bool on_screen = false;  // false while the surface is being created
+  };
+  Current current_;
+  Stats stats_;
+  std::vector<ToastShownListener> listeners_;
+};
+
+}  // namespace animus::server

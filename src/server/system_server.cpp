@@ -1,0 +1,210 @@
+#include "server/system_server.hpp"
+
+#include <utility>
+
+#include "metrics/table.hpp"
+
+namespace animus::server {
+
+SystemServer::SystemServer(sim::EventLoop& loop, sim::Rng rng, sim::TraceRecorder& trace,
+                           const device::DeviceProfile& profile, WindowManagerService& wms,
+                           NotificationManagerService& nms, SystemUi& sysui,
+                           ipc::TransactionLog& txlog)
+    : loop_(&loop),
+      rng_(rng),
+      trace_(&trace),
+      profile_(profile),
+      wms_(&wms),
+      nms_(&nms),
+      sysui_(&sysui),
+      txlog_(&txlog),
+      traits_(device::traits(profile.version)) {}
+
+sim::SimTime SystemServer::sample(const ipc::LatencyModel& m) {
+  return deterministic_ ? m.mean() : m.sample(rng_);
+}
+
+void SystemServer::set_deterministic(bool on) {
+  deterministic_ = on;
+  nms_->set_deterministic(on);
+}
+
+sim::SimTime SystemServer::effective_tn() const {
+  // The profile's Tn is calibrated against Table II and already includes
+  // the ANA share on Android 10/11 (see device/registry.cpp).
+  return profile_.tn.mean();
+}
+
+ViewHandle SystemServer::add_view(int uid, OverlaySpec spec) {
+  if (!has_overlay_permission(uid)) {
+    ++rejected_overlays_;
+    trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
+                   metrics::fmt("wms: addView denied (no SYSTEM_ALERT_WINDOW) uid=%d", uid));
+    return 0;
+  }
+  const ViewHandle handle = next_handle_++;
+  const sim::SimTime transit = sample(profile_.tam);
+  txlog_->record(uid, ipc::MethodCode::kAddView, "android.view.IWindowManager", loop_->now(),
+                 loop_->now() + transit);
+  trace_->record(loop_->now(), sim::TraceCategory::kApp,
+                 metrics::fmt("app uid=%d addView h=%llu", uid,
+                              static_cast<unsigned long long>(handle)));
+
+  // Arrival at System Server after Tam, then Tas of window creation.
+  const sim::SimTime creation = sample(profile_.tas);
+  loop_->schedule_after(transit + creation, [this, uid, handle, spec = std::move(spec)] {
+    if (settings_foreground_) {
+      ++rejected_overlays_;
+      trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
+                     metrics::fmt("wms: overlay blocked over Settings uid=%d", uid));
+      return;
+    }
+    ui::Window w;
+    w.owner_uid = uid;
+    w.type = ui::WindowType::kAppOverlay;
+    w.flags = spec.flags;
+    w.bounds = spec.bounds;
+    w.content = spec.content;
+    w.on_touch = spec.on_touch;
+    w.deliver_on_down = spec.deliver_on_down;
+    const ui::WindowId id = wms_->add_window_now(std::move(w));
+    handle_to_window_[handle] = id;
+    if (deferred_removals_.erase(handle) > 0) {
+      // A removeView for this handle overtook the creation; honour it.
+      wms_->remove_window_now(id);
+      on_overlay_removed(uid);
+      return;
+    }
+    on_overlay_added(uid);
+  });
+  return handle;
+}
+
+void SystemServer::remove_view(int uid, ViewHandle handle) {
+  const sim::SimTime transit = sample(profile_.trm);
+  txlog_->record(uid, ipc::MethodCode::kRemoveView, "android.view.IWindowManager",
+                 loop_->now(), loop_->now() + transit);
+  trace_->record(loop_->now(), sim::TraceCategory::kApp,
+                 metrics::fmt("app uid=%d removeView h=%llu", uid,
+                              static_cast<unsigned long long>(handle)));
+  loop_->schedule_after(transit, [this, uid, handle] {
+    const auto it = handle_to_window_.find(handle);
+    if (it == handle_to_window_.end()) {
+      // The window is still being created; remove it as soon as it lands.
+      deferred_removals_.insert(handle);
+      return;
+    }
+    // "System Server removes O1 instantly" (Section III-C).
+    if (wms_->remove_window_now(it->second)) on_overlay_removed(uid);
+  });
+}
+
+void SystemServer::deliver_to_nms(sim::SimTime transit, std::function<void()> handler) {
+  sim::SimTime arrival = loop_->now() + transit;
+  if (arrival < nms_last_delivery_) arrival = nms_last_delivery_;
+  nms_last_delivery_ = arrival;
+  loop_->schedule_at(arrival, std::move(handler));
+}
+
+void SystemServer::enqueue_toast(int uid, ToastRequest request) {
+  const sim::SimTime transit = sample(profile_.tam);
+  txlog_->record(uid, ipc::MethodCode::kEnqueueToast,
+                 "android.app.INotificationManager", loop_->now(), loop_->now() + transit);
+  request.uid = uid;
+  deliver_to_nms(transit, [this, request = std::move(request)]() mutable {
+    nms_->enqueue_toast_now(std::move(request));
+  });
+}
+
+void SystemServer::cancel_toast(int uid) {
+  const sim::SimTime transit = sample(profile_.tam);
+  txlog_->record(uid, ipc::MethodCode::kOther, "android.app.INotificationManager",
+                 loop_->now(), loop_->now() + transit);
+  deliver_to_nms(transit, [this, uid] { nms_->cancel_current(uid); });
+}
+
+void SystemServer::cancel_queued_toasts(int uid, std::string keep_content) {
+  const sim::SimTime transit = sample(profile_.tam);
+  txlog_->record(uid, ipc::MethodCode::kOther, "android.app.INotificationManager",
+                 loop_->now(), loop_->now() + transit);
+  deliver_to_nms(transit, [this, uid, keep_content = std::move(keep_content)] {
+    nms_->cancel_queued(uid, keep_content);
+  });
+}
+
+ViewHandle SystemServer::add_type_toast_view(int uid, ui::Rect bounds, std::string content) {
+  if (traits_.type_toast_removed) {
+    trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
+                   metrics::fmt("wms: TYPE_TOAST rejected (removed in Android 8) uid=%d",
+                                uid));
+    return 0;
+  }
+  const ViewHandle handle = next_handle_++;
+  const sim::SimTime transit = sample(profile_.tam);
+  txlog_->record(uid, ipc::MethodCode::kAddView, "android.view.IWindowManager", loop_->now(),
+                 loop_->now() + transit);
+  const sim::SimTime creation = sample(profile_.tas);
+  loop_->schedule_after(transit + creation,
+                        [this, uid, handle, bounds, content = std::move(content)] {
+    ui::Window w;
+    w.owner_uid = uid;
+    w.type = ui::WindowType::kToast;
+    w.bounds = bounds;
+    w.content = content;
+    handle_to_window_[handle] = wms_->add_window_now(std::move(w));
+  });
+  return handle;
+}
+
+void SystemServer::on_overlay_added(int uid) {
+  // Pre-Android-8 systems never warn about overlays at all.
+  if (!traits_.overlay_notification) return;
+  // Enhanced notification defense: a re-added overlay during the removal
+  // grace period keeps the alert alive (and animating) in System UI.
+  const auto pending = pending_alert_removal_.find(uid);
+  if (pending != pending_alert_removal_.end()) {
+    loop_->cancel(pending->second);
+    pending_alert_removal_.erase(pending);
+    trace_->record(loop_->now(), sim::TraceCategory::kDefense,
+                   metrics::fmt("system_server: alert removal cancelled (re-add) uid=%d", uid));
+  }
+  // Notify System UI to show the warning alert (Tn transit, which
+  // includes the ANA share on Android 10/11; the view construction Tv
+  // happens inside System UI).
+  const sim::SimTime tn = sample(profile_.tn);
+  const sim::SimTime tv = sample(profile_.tv);
+  pending_alert_show_[uid] = loop_->schedule_after(tn, [this, uid, tv] {
+    pending_alert_show_.erase(uid);
+    sysui_->show_overlay_alert(uid, tv);
+  });
+}
+
+void SystemServer::on_overlay_removed(int uid) {
+  // "After removing O1, System Server checks whether there is still an
+  // overlay from the same app in the foreground" (Section III-C).
+  if (wms_->overlay_count(uid) > 0) return;
+  auto dispatch_removal = [this, uid] {
+    // A post still in transit to System UI is cancelled outright — both
+    // operations key the same per-app notification, and the cancel wins
+    // once the app has no overlay left.
+    const auto pending_show = pending_alert_show_.find(uid);
+    if (pending_show != pending_alert_show_.end()) {
+      loop_->cancel(pending_show->second);
+      pending_alert_show_.erase(pending_show);
+    }
+    const sim::SimTime tnr = sample(profile_.tnr);
+    loop_->schedule_after(tnr, [this, uid] { sysui_->dismiss_overlay_alert(uid); });
+  };
+  if (alert_removal_delay_ <= sim::SimTime{0}) {
+    dispatch_removal();
+    return;
+  }
+  // Defense path: postpone; cancelled if the app re-adds an overlay.
+  const auto id = loop_->schedule_after(alert_removal_delay_, [this, uid, dispatch_removal] {
+    pending_alert_removal_.erase(uid);
+    if (wms_->overlay_count(uid) == 0) dispatch_removal();
+  });
+  pending_alert_removal_[uid] = id;
+}
+
+}  // namespace animus::server

@@ -1,0 +1,141 @@
+// Simulated System Server: the Binder surface apps call, plus the
+// overlay-notification policy of Android 8+.
+//
+// Responsibilities reproduced from the paper (Sections II, III, VII-B):
+//  - SYSTEM_ALERT_WINDOW permission gate on overlay windows;
+//  - the Settings app (and installer) can never be covered by overlays;
+//  - when an app's first overlay appears, notify System UI to slide in
+//    the warning alert (after Tn, which includes the ANA delay on
+//    Android 10/11);
+//  - when an app's *last* overlay disappears, notify System UI to remove
+//    the alert (after Tnr) — optionally postponed by the enhanced
+//    notification defense (t = 690 ms), during which a re-added overlay
+//    cancels the removal so the alert animation completes;
+//  - toast requests are forwarded to the Notification Manager;
+//  - every incoming call is recorded as a Binder transaction (the hook
+//    the IPC defense of Section VII-A builds on).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "device/profile.hpp"
+#include "ipc/binder.hpp"
+#include "ipc/transaction_log.hpp"
+#include "server/notification_manager.hpp"
+#include "server/system_ui.hpp"
+#include "server/window_manager.hpp"
+#include "sim/actor.hpp"
+#include "sim/rng.hpp"
+
+namespace animus::server {
+
+/// Client-side handle an app holds for a view it added; maps to the real
+/// WindowId once the server has created the surface.
+using ViewHandle = std::uint64_t;
+
+/// Client-side blocking cost of addView — the reason the paper's attack
+/// must call removeView *before* addView (Section III-C).
+inline constexpr sim::SimTime kAddViewClientCost = sim::ms(5);
+
+struct OverlaySpec {
+  ui::Rect bounds{};
+  std::uint32_t flags = ui::kFlagNone;
+  std::string content = "overlay";
+  std::function<void(sim::SimTime, ui::Point)> on_touch;
+  /// Harvest coordinates from ACTION_DOWN (see ui::Window).
+  bool deliver_on_down = false;
+};
+
+class SystemServer {
+ public:
+  SystemServer(sim::EventLoop& loop, sim::Rng rng, sim::TraceRecorder& trace,
+               const device::DeviceProfile& profile, WindowManagerService& wms,
+               NotificationManagerService& nms, SystemUi& sysui, ipc::TransactionLog& txlog);
+
+  // ----- app-side API (call on the app thread at the current time) -----
+
+  /// WindowManager.addView for an overlay window. Returns a handle, or 0
+  /// when rejected (missing permission, or Settings in the foreground).
+  ViewHandle add_view(int uid, OverlaySpec spec);
+
+  /// WindowManager.removeView.
+  void remove_view(int uid, ViewHandle handle);
+
+  /// Toast.show(): enqueue a toast token.
+  void enqueue_toast(int uid, ToastRequest request);
+
+  /// Legacy TYPE_TOAST window (Section II-B1): a toast-layer view that
+  /// persists until removed, requiring no permission. Removed since
+  /// Android 8.0 — returns 0 there. Remove via remove_view().
+  ViewHandle add_type_toast_view(int uid, ui::Rect bounds, std::string content);
+
+  /// Toast.cancel(): retire the currently showing toast of `uid` early.
+  void cancel_toast(int uid);
+
+  /// Cancel queued Toast objects whose content differs from
+  /// `keep_content` (the app still holds their references).
+  void cancel_queued_toasts(int uid, std::string keep_content);
+
+  // ----- policy / configuration -----
+
+  void grant_overlay_permission(int uid) { overlay_permitted_.insert(uid); }
+  void revoke_overlay_permission(int uid) { overlay_permitted_.erase(uid); }
+  [[nodiscard]] bool has_overlay_permission(int uid) const {
+    return overlay_permitted_.count(uid) > 0;
+  }
+
+  /// While true, overlay creation is refused (Settings app foreground).
+  void set_settings_foreground(bool on) { settings_foreground_ = on; }
+
+  /// Enhanced notification defense (Section VII-B): delay the
+  /// notification-removal dispatch by `t`; 0 disables.
+  void set_alert_removal_delay(sim::SimTime t) { alert_removal_delay_ = t; }
+  [[nodiscard]] sim::SimTime alert_removal_delay() const { return alert_removal_delay_; }
+
+  /// Disable latency jitter for boundary-search experiments.
+  void set_deterministic(bool on);
+  [[nodiscard]] bool deterministic() const { return deterministic_; }
+
+  // ----- introspection -----
+
+  [[nodiscard]] std::size_t rejected_overlays() const { return rejected_overlays_; }
+  [[nodiscard]] const device::DeviceProfile& profile() const { return profile_; }
+  [[nodiscard]] sim::SimTime effective_tn() const;
+
+ private:
+  sim::SimTime sample(const ipc::LatencyModel& m);
+  /// Deliver a Notification-Manager call after `transit`, preserving
+  /// issue order: oneway Binder transactions to the same node arrive
+  /// FIFO, so a later call can never overtake an earlier one.
+  void deliver_to_nms(sim::SimTime transit, std::function<void()> handler);
+  void on_overlay_added(int uid);
+  void on_overlay_removed(int uid);
+
+  sim::EventLoop* loop_;
+  sim::Rng rng_;
+  sim::TraceRecorder* trace_;
+  device::DeviceProfile profile_;
+  WindowManagerService* wms_;
+  NotificationManagerService* nms_;
+  SystemUi* sysui_;
+  ipc::TransactionLog* txlog_;
+
+  device::VersionTraits traits_;
+  bool deterministic_ = false;
+  bool settings_foreground_ = false;
+  sim::SimTime alert_removal_delay_{0};
+  std::set<int> overlay_permitted_;
+  std::size_t rejected_overlays_ = 0;
+
+  ViewHandle next_handle_ = 1;
+  std::map<ViewHandle, ui::WindowId> handle_to_window_;
+  std::set<ViewHandle> deferred_removals_;
+  std::map<int, sim::EventLoop::EventId> pending_alert_removal_;  // per uid (defense)
+  std::map<int, sim::EventLoop::EventId> pending_alert_show_;     // per uid (in-flight Tn)
+  sim::SimTime nms_last_delivery_{0};  // FIFO guarantee for NMS calls
+};
+
+}  // namespace animus::server

@@ -1,0 +1,240 @@
+#include "server/system_ui.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "metrics/table.hpp"
+
+namespace animus::server {
+
+SystemUi::SystemUi(sim::EventLoop& loop, sim::TraceRecorder& trace,
+                   const device::DeviceProfile& profile)
+    : loop_(&loop),
+      trace_(&trace),
+      anim_(ui::notification_slide_in()),
+      view_height_px_(profile.notification_height_px),
+      visible_threshold_(anim_.time_to_reveal(ui::kNakedEyeMinPixels, view_height_px_)) {}
+
+sim::SimTime SystemUi::elapsed_at(const Entry& e, sim::SimTime t) const {
+  const sim::SimTime delta = t - e.anchor_time;
+  sim::SimTime el = e.anchor_elapsed + sim::SimTime{e.direction * delta.count()};
+  return std::clamp(el, sim::SimTime{0}, anim_.duration());
+}
+
+double SystemUi::message_progress_at(const Entry& e, sim::SimTime t) const {
+  if (e.phase != AlertPhase::kShown) return 0.0;
+  const auto frac =
+      static_cast<double>((t - e.shown_at - kMessageStartDelay).count()) /
+      static_cast<double>(kMessageDrawTime.count());
+  return std::clamp(frac, 0.0, 1.0);
+}
+
+void SystemUi::account_segment(Entry& e, sim::SimTime seg_start_elapsed,
+                               sim::SimTime seg_end_elapsed, int direction) {
+  // Track the extreme reached during the segment. For a forward segment
+  // the maximum is at its end; for a reverse segment the maximum was
+  // already accounted when the forward segment ended.
+  const sim::SimTime peak = std::max(seg_start_elapsed, seg_end_elapsed);
+  e.stats.max_pixels = std::max(e.stats.max_pixels, anim_.presented_pixels_at(peak, view_height_px_));
+  e.stats.max_completeness =
+      std::max(e.stats.max_completeness, anim_.presented_completeness_at(peak));
+  // Visible time: portion of the segment where elapsed >= threshold
+  // (elapsed moves at |1| per unit wall time in either direction).
+  const sim::SimTime lo = std::min(seg_start_elapsed, seg_end_elapsed);
+  const sim::SimTime hi = peak;
+  if (hi > visible_threshold_) {
+    e.stats.visible_time += hi - std::max(lo, visible_threshold_);
+  }
+  (void)direction;
+}
+
+void SystemUi::start_in_animation(Entry& e, int uid) {
+  e.phase = AlertPhase::kAnimatingIn;
+  e.anchor_time = loop_->now();
+  e.direction = +1;
+  const sim::SimTime remaining = anim_.duration() - e.anchor_elapsed;
+  trace_->record(loop_->now(), sim::TraceCategory::kAnimation,
+                 metrics::fmt("sysui: startTopAnimation uid=%d from=%.1fms", uid,
+                              sim::to_ms(e.anchor_elapsed)));
+  e.pending = loop_->schedule_after(remaining, [this, uid] {
+    Entry& en = entry(uid);
+    account_segment(en, en.anchor_elapsed, anim_.duration(), +1);
+    en.anchor_elapsed = anim_.duration();
+    en.anchor_time = loop_->now();
+    en.direction = 0;
+    en.phase = AlertPhase::kShown;
+    en.shown_at = loop_->now();
+    en.stats.completions += 1;
+    trace_->record(loop_->now(), sim::TraceCategory::kSystemUi,
+                   metrics::fmt("sysui: alert fully shown uid=%d", uid));
+    // Message layout starts after a delay, draws over kMessageDrawTime,
+    // then the icon appears.
+    en.icon_event = loop_->schedule_after(
+        kMessageStartDelay + kMessageDrawTime + kIconDelay, [this, uid] {
+          Entry& e2 = entry(uid);
+          e2.stats.icon_shown = true;
+          if (!status_bar_has_icon(uid) &&
+              static_cast<int>(status_bar_icons_.size()) < kStatusBarIconCapacity) {
+            status_bar_icons_.push_back(uid);
+            trace_->record(loop_->now(), sim::TraceCategory::kSystemUi,
+                           metrics::fmt("sysui: status-bar icon uid=%d", uid));
+          } else {
+            trace_->record(loop_->now(), sim::TraceCategory::kSystemUi,
+                           metrics::fmt("sysui: status bar full, icon hidden uid=%d", uid));
+          }
+        });
+  });
+}
+
+void SystemUi::show_overlay_alert(int uid, sim::SimTime construction_time) {
+  Entry& e = entry(uid);
+  switch (e.phase) {
+    case AlertPhase::kHidden: {
+      e.stats.shows += 1;
+      e.phase = AlertPhase::kConstructing;
+      e.anchor_elapsed = sim::SimTime{0};
+      trace_->record(loop_->now(), sim::TraceCategory::kSystemUi,
+                     metrics::fmt("sysui: constructing alert view uid=%d", uid));
+      e.pending = loop_->schedule_after(construction_time, [this, uid] {
+        Entry& en = entry(uid);
+        start_in_animation(en, uid);
+      });
+      return;
+    }
+    case AlertPhase::kAnimatingOut: {
+      // The dismissed entry is being slid out; a new overlay posts a
+      // *fresh* notification. The old view finishes disappearing and a
+      // new one is constructed from scratch (progress restarts at zero —
+      // this is why Eq. (3) bounds each draw-and-destroy cycle
+      // independently).
+      e.stats.shows += 1;
+      loop_->cancel(e.pending);
+      const sim::SimTime el = elapsed_at(e, loop_->now());
+      account_segment(e, e.anchor_elapsed, el, -1);
+      e.anchor_elapsed = sim::SimTime{0};
+      e.direction = 0;
+      e.phase = AlertPhase::kConstructing;
+      trace_->record(loop_->now(), sim::TraceCategory::kSystemUi,
+                     metrics::fmt("sysui: reconstructing alert view uid=%d", uid));
+      e.pending = loop_->schedule_after(construction_time, [this, uid] {
+        Entry& en = entry(uid);
+        start_in_animation(en, uid);
+      });
+      return;
+    }
+    case AlertPhase::kConstructing:
+    case AlertPhase::kAnimatingIn:
+    case AlertPhase::kShown:
+      // Alert already in progress for this uid; Android keeps a single
+      // notification entry per app.
+      return;
+  }
+}
+
+void SystemUi::dismiss_overlay_alert(int uid) {
+  Entry& e = entry(uid);
+  switch (e.phase) {
+    case AlertPhase::kHidden:
+    case AlertPhase::kAnimatingOut:
+      return;
+    case AlertPhase::kConstructing: {
+      // View never started animating; drop it silently.
+      loop_->cancel(e.pending);
+      e.phase = AlertPhase::kHidden;
+      e.anchor_elapsed = sim::SimTime{0};
+      e.stats.dismissals += 1;
+      trace_->record(loop_->now(), sim::TraceCategory::kSystemUi,
+                     metrics::fmt("sysui: alert construction cancelled uid=%d", uid));
+      return;
+    }
+    case AlertPhase::kAnimatingIn:
+    case AlertPhase::kShown: {
+      loop_->cancel(e.pending);
+      loop_->cancel(e.icon_event);
+      e.stats.dismissals += 1;
+      if (e.phase == AlertPhase::kShown) {
+        e.stats.max_message_progress =
+            std::max(e.stats.max_message_progress, message_progress_at(e, loop_->now()));
+        e.stats.visible_time += loop_->now() - e.shown_at;  // static fully-shown period
+        e.anchor_elapsed = anim_.duration();
+      } else {
+        const sim::SimTime el = elapsed_at(e, loop_->now());
+        account_segment(e, e.anchor_elapsed, el, +1);
+        e.anchor_elapsed = el;
+      }
+      e.anchor_time = loop_->now();
+      e.direction = -1;
+      e.phase = AlertPhase::kAnimatingOut;
+      trace_->record(loop_->now(), sim::TraceCategory::kAnimation,
+                     metrics::fmt("sysui: reverse animation uid=%d from=%.1fms", uid,
+                                  sim::to_ms(e.anchor_elapsed)));
+      e.pending = loop_->schedule_after(e.anchor_elapsed, [this, uid] {
+        Entry& en = entry(uid);
+        account_segment(en, en.anchor_elapsed, sim::SimTime{0}, -1);
+        en.anchor_elapsed = sim::SimTime{0};
+        en.anchor_time = loop_->now();
+        en.direction = 0;
+        en.phase = AlertPhase::kHidden;
+        std::erase(status_bar_icons_, uid);
+        trace_->record(loop_->now(), sim::TraceCategory::kSystemUi,
+                       metrics::fmt("sysui: alert hidden uid=%d", uid));
+      });
+      return;
+    }
+  }
+}
+
+SystemUi::AlertPhase SystemUi::phase(int uid) const {
+  const auto it = entries_.find(uid);
+  return it == entries_.end() ? AlertPhase::kHidden : it->second.phase;
+}
+
+int SystemUi::current_pixels(int uid) const {
+  const auto it = entries_.find(uid);
+  if (it == entries_.end()) return 0;
+  const Entry& e = it->second;
+  if (e.phase == AlertPhase::kHidden || e.phase == AlertPhase::kConstructing) return 0;
+  return anim_.presented_pixels_at(elapsed_at(e, loop_->now()), view_height_px_);
+}
+
+const SystemUi::AlertStats& SystemUi::stats(int uid) const {
+  static const AlertStats kEmpty;
+  const auto it = entries_.find(uid);
+  return it == entries_.end() ? kEmpty : it->second.stats;
+}
+
+SystemUi::AlertStats SystemUi::snapshot(int uid) const {
+  const auto it = entries_.find(uid);
+  if (it == entries_.end()) return AlertStats{};
+  const Entry& e = it->second;
+  AlertStats s = e.stats;
+  if (e.phase == AlertPhase::kAnimatingIn || e.phase == AlertPhase::kAnimatingOut ||
+      e.phase == AlertPhase::kShown) {
+    const sim::SimTime el = elapsed_at(e, loop_->now());
+    const sim::SimTime peak = std::max(e.anchor_elapsed, el);
+    s.max_pixels = std::max(s.max_pixels, anim_.presented_pixels_at(peak, view_height_px_));
+    s.max_completeness = std::max(s.max_completeness, anim_.presented_completeness_at(peak));
+    const sim::SimTime lo = std::min(e.anchor_elapsed, el);
+    if (peak > visible_threshold_) s.visible_time += peak - std::max(lo, visible_threshold_);
+    if (e.phase == AlertPhase::kShown) s.visible_time += loop_->now() - e.shown_at;
+    s.max_message_progress =
+        std::max(s.max_message_progress, message_progress_at(e, loop_->now()));
+  }
+  return s;
+}
+
+bool SystemUi::alert_fully_visible(int uid) const {
+  const auto it = entries_.find(uid);
+  return it != entries_.end() && it->second.phase == AlertPhase::kShown;
+}
+
+int SystemUi::status_bar_icon_count() const {
+  return static_cast<int>(status_bar_icons_.size());
+}
+
+bool SystemUi::status_bar_has_icon(int uid) const {
+  return std::find(status_bar_icons_.begin(), status_bar_icons_.end(), uid) !=
+         status_bar_icons_.end();
+}
+
+}  // namespace animus::server

@@ -1,0 +1,124 @@
+// Simulated System UI: the notification drawer and the overlay-warning
+// alert whose slide-in animation the draw-and-destroy overlay attack
+// suppresses (Section III).
+//
+// Per-uid alert lifecycle:
+//
+//   hidden --show--> constructing --(Tv)--> animating_in --(360ms)--> shown
+//     ^                 |  dismiss              | dismiss               |
+//     |                 v                       v                       v
+//     +------------- (cancel)            animating_out <---dismiss-- shown
+//                                               | (reverse at same rate)
+//                                               v
+//                                            hidden
+//
+// Once shown, the notification *message* is drawn progressively and the
+// status-bar *icon* appears after the message completes — this ordering
+// produces the five observable outcomes Λ1..Λ5 of Fig. 6 ("the
+// notification view is a container and shows up first; other elements
+// ... are not displayed until the notification view has been drawn
+// completely").
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "device/profile.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/trace.hpp"
+#include "ui/animation.hpp"
+
+namespace animus::server {
+
+/// Message/icon rendering pipeline once the view container is fully
+/// visible: the text layout starts after kMessageStartDelay (the Λ3
+/// window of Fig. 6c — "the view is fully visible, but no message or
+/// icon is displayed"), draws progressively over kMessageDrawTime (Λ4),
+/// and the status-bar icon lands kIconDelay later (Λ5). Modeling
+/// constants — the paper gives the ordering, not the durations.
+inline constexpr sim::SimTime kMessageStartDelay = sim::ms(60);
+inline constexpr sim::SimTime kMessageDrawTime = sim::ms(120);
+inline constexpr sim::SimTime kIconDelay = sim::ms(30);
+
+/// Status-bar icon slots: "Android 10 of Google Pixel 2 can show 4 icons
+/// at the status bar" (Section II-A2).
+inline constexpr int kStatusBarIconCapacity = 4;
+
+class SystemUi {
+ public:
+  enum class AlertPhase { kHidden, kConstructing, kAnimatingIn, kShown, kAnimatingOut };
+
+  /// Everything the perception model needs to classify an outcome.
+  struct AlertStats {
+    int shows = 0;             // show requests accepted
+    int dismissals = 0;        // dismiss requests acted upon
+    int completions = 0;       // times the slide-in animation completed
+    int max_pixels = 0;        // max rounded pixels ever presented
+    double max_completeness = 0.0;
+    double max_message_progress = 0.0;  // 0..1
+    bool icon_shown = false;
+    sim::SimTime visible_time{0};  // cumulative time >= naked-eye pixels
+  };
+
+  SystemUi(sim::EventLoop& loop, sim::TraceRecorder& trace,
+           const device::DeviceProfile& profile);
+
+  /// System Server -> System UI: an overlay from `uid` is in the
+  /// foreground; construct the alert view (Tv) and run the slide-in
+  /// animation (startTopAnimation). Resumes mid-animation state.
+  void show_overlay_alert(int uid, sim::SimTime construction_time);
+
+  /// System Server -> System UI: no overlay from `uid` remains; stop the
+  /// slide-in and reverse it ("removes the notification view with
+  /// startTopAnimation in a reverse way").
+  void dismiss_overlay_alert(int uid);
+
+  [[nodiscard]] AlertPhase phase(int uid) const;
+  /// Rounded pixels of the alert view currently presented for `uid`.
+  [[nodiscard]] int current_pixels(int uid) const;
+  [[nodiscard]] const AlertStats& stats(int uid) const;
+
+  /// Stats with any in-flight animation segment folded in — use this to
+  /// classify outcomes while an alert is still animating or shown.
+  [[nodiscard]] AlertStats snapshot(int uid) const;
+
+  /// Whether a fully-drawn alert entry currently sits in the drawer.
+  [[nodiscard]] bool alert_fully_visible(int uid) const;
+
+  /// Status bar: icons currently displayed / whether `uid`'s alert icon
+  /// holds a slot. At most kStatusBarIconCapacity icons fit; alerts past
+  /// that are only visible by swiping the drawer open.
+  [[nodiscard]] int status_bar_icon_count() const;
+  [[nodiscard]] bool status_bar_has_icon(int uid) const;
+
+ private:
+  struct Entry {
+    AlertPhase phase = AlertPhase::kHidden;
+    // Animation elapsed-time anchor: at `anchor_time` the slide-in had
+    // played for `anchor_elapsed`; direction +1 in, -1 out, 0 static.
+    sim::SimTime anchor_time{0};
+    sim::SimTime anchor_elapsed{0};
+    int direction = 0;
+    sim::SimTime shown_at{0};  // when the view completed (for message draw)
+    sim::EventLoop::EventId pending{};  // construction/completion/hidden event
+    sim::EventLoop::EventId icon_event{};
+    AlertStats stats;
+  };
+
+  [[nodiscard]] sim::SimTime elapsed_at(const Entry& e, sim::SimTime t) const;
+  [[nodiscard]] double message_progress_at(const Entry& e, sim::SimTime t) const;
+  void account_segment(Entry& e, sim::SimTime seg_start_elapsed, sim::SimTime seg_end_elapsed,
+                       int direction);
+  void start_in_animation(Entry& e, int uid);
+  Entry& entry(int uid) { return entries_[uid]; }
+
+  sim::EventLoop* loop_;
+  sim::TraceRecorder* trace_;
+  ui::Animation anim_;
+  int view_height_px_;
+  sim::SimTime visible_threshold_;  // elapsed time at which view is naked-eye visible
+  std::map<int, Entry> entries_;
+  std::vector<int> status_bar_icons_;  // uids holding a slot, oldest first
+};
+
+}  // namespace animus::server

@@ -1,0 +1,148 @@
+#include "server/window_manager.hpp"
+
+#include <algorithm>
+
+#include "metrics/table.hpp"
+#include "ui/animation.hpp"
+
+namespace animus::server {
+
+WindowManagerService::WindowManagerService(sim::EventLoop& loop, sim::TraceRecorder& trace)
+    : loop_(&loop), trace_(&trace) {}
+
+ui::WindowId WindowManagerService::add_window_now(ui::Window window) {
+  window.id = next_id_++;
+  window.added_at = loop_->now();
+  trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
+                 metrics::fmt("wms: add %s uid=%d id=%llu",
+                              std::string(ui::to_string(window.type)).c_str(),
+                              window.owner_uid,
+                              static_cast<unsigned long long>(window.id)));
+  records_.push_back(WindowRecord{std::move(window), std::nullopt});
+  return records_.back().window.id;
+}
+
+ui::WindowId WindowManagerService::add_toast_now(ui::Window window) {
+  window.type = ui::WindowType::kToast;
+  window.enter_fade = ui::FadeAnimation{ui::toast_fade_in(), loop_->now(), /*fade_in=*/true};
+  return add_window_now(std::move(window));
+}
+
+bool WindowManagerService::remove_window_now(ui::WindowId id) {
+  WindowRecord* rec = find_mutable(id);
+  if (rec == nullptr || rec->removed_at.has_value()) return false;
+  rec->removed_at = loop_->now();
+  trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
+                 metrics::fmt("wms: remove id=%llu", static_cast<unsigned long long>(id)));
+  return true;
+}
+
+bool WindowManagerService::fade_out_and_remove(ui::WindowId id) {
+  WindowRecord* rec = find_mutable(id);
+  if (rec == nullptr || rec->removed_at.has_value()) return false;
+  const ui::Animation anim = ui::toast_fade_out();
+  rec->window.exit_fade = ui::FadeAnimation{anim, loop_->now(), /*fade_in=*/false};
+  trace_->record(loop_->now(), sim::TraceCategory::kAnimation,
+                 metrics::fmt("wms: fade-out start id=%llu",
+                              static_cast<unsigned long long>(id)));
+  loop_->schedule_after(anim.duration(), [this, id] { remove_window_now(id); });
+  return true;
+}
+
+namespace {
+/// True when `a` draws above `b`.
+bool above(const ui::Window& a, const ui::Window& b) {
+  const int la = ui::base_layer(a.type), lb = ui::base_layer(b.type);
+  if (la != lb) return la > lb;
+  if (a.added_at != b.added_at) return a.added_at > b.added_at;
+  return a.id > b.id;
+}
+}  // namespace
+
+const WindowRecord* WindowManagerService::topmost_touchable_at(ui::Point p,
+                                                               sim::SimTime t) const {
+  const WindowRecord* best = nullptr;
+  for (const auto& rec : records_) {
+    if (!rec.alive_at(t) || !rec.window.touchable() || !rec.window.bounds.contains(p)) continue;
+    if (best == nullptr || above(rec.window, best->window)) best = &rec;
+  }
+  return best;
+}
+
+const WindowRecord* WindowManagerService::topmost_at(ui::Point p, sim::SimTime t) const {
+  const WindowRecord* best = nullptr;
+  for (const auto& rec : records_) {
+    if (!rec.alive_at(t) || !rec.window.bounds.contains(p)) continue;
+    if (best == nullptr || above(rec.window, best->window)) best = &rec;
+  }
+  return best;
+}
+
+bool WindowManagerService::alive_at(ui::WindowId id, sim::SimTime t) const {
+  const WindowRecord* rec = find(id);
+  return rec != nullptr && rec->alive_at(t);
+}
+
+const WindowRecord* WindowManagerService::find(ui::WindowId id) const {
+  for (const auto& rec : records_) {
+    if (rec.window.id == id) return &rec;
+  }
+  return nullptr;
+}
+
+WindowRecord* WindowManagerService::find_mutable(ui::WindowId id) {
+  for (auto& rec : records_) {
+    if (rec.window.id == id) return &rec;
+  }
+  return nullptr;
+}
+
+int WindowManagerService::overlay_count(int uid) const {
+  return count(uid, ui::WindowType::kAppOverlay);
+}
+
+int WindowManagerService::count(int uid, ui::WindowType type) const {
+  int n = 0;
+  const sim::SimTime now = loop_->now();
+  for (const auto& rec : records_) {
+    if (rec.alive_at(now) && rec.window.owner_uid == uid && rec.window.type == type) ++n;
+  }
+  return n;
+}
+
+double WindowManagerService::max_alpha_at(int uid, std::string_view content_prefix,
+                                          sim::SimTime t) const {
+  double best = 0.0;
+  for (const auto& rec : records_) {
+    if (rec.window.owner_uid != uid) continue;
+    if (rec.window.content.rfind(content_prefix, 0) != 0) continue;
+    if (t < rec.window.added_at) continue;
+    if (rec.removed_at && t >= *rec.removed_at) continue;
+    best = std::max(best, rec.window.alpha_at(t));
+    if (best >= 1.0) break;
+  }
+  return best;
+}
+
+double WindowManagerService::combined_alpha_at(int uid, std::string_view content_prefix,
+                                               sim::SimTime t) const {
+  double transparency = 1.0;
+  for (const auto& rec : records_) {
+    if (rec.window.owner_uid != uid) continue;
+    if (rec.window.content.rfind(content_prefix, 0) != 0) continue;
+    if (t < rec.window.added_at) continue;
+    if (rec.removed_at && t >= *rec.removed_at) continue;
+    transparency *= 1.0 - rec.window.alpha_at(t);
+    if (transparency <= 0.0) return 1.0;
+  }
+  return 1.0 - transparency;
+}
+
+std::size_t WindowManagerService::live_count() const {
+  const sim::SimTime now = loop_->now();
+  std::size_t n = 0;
+  for (const auto& rec : records_) n += rec.alive_at(now);
+  return n;
+}
+
+}  // namespace animus::server

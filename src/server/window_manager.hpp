@@ -1,0 +1,105 @@
+// Simulated WindowManagerService.
+//
+// Owns every on-screen surface, in z-order, and keeps the *history* of
+// windows (creation and removal timestamps) so that perception models
+// (toast flicker) and input semantics (gesture cancellation when a window
+// disappears mid-contact) can be evaluated over the full timeline.
+//
+// Latency note: the WMS methods here are the *server-side completion*
+// points; Binder transit and server processing costs are applied by
+// SystemServer before these run (Fig. 3's Tam/Trm/Tas).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/event_loop.hpp"
+#include "sim/trace.hpp"
+#include "ui/window.hpp"
+
+namespace animus::server {
+
+/// A window plus its lifetime; removed_at is unset while alive.
+struct WindowRecord {
+  ui::Window window;
+  std::optional<sim::SimTime> removed_at;
+
+  [[nodiscard]] bool alive_at(sim::SimTime t) const {
+    return t >= window.added_at && (!removed_at || t < *removed_at);
+  }
+};
+
+class WindowManagerService {
+ public:
+  WindowManagerService(sim::EventLoop& loop, sim::TraceRecorder& trace);
+
+  /// Place a window on screen *now*. Returns its id.
+  ui::WindowId add_window_now(ui::Window window);
+
+  /// Place a toast window *now* with the 500 ms DecelerateInterpolator
+  /// fade-in attached (Section IV-B).
+  ui::WindowId add_toast_now(ui::Window window);
+
+  /// Remove a window immediately (overlay removal path: "System Server
+  /// removes O1 instantly", Section III-C). Returns false if unknown/dead.
+  bool remove_window_now(ui::WindowId id);
+
+  /// Start the 500 ms AccelerateInterpolator fade-out on a toast and
+  /// schedule its physical removal when the animation ends.
+  bool fade_out_and_remove(ui::WindowId id);
+
+  // ----- queries over live state -----
+
+  /// Topmost *touchable* live window containing `p` (higher base layer
+  /// wins; ties broken by most-recent addition).
+  [[nodiscard]] const WindowRecord* topmost_touchable_at(ui::Point p, sim::SimTime t) const;
+
+  /// Topmost live window of any kind at a point (for rendering queries).
+  [[nodiscard]] const WindowRecord* topmost_at(ui::Point p, sim::SimTime t) const;
+
+  [[nodiscard]] bool alive_at(ui::WindowId id, sim::SimTime t) const;
+  [[nodiscard]] const WindowRecord* find(ui::WindowId id) const;
+
+  /// Live overlay (TYPE_APPLICATION_OVERLAY) windows owned by `uid` —
+  /// the check System Server performs before clearing the alert.
+  [[nodiscard]] int overlay_count(int uid) const;
+
+  /// Live windows of a given type owned by `uid`.
+  [[nodiscard]] int count(int uid, ui::WindowType type) const;
+
+  // ----- queries over history (perception / analysis) -----
+
+  /// Maximum alpha over all (live or historical) windows of `uid` whose
+  /// content starts with `content_prefix`, evaluated at time `t`. This is
+  /// what the user "sees" of the attacker's fake surface; the flicker
+  /// detector samples it per frame.
+  [[nodiscard]] double max_alpha_at(int uid, std::string_view content_prefix,
+                                    sim::SimTime t) const;
+
+  /// Composited opacity of all of `uid`'s matching surfaces stacked on
+  /// top of each other: 1 - prod(1 - alpha_i). During a toast switch the
+  /// fading-out old toast and the fading-in new toast overlap, so the
+  /// *combined* coverage is what the user perceives (both render the
+  /// same fake-keyboard content).
+  [[nodiscard]] double combined_alpha_at(int uid, std::string_view content_prefix,
+                                         sim::SimTime t) const;
+
+  [[nodiscard]] const std::vector<WindowRecord>& history() const { return records_; }
+  [[nodiscard]] std::size_t live_count() const;
+
+  /// Total number of add operations ever performed.
+  [[nodiscard]] std::size_t total_added() const { return records_.size(); }
+
+ private:
+  [[nodiscard]] WindowRecord* find_mutable(ui::WindowId id);
+
+  sim::EventLoop* loop_;
+  sim::TraceRecorder* trace_;
+  std::uint64_t next_id_ = 1;
+  std::vector<WindowRecord> records_;
+};
+
+}  // namespace animus::server

@@ -1,0 +1,23 @@
+#include "server/world.hpp"
+
+namespace animus::server {
+
+World::World(WorldConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      wms_(loop_, trace_),
+      nms_(loop_, trace_, wms_, config_.profile, rng_.fork("nms")),
+      sysui_(loop_, trace_, config_.profile),
+      server_(loop_, rng_.fork("system_server"), trace_, config_.profile, wms_, nms_, sysui_,
+              txlog_),
+      input_(loop_, trace_, wms_, rng_.fork("input")) {
+  trace_.set_enabled(config_.trace_enabled);
+  server_.set_deterministic(config_.deterministic);
+}
+
+sim::Actor& World::new_actor(std::string name) {
+  actors_.push_back(std::make_unique<sim::Actor>(loop_, std::move(name)));
+  return *actors_.back();
+}
+
+}  // namespace animus::server

@@ -1,0 +1,90 @@
+// World: one simulated handset.
+//
+// Owns the event loop, randomness, trace, and every system service, wired
+// for a given device profile. Attacks, victims and experiments all
+// operate through a World. Construction order matters (services hold
+// references); destruction is the reverse, and nothing outlives the
+// World.
+//
+// Typical use:
+//   server::World world{{.profile = device::reference_device(), .seed = 1}};
+//   world.server().grant_overlay_permission(kMalwareUid);
+//   core::OverlayAttack attack{world, {...}};
+//   attack.start();
+//   world.run_until(sim::seconds(30));
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/profile.hpp"
+#include "ipc/transaction_log.hpp"
+#include "server/input_dispatcher.hpp"
+#include "server/notification_manager.hpp"
+#include "server/system_server.hpp"
+#include "server/system_ui.hpp"
+#include "server/window_manager.hpp"
+#include "sim/actor.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/rng.hpp"
+#include "sim/trace.hpp"
+
+namespace animus::server {
+
+/// Conventional uids used across examples, tests and benches.
+inline constexpr int kMalwareUid = 10666;
+inline constexpr int kVictimUid = 10100;
+inline constexpr int kBenignUid = 10200;
+inline constexpr int kImeUid = 10001;
+
+struct WorldConfig {
+  device::DeviceProfile profile;
+  std::uint64_t seed = 0x414e494d5553ULL;  // "ANIMUS"
+  /// Use latency means instead of samples (boundary searches).
+  bool deterministic = false;
+  bool trace_enabled = true;
+};
+
+class World {
+ public:
+  explicit World(WorldConfig config);
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] sim::EventLoop& loop() { return loop_; }
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+  [[nodiscard]] sim::TraceRecorder& trace() { return trace_; }
+  [[nodiscard]] ipc::TransactionLog& transactions() { return txlog_; }
+  [[nodiscard]] WindowManagerService& wms() { return wms_; }
+  [[nodiscard]] NotificationManagerService& nms() { return nms_; }
+  [[nodiscard]] SystemUi& system_ui() { return sysui_; }
+  [[nodiscard]] SystemServer& server() { return server_; }
+  [[nodiscard]] InputDispatcher& input() { return input_; }
+  [[nodiscard]] const device::DeviceProfile& profile() const { return config_.profile; }
+  [[nodiscard]] sim::SimTime now() const { return loop_.now(); }
+
+  /// Create a named execution context (an app thread). The World owns it.
+  sim::Actor& new_actor(std::string name);
+
+  /// Fork a deterministic RNG substream for a component.
+  [[nodiscard]] sim::Rng fork_rng(std::string_view label) { return rng_.fork(label); }
+
+  void run_until(sim::SimTime t) { loop_.run_until(t); }
+  void run_all() { loop_.run_all(); }
+
+ private:
+  WorldConfig config_;
+  sim::EventLoop loop_;
+  sim::Rng rng_;
+  sim::TraceRecorder trace_;
+  ipc::TransactionLog txlog_;
+  WindowManagerService wms_;
+  NotificationManagerService nms_;
+  SystemUi sysui_;
+  SystemServer server_;
+  InputDispatcher input_;
+  std::vector<std::unique_ptr<sim::Actor>> actors_;
+};
+
+}  // namespace animus::server

@@ -1,0 +1,89 @@
+#include "sidechannel/shared_mem.hpp"
+
+#include <cmath>
+
+#include "metrics/table.hpp"
+
+namespace animus::sidechannel {
+
+TransitionSignature login_screen_signature() { return {820.0, 18.0}; }
+TransitionSignature password_focus_signature() { return {185.0, 9.0}; }
+TransitionSignature generic_navigation_signature() { return {430.0, 25.0}; }
+
+SharedMemOracle::SharedMemOracle(server::World& world)
+    : world_(&world), rng_(world.fork_rng("shared_mem_oracle")) {}
+
+void SharedMemOracle::record_transition(int uid, std::string_view activity,
+                                        const TransitionSignature& signature) {
+  const double delta =
+      rng_.truncated_normal(signature.mean_kb, signature.sd_kb,
+                            std::max(1.0, signature.mean_kb - 4 * signature.sd_kb),
+                            signature.mean_kb + 4 * signature.sd_kb);
+  counters_kb_[uid] += delta;
+  history_.push_back(Event{world_->now(), uid, std::string(activity), delta});
+  world_->trace().record(world_->now(), sim::TraceCategory::kVictim,
+                         metrics::fmt("shared-mem: uid=%d %s +%.0fkB", uid,
+                                      std::string(activity).c_str(), delta));
+}
+
+double SharedMemOracle::counter_kb(int uid) const {
+  const auto it = counters_kb_.find(uid);
+  return it == counters_kb_.end() ? 0.0 : it->second;
+}
+
+UiStateInferrer::UiStateInferrer(server::World& world, const SharedMemOracle& oracle,
+                                 int victim_uid, Config config)
+    : world_(&world), oracle_(&oracle), victim_uid_(victim_uid), config_(config) {}
+
+UiStateInferrer::UiStateInferrer(server::World& world, const SharedMemOracle& oracle,
+                                 int victim_uid)
+    : UiStateInferrer(world, oracle, victim_uid, Config{}) {}
+
+void UiStateInferrer::learn(std::string activity, TransitionSignature signature) {
+  trained_[std::move(activity)] = signature;
+}
+
+void UiStateInferrer::start(Detection on_detect) {
+  if (running_) return;
+  running_ = true;
+  on_detect_ = std::move(on_detect);
+  last_counter_kb_ = oracle_->counter_kb(victim_uid_);
+  timer_ = world_->loop().schedule_after(config_.poll_period, [this] { poll(); });
+}
+
+void UiStateInferrer::stop() {
+  if (!running_) return;
+  running_ = false;
+  world_->loop().cancel(timer_);
+}
+
+void UiStateInferrer::poll() {
+  if (!running_) return;
+  ++polls_;
+  const double now_kb = oracle_->counter_kb(victim_uid_);
+  const double delta = now_kb - last_counter_kb_;
+  last_counter_kb_ = now_kb;
+  if (delta > 0.0) {
+    // Classify the jump against the trained signatures: nearest mean
+    // within tolerance wins.
+    const std::string* best = nullptr;
+    double best_dist = config_.tolerance_kb;
+    for (const auto& [activity, sig] : trained_) {
+      const double dist = std::abs(delta - sig.mean_kb);
+      if (dist <= best_dist) {
+        best_dist = dist;
+        best = &activity;
+      }
+    }
+    if (best != nullptr) {
+      ++detections_;
+      world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
+                             metrics::fmt("ui-state inference: %s (+%.0fkB)", best->c_str(),
+                                          delta));
+      if (on_detect_) on_detect_(*best, world_->now());
+    }
+  }
+  timer_ = world_->loop().schedule_after(config_.poll_period, [this] { poll(); });
+}
+
+}  // namespace animus::sidechannel

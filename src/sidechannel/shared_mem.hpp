@@ -1,0 +1,106 @@
+// Shared-memory UI-state side channel (Chen et al., USENIX Security'14),
+// which Section V cites as the alternative to the accessibility service
+// for detecting "when the user enters the password": an unprivileged app
+// can read another process's shared-memory counters (e.g. via
+// /proc/<pid>/statm) and infer foreground-activity transitions from
+// their characteristic jumps.
+//
+// The oracle models the victim side (each activity transition bumps the
+// process's counter by a signature-specific amount); the inferrer models
+// the attacker side (poll the public counter, match deltas against
+// offline-trained signatures).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "server/world.hpp"
+
+namespace animus::sidechannel {
+
+/// Dirty-page delta signature of one activity transition (kilobytes).
+struct TransitionSignature {
+  double mean_kb = 0.0;
+  double sd_kb = 0.0;
+};
+
+class SharedMemOracle {
+ public:
+  explicit SharedMemOracle(server::World& world);
+
+  /// Victim side: an activity transition happened; the process's
+  /// counter jumps by a sample from the signature.
+  void record_transition(int uid, std::string_view activity,
+                         const TransitionSignature& signature);
+
+  /// Attacker side — public and unprivileged: the current counter.
+  [[nodiscard]] double counter_kb(int uid) const;
+
+  struct Event {
+    sim::SimTime at{0};
+    int uid = -1;
+    std::string activity;
+    double delta_kb = 0.0;
+  };
+  [[nodiscard]] const std::vector<Event>& history() const { return history_; }
+
+ private:
+  server::World* world_;
+  sim::Rng rng_;
+  std::map<int, double> counters_kb_;
+  std::vector<Event> history_;
+};
+
+/// The attacker's activity-inference engine: polls a victim's counter
+/// and classifies each observed jump against trained signatures.
+class UiStateInferrer {
+ public:
+  struct Config {
+    sim::SimTime poll_period = sim::ms(30);
+    /// A delta matches a signature when within this distance of its mean.
+    double tolerance_kb = 40.0;
+  };
+
+  /// Callback: (activity label, time of detection).
+  using Detection = std::function<void(const std::string&, sim::SimTime)>;
+
+  UiStateInferrer(server::World& world, const SharedMemOracle& oracle, int victim_uid,
+                  Config config);
+  UiStateInferrer(server::World& world, const SharedMemOracle& oracle, int victim_uid);
+
+  /// Offline training: learned signature per activity label.
+  void learn(std::string activity, TransitionSignature signature);
+
+  void start(Detection on_detect);
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] int polls() const { return polls_; }
+  [[nodiscard]] int detections() const { return detections_; }
+
+ private:
+  void poll();
+
+  server::World* world_;
+  const SharedMemOracle* oracle_;
+  int victim_uid_;
+  Config config_;
+  std::map<std::string, TransitionSignature> trained_;
+  Detection on_detect_;
+  bool running_ = false;
+  double last_counter_kb_ = 0.0;
+  int polls_ = 0;
+  int detections_ = 0;
+  sim::EventLoop::EventId timer_{};
+};
+
+/// Canonical signatures used by the victim models and the attacker's
+/// training set (values are modelling choices; what matters is that the
+/// transitions are separable, as Chen et al. demonstrated on real apps).
+TransitionSignature login_screen_signature();
+TransitionSignature password_focus_signature();
+TransitionSignature generic_navigation_signature();
+
+}  // namespace animus::sidechannel

@@ -1,0 +1,16 @@
+#include "sim/actor.hpp"
+
+#include <algorithm>
+
+namespace animus::sim {
+
+EventLoop::EventId Actor::post(SimTime arrival_delay, SimTime cost, Task task) {
+  if (arrival_delay < SimTime{0}) arrival_delay = SimTime{0};
+  if (cost < SimTime{0}) cost = SimTime{0};
+  const SimTime arrival = loop_->now() + arrival_delay;
+  const SimTime start = std::max(arrival, busy_until_);
+  busy_until_ = start + cost;
+  return loop_->schedule_at(start, std::move(task));
+}
+
+}  // namespace animus::sim

@@ -1,0 +1,81 @@
+#include "sim/chrome_trace.hpp"
+
+#include <fstream>
+
+namespace animus::sim {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Stable small thread-id per category so each gets its own track.
+int track_of(TraceCategory c) { return static_cast<int>(c) + 1; }
+
+}  // namespace
+
+std::string to_chrome_trace_json(const TraceRecorder& trace, std::string_view process_name) {
+  std::string out;
+  out.reserve(128 + trace.size() * 96);
+  out += "[\n";
+  // Process + per-track metadata.
+  out += R"({"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":")";
+  append_escaped(out, process_name);
+  out += "\"}}";
+  for (int c = 0; c < 8; ++c) {
+    const auto cat = static_cast<TraceCategory>(c);
+    out += ",\n";
+    out += R"({"name":"thread_name","ph":"M","pid":1,"tid":)";
+    out += std::to_string(track_of(cat));
+    out += R"(,"args":{"name":")";
+    append_escaped(out, to_string(cat));
+    out += "\"}}";
+  }
+  for (const auto& rec : trace.records()) {
+    out += ",\n";
+    out += R"({"name":")";
+    append_escaped(out, rec.message);
+    out += R"(","ph":"i","s":"t","pid":1,"tid":)";
+    out += std::to_string(track_of(rec.category));
+    out += R"(,"ts":)";
+    out += std::to_string(rec.time.count());
+    out += R"(,"cat":")";
+    append_escaped(out, to_string(rec.category));
+    out += "\"";
+    if (rec.value != 0.0) {
+      out += R"(,"args":{"value":)";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", rec.value);
+      out += buf;
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+bool write_chrome_trace(const TraceRecorder& trace, const std::string& path,
+                        std::string_view process_name) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_chrome_trace_json(trace, process_name);
+  return static_cast<bool>(out);
+}
+
+}  // namespace animus::sim

@@ -1,0 +1,23 @@
+// Export a TraceRecorder to the Chrome trace-event JSON format, so any
+// simulated attack can be inspected visually in chrome://tracing or
+// https://ui.perfetto.dev (load the file as a legacy JSON trace).
+//
+// Records are emitted as instant events ("ph":"i"), one named track per
+// TraceCategory, timestamped in virtual-time microseconds.
+#pragma once
+
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace animus::sim {
+
+/// Serialize all records as a JSON array of trace events.
+std::string to_chrome_trace_json(const TraceRecorder& trace,
+                                 std::string_view process_name = "animus");
+
+/// Convenience: write the JSON to a file. Returns false on I/O failure.
+bool write_chrome_trace(const TraceRecorder& trace, const std::string& path,
+                        std::string_view process_name = "animus");
+
+}  // namespace animus::sim

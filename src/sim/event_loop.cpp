@@ -1,0 +1,71 @@
+#include "sim/event_loop.hpp"
+
+#include <utility>
+
+namespace animus::sim {
+
+EventLoop::EventId EventLoop::schedule_at(SimTime when, Callback cb) {
+  if (when < now_) when = now_;
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(HeapEntry{when, seq});
+  callbacks_.emplace(seq, std::move(cb));
+  return EventId{seq};
+}
+
+EventLoop::EventId EventLoop::schedule_after(SimTime delay, Callback cb) {
+  if (delay < SimTime{0}) delay = SimTime{0};
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool EventLoop::cancel(EventId id) {
+  if (!id.valid()) return false;
+  return callbacks_.erase(id.seq) > 0;
+}
+
+bool EventLoop::pop_next(HeapEntry& out, Callback& cb) {
+  while (!heap_.empty()) {
+    HeapEntry top = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(top.seq);
+    if (it == callbacks_.end()) continue;  // cancelled: tombstone
+    out = top;
+    cb = std::move(it->second);
+    callbacks_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+bool EventLoop::step() {
+  HeapEntry entry{};
+  Callback cb;
+  if (!pop_next(entry, cb)) return false;
+  now_ = entry.when;
+  cb();
+  return true;
+}
+
+std::size_t EventLoop::run_until(SimTime until) {
+  std::size_t executed = 0;
+  while (!heap_.empty()) {
+    // Peek through tombstones without popping live entries early.
+    HeapEntry top = heap_.top();
+    if (callbacks_.find(top.seq) == callbacks_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (top.when > until) break;
+    step();
+    ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+std::size_t EventLoop::run_all(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && step()) ++executed;
+  return executed;
+}
+
+}  // namespace animus::sim

@@ -1,0 +1,81 @@
+// Deterministic discrete-event loop.
+//
+// Events are (time, sequence, callback) triples executed in nondecreasing
+// time order; ties are broken by scheduling order, so a simulation run is
+// a pure function of its inputs. Cancellation is O(log n) amortized via a
+// tombstone map.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace animus::sim {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Opaque handle for cancelling a scheduled event. Default-constructed
+  /// handles are invalid and cancel() on them is a no-op returning false.
+  struct EventId {
+    std::uint64_t seq = 0;
+    [[nodiscard]] bool valid() const { return seq != 0; }
+  };
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Current virtual time; advances only while events run.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `cb` at absolute virtual time `when`. Scheduling in the past
+  /// clamps to now() (the event still runs, after already-due events).
+  EventId schedule_at(SimTime when, Callback cb);
+
+  /// Schedule `cb` at now() + delay (delay < 0 clamps to 0).
+  EventId schedule_after(SimTime delay, Callback cb);
+
+  /// Cancel a pending event. Returns true iff the event existed and had
+  /// not yet run.
+  bool cancel(EventId id);
+
+  /// Run the single next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run all events with time <= `until` (inclusive); returns the number
+  /// of events executed. now() is advanced to `until` afterwards so that
+  /// subsequent relative scheduling measures from the horizon.
+  std::size_t run_until(SimTime until);
+
+  /// Drain the queue completely (events may schedule more events).
+  /// `max_events` guards against runaway self-rescheduling loops.
+  std::size_t run_all(std::size_t max_events = 100'000'000);
+
+  /// Number of events currently pending (cancelled ones excluded).
+  [[nodiscard]] std::size_t pending() const { return callbacks_.size(); }
+
+ private:
+  struct HeapEntry {
+    SimTime when;
+    std::uint64_t seq;
+    bool operator>(const HeapEntry& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+
+  /// Pop the next live entry off the heap, skipping tombstones.
+  bool pop_next(HeapEntry& out, Callback& cb);
+
+  SimTime now_{0};
+  std::uint64_t next_seq_ = 1;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+}  // namespace animus::sim

@@ -1,0 +1,133 @@
+#include "sim/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace animus::sim {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+  // xoshiro must not start in the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng Rng::fork(std::uint64_t stream) const {
+  // Mix the child stream id into a fresh seed derived from our state.
+  std::uint64_t x = s_[0] ^ rotl(s_[2], 17) ^ (stream * 0xd1342543de82ef95ULL + 1);
+  return Rng{splitmix64(x)};
+}
+
+Rng Rng::fork(std::string_view label) const { return fork(fnv1a(label)); }
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  // 53 top bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * span;
+  auto lowbits = static_cast<std::uint64_t>(m);
+  if (lowbits < span) {
+    const std::uint64_t threshold = (0 - span) % span;
+    while (lowbits < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * span;
+      lowbits = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::int64_t>(m >> 64);
+}
+
+bool Rng::bernoulli(double p) { return uniform01() < p; }
+
+double Rng::normal(double mean, double stddev) {
+  if (has_spare_) {
+    has_spare_ = false;
+    return mean + stddev * spare_;
+  }
+  double u = 0.0;
+  do {
+    u = uniform01();
+  } while (u <= 1e-300);
+  const double v = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u));
+  const double theta = 2.0 * 3.14159265358979323846 * v;
+  spare_ = r * std::sin(theta);
+  has_spare_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::truncated_normal(double mean, double stddev, double lo, double hi) {
+  assert(lo <= hi);
+  for (int i = 0; i < 16; ++i) {
+    const double x = normal(mean, stddev);
+    if (x >= lo && x <= hi) return x;
+  }
+  const double x = normal(mean, stddev);
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+double Rng::exponential(double mean) {
+  assert(mean > 0.0);
+  double u = 0.0;
+  do {
+    u = uniform01();
+  } while (u <= 1e-300);
+  return -mean * std::log(u);
+}
+
+SimTime Rng::normal_ms(double mean_ms, double sd_ms, double floor_ms) {
+  const double v = sd_ms <= 0.0 ? mean_ms : normal(mean_ms, sd_ms);
+  return ms_f(v < floor_ms ? floor_ms : v);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  assert(n > 0);
+  return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+}  // namespace animus::sim

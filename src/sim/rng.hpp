@@ -1,0 +1,67 @@
+// Deterministic, platform-independent pseudo-randomness.
+//
+// We deliberately avoid <random>'s distribution classes: their output is
+// implementation-defined, which would make experiment tables differ
+// between standard libraries. The generator is xoshiro256** seeded by
+// splitmix64; all distributions are implemented here from uniform bits.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace animus::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Derive an independent substream; `stream` values must be distinct
+  /// for independence (participant id, device id, trial index...).
+  [[nodiscard]] Rng fork(std::uint64_t stream) const;
+
+  /// Derive a substream from a label (stable FNV-1a hash of the name).
+  [[nodiscard]] Rng fork(std::string_view label) const;
+
+  /// Raw 64 uniform bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+
+  /// Normal via Box-Muller (cached spare for determinism and speed).
+  double normal(double mean, double stddev);
+
+  /// Normal truncated to [lo, hi] by resampling (16 tries, then clamp).
+  double truncated_normal(double mean, double stddev, double lo, double hi);
+
+  /// Log-normal with the given *underlying* normal parameters.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Duration helpers: a normal in milliseconds truncated below at
+  /// `floor_ms`, returned as SimTime. Used for IPC latency sampling.
+  SimTime normal_ms(double mean_ms, double sd_ms, double floor_ms = 0.0);
+
+  /// Pick an index in [0, n) uniformly. Requires n > 0.
+  std::size_t index(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace animus::sim

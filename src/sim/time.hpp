@@ -1,0 +1,33 @@
+// Virtual-time primitives for the ANIMUS discrete-event simulation.
+//
+// All simulated timestamps and durations are std::chrono::microseconds in
+// virtual time; nothing in the simulation reads a wall clock, which keeps
+// every experiment deterministic and replayable under a fixed RNG seed.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace animus::sim {
+
+/// Virtual time. Used both as a point in time (offset from simulation
+/// start) and as a duration; the event loop starts at SimTime{0}.
+using SimTime = std::chrono::microseconds;
+
+/// Convenience literal-style constructors.
+constexpr SimTime us(std::int64_t v) { return SimTime{v}; }
+constexpr SimTime ms(std::int64_t v) { return SimTime{v * 1000}; }
+constexpr SimTime seconds(std::int64_t v) { return SimTime{v * 1'000'000}; }
+
+/// Fractional milliseconds, rounded to the nearest microsecond.
+constexpr SimTime ms_f(double v) {
+  return SimTime{static_cast<std::int64_t>(v * 1000.0 + (v >= 0 ? 0.5 : -0.5))};
+}
+
+/// Duration expressed as a double count of milliseconds (for stats/plots).
+constexpr double to_ms(SimTime t) { return static_cast<double>(t.count()) / 1000.0; }
+
+/// Duration expressed as a double count of seconds.
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t.count()) / 1e6; }
+
+}  // namespace animus::sim

@@ -1,0 +1,63 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+namespace animus::sim {
+
+std::string_view to_string(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kApp: return "app";
+    case TraceCategory::kSystemServer: return "system_server";
+    case TraceCategory::kSystemUi: return "system_ui";
+    case TraceCategory::kAnimation: return "animation";
+    case TraceCategory::kInput: return "input";
+    case TraceCategory::kAttack: return "attack";
+    case TraceCategory::kDefense: return "defense";
+    case TraceCategory::kVictim: return "victim";
+  }
+  return "?";
+}
+
+void TraceRecorder::record(SimTime t, TraceCategory c, std::string message, double value) {
+  if (!enabled_) return;
+  records_.push_back(TraceRecord{t, c, std::move(message), value});
+}
+
+std::vector<TraceRecord> TraceRecorder::matching(std::string_view needle) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (r.message.find(needle) != std::string::npos) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t TraceRecorder::count(TraceCategory c) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.category == c) ++n;
+  }
+  return n;
+}
+
+std::string TraceRecorder::to_text(std::size_t max_lines) const {
+  std::string out;
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (n++ >= max_lines) {
+      out += "  ... (truncated)\n";
+      break;
+    }
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%10.3fms [%-13s] %s", to_ms(r.time),
+                  std::string(to_string(r.category)).c_str(), r.message.c_str());
+    out += buf;
+    if (r.value != 0.0) {
+      std::snprintf(buf, sizeof(buf), " (%.3f)", r.value);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace animus::sim

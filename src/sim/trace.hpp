@@ -1,0 +1,63 @@
+// Structured event trace.
+//
+// Every subsystem can append timestamped records; tests assert on the
+// trace, benches summarize it, and the examples print it as a narrated
+// timeline. Recording is append-only and cheap, and can be disabled.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace animus::sim {
+
+enum class TraceCategory : std::uint8_t {
+  kApp,           // malicious/benign app actions (addView, removeView, show)
+  kSystemServer,  // WMS/NMS processing
+  kSystemUi,      // notification alert lifecycle
+  kAnimation,     // animation start/stop/progress milestones
+  kInput,         // touch dispatch decisions
+  kAttack,        // attack logic milestones
+  kDefense,       // defense decisions
+  kVictim,        // victim app / accessibility events
+};
+
+std::string_view to_string(TraceCategory c);
+
+struct TraceRecord {
+  SimTime time{0};
+  TraceCategory category{TraceCategory::kApp};
+  std::string message;
+  double value = 0.0;  // optional numeric payload (pixels, alpha, D, ...)
+};
+
+class TraceRecorder {
+ public:
+  void record(SimTime t, TraceCategory c, std::string message, double value = 0.0);
+
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  [[nodiscard]] std::span<const TraceRecord> records() const { return records_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// All records whose message contains `needle` (simple substring).
+  [[nodiscard]] std::vector<TraceRecord> matching(std::string_view needle) const;
+
+  /// Count of records in a category.
+  [[nodiscard]] std::size_t count(TraceCategory c) const;
+
+  /// Render as "  12.345ms [category] message (value)" lines.
+  [[nodiscard]] std::string to_text(std::size_t max_lines = 200) const;
+
+ private:
+  bool enabled_ = true;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace animus::sim

@@ -1,0 +1,51 @@
+#include "ui/animation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace animus::ui {
+
+Animation::Animation(const Interpolator& interp, sim::SimTime duration, sim::SimTime refresh)
+    : interp_(&interp), duration_(duration), refresh_(refresh) {
+  assert(duration_.count() > 0);
+  assert(refresh_.count() > 0);
+}
+
+double Animation::completeness_at(sim::SimTime elapsed) const {
+  if (elapsed <= sim::SimTime{0}) return 0.0;
+  if (elapsed >= duration_) return 1.0;
+  const double x = static_cast<double>(elapsed.count()) / static_cast<double>(duration_.count());
+  return interp_->value(x);
+}
+
+double Animation::presented_completeness_at(sim::SimTime elapsed) const {
+  if (elapsed < refresh_) return 0.0;
+  // Last presented frame boundary at or before `elapsed`.
+  const auto frames = elapsed.count() / refresh_.count();
+  return completeness_at(sim::SimTime{frames * refresh_.count()});
+}
+
+int Animation::presented_pixels_at(sim::SimTime elapsed, int height_px) const {
+  const double fractional = presented_completeness_at(elapsed) * height_px;
+  return static_cast<int>(std::llround(fractional));
+}
+
+sim::SimTime Animation::time_to_reveal(int pixels, int height_px) const {
+  if (pixels <= 0) return sim::SimTime{0};
+  for (sim::SimTime t = refresh_;; t += refresh_) {
+    if (presented_pixels_at(t, height_px) >= pixels) return t;
+    if (t >= duration_) break;
+  }
+  return duration_ + refresh_;
+}
+
+Animation notification_slide_in() {
+  return Animation{fast_out_slow_in(), kNotificationAnimDuration};
+}
+
+Animation toast_fade_in() { return Animation{decelerate(), kToastAnimDuration}; }
+
+Animation toast_fade_out() { return Animation{accelerate(), kToastAnimDuration}; }
+
+}  // namespace animus::ui

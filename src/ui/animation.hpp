@@ -1,0 +1,79 @@
+// Frame-quantized animation playback model.
+//
+// Android presents animations at discrete frames; the paper relies on the
+// default 10 ms refresh interval (Section III-B): "it takes at least
+// 10 ms to display the first frame of the animation", and the pixel count
+// revealed at a frame is rounded to an integer, so a 72 px notification
+// view shows 0 pixels on the first frame (72 * 0.17% -> 0).
+//
+// An Animation is a value object: given an elapsed time it answers "what
+// completeness has actually been *presented* on screen", accounting for
+// frame quantization. Playback direction/retargeting state lives in the
+// services (see server/system_ui.hpp), not here.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "ui/interpolator.hpp"
+
+namespace animus::ui {
+
+/// Default animation frame interval (Android developer guides).
+inline constexpr sim::SimTime kDefaultRefresh = sim::ms(10);
+
+/// Duration of the notification slide-in animation
+/// (ANIMATION_DURATION_STANDARD in System UI).
+inline constexpr sim::SimTime kNotificationAnimDuration = sim::ms(360);
+
+/// Duration of the toast enter/exit animations.
+inline constexpr sim::SimTime kToastAnimDuration = sim::ms(500);
+
+/// Minimum rounded pixel count of the notification view that counts as
+/// "observable with naked eyes" (the Λ1 vs Λ2 boundary of Fig. 6). One
+/// rounded pixel for a single 10 ms frame is not visually perceptible;
+/// two pixels sustained for a frame is the threshold we calibrate with.
+inline constexpr int kNakedEyeMinPixels = 2;
+
+class Animation {
+ public:
+  Animation(const Interpolator& interp, sim::SimTime duration,
+            sim::SimTime refresh = kDefaultRefresh);
+
+  /// Continuous-time completeness (no frame quantization), clamped [0,1].
+  [[nodiscard]] double completeness_at(sim::SimTime elapsed) const;
+
+  /// Completeness actually on screen at `elapsed`: the value at the last
+  /// presented frame boundary. Before the first frame (elapsed <
+  /// refresh) nothing has been drawn and this returns 0.
+  [[nodiscard]] double presented_completeness_at(sim::SimTime elapsed) const;
+
+  /// Number of whole pixels of a `height_px`-tall view revealed at
+  /// `elapsed`, using the OS's round-to-nearest behaviour the paper
+  /// describes (0.1224 px -> 0 px).
+  [[nodiscard]] int presented_pixels_at(sim::SimTime elapsed, int height_px) const;
+
+  /// Smallest elapsed time at which at least `pixels` of a
+  /// `height_px`-tall view are presented; this is the paper's Ta — the
+  /// animation play time before the alert becomes observable. Returns
+  /// duration+refresh if the animation never reveals that many pixels.
+  [[nodiscard]] sim::SimTime time_to_reveal(int pixels, int height_px) const;
+
+  [[nodiscard]] sim::SimTime duration() const { return duration_; }
+  [[nodiscard]] sim::SimTime refresh() const { return refresh_; }
+  [[nodiscard]] const Interpolator& interpolator() const { return *interp_; }
+
+ private:
+  const Interpolator* interp_;
+  sim::SimTime duration_;
+  sim::SimTime refresh_;
+};
+
+/// The notification alert slide-in animation (360 ms FastOutSlowIn).
+Animation notification_slide_in();
+
+/// Toast enter (500 ms Decelerate) and exit (500 ms Accelerate).
+Animation toast_fade_in();
+Animation toast_fade_out();
+
+}  // namespace animus::ui

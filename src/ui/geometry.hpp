@@ -1,0 +1,38 @@
+// Integer screen geometry (pixel coordinates, origin top-left).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace animus::ui {
+
+struct Point {
+  int x = 0;
+  int y = 0;
+};
+
+inline double distance(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int w = 0;
+  int h = 0;
+
+  [[nodiscard]] bool contains(Point p) const {
+    return p.x >= x && p.x < x + w && p.y >= y && p.y < y + h;
+  }
+  [[nodiscard]] Point center() const { return Point{x + w / 2, y + h / 2}; }
+  [[nodiscard]] int area() const { return w * h; }
+  [[nodiscard]] bool intersects(const Rect& o) const {
+    return x < o.x + o.w && o.x < x + w && y < o.y + o.h && o.y < y + h;
+  }
+  [[nodiscard]] bool operator==(const Rect&) const = default;
+};
+
+}  // namespace animus::ui

@@ -1,0 +1,133 @@
+#include "ui/interpolator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace animus::ui {
+namespace {
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+}  // namespace
+
+double Interpolator::inverse(double y) const {
+  y = clamp01(y);
+  double lo = 0.0, hi = 1.0;
+  for (int i = 0; i < 64; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (value(mid) >= y) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double LinearInterpolator::value(double x) const { return clamp01(x); }
+
+double AccelerateInterpolator::value(double x) const {
+  x = clamp01(x);
+  if (factor_ == 1.0) return x * x;
+  return std::pow(x, 2.0 * factor_);
+}
+
+double DecelerateInterpolator::value(double x) const {
+  x = clamp01(x);
+  if (factor_ == 1.0) return 1.0 - (1.0 - x) * (1.0 - x);
+  return 1.0 - std::pow(1.0 - x, 2.0 * factor_);
+}
+
+CubicBezierInterpolator::CubicBezierInterpolator(double x1, double y1, double x2, double y2)
+    : x1_(clamp01(x1)), y1_(y1), x2_(clamp01(x2)), y2_(y2) {}
+
+double CubicBezierInterpolator::bezier_x(double t) const {
+  const double u = 1.0 - t;
+  return 3.0 * u * u * t * x1_ + 3.0 * u * t * t * x2_ + t * t * t;
+}
+
+double CubicBezierInterpolator::bezier_y(double t) const {
+  const double u = 1.0 - t;
+  return 3.0 * u * u * t * y1_ + 3.0 * u * t * t * y2_ + t * t * t;
+}
+
+double CubicBezierInterpolator::bezier_dx(double t) const {
+  const double u = 1.0 - t;
+  return 3.0 * u * u * x1_ + 6.0 * u * t * (x2_ - x1_) + 3.0 * t * t * (1.0 - x2_);
+}
+
+double CubicBezierInterpolator::solve_t_for_x(double x) const {
+  // Newton iterations from a good initial guess; x(t) is monotone for
+  // control x-coordinates inside [0,1].
+  double t = x;
+  for (int i = 0; i < 8; ++i) {
+    const double err = bezier_x(t) - x;
+    if (std::abs(err) < 1e-9) return t;
+    const double d = bezier_dx(t);
+    if (std::abs(d) < 1e-7) break;
+    t = clamp01(t - err / d);
+  }
+  // Bisection fallback for flat-derivative regions.
+  double lo = 0.0, hi = 1.0;
+  for (int i = 0; i < 48; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (bezier_x(mid) < x) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double CubicBezierInterpolator::value(double x) const {
+  x = clamp01(x);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  return clamp01(bezier_y(solve_t_for_x(x)));
+}
+
+double AccelerateDecelerateInterpolator::value(double x) const {
+  x = clamp01(x);
+  return std::cos((x + 1.0) * 3.14159265358979323846) / 2.0 + 0.5;
+}
+
+double AnticipateInterpolator::value(double x) const {
+  x = clamp01(x);
+  return (tension_ + 1.0) * x * x * x - tension_ * x * x;
+}
+
+double OvershootInterpolator::value(double x) const {
+  const double s = clamp01(x) - 1.0;
+  return s * s * ((tension_ + 1.0) * s + tension_) + 1.0;
+}
+
+double BounceInterpolator::value(double x) const {
+  // AOSP Bounce: piecewise parabolas scaled by 1.1226.
+  auto bounce = [](double t) { return t * t * 8.0; };
+  x = clamp01(x) * 1.1226;
+  if (x < 0.3535) return bounce(x);
+  if (x < 0.7408) return bounce(x - 0.54719) + 0.7;
+  if (x < 0.9644) return bounce(x - 0.8526) + 0.9;
+  return bounce(x - 1.0435) + 0.95;
+}
+
+const Interpolator& fast_out_slow_in() {
+  static const FastOutSlowInInterpolator kInstance;
+  return kInstance;
+}
+
+const Interpolator& accelerate() {
+  static const AccelerateInterpolator kInstance;
+  return kInstance;
+}
+
+const Interpolator& decelerate() {
+  static const DecelerateInterpolator kInstance;
+  return kInstance;
+}
+
+const Interpolator& linear() {
+  static const LinearInterpolator kInstance;
+  return kInstance;
+}
+
+}  // namespace animus::ui

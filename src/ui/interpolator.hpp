@@ -1,0 +1,165 @@
+// Android animation interpolators.
+//
+// These are the objects the paper's attacks exploit:
+//  - FastOutSlowInInterpolator drives the notification alert slide-in
+//    (Section III-B, Fig. 2): a cubic Bezier with control points
+//    (0.4, 0) and (0.2, 1) over 360 ms. Less than 50% of the view is
+//    revealed in the first 100 ms, and the first 10 ms frame reveals
+//    only ~0.17% — which rounds to zero pixels for a 72 px view.
+//  - DecelerateInterpolator drives the toast fade-in (Section IV-B,
+//    Fig. 4): y = 1 - (1-x)^2, fast at first.
+//  - AccelerateInterpolator drives the toast fade-out: y = x^2, slow at
+//    first, which is what lets a replacement toast appear before the old
+//    one visibly fades.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace animus::ui {
+
+/// Maps normalized elapsed time x in [0,1] to animation completeness
+/// y in [0,1]. All interpolators here are monotone with f(0)=0, f(1)=1.
+class Interpolator {
+ public:
+  virtual ~Interpolator() = default;
+
+  /// Completeness at normalized time x (clamped into [0,1]).
+  [[nodiscard]] virtual double value(double x) const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Inverse map: smallest x with value(x) >= y, found by bisection
+  /// (valid because all our interpolators are monotone nondecreasing).
+  [[nodiscard]] double inverse(double y) const;
+};
+
+/// y = x.
+class LinearInterpolator final : public Interpolator {
+ public:
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] std::string_view name() const override { return "Linear"; }
+};
+
+/// Android's AccelerateInterpolator: y = x^(2*factor); default factor 1
+/// gives the y = x^2 parabola of the toast exit animation.
+class AccelerateInterpolator final : public Interpolator {
+ public:
+  explicit AccelerateInterpolator(double factor = 1.0) : factor_(factor) {}
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] std::string_view name() const override { return "Accelerate"; }
+
+ private:
+  double factor_;
+};
+
+/// Android's DecelerateInterpolator: y = 1 - (1-x)^(2*factor); default
+/// factor 1 gives the upside-down parabola of the toast enter animation.
+class DecelerateInterpolator final : public Interpolator {
+ public:
+  explicit DecelerateInterpolator(double factor = 1.0) : factor_(factor) {}
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] std::string_view name() const override { return "Decelerate"; }
+
+ private:
+  double factor_;
+};
+
+/// Cubic Bezier easing through (0,0), (x1,y1), (x2,y2), (1,1), evaluated
+/// as y(t(x)) where t(x) is recovered by Newton iteration with a bisection
+/// fallback — the same approach Android's PathInterpolator takes.
+class CubicBezierInterpolator : public Interpolator {
+ public:
+  CubicBezierInterpolator(double x1, double y1, double x2, double y2);
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] std::string_view name() const override { return "CubicBezier"; }
+
+  [[nodiscard]] double x1() const { return x1_; }
+  [[nodiscard]] double y1() const { return y1_; }
+  [[nodiscard]] double x2() const { return x2_; }
+  [[nodiscard]] double y2() const { return y2_; }
+
+ private:
+  [[nodiscard]] double bezier_x(double t) const;
+  [[nodiscard]] double bezier_y(double t) const;
+  [[nodiscard]] double bezier_dx(double t) const;
+  [[nodiscard]] double solve_t_for_x(double x) const;
+
+  double x1_, y1_, x2_, y2_;
+};
+
+/// Android's FastOutSlowInInterpolator: cubic Bezier (0.4, 0, 0.2, 1).
+/// This is the interpolator of the notification alert slide-in that the
+/// draw-and-destroy overlay attack defeats.
+class FastOutSlowInInterpolator final : public CubicBezierInterpolator {
+ public:
+  FastOutSlowInInterpolator() : CubicBezierInterpolator(0.4, 0.0, 0.2, 1.0) {}
+  [[nodiscard]] std::string_view name() const override { return "FastOutSlowIn"; }
+};
+
+/// Android's LinearOutSlowInInterpolator: cubic Bezier (0, 0, 0.2, 1) —
+/// the standard material "incoming element" curve.
+class LinearOutSlowInInterpolator final : public CubicBezierInterpolator {
+ public:
+  LinearOutSlowInInterpolator() : CubicBezierInterpolator(0.0, 0.0, 0.2, 1.0) {}
+  [[nodiscard]] std::string_view name() const override { return "LinearOutSlowIn"; }
+};
+
+/// Android's FastOutLinearInInterpolator: cubic Bezier (0.4, 0, 1, 1) —
+/// the standard material "outgoing element" curve.
+class FastOutLinearInInterpolator final : public CubicBezierInterpolator {
+ public:
+  FastOutLinearInInterpolator() : CubicBezierInterpolator(0.4, 0.0, 1.0, 1.0) {}
+  [[nodiscard]] std::string_view name() const override { return "FastOutLinearIn"; }
+};
+
+/// Android's AccelerateDecelerateInterpolator:
+/// y = cos((x + 1) * pi) / 2 + 0.5.
+class AccelerateDecelerateInterpolator final : public Interpolator {
+ public:
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] std::string_view name() const override { return "AccelerateDecelerate"; }
+};
+
+/// Android's AnticipateInterpolator: backs up before moving forward —
+/// y = (t + 1) t^2 - t, with tension t = 2 by default. Note: the output
+/// dips below 0 early on (it is *not* a monotone easing).
+class AnticipateInterpolator final : public Interpolator {
+ public:
+  explicit AnticipateInterpolator(double tension = 2.0) : tension_(tension) {}
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] std::string_view name() const override { return "Anticipate"; }
+
+ private:
+  double tension_;
+};
+
+/// Android's OvershootInterpolator: flings past 1.0 and settles back —
+/// y = (t + 1) s^3 + t s^2 + s with s = x - 1. Output exceeds 1 near the
+/// end (not a monotone easing into [0,1]).
+class OvershootInterpolator final : public Interpolator {
+ public:
+  explicit OvershootInterpolator(double tension = 2.0) : tension_(tension) {}
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] std::string_view name() const override { return "Overshoot"; }
+
+ private:
+  double tension_;
+};
+
+/// Android's BounceInterpolator: the value bounces at the end.
+class BounceInterpolator final : public Interpolator {
+ public:
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] std::string_view name() const override { return "Bounce"; }
+};
+
+/// Shared singletons for the three interpolators the paper uses. The
+/// objects are immutable and thread-compatible.
+const Interpolator& fast_out_slow_in();
+const Interpolator& accelerate();
+const Interpolator& decelerate();
+const Interpolator& linear();
+
+}  // namespace animus::ui

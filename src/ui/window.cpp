@@ -1,0 +1,50 @@
+#include "ui/window.hpp"
+
+#include <algorithm>
+
+namespace animus::ui {
+
+int base_layer(WindowType t) {
+  switch (t) {
+    case WindowType::kActivity: return 1;
+    case WindowType::kInputMethod: return 2;
+    case WindowType::kToast: return 3;
+    case WindowType::kAppOverlay: return 4;
+    case WindowType::kStatusBar: return 5;
+  }
+  return 0;
+}
+
+double FadeAnimation::alpha_at(sim::SimTime t) const {
+  const sim::SimTime elapsed = t - start;
+  const double completeness = animation.presented_completeness_at(elapsed);
+  return fade_in ? completeness : 1.0 - completeness;
+}
+
+bool FadeAnimation::finished_at(sim::SimTime t) const {
+  return t - start >= animation.duration();
+}
+
+double Window::alpha_at(sim::SimTime t) const {
+  if (t < added_at) return 0.0;
+  double alpha = 1.0;
+  if (enter_fade && t >= enter_fade->start) alpha = enter_fade->alpha_at(t);
+  if (exit_fade && t >= exit_fade->start) {
+    // An exit that interrupts the enter animation can only dim further.
+    alpha = std::min(alpha, exit_fade->alpha_at(t));
+  }
+  return alpha;
+}
+
+std::string_view to_string(WindowType t) {
+  switch (t) {
+    case WindowType::kActivity: return "activity";
+    case WindowType::kInputMethod: return "input_method";
+    case WindowType::kToast: return "toast";
+    case WindowType::kAppOverlay: return "app_overlay";
+    case WindowType::kStatusBar: return "status_bar";
+  }
+  return "?";
+}
+
+}  // namespace animus::ui

@@ -1,0 +1,93 @@
+// Window model: the rectangular on-screen surfaces managed by the
+// simulated WindowManagerService.
+//
+// Z-ordering follows the composition the paper's combined attack relies
+// on (Section V): application overlays sit above toast windows, which sit
+// above the input method (the real keyboard), which sits above activity
+// content. Touch delivery goes to the topmost *touchable* window under
+// the touch point; toasts are never touchable (Section II-B), and
+// overlays with FLAG_NOT_TOUCHABLE let touches fall through (the
+// clickjacking configuration of Section II-A).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "sim/time.hpp"
+#include "ui/animation.hpp"
+#include "ui/geometry.hpp"
+
+namespace animus::ui {
+
+using WindowId = std::uint64_t;
+inline constexpr WindowId kInvalidWindow = 0;
+
+enum class WindowType : std::uint8_t {
+  kActivity,       // normal app window
+  kInputMethod,    // the real software keyboard
+  kToast,          // transient toast surface (non-touchable)
+  kAppOverlay,     // TYPE_APPLICATION_OVERLAY (needs SYSTEM_ALERT_WINDOW)
+  kStatusBar,      // system UI chrome
+};
+
+/// Base z-layer per type; higher draws on top. Within a layer, the most
+/// recently added window is on top.
+int base_layer(WindowType t);
+
+enum WindowFlags : std::uint32_t {
+  kFlagNone = 0,
+  /// Touches pass through to the window beneath (clickjacking overlays).
+  kFlagNotTouchable = 1u << 0,
+  /// Fully transparent content: the user sees whatever is beneath.
+  kFlagTransparent = 1u << 1,
+};
+
+/// Alpha trajectory attached by WMS while a window animates in or out.
+struct FadeAnimation {
+  Animation animation{decelerate(), kToastAnimDuration};
+  sim::SimTime start{0};
+  bool fade_in = true;
+
+  /// Window alpha contributed by this animation at absolute time `t`.
+  [[nodiscard]] double alpha_at(sim::SimTime t) const;
+  [[nodiscard]] bool finished_at(sim::SimTime t) const;
+};
+
+struct Window {
+  WindowId id = kInvalidWindow;
+  int owner_uid = -1;
+  WindowType type = WindowType::kActivity;
+  std::uint32_t flags = kFlagNone;
+  Rect bounds{};
+  /// What the surface shows (e.g. "fake_keyboard:lower"); used by the
+  /// perception model and by tests.
+  std::string content;
+  sim::SimTime added_at{0};
+  /// Enter/exit alpha animations. Both are kept so that alpha_at()
+  /// answers *historical* queries correctly after the exit animation has
+  /// been attached (the flicker detector scans whole timelines post-hoc).
+  std::optional<FadeAnimation> enter_fade;
+  std::optional<FadeAnimation> exit_fade;
+
+  /// Touch callback: (time, point). Only invoked when this window is the
+  /// dispatch target. Empty handlers swallow the touch silently.
+  std::function<void(sim::SimTime, Point)> on_touch;
+
+  /// Deliver on ACTION_DOWN instead of on gesture completion. A normal
+  /// widget registers a tap only when the full gesture lands on it, but
+  /// an attacker's overlay can harvest the coordinate from the DOWN
+  /// event alone — so a draw-and-destroy boundary mid-gesture costs a
+  /// regular app the character yet costs the attacker nothing.
+  bool deliver_on_down = false;
+
+  [[nodiscard]] bool touchable() const {
+    return type != WindowType::kToast && (flags & kFlagNotTouchable) == 0;
+  }
+  [[nodiscard]] double alpha_at(sim::SimTime t) const;
+};
+
+std::string_view to_string(WindowType t);
+
+}  // namespace animus::ui

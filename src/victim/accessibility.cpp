@@ -1,0 +1,14 @@
+#include "victim/accessibility.hpp"
+
+namespace animus::victim {
+
+std::string_view to_string(AccessibilityEventType t) {
+  switch (t) {
+    case AccessibilityEventType::kViewFocused: return "TYPE_VIEW_FOCUSED";
+    case AccessibilityEventType::kViewTextChanged: return "TYPE_VIEW_TEXT_CHANGED";
+    case AccessibilityEventType::kWindowContentChanged: return "TYPE_WINDOW_CONTENT_CHANGED";
+  }
+  return "?";
+}
+
+}  // namespace animus::victim

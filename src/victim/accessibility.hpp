@@ -1,0 +1,58 @@
+// Accessibility event model.
+//
+// Section V uses the accessibility service to detect when the user
+// enters a password ("there is related work addressing this challenge
+// ... accessibility service"); Section VI-C1 details the events:
+//   - while a user types, the input widget sends TYPE_VIEW_TEXT_CHANGED
+//     and TYPE_WINDOW_CONTENT_CHANGED;
+//   - when the user finishes and moves focus, the widget sends a single
+//     TYPE_WINDOW_CONTENT_CHANGED.
+// Alipay suppresses accessibility events from its password widget, which
+// forces the attacker through the username-widget workaround.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace animus::victim {
+
+enum class AccessibilityEventType : std::uint8_t {
+  kViewFocused,           // TYPE_VIEW_FOCUSED
+  kViewTextChanged,       // TYPE_VIEW_TEXT_CHANGED
+  kWindowContentChanged,  // TYPE_WINDOW_CONTENT_CHANGED
+};
+
+std::string_view to_string(AccessibilityEventType t);
+
+struct AccessibilityEvent {
+  AccessibilityEventType type = AccessibilityEventType::kViewFocused;
+  int widget_id = 0;
+  std::string app;
+  sim::SimTime time{0};
+};
+
+/// System-wide accessibility event stream. Apps publish; an app holding
+/// the accessibility-service permission (the malware) subscribes.
+class AccessibilityBus {
+ public:
+  using Listener = std::function<void(const AccessibilityEvent&)>;
+
+  void subscribe(Listener l) { listeners_.push_back(std::move(l)); }
+
+  void publish(const AccessibilityEvent& ev) {
+    history_.push_back(ev);
+    for (const auto& l : listeners_) l(ev);
+  }
+
+  [[nodiscard]] const std::vector<AccessibilityEvent>& history() const { return history_; }
+
+ private:
+  std::vector<Listener> listeners_;
+  std::vector<AccessibilityEvent> history_;
+};
+
+}  // namespace animus::victim

@@ -1,0 +1,42 @@
+#include "victim/catalog.hpp"
+
+#include <vector>
+
+namespace animus::victim {
+
+std::span<const CatalogEntry> table_iv_apps() {
+  static const std::vector<CatalogEntry> kApps = [] {
+    std::vector<CatalogEntry> v;
+    auto app = [&v](std::string name, std::string version, bool disables_pwd_a11y,
+                    bool extra_effort) {
+      CatalogEntry e;
+      e.spec.name = std::move(name);
+      e.spec.version = std::move(version);
+      e.spec.disables_password_accessibility = disables_pwd_a11y;
+      e.spec.shares_parent_view = true;
+      e.needs_extra_effort = extra_effort;
+      v.push_back(std::move(e));
+    };
+    app("Bank of America", "8.1.16", false, false);
+    app("Skype", "8.45.0.43", false, false);
+    app("Facebook", "196.0.0.16.95", false, false);
+    app("Evernote", "8.4.1", false, false);
+    app("Snapchat", "10.44.3.0", false, false);
+    app("Twitter", "7.68.1", false, false);
+    app("Instagram", "69.0.0.10.95", false, false);
+    // Alipay disables accessibility on the password widget; the attack
+    // needs the username-widget timing + getParent() traversal.
+    app("Alipay", "10.1.65", true, true);
+    return v;
+  }();
+  return kApps;
+}
+
+const CatalogEntry* find_app(std::string_view name) {
+  for (const auto& e : table_iv_apps()) {
+    if (e.spec.name == name) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace animus::victim

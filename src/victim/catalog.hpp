@@ -1,0 +1,24 @@
+// The eight real-world apps of Table IV, as victim-app specs.
+#pragma once
+
+#include <span>
+
+#include "victim/victim_app.hpp"
+
+namespace animus::victim {
+
+/// Expected experimental outcome for Table IV.
+struct CatalogEntry {
+  VictimAppSpec spec;
+  /// "*" in Table IV: compromise requires the username-widget workaround.
+  bool needs_extra_effort = false;
+};
+
+/// Table IV, in row order: Bank of America, Skype, Facebook, Evernote,
+/// Snapchat, Twitter, Instagram, Alipay.
+std::span<const CatalogEntry> table_iv_apps();
+
+/// Lookup by name (e.g. "Alipay"). Returns nullptr when unknown.
+const CatalogEntry* find_app(std::string_view name);
+
+}  // namespace animus::victim

@@ -1,0 +1,75 @@
+#include "victim/payment_app.hpp"
+
+#include "metrics/table.hpp"
+
+namespace animus::victim {
+
+PaymentApp::PaymentApp(server::World& world, std::string name)
+    : world_(&world), name_(std::move(name)) {}
+
+void PaymentApp::open_payment_screen(PaymentRequest request) {
+  request_ = std::move(request);
+  entered_pin_.clear();
+  executed_ = false;
+  if (window_ == ui::kInvalidWindow) {
+    ui::Window w;
+    w.owner_uid = server::kVictimUid;
+    w.type = ui::WindowType::kActivity;
+    w.bounds = ui::Rect{0, 0, 1080, 2280};
+    w.content = "victim:payment:" + name_;
+    w.on_touch = [this](sim::SimTime t, ui::Point p) { on_touch(t, p); };
+    window_ = world_->wms().add_window_now(std::move(w));
+  }
+  world_->trace().record(world_->now(), sim::TraceCategory::kVictim,
+                         metrics::fmt("payment %s: confirm %s %ld cents", name_.c_str(),
+                                      request_.payee.c_str(), request_.amount_cents));
+  bus_.publish(AccessibilityEvent{AccessibilityEventType::kWindowContentChanged, kAmountLabel,
+                                  name_, world_->now()});
+}
+
+ui::Point PaymentApp::digit_center(int d) const {
+  // 3x4 grid: rows [1 2 3] [4 5 6] [7 8 9] [  0  ].
+  const int cell_w = pin_pad_bounds_.w / 3;
+  const int cell_h = pin_pad_bounds_.h / 4;
+  int row = 3, col = 1;  // default: '0'
+  if (d >= 1 && d <= 9) {
+    row = (d - 1) / 3;
+    col = (d - 1) % 3;
+  }
+  return ui::Point{pin_pad_bounds_.x + col * cell_w + cell_w / 2,
+                   pin_pad_bounds_.y + row * cell_h + cell_h / 2};
+}
+
+int PaymentApp::digit_at(ui::Point p) const {
+  if (!pin_pad_bounds_.contains(p)) return -1;
+  const int cell_w = pin_pad_bounds_.w / 3;
+  const int cell_h = pin_pad_bounds_.h / 4;
+  const int col = (p.x - pin_pad_bounds_.x) / cell_w;
+  const int row = (p.y - pin_pad_bounds_.y) / cell_h;
+  if (row == 3) return col == 1 ? 0 : -1;  // only the middle cell is '0'
+  const int d = row * 3 + col + 1;
+  return d >= 1 && d <= 9 ? d : -1;
+}
+
+void PaymentApp::on_touch(sim::SimTime, ui::Point p) {
+  const int d = digit_at(p);
+  if (d >= 0) {
+    entered_pin_.push_back(static_cast<char>('0' + d));
+    world_->trace().record(world_->now(), sim::TraceCategory::kVictim,
+                           metrics::fmt("payment %s: pin digit entered", name_.c_str()));
+    return;
+  }
+  if (confirm_bounds_.contains(p)) {
+    if (entered_pin_ == expected_pin_) {
+      executed_ = true;
+      world_->trace().record(world_->now(), sim::TraceCategory::kVictim,
+                             metrics::fmt("payment %s: EXECUTED %s %ld", name_.c_str(),
+                                          request_.payee.c_str(), request_.amount_cents));
+    } else {
+      world_->trace().record(world_->now(), sim::TraceCategory::kVictim,
+                             metrics::fmt("payment %s: wrong pin", name_.c_str()));
+    }
+  }
+}
+
+}  // namespace animus::victim

@@ -1,0 +1,73 @@
+// Victim payment app: a confirmation screen showing payee + amount, a
+// PIN pad, and a confirm button. Used by the payment-hijack scenario the
+// paper names as a further composition of the two draw-and-destroy
+// primitives (Section I: "password stealing, content hiding and payment
+// hijack").
+#pragma once
+
+#include <string>
+
+#include "server/world.hpp"
+#include "victim/accessibility.hpp"
+
+namespace animus::victim {
+
+/// Widget ids on the payment screen (disjoint from the login widgets).
+enum PaymentWidget : int {
+  kAmountLabel = 10,
+  kPinPad = 11,
+  kConfirmButton = 12,
+};
+
+struct PaymentRequest {
+  std::string payee;
+  long amount_cents = 0;
+};
+
+class PaymentApp {
+ public:
+  PaymentApp(server::World& world, std::string name);
+
+  /// Open the confirmation screen for a pending payment. Publishes a
+  /// TYPE_WINDOW_CONTENT_CHANGED accessibility event (the attack's
+  /// trigger).
+  void open_payment_screen(PaymentRequest request);
+
+  /// Geometry (the attacker aligns covers/overlays with these).
+  [[nodiscard]] ui::Rect amount_bounds() const { return amount_bounds_; }
+  [[nodiscard]] ui::Rect pin_pad_bounds() const { return pin_pad_bounds_; }
+  [[nodiscard]] ui::Rect confirm_bounds() const { return confirm_bounds_; }
+
+  /// Center of digit `d`'s key on the 3x4 PIN pad.
+  [[nodiscard]] ui::Point digit_center(int d) const;
+  /// Digit under a point, or -1.
+  [[nodiscard]] int digit_at(ui::Point p) const;
+
+  [[nodiscard]] const std::string& entered_pin() const { return entered_pin_; }
+  [[nodiscard]] bool executed() const { return executed_; }
+  [[nodiscard]] const PaymentRequest& request() const { return request_; }
+  [[nodiscard]] AccessibilityBus& bus() { return bus_; }
+
+  /// Accessibility setText on the PIN field (the malware's replay path).
+  void set_pin_by_ref(const std::string& pin) { entered_pin_ = pin; }
+
+  /// The PIN that authorizes this account.
+  void set_expected_pin(std::string pin) { expected_pin_ = std::move(pin); }
+
+ private:
+  void on_touch(sim::SimTime t, ui::Point p);
+
+  server::World* world_;
+  std::string name_;
+  AccessibilityBus bus_;
+  PaymentRequest request_;
+  ui::WindowId window_ = ui::kInvalidWindow;
+  ui::Rect amount_bounds_{90, 500, 900, 200};
+  ui::Rect pin_pad_bounds_{240, 1100, 600, 800};
+  ui::Rect confirm_bounds_{340, 1960, 400, 160};
+  std::string entered_pin_;
+  std::string expected_pin_ = "0000";
+  bool executed_ = false;
+};
+
+}  // namespace animus::victim

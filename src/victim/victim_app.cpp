@@ -1,0 +1,120 @@
+#include "victim/victim_app.hpp"
+
+#include "metrics/table.hpp"
+
+namespace animus::victim {
+namespace {
+
+/// Login-screen geometry for the standard 1080x2280 profile: fields in
+/// the upper half, keyboard in the lower third.
+constexpr ui::Rect kUsernameRect{90, 700, 900, 120};
+constexpr ui::Rect kPasswordRect{90, 880, 900, 120};
+constexpr ui::Rect kKeyboardRect{0, 1500, 1080, 780};
+
+}  // namespace
+
+VictimApp::VictimApp(server::World& world, VictimAppSpec spec)
+    : world_(&world),
+      spec_(std::move(spec)),
+      ime_(world, kKeyboardRect),
+      username_bounds_(kUsernameRect),
+      password_bounds_(kPasswordRect),
+      keyboard_bounds_(kKeyboardRect) {
+  ime_.set_text_sink([this](const input::KeyboardState::PressResult& r) { on_key(r); });
+}
+
+void VictimApp::open_login_screen() {
+  if (activity_window_ != ui::kInvalidWindow) return;
+  ui::Window w;
+  w.owner_uid = server::kVictimUid;
+  w.type = ui::WindowType::kActivity;
+  w.bounds = ui::Rect{0, 0, 1080, 2280};
+  w.content = "victim:login:" + spec_.name;
+  w.on_touch = [this](sim::SimTime t, ui::Point p) { on_activity_touch(t, p); };
+  activity_window_ = world_->wms().add_window_now(std::move(w));
+  world_->trace().record(world_->now(), sim::TraceCategory::kVictim,
+                         metrics::fmt("victim %s: login screen", spec_.name.c_str()));
+  if (oracle_ != nullptr) {
+    oracle_->record_transition(server::kVictimUid, "LoginActivity",
+                               sidechannel::login_screen_signature());
+  }
+}
+
+void VictimApp::publish(AccessibilityEventType type, int widget) {
+  if (widget == kPasswordField && spec_.disables_password_accessibility) return;
+  bus_.publish(AccessibilityEvent{type, widget, spec_.name, world_->now()});
+}
+
+void VictimApp::focus(Widget w) {
+  if (any_focus_ && w == focused_) return;
+  if (any_focus_) {
+    // "When a user finished typing and switches the focus to another
+    // widget, only one event (TYPE_WINDOW_CONTENT_CHANGED) was sent."
+    publish(AccessibilityEventType::kWindowContentChanged, focused_);
+  }
+  focused_ = w;
+  any_focus_ = true;
+  if (oracle_ != nullptr && w == kPasswordField) {
+    oracle_->record_transition(server::kVictimUid, "LoginActivity:password",
+                               sidechannel::password_focus_signature());
+  }
+  publish(AccessibilityEventType::kViewFocused, w);
+  world_->trace().record(world_->now(), sim::TraceCategory::kVictim,
+                         metrics::fmt("victim %s: focus widget %d", spec_.name.c_str(), w));
+  if (w == kUsernameField || w == kPasswordField) {
+    ime_.show();
+  } else {
+    ime_.hide();
+  }
+}
+
+void VictimApp::on_activity_touch(sim::SimTime, ui::Point p) {
+  if (username_bounds_.contains(p)) {
+    focus(kUsernameField);
+  } else if (password_bounds_.contains(p)) {
+    focus(kPasswordField);
+  }
+}
+
+void VictimApp::on_key(const input::KeyboardState::PressResult& r) {
+  if (!any_focus_) return;
+  std::string* field = focused_ == kPasswordField ? &password_
+                       : focused_ == kUsernameField ? &username_ : nullptr;
+  if (field == nullptr) return;
+  if (r.backspace) {
+    if (!field->empty()) field->pop_back();
+  } else if (r.enter) {
+    if (focused_ == kPasswordField && !password_.empty()) signed_in_ = true;
+    return;
+  } else if (r.ch) {
+    field->push_back(*r.ch);
+  } else {
+    return;  // pure layout switch: no text change events
+  }
+  // "When a user starts typing, two events are sent by the input widget."
+  publish(AccessibilityEventType::kViewTextChanged, focused_);
+  publish(AccessibilityEventType::kWindowContentChanged, focused_);
+}
+
+std::optional<WidgetRef> VictimApp::password_ref_via_parent() const {
+  if (!spec_.shares_parent_view) return std::nullopt;
+  // getParent() on the username node, then enumerate children: the
+  // password field is a sibling.
+  return WidgetRef{kPasswordField};
+}
+
+std::optional<WidgetRef> VictimApp::password_ref_via_events() const {
+  if (spec_.disables_password_accessibility) return std::nullopt;
+  return WidgetRef{kPasswordField};
+}
+
+bool VictimApp::set_text_by_ref(WidgetRef ref, const std::string& text) {
+  if (!ref.valid()) return false;
+  switch (ref.widget_id) {
+    case kUsernameField: username_ = text; return true;
+    case kPasswordField: password_ = text; return true;
+    default: return false;
+  }
+}
+
+}  // namespace animus::victim

@@ -1,0 +1,110 @@
+// Victim application model: a login screen with username and password
+// fields, the real software keyboard, and app-specific accessibility
+// behaviour (Table IV).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "input/ime.hpp"
+#include "sidechannel/shared_mem.hpp"
+#include "server/world.hpp"
+#include "victim/accessibility.hpp"
+
+namespace animus::victim {
+
+/// Widget identifiers inside the login activity.
+enum Widget : int {
+  kUsernameField = 1,
+  kPasswordField = 2,
+  kSignInButton = 3,
+};
+
+struct VictimAppSpec {
+  std::string name = "victim";
+  std::string version = "1.0";
+  /// Alipay: no accessibility events from the password widget.
+  bool disables_password_accessibility = false;
+  /// Username and password widgets share a parent view, enabling the
+  /// getParent() traversal workaround of Section VI-C1.
+  bool shares_parent_view = true;
+};
+
+/// Opaque reference to a widget obtained through accessibility APIs —
+/// what the malware needs in order to fill the password field up and
+/// hide the attack.
+struct WidgetRef {
+  int widget_id = 0;
+  [[nodiscard]] bool valid() const { return widget_id != 0; }
+};
+
+class VictimApp {
+ public:
+  VictimApp(server::World& world, VictimAppSpec spec);
+
+  /// Create the login activity window and the real keyboard (hidden
+  /// until a field takes focus).
+  void open_login_screen();
+
+  /// Move input focus (publishes the Section VI-C1 event sequence).
+  void focus(Widget w);
+
+  [[nodiscard]] Widget focused() const { return focused_; }
+  [[nodiscard]] const std::string& username_text() const { return username_; }
+  [[nodiscard]] const std::string& password_text() const { return password_; }
+  [[nodiscard]] bool signed_in() const { return signed_in_; }
+  [[nodiscard]] const VictimAppSpec& spec() const { return spec_; }
+
+  [[nodiscard]] AccessibilityBus& bus() { return bus_; }
+  [[nodiscard]] input::SoftKeyboard& ime() { return ime_; }
+
+  /// Attach a shared-memory oracle: from then on activity transitions
+  /// (login screen open, password-field focus) bump the process's
+  /// public counter with their characteristic signatures — the side
+  /// channel of Section V's alternative trigger.
+  void attach_side_channel(sidechannel::SharedMemOracle& oracle) { oracle_ = &oracle; }
+
+  /// Screen geometry of the fields (the malware aligns overlays/toasts
+  /// with the keyboard, and taps on fields move focus).
+  [[nodiscard]] ui::Rect username_bounds() const { return username_bounds_; }
+  [[nodiscard]] ui::Rect password_bounds() const { return password_bounds_; }
+  [[nodiscard]] ui::Rect keyboard_bounds() const { return keyboard_bounds_; }
+
+  // ---- accessibility object APIs (used by the malware) ----
+
+  /// getParent() traversal from the username widget to its siblings;
+  /// yields the password widget reference when the app lays both out
+  /// under one parent (Section VI-C1, Alipay workaround).
+  [[nodiscard]] std::optional<WidgetRef> password_ref_via_parent() const;
+
+  /// Direct reference from a password-widget accessibility event; only
+  /// available when the app does not suppress those events.
+  [[nodiscard]] std::optional<WidgetRef> password_ref_via_events() const;
+
+  /// AccessibilityNodeInfo.setText(): the malware fills the real widget
+  /// so the victim UI looks normal while inputs are intercepted.
+  bool set_text_by_ref(WidgetRef ref, const std::string& text);
+
+ private:
+  void publish(AccessibilityEventType type, int widget);
+  void on_activity_touch(sim::SimTime t, ui::Point p);
+  void on_key(const input::KeyboardState::PressResult& r);
+
+  server::World* world_;
+  VictimAppSpec spec_;
+  AccessibilityBus bus_;
+  sidechannel::SharedMemOracle* oracle_ = nullptr;
+  input::SoftKeyboard ime_;
+  ui::WindowId activity_window_ = ui::kInvalidWindow;
+  Widget focused_ = kUsernameField;
+  bool any_focus_ = false;
+  std::string username_;
+  std::string password_;
+  bool signed_in_ = false;
+  ui::Rect username_bounds_{};
+  ui::Rect password_bounds_{};
+  ui::Rect keyboard_bounds_{};
+};
+
+}  // namespace animus::victim

@@ -1,0 +1,100 @@
+#include "sim/actor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace animus::sim {
+namespace {
+
+TEST(Actor, TaskRunsAfterArrivalDelay) {
+  EventLoop loop;
+  Actor a{loop, "main"};
+  SimTime started{-1};
+  a.post(ms(5), ms(2), [&] { started = loop.now(); });
+  loop.run_all();
+  EXPECT_EQ(started, ms(5));
+}
+
+TEST(Actor, BusyActorSerializesTasks) {
+  EventLoop loop;
+  Actor a{loop, "main"};
+  std::vector<SimTime> starts;
+  // Both arrive at t=0; the first occupies the actor for 10 ms.
+  a.post(ms(0), ms(10), [&] { starts.push_back(loop.now()); });
+  a.post(ms(0), ms(10), [&] { starts.push_back(loop.now()); });
+  loop.run_all();
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[0], ms(0));
+  EXPECT_EQ(starts[1], ms(10));
+}
+
+TEST(Actor, BlockingCostDelaysLaterArrival) {
+  // Models the paper's observation: the blocking addView() delays the
+  // subsequent removeView() dispatch on the same thread.
+  EventLoop loop;
+  Actor main_thread{loop, "main"};
+  SimTime remove_started{-1};
+  main_thread.post(ms(0), ms(8), [] { /* addView: blocks for 8 ms */ });
+  main_thread.post(ms(1), ms(1), [&] { remove_started = loop.now(); });
+  loop.run_all();
+  EXPECT_EQ(remove_started, ms(8));
+}
+
+TEST(Actor, IdleActorRunsImmediately) {
+  EventLoop loop;
+  Actor a{loop, "w"};
+  a.post(ms(0), ms(1), [] {});
+  loop.run_all();
+  SimTime started{-1};
+  a.post(ms(0), ms(0), [&] { started = loop.now(); });
+  loop.run_all();
+  EXPECT_EQ(started, ms(1));  // previous task held the actor until 1 ms
+}
+
+TEST(Actor, BusyUntilTracksReservations) {
+  EventLoop loop;
+  Actor a{loop, "w"};
+  a.post(ms(2), ms(10), [] {});
+  EXPECT_EQ(a.busy_until(), ms(12));
+  a.post(ms(0), ms(5), [] {});
+  EXPECT_EQ(a.busy_until(), ms(17));
+}
+
+TEST(Actor, NegativeDurationsClamp) {
+  EventLoop loop;
+  Actor a{loop, "w"};
+  SimTime started{-1};
+  a.post(ms(-3), ms(-3), [&] { started = loop.now(); });
+  loop.run_all();
+  EXPECT_EQ(started, SimTime{0});
+  EXPECT_EQ(a.busy_until(), SimTime{0});
+}
+
+TEST(Actor, InterleavedActorsAreIndependent) {
+  EventLoop loop;
+  Actor a{loop, "a"}, b{loop, "b"};
+  std::vector<std::string> order;
+  a.post(ms(0), ms(10), [&] { order.push_back("a"); });
+  b.post(ms(0), ms(10), [&] { order.push_back("b"); });
+  b.post(ms(0), ms(0), [&] { order.push_back("b2"); });
+  loop.run_all();
+  ASSERT_EQ(order.size(), 3u);
+  // a and b start concurrently; b2 waits only for b.
+  EXPECT_EQ(order[0], "a");
+  EXPECT_EQ(order[1], "b");
+  EXPECT_EQ(order[2], "b2");
+}
+
+TEST(Actor, CancelBeforeStartPreventsRun) {
+  EventLoop loop;
+  Actor a{loop, "w"};
+  bool ran = false;
+  auto id = a.post(ms(5), ms(1), [&] { ran = true; });
+  loop.cancel(id);
+  loop.run_all();
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace animus::sim

@@ -1,0 +1,189 @@
+#include "analysis/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/manifest.hpp"
+#include "analysis/scanner.hpp"
+
+namespace animus::analysis {
+namespace {
+
+// ------------------------------------------------------------- manifest --
+
+ApkInfo sample_apk() {
+  ApkInfo apk;
+  apk.package = "com.example.app";
+  apk.permissions = {"android.permission.INTERNET", kPermSystemAlertWindow};
+  apk.services.push_back(ServiceDecl{"com.example.app.A11y", true});
+  apk.services.push_back(ServiceDecl{"com.example.app.Sync", false});
+  apk.method_refs = {kMethodAddView, kMethodRemoveView, kMethodToastSetView};
+  return apk;
+}
+
+TEST(Manifest, RoundTripsThroughXml) {
+  const ApkInfo apk = sample_apk();
+  const auto parsed = parse_manifest_xml(write_manifest_xml(apk));
+  ASSERT_TRUE(parsed.ok()) << parsed.error->message;
+  EXPECT_EQ(parsed.manifest->package, "com.example.app");
+  ASSERT_EQ(parsed.manifest->permissions.size(), 2u);
+  EXPECT_EQ(parsed.manifest->permissions[1], kPermSystemAlertWindow);
+  ASSERT_EQ(parsed.manifest->services.size(), 2u);
+  EXPECT_TRUE(parsed.manifest->services[0].accessibility);
+  EXPECT_FALSE(parsed.manifest->services[1].accessibility);
+}
+
+TEST(Manifest, AcceptsMinimalDocument) {
+  const auto parsed = parse_manifest_xml("<manifest package=\"a.b\"></manifest>");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.manifest->package, "a.b");
+  EXPECT_TRUE(parsed.manifest->permissions.empty());
+}
+
+TEST(Manifest, IgnoresUnknownElementsAndComments) {
+  const auto parsed = parse_manifest_xml(
+      "<?xml version=\"1.0\"?><!-- hi --><manifest package=\"x\">"
+      "<unknown-feature android:name=\"zzz\"/><application><activity "
+      "android:name=\"M\"/></application></manifest>");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.manifest->package, "x");
+}
+
+TEST(Manifest, AccessibilityViaIntentFilterAction) {
+  const auto parsed = parse_manifest_xml(
+      "<manifest package=\"x\"><application><service android:name=\"S\">"
+      "<intent-filter><action android:name=\"android.accessibilityservice."
+      "AccessibilityService\"/></intent-filter></service></application></manifest>");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.manifest->services.size(), 1u);
+  EXPECT_TRUE(parsed.manifest->services[0].accessibility);
+}
+
+struct BadXmlCase {
+  const char* label;
+  const char* xml;
+};
+
+class ManifestErrors : public ::testing::TestWithParam<BadXmlCase> {};
+
+TEST_P(ManifestErrors, RejectsMalformedInput) {
+  const auto parsed = parse_manifest_xml(GetParam().xml);
+  EXPECT_FALSE(parsed.ok());
+  ASSERT_TRUE(parsed.error.has_value());
+  EXPECT_FALSE(parsed.error->message.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ManifestErrors,
+    ::testing::Values(
+        BadXmlCase{"empty", ""},
+        BadXmlCase{"not_manifest_root", "<application></application>"},
+        BadXmlCase{"unterminated_tag", "<manifest package=\"x\""},
+        BadXmlCase{"unterminated_value", "<manifest package=\"x></manifest>"},
+        BadXmlCase{"mismatched_close", "<manifest package=\"x\"></service>"},
+        BadXmlCase{"unclosed_element", "<manifest package=\"x\"><service "
+                                       "android:name=\"s\"></manifest>"},
+        BadXmlCase{"missing_equals", "<manifest package \"x\"></manifest>"},
+        BadXmlCase{"unterminated_comment", "<!-- <manifest package=\"x\"/>"},
+        BadXmlCase{"attr_on_closing_tag", "<manifest package=\"x\"></manifest a=\"b\">"}),
+    [](const ::testing::TestParamInfo<BadXmlCase>& info) { return info.param.label; });
+
+// -------------------------------------------------------------- scanner --
+
+TEST(Scanner, FullPipelinePredicates) {
+  const ScanResult r = scan_apk(sample_apk());
+  EXPECT_TRUE(r.manifest_ok);
+  EXPECT_TRUE(r.has_system_alert_window);
+  EXPECT_TRUE(r.registers_accessibility);
+  EXPECT_TRUE(r.calls_add_view);
+  EXPECT_TRUE(r.calls_remove_view);
+  EXPECT_TRUE(r.custom_toast);
+}
+
+TEST(Scanner, PlainAppHasNoAttackPrerequisites) {
+  ApkInfo apk;
+  apk.package = "com.plain.app";
+  apk.permissions = {"android.permission.INTERNET"};
+  apk.method_refs = {"android.widget.Toast.makeText"};
+  const ScanResult r = scan_apk(apk);
+  EXPECT_TRUE(r.manifest_ok);
+  EXPECT_FALSE(r.has_system_alert_window);
+  EXPECT_FALSE(r.registers_accessibility);
+  EXPECT_FALSE(r.custom_toast);  // makeText is not a customized toast
+}
+
+// --------------------------------------------------------------- corpus --
+
+TEST(Corpus, DeterministicPerSeedAndIndex) {
+  Corpus a{2016}, b{2016}, c{7};
+  EXPECT_EQ(a.app(12345).package, b.app(12345).package);
+  EXPECT_NE(a.app(12345).package, c.app(12345).package);
+}
+
+TEST(Corpus, ScaledQuotasExactOnSmallCorpus) {
+  // On a 89,085-app corpus (1/10 scale) quotas land on exactly 1/10 of
+  // the paper's counts (modular permutations are bijections).
+  const std::size_t n = kAndroZooSize / 10;
+  Corpus corpus{2016, n};
+  std::size_t saw_ar = 0, saw_acc = 0, toast = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    saw_ar += corpus.truth_saw_addremove(i);
+    saw_acc += corpus.truth_saw_accessibility(i);
+    toast += corpus.truth_custom_toast(i);
+  }
+  EXPECT_EQ(saw_ar, kTargetSawAddRemove / 10);
+  EXPECT_EQ(saw_acc, kTargetSawAccessibility / 10);
+  EXPECT_EQ(toast, kTargetCustomToast / 10);
+}
+
+TEST(Corpus, AccessibilitySubsetOfSawApps) {
+  Corpus corpus{2016, 50000};
+  for (std::size_t i = 0; i < corpus.size(); i += 7) {
+    if (corpus.truth_saw_accessibility(i)) {
+      EXPECT_TRUE(corpus.truth_saw_addremove(i)) << i;
+    }
+  }
+}
+
+TEST(Corpus, AppAttributesMatchTruth) {
+  Corpus corpus{2016, 50000};
+  int checked = 0;
+  for (std::size_t i = 0; i < corpus.size() && checked < 2000; i += 11, ++checked) {
+    const ApkInfo apk = corpus.app(i);
+    EXPECT_EQ(apk.has_permission(kPermSystemAlertWindow), corpus.truth_saw_addremove(i));
+    EXPECT_EQ(apk.registers_accessibility_service(), corpus.truth_saw_accessibility(i));
+    EXPECT_EQ(apk.uses_custom_toast(), corpus.truth_custom_toast(i));
+  }
+}
+
+TEST(Corpus, PipelineCountsMatchPaperOnSampledFullCorpus) {
+  Corpus corpus{2016};  // full 890,855
+  const CorpusCounts counts = count_attack_prerequisites(corpus, /*stride=*/97);
+  EXPECT_EQ(counts.total, kAndroZooSize);
+  EXPECT_EQ(counts.parse_failures, 0u);
+  // Sampling error ~ sqrt(n)/n; allow 25% relative slack.
+  EXPECT_NEAR(static_cast<double>(counts.addremove_and_saw), 18887.0, 18887.0 * 0.25);
+  EXPECT_NEAR(static_cast<double>(counts.saw_and_accessibility), 4405.0, 4405.0 * 0.35);
+  EXPECT_NEAR(static_cast<double>(counts.custom_toast), 15179.0, 15179.0 * 0.25);
+}
+
+TEST(Corpus, ExactCountsOnScaledCorpus) {
+  const std::size_t n = kAndroZooSize / 100;
+  Corpus corpus{2016, n};
+  const CorpusCounts counts = count_attack_prerequisites(corpus);
+  EXPECT_EQ(counts.parse_failures, 0u);
+  EXPECT_EQ(counts.addremove_and_saw, kTargetSawAddRemove / 100);
+  EXPECT_EQ(counts.saw_and_accessibility, kTargetSawAccessibility / 100);
+  EXPECT_EQ(counts.custom_toast, kTargetCustomToast / 100);
+}
+
+TEST(Corpus, PackageNamesAreWellFormed) {
+  Corpus corpus{2016, 1000};
+  for (std::size_t i = 0; i < 100; ++i) {
+    const ApkInfo apk = corpus.app(i);
+    EXPECT_NE(apk.package.find('.'), std::string::npos);
+    EXPECT_TRUE(parse_manifest_xml(write_manifest_xml(apk)).ok());
+  }
+}
+
+}  // namespace
+}  // namespace animus::analysis

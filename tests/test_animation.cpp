@@ -1,0 +1,104 @@
+#include "ui/animation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace animus::ui {
+namespace {
+
+using sim::ms;
+
+TEST(Animation, ContinuousCompletenessEndpoints) {
+  const Animation a = notification_slide_in();
+  EXPECT_DOUBLE_EQ(a.completeness_at(ms(0)), 0.0);
+  EXPECT_DOUBLE_EQ(a.completeness_at(ms(360)), 1.0);
+  EXPECT_DOUBLE_EQ(a.completeness_at(ms(9999)), 1.0);
+  EXPECT_DOUBLE_EQ(a.completeness_at(ms(-5)), 0.0);
+}
+
+TEST(Animation, NothingPresentedBeforeFirstFrame) {
+  // Section III-B: "it takes at least 10 ms to display the first frame".
+  const Animation a = notification_slide_in();
+  EXPECT_DOUBLE_EQ(a.presented_completeness_at(ms(0)), 0.0);
+  EXPECT_DOUBLE_EQ(a.presented_completeness_at(ms(9)), 0.0);
+  EXPECT_GT(a.presented_completeness_at(ms(10)), 0.0);
+}
+
+TEST(Animation, PresentedValueIsFrameQuantized) {
+  const Animation a = notification_slide_in();
+  // Between frames the presented value holds the last frame's value.
+  EXPECT_DOUBLE_EQ(a.presented_completeness_at(ms(19)), a.presented_completeness_at(ms(10)));
+  EXPECT_GT(a.presented_completeness_at(ms(20)), a.presented_completeness_at(ms(19)));
+}
+
+TEST(Animation, FirstFramePixelsRoundToZeroOn72pxView) {
+  // The paper's Nexus 6P observation: 72 px * 0.17% = 0.1224 px -> 0.
+  const Animation a = notification_slide_in();
+  EXPECT_EQ(a.presented_pixels_at(ms(10), 72), 0);
+}
+
+TEST(Animation, PixelsEventuallyReachFullHeight) {
+  const Animation a = notification_slide_in();
+  EXPECT_EQ(a.presented_pixels_at(ms(360), 72), 72);
+}
+
+TEST(Animation, PixelsAreMonotoneInTime) {
+  const Animation a = notification_slide_in();
+  int prev = 0;
+  for (int t = 0; t <= 360; t += 5) {
+    const int px = a.presented_pixels_at(ms(t), 72);
+    EXPECT_GE(px, prev);
+    prev = px;
+  }
+}
+
+TEST(Animation, TimeToRevealIsAFrameBoundary) {
+  const Animation a = notification_slide_in();
+  const sim::SimTime t = a.time_to_reveal(1, 72);
+  EXPECT_EQ(t.count() % a.refresh().count(), 0);
+  EXPECT_GE(a.presented_pixels_at(t, 72), 1);
+  EXPECT_LT(a.presented_pixels_at(t - a.refresh(), 72), 1);
+}
+
+TEST(Animation, TimeToRevealNakedEyeThreshold) {
+  const Animation a = notification_slide_in();
+  const sim::SimTime t = a.time_to_reveal(kNakedEyeMinPixels, 72);
+  EXPECT_GT(t, ms(10));   // not the first frame
+  EXPECT_LE(t, ms(60));   // early in the 360 ms animation
+}
+
+TEST(Animation, TimeToRevealZeroPixelsIsImmediate) {
+  const Animation a = notification_slide_in();
+  EXPECT_EQ(a.time_to_reveal(0, 72), sim::SimTime{0});
+}
+
+TEST(Animation, TimeToRevealUnreachableReportsSentinel) {
+  const Animation a = notification_slide_in();
+  EXPECT_EQ(a.time_to_reveal(100, 72), a.duration() + a.refresh());
+}
+
+TEST(ToastAnimations, DurationsAre500ms) {
+  EXPECT_EQ(toast_fade_in().duration(), ms(500));
+  EXPECT_EQ(toast_fade_out().duration(), ms(500));
+}
+
+TEST(ToastAnimations, FadeOutIsSlowAtStart) {
+  // 100 ms into the 500 ms exit, only 4% of the fade has happened: the
+  // old toast still looks solid, so a replacement can slip in unnoticed.
+  const Animation out = toast_fade_out();
+  EXPECT_LT(out.completeness_at(ms(100)), 0.05);
+}
+
+TEST(ToastAnimations, FadeInIsFastAtStart) {
+  const Animation in = toast_fade_in();
+  EXPECT_GT(in.completeness_at(ms(100)), 0.35);
+}
+
+TEST(Animation, CustomRefreshRateChangesQuantization) {
+  const Animation a{linear(), ms(100), ms(25)};
+  EXPECT_DOUBLE_EQ(a.presented_completeness_at(ms(24)), 0.0);
+  EXPECT_DOUBLE_EQ(a.presented_completeness_at(ms(25)), 0.25);
+  EXPECT_DOUBLE_EQ(a.presented_completeness_at(ms(49)), 0.25);
+}
+
+}  // namespace
+}  // namespace animus::ui

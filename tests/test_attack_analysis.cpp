@@ -1,0 +1,102 @@
+#include "core/attack_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/registry.hpp"
+#include "percept/outcomes.hpp"
+#include "ui/animation.hpp"
+
+namespace animus::core {
+namespace {
+
+using sim::ms;
+using sim::seconds;
+
+TEST(Equation2, MatchesHandComputation) {
+  // E(Tm) = (ceil(T/D) - 1) E(Tmis) + E(Tam) + E(Tas).
+  const auto& dev = device::reference_device_android9();
+  const double tmis = dev.expected_tmis_ms();
+  const double expected = (std::ceil(3000.0 / 150.0) - 1.0) * tmis + dev.tam.mean_ms +
+                          dev.tas.mean_ms;
+  EXPECT_NEAR(expected_total_mistouch_ms(dev, 3000.0, 150.0), expected, 1e-9);
+}
+
+TEST(Equation2, GeneralTNotMultipleOfD) {
+  const auto& dev = device::reference_device_android9();
+  // T = 1000, D = 300 -> ceil = 4 cycles -> 3 full mistouch gaps.
+  const double expected = 3.0 * dev.expected_tmis_ms() + dev.tam.mean_ms + dev.tas.mean_ms;
+  EXPECT_NEAR(expected_total_mistouch_ms(dev, 1000.0, 300.0), expected, 1e-9);
+}
+
+TEST(Equation2, SingleCycleHasOnlySetupCost) {
+  const auto& dev = device::reference_device_android9();
+  // T <= D: the only loss is the initial Tam + Tas before O1 exists.
+  EXPECT_NEAR(expected_total_mistouch_ms(dev, 100.0, 200.0),
+              dev.tam.mean_ms + dev.tas.mean_ms, 1e-9);
+}
+
+TEST(PredictedCapture, ZeroContactIsDownCapture) {
+  const auto& dev = device::reference_device_android9();
+  const double down = predicted_capture_rate(dev, 200.0, 0.0);
+  const double gesture = predicted_capture_rate(dev, 200.0, 14.0);
+  EXPECT_GT(down, gesture);
+  EXPECT_NEAR(down, 1.0 - dev.expected_tmis_ms() / 200.0, 1e-9);
+}
+
+TEST(PredictedCapture, ClampsToZero) {
+  const auto& dev = device::reference_device_android9();
+  EXPECT_EQ(predicted_capture_rate(dev, 1.0, 500.0), 0.0);
+}
+
+TEST(ProbeOutcome, DeterministicAndRepeatable) {
+  const auto& dev = device::reference_device_android9();
+  const auto a = probe_outcome(dev, ms(150));
+  const auto b = probe_outcome(dev, ms(150));
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.alert.max_pixels, b.alert.max_pixels);
+}
+
+TEST(ProbeOutcome, MonotoneInD) {
+  // Outcome severity never decreases as D grows.
+  const auto& dev = device::reference_device_android9();
+  int prev = 1;
+  for (int d = 50; d <= 800; d += 50) {
+    const int sev = static_cast<int>(probe_outcome(dev, ms(d), seconds(4)).outcome);
+    EXPECT_GE(sev, prev) << "D=" << d;
+    prev = sev;
+  }
+}
+
+TEST(ProbeOutcome, CyclesScaleWithDuration) {
+  const auto& dev = device::reference_device_android9();
+  const auto short_run = probe_outcome(dev, ms(100), seconds(2));
+  const auto long_run = probe_outcome(dev, ms(100), seconds(8));
+  EXPECT_GT(long_run.cycles, short_run.cycles * 3);
+}
+
+TEST(FindDBound, AgreesWithClosedFormEverywhere) {
+  for (const auto& dev : device::all_devices()) {
+    EXPECT_NEAR(find_d_upper_bound_ms(dev), dev.predicted_d_max_ms(ui::kNakedEyeMinPixels),
+                1.0)
+        << dev.display_name();
+  }
+}
+
+TEST(FindDBound, LegacyDeviceNeverShowsAlert) {
+  // No overlay notification on Android 7: every D is "stealthy".
+  const auto legacy =
+      device::make_profile("Legacy", "nexus5", device::AndroidVersion::kV7, 150.0);
+  EXPECT_EQ(find_d_upper_bound_ms(legacy, 600), 600);
+}
+
+TEST(FindDBound, RespectsSearchCap) {
+  const auto& dev = device::reference_device_android9();
+  // Cap below the true bound: the search saturates at the cap.
+  EXPECT_EQ(find_d_upper_bound_ms(dev, 100), 100);
+}
+
+}  // namespace
+}  // namespace animus::core

@@ -1,0 +1,235 @@
+#include "core/deception.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/payment_hijack.hpp"
+#include "device/registry.hpp"
+#include "percept/flicker.hpp"
+#include "percept/outcomes.hpp"
+#include "server/world.hpp"
+#include "victim/payment_app.hpp"
+
+namespace animus::core {
+namespace {
+
+using sim::ms;
+using sim::seconds;
+
+server::World make_world(std::uint64_t seed = 3) {
+  server::WorldConfig wc;
+  wc.profile = device::reference_device_android9();
+  wc.seed = seed;
+  wc.trace_enabled = false;
+  return server::World{wc};
+}
+
+// ---------------------------------------------------------- clickjack --
+
+struct SettingsVictim {
+  explicit SettingsVictim(server::World& world) {
+    ui::Window w;
+    w.owner_uid = server::kVictimUid;
+    w.type = ui::WindowType::kActivity;
+    w.bounds = {0, 0, 1080, 2280};
+    w.content = "victim:settings";
+    w.on_touch = [this](sim::SimTime, ui::Point p) {
+      if (grant_button.contains(p)) granted = true;
+    };
+    world.wms().add_window_now(std::move(w));
+  }
+  ui::Rect grant_button{340, 1200, 400, 160};
+  bool granted = false;
+};
+
+TEST(Clickjacking, TapsPassThroughToVictim) {
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  SettingsVictim victim{world};
+  ClickjackingAttack::Config cfg;
+  cfg.attacking_window = ms(190);
+  ClickjackingAttack attack{world, cfg};
+  attack.start();
+  world.run_until(seconds(1));
+  // The user taps the bait "WIN A PRIZE" button — which sits exactly over
+  // the grant button of the Settings screen beneath.
+  world.input().inject_tap(victim.grant_button.center(), ms(12));
+  world.run_until(seconds(2));
+  EXPECT_TRUE(victim.granted);
+  attack.stop();
+}
+
+TEST(Clickjacking, AlertSuppressedWhileBaitShows) {
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  ClickjackingAttack::Config cfg;
+  cfg.attacking_window = ms(190);
+  ClickjackingAttack attack{world, cfg};
+  attack.start();
+  world.run_until(seconds(10));
+  const auto alert = world.system_ui().snapshot(server::kMalwareUid);
+  EXPECT_EQ(percept::classify(alert), percept::LambdaOutcome::kL1);
+  EXPECT_GT(attack.bait_coverage(seconds(1), seconds(10)), 0.97);
+  attack.stop();
+}
+
+TEST(Clickjacking, BaitIsVisibleNotTransparent) {
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  ClickjackingAttack attack{world, {}};
+  attack.start();
+  world.run_until(seconds(1));
+  const auto* top = world.wms().topmost_at({540, 1200}, world.now());
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(top->window.content, "attack:prize_banner");
+  EXPECT_FALSE(top->window.touchable());
+  attack.stop();
+}
+
+TEST(Clickjacking, BlockedOverSettingsForeground) {
+  // Android 8+ refuses overlays while the Settings app grants permissions.
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  world.server().set_settings_foreground(true);
+  ClickjackingAttack attack{world, {}};
+  attack.start();
+  world.run_until(seconds(3));
+  EXPECT_EQ(world.wms().overlay_count(server::kMalwareUid), 0);
+  EXPECT_GT(world.server().rejected_overlays(), 0u);
+  attack.stop();
+}
+
+// ------------------------------------------------------ content hide --
+
+TEST(ContentHiding, CoversRegionIndefinitelyWithoutPermission) {
+  auto world = make_world();
+  ContentHidingAttack::Config cfg;
+  cfg.cover_region = {90, 700, 900, 300};
+  cfg.cover_content = "attack:all_is_fine";
+  ContentHidingAttack attack{world, cfg};
+  attack.start();
+  world.run_until(seconds(30));
+  EXPECT_GT(attack.cover_coverage(seconds(2), seconds(30)), 0.99);
+  // No overlay permission involved, no alert.
+  EXPECT_EQ(world.system_ui().phase(server::kMalwareUid),
+            server::SystemUi::AlertPhase::kHidden);
+  attack.stop();
+}
+
+TEST(ContentHiding, CoverContentSwappable) {
+  auto world = make_world();
+  ContentHidingAttack attack{world, {}};
+  attack.start();
+  world.run_until(seconds(2));
+  attack.set_cover_content("attack:updated_banner");
+  world.run_until(seconds(2) + ms(150));
+  bool updated_live = false;
+  for (const auto& rec : world.wms().history()) {
+    updated_live |=
+        rec.window.content == "attack:updated_banner" && rec.alive_at(world.now());
+  }
+  EXPECT_TRUE(updated_live);
+  attack.stop();
+}
+
+TEST(SurfaceCoverage, ZeroWithoutSurfaces) {
+  auto world = make_world();
+  EXPECT_EQ(surface_coverage(world.wms(), server::kMalwareUid, "attack:", ms(0), seconds(1)),
+            0.0);
+  EXPECT_EQ(surface_coverage(world.wms(), server::kMalwareUid, "attack:", seconds(1), ms(0)),
+            0.0);
+}
+
+// --------------------------------------------------- payment hijack --
+
+TEST(PaymentHijack, StealsPinAndExecutesHiddenTransaction) {
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  victim::PaymentApp app{world, "PayFast"};
+  app.set_expected_pin("4711");
+
+  PaymentHijack hijack{world, app, {}};
+  hijack.arm();
+
+  // The real (attacker-initiated) transaction the user must not see.
+  app.open_payment_screen({"Mallory Ltd", 99900});
+  EXPECT_TRUE(hijack.result().triggered);
+
+  // The user types their PIN on the pad and confirms, believing the
+  // fake cover's "Coffee Corner 4.50".
+  const std::string pin = "4711";
+  for (std::size_t i = 0; i < pin.size(); ++i) {
+    world.loop().schedule_at(seconds(2) + ms(400 * static_cast<long>(i)), [&world, &app, &pin, i] {
+      world.input().inject_tap(app.digit_center(pin[i] - '0'));
+    });
+  }
+  world.loop().schedule_at(seconds(5), [&world, &app] {
+    world.input().inject_tap(app.confirm_bounds().center());
+  });
+  world.run_until(seconds(6));
+
+  EXPECT_EQ(hijack.result().stolen_pin, "4711");
+  EXPECT_TRUE(hijack.result().pin_replayed);
+  EXPECT_TRUE(app.executed());  // Mallory got paid
+  EXPECT_EQ(app.request().payee, "Mallory Ltd");
+
+  // Stealth: fake amount cover never flickered, alert never visible.
+  const auto flicker = percept::scan_flicker(world.wms(), server::kMalwareUid,
+                                             "attack:fake_amount", seconds(1), seconds(6));
+  EXPECT_FALSE(flicker.noticeable);
+  EXPECT_EQ(percept::classify(world.system_ui().snapshot(server::kMalwareUid)),
+            percept::LambdaOutcome::kL1);
+  hijack.stop();
+}
+
+TEST(PaymentHijack, ConfirmButtonIsNotCovered) {
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  victim::PaymentApp app{world, "PayFast"};
+  PaymentHijack hijack{world, app, {}};
+  hijack.arm();
+  app.open_payment_screen({"Mallory Ltd", 99900});
+  world.run_until(seconds(1));
+  const auto* top = world.wms().topmost_touchable_at(app.confirm_bounds().center(), world.now());
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(top->window.owner_uid, server::kVictimUid);
+  hijack.stop();
+}
+
+TEST(PaymentHijack, DoesNotTriggerWithoutPaymentScreen) {
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  victim::PaymentApp app{world, "PayFast"};
+  PaymentHijack hijack{world, app, {}};
+  hijack.arm();
+  world.run_until(seconds(3));
+  EXPECT_FALSE(hijack.result().triggered);
+  EXPECT_EQ(world.wms().live_count(), 0u);
+}
+
+TEST(PaymentApp, PinPadGeometryRoundTrips) {
+  auto world = make_world();
+  victim::PaymentApp app{world, "PayFast"};
+  for (int d = 0; d <= 9; ++d) {
+    EXPECT_EQ(app.digit_at(app.digit_center(d)), d) << d;
+  }
+  EXPECT_EQ(app.digit_at({10, 10}), -1);
+  // Bottom row corners are dead space, not digits.
+  EXPECT_EQ(app.digit_at({app.pin_pad_bounds().x + 10,
+                          app.pin_pad_bounds().y + app.pin_pad_bounds().h - 10}),
+            -1);
+}
+
+TEST(PaymentApp, WrongPinDoesNotExecute) {
+  auto world = make_world();
+  victim::PaymentApp app{world, "PayFast"};
+  app.set_expected_pin("1234");
+  app.open_payment_screen({"Alice", 100});
+  world.input().inject_tap(app.digit_center(9), ms(10));
+  world.run_until(ms(100));
+  world.input().inject_tap(app.confirm_bounds().center(), ms(10));
+  world.run_until(ms(200));
+  EXPECT_FALSE(app.executed());
+}
+
+}  // namespace
+}  // namespace animus::core

@@ -1,0 +1,214 @@
+#include "defense/ipc_defense.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/overlay_attack.hpp"
+#include "core/toast_attack.hpp"
+#include "defense/notification_defense.hpp"
+#include "defense/toast_defense.hpp"
+#include "device/registry.hpp"
+#include "percept/outcomes.hpp"
+#include "server/world.hpp"
+
+namespace animus::defense {
+namespace {
+
+using sim::ms;
+using sim::seconds;
+
+server::World make_world(bool deterministic = true) {
+  server::WorldConfig wc;
+  wc.profile = device::reference_device_android9();
+  wc.deterministic = deterministic;
+  wc.trace_enabled = false;
+  return server::World{wc};
+}
+
+// ---------------------------------------------------------------- IPC --
+
+TEST(IpcDefense, DetectsDrawAndDestroyOverlayAttack) {
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  IpcDefenseAnalyzer analyzer;
+  analyzer.attach(world.transactions());
+  core::OverlayAttack attack{world, {}};
+  attack.start();
+  world.run_until(seconds(10));
+  attack.stop();
+  EXPECT_TRUE(analyzer.flagged(server::kMalwareUid));
+  ASSERT_EQ(analyzer.detections().size(), 1u);
+  EXPECT_EQ(analyzer.detections()[0].uid, server::kMalwareUid);
+  EXPECT_GE(analyzer.detections()[0].pairs, analyzer.config().min_pairs);
+}
+
+TEST(IpcDefense, OfflineScanMatchesOnline) {
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  core::OverlayAttack attack{world, {}};
+  attack.start();
+  world.run_until(seconds(10));
+  attack.stop();
+  IpcDefenseAnalyzer analyzer;
+  const auto found = analyzer.scan(world.transactions());
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].uid, server::kMalwareUid);
+}
+
+TEST(IpcDefense, IgnoresBenignFloatingWidget) {
+  // A music player adds one overlay, keeps it for minutes, removes it.
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kBenignUid);
+  server::OverlaySpec spec;
+  spec.bounds = {800, 200, 200, 200};
+  spec.content = "music:bubble";
+  const auto h = world.server().add_view(server::kBenignUid, spec);
+  world.run_until(seconds(120));
+  world.server().remove_view(server::kBenignUid, h);
+  world.run_all();
+  IpcDefenseAnalyzer analyzer;
+  EXPECT_TRUE(analyzer.scan(world.transactions()).empty());
+}
+
+TEST(IpcDefense, IgnoresSlowTogglingApp) {
+  // A navigation app shows/hides its overlay every 3 s: pairs exist but
+  // the remove->add gap is far above the attack threshold... and even a
+  // fast toggler below min_pairs is not flagged.
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kBenignUid);
+  for (int i = 0; i < 12; ++i) {
+    world.loop().schedule_at(seconds(3 * i), [&world] {
+      server::OverlaySpec spec;
+      spec.bounds = {0, 0, 300, 300};
+      const auto h = world.server().add_view(server::kBenignUid, spec);
+      world.loop().schedule_after(seconds(2), [&world, h] {
+        world.server().remove_view(server::kBenignUid, h);
+      });
+    });
+  }
+  world.run_all();
+  IpcDefenseAnalyzer analyzer;
+  EXPECT_TRUE(analyzer.scan(world.transactions()).empty());
+}
+
+TEST(IpcDefense, SeparatesConcurrentApps) {
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  world.server().grant_overlay_permission(server::kBenignUid);
+  core::OverlayAttack attack{world, {}};
+  attack.start();
+  server::OverlaySpec spec;
+  spec.bounds = {800, 200, 200, 200};
+  world.server().add_view(server::kBenignUid, spec);
+  world.run_until(seconds(10));
+  attack.stop();
+  IpcDefenseAnalyzer analyzer;
+  const auto found = analyzer.scan(world.transactions());
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].uid, server::kMalwareUid);
+}
+
+TEST(IpcDefense, ThresholdsAreConfigurable) {
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  core::OverlayAttackConfig oc;
+  oc.attacking_window = ms(200);
+  core::OverlayAttack attack{world, oc};
+  attack.start();
+  world.run_until(seconds(3));  // ~14 pairs
+  attack.stop();
+  IpcDefenseConfig strict;
+  strict.min_pairs = 100;
+  EXPECT_TRUE(IpcDefenseAnalyzer{strict}.scan(world.transactions()).empty());
+  IpcDefenseConfig lax;
+  lax.min_pairs = 5;
+  EXPECT_EQ(IpcDefenseAnalyzer{lax}.scan(world.transactions()).size(), 1u);
+}
+
+TEST(IpcDefense, DetectionLatencyWithinAFewWindows) {
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  IpcDefenseAnalyzer analyzer;
+  analyzer.attach(world.transactions());
+  core::OverlayAttackConfig oc;
+  oc.attacking_window = ms(150);
+  core::OverlayAttack attack{world, oc};
+  attack.start();
+  world.run_until(seconds(30));
+  attack.stop();
+  ASSERT_FALSE(analyzer.detections().empty());
+  // min_pairs=8 at D=150 ms -> flagged within ~1.5 s of attack start.
+  EXPECT_LT(analyzer.detections()[0].last_pair, seconds(2));
+}
+
+// ------------------------------------------------ enhanced notification --
+
+TEST(NotificationDefense, DefeatsAttackAtAnyD) {
+  const auto& dev = device::reference_device_android9();
+  for (int d_ms : {60, 150, 215}) {
+    const auto probe = probe_attack_under_defense(dev, ms(d_ms));
+    EXPECT_EQ(probe.outcome, percept::LambdaOutcome::kL5) << "D=" << d_ms;
+  }
+}
+
+TEST(NotificationDefense, WithoutDefenseSameDsAreInvisible) {
+  const auto& dev = device::reference_device_android9();
+  for (int d_ms : {60, 150, 215}) {
+    const auto probe = core::probe_outcome(dev, ms(d_ms));
+    EXPECT_EQ(probe.outcome, percept::LambdaOutcome::kL1) << "D=" << d_ms;
+  }
+}
+
+TEST(NotificationDefense, WorksOnAndroid10WithAnaDelay) {
+  const auto dev = *device::find_device("Redmi");  // bound 395, Android 10
+  const auto probe = probe_attack_under_defense(dev, ms(350));
+  EXPECT_EQ(probe.outcome, percept::LambdaOutcome::kL5);
+}
+
+TEST(NotificationDefense, AlertStaysVisibleForUserToAct) {
+  const auto& dev = device::reference_device_android9();
+  const auto probe = probe_attack_under_defense(dev, ms(150), kEnhancedAlertRemovalDelay,
+                                                seconds(10));
+  // Visible for the bulk of the 10 s attack: the user can read it and
+  // open Settings.
+  EXPECT_GT(probe.alert.visible_time, seconds(8));
+}
+
+TEST(NotificationDefense, BenignAppAlertStillClearsAfterGracePeriod) {
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kBenignUid);
+  install_enhanced_notification_defense(world);
+  server::OverlaySpec spec;
+  spec.bounds = {0, 0, 300, 300};
+  const auto h = world.server().add_view(server::kBenignUid, spec);
+  world.run_until(seconds(5));
+  world.server().remove_view(server::kBenignUid, h);
+  world.run_until(seconds(8));
+  EXPECT_EQ(world.system_ui().phase(server::kBenignUid),
+            server::SystemUi::AlertPhase::kHidden);
+}
+
+// --------------------------------------------------------- toast gap --
+
+TEST(ToastDefense, StockSchedulingShowsNoFlicker) {
+  const auto probe = probe_toast_attack(device::reference_device_android9(), sim::SimTime{0});
+  EXPECT_FALSE(probe.flicker.noticeable);
+  EXPECT_GT(probe.flicker.min_alpha, 0.85);
+}
+
+TEST(ToastDefense, GapMakesFlickerPerceptible) {
+  const auto probe =
+      probe_toast_attack(device::reference_device_android9(), kDefaultToastGap);
+  EXPECT_TRUE(probe.flicker.noticeable);
+  EXPECT_LT(probe.flicker.min_alpha, 0.2);
+  EXPECT_GE(probe.flicker.longest_dip, ms(400));
+}
+
+TEST(ToastDefense, GapReducesToastThroughput) {
+  const auto stock = probe_toast_attack(device::reference_device_android9(), sim::SimTime{0});
+  const auto gapped =
+      probe_toast_attack(device::reference_device_android9(), kDefaultToastGap);
+  EXPECT_LE(gapped.toasts_shown, stock.toasts_shown);
+}
+
+}  // namespace
+}  // namespace animus::defense

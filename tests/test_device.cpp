@@ -1,0 +1,135 @@
+#include "device/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "device/android_version.hpp"
+#include "ui/animation.hpp"
+
+namespace animus::device {
+namespace {
+
+TEST(Registry, HasThirtyDevices) { EXPECT_EQ(all_devices().size(), 30u); }
+
+TEST(Registry, CoversSixManufacturers) {
+  std::set<std::string> mk;
+  for (const auto& d : all_devices()) mk.insert(d.manufacturer);
+  EXPECT_EQ(mk, (std::set<std::string>{"Samsung", "Google", "Xiaomi", "Huawei", "Oppo",
+                                       "Vivo"}));
+}
+
+TEST(Registry, TableTwoAnchors) {
+  // Spot-check published Table II upper bounds.
+  EXPECT_DOUBLE_EQ(find_device("s8")->d_upper_bound_table_ms, 60);
+  EXPECT_DOUBLE_EQ(find_device("pixel 2")->d_upper_bound_table_ms, 330);
+  EXPECT_DOUBLE_EQ(find_device("Redmi")->d_upper_bound_table_ms, 395);
+  EXPECT_DOUBLE_EQ(find_device("V1986A")->d_upper_bound_table_ms, 80);
+}
+
+TEST(Registry, Mi8ListedAtTwoVersions) {
+  const auto v9 = find_device("mi8", AndroidVersion::kV9);
+  const auto v10 = find_device("mi8", AndroidVersion::kV10);
+  ASSERT_TRUE(v9.has_value());
+  ASSERT_TRUE(v10.has_value());
+  EXPECT_DOUBLE_EQ(v9->d_upper_bound_table_ms, 215);
+  EXPECT_DOUBLE_EQ(v10->d_upper_bound_table_ms, 300);
+}
+
+TEST(Registry, UnknownModelIsEmpty) { EXPECT_FALSE(find_device("iphone").has_value()); }
+
+TEST(Registry, VersionFilter) {
+  std::size_t total = 0;
+  for (auto v : {AndroidVersion::kV8, AndroidVersion::kV9, AndroidVersion::kV9_1,
+                 AndroidVersion::kV10, AndroidVersion::kV11}) {
+    total += devices_with_version(v).size();
+  }
+  EXPECT_EQ(total, 30u);
+  EXPECT_EQ(devices_with_version(AndroidVersion::kV8).size(), 3u);
+  EXPECT_EQ(devices_with_version(AndroidVersion::kV11).size(), 2u);
+}
+
+TEST(Profile, PredictedDMaxMatchesTableTwo) {
+  // The calibrated closed-form Eq. (3) boundary must land within the
+  // 1 ms search granularity of the published value for all 30 phones.
+  for (const auto& d : all_devices()) {
+    EXPECT_NEAR(d.predicted_d_max_ms(ui::kNakedEyeMinPixels), d.d_upper_bound_table_ms, 1.0)
+        << d.display_name();
+  }
+}
+
+TEST(Profile, AddEventOvertakesRemoveEvent) {
+  // Section III-C: Tam < Trm on every device.
+  for (const auto& d : all_devices()) {
+    EXPECT_LT(d.tam.mean_ms, d.trm.mean_ms) << d.display_name();
+  }
+}
+
+TEST(Profile, MistouchGapNearZeroOnAndroid8And9) {
+  for (const auto& d : all_devices()) {
+    const auto fam = version_family(d.version);
+    if (fam == "Android 8.x" || fam == "Android 9.x") {
+      EXPECT_LT(d.expected_tmis_ms(), 2.0) << d.display_name();
+    }
+  }
+}
+
+TEST(Profile, MistouchGapLargerOnAndroid10) {
+  double v9_max = 0.0, v10_min = 1e9;
+  for (const auto& d : all_devices()) {
+    const auto fam = version_family(d.version);
+    if (fam == "Android 9.x") v9_max = std::max(v9_max, d.expected_tmis_ms());
+    if (fam == "Android 10.0") v10_min = std::min(v10_min, d.expected_tmis_ms());
+  }
+  EXPECT_GT(v10_min, v9_max);
+}
+
+TEST(Profile, LoadScalesLatenciesSlightly) {
+  const DeviceProfile base = reference_device();
+  const DeviceProfile loaded = base.with_load(5);
+  EXPECT_GT(loaded.tam.mean_ms, base.tam.mean_ms);
+  // Section VI-B: influence of load is negligible (< 3% here).
+  EXPECT_LT(loaded.tam.mean_ms / base.tam.mean_ms, 1.03);
+  EXPECT_NEAR(loaded.predicted_d_max_ms(2), base.predicted_d_max_ms(2),
+              0.05 * base.predicted_d_max_ms(2));
+}
+
+TEST(Profile, ReferenceDevices) {
+  EXPECT_EQ(reference_device().model, "pixel 2");
+  EXPECT_EQ(reference_device().version, AndroidVersion::kV11);
+  EXPECT_EQ(reference_device_android9().version, AndroidVersion::kV9);
+}
+
+TEST(Profile, DisplayName) {
+  EXPECT_EQ(reference_device().display_name(), "pixel 2 (Android 11)");
+}
+
+TEST(VersionTraits, AnaDelays) {
+  EXPECT_EQ(traits(AndroidVersion::kV9).ana_delay, sim::ms(0));
+  EXPECT_EQ(traits(AndroidVersion::kV10).ana_delay, sim::ms(100));
+  EXPECT_EQ(traits(AndroidVersion::kV11).ana_delay, sim::ms(200));
+}
+
+TEST(VersionTraits, ToastRulesPostAndroid8) {
+  for (auto v : {AndroidVersion::kV8, AndroidVersion::kV10}) {
+    const auto t = traits(v);
+    EXPECT_TRUE(t.type_toast_removed);
+    EXPECT_TRUE(t.serialized_toasts);
+    EXPECT_EQ(t.max_toast_tokens_per_app, 50);
+  }
+}
+
+TEST(VersionTraits, FamilyGrouping) {
+  EXPECT_EQ(version_family(AndroidVersion::kV9), "Android 9.x");
+  EXPECT_EQ(version_family(AndroidVersion::kV9_1), "Android 9.x");
+  EXPECT_EQ(version_family(AndroidVersion::kV11), "Android 11.0");
+}
+
+TEST(MakeProfile, SynthesizesConsistentDevices) {
+  const DeviceProfile p = make_profile("Acme", "test-1", AndroidVersion::kV10, 250.0);
+  EXPECT_NEAR(p.predicted_d_max_ms(ui::kNakedEyeMinPixels), 250.0, 1.0);
+  EXPECT_GT(p.tn.mean_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace animus::device

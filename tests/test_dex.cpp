@@ -1,0 +1,89 @@
+#include "analysis/dex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/scanner.hpp"
+
+namespace animus::analysis {
+namespace {
+
+ApkInfo apk_with_methods(std::vector<std::string> methods) {
+  ApkInfo apk;
+  apk.package = "com.example.dex";
+  apk.method_refs = std::move(methods);
+  return apk;
+}
+
+TEST(DexTable, RoundTrips) {
+  const auto apk = apk_with_methods({kMethodAddView, kMethodRemoveView, "a.b.C.d"});
+  const auto parsed = parse_dex_table(write_dex_table(apk));
+  ASSERT_TRUE(parsed.ok()) << parsed.error->message;
+  EXPECT_EQ(parsed.dex->method_refs.size(), 3u);
+  EXPECT_TRUE(parsed.dex->references(kMethodAddView));
+  EXPECT_TRUE(parsed.dex->references("a.b.C.d"));
+  EXPECT_FALSE(parsed.dex->references("a.b.C.e"));
+}
+
+TEST(DexTable, EmptyTableRoundTrips) {
+  const auto parsed = parse_dex_table(write_dex_table(apk_with_methods({})));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.dex->method_refs.empty());
+}
+
+TEST(DexTable, HeaderFormat) {
+  const std::string blob = write_dex_table(apk_with_methods({"x.Y.z"}));
+  EXPECT_EQ(blob.substr(0, 4), "dex\n");
+  EXPECT_NE(blob.find("037\n"), std::string::npos);
+  EXPECT_NE(blob.find("1\n"), std::string::npos);
+}
+
+struct BadDexCase {
+  const char* label;
+  const char* blob;
+};
+
+class DexErrors : public ::testing::TestWithParam<BadDexCase> {};
+
+TEST_P(DexErrors, RejectsMalformedTables) {
+  const auto parsed = parse_dex_table(GetParam().blob);
+  EXPECT_FALSE(parsed.ok());
+  ASSERT_TRUE(parsed.error.has_value());
+  EXPECT_FALSE(parsed.error->message.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DexErrors,
+    ::testing::Values(BadDexCase{"empty", ""},
+                      BadDexCase{"bad_magic", "odex\n037\n0\n"},
+                      BadDexCase{"bad_version", "dex\n038\n0\n"},
+                      BadDexCase{"missing_count", "dex\n037\n"},
+                      BadDexCase{"nonnumeric_count", "dex\n037\nthree\na\nb\nc\n"},
+                      BadDexCase{"count_too_large", "dex\n037\n3\na.B.c\n"},
+                      BadDexCase{"empty_method", "dex\n037\n2\na.B.c\n\n"},
+                      BadDexCase{"trailing_garbage", "dex\n037\n1\na.B.c\nextra\n"}),
+    [](const ::testing::TestParamInfo<BadDexCase>& info) { return info.param.label; });
+
+TEST(Scanner, UsesParsedDexForMethodPredicates) {
+  ApkInfo apk;
+  apk.package = "com.x";
+  apk.permissions = {kPermSystemAlertWindow};
+  apk.method_refs = {kMethodAddView};  // removeView missing
+  const ScanResult r = scan_apk(apk);
+  EXPECT_TRUE(r.manifest_ok);
+  EXPECT_TRUE(r.dex_ok);
+  EXPECT_TRUE(r.calls_add_view);
+  EXPECT_FALSE(r.calls_remove_view);
+}
+
+TEST(DexTable, LargeTableParsesCleanly) {
+  std::vector<std::string> methods;
+  methods.reserve(1000);
+  for (int i = 0; i < 1000; ++i) methods.push_back("pkg.Cls.m" + std::to_string(i));
+  const auto parsed = parse_dex_table(write_dex_table(apk_with_methods(std::move(methods))));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.dex->method_refs.size(), 1000u);
+  EXPECT_TRUE(parsed.dex->references("pkg.Cls.m999"));
+}
+
+}  // namespace
+}  // namespace animus::analysis

@@ -1,0 +1,154 @@
+#include "defense/enforcement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/overlay_attack.hpp"
+#include "core/password_stealer.hpp"
+#include "core/toast_attack.hpp"
+#include "device/registry.hpp"
+#include "input/typist.hpp"
+#include "victim/catalog.hpp"
+
+namespace animus::defense {
+namespace {
+
+using sim::ms;
+using sim::seconds;
+
+server::World make_world() {
+  server::WorldConfig wc;
+  wc.profile = device::reference_device_android9();
+  wc.seed = 21;
+  wc.trace_enabled = false;
+  return server::World{wc};
+}
+
+TEST(DefenseDaemon, NeutralizesOverlayAttackMidFlight) {
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  DefenseDaemon daemon{world};
+  daemon.install();
+
+  core::OverlayAttack attack{world, {}};
+  attack.start();
+  world.run_until(seconds(30));
+  EXPECT_TRUE(daemon.neutralized(server::kMalwareUid));
+  ASSERT_EQ(daemon.actions().size(), 1u);
+  EXPECT_GT(daemon.actions()[0].windows_removed, 0);
+  // Post-enforcement: permission revoked, screen clean, and it stays so.
+  EXPECT_FALSE(world.server().has_overlay_permission(server::kMalwareUid));
+  EXPECT_EQ(world.wms().overlay_count(server::kMalwareUid), 0);
+  world.run_until(seconds(35));
+  EXPECT_EQ(world.wms().overlay_count(server::kMalwareUid), 0);
+  attack.stop();
+}
+
+TEST(DefenseDaemon, EnforcementIsFast) {
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  DefenseDaemon daemon{world};
+  daemon.install();
+  core::OverlayAttackConfig oc;
+  oc.attacking_window = ms(150);
+  core::OverlayAttack attack{world, oc};
+  attack.start();
+  world.run_until(seconds(30));
+  ASSERT_FALSE(daemon.actions().empty());
+  // min_pairs=8 at D=150 -> detected ~1.2 s in, enforced 50 ms later.
+  EXPECT_LT(daemon.actions()[0].enforced_at, seconds(3));
+  EXPECT_GE(daemon.actions()[0].enforced_at - daemon.actions()[0].detected_at, ms(50));
+  attack.stop();
+}
+
+TEST(DefenseDaemon, CapsStolenTouches) {
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  DefenseDaemon daemon{world};
+  daemon.install();
+  core::OverlayAttackConfig oc;
+  oc.attacking_window = ms(190);
+  oc.bounds = {0, 0, 1080, 2280};
+  core::OverlayAttack attack{world, oc};
+  attack.start();
+  // One tap per second for 30 s; only the pre-enforcement ones leak.
+  for (int i = 1; i <= 30; ++i) {
+    world.loop().schedule_at(seconds(i), [&world] { world.input().inject_tap({540, 1200}); });
+  }
+  world.run_until(seconds(31));
+  EXPECT_LE(attack.stats().captures, 3);
+  attack.stop();
+}
+
+TEST(DefenseDaemon, LeavesBenignAppsAlone) {
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kBenignUid);
+  DefenseDaemon daemon{world};
+  daemon.install();
+  server::OverlaySpec spec;
+  spec.bounds = {800, 200, 200, 200};
+  world.server().add_view(server::kBenignUid, spec);
+  world.run_until(seconds(60));
+  EXPECT_FALSE(daemon.neutralized(server::kBenignUid));
+  EXPECT_TRUE(world.server().has_overlay_permission(server::kBenignUid));
+  EXPECT_EQ(world.wms().overlay_count(server::kBenignUid), 1);
+}
+
+TEST(DefenseDaemon, PurgesToastAttackWhenOverlayAttackFlagged) {
+  // The password stealer runs both primitives; flagging the uid via its
+  // overlay churn also clears its fake-keyboard toasts.
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  DefenseDaemon daemon{world};
+  daemon.install();
+
+  core::ToastAttack toast{world, {}};
+  toast.start();
+  core::OverlayAttack overlay{world, {}};
+  overlay.start();
+  world.run_until(seconds(20));
+  EXPECT_TRUE(daemon.neutralized(server::kMalwareUid));
+  // The currently showing toast was cancelled; later enqueues still work
+  // (toasts need no permission) but the live surface was interrupted at
+  // enforcement time.
+  ASSERT_FALSE(daemon.actions().empty());
+  const auto t_enf = daemon.actions()[0].enforced_at;
+  EXPECT_LT(world.wms().combined_alpha_at(server::kMalwareUid, "fake_keyboard",
+                                          t_enf + ms(600)),
+            0.9);
+  overlay.stop();
+  toast.stop();
+}
+
+TEST(DefenseDaemon, ConfigurableActions) {
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  EnforcementConfig cfg;
+  cfg.revoke_permission = false;
+  cfg.remove_windows = false;
+  cfg.purge_toasts = false;
+  DefenseDaemon daemon{world, cfg};
+  daemon.install();
+  core::OverlayAttack attack{world, {}};
+  attack.start();
+  world.run_until(seconds(10));
+  EXPECT_TRUE(daemon.neutralized(server::kMalwareUid));  // detected...
+  EXPECT_TRUE(world.server().has_overlay_permission(server::kMalwareUid));  // ...not punished
+  EXPECT_GT(world.wms().overlay_count(server::kMalwareUid), 0);
+  attack.stop();
+}
+
+TEST(DefenseDaemon, InstallIsIdempotent) {
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  DefenseDaemon daemon{world};
+  daemon.install();
+  daemon.install();
+  core::OverlayAttack attack{world, {}};
+  attack.start();
+  world.run_until(seconds(10));
+  EXPECT_EQ(daemon.actions().size(), 1u);  // one action despite double install
+  attack.stop();
+}
+
+}  // namespace
+}  // namespace animus::defense

@@ -1,0 +1,152 @@
+#include "sim/event_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace animus::sim {
+namespace {
+
+TEST(EventLoop, StartsAtTimeZero) {
+  EventLoop loop;
+  EXPECT_EQ(loop.now(), SimTime{0});
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoop, ExecutesInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(ms(30), [&] { order.push_back(3); });
+  loop.schedule_at(ms(10), [&] { order.push_back(1); });
+  loop.schedule_at(ms(20), [&] { order.push_back(2); });
+  loop.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), ms(30));
+}
+
+TEST(EventLoop, TiesBreakByScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(ms(5), [&order, i] { order.push_back(i); });
+  }
+  loop.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventLoop, ScheduleAfterIsRelative) {
+  EventLoop loop;
+  SimTime seen{-1};
+  loop.schedule_at(ms(100), [&] {
+    loop.schedule_after(ms(50), [&] { seen = loop.now(); });
+  });
+  loop.run_all();
+  EXPECT_EQ(seen, ms(150));
+}
+
+TEST(EventLoop, PastSchedulingClampsToNow) {
+  EventLoop loop;
+  SimTime seen{-1};
+  loop.schedule_at(ms(100), [&] {
+    loop.schedule_at(ms(10), [&] { seen = loop.now(); });  // in the past
+  });
+  loop.run_all();
+  EXPECT_EQ(seen, ms(100));
+}
+
+TEST(EventLoop, NegativeDelayClampsToZero) {
+  EventLoop loop;
+  SimTime seen{-1};
+  loop.schedule_after(ms(-5), [&] { seen = loop.now(); });
+  loop.run_all();
+  EXPECT_EQ(seen, SimTime{0});
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  auto id = loop.schedule_at(ms(10), [&] { ran = true; });
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(id));  // second cancel is a no-op
+  loop.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoop, CancelDefaultIdIsNoop) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.cancel(EventLoop::EventId{}));
+}
+
+TEST(EventLoop, RunUntilExecutesInclusiveBoundary) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule_at(ms(10), [&] { ++count; });
+  loop.schedule_at(ms(20), [&] { ++count; });
+  loop.schedule_at(ms(21), [&] { ++count; });
+  EXPECT_EQ(loop.run_until(ms(20)), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(loop.now(), ms(20));
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoop, RunUntilAdvancesNowEvenWithoutEvents) {
+  EventLoop loop;
+  loop.run_until(seconds(5));
+  EXPECT_EQ(loop.now(), seconds(5));
+}
+
+TEST(EventLoop, RunUntilSkipsCancelledHead) {
+  EventLoop loop;
+  bool ran = false;
+  auto id = loop.schedule_at(ms(5), [&] { ran = true; });
+  loop.schedule_at(ms(6), [&] {});
+  loop.cancel(id);
+  EXPECT_EQ(loop.run_until(ms(10)), 1u);
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoop, EventsMayScheduleMoreEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) loop.schedule_after(ms(1), chain);
+  };
+  loop.schedule_after(ms(1), chain);
+  loop.run_all();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(loop.now(), ms(100));
+}
+
+TEST(EventLoop, RunAllHonoursEventBudget) {
+  EventLoop loop;
+  std::function<void()> forever = [&] { loop.schedule_after(ms(1), forever); };
+  loop.schedule_after(ms(1), forever);
+  EXPECT_EQ(loop.run_all(1000), 1000u);
+}
+
+TEST(EventLoop, PendingCountExcludesCancelled) {
+  EventLoop loop;
+  auto a = loop.schedule_at(ms(1), [] {});
+  loop.schedule_at(ms(2), [] {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.cancel(a);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoopProperty, ManyRandomEventsRunInNondecreasingTime) {
+  EventLoop loop;
+  std::vector<SimTime> seen;
+  // Pseudo-random but deterministic times.
+  std::uint64_t x = 42;
+  for (int i = 0; i < 2000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto t = ms(static_cast<std::int64_t>(x % 1000));
+    loop.schedule_at(t, [&seen, &loop] { seen.push_back(loop.now()); });
+  }
+  loop.run_all();
+  ASSERT_EQ(seen.size(), 2000u);
+  for (std::size_t i = 1; i < seen.size(); ++i) EXPECT_LE(seen[i - 1], seen[i]);
+}
+
+}  // namespace
+}  // namespace animus::sim

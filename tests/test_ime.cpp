@@ -1,0 +1,106 @@
+#include "input/ime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/registry.hpp"
+#include "server/world.hpp"
+
+namespace animus::input {
+namespace {
+
+using sim::ms;
+
+const ui::Rect kKb{0, 1500, 1080, 780};
+
+server::World make_world() {
+  server::WorldConfig wc;
+  wc.profile = device::reference_device_android9();
+  wc.deterministic = true;
+  return server::World{wc};
+}
+
+TEST(SoftKeyboard, ShowHideLifecycle) {
+  auto world = make_world();
+  SoftKeyboard ime{world, kKb};
+  EXPECT_FALSE(ime.visible());
+  ime.show();
+  EXPECT_TRUE(ime.visible());
+  EXPECT_EQ(world.wms().count(server::kImeUid, ui::WindowType::kInputMethod), 1);
+  ime.show();  // idempotent
+  EXPECT_EQ(world.wms().count(server::kImeUid, ui::WindowType::kInputMethod), 1);
+  ime.hide();
+  EXPECT_FALSE(ime.visible());
+  EXPECT_EQ(world.wms().count(server::kImeUid, ui::WindowType::kInputMethod), 0);
+  ime.hide();  // idempotent
+}
+
+TEST(SoftKeyboard, TapProducesCharacterThroughSink) {
+  auto world = make_world();
+  SoftKeyboard ime{world, kKb};
+  ime.show();
+  std::string text;
+  ime.set_text_sink([&text](const KeyboardState::PressResult& r) {
+    if (r.ch) text.push_back(*r.ch);
+  });
+  const Keyboard kb{kKb};
+  world.input().inject_tap(kb.layout(LayoutKind::kLower).find_char('q')->center(), ms(10));
+  world.input().inject_tap(kb.layout(LayoutKind::kLower).find_char('i')->center(), ms(10));
+  world.run_all();
+  EXPECT_EQ(text, "qi");
+  EXPECT_EQ(ime.presses(), 2);
+}
+
+TEST(SoftKeyboard, ShiftSwitchesLayoutForNextTap) {
+  auto world = make_world();
+  SoftKeyboard ime{world, kKb};
+  ime.show();
+  std::string text;
+  ime.set_text_sink([&text](const KeyboardState::PressResult& r) {
+    if (r.ch) text.push_back(*r.ch);
+  });
+  const Keyboard kb{kKb};
+  auto tap = [&](ui::Point p) {
+    world.input().inject_tap(p, ms(10));
+    world.run_all();
+  };
+  tap(kb.layout(LayoutKind::kLower).find_kind(Key::Kind::kShift)->center());
+  EXPECT_EQ(ime.current_layout(), LayoutKind::kUpper);
+  tap(kb.layout(LayoutKind::kUpper).find_char('A')->center());
+  EXPECT_EQ(ime.current_layout(), LayoutKind::kLower);  // auto-revert
+  tap(kb.layout(LayoutKind::kLower).find_char('b')->center());
+  EXPECT_EQ(text, "Ab");
+}
+
+TEST(SoftKeyboard, DeadZoneTapsAreIgnored) {
+  auto world = make_world();
+  SoftKeyboard ime{world, kKb};
+  ime.show();
+  int events = 0;
+  ime.set_text_sink([&events](const KeyboardState::PressResult&) { ++events; });
+  // Between the bottom of row 3 keys and the edge of the shift key there
+  // is dead space at the far left of row 3 on the symbols board only;
+  // for lower board use a point left of 'z' but right of shift's edge...
+  // simplest guaranteed dead zone: row 3 gap between shift (ends at
+  // x=108) and 'z' (starts at 162).
+  world.input().inject_tap({130, 1500 + 2 * 195 + 90}, ms(10));
+  world.run_all();
+  EXPECT_EQ(events, 0);
+  EXPECT_EQ(ime.presses(), 0);
+}
+
+TEST(SoftKeyboard, ResetsToLowerOnShow) {
+  auto world = make_world();
+  SoftKeyboard ime{world, kKb};
+  ime.show();
+  const Keyboard kb{kKb};
+  world.input().inject_tap(kb.layout(LayoutKind::kLower).find_kind(Key::Kind::kShift)->center(),
+                           ms(10));
+  world.run_all();
+  EXPECT_EQ(ime.current_layout(), LayoutKind::kUpper);
+  ime.hide();
+  ime.show();
+  EXPECT_EQ(ime.current_layout(), LayoutKind::kLower);
+}
+
+}  // namespace
+}  // namespace animus::input

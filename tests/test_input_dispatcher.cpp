@@ -1,0 +1,131 @@
+#include "server/input_dispatcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/registry.hpp"
+#include "server/world.hpp"
+
+namespace animus::server {
+namespace {
+
+using sim::ms;
+
+struct DispatcherFixture : ::testing::Test {
+  WorldConfig make_config() {
+    WorldConfig wc;
+    wc.profile = device::reference_device_android9();
+    wc.deterministic = true;
+    return wc;
+  }
+  World world{make_config()};
+
+  ui::WindowId add_window(int uid, ui::WindowType type, bool on_down = false) {
+    ui::Window w;
+    w.owner_uid = uid;
+    w.type = type;
+    w.bounds = {0, 0, 500, 500};
+    w.deliver_on_down = on_down;
+    w.on_touch = [this, uid](sim::SimTime, ui::Point) { ++touches[uid]; };
+    return world.wms().add_window_now(std::move(w));
+  }
+
+  std::map<int, int> touches;
+};
+
+TEST_F(DispatcherFixture, DeliversCompletedGesture) {
+  add_window(1, ui::WindowType::kActivity);
+  TouchOutcome seen;
+  world.input().inject_tap({100, 100}, ms(15), [&seen](const TouchOutcome& o) { seen = o; });
+  world.run_until(ms(20));
+  EXPECT_EQ(seen.kind, TouchOutcome::Kind::kDelivered);
+  EXPECT_EQ(seen.target_uid, 1);
+  EXPECT_EQ(touches[1], 1);
+  EXPECT_EQ(world.input().stats().delivered, 1u);
+}
+
+TEST_F(DispatcherFixture, NoTargetOutsideAllWindows) {
+  add_window(1, ui::WindowType::kActivity);
+  TouchOutcome seen;
+  world.input().inject_tap({600, 600}, ms(15), [&seen](const TouchOutcome& o) { seen = o; });
+  world.run_all();
+  EXPECT_EQ(seen.kind, TouchOutcome::Kind::kNoTarget);
+  EXPECT_EQ(world.input().stats().untargeted, 1u);
+}
+
+TEST_F(DispatcherFixture, GestureCancelledWhenWindowVanishesMidContact) {
+  add_window(1, ui::WindowType::kActivity);
+  const auto ov = add_window(2, ui::WindowType::kAppOverlay);
+  TouchOutcome seen;
+  world.input().inject_tap({100, 100}, ms(15), [&seen](const TouchOutcome& o) { seen = o; });
+  world.loop().schedule_at(ms(7), [this, ov] { world.wms().remove_window_now(ov); });
+  world.run_until(ms(30));
+  EXPECT_EQ(seen.kind, TouchOutcome::Kind::kCancelled);
+  EXPECT_EQ(touches[2], 0);
+  EXPECT_EQ(touches[1], 0);  // the app beneath does not get it either
+}
+
+TEST_F(DispatcherFixture, DownDeliveryBeatsMidContactRemoval) {
+  // The password attack harvests ACTION_DOWN: removing the overlay
+  // mid-gesture cannot take the coordinate back.
+  add_window(1, ui::WindowType::kActivity);
+  const auto ov = add_window(2, ui::WindowType::kAppOverlay, /*on_down=*/true);
+  TouchOutcome seen;
+  world.input().inject_tap({100, 100}, ms(15), [&seen](const TouchOutcome& o) { seen = o; });
+  world.loop().schedule_at(ms(7), [this, ov] { world.wms().remove_window_now(ov); });
+  world.run_until(ms(30));
+  EXPECT_EQ(seen.kind, TouchOutcome::Kind::kDelivered);
+  EXPECT_EQ(touches[2], 1);
+}
+
+TEST_F(DispatcherFixture, TopmostTouchableWins) {
+  add_window(1, ui::WindowType::kActivity);
+  add_window(2, ui::WindowType::kInputMethod);
+  add_window(3, ui::WindowType::kAppOverlay);
+  world.input().inject_tap({100, 100}, ms(10));
+  world.run_until(ms(20));
+  EXPECT_EQ(touches[3], 1);
+  EXPECT_EQ(touches[2], 0);
+  EXPECT_EQ(touches[1], 0);
+}
+
+TEST_F(DispatcherFixture, ToastNeverReceivesTouch) {
+  add_window(1, ui::WindowType::kActivity);
+  ui::Window toast;
+  toast.owner_uid = 9;
+  toast.bounds = {0, 0, 500, 500};
+  toast.on_touch = [this](sim::SimTime, ui::Point) { ++touches[9]; };
+  world.wms().add_toast_now(toast);
+  world.run_until(ms(600));
+  world.input().inject_tap({100, 100}, ms(10));
+  world.run_until(ms(700));
+  EXPECT_EQ(touches[9], 0);
+  EXPECT_EQ(touches[1], 1);  // falls through to the activity
+}
+
+TEST_F(DispatcherFixture, SampledContactDurationsWithinModel) {
+  add_window(1, ui::WindowType::kActivity);
+  TouchContactModel m;
+  m.mean_ms = 12;
+  m.sd_ms = 4;
+  m.min_ms = 5;
+  m.max_ms = 25;
+  world.input().set_contact_model(m);
+  for (int i = 0; i < 50; ++i) {
+    world.input().inject_tap({100, 100});
+  }
+  world.run_all();
+  EXPECT_EQ(world.input().stats().delivered, 50u);
+}
+
+TEST_F(DispatcherFixture, StatsAccumulate) {
+  add_window(1, ui::WindowType::kActivity);
+  world.input().inject_tap({100, 100}, ms(10));
+  world.input().inject_tap({600, 600}, ms(10));
+  world.run_all();
+  EXPECT_EQ(world.input().stats().taps, 2u);
+  EXPECT_EQ(world.input().stats().delivered, 1u);
+  EXPECT_EQ(world.input().stats().untargeted, 1u);
+}
+
+}  // namespace
+}  // namespace animus::server

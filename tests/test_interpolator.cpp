@@ -1,0 +1,225 @@
+#include "ui/interpolator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace animus::ui {
+namespace {
+
+// ---------------------------------------------------------------------
+// Shared property suite: every interpolator must be a monotone easing
+// function fixing 0 and 1.
+// ---------------------------------------------------------------------
+
+struct InterpCase {
+  const char* label;
+  const Interpolator* interp;
+};
+
+class InterpolatorProperty : public ::testing::TestWithParam<InterpCase> {};
+
+TEST_P(InterpolatorProperty, FixesEndpoints) {
+  const auto& f = *GetParam().interp;
+  EXPECT_DOUBLE_EQ(f.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.value(1.0), 1.0);
+}
+
+TEST_P(InterpolatorProperty, ClampsOutOfRangeInput) {
+  const auto& f = *GetParam().interp;
+  EXPECT_DOUBLE_EQ(f.value(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f.value(1.5), 1.0);
+}
+
+TEST_P(InterpolatorProperty, MonotoneNondecreasing) {
+  const auto& f = *GetParam().interp;
+  double prev = -1e-12;
+  for (int i = 0; i <= 1000; ++i) {
+    const double y = f.value(i / 1000.0);
+    EXPECT_GE(y, prev - 1e-9) << "at x=" << i / 1000.0;
+    prev = y;
+  }
+}
+
+TEST_P(InterpolatorProperty, OutputStaysIn01) {
+  const auto& f = *GetParam().interp;
+  for (int i = 0; i <= 500; ++i) {
+    const double y = f.value(i / 500.0);
+    EXPECT_GE(y, 0.0);
+    EXPECT_LE(y, 1.0);
+  }
+}
+
+TEST_P(InterpolatorProperty, InverseIsConsistent) {
+  const auto& f = *GetParam().interp;
+  for (double y : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const double x = f.inverse(y);
+    EXPECT_NEAR(f.value(x), y, 1e-6) << "y=" << y;
+  }
+}
+
+const AccelerateInterpolator kAccel;
+const DecelerateInterpolator kDecel;
+const LinearInterpolator kLinear;
+const FastOutSlowInInterpolator kFosi;
+const AccelerateInterpolator kAccel3{3.0};
+const DecelerateInterpolator kDecelHalf{0.5};
+const CubicBezierInterpolator kEase{0.25, 0.1, 0.25, 1.0};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllInterpolators, InterpolatorProperty,
+    ::testing::Values(InterpCase{"linear", &kLinear}, InterpCase{"accelerate", &kAccel},
+                      InterpCase{"decelerate", &kDecel}, InterpCase{"fast_out_slow_in", &kFosi},
+                      InterpCase{"accelerate_f3", &kAccel3},
+                      InterpCase{"decelerate_f05", &kDecelHalf}, InterpCase{"ease", &kEase}),
+    [](const ::testing::TestParamInfo<InterpCase>& info) { return info.param.label; });
+
+// ---------------------------------------------------------------------
+// Paper-anchored values.
+// ---------------------------------------------------------------------
+
+TEST(Accelerate, IsTheToastExitParabola) {
+  // Section IV-B: the disappearance follows y = x^2.
+  for (double x : {0.1, 0.3, 0.5, 0.8}) EXPECT_NEAR(kAccel.value(x), x * x, 1e-12);
+}
+
+TEST(Decelerate, IsTheToastEnterParabola) {
+  // Section IV-B: the appearance follows y = 1 - (1-x)^2.
+  for (double x : {0.1, 0.3, 0.5, 0.8}) {
+    EXPECT_NEAR(kDecel.value(x), 1.0 - (1.0 - x) * (1.0 - x), 1e-12);
+  }
+}
+
+TEST(Accelerate, SlowAtStart) {
+  // The exploited asymmetry: after 20% of the exit animation only 4% of
+  // the fade has happened — the old toast is still almost fully opaque.
+  EXPECT_LT(kAccel.value(0.2), 0.05);
+}
+
+TEST(Decelerate, FastAtStart) {
+  // After 20% of the enter animation the new toast is already 36% faded
+  // in; the paper uses this to hide toast switching.
+  EXPECT_GT(kDecel.value(0.2), 0.35);
+}
+
+TEST(FastOutSlowIn, LessThanHalfInFirst100msOf360) {
+  // Section III-B / Fig. 2: "the animation shows less than 50% of the
+  // notification view in the first 100 ms" (x = 100/360).
+  EXPECT_LT(kFosi.value(100.0 / 360.0), 0.50);
+  EXPECT_GT(kFosi.value(100.0 / 360.0), 0.25);  // Fig. 2 shape
+}
+
+TEST(FastOutSlowIn, FirstFrameShowsAboutPointOneSevenPercent) {
+  // Section III-B: the 10 ms first frame reveals ~0.17% of the view.
+  const double y = kFosi.value(10.0 / 360.0);
+  EXPECT_NEAR(y, 0.0017, 0.0006);
+}
+
+TEST(FastOutSlowIn, FirstFramePixelsRoundToZeroOn72pxView) {
+  const double px = kFosi.value(10.0 / 360.0) * 72.0;
+  EXPECT_LT(px, 0.5);  // 0.1224 px in the paper -> rounds to 0
+}
+
+TEST(FastOutSlowIn, MatchesBezierControlPoints) {
+  const FastOutSlowInInterpolator f;
+  EXPECT_DOUBLE_EQ(f.x1(), 0.4);
+  EXPECT_DOUBLE_EQ(f.y1(), 0.0);
+  EXPECT_DOUBLE_EQ(f.x2(), 0.2);
+  EXPECT_DOUBLE_EQ(f.y2(), 1.0);
+}
+
+TEST(CubicBezier, LinearControlPointsGiveIdentity) {
+  const CubicBezierInterpolator f{1.0 / 3.0, 1.0 / 3.0, 2.0 / 3.0, 2.0 / 3.0};
+  for (double x : {0.05, 0.3, 0.62, 0.97}) EXPECT_NEAR(f.value(x), x, 1e-6);
+}
+
+TEST(CubicBezier, ControlXClampedInto01) {
+  const CubicBezierInterpolator f{-2.0, 0.0, 7.0, 1.0};
+  EXPECT_DOUBLE_EQ(f.x1(), 0.0);
+  EXPECT_DOUBLE_EQ(f.x2(), 1.0);
+  // Still a valid monotone easing.
+  EXPECT_NEAR(f.value(0.0), 0.0, 1e-9);
+  EXPECT_NEAR(f.value(1.0), 1.0, 1e-9);
+}
+
+TEST(Singletons, AreTheExpectedFamilies) {
+  EXPECT_EQ(fast_out_slow_in().name(), "FastOutSlowIn");
+  EXPECT_EQ(accelerate().name(), "Accelerate");
+  EXPECT_EQ(decelerate().name(), "Decelerate");
+  EXPECT_EQ(linear().name(), "Linear");
+}
+
+// ---------------------------------------------------------------------
+// The wider Android interpolator family (not used by the attacks, but
+// part of the animation library a downstream user would expect).
+// ---------------------------------------------------------------------
+
+TEST(AccelerateDecelerate, CosineEasing) {
+  const AccelerateDecelerateInterpolator f;
+  EXPECT_NEAR(f.value(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(f.value(0.5), 0.5, 1e-12);
+  EXPECT_NEAR(f.value(1.0), 1.0, 1e-12);
+  // Slow at both ends, fast in the middle.
+  EXPECT_LT(f.value(0.1), 0.1);
+  EXPECT_GT(f.value(0.9), 0.9);
+}
+
+TEST(Anticipate, DipsBelowZeroThenArrives) {
+  const AnticipateInterpolator f;
+  EXPECT_NEAR(f.value(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(f.value(1.0), 1.0, 1e-12);
+  double min_v = 0.0;
+  for (int i = 0; i <= 100; ++i) min_v = std::min(min_v, f.value(i / 100.0));
+  EXPECT_LT(min_v, -0.05);  // the wind-up
+}
+
+TEST(Overshoot, ExceedsOneThenSettles) {
+  const OvershootInterpolator f;
+  EXPECT_NEAR(f.value(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(f.value(1.0), 1.0, 1e-12);
+  double max_v = 0.0;
+  for (int i = 0; i <= 100; ++i) max_v = std::max(max_v, f.value(i / 100.0));
+  EXPECT_GT(max_v, 1.05);
+}
+
+TEST(Bounce, EndsSettledAfterBounces) {
+  const BounceInterpolator f;
+  EXPECT_NEAR(f.value(0.0), 0.0, 1e-9);
+  EXPECT_NEAR(f.value(1.0), 1.0, 0.02);
+  // Count descents (bounce rebounds).
+  int descents = 0;
+  double prev = f.value(0.0);
+  bool descending = false;
+  for (int i = 1; i <= 200; ++i) {
+    const double v = f.value(i / 200.0);
+    if (v < prev - 1e-9 && !descending) {
+      descending = true;
+      ++descents;
+    } else if (v > prev + 1e-9) {
+      descending = false;
+    }
+    prev = v;
+  }
+  EXPECT_GE(descents, 2);  // at least two visible bounces
+}
+
+TEST(MaterialCurves, StandardInOutPair) {
+  const LinearOutSlowInInterpolator in;   // incoming: fast first
+  const FastOutLinearInInterpolator out;  // outgoing: slow first
+  EXPECT_GT(in.value(0.2), 0.35);
+  EXPECT_LT(out.value(0.2), 0.12);
+  EXPECT_EQ(in.name(), "LinearOutSlowIn");
+  EXPECT_EQ(out.name(), "FastOutLinearIn");
+}
+
+TEST(Inverse, FastOutSlowInObservabilityThreshold) {
+  // The x at which the notification view first reveals 1/72 of itself —
+  // the quantity behind the paper's Ta (Eq. 3).
+  const double x = kFosi.inverse(1.0 / 72.0);
+  EXPECT_GT(x * 360.0, 10.0);  // later than the first frame
+  EXPECT_LT(x * 360.0, 60.0);  // well before the animation midpoint
+}
+
+}  // namespace
+}  // namespace animus::ui

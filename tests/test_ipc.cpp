@@ -1,0 +1,108 @@
+#include "ipc/binder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ipc/transaction_log.hpp"
+#include "sim/actor.hpp"
+
+namespace animus::ipc {
+namespace {
+
+using sim::ms;
+
+TEST(TransactionLog, RecordsInOrderWithIds) {
+  TransactionLog log;
+  log.record(1, MethodCode::kAddView, "iface", ms(1), ms(4));
+  log.record(2, MethodCode::kRemoveView, "iface", ms(2), ms(15));
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.all()[0].id, 1u);
+  EXPECT_EQ(log.all()[1].id, 2u);
+  EXPECT_EQ(log.all()[1].caller_uid, 2);
+}
+
+TEST(TransactionLog, DisabledLogDropsRecords) {
+  TransactionLog log;
+  log.set_enabled(false);
+  EXPECT_EQ(log.record(1, MethodCode::kAddView, "iface", ms(1), ms(2)), 0u);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(TransactionLog, FilterByUid) {
+  TransactionLog log;
+  log.record(1, MethodCode::kAddView, "iface", ms(1), ms(2));
+  log.record(2, MethodCode::kAddView, "iface", ms(1), ms(2));
+  log.record(1, MethodCode::kRemoveView, "iface", ms(3), ms(9));
+  EXPECT_EQ(log.for_uid(1).size(), 2u);
+  EXPECT_EQ(log.for_uid(3).size(), 0u);
+}
+
+TEST(TransactionLog, ObserversSeeEveryRecord) {
+  TransactionLog log;
+  int seen = 0;
+  log.add_observer([&seen](const Transaction&) { ++seen; });
+  log.record(1, MethodCode::kAddView, "iface", ms(1), ms(2));
+  log.record(1, MethodCode::kEnqueueToast, "iface", ms(2), ms(3));
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(MethodCode, Names) {
+  EXPECT_EQ(to_string(MethodCode::kAddView), "addView");
+  EXPECT_EQ(to_string(MethodCode::kRemoveView), "removeView");
+  EXPECT_EQ(to_string(MethodCode::kEnqueueToast), "enqueueToast");
+}
+
+TEST(LatencyModel, DeterministicMeanAndFloor) {
+  LatencyModel m{.mean_ms = 3.0, .sd_ms = 1.0, .floor_ms = 2.5};
+  EXPECT_EQ(m.mean(), sim::ms_f(3.0));
+  sim::Rng rng{1};
+  for (int i = 0; i < 500; ++i) EXPECT_GE(m.sample(rng), sim::ms_f(2.5));
+}
+
+TEST(BinderChannel, DeliversAfterLatencyAndRecords) {
+  sim::EventLoop loop;
+  sim::Actor server{loop, "system_server"};
+  TransactionLog log;
+  BinderChannel channel{server, sim::Rng{1}, &log};
+  channel.set_deterministic(true);
+  sim::SimTime handled{-1};
+  const LatencyModel transit{.mean_ms = 5.0, .sd_ms = 2.0, .floor_ms = 0.1};
+  const auto latency = channel.call(42, MethodCode::kAddView, "iface", transit, ms(2),
+                                    [&] { handled = loop.now(); });
+  EXPECT_EQ(latency, sim::ms_f(5.0));
+  loop.run_all();
+  EXPECT_EQ(handled, sim::ms_f(5.0));
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.all()[0].caller_uid, 42);
+  EXPECT_EQ(log.all()[0].delivered, sim::ms_f(5.0));
+}
+
+TEST(BinderChannel, ServerCostSerializesHandlers) {
+  sim::EventLoop loop;
+  sim::Actor server{loop, "system_server"};
+  BinderChannel channel{server, sim::Rng{1}, nullptr};
+  channel.set_deterministic(true);
+  const LatencyModel transit{.mean_ms = 1.0, .sd_ms = 0.0, .floor_ms = 0.1};
+  std::vector<sim::SimTime> starts;
+  channel.call(1, MethodCode::kAddView, "iface", transit, ms(10),
+               [&] { starts.push_back(loop.now()); });
+  channel.call(1, MethodCode::kAddView, "iface", transit, ms(10),
+               [&] { starts.push_back(loop.now()); });
+  loop.run_all();
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[1] - starts[0], ms(10));
+}
+
+TEST(BinderChannel, JitteredCallsVary) {
+  sim::EventLoop loop;
+  sim::Actor server{loop, "system_server"};
+  BinderChannel channel{server, sim::Rng{2}, nullptr};
+  const LatencyModel transit{.mean_ms = 5.0, .sd_ms = 1.5, .floor_ms = 0.1};
+  std::set<sim::SimTime::rep> seen;
+  for (int i = 0; i < 20; ++i) {
+    seen.insert(channel.call(1, MethodCode::kOther, "iface", transit, ms(0), [] {}).count());
+  }
+  EXPECT_GT(seen.size(), 5u);
+}
+
+}  // namespace
+}  // namespace animus::ipc

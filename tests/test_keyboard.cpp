@@ -1,0 +1,214 @@
+#include "input/keyboard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "input/password.hpp"
+#include "sim/rng.hpp"
+
+namespace animus::input {
+namespace {
+
+const ui::Rect kKb{0, 1500, 1080, 780};
+
+TEST(Keyboard, ThreeAlignedLayouts) {
+  Keyboard kb{kKb};
+  for (auto k : {LayoutKind::kLower, LayoutKind::kUpper, LayoutKind::kSymbols}) {
+    EXPECT_FALSE(kb.layout(k).keys().empty());
+    for (const auto& key : kb.layout(k).keys()) {
+      EXPECT_TRUE(kKb.contains(key.center())) << key.label;
+    }
+  }
+}
+
+TEST(Keyboard, LowerLayoutCoversAlphabet) {
+  Keyboard kb{kKb};
+  for (char c = 'a'; c <= 'z'; ++c) {
+    EXPECT_NE(kb.layout(LayoutKind::kLower).find_char(c), nullptr) << c;
+  }
+}
+
+TEST(Keyboard, UpperLayoutCoversAlphabet) {
+  Keyboard kb{kKb};
+  for (char c = 'A'; c <= 'Z'; ++c) {
+    EXPECT_NE(kb.layout(LayoutKind::kUpper).find_char(c), nullptr) << c;
+  }
+}
+
+TEST(Keyboard, SymbolsLayoutCoversDigitsAndPasswordSymbols) {
+  Keyboard kb{kKb};
+  for (char c : std::string("0123456789")) {
+    EXPECT_NE(kb.layout(LayoutKind::kSymbols).find_char(c), nullptr) << c;
+  }
+  for (char c : std::string(password_symbols())) {
+    EXPECT_NE(kb.layout(LayoutKind::kSymbols).find_char(c), nullptr) << c;
+  }
+}
+
+TEST(Keyboard, EveryLayoutHasControlKeys) {
+  Keyboard kb{kKb};
+  for (auto lk : {LayoutKind::kLower, LayoutKind::kUpper, LayoutKind::kSymbols}) {
+    const auto& layout = kb.layout(lk);
+    EXPECT_NE(layout.find_kind(Key::Kind::kBackspace), nullptr);
+    EXPECT_NE(layout.find_kind(Key::Kind::kEnter), nullptr);
+    EXPECT_NE(layout.find_kind(Key::Kind::kSpace), nullptr);
+    if (lk == LayoutKind::kSymbols) {
+      EXPECT_NE(layout.find_kind(Key::Kind::kLetters), nullptr);
+      EXPECT_EQ(layout.find_kind(Key::Kind::kShift), nullptr);
+    } else {
+      EXPECT_NE(layout.find_kind(Key::Kind::kShift), nullptr);
+      EXPECT_NE(layout.find_kind(Key::Kind::kSymbols), nullptr);
+    }
+  }
+}
+
+TEST(Keyboard, KeysDoNotOverlap) {
+  Keyboard kb{kKb};
+  for (auto lk : {LayoutKind::kLower, LayoutKind::kUpper, LayoutKind::kSymbols}) {
+    const auto keys = kb.layout(lk).keys();
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      for (std::size_t j = i + 1; j < keys.size(); ++j) {
+        EXPECT_FALSE(keys[i].bounds.intersects(keys[j].bounds))
+            << to_string(lk) << ": " << keys[i].label << " vs " << keys[j].label;
+      }
+    }
+  }
+}
+
+TEST(Keyboard, KeyAtCenterRoundTrips) {
+  Keyboard kb{kKb};
+  for (const auto& key : kb.layout(LayoutKind::kLower).keys()) {
+    const Key* hit = kb.layout(LayoutKind::kLower).key_at(key.center());
+    ASSERT_NE(hit, nullptr) << key.label;
+    EXPECT_EQ(hit->label, key.label);
+  }
+}
+
+TEST(Keyboard, NearestDecodeRoundTripsAtCenters) {
+  // The attacker's Euclidean decoder recovers every key from its own
+  // center coordinate (Section V's offline analysis).
+  Keyboard kb{kKb};
+  for (auto lk : {LayoutKind::kLower, LayoutKind::kUpper, LayoutKind::kSymbols}) {
+    for (const auto& key : kb.layout(lk).keys()) {
+      EXPECT_EQ(kb.layout(lk).nearest(key.center()).label, key.label);
+    }
+  }
+}
+
+TEST(Keyboard, NearestDecodeTolratesJitter) {
+  Keyboard kb{kKb};
+  sim::Rng rng{7};
+  const auto& layout = kb.layout(LayoutKind::kLower);
+  int correct = 0, total = 0;
+  for (const auto& key : layout.keys()) {
+    for (int trial = 0; trial < 20; ++trial) {
+      ui::Point p = key.center();
+      p.x += static_cast<int>(rng.normal(0, key.bounds.w * 0.10));
+      p.y += static_cast<int>(rng.normal(0, key.bounds.h * 0.10));
+      ++total;
+      correct += layout.nearest(p).label == key.label;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.97);
+}
+
+TEST(Keyboard, RequiredLayoutClassification) {
+  EXPECT_EQ(Keyboard::required_layout('a'), LayoutKind::kLower);
+  EXPECT_EQ(Keyboard::required_layout('Z'), LayoutKind::kUpper);
+  EXPECT_EQ(Keyboard::required_layout('7'), LayoutKind::kSymbols);
+  EXPECT_EQ(Keyboard::required_layout('&'), LayoutKind::kSymbols);
+  EXPECT_EQ(Keyboard::required_layout(' '), std::nullopt);  // on every board
+  EXPECT_EQ(Keyboard::required_layout('\t'), std::nullopt);
+  EXPECT_FALSE(Keyboard::typeable('\t'));
+  EXPECT_TRUE(Keyboard::typeable('%'));
+}
+
+TEST(KeyboardState, ShiftTogglesAndAutoReverts) {
+  Keyboard kb{kKb};
+  KeyboardState st;
+  EXPECT_EQ(st.current(), LayoutKind::kLower);
+  st.press(*kb.layout(LayoutKind::kLower).find_kind(Key::Kind::kShift));
+  EXPECT_EQ(st.current(), LayoutKind::kUpper);
+  const auto r = st.press(*kb.layout(LayoutKind::kUpper).find_char('H'));
+  EXPECT_EQ(r.ch, 'H');
+  EXPECT_TRUE(r.layout_changed);
+  EXPECT_EQ(st.current(), LayoutKind::kLower);  // auto-revert
+}
+
+TEST(KeyboardState, ShiftTwiceReturnsToLower) {
+  Keyboard kb{kKb};
+  KeyboardState st;
+  const Key& shift = *kb.layout(LayoutKind::kLower).find_kind(Key::Kind::kShift);
+  st.press(shift);
+  st.press(*kb.layout(LayoutKind::kUpper).find_kind(Key::Kind::kShift));
+  EXPECT_EQ(st.current(), LayoutKind::kLower);
+}
+
+TEST(KeyboardState, SymbolsAndBackRoundTrip) {
+  Keyboard kb{kKb};
+  KeyboardState st;
+  st.press(*kb.layout(LayoutKind::kLower).find_kind(Key::Kind::kSymbols));
+  EXPECT_EQ(st.current(), LayoutKind::kSymbols);
+  const auto r = st.press(*kb.layout(LayoutKind::kSymbols).find_char('%'));
+  EXPECT_EQ(r.ch, '%');
+  EXPECT_EQ(st.current(), LayoutKind::kSymbols);  // symbols latch
+  st.press(*kb.layout(LayoutKind::kSymbols).find_kind(Key::Kind::kLetters));
+  EXPECT_EQ(st.current(), LayoutKind::kLower);
+}
+
+TEST(KeyboardState, SpaceDoesNotRevertShift) {
+  Keyboard kb{kKb};
+  KeyboardState st;
+  st.press(*kb.layout(LayoutKind::kLower).find_kind(Key::Kind::kShift));
+  const auto r = st.press(*kb.layout(LayoutKind::kUpper).find_kind(Key::Kind::kSpace));
+  EXPECT_EQ(r.ch, ' ');
+  EXPECT_EQ(st.current(), LayoutKind::kUpper);
+}
+
+TEST(KeyboardState, BackspaceAndEnter) {
+  Keyboard kb{kKb};
+  KeyboardState st;
+  EXPECT_TRUE(st.press(*kb.layout(LayoutKind::kLower).find_kind(Key::Kind::kBackspace)).backspace);
+  EXPECT_TRUE(st.press(*kb.layout(LayoutKind::kLower).find_kind(Key::Kind::kEnter)).enter);
+}
+
+// Property: typing any generated password through the state machine at
+// key centers reproduces the password exactly.
+class KeyboardRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(KeyboardRoundTrip, StateMachineTypesGeneratedPasswords) {
+  Keyboard kb{kKb};
+  sim::Rng rng{static_cast<std::uint64_t>(GetParam())};
+  const std::string pwd = random_password(10, rng);
+  KeyboardState st;
+  std::string typed;
+  for (char c : pwd) {
+    for (int guard = 0; guard < 4; ++guard) {
+      const auto needed = Keyboard::required_layout(c);
+      if (!needed || *needed == st.current()) break;
+      const auto& layout = kb.layout(st.current());
+      const Key* mode = nullptr;
+      if (*needed == LayoutKind::kSymbols) {
+        mode = layout.find_kind(Key::Kind::kSymbols);
+      } else if (st.current() == LayoutKind::kSymbols) {
+        mode = layout.find_kind(Key::Kind::kLetters);
+      } else {
+        mode = layout.find_kind(Key::Kind::kShift);
+      }
+      ASSERT_NE(mode, nullptr);
+      st.press(*mode);
+    }
+    const Key* key = kb.layout(st.current()).find_char(c);
+    ASSERT_NE(key, nullptr) << "char " << c;
+    const auto r = st.press(*key);
+    if (r.ch) typed.push_back(*r.ch);
+  }
+  EXPECT_EQ(typed, pwd);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KeyboardRoundTrip, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace animus::input

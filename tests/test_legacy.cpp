@@ -1,0 +1,148 @@
+// Legacy (pre-Android 8) behaviour vs the modern defenses the paper's
+// attacks must defeat. Section II documents three mitigations added in
+// Android 8.0 — overlay warning notification, TYPE_TOAST removal,
+// one-toast-at-a-time scheduling; these tests pin both sides of each.
+#include <gtest/gtest.h>
+
+#include "core/overlay_attack.hpp"
+#include "device/registry.hpp"
+#include "percept/flicker.hpp"
+#include "percept/outcomes.hpp"
+#include "server/world.hpp"
+
+namespace animus {
+namespace {
+
+using sim::ms;
+using sim::seconds;
+
+device::DeviceProfile legacy_device() {
+  return device::make_profile("Legacy", "nexus5", device::AndroidVersion::kV7, 150.0);
+}
+
+server::World make_world(const device::DeviceProfile& dev) {
+  server::WorldConfig wc;
+  wc.profile = dev;
+  wc.trace_enabled = false;
+  return server::World{wc};
+}
+
+TEST(LegacyTraits, Android7PredatesAllDefenses) {
+  const auto t = device::traits(device::AndroidVersion::kV7);
+  EXPECT_FALSE(t.overlay_notification);
+  EXPECT_FALSE(t.type_toast_removed);
+  EXPECT_FALSE(t.serialized_toasts);
+  EXPECT_EQ(device::version_family(device::AndroidVersion::kV7), "Android 7.x");
+  EXPECT_EQ(device::to_string(device::AndroidVersion::kV7), "7");
+}
+
+TEST(LegacyOverlay, NoWarningNotificationAtAll) {
+  // Before Android 8 a persistent overlay raised no alert: the attacker
+  // did not even need draw-and-destroy.
+  auto world = make_world(legacy_device());
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  server::OverlaySpec spec;
+  spec.bounds = {0, 0, 1080, 2280};
+  world.server().add_view(server::kMalwareUid, spec);
+  world.run_until(seconds(10));
+  EXPECT_EQ(world.wms().overlay_count(server::kMalwareUid), 1);
+  EXPECT_EQ(world.system_ui().phase(server::kMalwareUid),
+            server::SystemUi::AlertPhase::kHidden);
+  EXPECT_EQ(world.system_ui().stats(server::kMalwareUid).shows, 0);
+}
+
+TEST(ModernOverlay, WarningNotificationOnAndroid8Plus) {
+  auto world = make_world(device::reference_device_android9());
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  server::OverlaySpec spec;
+  spec.bounds = {0, 0, 1080, 2280};
+  world.server().add_view(server::kMalwareUid, spec);
+  world.run_until(seconds(10));
+  EXPECT_TRUE(world.system_ui().alert_fully_visible(server::kMalwareUid));
+}
+
+TEST(LegacyTypeToast, PersistsUntilRemoved) {
+  auto world = make_world(legacy_device());
+  const auto h = world.server().add_type_toast_view(server::kMalwareUid,
+                                                    {0, 1500, 1080, 780}, "fake_keyboard");
+  EXPECT_NE(h, 0u);
+  world.run_until(seconds(60));
+  // A minute later the TYPE_TOAST view is still there — no duration cap.
+  EXPECT_EQ(world.wms().count(server::kMalwareUid, ui::WindowType::kToast), 1);
+  world.server().remove_view(server::kMalwareUid, h);
+  world.run_until(seconds(61));
+  EXPECT_EQ(world.wms().count(server::kMalwareUid, ui::WindowType::kToast), 0);
+}
+
+TEST(ModernTypeToast, RemovedSinceAndroid8) {
+  auto world = make_world(device::reference_device_android9());
+  const auto h = world.server().add_type_toast_view(server::kMalwareUid,
+                                                    {0, 1500, 1080, 780}, "fake_keyboard");
+  EXPECT_EQ(h, 0u);
+  world.run_until(seconds(2));
+  EXPECT_EQ(world.wms().count(server::kMalwareUid, ui::WindowType::kToast), 0);
+}
+
+TEST(LegacyToasts, MayOverlapFreely) {
+  // Pre-Android-8: Toast.show() puts every toast straight on screen.
+  auto world = make_world(legacy_device());
+  for (int i = 0; i < 3; ++i) {
+    server::ToastRequest r;
+    r.content = "legacy:" + std::to_string(i);
+    r.bounds = {0, 1500, 1080, 780};
+    r.duration = server::kToastLong;
+    world.server().enqueue_toast(server::kMalwareUid, r);
+  }
+  world.run_until(ms(200));
+  EXPECT_EQ(world.wms().count(server::kMalwareUid, ui::WindowType::kToast), 3);
+  EXPECT_EQ(world.nms().stats().shown, 3u);
+}
+
+TEST(ModernToasts, StrictlySerialized) {
+  auto world = make_world(device::reference_device_android9());
+  for (int i = 0; i < 3; ++i) {
+    server::ToastRequest r;
+    r.content = "modern:" + std::to_string(i);
+    r.bounds = {0, 1500, 1080, 780};
+    r.duration = server::kToastLong;
+    world.server().enqueue_toast(server::kMalwareUid, r);
+  }
+  world.run_until(ms(200));
+  EXPECT_EQ(world.wms().count(server::kMalwareUid, ui::WindowType::kToast), 1);
+}
+
+TEST(LegacyToasts, NaiveRepeatShowCausesNoGapEither) {
+  // The legacy toast attack of [3]: just call Toast.show() repeatedly.
+  auto world = make_world(legacy_device());
+  for (int i = 0; i < 10; ++i) {
+    world.loop().schedule_at(seconds(3 * i), [&world] {
+      server::ToastRequest r;
+      r.content = "legacy:fake_kbd";
+      r.bounds = {0, 1500, 1080, 780};
+      r.duration = server::kToastLong;
+      world.server().enqueue_toast(server::kMalwareUid, r);
+    });
+  }
+  world.run_until(seconds(30));
+  const auto flicker = percept::scan_flicker(world.wms(), server::kMalwareUid, "legacy:",
+                                             seconds(1), seconds(29));
+  EXPECT_FALSE(flicker.noticeable);
+}
+
+TEST(LegacyOverlayAttack, DrawAndDestroyUnnecessaryButHarmless) {
+  // Running the modern attack on a legacy device still works — there is
+  // simply no alert to suppress.
+  auto world = make_world(legacy_device());
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  core::OverlayAttackConfig oc;
+  oc.attacking_window = ms(150);
+  core::OverlayAttack attack{world, oc};
+  attack.start();
+  world.run_until(seconds(5));
+  EXPECT_GT(attack.stats().cycles, 20);
+  EXPECT_EQ(world.system_ui().stats(server::kMalwareUid).shows, 0);
+  attack.stop();
+}
+
+}  // namespace
+}  // namespace animus

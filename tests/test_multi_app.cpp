@@ -1,0 +1,161 @@
+// Multi-app stress and fairness: several malicious and benign apps
+// sharing one handset. The services must keep per-uid state independent,
+// the toast scheduler must stay fair under a flood, and the defense
+// daemon must neutralize every attacker without touching bystanders.
+#include <gtest/gtest.h>
+
+#include "core/overlay_attack.hpp"
+#include "core/toast_attack.hpp"
+#include "defense/enforcement.hpp"
+#include "device/registry.hpp"
+#include "percept/outcomes.hpp"
+#include "server/world.hpp"
+
+namespace animus {
+namespace {
+
+using sim::ms;
+using sim::seconds;
+
+server::World make_world(std::uint64_t seed = 31) {
+  server::WorldConfig wc;
+  wc.profile = device::reference_device_android9();
+  wc.seed = seed;
+  wc.trace_enabled = false;
+  return server::World{wc};
+}
+
+TEST(MultiApp, ThreeConcurrentOverlayAttacksAllSuppressed) {
+  auto world = make_world();
+  std::vector<std::unique_ptr<core::OverlayAttack>> attacks;
+  for (int i = 0; i < 3; ++i) {
+    const int uid = server::kMalwareUid + i;
+    world.server().grant_overlay_permission(uid);
+    core::OverlayAttackConfig oc;
+    oc.uid = uid;
+    oc.attacking_window = ms(170 + 10 * i);
+    attacks.push_back(std::make_unique<core::OverlayAttack>(world, oc));
+    attacks.back()->start();
+  }
+  world.run_until(seconds(10));
+  for (int i = 0; i < 3; ++i) {
+    const auto alert = world.system_ui().snapshot(server::kMalwareUid + i);
+    EXPECT_EQ(percept::classify(alert), percept::LambdaOutcome::kL1) << "attacker " << i;
+  }
+  for (auto& a : attacks) a->stop();
+}
+
+TEST(MultiApp, AttackerDoesNotSuppressBystanderAlert) {
+  // A benign app's persistent overlay must still raise its own alert
+  // while the attacker cycles.
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  world.server().grant_overlay_permission(server::kBenignUid);
+  core::OverlayAttackConfig oc;
+  oc.attacking_window = ms(180);
+  core::OverlayAttack attack{world, oc};
+  attack.start();
+  server::OverlaySpec spec;
+  spec.bounds = {800, 100, 200, 200};
+  world.server().add_view(server::kBenignUid, spec);
+  world.run_until(seconds(5));
+  EXPECT_TRUE(world.system_ui().alert_fully_visible(server::kBenignUid));
+  EXPECT_EQ(percept::classify(world.system_ui().snapshot(server::kMalwareUid)),
+            percept::LambdaOutcome::kL1);
+  attack.stop();
+}
+
+TEST(MultiApp, ToastFloodIsCappedAndFairEventually) {
+  auto world = make_world();
+  // Flooder: 120 toasts at once — 50-token cap rejects the excess.
+  for (int i = 0; i < 120; ++i) {
+    server::ToastRequest r;
+    r.uid = server::kMalwareUid;
+    r.content = "flood";
+    r.duration = server::kToastShort;
+    world.nms().enqueue_toast_now(r);
+  }
+  EXPECT_GE(world.nms().stats().rejected, 69u);
+  EXPECT_LE(world.nms().queued_tokens(server::kMalwareUid), 50);
+  // A benign toast enqueued behind the flood is eventually shown: 50
+  // queued SHORT toasts x ~2.5 s each bounds the wait.
+  server::ToastRequest benign;
+  benign.uid = server::kBenignUid;
+  benign.content = "benign:hello";
+  benign.duration = server::kToastShort;
+  world.nms().enqueue_toast_now(benign);
+  world.run_until(seconds(140));
+  bool shown = false;
+  for (const auto& rec : world.wms().history()) {
+    shown |= rec.window.content == "benign:hello";
+  }
+  EXPECT_TRUE(shown);
+}
+
+TEST(MultiApp, DaemonNeutralizesAllAttackersSparesBystanders) {
+  auto world = make_world();
+  defense::DefenseDaemon daemon{world};
+  daemon.install();
+  std::vector<std::unique_ptr<core::OverlayAttack>> attacks;
+  for (int i = 0; i < 3; ++i) {
+    const int uid = server::kMalwareUid + i;
+    world.server().grant_overlay_permission(uid);
+    core::OverlayAttackConfig oc;
+    oc.uid = uid;
+    oc.attacking_window = ms(150 + 20 * i);
+    attacks.push_back(std::make_unique<core::OverlayAttack>(world, oc));
+    attacks.back()->start();
+  }
+  world.server().grant_overlay_permission(server::kBenignUid);
+  server::OverlaySpec spec;
+  spec.bounds = {800, 100, 200, 200};
+  world.server().add_view(server::kBenignUid, spec);
+
+  world.run_until(seconds(20));
+  EXPECT_EQ(daemon.actions().size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(daemon.neutralized(server::kMalwareUid + i)) << i;
+    EXPECT_EQ(world.wms().overlay_count(server::kMalwareUid + i), 0) << i;
+  }
+  EXPECT_FALSE(daemon.neutralized(server::kBenignUid));
+  EXPECT_EQ(world.wms().overlay_count(server::kBenignUid), 1);
+  for (auto& a : attacks) a->stop();
+}
+
+TEST(MultiApp, TwoToastAttackersShareTheSingleSlot) {
+  // Only one toast shows at a time globally; two keep-alive attackers
+  // interleave and neither starves the other.
+  auto world = make_world();
+  core::ToastAttackConfig c1;
+  c1.uid = server::kMalwareUid;
+  c1.content = "fake_keyboard:a";
+  core::ToastAttack a1{world, c1};
+  core::ToastAttackConfig c2;
+  c2.uid = server::kMalwareUid + 1;
+  c2.content = "fake_keyboard:b";
+  core::ToastAttack a2{world, c2};
+  a1.start();
+  a2.start();
+  world.run_until(seconds(40));
+  EXPECT_GT(a1.stats().shown, 2);
+  EXPECT_GT(a2.stats().shown, 2);
+  // Never two toasts *scheduled* concurrently (fade-out overlap aside,
+  // at most one non-fading toast at any sample).
+  int max_solid = 0;
+  for (int t = 1000; t <= 40000; t += 250) {
+    int solid = 0;
+    for (const auto& rec : world.wms().history()) {
+      if (rec.window.type != ui::WindowType::kToast) continue;
+      if (!rec.alive_at(ms(t))) continue;
+      solid += !rec.window.exit_fade.has_value() ||
+               ms(t) < rec.window.exit_fade->start;
+    }
+    max_solid = std::max(max_solid, solid);
+  }
+  EXPECT_LE(max_solid, 1);
+  a1.stop();
+  a2.stop();
+}
+
+}  // namespace
+}  // namespace animus

@@ -1,0 +1,132 @@
+#include "server/notification_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/registry.hpp"
+#include "server/world.hpp"
+
+namespace animus::server {
+namespace {
+
+using sim::ms;
+using sim::seconds;
+
+struct NmsFixture : ::testing::Test {
+  WorldConfig make_config() {
+    WorldConfig wc;
+    wc.profile = device::reference_device_android9();
+    wc.deterministic = true;
+    return wc;
+  }
+  World world{make_config()};
+
+  ToastRequest toast(int uid, std::string content = "fake_keyboard:lower",
+                     sim::SimTime dur = kToastShort) {
+    ToastRequest r;
+    r.uid = uid;
+    r.content = std::move(content);
+    r.bounds = {0, 1500, 1080, 780};
+    r.duration = dur;
+    return r;
+  }
+};
+
+TEST_F(NmsFixture, ShowsOneToastAtATime) {
+  world.nms().enqueue_toast_now(toast(1, "a"));
+  world.nms().enqueue_toast_now(toast(1, "b"));
+  world.run_until(ms(100));
+  EXPECT_EQ(world.nms().stats().shown, 1u);
+  EXPECT_EQ(world.nms().queued_tokens(1), 1);
+  // Second toast appears only after the first one's duration elapses.
+  world.run_until(ms(2000 + 100));
+  EXPECT_EQ(world.nms().stats().shown, 2u);
+}
+
+TEST_F(NmsFixture, DurationsClampToShortOrLong) {
+  world.nms().enqueue_toast_now(toast(1, "x", ms(123)));
+  world.run_until(ms(100));
+  // Clamped to SHORT: gone (faded) by 2600 ms, not at 1000 ms.
+  EXPECT_EQ(world.wms().count(1, ui::WindowType::kToast), 1);
+  world.run_until(ms(2700));
+  EXPECT_EQ(world.wms().count(1, ui::WindowType::kToast), 0);
+}
+
+TEST_F(NmsFixture, PerAppTokenCapIsFifty) {
+  for (int i = 0; i < 55; ++i) world.nms().enqueue_toast_now(toast(1));
+  // The first token is dequeued for display immediately, so 51 calls
+  // are accepted before the 50-waiting-token cap rejects the rest.
+  EXPECT_EQ(world.nms().stats().rejected, 4u);
+  EXPECT_LE(world.nms().queued_tokens(1), 50);
+  // A different app is not affected by app 1's cap.
+  EXPECT_TRUE(world.nms().enqueue_toast_now(toast(2)));
+}
+
+TEST_F(NmsFixture, NextToastFetchedWhenPreviousExpires) {
+  world.nms().enqueue_toast_now(toast(1, "a", kToastLong));
+  world.nms().enqueue_toast_now(toast(1, "b", kToastLong));
+  world.run_until(ms(100));
+  const auto shown_before = world.nms().stats().shown;
+  // Just after the first toast's 3.5 s: the second should be on screen
+  // while the first is still fading out -> two toast windows coexist.
+  world.run_until(ms(3500 + 16 + 100));
+  EXPECT_EQ(world.nms().stats().shown, shown_before + 1);
+  int coexisting = 0;
+  for (const auto& rec : world.wms().history()) {
+    if (rec.window.type == ui::WindowType::kToast &&
+        rec.alive_at(ms(3500 + 16 + 60))) {
+      ++coexisting;
+    }
+  }
+  EXPECT_EQ(coexisting, 2);  // old fading out + new fading in
+}
+
+TEST_F(NmsFixture, CancelCurrentRetiresEarlyAndFetchesNext) {
+  world.nms().enqueue_toast_now(toast(1, "a", kToastLong));
+  world.nms().enqueue_toast_now(toast(1, "b", kToastLong));
+  world.run_until(ms(200));
+  EXPECT_TRUE(world.nms().cancel_current(1));
+  world.run_until(ms(300));
+  EXPECT_EQ(world.nms().stats().shown, 2u);  // replacement already up
+}
+
+TEST_F(NmsFixture, CancelCurrentWrongUidIsNoop) {
+  world.nms().enqueue_toast_now(toast(1, "a"));
+  world.run_until(ms(200));
+  EXPECT_FALSE(world.nms().cancel_current(2));
+}
+
+TEST_F(NmsFixture, CancelQueuedDropsOnlyStaleContent) {
+  world.nms().enqueue_toast_now(toast(1, "a", kToastLong));  // shows
+  world.nms().enqueue_toast_now(toast(1, "a", kToastLong));  // queued stale
+  world.nms().enqueue_toast_now(toast(1, "b", kToastLong));  // queued fresh
+  world.run_until(ms(100));
+  EXPECT_EQ(world.nms().cancel_queued(1, "b"), 1);
+  EXPECT_EQ(world.nms().queued_tokens(1), 1);
+}
+
+TEST_F(NmsFixture, InterToastGapDelaysSuccessor) {
+  world.nms().set_inter_toast_gap(ms(500));
+  world.nms().enqueue_toast_now(toast(1, "a", kToastShort));
+  world.nms().enqueue_toast_now(toast(1, "b", kToastShort));
+  world.run_until(ms(2100));
+  EXPECT_EQ(world.nms().stats().shown, 1u);  // gap not yet elapsed
+  world.run_until(ms(2700));
+  EXPECT_EQ(world.nms().stats().shown, 2u);
+}
+
+TEST_F(NmsFixture, QueueDepthStatTracksPeak) {
+  for (int i = 0; i < 5; ++i) world.nms().enqueue_toast_now(toast(1));
+  EXPECT_EQ(world.nms().stats().max_queue_depth, 4u);  // one popped to show
+}
+
+TEST_F(NmsFixture, ShownListenerFires) {
+  int fired = 0;
+  world.nms().add_shown_listener(
+      [&fired](const ToastRequest&, ui::WindowId) { ++fired; });
+  world.nms().enqueue_toast_now(toast(1));
+  world.run_until(ms(100));
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace animus::server

@@ -1,0 +1,190 @@
+#include "core/overlay_attack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/attack_analysis.hpp"
+#include "device/registry.hpp"
+#include "percept/outcomes.hpp"
+#include "server/world.hpp"
+
+namespace animus::core {
+namespace {
+
+using percept::LambdaOutcome;
+using sim::ms;
+using sim::seconds;
+
+server::World make_world(const device::DeviceProfile& profile, bool deterministic = true) {
+  server::WorldConfig wc;
+  wc.profile = profile;
+  wc.deterministic = deterministic;
+  wc.trace_enabled = false;
+  return server::World{wc};
+}
+
+TEST(OverlayAttack, KeepsOverlayPresentAlmostAlways) {
+  auto world = make_world(device::reference_device_android9());
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  OverlayAttackConfig oc;
+  oc.attacking_window = ms(150);
+  OverlayAttack attack{world, oc};
+  attack.start();
+  world.run_until(seconds(10));
+  // Sample overlay presence every 25 ms after warm-up.
+  int present = 0, samples = 0;
+  // Continue running in steps, checking live state.
+  for (int t = 1000; t <= 10000; t += 25) {
+    world.run_until(ms(t));
+    ++samples;
+    present += world.wms().overlay_count(server::kMalwareUid) > 0;
+  }
+  attack.stop();
+  EXPECT_GT(static_cast<double>(present) / samples, 0.97);
+  EXPECT_GT(attack.stats().cycles, 50);
+}
+
+TEST(OverlayAttack, SuppressesAlertBelowTableBound) {
+  const auto& dev = device::reference_device_android9();  // bound 215 ms
+  const auto probe = probe_outcome(dev, ms(static_cast<int>(dev.d_upper_bound_table_ms)));
+  EXPECT_EQ(probe.outcome, LambdaOutcome::kL1);
+  EXPECT_LT(probe.alert.max_pixels, ui::kNakedEyeMinPixels);
+}
+
+TEST(OverlayAttack, AlertEscapesAboveTableBound) {
+  const auto& dev = device::reference_device_android9();
+  const auto probe =
+      probe_outcome(dev, ms(static_cast<int>(dev.d_upper_bound_table_ms) + 30));
+  EXPECT_NE(probe.outcome, LambdaOutcome::kL1);
+}
+
+TEST(OverlayAttack, SimulatedBoundMatchesTableTwoForSpotDevices) {
+  // Full-pipeline binary search must land on the published Table II
+  // value (calibration closes the loop end-to-end, not just via Eq. 3).
+  for (const char* model : {"s8", "pixel 2", "Redmi", "x21iA"}) {
+    const auto dev = device::find_device(model);
+    ASSERT_TRUE(dev.has_value()) << model;
+    const int simulated = find_d_upper_bound_ms(*dev);
+    EXPECT_NEAR(simulated, dev->d_upper_bound_table_ms, 2.0) << model;
+  }
+}
+
+TEST(OverlayAttack, AddBeforeRemoveFailureMode) {
+  // Paper, Section III-C: if addView is performed before removeView the
+  // replacement overlay registers before the removal check and the
+  // alert animation is never reset -> the alert eventually shows.
+  const auto& dev = device::reference_device_android9();
+  const auto probe = probe_outcome(dev, ms(150), seconds(5), /*add_before_remove=*/true);
+  EXPECT_EQ(probe.outcome, LambdaOutcome::kL5);
+}
+
+TEST(OverlayAttack, WithoutPermissionNothingHappens) {
+  auto world = make_world(device::reference_device_android9());
+  OverlayAttackConfig oc;
+  OverlayAttack attack{world, oc};
+  attack.start();
+  world.run_until(seconds(2));
+  EXPECT_EQ(world.wms().overlay_count(server::kMalwareUid), 0);
+  EXPECT_GT(world.server().rejected_overlays(), 0u);
+  attack.stop();
+}
+
+TEST(OverlayAttack, CapturesTouchesOverVictim) {
+  auto world = make_world(device::reference_device_android9());
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  int captured = 0;
+  OverlayAttackConfig oc;
+  oc.attacking_window = ms(200);
+  oc.bounds = {0, 0, 500, 500};
+  oc.on_capture = [&captured](sim::SimTime, ui::Point) { ++captured; };
+  OverlayAttack attack{world, oc};
+  attack.start();
+  world.run_until(ms(500));
+  for (int i = 0; i < 20; ++i) {
+    world.loop().schedule_at(ms(600 + i * 100),
+                             [&world] { world.input().inject_tap({100, 100}); });
+  }
+  world.run_until(seconds(5));
+  attack.stop();
+  EXPECT_GE(captured, 18);  // near-total interception
+  EXPECT_EQ(attack.stats().captures, captured);
+}
+
+TEST(OverlayAttack, StopRemovesLastOverlay) {
+  auto world = make_world(device::reference_device_android9());
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  OverlayAttack attack{world, {}};
+  attack.start();
+  world.run_until(seconds(2));
+  EXPECT_GT(world.wms().overlay_count(server::kMalwareUid), 0);
+  attack.stop();
+  world.run_until(seconds(3));
+  EXPECT_EQ(world.wms().overlay_count(server::kMalwareUid), 0);
+  EXPECT_FALSE(attack.stats().running);
+}
+
+TEST(OverlayAttack, MistouchGapMatchesTmisOnAndroid9) {
+  // Measure the on-screen gap around each draw-and-destroy boundary.
+  auto world = make_world(device::reference_device_android9());
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  OverlayAttackConfig oc;
+  oc.attacking_window = ms(100);
+  OverlayAttack attack{world, oc};
+  attack.start();
+  world.run_until(seconds(5));
+  attack.stop();
+  world.run_all();
+  // Reconstruct coverage from window history.
+  const auto& hist = world.wms().history();
+  sim::SimTime total_gap{0};
+  int boundaries = 0;
+  for (std::size_t i = 1; i < hist.size(); ++i) {
+    if (!hist[i - 1].removed_at) continue;
+    const sim::SimTime gap = hist[i].window.added_at - *hist[i - 1].removed_at;
+    if (gap > sim::SimTime{0}) {
+      total_gap += gap;
+      ++boundaries;
+    }
+  }
+  ASSERT_GT(boundaries, 10);
+  const double mean_gap_ms = sim::to_ms(total_gap) / boundaries;
+  EXPECT_NEAR(mean_gap_ms, world.profile().expected_tmis_ms(), 1.0);
+}
+
+TEST(OverlayAttack, ExpectedMistouchFormulaDecreasesInD) {
+  const auto& dev = device::reference_device_android9();
+  const double t_total = 5000;
+  double prev = 1e18;
+  for (double d : {50.0, 100.0, 150.0, 200.0}) {
+    const double m = expected_total_mistouch_ms(dev, t_total, d);
+    EXPECT_LT(m, prev);
+    prev = m;
+  }
+}
+
+TEST(OverlayAttack, PredictedCaptureRateMonotoneInD) {
+  const auto& dev = device::reference_device_android9();
+  double prev = 0.0;
+  for (double d : {50.0, 100.0, 150.0, 200.0}) {
+    const double r = predicted_capture_rate(dev, d, 12.0);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+  EXPECT_GT(prev, 0.9);
+}
+
+TEST(OverlayAttack, RestartAfterStopWorks) {
+  auto world = make_world(device::reference_device_android9());
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  OverlayAttack attack{world, {}};
+  attack.start();
+  world.run_until(seconds(1));
+  attack.stop();
+  world.run_until(seconds(2));
+  attack.start();
+  world.run_until(seconds(3));
+  EXPECT_GT(world.wms().overlay_count(server::kMalwareUid), 0);
+  attack.stop();
+}
+
+}  // namespace
+}  // namespace animus::core

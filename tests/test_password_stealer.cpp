@@ -1,0 +1,163 @@
+#include "core/password_stealer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "device/registry.hpp"
+#include "metrics/stats.hpp"
+#include "input/password.hpp"
+#include "victim/catalog.hpp"
+
+namespace animus::core {
+namespace {
+
+using sim::ms;
+using sim::seconds;
+
+PasswordTrialConfig base_trial() {
+  PasswordTrialConfig c;
+  c.profile = device::reference_device_android9();
+  c.app = victim::find_app("Bank of America")->spec;
+  input::TypistProfile precise;
+  precise.jitter_frac = 0.02;
+  precise.misspell_rate = 0.0;
+  c.typist = precise;
+  c.password = "tk&%48GH";  // the paper's video-demo password
+  c.seed = 42;
+  return c;
+}
+
+TEST(PasswordStealer, StealsTheVideoDemoPassword) {
+  const auto r = run_password_trial(base_trial());
+  EXPECT_TRUE(r.triggered);
+  EXPECT_FALSE(r.used_username_workaround);
+  EXPECT_EQ(r.decoded, "tk&%48GH");
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.error, PasswordErrorKind::kNone);
+}
+
+TEST(PasswordStealer, SuppressesAlertDuringTheft) {
+  const auto r = run_password_trial(base_trial());
+  EXPECT_EQ(r.alert_outcome, percept::LambdaOutcome::kL1);
+}
+
+TEST(PasswordStealer, NoPerceptibleFlickerDuringTheft) {
+  const auto r = run_password_trial(base_trial());
+  EXPECT_FALSE(r.flicker.noticeable);
+  EXPECT_GT(r.flicker.min_alpha, 0.85);
+}
+
+TEST(PasswordStealer, FillsTheRealWidget) {
+  const auto r = run_password_trial(base_trial());
+  EXPECT_TRUE(r.widget_filled);
+}
+
+TEST(PasswordStealer, AlipayNeedsUsernameWorkaround) {
+  auto c = base_trial();
+  c.app = victim::find_app("Alipay")->spec;
+  const auto r = run_password_trial(c);
+  EXPECT_TRUE(r.triggered);
+  EXPECT_TRUE(r.used_username_workaround);
+  EXPECT_TRUE(r.success) << r.decoded;
+}
+
+TEST(PasswordStealer, AllTableFourAppsCompromised) {
+  for (const auto& entry : victim::table_iv_apps()) {
+    auto c = base_trial();
+    c.app = entry.spec;
+    c.password = "aB3$";
+    const auto r = run_password_trial(c);
+    EXPECT_TRUE(r.triggered) << entry.spec.name;
+    EXPECT_TRUE(r.success) << entry.spec.name << " decoded=" << r.decoded;
+    EXPECT_EQ(r.used_username_workaround, entry.needs_extra_effort) << entry.spec.name;
+  }
+}
+
+TEST(PasswordStealer, DecodesAcrossAllSubKeyboards) {
+  auto c = base_trial();
+  c.password = "aZ9@x&Q2";
+  const auto r = run_password_trial(c);
+  EXPECT_TRUE(r.success) << r.decoded;
+}
+
+TEST(PasswordStealer, MostTrialsSucceedWithRealisticJitter) {
+  int ok = 0;
+  const auto panel = input::participant_panel();
+  for (int i = 0; i < 20; ++i) {
+    auto c = base_trial();
+    c.typist = panel[static_cast<std::size_t>(i) % panel.size()];
+    sim::Rng rng{static_cast<std::uint64_t>(1000 + i)};
+    c.password = input::random_password(8, rng);
+    c.seed = static_cast<std::uint64_t>(100 + i);
+    ok += run_password_trial(c).success;
+  }
+  EXPECT_GE(ok, 14);  // paper: 88% at length 8
+}
+
+TEST(PasswordStealer, ArmFailsOnlyWhenNoTriggerPathExists) {
+  server::WorldConfig wc;
+  wc.profile = device::reference_device_android9();
+  server::World world{wc};
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  victim::VictimAppSpec fortress;
+  fortress.disables_password_accessibility = true;
+  fortress.shares_parent_view = false;
+  victim::VictimApp app{world, fortress};
+  PasswordStealer stealer{world, app, {}};
+  EXPECT_FALSE(stealer.arm());
+}
+
+TEST(PasswordStealer, UsesTableTwoBoundWhenUnconfigured) {
+  server::WorldConfig wc;
+  wc.profile = *device::find_device("pixel 2");
+  server::World world{wc};
+  victim::VictimApp app{world, victim::find_app("Skype")->spec};
+  PasswordStealer stealer{world, app, {}};
+  EXPECT_EQ(stealer.attacking_window(), sim::ms_f(kBoundSafetyFactor * 330));
+}
+
+TEST(ClassifyError, TaxonomyRules) {
+  EXPECT_EQ(classify_password_error("abc", "abc"), PasswordErrorKind::kNone);
+  EXPECT_EQ(classify_password_error("abcd", "abc"), PasswordErrorKind::kLength);
+  EXPECT_EQ(classify_password_error("abc", "abcd"), PasswordErrorKind::kLength);
+  EXPECT_EQ(classify_password_error("aBc", "abc"), PasswordErrorKind::kCapitalization);
+  EXPECT_EQ(classify_password_error("abc", "abd"), PasswordErrorKind::kWrongKey);
+  // Case differences combined with a wrong key count as wrong key.
+  EXPECT_EQ(classify_password_error("aBc", "abd"), PasswordErrorKind::kWrongKey);
+  EXPECT_EQ(classify_password_error("", ""), PasswordErrorKind::kNone);
+}
+
+TEST(CaptureTrial, HigherDCapturesMore) {
+  CaptureTrialConfig c;
+  c.profile = device::reference_device_android9();
+  c.typist = input::participant_panel()[0];
+  c.seed = 7;
+  c.attacking_window = ms(50);
+  const auto low = run_capture_trial(c);
+  c.attacking_window = ms(200);
+  c.seed = 7;
+  const auto high = run_capture_trial(c);
+  EXPECT_GT(high.rate, low.rate);
+  EXPECT_GT(high.rate, 0.85);
+  EXPECT_GT(low.rate, 0.4);
+  EXPECT_LT(low.rate, 0.95);
+}
+
+TEST(CaptureTrial, Android10WorseThanAndroid9) {
+  metrics::RunningStats v9, v10;
+  const auto panel = input::participant_panel();
+  for (int i = 0; i < 6; ++i) {
+    CaptureTrialConfig c;
+    c.typist = panel[static_cast<std::size_t>(i)];
+    c.attacking_window = ms(125);
+    c.seed = static_cast<std::uint64_t>(i);
+    c.profile = device::reference_device_android9();
+    v9.add(run_capture_trial(c).rate);
+    c.profile = *device::find_device("mi9");  // Android 10
+    v10.add(run_capture_trial(c).rate);
+  }
+  EXPECT_GT(v9.mean(), v10.mean());
+}
+
+}  // namespace
+}  // namespace animus::core

@@ -1,0 +1,162 @@
+#include "percept/outcomes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "percept/flicker.hpp"
+#include "percept/survey.hpp"
+#include "sim/event_loop.hpp"
+#include "ui/animation.hpp"
+
+namespace animus::percept {
+namespace {
+
+using server::SystemUi;
+using sim::ms;
+
+SystemUi::AlertStats stats(int max_px, double completeness, double msg, bool icon,
+                           sim::SimTime visible = sim::ms(0)) {
+  SystemUi::AlertStats s;
+  s.max_pixels = max_px;
+  s.max_completeness = completeness;
+  s.max_message_progress = msg;
+  s.icon_shown = icon;
+  s.visible_time = visible;
+  return s;
+}
+
+TEST(Outcomes, LambdaClassification) {
+  EXPECT_EQ(classify(stats(0, 0.0, 0, false)), LambdaOutcome::kL1);
+  EXPECT_EQ(classify(stats(1, 0.01, 0, false)), LambdaOutcome::kL1);  // sub-threshold
+  EXPECT_EQ(classify(stats(10, 0.14, 0, false)), LambdaOutcome::kL2);
+  EXPECT_EQ(classify(stats(72, 1.0, 0, false)), LambdaOutcome::kL3);
+  EXPECT_EQ(classify(stats(72, 1.0, 0.5, false)), LambdaOutcome::kL4);
+  EXPECT_EQ(classify(stats(72, 1.0, 1.0, true)), LambdaOutcome::kL5);
+}
+
+TEST(Outcomes, IconWithoutFullMessageIsStillL4) {
+  EXPECT_EQ(classify(stats(72, 1.0, 0.7, true)), LambdaOutcome::kL4);
+}
+
+TEST(Outcomes, Names) {
+  EXPECT_EQ(to_string(LambdaOutcome::kL1), "L1 (no view)");
+  EXPECT_EQ(to_string(LambdaOutcome::kL5), "L5 (message + icon)");
+}
+
+TEST(Outcomes, AlertNoticedNeedsVisibilityAndDuration) {
+  EXPECT_FALSE(alert_noticed(stats(0, 0, 0, false, sim::seconds(10))));
+  EXPECT_FALSE(alert_noticed(stats(30, 0.4, 0, false, ms(20))));  // brief flash
+  EXPECT_TRUE(alert_noticed(stats(30, 0.4, 0, false, ms(200))));
+}
+
+// --------------------------------------------------------------- flicker --
+
+struct FlickerFixture : ::testing::Test {
+  sim::EventLoop loop;
+  sim::TraceRecorder trace;
+  server::WindowManagerService wms{loop, trace};
+
+  void add_toast_at(sim::SimTime t, sim::SimTime fade_out_at) {
+    loop.schedule_at(t, [this, fade_out_at] {
+      ui::Window w;
+      w.owner_uid = 7;
+      w.content = "fake_keyboard:lower";
+      const auto id = wms.add_toast_now(w);
+      loop.schedule_at(fade_out_at, [this, id] { wms.fade_out_and_remove(id); });
+    });
+  }
+};
+
+TEST_F(FlickerFixture, OverlappingFadesShowNoDip) {
+  add_toast_at(ms(0), ms(3500));
+  add_toast_at(ms(3515), ms(7000));  // replacement lands as fade-out begins
+  loop.run_until(sim::seconds(8));
+  const auto r = scan_flicker(wms, 7, "fake_keyboard", ms(600), ms(6500));
+  EXPECT_FALSE(r.noticeable);
+  EXPECT_GT(r.min_alpha, 0.85);
+}
+
+TEST_F(FlickerFixture, GapBetweenToastsIsNoticed) {
+  add_toast_at(ms(0), ms(2000));
+  add_toast_at(ms(3000), ms(6000));  // 500+ ms of nothing on screen
+  loop.run_until(sim::seconds(7));
+  const auto r = scan_flicker(wms, 7, "fake_keyboard", ms(600), ms(6000));
+  EXPECT_TRUE(r.noticeable);
+  EXPECT_DOUBLE_EQ(r.min_alpha, 0.0);
+  EXPECT_GE(r.dips, 1);
+}
+
+TEST_F(FlickerFixture, ThresholdAndDurationConfigurable) {
+  add_toast_at(ms(0), ms(2000));
+  add_toast_at(ms(2100), ms(5000));  // 100 ms late: a shallow dip
+  loop.run_until(sim::seconds(6));
+  FlickerConfig strict;
+  strict.threshold = 0.999;
+  strict.min_duration = ms(10);
+  const auto r = scan_flicker(wms, 7, "fake_keyboard", ms(600), ms(5000), strict);
+  EXPECT_TRUE(r.noticeable);
+}
+
+TEST_F(FlickerFixture, EmptyTimelineIsOneLongDip) {
+  const auto r = scan_flicker(wms, 7, "fake_keyboard", ms(0), ms(1000));
+  EXPECT_TRUE(r.noticeable);
+  EXPECT_EQ(r.dips, 1);
+}
+
+// ---------------------------------------------------------------- survey --
+
+TEST(Survey, CleanSessionReportsNothing) {
+  sim::Rng rng{1};
+  SurveyConfig cfg;
+  cfg.lag_report_rate = 0.0;
+  FlickerResult quiet;
+  const auto p = judge_session(SystemUi::AlertStats{}, quiet, rng, cfg);
+  EXPECT_FALSE(p.reported_anything());
+}
+
+TEST(Survey, VisibleAlertIsNoticed) {
+  sim::Rng rng{1};
+  SurveyConfig cfg;
+  cfg.lag_report_rate = 0.0;
+  FlickerResult quiet;
+  const auto p = judge_session(stats(72, 1.0, 1.0, true, sim::seconds(2)), quiet, rng, cfg);
+  EXPECT_TRUE(p.noticed_alert);
+  EXPECT_TRUE(p.noticed_attack());
+}
+
+TEST(Survey, FlickerIsNoticed) {
+  sim::Rng rng{1};
+  SurveyConfig cfg;
+  cfg.lag_report_rate = 0.0;
+  FlickerResult bad;
+  bad.noticeable = true;
+  const auto p = judge_session(SystemUi::AlertStats{}, bad, rng, cfg);
+  EXPECT_TRUE(p.noticed_flicker);
+}
+
+TEST(Survey, LagReportsFollowRate) {
+  sim::Rng rng{2};
+  SurveyConfig cfg;
+  cfg.lag_report_rate = 1.0 / 30.0;
+  FlickerResult quiet;
+  SurveyTally tally;
+  for (int i = 0; i < 3000; ++i) {
+    tally.add(judge_session(SystemUi::AlertStats{}, quiet, rng, cfg));
+  }
+  EXPECT_EQ(tally.participants, 3000);
+  EXPECT_EQ(tally.noticed_attack, 0);
+  EXPECT_NEAR(tally.reported_lag, 100, 40);
+  EXPECT_EQ(tally.reported_nothing + tally.reported_lag, 3000);
+}
+
+TEST(Survey, TallyPrioritizesAttackOverLag) {
+  SurveyTally tally;
+  ParticipantPerception p;
+  p.noticed_alert = true;
+  p.reported_lag = true;
+  tally.add(p);
+  EXPECT_EQ(tally.noticed_attack, 1);
+  EXPECT_EQ(tally.reported_lag, 0);
+}
+
+}  // namespace
+}  // namespace animus::percept

@@ -1,0 +1,100 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/registry.hpp"
+#include "input/typist.hpp"
+#include "victim/catalog.hpp"
+
+namespace animus::core {
+namespace {
+
+PasswordTrialConfig quiet_trial() {
+  PasswordTrialConfig c;
+  c.profile = device::reference_device_android9();
+  c.app = victim::find_app("Facebook")->spec;
+  input::TypistProfile precise;
+  precise.jitter_frac = 0.02;
+  precise.misspell_rate = 0.0;
+  c.typist = precise;
+  c.password = "qW3#";
+  c.seed = 61;
+  return c;
+}
+
+TEST(PasswordTrial, ReportsTouchAccounting) {
+  const auto r = run_password_trial(quiet_trial());
+  // "qW3#": q, shift, W, ?123, 3, # -> 6 planned touches.
+  EXPECT_EQ(r.password_touches, 6);
+  EXPECT_LE(r.captured_touches, r.password_touches);
+  EXPECT_GE(r.captured_touches, r.password_touches - 1);
+  // Whatever was missed leaked to the real keyboard at most once.
+  EXPECT_LE(r.leaked_to_real_keyboard, 1);
+  EXPECT_EQ(r.intended, "qW3#");
+}
+
+TEST(PasswordTrial, WidgetEndsUpHoldingDecodedText) {
+  const auto r = run_password_trial(quiet_trial());
+  EXPECT_TRUE(r.widget_filled);
+  EXPECT_TRUE(r.triggered);
+}
+
+TEST(PasswordTrial, DOverrideIsHonoured) {
+  auto c = quiet_trial();
+  c.d_override = sim::ms(500);  // way past the bound: the alert escapes
+  const auto r = run_password_trial(c);
+  EXPECT_NE(r.alert_outcome, percept::LambdaOutcome::kL1);
+}
+
+TEST(PasswordTrial, ShortToastDurationAlsoWorks) {
+  auto c = quiet_trial();
+  c.toast_duration = server::kToastShort;
+  const auto r = run_password_trial(c);
+  EXPECT_TRUE(r.success) << r.decoded;
+  EXPECT_FALSE(r.flicker.noticeable);
+}
+
+TEST(PasswordTrial, EmptyPasswordIsVacuousSuccess) {
+  auto c = quiet_trial();
+  c.password = "";
+  const auto r = run_password_trial(c);
+  EXPECT_TRUE(r.triggered);
+  EXPECT_EQ(r.decoded, "");
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.password_touches, 0);
+}
+
+TEST(CaptureTrial, ZeroTouchesIsWellDefined) {
+  CaptureTrialConfig c;
+  c.profile = device::reference_device_android9();
+  c.typist = input::participant_panel()[0];
+  c.touches = 0;
+  const auto r = run_capture_trial(c);
+  EXPECT_EQ(r.touches, 0u);
+  EXPECT_EQ(r.captured, 0u);
+  EXPECT_EQ(r.rate, 0.0);
+}
+
+TEST(CaptureTrial, CapturedNeverExceedsTouches) {
+  for (int seed = 1; seed <= 5; ++seed) {
+    CaptureTrialConfig c;
+    c.profile = *device::find_device("mi9");
+    c.typist = input::participant_panel()[static_cast<std::size_t>(seed)];
+    c.attacking_window = sim::ms(100);
+    c.seed = static_cast<std::uint64_t>(seed);
+    const auto r = run_capture_trial(c);
+    EXPECT_LE(r.captured, r.touches);
+    EXPECT_GE(r.rate, 0.0);
+    EXPECT_LE(r.rate, 1.0);
+  }
+}
+
+TEST(ErrorTaxonomy, NamesAreStable) {
+  EXPECT_EQ(to_string(PasswordErrorKind::kNone), "none");
+  EXPECT_EQ(to_string(PasswordErrorKind::kLength), "length");
+  EXPECT_EQ(to_string(PasswordErrorKind::kCapitalization), "capitalization");
+  EXPECT_EQ(to_string(PasswordErrorKind::kWrongKey), "wrong_key");
+}
+
+}  // namespace
+}  // namespace animus::core

@@ -1,0 +1,124 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace animus::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndStable) {
+  Rng root{7};
+  Rng a = root.fork(1), a2 = root.fork(1), b = root.fork(2);
+  EXPECT_EQ(a.next_u64(), a2.next_u64());
+  Rng a3 = root.fork(1);
+  EXPECT_NE(a3.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkByLabelIsStable) {
+  Rng root{7};
+  EXPECT_EQ(root.fork("alpha").next_u64(), root.fork("alpha").next_u64());
+  EXPECT_NE(root.fork("alpha").next_u64(), root.fork("beta").next_u64());
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r{99};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r{5};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.uniform_int(-2, 3));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng r{5};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(42, 42), 42);
+}
+
+TEST(RngProperty, NormalMomentsMatch) {
+  Rng r{11};
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(10.0, 3.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngProperty, BernoulliFrequency) {
+  Rng r{13};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, TruncatedNormalRespectsBounds) {
+  Rng r{17};
+  for (int i = 0; i < 5000; ++i) {
+    const double x = r.truncated_normal(0.0, 5.0, -1.0, 2.0);
+    EXPECT_GE(x, -1.0);
+    EXPECT_LE(x, 2.0);
+  }
+}
+
+TEST(RngProperty, ExponentialMean) {
+  Rng r{19};
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, NormalMsHonoursFloor) {
+  Rng r{23};
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(r.normal_ms(1.0, 5.0, 0.25), ms_f(0.25));
+  }
+}
+
+TEST(Rng, NormalMsZeroSdIsDeterministic) {
+  Rng r{29};
+  EXPECT_EQ(r.normal_ms(3.5, 0.0), ms_f(3.5));
+}
+
+TEST(Rng, IndexStaysInRange) {
+  Rng r{31};
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.index(7), 7u);
+}
+
+TEST(RngProperty, LognormalIsPositive) {
+  Rng r{37};
+  for (int i = 0; i < 5000; ++i) EXPECT_GT(r.lognormal(0.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace animus::sim

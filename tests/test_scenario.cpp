@@ -1,0 +1,162 @@
+#include "script/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace animus::script {
+namespace {
+
+TEST(ScenarioParse, AcceptsCommentsAndBlanks) {
+  ScenarioError err;
+  const auto s = Scenario::parse("# a comment\n\n  run 100\n", &err);
+  ASSERT_TRUE(s.has_value()) << err.message;
+  EXPECT_EQ(s->command_count(), 1u);
+}
+
+TEST(ScenarioParse, QuotedStrings) {
+  ScenarioError err;
+  const auto s = Scenario::parse("device \"pixel 2\"\nrun 10\n", &err);
+  ASSERT_TRUE(s.has_value()) << err.message;
+  EXPECT_EQ(s->command_count(), 2u);
+}
+
+struct BadScript {
+  const char* label;
+  const char* text;
+};
+
+class ScenarioParseErrors : public ::testing::TestWithParam<BadScript> {};
+
+TEST_P(ScenarioParseErrors, Rejected) {
+  ScenarioError err;
+  EXPECT_FALSE(Scenario::parse(GetParam().text, &err).has_value());
+  EXPECT_GT(err.line, 0u);
+  EXPECT_FALSE(err.message.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ScenarioParseErrors,
+    ::testing::Values(BadScript{"unknown_verb", "launch-missiles now\n"},
+                      BadScript{"missing_args", "tap 100\n"},
+                      BadScript{"unterminated_quote", "device \"pixel 2\nrun 1\n"},
+                      BadScript{"expect_short", "expect alert\n"}),
+    [](const ::testing::TestParamInfo<BadScript>& info) { return info.param.label; });
+
+TEST(ScenarioRun, EndToEndOverlayAttack) {
+  const auto r = run_scenario(R"(
+    device mi8 9
+    seed 5
+    grant-overlay 10666
+    window activity uid=10100 bounds=0,0,1080,2280
+    attack overlay d=190 bounds=0,0,1080,2280
+    tap 540 1200 at=1500
+    tap 540 1300 at=2500
+    run 5000
+    expect alert L1
+    expect captures >= 2
+    expect overlays 10666 >= 1
+    stop-attacks
+    run 2000
+    expect overlays 10666 == 0
+  )");
+  EXPECT_TRUE(r.ok) << (r.error ? r.error->message : "");
+  EXPECT_EQ(r.expects_checked, 4);
+  EXPECT_NE(r.log.find("attack overlay"), std::string::npos);
+}
+
+TEST(ScenarioRun, AlertEscapesAboveBound) {
+  const auto r = run_scenario(R"(
+    device mi8 9
+    deterministic on
+    grant-overlay 10666
+    attack overlay d=400
+    run 6000
+    expect alert L2
+  )");
+  EXPECT_TRUE(r.ok) << (r.error ? r.error->message : "");
+}
+
+TEST(ScenarioRun, ExpectFailureCarriesLineNumber) {
+  const auto r = run_scenario("grant-overlay 10666\nattack overlay d=190\nrun 3000\n"
+                              "expect alert L5\n");
+  EXPECT_FALSE(r.ok);
+  ASSERT_TRUE(r.error.has_value());
+  EXPECT_EQ(r.error->line, 4u);
+  EXPECT_NE(r.error->message.find("expected alert L5"), std::string::npos);
+}
+
+TEST(ScenarioRun, DefenseDaemonFlagsAttacker) {
+  const auto r = run_scenario(R"(
+    device mi8 9
+    grant-overlay 10666
+    defense daemon
+    attack overlay d=150
+    run 10000
+    expect flagged 10666 true
+    expect overlays 10666 == 0
+  )");
+  EXPECT_TRUE(r.ok) << (r.error ? r.error->message : "");
+}
+
+TEST(ScenarioRun, NotificationDefenseForcesVisibleAlert) {
+  const auto r = run_scenario(R"(
+    device mi8 9
+    deterministic on
+    grant-overlay 10666
+    defense notification 690
+    attack overlay d=190
+    run 8000
+    expect alert L5
+  )");
+  EXPECT_TRUE(r.ok) << (r.error ? r.error->message : "");
+}
+
+TEST(ScenarioRun, ToastAttackNeedsNoGrant) {
+  const auto r = run_scenario(R"(
+    device "pixel 2"
+    attack toast duration=3500 content=fake_keyboard:lower
+    run 15000
+    expect alert L1
+  )");
+  EXPECT_TRUE(r.ok) << (r.error ? r.error->message : "");
+}
+
+TEST(ScenarioRun, ExportTraceWritesChromeJson) {
+  const std::string path = ::testing::TempDir() + "/scenario_trace.json";
+  const auto r = run_scenario("grant-overlay 10666\nattack overlay d=190\nrun 2000\n"
+                              "export-trace " + path + "\n");
+  EXPECT_TRUE(r.ok) << (r.error ? r.error->message : "");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string all((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("startTopAnimation"), std::string::npos);
+}
+
+TEST(ScenarioRun, UnknownDeviceIsSemanticError) {
+  const auto r = run_scenario("device iphone\nrun 100\n");
+  EXPECT_FALSE(r.ok);
+  ASSERT_TRUE(r.error.has_value());
+  EXPECT_NE(r.error->message.find("unknown device"), std::string::npos);
+}
+
+TEST(ScenarioRun, DeterministicScriptsReproduce) {
+  const char* text = R"(
+    device mi9
+    seed 9
+    grant-overlay 10666
+    window activity uid=10100
+    attack overlay d=150
+    tap 500 1000 at=1000
+    tap 500 1000 at=1400
+    tap 500 1000 at=1800
+    run 4000
+  )";
+  const auto a = run_scenario(text);
+  const auto b = run_scenario(text);
+  EXPECT_TRUE(a.ok);
+  EXPECT_EQ(a.log, b.log);
+}
+
+}  // namespace
+}  // namespace animus::script

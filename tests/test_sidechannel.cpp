@@ -1,0 +1,168 @@
+#include "sidechannel/shared_mem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/password_stealer.hpp"
+#include "device/registry.hpp"
+#include "input/typist.hpp"
+#include "victim/victim_app.hpp"
+
+namespace animus::sidechannel {
+namespace {
+
+using sim::ms;
+using sim::seconds;
+
+server::World make_world(std::uint64_t seed = 8) {
+  server::WorldConfig wc;
+  wc.profile = device::reference_device_android9();
+  wc.seed = seed;
+  wc.trace_enabled = false;
+  return server::World{wc};
+}
+
+TEST(SharedMemOracle, CountersAccumulatePerUid) {
+  auto world = make_world();
+  SharedMemOracle oracle{world};
+  EXPECT_EQ(oracle.counter_kb(1), 0.0);
+  oracle.record_transition(1, "A", {100.0, 0.0});
+  oracle.record_transition(1, "B", {50.0, 0.0});
+  oracle.record_transition(2, "A", {100.0, 0.0});
+  EXPECT_NEAR(oracle.counter_kb(1), 150.0, 1e-9);
+  EXPECT_NEAR(oracle.counter_kb(2), 100.0, 1e-9);
+  ASSERT_EQ(oracle.history().size(), 3u);
+  EXPECT_EQ(oracle.history()[1].activity, "B");
+}
+
+TEST(SharedMemOracle, DeltasFollowSignatureDistribution) {
+  auto world = make_world();
+  SharedMemOracle oracle{world};
+  const TransitionSignature sig{500.0, 20.0};
+  for (int i = 0; i < 200; ++i) oracle.record_transition(1, "X", sig);
+  double sum = 0;
+  for (const auto& ev : oracle.history()) sum += ev.delta_kb;
+  EXPECT_NEAR(sum / 200.0, 500.0, 10.0);
+}
+
+TEST(UiStateInferrer, DetectsTrainedTransitions) {
+  auto world = make_world();
+  SharedMemOracle oracle{world};
+  UiStateInferrer inferrer{world, oracle, 1};
+  inferrer.learn("login", login_screen_signature());
+  inferrer.learn("password", password_focus_signature());
+  std::vector<std::string> seen;
+  inferrer.start([&seen](const std::string& a, sim::SimTime) { seen.push_back(a); });
+  world.loop().schedule_at(ms(500), [&oracle] {
+    oracle.record_transition(1, "login", login_screen_signature());
+  });
+  world.loop().schedule_at(seconds(2), [&oracle] {
+    oracle.record_transition(1, "password", password_focus_signature());
+  });
+  world.run_until(seconds(3));
+  inferrer.stop();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "login");
+  EXPECT_EQ(seen[1], "password");
+  EXPECT_GT(inferrer.polls(), 50);
+}
+
+TEST(UiStateInferrer, IgnoresUntrainedJumps) {
+  auto world = make_world();
+  SharedMemOracle oracle{world};
+  UiStateInferrer inferrer{world, oracle, 1};
+  inferrer.learn("password", password_focus_signature());
+  int detections = 0;
+  inferrer.start([&detections](const std::string&, sim::SimTime) { ++detections; });
+  world.loop().schedule_at(ms(500), [&oracle] {
+    oracle.record_transition(1, "nav", generic_navigation_signature());  // 430 kB
+  });
+  world.run_until(seconds(2));
+  inferrer.stop();
+  EXPECT_EQ(detections, 0);
+}
+
+TEST(UiStateInferrer, ToleranceIsConfigurable) {
+  auto world = make_world();
+  SharedMemOracle oracle{world};
+  UiStateInferrer::Config loose;
+  loose.tolerance_kb = 1000.0;  // everything matches something
+  UiStateInferrer inferrer{world, oracle, 1, loose};
+  inferrer.learn("password", password_focus_signature());
+  int detections = 0;
+  inferrer.start([&detections](const std::string&, sim::SimTime) { ++detections; });
+  world.loop().schedule_at(ms(200), [&oracle] {
+    oracle.record_transition(1, "nav", generic_navigation_signature());
+  });
+  world.run_until(seconds(1));
+  EXPECT_EQ(detections, 1);  // misclassified, as a sloppy tolerance would
+}
+
+TEST(UiStateInferrer, DetectionLatencyBoundedByPollPeriod) {
+  auto world = make_world();
+  SharedMemOracle oracle{world};
+  UiStateInferrer inferrer{world, oracle, 1};
+  sim::SimTime detected_at{0};
+  inferrer.start([&detected_at](const std::string&, sim::SimTime t) { detected_at = t; });
+  inferrer.learn("password", password_focus_signature());
+  world.loop().schedule_at(seconds(1), [&oracle] {
+    oracle.record_transition(1, "password", password_focus_signature());
+  });
+  world.run_until(seconds(2));
+  EXPECT_GT(detected_at, seconds(1));
+  EXPECT_LE(detected_at, seconds(1) + ms(60));  // within ~2 poll periods
+}
+
+TEST(SideChannelTrigger, StealsPasswordFromAccessibilityFortress) {
+  // The app that defeats the accessibility trigger entirely (password
+  // events suppressed, no shared parent view) still falls to the
+  // shared-memory side channel — Section V's point that the trigger is
+  // replaceable.
+  auto world = make_world();
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  SharedMemOracle oracle{world};
+
+  victim::VictimAppSpec fortress;
+  fortress.name = "Fortress";
+  fortress.disables_password_accessibility = true;
+  fortress.shares_parent_view = false;
+  victim::VictimApp app{world, fortress};
+  app.attach_side_channel(oracle);
+  app.open_login_screen();
+
+  core::PasswordStealerConfig sc;
+  sc.trigger = core::TriggerMode::kSharedMemory;
+  sc.oracle = &oracle;
+  core::PasswordStealer stealer{world, app, sc};
+  ASSERT_TRUE(stealer.arm());
+
+  // The user focuses the password field and types.
+  world.loop().schedule_at(ms(500), [&world, &app] {
+    world.input().inject_tap(app.password_bounds().center());
+  });
+  input::TypistProfile precise;
+  precise.jitter_frac = 0.02;
+  precise.misspell_rate = 0.0;
+  input::Typist typist{precise, world.fork_rng("t")};
+  const input::Keyboard kb{app.keyboard_bounds()};
+  for (const auto& pt : typist.plan(kb, "aB3$", seconds(2))) {
+    world.loop().schedule_at(pt.at, [&world, pt] { world.input().inject_tap(pt.point); });
+  }
+  world.run_until(seconds(6));
+  const std::string decoded = stealer.finalize();
+  EXPECT_TRUE(stealer.result().triggered);
+  EXPECT_EQ(decoded, "aB3$");
+  // No accessibility reference exists, so the widget cannot be filled.
+  EXPECT_FALSE(stealer.result().widget_filled);
+}
+
+TEST(SideChannelTrigger, ArmFailsWithoutOracle) {
+  auto world = make_world();
+  victim::VictimApp app{world, victim::VictimAppSpec{}};
+  core::PasswordStealerConfig sc;
+  sc.trigger = core::TriggerMode::kSharedMemory;
+  core::PasswordStealer stealer{world, app, sc};
+  EXPECT_FALSE(stealer.arm());
+}
+
+}  // namespace
+}  // namespace animus::sidechannel

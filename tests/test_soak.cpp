@@ -1,0 +1,118 @@
+// Long-horizon soak: one simulated handset hosting a whole user session
+// — logins into three different apps over several minutes while the
+// malware stays armed the entire time, stealing each password in turn.
+// Exercises repeated trigger/finalize cycles, long-running toast
+// rotation, and service state across many attack generations.
+#include <gtest/gtest.h>
+
+#include "core/password_stealer.hpp"
+#include "device/registry.hpp"
+#include "input/typist.hpp"
+#include "percept/flicker.hpp"
+#include "percept/outcomes.hpp"
+#include "victim/catalog.hpp"
+
+namespace animus {
+namespace {
+
+using sim::ms;
+using sim::seconds;
+
+struct SessionStep {
+  const char* app;
+  const char* password;
+};
+
+TEST(Soak, ThreeLoginsOneMalware) {
+  server::WorldConfig wc;
+  wc.profile = device::reference_device_android9();
+  wc.seed = 1001;
+  wc.trace_enabled = false;
+  server::World world{wc};
+  world.server().grant_overlay_permission(server::kMalwareUid);
+
+  const SessionStep steps[] = {
+      {"Bank of America", "tk&%48GH"},
+      {"Skype", "Zx9$q"},
+      {"Alipay", "m3@Lo7!Q"},
+  };
+
+  input::TypistProfile careful;
+  careful.jitter_frac = 0.04;
+  careful.misspell_rate = 0.0;
+
+  sim::SimTime t = ms(500);
+  int steals = 0;
+  for (const auto& step : steps) {
+    victim::VictimApp app{world, victim::find_app(step.app)->spec};
+    core::PasswordStealer stealer{world, app, {}};
+    ASSERT_TRUE(stealer.arm()) << step.app;
+
+    world.run_until(t);
+    app.open_login_screen();
+    world.loop().schedule_at(t + ms(200), [&world, &app] {
+      world.input().inject_tap(app.username_bounds().center());
+    });
+    input::Typist typist{careful, world.fork_rng("soak").fork(steals + 1)};
+    const input::Keyboard kb{app.keyboard_bounds()};
+    auto user_touches = typist.plan(kb, "user", t + ms(600));
+    for (const auto& pt : user_touches) {
+      world.loop().schedule_at(pt.at, [&world, pt] { world.input().inject_tap(pt.point); });
+    }
+    const auto focus_at = user_touches.back().at + ms(400);
+    world.loop().schedule_at(focus_at, [&world, &app] {
+      world.input().inject_tap(app.password_bounds().center());
+    });
+    const auto pw_touches = typist.plan(kb, step.password, focus_at + ms(900));
+    for (const auto& pt : pw_touches) {
+      world.loop().schedule_at(pt.at, [&world, pt] { world.input().inject_tap(pt.point); });
+    }
+    const auto done = pw_touches.back().at + ms(600);
+    world.run_until(done);
+    const auto alert = world.system_ui().snapshot(server::kMalwareUid);
+    const std::string decoded = stealer.finalize();
+
+    EXPECT_EQ(decoded, step.password) << step.app;
+    EXPECT_EQ(percept::classify(alert), percept::LambdaOutcome::kL1) << step.app;
+    EXPECT_EQ(stealer.result().used_username_workaround,
+              victim::find_app(step.app)->needs_extra_effort)
+        << step.app;
+    ++steals;
+    // Idle gap between logins; all attack machinery must quiesce.
+    t = done + seconds(20);
+    world.run_until(t - seconds(1));
+    EXPECT_EQ(world.wms().overlay_count(server::kMalwareUid), 0) << step.app;
+  }
+  EXPECT_EQ(steals, 3);
+
+  // After minutes of operation: no runaway state.
+  EXPECT_LE(world.nms().queued_tokens(server::kMalwareUid), 5);
+  EXPECT_EQ(world.system_ui().status_bar_icon_count(), 0);
+  world.run_until(t + seconds(30));
+  EXPECT_EQ(world.wms().live_count(),
+            static_cast<std::size_t>(3 + 3));  // 3 activities + 3 hidden-IME?  see below
+}
+
+TEST(Soak, HourLongToastAttackIsStable) {
+  server::WorldConfig wc;
+  wc.profile = device::reference_device_android9();
+  wc.seed = 77;
+  wc.trace_enabled = false;
+  server::World world{wc};
+  core::ToastAttack attack{world, {}};
+  attack.start();
+  world.run_until(seconds(3600));
+  // ~1030 rotations/hour at 3.5 s each; queue bounded, nothing rejected.
+  EXPECT_GT(attack.stats().shown, 850);
+  EXPECT_EQ(world.nms().stats().rejected, 0u);
+  EXPECT_LE(world.nms().queued_tokens(server::kMalwareUid), 5);
+  const auto flicker = percept::scan_flicker(world.wms(), server::kMalwareUid,
+                                             "fake_keyboard", seconds(2), seconds(3600));
+  EXPECT_FALSE(flicker.noticeable);
+  attack.stop();
+  world.run_until(seconds(3610));
+  EXPECT_EQ(world.wms().count(server::kMalwareUid, ui::WindowType::kToast), 0);
+}
+
+}  // namespace
+}  // namespace animus

@@ -1,0 +1,167 @@
+#include "metrics/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "metrics/histogram.hpp"
+#include "metrics/table.hpp"
+
+namespace animus::metrics {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37 - 3.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 1.0);
+}
+
+TEST(Quantile, MedianOfOddAndEven) {
+  const std::vector<double> odd{3, 1, 2};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::vector<double> even{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Quantile, Extremes) {
+  const std::vector<double> xs{5, 1, 9, 3};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 9.0);
+}
+
+TEST(Quantile, EmptyIsZero) {
+  EXPECT_EQ(quantile({}, 0.5), 0.0);
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(FiveNumber, KnownSummary) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 9; ++i) xs.push_back(i);  // 1..9
+  const FiveNumber f = five_number_summary(xs);
+  EXPECT_DOUBLE_EQ(f.min, 1.0);
+  EXPECT_DOUBLE_EQ(f.q1, 3.0);
+  EXPECT_DOUBLE_EQ(f.median, 5.0);
+  EXPECT_DOUBLE_EQ(f.q3, 7.0);
+  EXPECT_DOUBLE_EQ(f.max, 9.0);
+}
+
+TEST(BoxPlot, FlagsOutliers) {
+  std::vector<double> xs{10, 11, 12, 13, 14, 15, 16, 100};
+  const BoxPlot bp = box_plot(xs);
+  ASSERT_EQ(bp.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(bp.outliers[0], 100.0);
+  EXPECT_LE(bp.upper_whisker, 16.0);
+}
+
+TEST(BoxPlot, NoOutliersWhiskersAreMinMax) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  const BoxPlot bp = box_plot(xs);
+  EXPECT_TRUE(bp.outliers.empty());
+  EXPECT_DOUBLE_EQ(bp.lower_whisker, 1.0);
+  EXPECT_DOUBLE_EQ(bp.upper_whisker, 5.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"Model", "D (ms)"});
+  t.add_row({"pixel 2", "330"});
+  t.add_row({"s8", "60"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("pixel 2"), std::string::npos);
+  EXPECT_NE(s.find("330"), std::string::npos);
+  EXPECT_NE(s.find("|---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NE(t.to_string().find("| 1 |"), std::string::npos);
+}
+
+TEST(Fmt, FormatsLikePrintf) {
+  EXPECT_EQ(fmt("%.1f", 3.14159), "3.1");
+  EXPECT_EQ(percent(0.8834), "88.3%");
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 4
+  h.add(-3);    // clamps to bin 0
+  h.add(42);    // clamps to bin 4
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Histogram, RendersBars) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1);
+  h.add(0.2);
+  h.add(0.9);
+  const std::string s = h.to_string(10);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(AsciiCurve, ProducesGrid) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(i * i);
+  }
+  const std::string s = ascii_curve(xs, ys, 40, 10);
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find('|'), std::string::npos);
+}
+
+TEST(AsciiCurve, DegenerateInputsAreEmpty) {
+  EXPECT_TRUE(ascii_curve({}, {}).empty());
+  EXPECT_TRUE(ascii_curve({1.0}, {1.0, 2.0}).empty());
+}
+
+}  // namespace
+}  // namespace animus::metrics

@@ -1,0 +1,166 @@
+#include "server/system_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/registry.hpp"
+#include "server/world.hpp"
+
+namespace animus::server {
+namespace {
+
+using sim::ms;
+
+struct ServerFixture : ::testing::Test {
+  WorldConfig make_config() {
+    WorldConfig wc;
+    wc.profile = device::reference_device_android9();
+    wc.deterministic = true;
+    return wc;
+  }
+  World world{make_config()};
+
+  OverlaySpec overlay() {
+    OverlaySpec s;
+    s.bounds = {0, 0, 500, 500};
+    s.content = "attack:overlay";
+    return s;
+  }
+};
+
+TEST_F(ServerFixture, AddViewRequiresPermission) {
+  const auto h = world.server().add_view(kMalwareUid, overlay());
+  EXPECT_EQ(h, 0u);
+  EXPECT_EQ(world.server().rejected_overlays(), 1u);
+  world.run_all();
+  EXPECT_EQ(world.wms().overlay_count(kMalwareUid), 0);
+}
+
+TEST_F(ServerFixture, AddViewCreatesWindowAfterTamPlusTas) {
+  world.server().grant_overlay_permission(kMalwareUid);
+  world.server().add_view(kMalwareUid, overlay());
+  const auto& p = world.profile();
+  const auto create_time = sim::ms_f(p.tam.mean_ms + p.tas.mean_ms);
+  world.run_until(create_time - ms(1));
+  EXPECT_EQ(world.wms().overlay_count(kMalwareUid), 0);
+  world.run_until(create_time + ms(1));
+  EXPECT_EQ(world.wms().overlay_count(kMalwareUid), 1);
+}
+
+TEST_F(ServerFixture, OverlayTriggersNotificationAlert) {
+  world.server().grant_overlay_permission(kMalwareUid);
+  world.server().add_view(kMalwareUid, overlay());
+  world.run_until(sim::seconds(2));
+  EXPECT_TRUE(world.system_ui().alert_fully_visible(kMalwareUid));
+}
+
+TEST_F(ServerFixture, RemoveLastOverlayDismissesAlert) {
+  world.server().grant_overlay_permission(kMalwareUid);
+  const auto h = world.server().add_view(kMalwareUid, overlay());
+  world.run_until(sim::seconds(2));
+  world.server().remove_view(kMalwareUid, h);
+  world.run_until(sim::seconds(4));
+  EXPECT_EQ(world.system_ui().phase(kMalwareUid), SystemUi::AlertPhase::kHidden);
+}
+
+TEST_F(ServerFixture, AlertSurvivesWhileAnyOverlayRemains) {
+  world.server().grant_overlay_permission(kMalwareUid);
+  const auto h1 = world.server().add_view(kMalwareUid, overlay());
+  world.server().add_view(kMalwareUid, overlay());
+  world.run_until(sim::seconds(2));
+  world.server().remove_view(kMalwareUid, h1);
+  world.run_until(sim::seconds(4));
+  EXPECT_TRUE(world.system_ui().alert_fully_visible(kMalwareUid));
+}
+
+TEST_F(ServerFixture, SettingsForegroundBlocksOverlays) {
+  world.server().grant_overlay_permission(kMalwareUid);
+  world.server().set_settings_foreground(true);
+  world.server().add_view(kMalwareUid, overlay());
+  world.run_all();
+  EXPECT_EQ(world.wms().overlay_count(kMalwareUid), 0);
+  EXPECT_EQ(world.server().rejected_overlays(), 1u);
+}
+
+TEST_F(ServerFixture, RemoveBeforeCreationIsDeferredNotLost) {
+  world.server().grant_overlay_permission(kMalwareUid);
+  const auto h = world.server().add_view(kMalwareUid, overlay());
+  world.server().remove_view(kMalwareUid, h);  // remove issued immediately
+  world.run_until(sim::seconds(2));
+  // Whether the removal overtook creation or not, the end state is no
+  // overlay on screen and no lingering alert.
+  EXPECT_EQ(world.wms().overlay_count(kMalwareUid), 0);
+  EXPECT_EQ(world.system_ui().phase(kMalwareUid), SystemUi::AlertPhase::kHidden);
+}
+
+TEST_F(ServerFixture, TransactionsAreRecordedWithCallerAndCode) {
+  world.server().grant_overlay_permission(kMalwareUid);
+  const auto h = world.server().add_view(kMalwareUid, overlay());
+  world.server().remove_view(kMalwareUid, h);
+  ASSERT_EQ(world.transactions().size(), 2u);
+  const auto all = world.transactions().all();
+  EXPECT_EQ(all[0].caller_uid, kMalwareUid);
+  EXPECT_EQ(all[0].code, ipc::MethodCode::kAddView);
+  EXPECT_EQ(all[1].code, ipc::MethodCode::kRemoveView);
+  EXPECT_GT(all[1].delivered, all[1].sent);
+}
+
+TEST_F(ServerFixture, AddEventOvertakesRemoveEvent) {
+  // Tam < Trm: the add-view transaction sent *after* the remove-view
+  // transaction is delivered first (Section III-C).
+  world.server().grant_overlay_permission(kMalwareUid);
+  const auto h = world.server().add_view(kMalwareUid, overlay());
+  world.run_until(sim::seconds(1));
+  world.server().remove_view(kMalwareUid, h);
+  world.server().add_view(kMalwareUid, overlay());
+  const auto all = world.transactions().all();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_LT(all[2].delivered, all[1].delivered);
+}
+
+TEST_F(ServerFixture, EnqueueToastReachesNms) {
+  ToastRequest r;
+  r.content = "hello";
+  r.bounds = {0, 1500, 1080, 780};
+  world.server().enqueue_toast(kBenignUid, r);
+  world.run_until(ms(100));
+  EXPECT_EQ(world.nms().stats().shown, 1u);
+  // Toasts never require SYSTEM_ALERT_WINDOW or trigger alerts.
+  world.run_until(sim::seconds(2));
+  EXPECT_EQ(world.system_ui().phase(kBenignUid), SystemUi::AlertPhase::kHidden);
+}
+
+TEST_F(ServerFixture, EnhancedDefenseDelaysAlertRemoval) {
+  world.server().grant_overlay_permission(kMalwareUid);
+  world.server().set_alert_removal_delay(ms(690));
+  const auto h = world.server().add_view(kMalwareUid, overlay());
+  world.run_until(sim::seconds(2));
+  world.server().remove_view(kMalwareUid, h);
+  // At +500 ms the alert is still shown (grace period), by +1s it's gone.
+  world.run_until(sim::seconds(2) + ms(500));
+  EXPECT_TRUE(world.system_ui().alert_fully_visible(kMalwareUid));
+  world.run_until(sim::seconds(4));
+  EXPECT_EQ(world.system_ui().phase(kMalwareUid), SystemUi::AlertPhase::kHidden);
+}
+
+TEST_F(ServerFixture, EnhancedDefenseCancelsRemovalOnReAdd) {
+  world.server().grant_overlay_permission(kMalwareUid);
+  world.server().set_alert_removal_delay(ms(690));
+  const auto h = world.server().add_view(kMalwareUid, overlay());
+  world.run_until(sim::seconds(2));
+  world.server().remove_view(kMalwareUid, h);
+  world.run_until(sim::seconds(2) + ms(200));
+  world.server().add_view(kMalwareUid, overlay());  // re-add inside grace
+  world.run_until(sim::seconds(6));
+  EXPECT_TRUE(world.system_ui().alert_fully_visible(kMalwareUid));
+}
+
+TEST_F(ServerFixture, PermissionRevocation) {
+  world.server().grant_overlay_permission(kMalwareUid);
+  EXPECT_TRUE(world.server().has_overlay_permission(kMalwareUid));
+  world.server().revoke_overlay_permission(kMalwareUid);
+  EXPECT_FALSE(world.server().has_overlay_permission(kMalwareUid));
+  EXPECT_EQ(world.server().add_view(kMalwareUid, overlay()), 0u);
+}
+
+}  // namespace
+}  // namespace animus::server

@@ -1,0 +1,165 @@
+#include "server/system_ui.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/registry.hpp"
+#include "percept/outcomes.hpp"
+#include "sim/event_loop.hpp"
+
+namespace animus::server {
+namespace {
+
+using sim::ms;
+
+struct SysUiFixture : ::testing::Test {
+  sim::EventLoop loop;
+  sim::TraceRecorder trace;
+  device::DeviceProfile profile = device::reference_device_android9();
+  SystemUi ui_{loop, trace, profile};
+  static constexpr int kUid = 1;
+  static constexpr sim::SimTime kTv = sim::ms(20);
+};
+
+TEST_F(SysUiFixture, HiddenByDefault) {
+  EXPECT_EQ(ui_.phase(kUid), SystemUi::AlertPhase::kHidden);
+  EXPECT_EQ(ui_.current_pixels(kUid), 0);
+  EXPECT_EQ(ui_.stats(kUid).shows, 0);
+}
+
+TEST_F(SysUiFixture, ShowConstructsThenAnimates) {
+  ui_.show_overlay_alert(kUid, kTv);
+  EXPECT_EQ(ui_.phase(kUid), SystemUi::AlertPhase::kConstructing);
+  loop.run_until(kTv);
+  EXPECT_EQ(ui_.phase(kUid), SystemUi::AlertPhase::kAnimatingIn);
+  loop.run_until(kTv + ms(360));
+  EXPECT_EQ(ui_.phase(kUid), SystemUi::AlertPhase::kShown);
+  EXPECT_EQ(ui_.current_pixels(kUid), profile.notification_height_px);
+  EXPECT_EQ(ui_.stats(kUid).completions, 1);
+}
+
+TEST_F(SysUiFixture, DismissDuringConstructionShowsNothing) {
+  ui_.show_overlay_alert(kUid, kTv);
+  loop.run_until(ms(5));
+  ui_.dismiss_overlay_alert(kUid);
+  loop.run_all();
+  EXPECT_EQ(ui_.phase(kUid), SystemUi::AlertPhase::kHidden);
+  EXPECT_EQ(ui_.stats(kUid).max_pixels, 0);
+}
+
+TEST_F(SysUiFixture, EarlyDismissKeepsPixelsAtZero) {
+  // The draw-and-destroy sweet spot: dismiss while the slide-in has
+  // played < Ta; no pixel was ever presented.
+  ui_.show_overlay_alert(kUid, kTv);
+  loop.run_until(kTv + ms(15));  // one frame in: 0.17% of 72 px -> 0
+  ui_.dismiss_overlay_alert(kUid);
+  loop.run_all();
+  EXPECT_EQ(ui_.phase(kUid), SystemUi::AlertPhase::kHidden);
+  EXPECT_EQ(ui_.stats(kUid).max_pixels, 0);
+  EXPECT_EQ(percept::classify(ui_.stats(kUid)), percept::LambdaOutcome::kL1);
+}
+
+TEST_F(SysUiFixture, LateDismissLeavesPartialView) {
+  ui_.show_overlay_alert(kUid, kTv);
+  loop.run_until(kTv + ms(200));  // well into the animation
+  ui_.dismiss_overlay_alert(kUid);
+  loop.run_all();
+  const auto& s = ui_.stats(kUid);
+  EXPECT_GT(s.max_pixels, ui::kNakedEyeMinPixels);
+  EXPECT_LT(s.max_completeness, 1.0);
+  EXPECT_EQ(percept::classify(s), percept::LambdaOutcome::kL2);
+}
+
+TEST_F(SysUiFixture, FullShowThenMessageThenIcon) {
+  ui_.show_overlay_alert(kUid, kTv);
+  loop.run_until(kTv + ms(360) + kMessageStartDelay + kMessageDrawTime + kIconDelay + ms(1));
+  const auto s = ui_.snapshot(kUid);
+  EXPECT_TRUE(s.icon_shown);
+  EXPECT_DOUBLE_EQ(s.max_message_progress, 1.0);
+  EXPECT_EQ(percept::classify(s), percept::LambdaOutcome::kL5);
+}
+
+TEST_F(SysUiFixture, DismissAfterShownBeforeMessageIsL3) {
+  ui_.show_overlay_alert(kUid, kTv);
+  loop.run_until(kTv + ms(360));
+  ui_.dismiss_overlay_alert(kUid);
+  loop.run_all();
+  const auto& s = ui_.stats(kUid);
+  EXPECT_DOUBLE_EQ(s.max_completeness, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_message_progress, 0.0);
+  EXPECT_EQ(percept::classify(s), percept::LambdaOutcome::kL3);
+}
+
+TEST_F(SysUiFixture, DismissDuringMessageDrawIsL4) {
+  ui_.show_overlay_alert(kUid, kTv);
+  loop.run_until(kTv + ms(360) + kMessageStartDelay + ms(60));  // half the message drawn
+  ui_.dismiss_overlay_alert(kUid);
+  loop.run_all();
+  const auto& s = ui_.stats(kUid);
+  EXPECT_GT(s.max_message_progress, 0.0);
+  EXPECT_LT(s.max_message_progress, 1.0);
+  EXPECT_FALSE(s.icon_shown);
+  EXPECT_EQ(percept::classify(s), percept::LambdaOutcome::kL4);
+}
+
+TEST_F(SysUiFixture, ReverseAnimationReachesHidden) {
+  ui_.show_overlay_alert(kUid, kTv);
+  loop.run_until(kTv + ms(100));
+  ui_.dismiss_overlay_alert(kUid);
+  EXPECT_EQ(ui_.phase(kUid), SystemUi::AlertPhase::kAnimatingOut);
+  loop.run_until(kTv + ms(100) + ms(100));  // reverse takes the elapsed time
+  EXPECT_EQ(ui_.phase(kUid), SystemUi::AlertPhase::kHidden);
+}
+
+TEST_F(SysUiFixture, ShowDuringReverseStartsFreshEntry) {
+  // A show arriving while the old entry slides out posts a *fresh*
+  // notification: full construction time, progress restarting at zero.
+  // (This is what makes Eq. (3) hold per cycle.)
+  ui_.show_overlay_alert(kUid, kTv);
+  loop.run_until(kTv + ms(100));
+  ui_.dismiss_overlay_alert(kUid);
+  loop.run_until(kTv + ms(150));  // mid-reverse (50 ms back, 50 ms progress)
+  ui_.show_overlay_alert(kUid, kTv);
+  EXPECT_EQ(ui_.phase(kUid), SystemUi::AlertPhase::kConstructing);
+  loop.run_until(kTv + ms(150) + kTv + ms(360));
+  EXPECT_EQ(ui_.phase(kUid), SystemUi::AlertPhase::kShown);
+  EXPECT_EQ(ui_.stats(kUid).shows, 2);
+}
+
+TEST_F(SysUiFixture, RepeatedShowsWhileActiveAreNoops) {
+  ui_.show_overlay_alert(kUid, kTv);
+  loop.run_until(kTv + ms(50));
+  ui_.show_overlay_alert(kUid, kTv);
+  ui_.show_overlay_alert(kUid, kTv);
+  EXPECT_EQ(ui_.stats(kUid).shows, 1);
+}
+
+TEST_F(SysUiFixture, PerUidIsolation) {
+  ui_.show_overlay_alert(1, kTv);
+  ui_.show_overlay_alert(2, kTv);
+  loop.run_until(kTv + ms(360));
+  ui_.dismiss_overlay_alert(1);
+  loop.run_all();
+  EXPECT_EQ(ui_.phase(1), SystemUi::AlertPhase::kHidden);
+  EXPECT_EQ(ui_.phase(2), SystemUi::AlertPhase::kShown);
+}
+
+TEST_F(SysUiFixture, VisibleTimeAccumulates) {
+  ui_.show_overlay_alert(kUid, kTv);
+  loop.run_until(kTv + ms(360) + ms(500));
+  const auto s = ui_.snapshot(kUid);
+  // 360 ms animation minus the invisible prefix, plus 500 ms shown.
+  EXPECT_GT(s.visible_time, ms(700));
+  EXPECT_LT(s.visible_time, ms(900));
+}
+
+TEST_F(SysUiFixture, SnapshotDoesNotMutateStats) {
+  ui_.show_overlay_alert(kUid, kTv);
+  loop.run_until(kTv + ms(200));
+  const auto s1 = ui_.snapshot(kUid);
+  const auto s2 = ui_.snapshot(kUid);
+  EXPECT_EQ(s1.max_pixels, s2.max_pixels);
+  EXPECT_EQ(ui_.stats(kUid).max_pixels, 0);  // segment not yet closed
+}
+
+}  // namespace
+}  // namespace animus::server

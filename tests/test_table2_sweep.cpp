@@ -1,0 +1,74 @@
+// Parameterized full-fleet property sweep: for every one of the 30
+// Table I/II devices, the end-to-end simulation must
+//  (a) reproduce the published Λ1 upper bound of D exactly,
+//  (b) keep the alert invisible at the stealer's default D under jitter,
+//  (c) leak the alert at D = bound + 40 ms,
+//  (d) agree with the closed-form Eq. (3) prediction.
+#include <gtest/gtest.h>
+
+#include "core/attack_analysis.hpp"
+#include "core/password_stealer.hpp"
+#include "device/registry.hpp"
+#include "percept/outcomes.hpp"
+#include "server/world.hpp"
+#include "ui/animation.hpp"
+
+namespace animus::core {
+namespace {
+
+class TableTwoSweep : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  [[nodiscard]] const device::DeviceProfile& dev() const {
+    return device::all_devices()[GetParam()];
+  }
+};
+
+TEST_P(TableTwoSweep, SimulatedBoundMatchesPaper) {
+  EXPECT_EQ(find_d_upper_bound_ms(dev()),
+            static_cast<int>(dev().d_upper_bound_table_ms))
+      << dev().display_name();
+}
+
+TEST_P(TableTwoSweep, ClosedFormMatchesPaper) {
+  EXPECT_NEAR(dev().predicted_d_max_ms(ui::kNakedEyeMinPixels), dev().d_upper_bound_table_ms,
+              1.0)
+      << dev().display_name();
+}
+
+TEST_P(TableTwoSweep, DefaultAttackWindowStaysInvisibleUnderJitter) {
+  server::WorldConfig wc;
+  wc.profile = dev();
+  wc.seed = 1234 + GetParam();
+  wc.trace_enabled = false;
+  server::World world{wc};
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  OverlayAttackConfig oc;
+  oc.attacking_window = sim::ms_f(kBoundSafetyFactor * dev().d_upper_bound_table_ms);
+  OverlayAttack attack{world, oc};
+  attack.start();
+  world.run_until(sim::seconds(12));
+  const auto alert = world.system_ui().snapshot(server::kMalwareUid);
+  EXPECT_EQ(percept::classify(alert), percept::LambdaOutcome::kL1) << dev().display_name();
+  attack.stop();
+}
+
+TEST_P(TableTwoSweep, AlertEscapesWellAboveBound) {
+  const auto probe =
+      probe_outcome(dev(), sim::ms(static_cast<int>(dev().d_upper_bound_table_ms) + 40));
+  EXPECT_NE(probe.outcome, percept::LambdaOutcome::kL1) << dev().display_name();
+}
+
+std::string device_label(const ::testing::TestParamInfo<std::size_t>& info) {
+  std::string name = device::all_devices()[info.param].model + "_" +
+                     std::string(device::to_string(device::all_devices()[info.param].version));
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDevices, TableTwoSweep, ::testing::Range<std::size_t>(0, 30),
+                         device_label);
+
+}  // namespace
+}  // namespace animus::core

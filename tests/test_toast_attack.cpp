@@ -1,0 +1,197 @@
+#include "core/toast_attack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/registry.hpp"
+#include "percept/flicker.hpp"
+#include "server/world.hpp"
+
+namespace animus::core {
+namespace {
+
+using sim::ms;
+using sim::seconds;
+
+server::World make_world() {
+  server::WorldConfig wc;
+  wc.profile = device::reference_device_android9();
+  wc.deterministic = true;
+  wc.trace_enabled = false;
+  return server::World{wc};
+}
+
+TEST(ToastAttack, KeepsToastOnScreenIndefinitely) {
+  auto world = make_world();
+  ToastAttack attack{world, {}};
+  attack.start();
+  world.run_until(seconds(1));
+  // Sample coverage over 30 s: a toast window must be present at every
+  // sample after warm-up.
+  int missing = 0;
+  for (int t = 1000; t <= 30000; t += 50) {
+    world.run_until(ms(t));
+    if (world.wms().count(server::kMalwareUid, ui::WindowType::kToast) == 0) ++missing;
+  }
+  EXPECT_EQ(missing, 0);
+  attack.stop();
+}
+
+TEST(ToastAttack, NoPermissionOrAlertNeeded) {
+  auto world = make_world();
+  ToastAttack attack{world, {}};
+  attack.start();  // note: no grant_overlay_permission call
+  world.run_until(seconds(5));
+  EXPECT_GT(attack.stats().shown, 0);
+  EXPECT_EQ(world.system_ui().phase(server::kMalwareUid),
+            server::SystemUi::AlertPhase::kHidden);
+  attack.stop();
+}
+
+TEST(ToastAttack, QueueNeverEmptyNorNearCap) {
+  auto world = make_world();
+  ToastAttack attack{world, {}};
+  attack.start();
+  int max_tokens = 0;
+  for (int t = 500; t <= 30000; t += 100) {
+    world.run_until(ms(t));
+    max_tokens = std::max(max_tokens, world.nms().queued_tokens(server::kMalwareUid));
+  }
+  EXPECT_LE(max_tokens, 5);
+  EXPECT_EQ(world.nms().stats().rejected, 0u);
+  attack.stop();
+}
+
+TEST(ToastAttack, LongDurationMeansFewerSwitches) {
+  auto world_short = make_world();
+  ToastAttackConfig cs;
+  cs.toast_duration = server::kToastShort;
+  ToastAttack a_short{world_short, cs};
+  a_short.start();
+  world_short.run_until(seconds(30));
+
+  auto world_long = make_world();
+  ToastAttackConfig cl;
+  cl.toast_duration = server::kToastLong;
+  ToastAttack a_long{world_long, cl};
+  a_long.start();
+  world_long.run_until(seconds(30));
+
+  // Section IV-D: choose 3.5 s over 2 s to reduce toast switching.
+  EXPECT_LT(a_long.stats().shown, a_short.stats().shown);
+}
+
+TEST(ToastAttack, NoPerceptibleFlicker) {
+  auto world = make_world();
+  ToastAttack attack{world, {}};
+  attack.start();
+  world.run_until(seconds(30));
+  const auto flicker = percept::scan_flicker(world.wms(), server::kMalwareUid,
+                                             "fake_keyboard", ms(1500), seconds(30));
+  EXPECT_FALSE(flicker.noticeable);
+  EXPECT_GT(flicker.min_alpha, 0.85);
+  attack.stop();
+}
+
+TEST(ToastAttack, SwitchContentShowsNewBoardQuickly) {
+  auto world = make_world();
+  ToastAttack attack{world, {}};
+  attack.start();
+  world.run_until(seconds(2));
+  attack.switch_content("fake_keyboard:upper");
+  world.run_until(seconds(2) + ms(120));
+  // The upper board must already be on screen (old toast may be fading).
+  bool upper_live = false;
+  for (const auto& rec : world.wms().history()) {
+    if (rec.window.content == "fake_keyboard:upper" && rec.alive_at(world.now())) {
+      upper_live = true;
+    }
+  }
+  EXPECT_TRUE(upper_live);
+  EXPECT_EQ(attack.stats().content_switches, 1);
+  attack.stop();
+}
+
+TEST(ToastAttack, StaleBoardsNeverResurface) {
+  auto world = make_world();
+  ToastAttack attack{world, {}};
+  attack.start();
+  world.run_until(seconds(2));
+  attack.switch_content("fake_keyboard:upper");
+  world.run_until(seconds(3));
+  // After the switch settles, no *new* lower-board toast may appear.
+  const sim::SimTime settle = seconds(3);
+  world.run_until(seconds(20));
+  for (const auto& rec : world.wms().history()) {
+    if (rec.window.content == "fake_keyboard:lower") {
+      EXPECT_LT(rec.window.added_at, settle) << "stale lower board reappeared";
+    }
+  }
+  attack.stop();
+}
+
+TEST(ToastAttack, SwitchDoesNotCauseFlicker) {
+  auto world = make_world();
+  ToastAttack attack{world, {}};
+  attack.start();
+  world.run_until(seconds(2));
+  attack.switch_content("fake_keyboard:symbols");
+  world.run_until(seconds(4));
+  const auto flicker = percept::scan_flicker(world.wms(), server::kMalwareUid,
+                                             "fake_keyboard", ms(1500), seconds(4));
+  EXPECT_FALSE(flicker.noticeable);
+  attack.stop();
+}
+
+TEST(ToastAttack, TimerModeKeepsCoverageToo) {
+  auto world = make_world();
+  ToastAttackConfig tc;
+  tc.enqueue_interval = server::kToastLong;  // enqueue every D = 3.5 s
+  ToastAttack attack{world, tc};
+  attack.start();
+  int missing = 0;
+  for (int t = 1000; t <= 20000; t += 100) {
+    world.run_until(ms(t));
+    if (world.wms().count(server::kMalwareUid, ui::WindowType::kToast) == 0) ++missing;
+  }
+  EXPECT_EQ(missing, 0);
+  EXPECT_EQ(world.nms().stats().rejected, 0u);
+  attack.stop();
+  world.run_until(seconds(30));
+}
+
+TEST(ToastAttack, StopLetsLastToastExpire) {
+  auto world = make_world();
+  ToastAttack attack{world, {}};
+  attack.start();
+  world.run_until(seconds(2));
+  attack.stop();
+  world.run_until(seconds(2) + 3 * server::kToastLong);
+  EXPECT_EQ(world.wms().count(server::kMalwareUid, ui::WindowType::kToast), 0);
+}
+
+TEST(ToastAttack, RespectsSerializedToastsGlobally) {
+  // Another app's toast takes its turn; the attack resumes afterwards
+  // without permanent loss of coverage.
+  auto world = make_world();
+  ToastAttack attack{world, {}};
+  attack.start();
+  world.run_until(seconds(1));
+  server::ToastRequest other;
+  other.content = "benign:toast";
+  other.bounds = {0, 0, 400, 200};
+  other.duration = server::kToastShort;
+  world.server().enqueue_toast(server::kBenignUid, other);
+  world.run_until(seconds(40));
+  // The benign toast was eventually shown...
+  bool benign_shown = false;
+  for (const auto& rec : world.wms().history()) {
+    benign_shown |= rec.window.content == "benign:toast";
+  }
+  EXPECT_TRUE(benign_shown);
+  // ...and the attack kept running afterwards.
+  EXPECT_GT(world.wms().count(server::kMalwareUid, ui::WindowType::kToast), 0);
+  attack.stop();
+}
+
+}  // namespace
+}  // namespace animus::core

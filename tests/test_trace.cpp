@@ -1,0 +1,107 @@
+#include "sim/trace.hpp"
+
+#include "sim/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+
+namespace animus::sim {
+namespace {
+
+TEST(Trace, RecordsInOrder) {
+  TraceRecorder tr;
+  tr.record(ms(1), TraceCategory::kApp, "addView O1");
+  tr.record(ms(2), TraceCategory::kSystemServer, "add O1");
+  ASSERT_EQ(tr.size(), 2u);
+  EXPECT_EQ(tr.records()[0].message, "addView O1");
+  EXPECT_EQ(tr.records()[1].time, ms(2));
+}
+
+TEST(Trace, DisabledRecorderDropsRecords) {
+  TraceRecorder tr;
+  tr.set_enabled(false);
+  tr.record(ms(1), TraceCategory::kApp, "x");
+  EXPECT_EQ(tr.size(), 0u);
+}
+
+TEST(Trace, MatchingFindsSubstrings) {
+  TraceRecorder tr;
+  tr.record(ms(1), TraceCategory::kApp, "addView O1");
+  tr.record(ms(2), TraceCategory::kApp, "removeView O1");
+  tr.record(ms(3), TraceCategory::kApp, "addView O2");
+  EXPECT_EQ(tr.matching("addView").size(), 2u);
+  EXPECT_EQ(tr.matching("nothing").size(), 0u);
+}
+
+TEST(Trace, CountByCategory) {
+  TraceRecorder tr;
+  tr.record(ms(1), TraceCategory::kAttack, "a");
+  tr.record(ms(2), TraceCategory::kAttack, "b");
+  tr.record(ms(3), TraceCategory::kDefense, "c");
+  EXPECT_EQ(tr.count(TraceCategory::kAttack), 2u);
+  EXPECT_EQ(tr.count(TraceCategory::kDefense), 1u);
+  EXPECT_EQ(tr.count(TraceCategory::kInput), 0u);
+}
+
+TEST(Trace, TextRenderingContainsMessages) {
+  TraceRecorder tr;
+  tr.record(ms(12), TraceCategory::kSystemUi, "alert visible", 2.0);
+  const std::string text = tr.to_text();
+  EXPECT_NE(text.find("alert visible"), std::string::npos);
+  EXPECT_NE(text.find("system_ui"), std::string::npos);
+}
+
+TEST(Trace, TextRenderingTruncates) {
+  TraceRecorder tr;
+  for (int i = 0; i < 100; ++i) tr.record(ms(i), TraceCategory::kApp, "m");
+  const std::string text = tr.to_text(10);
+  EXPECT_NE(text.find("truncated"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmitsValidLookingJson) {
+  TraceRecorder tr;
+  tr.record(ms(1), TraceCategory::kApp, "addView \"O1\"");
+  tr.record(ms(2), TraceCategory::kSystemUi, "alert", 2.5);
+  const std::string json = to_chrome_trace_json(tr, "demo");
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("addView \\\"O1\\\""), std::string::npos);  // escaped quote
+  EXPECT_NE(json.find("\"ts\":1000"), std::string::npos);  // microseconds
+  EXPECT_NE(json.find("\"value\":2.5"), std::string::npos);
+  // Balanced braces (cheap sanity check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ChromeTrace, MetadataTracksForEveryCategory) {
+  TraceRecorder tr;
+  const std::string json = to_chrome_trace_json(tr);
+  for (const char* name : {"app", "system_server", "system_ui", "animation", "input",
+                           "attack", "defense", "victim"}) {
+    EXPECT_NE(json.find(std::string("\"name\":\"") + name + "\""), std::string::npos)
+        << name;
+  }
+}
+
+TEST(ChromeTrace, WritesFile) {
+  TraceRecorder tr;
+  tr.record(ms(1), TraceCategory::kAttack, "x");
+  const std::string path = ::testing::TempDir() + "/animus_trace.json";
+  ASSERT_TRUE(write_chrome_trace(tr, path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "[");
+}
+
+TEST(Trace, CategoryNamesAreStable) {
+  EXPECT_EQ(to_string(TraceCategory::kSystemServer), "system_server");
+  EXPECT_EQ(to_string(TraceCategory::kVictim), "victim");
+}
+
+}  // namespace
+}  // namespace animus::sim

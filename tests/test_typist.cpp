@@ -1,0 +1,182 @@
+#include "input/typist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "input/password.hpp"
+
+namespace animus::input {
+namespace {
+
+const ui::Rect kKb{0, 1500, 1080, 780};
+
+TypistProfile precise_profile() {
+  TypistProfile p;
+  p.jitter_frac = 0.0;
+  p.misspell_rate = 0.0;
+  return p;
+}
+
+TEST(Typist, PlansOneTouchPerPlainChar) {
+  Typist t{precise_profile(), sim::Rng{1}};
+  Keyboard kb{kKb};
+  const auto touches = t.plan(kb, "hello", sim::ms(100));
+  EXPECT_EQ(touches.size(), 5u);
+  EXPECT_EQ(touches.front().at, sim::ms(100));
+}
+
+TEST(Typist, InsertsModeSwitchTouches) {
+  Typist t{precise_profile(), sim::Rng{1}};
+  Keyboard kb{kKb};
+  // "aB1" needs: a, shift, B, ?123, 1 -> 5 touches.
+  const auto touches = t.plan(kb, "aB1", sim::ms(0));
+  ASSERT_EQ(touches.size(), 5u);
+  EXPECT_EQ(touches[0].intended, 'a');
+  EXPECT_EQ(touches[1].intended_kind, Key::Kind::kShift);
+  EXPECT_EQ(touches[2].intended, 'B');
+  EXPECT_EQ(touches[3].intended_kind, Key::Kind::kSymbols);
+  EXPECT_EQ(touches[4].intended, '1');
+}
+
+TEST(Typist, SymbolsBackToLettersNeedsAbcKey) {
+  Typist t{precise_profile(), sim::Rng{1}};
+  Keyboard kb{kKb};
+  // "1a": 1 requires ?123; returning to 'a' requires ABC.
+  const auto touches = t.plan(kb, "1a", sim::ms(0));
+  ASSERT_EQ(touches.size(), 4u);
+  EXPECT_EQ(touches[1].intended, '1');
+  EXPECT_EQ(touches[2].intended_kind, Key::Kind::kLetters);
+  EXPECT_EQ(touches[3].intended, 'a');
+}
+
+TEST(Typist, TimesAreStrictlyIncreasingWithMinGap) {
+  TypistProfile p;
+  Typist t{p, sim::Rng{3}};
+  Keyboard kb{kKb};
+  const auto touches = t.plan(kb, "aXk92$q", sim::ms(50));
+  for (std::size_t i = 1; i < touches.size(); ++i) {
+    EXPECT_GE(touches[i].at - touches[i - 1].at, sim::ms_f(p.inter_key_min_ms));
+  }
+}
+
+TEST(Typist, ZeroJitterHitsKeyCenters) {
+  Typist t{precise_profile(), sim::Rng{1}};
+  Keyboard kb{kKb};
+  const auto touches = t.plan(kb, "qmz", sim::ms(0));
+  for (const auto& pt : touches) {
+    const Key* key = kb.layout(LayoutKind::kLower).key_at(pt.point);
+    ASSERT_NE(key, nullptr);
+    EXPECT_EQ(key->ch, pt.intended);
+  }
+}
+
+TEST(Typist, PressEnterAppendsEnterTouch) {
+  Typist t{precise_profile(), sim::Rng{1}};
+  Keyboard kb{kKb};
+  const auto touches = t.plan(kb, "ab", sim::ms(0), /*press_enter=*/true);
+  ASSERT_EQ(touches.size(), 3u);
+  EXPECT_EQ(touches.back().intended_kind, Key::Kind::kEnter);
+}
+
+TEST(Typist, UntypeableCharactersSkipped) {
+  Typist t{precise_profile(), sim::Rng{1}};
+  Keyboard kb{kKb};
+  const auto touches = t.plan(kb, "a\tb", sim::ms(0));
+  EXPECT_EQ(touches.size(), 2u);
+}
+
+TEST(Typist, MisspellRateProducesMisspelledTouches) {
+  TypistProfile p;
+  p.misspell_rate = 0.5;
+  p.jitter_frac = 0.0;
+  Typist t{p, sim::Rng{5}};
+  Keyboard kb{kKb};
+  int misspelled = 0;
+  const auto touches = t.plan(kb, "aaaaaaaaaaaaaaaaaaaa", sim::ms(0));
+  for (const auto& pt : touches) misspelled += pt.misspelled;
+  EXPECT_GT(misspelled, 3);
+  EXPECT_LT(misspelled, 18);
+}
+
+TEST(Typist, PlanTapsStayInsideArea) {
+  Typist t{TypistProfile{}, sim::Rng{7}};
+  const ui::Rect area{100, 200, 300, 150};
+  const auto taps = t.plan_taps(area, 50, sim::ms(10));
+  ASSERT_EQ(taps.size(), 50u);
+  for (const auto& pt : taps) EXPECT_TRUE(area.contains(pt.point));
+}
+
+TEST(Typist, DeterministicForSameSeed) {
+  Typist a{TypistProfile{}, sim::Rng{9}};
+  Typist b{TypistProfile{}, sim::Rng{9}};
+  Keyboard kb{kKb};
+  const auto ta = a.plan(kb, "Pa5$word", sim::ms(0));
+  const auto tb = b.plan(kb, "Pa5$word", sim::ms(0));
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].at, tb[i].at);
+    EXPECT_EQ(ta[i].point.x, tb[i].point.x);
+    EXPECT_EQ(ta[i].point.y, tb[i].point.y);
+  }
+}
+
+TEST(ParticipantPanel, ThirtyDistinctProfiles) {
+  const auto panel = participant_panel();
+  ASSERT_EQ(panel.size(), 30u);
+  for (const auto& p : panel) {
+    EXPECT_GE(p.inter_key_mean_ms, 180.0);
+    EXPECT_LE(p.inter_key_mean_ms, 520.0);
+    EXPECT_GE(p.jitter_frac, 0.04);
+    EXPECT_LE(p.jitter_frac, 0.13);
+    EXPECT_GE(p.misspell_rate, 0.0);
+  }
+  // Not all identical.
+  EXPECT_NE(panel[0].inter_key_mean_ms, panel[1].inter_key_mean_ms);
+  // Stable across calls.
+  EXPECT_EQ(participant_panel()[5].inter_key_mean_ms, panel[5].inter_key_mean_ms);
+}
+
+TEST(Password, GeneratedPasswordsMixClasses) {
+  sim::Rng rng{11};
+  for (int i = 0; i < 50; ++i) {
+    const std::string pwd = random_password(8, rng);
+    ASSERT_EQ(pwd.size(), 8u);
+    bool lower = false, upper = false, digit = false, symbol = false;
+    for (char c : pwd) {
+      lower |= std::islower(static_cast<unsigned char>(c)) != 0;
+      upper |= std::isupper(static_cast<unsigned char>(c)) != 0;
+      digit |= std::isdigit(static_cast<unsigned char>(c)) != 0;
+      symbol |= password_symbols().find(c) != std::string_view::npos;
+    }
+    EXPECT_TRUE(lower && upper && digit && symbol) << pwd;
+  }
+}
+
+TEST(Password, AllCharactersTypeable) {
+  sim::Rng rng{13};
+  for (int len : {4, 6, 8, 10, 12}) {
+    const std::string pwd = random_password(static_cast<std::size_t>(len), rng);
+    for (char c : pwd) EXPECT_TRUE(Keyboard::typeable(c)) << c;
+  }
+}
+
+TEST(Password, RespectsDisabledClasses) {
+  sim::Rng rng{17};
+  PasswordClasses classes;
+  classes.upper = false;
+  classes.symbols = false;
+  const std::string pwd = random_password(20, rng, classes);
+  for (char c : pwd) {
+    EXPECT_FALSE(std::isupper(static_cast<unsigned char>(c))) << pwd;
+    EXPECT_EQ(password_symbols().find(c), std::string_view::npos) << pwd;
+  }
+}
+
+TEST(Password, EmptyRequests) {
+  sim::Rng rng{19};
+  EXPECT_TRUE(random_password(0, rng).empty());
+  PasswordClasses none{false, false, false, false};
+  EXPECT_TRUE(random_password(8, rng, none).empty());
+}
+
+}  // namespace
+}  // namespace animus::input

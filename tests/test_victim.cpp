@@ -1,0 +1,155 @@
+#include "victim/victim_app.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/registry.hpp"
+#include "input/typist.hpp"
+#include "victim/catalog.hpp"
+
+namespace animus::victim {
+namespace {
+
+using sim::ms;
+
+server::World make_world() {
+  server::WorldConfig wc;
+  wc.profile = device::reference_device_android9();
+  wc.deterministic = true;
+  return server::World{wc};
+}
+
+VictimAppSpec plain_spec() {
+  VictimAppSpec s;
+  s.name = "TestBank";
+  return s;
+}
+
+TEST(VictimApp, LoginScreenShowsActivityWindow) {
+  auto world = make_world();
+  VictimApp app{world, plain_spec()};
+  app.open_login_screen();
+  EXPECT_EQ(world.wms().count(server::kVictimUid, ui::WindowType::kActivity), 1);
+  EXPECT_FALSE(app.ime().visible());
+}
+
+TEST(VictimApp, TapOnFieldFocusesAndShowsKeyboard) {
+  auto world = make_world();
+  VictimApp app{world, plain_spec()};
+  app.open_login_screen();
+  world.input().inject_tap(app.username_bounds().center(), ms(10));
+  world.run_until(ms(100));
+  EXPECT_EQ(app.focused(), kUsernameField);
+  EXPECT_TRUE(app.ime().visible());
+}
+
+TEST(VictimApp, TypingOnRealKeyboardFillsFocusedField) {
+  auto world = make_world();
+  VictimApp app{world, plain_spec()};
+  app.open_login_screen();
+  app.focus(kUsernameField);
+  input::TypistProfile precise;
+  precise.jitter_frac = 0.0;
+  precise.misspell_rate = 0.0;
+  input::Typist typist{precise, sim::Rng{1}};
+  const input::Keyboard kb{app.keyboard_bounds()};
+  for (const auto& pt : typist.plan(kb, "Bob7", ms(100))) {
+    world.loop().schedule_at(pt.at, [&world, pt] { world.input().inject_tap(pt.point); });
+  }
+  world.run_until(sim::seconds(5));
+  EXPECT_EQ(app.username_text(), "Bob7");
+}
+
+TEST(VictimApp, FocusSwitchEmitsWindowContentChanged) {
+  auto world = make_world();
+  VictimApp app{world, plain_spec()};
+  app.open_login_screen();
+  app.focus(kUsernameField);
+  app.focus(kPasswordField);
+  const auto& hist = app.bus().history();
+  // Leaving the username widget emits one TYPE_WINDOW_CONTENT_CHANGED.
+  bool found = false;
+  for (const auto& ev : hist) {
+    found |= ev.widget_id == kUsernameField &&
+             ev.type == AccessibilityEventType::kWindowContentChanged;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(VictimApp, TypingEmitsTwoEventsPerChar) {
+  // "When a user starts typing, two events (TYPE_VIEW_TEXT_CHANGED and
+  // TYPE_WINDOW_CONTENT_CHANGED) are sent by the input widget."
+  auto world = make_world();
+  VictimApp app{world, plain_spec()};
+  app.open_login_screen();
+  app.focus(kUsernameField);
+  const auto base = app.bus().history().size();
+  const input::Keyboard kb{app.keyboard_bounds()};
+  world.input().inject_tap(kb.layout(input::LayoutKind::kLower).find_char('x')->center(),
+                           ms(10));
+  world.run_until(sim::seconds(1));
+  const auto& hist = app.bus().history();
+  ASSERT_EQ(hist.size(), base + 2);
+  EXPECT_EQ(hist[base].type, AccessibilityEventType::kViewTextChanged);
+  EXPECT_EQ(hist[base].widget_id, kUsernameField);
+  EXPECT_EQ(hist[base + 1].type, AccessibilityEventType::kWindowContentChanged);
+  EXPECT_EQ(app.username_text(), "x");
+}
+
+TEST(VictimApp, AlipaySuppressesPasswordEvents) {
+  auto world = make_world();
+  VictimAppSpec spec = find_app("Alipay")->spec;
+  VictimApp app{world, spec};
+  app.open_login_screen();
+  app.focus(kPasswordField);
+  for (const auto& ev : app.bus().history()) {
+    EXPECT_NE(ev.widget_id, kPasswordField);
+  }
+  EXPECT_FALSE(app.password_ref_via_events().has_value());
+  EXPECT_TRUE(app.password_ref_via_parent().has_value());
+}
+
+TEST(VictimApp, SetTextByRefFillsWidget) {
+  auto world = make_world();
+  VictimApp app{world, plain_spec()};
+  app.open_login_screen();
+  const auto ref = app.password_ref_via_events();
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_TRUE(app.set_text_by_ref(*ref, "s3cret"));
+  EXPECT_EQ(app.password_text(), "s3cret");
+  EXPECT_FALSE(app.set_text_by_ref(WidgetRef{}, "x"));
+  EXPECT_FALSE(app.set_text_by_ref(WidgetRef{99}, "x"));
+}
+
+TEST(VictimApp, SignInRequiresPasswordAndEnter) {
+  auto world = make_world();
+  VictimApp app{world, plain_spec()};
+  app.open_login_screen();
+  app.focus(kPasswordField);
+  input::TypistProfile precise;
+  precise.jitter_frac = 0.0;
+  precise.misspell_rate = 0.0;
+  input::Typist typist{precise, sim::Rng{2}};
+  const input::Keyboard kb{app.keyboard_bounds()};
+  for (const auto& pt : typist.plan(kb, "pw", ms(100), /*press_enter=*/true)) {
+    world.loop().schedule_at(pt.at, [&world, pt] { world.input().inject_tap(pt.point); });
+  }
+  world.run_until(sim::seconds(5));
+  EXPECT_TRUE(app.signed_in());
+  EXPECT_EQ(app.password_text(), "pw");
+}
+
+TEST(Catalog, TableFourRoster) {
+  const auto apps = table_iv_apps();
+  ASSERT_EQ(apps.size(), 8u);
+  EXPECT_EQ(apps.front().spec.name, "Bank of America");
+  EXPECT_EQ(apps.front().spec.version, "8.1.16");
+  EXPECT_FALSE(apps.front().needs_extra_effort);
+  const auto* alipay = find_app("Alipay");
+  ASSERT_NE(alipay, nullptr);
+  EXPECT_TRUE(alipay->needs_extra_effort);
+  EXPECT_TRUE(alipay->spec.disables_password_accessibility);
+  EXPECT_EQ(find_app("WeChat"), nullptr);
+}
+
+}  // namespace
+}  // namespace animus::victim

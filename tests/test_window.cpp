@@ -1,0 +1,115 @@
+#include "ui/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ui/geometry.hpp"
+
+namespace animus::ui {
+namespace {
+
+using sim::ms;
+
+TEST(Geometry, RectContainment) {
+  const Rect r{10, 10, 100, 50};
+  EXPECT_TRUE(r.contains({10, 10}));
+  EXPECT_TRUE(r.contains({109, 59}));
+  EXPECT_FALSE(r.contains({110, 59}));  // exclusive right/bottom edge
+  EXPECT_FALSE(r.contains({9, 30}));
+  EXPECT_EQ(r.center().x, 60);
+  EXPECT_EQ(r.center().y, 35);
+  EXPECT_EQ(r.area(), 5000);
+}
+
+TEST(Geometry, RectIntersection) {
+  const Rect a{0, 0, 10, 10}, b{5, 5, 10, 10}, c{20, 20, 5, 5};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(Geometry, EuclideanDistance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(ZOrder, PaperComposition) {
+  // Section V: transparent overlays sit over the fake-keyboard toast,
+  // which sits over the real keyboard (input method).
+  EXPECT_GT(base_layer(WindowType::kAppOverlay), base_layer(WindowType::kToast));
+  EXPECT_GT(base_layer(WindowType::kToast), base_layer(WindowType::kInputMethod));
+  EXPECT_GT(base_layer(WindowType::kInputMethod), base_layer(WindowType::kActivity));
+  EXPECT_GT(base_layer(WindowType::kStatusBar), base_layer(WindowType::kAppOverlay));
+}
+
+TEST(Window, ToastsAreNeverTouchable) {
+  Window w;
+  w.type = WindowType::kToast;
+  EXPECT_FALSE(w.touchable());
+}
+
+TEST(Window, OverlayTouchableUnlessFlagged) {
+  Window w;
+  w.type = WindowType::kAppOverlay;
+  EXPECT_TRUE(w.touchable());
+  w.flags = kFlagNotTouchable;
+  EXPECT_FALSE(w.touchable());  // the clickjacking configuration
+}
+
+TEST(Window, StaticWindowIsOpaqueAfterAdd) {
+  Window w;
+  w.added_at = ms(100);
+  EXPECT_DOUBLE_EQ(w.alpha_at(ms(99)), 0.0);
+  EXPECT_DOUBLE_EQ(w.alpha_at(ms(100)), 1.0);
+}
+
+TEST(FadeAnimation, FadeInAlphaRises) {
+  FadeAnimation f;
+  f.animation = toast_fade_in();
+  f.start = ms(0);
+  f.fade_in = true;
+  EXPECT_DOUBLE_EQ(f.alpha_at(ms(0)), 0.0);
+  EXPECT_GT(f.alpha_at(ms(100)), 0.3);
+  EXPECT_DOUBLE_EQ(f.alpha_at(ms(500)), 1.0);
+  EXPECT_TRUE(f.finished_at(ms(500)));
+  EXPECT_FALSE(f.finished_at(ms(499)));
+}
+
+TEST(FadeAnimation, FadeOutAlphaStaysHighEarly) {
+  // The exploited property: 100 ms into the exit the toast still has
+  // ~96% alpha (frame-quantized y = x^2 fade).
+  FadeAnimation f;
+  f.animation = toast_fade_out();
+  f.start = ms(1000);
+  f.fade_in = false;
+  EXPECT_DOUBLE_EQ(f.alpha_at(ms(1000)), 1.0);
+  EXPECT_GT(f.alpha_at(ms(1100)), 0.94);
+  EXPECT_DOUBLE_EQ(f.alpha_at(ms(1500)), 0.0);
+}
+
+TEST(Window, FadingWindowUsesAnimationAlpha) {
+  Window w;
+  w.added_at = ms(0);
+  w.exit_fade = FadeAnimation{toast_fade_out(), ms(0), false};
+  EXPECT_LT(w.alpha_at(ms(400)), 0.5);
+}
+
+TEST(Window, HistoricalAlphaSurvivesExitAttachment) {
+  // A window that faded in at t=0 and started fading out at t=2000 must
+  // still answer alpha(t=100) from the *enter* animation — post-hoc
+  // flicker scans depend on it.
+  Window w;
+  w.added_at = ms(0);
+  w.enter_fade = FadeAnimation{toast_fade_in(), ms(0), true};
+  w.exit_fade = FadeAnimation{toast_fade_out(), ms(2000), false};
+  EXPECT_LT(w.alpha_at(ms(100)), 0.5);     // still fading in
+  EXPECT_DOUBLE_EQ(w.alpha_at(ms(1000)), 1.0);  // fully shown
+  EXPECT_LT(w.alpha_at(ms(2400)), 0.5);    // fading out
+}
+
+TEST(WindowType, NamesAreStable) {
+  EXPECT_EQ(to_string(WindowType::kToast), "toast");
+  EXPECT_EQ(to_string(WindowType::kAppOverlay), "app_overlay");
+}
+
+}  // namespace
+}  // namespace animus::ui

@@ -1,0 +1,175 @@
+#include "server/window_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/event_loop.hpp"
+#include "sim/trace.hpp"
+#include "ui/animation.hpp"
+
+namespace animus::server {
+namespace {
+
+using sim::ms;
+
+struct WmsFixture : ::testing::Test {
+  sim::EventLoop loop;
+  sim::TraceRecorder trace;
+  WindowManagerService wms{loop, trace};
+
+  ui::Window overlay(int uid, ui::Rect r = {0, 0, 100, 100}) {
+    ui::Window w;
+    w.owner_uid = uid;
+    w.type = ui::WindowType::kAppOverlay;
+    w.bounds = r;
+    w.content = "attack:overlay";
+    return w;
+  }
+};
+
+TEST_F(WmsFixture, AddAssignsIdsAndTimestamps) {
+  loop.run_until(ms(5));
+  const auto id = wms.add_window_now(overlay(1));
+  EXPECT_NE(id, ui::kInvalidWindow);
+  const auto* rec = wms.find(id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->window.added_at, ms(5));
+  EXPECT_TRUE(rec->alive_at(ms(5)));
+  EXPECT_FALSE(rec->alive_at(ms(4)));
+}
+
+TEST_F(WmsFixture, RemoveIsInstantAndIdempotent) {
+  const auto id = wms.add_window_now(overlay(1));
+  loop.run_until(ms(10));
+  EXPECT_TRUE(wms.remove_window_now(id));
+  EXPECT_FALSE(wms.remove_window_now(id));
+  EXPECT_FALSE(wms.alive_at(id, ms(10)));
+  EXPECT_TRUE(wms.alive_at(id, ms(9)));  // history preserved
+}
+
+TEST_F(WmsFixture, OverlayCountTracksPerUid) {
+  wms.add_window_now(overlay(1));
+  const auto id2 = wms.add_window_now(overlay(1));
+  wms.add_window_now(overlay(2));
+  EXPECT_EQ(wms.overlay_count(1), 2);
+  EXPECT_EQ(wms.overlay_count(2), 1);
+  wms.remove_window_now(id2);
+  EXPECT_EQ(wms.overlay_count(1), 1);
+  EXPECT_EQ(wms.overlay_count(3), 0);
+}
+
+TEST_F(WmsFixture, TopmostHonoursLayersAndRecency) {
+  ui::Window act;
+  act.owner_uid = 1;
+  act.type = ui::WindowType::kActivity;
+  act.bounds = {0, 0, 200, 200};
+  wms.add_window_now(act);
+
+  ui::Window ime = act;
+  ime.type = ui::WindowType::kInputMethod;
+  const auto ime_id = wms.add_window_now(ime);
+
+  const auto ov_id = wms.add_window_now(overlay(2, {0, 0, 200, 200}));
+
+  const auto* top = wms.topmost_touchable_at({50, 50}, loop.now());
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(top->window.id, ov_id);  // overlay above IME
+
+  wms.remove_window_now(ov_id);
+  top = wms.topmost_touchable_at({50, 50}, loop.now());
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(top->window.id, ime_id);
+}
+
+TEST_F(WmsFixture, ToastIsVisibleButNeverTouchTarget) {
+  ui::Window act;
+  act.owner_uid = 1;
+  act.type = ui::WindowType::kActivity;
+  act.bounds = {0, 0, 200, 200};
+  const auto act_id = wms.add_window_now(act);
+
+  ui::Window toast;
+  toast.owner_uid = 2;
+  toast.bounds = {0, 0, 200, 200};
+  toast.content = "fake";
+  const auto toast_id = wms.add_toast_now(toast);
+  loop.run_until(ms(600));  // fade-in complete
+
+  EXPECT_EQ(wms.topmost_at({10, 10}, loop.now())->window.id, toast_id);
+  EXPECT_EQ(wms.topmost_touchable_at({10, 10}, loop.now())->window.id, act_id);
+}
+
+TEST_F(WmsFixture, NonTouchableOverlayPassesThrough) {
+  ui::Window act;
+  act.owner_uid = 1;
+  act.type = ui::WindowType::kActivity;
+  act.bounds = {0, 0, 200, 200};
+  const auto act_id = wms.add_window_now(act);
+
+  auto ov = overlay(2, {0, 0, 200, 200});
+  ov.flags = ui::kFlagNotTouchable;  // clickjacking configuration
+  wms.add_window_now(ov);
+  EXPECT_EQ(wms.topmost_touchable_at({10, 10}, loop.now())->window.id, act_id);
+}
+
+TEST_F(WmsFixture, HitTestRespectsBounds) {
+  wms.add_window_now(overlay(1, {100, 100, 50, 50}));
+  EXPECT_EQ(wms.topmost_touchable_at({10, 10}, loop.now()), nullptr);
+  EXPECT_NE(wms.topmost_touchable_at({120, 120}, loop.now()), nullptr);
+}
+
+TEST_F(WmsFixture, ToastFadeInRaisesAlpha) {
+  ui::Window toast;
+  toast.owner_uid = 7;
+  toast.content = "fake_keyboard:lower";
+  const auto id = wms.add_toast_now(toast);
+  (void)id;
+  EXPECT_LT(wms.max_alpha_at(7, "fake_keyboard", ms(50)), 0.5);
+  loop.run_until(ms(600));
+  EXPECT_DOUBLE_EQ(wms.max_alpha_at(7, "fake_keyboard", ms(600)), 1.0);
+}
+
+TEST_F(WmsFixture, FadeOutRemovesAfterAnimation) {
+  ui::Window toast;
+  toast.owner_uid = 7;
+  toast.content = "fake_keyboard:lower";
+  const auto id = wms.add_toast_now(toast);
+  loop.run_until(ms(1000));
+  EXPECT_TRUE(wms.fade_out_and_remove(id));
+  // Early in the fade-out the toast is still nearly opaque (y = x^2).
+  EXPECT_GT(wms.max_alpha_at(7, "fake_keyboard", ms(1100)), 0.9);
+  loop.run_until(ms(1500));
+  EXPECT_FALSE(wms.alive_at(id, ms(1500)));
+  EXPECT_DOUBLE_EQ(wms.max_alpha_at(7, "fake_keyboard", ms(1500)), 0.0);
+}
+
+TEST_F(WmsFixture, CombinedAlphaStacksOverlappingToasts) {
+  ui::Window a;
+  a.owner_uid = 7;
+  a.content = "fake_keyboard:lower";
+  const auto ida = wms.add_toast_now(a);
+  loop.run_until(ms(2000));
+  wms.fade_out_and_remove(ida);
+  ui::Window b = a;
+  loop.run_until(ms(2015));  // Tas later
+  wms.add_toast_now(b);
+  // Mid-switch: each surface alone dips well below 1, but combined
+  // coverage stays high — the paper's "no flicker" claim.
+  double min_combined = 1.0;
+  for (int t = 2015; t <= 2500; t += 10) {
+    min_combined = std::min(min_combined, wms.combined_alpha_at(7, "fake_keyboard", ms(t)));
+  }
+  EXPECT_GT(min_combined, 0.85);
+}
+
+TEST_F(WmsFixture, LiveCountAndHistory) {
+  const auto a = wms.add_window_now(overlay(1));
+  wms.add_window_now(overlay(1));
+  EXPECT_EQ(wms.live_count(), 2u);
+  wms.remove_window_now(a);
+  EXPECT_EQ(wms.live_count(), 1u);
+  EXPECT_EQ(wms.total_added(), 2u);
+  EXPECT_EQ(wms.history().size(), 2u);
+}
+
+}  // namespace
+}  // namespace animus::server

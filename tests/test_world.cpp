@@ -1,0 +1,160 @@
+#include "server/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "device/registry.hpp"
+#include "input/ime.hpp"
+#include "input/typist.hpp"
+#include "victim/catalog.hpp"
+
+namespace animus::server {
+namespace {
+
+using sim::ms;
+using sim::seconds;
+
+WorldConfig base_config() {
+  WorldConfig wc;
+  wc.profile = device::reference_device_android9();
+  wc.seed = 11;
+  return wc;
+}
+
+TEST(World, ServicesWiredToSameLoop) {
+  World world{base_config()};
+  EXPECT_EQ(world.now(), sim::SimTime{0});
+  world.run_until(seconds(1));
+  EXPECT_EQ(world.now(), seconds(1));
+  EXPECT_EQ(world.loop().pending(), 0u);
+}
+
+TEST(World, ActorsAreOwnedAndNamed) {
+  World world{base_config()};
+  sim::Actor& a = world.new_actor("worker");
+  EXPECT_EQ(a.name(), "worker");
+  bool ran = false;
+  a.post(ms(5), ms(1), [&ran] { ran = true; });
+  world.run_all();
+  EXPECT_TRUE(ran);
+}
+
+TEST(World, ForkedRngsAreStablePerLabel) {
+  World a{base_config()};
+  World b{base_config()};
+  EXPECT_EQ(a.fork_rng("x").next_u64(), b.fork_rng("x").next_u64());
+  EXPECT_NE(a.fork_rng("x").next_u64(), a.fork_rng("y").next_u64());
+}
+
+TEST(World, DeterministicFlagPropagates) {
+  WorldConfig wc = base_config();
+  wc.deterministic = true;
+  World world{wc};
+  EXPECT_TRUE(world.server().deterministic());
+}
+
+TEST(World, TraceCanBeDisabled) {
+  WorldConfig wc = base_config();
+  wc.trace_enabled = false;
+  World world{wc};
+  world.server().grant_overlay_permission(kMalwareUid);
+  OverlaySpec spec;
+  spec.bounds = {0, 0, 100, 100};
+  world.server().add_view(kMalwareUid, spec);
+  world.run_until(seconds(1));
+  EXPECT_EQ(world.trace().size(), 0u);
+}
+
+TEST(StatusBar, IconAppearsWithCompletedAlert) {
+  World world{base_config()};
+  world.server().grant_overlay_permission(kMalwareUid);
+  OverlaySpec spec;
+  spec.bounds = {0, 0, 100, 100};
+  const auto h = world.server().add_view(kMalwareUid, spec);
+  world.run_until(seconds(2));
+  EXPECT_TRUE(world.system_ui().status_bar_has_icon(kMalwareUid));
+  EXPECT_EQ(world.system_ui().status_bar_icon_count(), 1);
+  world.server().remove_view(kMalwareUid, h);
+  world.run_until(seconds(4));
+  EXPECT_FALSE(world.system_ui().status_bar_has_icon(kMalwareUid));
+  EXPECT_EQ(world.system_ui().status_bar_icon_count(), 0);
+}
+
+TEST(StatusBar, CapacityIsFourIcons) {
+  World world{base_config()};
+  for (int uid = 100; uid < 106; ++uid) {
+    world.server().grant_overlay_permission(uid);
+    OverlaySpec spec;
+    spec.bounds = {0, 0, 100, 100};
+    world.server().add_view(uid, spec);
+  }
+  world.run_until(seconds(3));
+  EXPECT_EQ(world.system_ui().status_bar_icon_count(), kStatusBarIconCapacity);
+}
+
+TEST(StatusBar, SuppressedAlertNeverReachesStatusBar) {
+  World world{base_config()};
+  world.server().grant_overlay_permission(kMalwareUid);
+  core::CaptureTrialConfig unused;  // (keeps include honest)
+  (void)unused;
+  // Draw-and-destroy below the bound: no icon at any point.
+  OverlaySpec spec;
+  spec.bounds = {0, 0, 100, 100};
+  ViewHandle h = world.server().add_view(kMalwareUid, spec);
+  for (int i = 1; i <= 20; ++i) {
+    world.loop().schedule_at(ms(190 * i), [&world, &h] {
+      world.server().remove_view(kMalwareUid, h);
+      OverlaySpec s2;
+      s2.bounds = {0, 0, 100, 100};
+      h = world.server().add_view(kMalwareUid, s2);
+    });
+  }
+  // While the draw-and-destroy churn is active, no icon ever lands.
+  world.run_until(ms(3800));
+  EXPECT_EQ(world.system_ui().status_bar_icon_count(), 0);
+  // Once the churn stops, the surviving overlay's alert completes and
+  // the icon appears — the suppression only works while cycling.
+  world.run_until(seconds(6));
+  EXPECT_EQ(world.system_ui().status_bar_icon_count(), 1);
+}
+
+TEST(Trials, PasswordTrialIsDeterministicPerConfig) {
+  core::PasswordTrialConfig c;
+  c.profile = device::reference_device_android9();
+  c.app = victim::find_app("Skype")->spec;
+  c.typist = input::participant_panel()[3];
+  c.password = "aB3$xy";
+  c.seed = 77;
+  const auto r1 = core::run_password_trial(c);
+  const auto r2 = core::run_password_trial(c);
+  EXPECT_EQ(r1.decoded, r2.decoded);
+  EXPECT_EQ(r1.success, r2.success);
+  EXPECT_EQ(r1.captured_touches, r2.captured_touches);
+}
+
+TEST(Trials, CaptureTrialIsDeterministicPerConfig) {
+  core::CaptureTrialConfig c;
+  c.profile = device::reference_device_android9();
+  c.typist = input::participant_panel()[4];
+  c.attacking_window = ms(125);
+  c.seed = 5;
+  EXPECT_EQ(core::run_capture_trial(c).captured, core::run_capture_trial(c).captured);
+}
+
+TEST(Trials, DifferentSeedsDiffer) {
+  core::CaptureTrialConfig c;
+  c.profile = device::reference_device_android9();
+  c.typist = input::participant_panel()[4];
+  c.attacking_window = ms(75);
+  c.seed = 5;
+  const auto a = core::run_capture_trial(c);
+  c.seed = 6;
+  const auto b = core::run_capture_trial(c);
+  // Touch plans differ; almost surely different capture counts or at
+  // least different alert stats — compare the full tuple loosely.
+  EXPECT_TRUE(a.captured != b.captured || a.alert.shows != b.alert.shows ||
+              a.rate != b.rate);
+}
+
+}  // namespace
+}  // namespace animus::server
