@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_notification_drawer.dir/fig01_notification_drawer.cpp.o"
+  "CMakeFiles/fig01_notification_drawer.dir/fig01_notification_drawer.cpp.o.d"
+  "fig01_notification_drawer"
+  "fig01_notification_drawer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_notification_drawer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_notification_interpolator.dir/fig02_notification_interpolator.cpp.o"
+  "CMakeFiles/fig02_notification_interpolator.dir/fig02_notification_interpolator.cpp.o.d"
+  "fig02_notification_interpolator"
+  "fig02_notification_interpolator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_notification_interpolator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_fig05_workflows.dir/fig03_fig05_workflows.cpp.o"
+  "CMakeFiles/fig03_fig05_workflows.dir/fig03_fig05_workflows.cpp.o.d"
+  "fig03_fig05_workflows"
+  "fig03_fig05_workflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_fig05_workflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

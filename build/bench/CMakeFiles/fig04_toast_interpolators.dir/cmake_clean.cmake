@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_toast_interpolators.dir/fig04_toast_interpolators.cpp.o"
+  "CMakeFiles/fig04_toast_interpolators.dir/fig04_toast_interpolators.cpp.o.d"
+  "fig04_toast_interpolators"
+  "fig04_toast_interpolators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_toast_interpolators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_toast_interpolators.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_toast_interpolators.
+# This may be replaced when dependencies are built.

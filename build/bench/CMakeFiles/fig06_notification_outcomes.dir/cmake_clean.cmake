@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_notification_outcomes.dir/fig06_notification_outcomes.cpp.o"
+  "CMakeFiles/fig06_notification_outcomes.dir/fig06_notification_outcomes.cpp.o.d"
+  "fig06_notification_outcomes"
+  "fig06_notification_outcomes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_notification_outcomes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_capture_rate.dir/fig07_capture_rate.cpp.o"
+  "CMakeFiles/fig07_capture_rate.dir/fig07_capture_rate.cpp.o.d"
+  "fig07_capture_rate"
+  "fig07_capture_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_capture_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_capture_by_version.dir/fig08_capture_by_version.cpp.o"
+  "CMakeFiles/fig08_capture_by_version.dir/fig08_capture_by_version.cpp.o.d"
+  "fig08_capture_by_version"
+  "fig08_capture_by_version.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_capture_by_version.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

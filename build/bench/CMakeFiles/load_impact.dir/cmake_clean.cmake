@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_impact.dir/load_impact.cpp.o"
+  "CMakeFiles/load_impact.dir/load_impact.cpp.o.d"
+  "load_impact"
+  "load_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

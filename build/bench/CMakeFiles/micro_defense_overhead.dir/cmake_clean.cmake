@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_defense_overhead.dir/micro_defense_overhead.cpp.o"
+  "CMakeFiles/micro_defense_overhead.dir/micro_defense_overhead.cpp.o.d"
+  "micro_defense_overhead"
+  "micro_defense_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_defense_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prevalence_analysis.dir/prevalence_analysis.cpp.o"
+  "CMakeFiles/prevalence_analysis.dir/prevalence_analysis.cpp.o.d"
+  "prevalence_analysis"
+  "prevalence_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prevalence_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

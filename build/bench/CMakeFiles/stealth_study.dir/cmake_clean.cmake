@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stealth_study.dir/stealth_study.cpp.o"
+  "CMakeFiles/stealth_study.dir/stealth_study.cpp.o.d"
+  "stealth_study"
+  "stealth_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stealth_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_devices.dir/table01_devices.cpp.o"
+  "CMakeFiles/table01_devices.dir/table01_devices.cpp.o.d"
+  "table01_devices"
+  "table01_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

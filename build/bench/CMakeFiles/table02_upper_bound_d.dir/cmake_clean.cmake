@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_upper_bound_d.dir/table02_upper_bound_d.cpp.o"
+  "CMakeFiles/table02_upper_bound_d.dir/table02_upper_bound_d.cpp.o.d"
+  "table02_upper_bound_d"
+  "table02_upper_bound_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_upper_bound_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_password_stealing.dir/table03_password_stealing.cpp.o"
+  "CMakeFiles/table03_password_stealing.dir/table03_password_stealing.cpp.o.d"
+  "table03_password_stealing"
+  "table03_password_stealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_password_stealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_victim_apps.dir/table04_victim_apps.cpp.o"
+  "CMakeFiles/table04_victim_apps.dir/table04_victim_apps.cpp.o.d"
+  "table04_victim_apps"
+  "table04_victim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_victim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

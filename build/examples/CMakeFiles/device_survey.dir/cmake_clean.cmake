@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_survey.dir/device_survey.cpp.o"
+  "CMakeFiles/device_survey.dir/device_survey.cpp.o.d"
+  "device_survey"
+  "device_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/password_heist.dir/password_heist.cpp.o"
+  "CMakeFiles/password_heist.dir/password_heist.cpp.o.d"
+  "password_heist"
+  "password_heist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/password_heist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

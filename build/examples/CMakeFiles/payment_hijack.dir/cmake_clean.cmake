@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payment_hijack.dir/payment_hijack.cpp.o"
+  "CMakeFiles/payment_hijack.dir/payment_hijack.cpp.o.d"
+  "payment_hijack"
+  "payment_hijack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payment_hijack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for payment_hijack.
+# This may be replaced when dependencies are built.

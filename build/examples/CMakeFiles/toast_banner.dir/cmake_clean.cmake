@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toast_banner.dir/toast_banner.cpp.o"
+  "CMakeFiles/toast_banner.dir/toast_banner.cpp.o.d"
+  "toast_banner"
+  "toast_banner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toast_banner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

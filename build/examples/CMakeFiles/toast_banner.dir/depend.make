@@ -1,0 +1,2 @@
+# Empty dependencies file for toast_banner.
+# This may be replaced when dependencies are built.

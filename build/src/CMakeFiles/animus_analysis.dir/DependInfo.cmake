@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/apk.cpp" "src/CMakeFiles/animus_analysis.dir/analysis/apk.cpp.o" "gcc" "src/CMakeFiles/animus_analysis.dir/analysis/apk.cpp.o.d"
+  "/root/repo/src/analysis/corpus.cpp" "src/CMakeFiles/animus_analysis.dir/analysis/corpus.cpp.o" "gcc" "src/CMakeFiles/animus_analysis.dir/analysis/corpus.cpp.o.d"
+  "/root/repo/src/analysis/dex.cpp" "src/CMakeFiles/animus_analysis.dir/analysis/dex.cpp.o" "gcc" "src/CMakeFiles/animus_analysis.dir/analysis/dex.cpp.o.d"
+  "/root/repo/src/analysis/manifest.cpp" "src/CMakeFiles/animus_analysis.dir/analysis/manifest.cpp.o" "gcc" "src/CMakeFiles/animus_analysis.dir/analysis/manifest.cpp.o.d"
+  "/root/repo/src/analysis/scanner.cpp" "src/CMakeFiles/animus_analysis.dir/analysis/scanner.cpp.o" "gcc" "src/CMakeFiles/animus_analysis.dir/analysis/scanner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/animus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animus_analysis.dir/analysis/apk.cpp.o"
+  "CMakeFiles/animus_analysis.dir/analysis/apk.cpp.o.d"
+  "CMakeFiles/animus_analysis.dir/analysis/corpus.cpp.o"
+  "CMakeFiles/animus_analysis.dir/analysis/corpus.cpp.o.d"
+  "CMakeFiles/animus_analysis.dir/analysis/dex.cpp.o"
+  "CMakeFiles/animus_analysis.dir/analysis/dex.cpp.o.d"
+  "CMakeFiles/animus_analysis.dir/analysis/manifest.cpp.o"
+  "CMakeFiles/animus_analysis.dir/analysis/manifest.cpp.o.d"
+  "CMakeFiles/animus_analysis.dir/analysis/scanner.cpp.o"
+  "CMakeFiles/animus_analysis.dir/analysis/scanner.cpp.o.d"
+  "libanimus_analysis.a"
+  "libanimus_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animus_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attack_analysis.cpp" "src/CMakeFiles/animus_core.dir/core/attack_analysis.cpp.o" "gcc" "src/CMakeFiles/animus_core.dir/core/attack_analysis.cpp.o.d"
+  "/root/repo/src/core/deception.cpp" "src/CMakeFiles/animus_core.dir/core/deception.cpp.o" "gcc" "src/CMakeFiles/animus_core.dir/core/deception.cpp.o.d"
+  "/root/repo/src/core/overlay_attack.cpp" "src/CMakeFiles/animus_core.dir/core/overlay_attack.cpp.o" "gcc" "src/CMakeFiles/animus_core.dir/core/overlay_attack.cpp.o.d"
+  "/root/repo/src/core/password_stealer.cpp" "src/CMakeFiles/animus_core.dir/core/password_stealer.cpp.o" "gcc" "src/CMakeFiles/animus_core.dir/core/password_stealer.cpp.o.d"
+  "/root/repo/src/core/payment_hijack.cpp" "src/CMakeFiles/animus_core.dir/core/payment_hijack.cpp.o" "gcc" "src/CMakeFiles/animus_core.dir/core/payment_hijack.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/animus_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/animus_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/toast_attack.cpp" "src/CMakeFiles/animus_core.dir/core/toast_attack.cpp.o" "gcc" "src/CMakeFiles/animus_core.dir/core/toast_attack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/animus_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_input.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_victim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_percept.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_sidechannel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_ui.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

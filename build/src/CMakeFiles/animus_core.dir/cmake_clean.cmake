@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animus_core.dir/core/attack_analysis.cpp.o"
+  "CMakeFiles/animus_core.dir/core/attack_analysis.cpp.o.d"
+  "CMakeFiles/animus_core.dir/core/deception.cpp.o"
+  "CMakeFiles/animus_core.dir/core/deception.cpp.o.d"
+  "CMakeFiles/animus_core.dir/core/overlay_attack.cpp.o"
+  "CMakeFiles/animus_core.dir/core/overlay_attack.cpp.o.d"
+  "CMakeFiles/animus_core.dir/core/password_stealer.cpp.o"
+  "CMakeFiles/animus_core.dir/core/password_stealer.cpp.o.d"
+  "CMakeFiles/animus_core.dir/core/payment_hijack.cpp.o"
+  "CMakeFiles/animus_core.dir/core/payment_hijack.cpp.o.d"
+  "CMakeFiles/animus_core.dir/core/report.cpp.o"
+  "CMakeFiles/animus_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/animus_core.dir/core/toast_attack.cpp.o"
+  "CMakeFiles/animus_core.dir/core/toast_attack.cpp.o.d"
+  "libanimus_core.a"
+  "libanimus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animus_defense.dir/defense/enforcement.cpp.o"
+  "CMakeFiles/animus_defense.dir/defense/enforcement.cpp.o.d"
+  "CMakeFiles/animus_defense.dir/defense/ipc_defense.cpp.o"
+  "CMakeFiles/animus_defense.dir/defense/ipc_defense.cpp.o.d"
+  "CMakeFiles/animus_defense.dir/defense/notification_defense.cpp.o"
+  "CMakeFiles/animus_defense.dir/defense/notification_defense.cpp.o.d"
+  "CMakeFiles/animus_defense.dir/defense/toast_defense.cpp.o"
+  "CMakeFiles/animus_defense.dir/defense/toast_defense.cpp.o.d"
+  "libanimus_defense.a"
+  "libanimus_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animus_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

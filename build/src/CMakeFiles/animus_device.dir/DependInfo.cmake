@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/android_version.cpp" "src/CMakeFiles/animus_device.dir/device/android_version.cpp.o" "gcc" "src/CMakeFiles/animus_device.dir/device/android_version.cpp.o.d"
+  "/root/repo/src/device/profile.cpp" "src/CMakeFiles/animus_device.dir/device/profile.cpp.o" "gcc" "src/CMakeFiles/animus_device.dir/device/profile.cpp.o.d"
+  "/root/repo/src/device/registry.cpp" "src/CMakeFiles/animus_device.dir/device/registry.cpp.o" "gcc" "src/CMakeFiles/animus_device.dir/device/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/animus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_ui.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_ipc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animus_device.dir/device/android_version.cpp.o"
+  "CMakeFiles/animus_device.dir/device/android_version.cpp.o.d"
+  "CMakeFiles/animus_device.dir/device/profile.cpp.o"
+  "CMakeFiles/animus_device.dir/device/profile.cpp.o.d"
+  "CMakeFiles/animus_device.dir/device/registry.cpp.o"
+  "CMakeFiles/animus_device.dir/device/registry.cpp.o.d"
+  "libanimus_device.a"
+  "libanimus_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animus_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/input/ime.cpp" "src/CMakeFiles/animus_input.dir/input/ime.cpp.o" "gcc" "src/CMakeFiles/animus_input.dir/input/ime.cpp.o.d"
+  "/root/repo/src/input/keyboard.cpp" "src/CMakeFiles/animus_input.dir/input/keyboard.cpp.o" "gcc" "src/CMakeFiles/animus_input.dir/input/keyboard.cpp.o.d"
+  "/root/repo/src/input/password.cpp" "src/CMakeFiles/animus_input.dir/input/password.cpp.o" "gcc" "src/CMakeFiles/animus_input.dir/input/password.cpp.o.d"
+  "/root/repo/src/input/typist.cpp" "src/CMakeFiles/animus_input.dir/input/typist.cpp.o" "gcc" "src/CMakeFiles/animus_input.dir/input/typist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/animus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_ui.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_ipc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

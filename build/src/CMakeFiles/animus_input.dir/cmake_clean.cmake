@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animus_input.dir/input/ime.cpp.o"
+  "CMakeFiles/animus_input.dir/input/ime.cpp.o.d"
+  "CMakeFiles/animus_input.dir/input/keyboard.cpp.o"
+  "CMakeFiles/animus_input.dir/input/keyboard.cpp.o.d"
+  "CMakeFiles/animus_input.dir/input/password.cpp.o"
+  "CMakeFiles/animus_input.dir/input/password.cpp.o.d"
+  "CMakeFiles/animus_input.dir/input/typist.cpp.o"
+  "CMakeFiles/animus_input.dir/input/typist.cpp.o.d"
+  "libanimus_input.a"
+  "libanimus_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animus_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animus_ipc.dir/ipc/binder.cpp.o"
+  "CMakeFiles/animus_ipc.dir/ipc/binder.cpp.o.d"
+  "CMakeFiles/animus_ipc.dir/ipc/transaction_log.cpp.o"
+  "CMakeFiles/animus_ipc.dir/ipc/transaction_log.cpp.o.d"
+  "libanimus_ipc.a"
+  "libanimus_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animus_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

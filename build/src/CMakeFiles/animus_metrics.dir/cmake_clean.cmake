@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animus_metrics.dir/metrics/histogram.cpp.o"
+  "CMakeFiles/animus_metrics.dir/metrics/histogram.cpp.o.d"
+  "CMakeFiles/animus_metrics.dir/metrics/stats.cpp.o"
+  "CMakeFiles/animus_metrics.dir/metrics/stats.cpp.o.d"
+  "CMakeFiles/animus_metrics.dir/metrics/table.cpp.o"
+  "CMakeFiles/animus_metrics.dir/metrics/table.cpp.o.d"
+  "libanimus_metrics.a"
+  "libanimus_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animus_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animus_percept.dir/percept/flicker.cpp.o"
+  "CMakeFiles/animus_percept.dir/percept/flicker.cpp.o.d"
+  "CMakeFiles/animus_percept.dir/percept/outcomes.cpp.o"
+  "CMakeFiles/animus_percept.dir/percept/outcomes.cpp.o.d"
+  "CMakeFiles/animus_percept.dir/percept/survey.cpp.o"
+  "CMakeFiles/animus_percept.dir/percept/survey.cpp.o.d"
+  "libanimus_percept.a"
+  "libanimus_percept.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animus_percept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animus_script.dir/script/scenario.cpp.o"
+  "CMakeFiles/animus_script.dir/script/scenario.cpp.o.d"
+  "libanimus_script.a"
+  "libanimus_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animus_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/input_dispatcher.cpp" "src/CMakeFiles/animus_server.dir/server/input_dispatcher.cpp.o" "gcc" "src/CMakeFiles/animus_server.dir/server/input_dispatcher.cpp.o.d"
+  "/root/repo/src/server/notification_manager.cpp" "src/CMakeFiles/animus_server.dir/server/notification_manager.cpp.o" "gcc" "src/CMakeFiles/animus_server.dir/server/notification_manager.cpp.o.d"
+  "/root/repo/src/server/system_server.cpp" "src/CMakeFiles/animus_server.dir/server/system_server.cpp.o" "gcc" "src/CMakeFiles/animus_server.dir/server/system_server.cpp.o.d"
+  "/root/repo/src/server/system_ui.cpp" "src/CMakeFiles/animus_server.dir/server/system_ui.cpp.o" "gcc" "src/CMakeFiles/animus_server.dir/server/system_ui.cpp.o.d"
+  "/root/repo/src/server/window_manager.cpp" "src/CMakeFiles/animus_server.dir/server/window_manager.cpp.o" "gcc" "src/CMakeFiles/animus_server.dir/server/window_manager.cpp.o.d"
+  "/root/repo/src/server/world.cpp" "src/CMakeFiles/animus_server.dir/server/world.cpp.o" "gcc" "src/CMakeFiles/animus_server.dir/server/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/animus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_ui.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animus_server.dir/server/input_dispatcher.cpp.o"
+  "CMakeFiles/animus_server.dir/server/input_dispatcher.cpp.o.d"
+  "CMakeFiles/animus_server.dir/server/notification_manager.cpp.o"
+  "CMakeFiles/animus_server.dir/server/notification_manager.cpp.o.d"
+  "CMakeFiles/animus_server.dir/server/system_server.cpp.o"
+  "CMakeFiles/animus_server.dir/server/system_server.cpp.o.d"
+  "CMakeFiles/animus_server.dir/server/system_ui.cpp.o"
+  "CMakeFiles/animus_server.dir/server/system_ui.cpp.o.d"
+  "CMakeFiles/animus_server.dir/server/window_manager.cpp.o"
+  "CMakeFiles/animus_server.dir/server/window_manager.cpp.o.d"
+  "CMakeFiles/animus_server.dir/server/world.cpp.o"
+  "CMakeFiles/animus_server.dir/server/world.cpp.o.d"
+  "libanimus_server.a"
+  "libanimus_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animus_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

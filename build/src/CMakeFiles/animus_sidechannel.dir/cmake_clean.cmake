@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animus_sidechannel.dir/sidechannel/shared_mem.cpp.o"
+  "CMakeFiles/animus_sidechannel.dir/sidechannel/shared_mem.cpp.o.d"
+  "libanimus_sidechannel.a"
+  "libanimus_sidechannel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animus_sidechannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

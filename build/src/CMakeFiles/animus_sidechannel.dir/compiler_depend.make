@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for animus_sidechannel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animus_sim.dir/sim/actor.cpp.o"
+  "CMakeFiles/animus_sim.dir/sim/actor.cpp.o.d"
+  "CMakeFiles/animus_sim.dir/sim/chrome_trace.cpp.o"
+  "CMakeFiles/animus_sim.dir/sim/chrome_trace.cpp.o.d"
+  "CMakeFiles/animus_sim.dir/sim/event_loop.cpp.o"
+  "CMakeFiles/animus_sim.dir/sim/event_loop.cpp.o.d"
+  "CMakeFiles/animus_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/animus_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/animus_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/animus_sim.dir/sim/trace.cpp.o.d"
+  "libanimus_sim.a"
+  "libanimus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animus_ui.dir/ui/animation.cpp.o"
+  "CMakeFiles/animus_ui.dir/ui/animation.cpp.o.d"
+  "CMakeFiles/animus_ui.dir/ui/interpolator.cpp.o"
+  "CMakeFiles/animus_ui.dir/ui/interpolator.cpp.o.d"
+  "CMakeFiles/animus_ui.dir/ui/window.cpp.o"
+  "CMakeFiles/animus_ui.dir/ui/window.cpp.o.d"
+  "libanimus_ui.a"
+  "libanimus_ui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animus_ui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

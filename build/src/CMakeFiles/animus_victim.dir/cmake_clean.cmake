@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animus_victim.dir/victim/accessibility.cpp.o"
+  "CMakeFiles/animus_victim.dir/victim/accessibility.cpp.o.d"
+  "CMakeFiles/animus_victim.dir/victim/catalog.cpp.o"
+  "CMakeFiles/animus_victim.dir/victim/catalog.cpp.o.d"
+  "CMakeFiles/animus_victim.dir/victim/payment_app.cpp.o"
+  "CMakeFiles/animus_victim.dir/victim/payment_app.cpp.o.d"
+  "CMakeFiles/animus_victim.dir/victim/victim_app.cpp.o"
+  "CMakeFiles/animus_victim.dir/victim/victim_app.cpp.o.d"
+  "libanimus_victim.a"
+  "libanimus_victim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animus_victim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_animation.dir/test_animation.cpp.o"
+  "CMakeFiles/test_animation.dir/test_animation.cpp.o.d"
+  "test_animation"
+  "test_animation.pdb"
+  "test_animation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_animation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

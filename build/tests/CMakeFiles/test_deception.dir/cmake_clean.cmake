@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deception.dir/test_deception.cpp.o"
+  "CMakeFiles/test_deception.dir/test_deception.cpp.o.d"
+  "test_deception"
+  "test_deception.pdb"
+  "test_deception[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_deception.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_enforcement.dir/test_enforcement.cpp.o"
+  "CMakeFiles/test_enforcement.dir/test_enforcement.cpp.o.d"
+  "test_enforcement"
+  "test_enforcement.pdb"
+  "test_enforcement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_enforcement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ime.dir/test_ime.cpp.o"
+  "CMakeFiles/test_ime.dir/test_ime.cpp.o.d"
+  "test_ime"
+  "test_ime.pdb"
+  "test_ime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_input_dispatcher.dir/test_input_dispatcher.cpp.o"
+  "CMakeFiles/test_input_dispatcher.dir/test_input_dispatcher.cpp.o.d"
+  "test_input_dispatcher"
+  "test_input_dispatcher.pdb"
+  "test_input_dispatcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_input_dispatcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interpolator.dir/test_interpolator.cpp.o"
+  "CMakeFiles/test_interpolator.dir/test_interpolator.cpp.o.d"
+  "test_interpolator"
+  "test_interpolator.pdb"
+  "test_interpolator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interpolator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

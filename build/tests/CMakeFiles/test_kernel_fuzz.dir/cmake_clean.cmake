@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_fuzz.dir/test_kernel_fuzz.cpp.o"
+  "CMakeFiles/test_kernel_fuzz.dir/test_kernel_fuzz.cpp.o.d"
+  "test_kernel_fuzz"
+  "test_kernel_fuzz.pdb"
+  "test_kernel_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_keyboard.dir/test_keyboard.cpp.o"
+  "CMakeFiles/test_keyboard.dir/test_keyboard.cpp.o.d"
+  "test_keyboard"
+  "test_keyboard.pdb"
+  "test_keyboard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_keyboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_app.dir/test_multi_app.cpp.o"
+  "CMakeFiles/test_multi_app.dir/test_multi_app.cpp.o.d"
+  "test_multi_app"
+  "test_multi_app.pdb"
+  "test_multi_app[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overlay_attack.dir/test_overlay_attack.cpp.o"
+  "CMakeFiles/test_overlay_attack.dir/test_overlay_attack.cpp.o.d"
+  "test_overlay_attack"
+  "test_overlay_attack.pdb"
+  "test_overlay_attack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overlay_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

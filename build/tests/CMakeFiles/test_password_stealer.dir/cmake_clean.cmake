@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_password_stealer.dir/test_password_stealer.cpp.o"
+  "CMakeFiles/test_password_stealer.dir/test_password_stealer.cpp.o.d"
+  "test_password_stealer"
+  "test_password_stealer.pdb"
+  "test_password_stealer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_password_stealer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_percept.dir/test_percept.cpp.o"
+  "CMakeFiles/test_percept.dir/test_percept.cpp.o.d"
+  "test_percept"
+  "test_percept.pdb"
+  "test_percept[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_percept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

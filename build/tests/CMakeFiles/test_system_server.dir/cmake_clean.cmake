@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_server.dir/test_system_server.cpp.o"
+  "CMakeFiles/test_system_server.dir/test_system_server.cpp.o.d"
+  "test_system_server"
+  "test_system_server.pdb"
+  "test_system_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

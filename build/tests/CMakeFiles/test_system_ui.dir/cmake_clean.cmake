@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_ui.dir/test_system_ui.cpp.o"
+  "CMakeFiles/test_system_ui.dir/test_system_ui.cpp.o.d"
+  "test_system_ui"
+  "test_system_ui.pdb"
+  "test_system_ui[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_ui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

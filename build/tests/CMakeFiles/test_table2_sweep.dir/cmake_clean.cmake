@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table2_sweep.dir/test_table2_sweep.cpp.o"
+  "CMakeFiles/test_table2_sweep.dir/test_table2_sweep.cpp.o.d"
+  "test_table2_sweep"
+  "test_table2_sweep.pdb"
+  "test_table2_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table2_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

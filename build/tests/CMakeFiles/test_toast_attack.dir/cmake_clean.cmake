@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toast_attack.dir/test_toast_attack.cpp.o"
+  "CMakeFiles/test_toast_attack.dir/test_toast_attack.cpp.o.d"
+  "test_toast_attack"
+  "test_toast_attack.pdb"
+  "test_toast_attack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toast_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_typist.dir/test_typist.cpp.o"
+  "CMakeFiles/test_typist.dir/test_typist.cpp.o.d"
+  "test_typist"
+  "test_typist.pdb"
+  "test_typist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_typist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

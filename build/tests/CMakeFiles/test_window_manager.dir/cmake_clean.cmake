@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_window_manager.dir/test_window_manager.cpp.o"
+  "CMakeFiles/test_window_manager.dir/test_window_manager.cpp.o.d"
+  "test_window_manager"
+  "test_window_manager.pdb"
+  "test_window_manager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_window_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
