@@ -1,6 +1,9 @@
 // Fig. 8 — capture rate vs D split by Android version family. The paper
 // finds Android 10 lowest (~90% even at D = 200 ms) because its reduced
 // Trm enlarges the mistouch gap Tmis = Tas + Tam - Trm.
+//
+// The (D, device, repetition) grid fans out through runner::sweep and
+// is grouped by version family afterwards, in submission order.
 #include <cstdio>
 #include <map>
 #include <vector>
@@ -11,33 +14,53 @@
 #include "input/typist.hpp"
 #include "metrics/stats.hpp"
 #include "metrics/table.hpp"
+#include "runner/bench_cli.hpp"
+#include "runner/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace animus;
+  const auto args = runner::BenchArgs::parse(argc, argv);
   const auto panel = input::participant_panel();
   const auto devices = device::all_devices();
-
-  std::puts("=== Fig. 8: capture rate vs D by Android version family ===\n");
   const std::vector<std::string> families = {"Android 8.x", "Android 9.x", "Android 10.0",
                                              "Android 11.0"};
+  const std::vector<int> windows = {50, 75, 100, 125, 150, 175, 200};
+  constexpr std::size_t kReps = 4;  // participants averaged per device
+
+  struct Trial {
+    int d;
+    std::size_t device;
+    std::size_t rep;
+  };
+  std::vector<Trial> trials;
+  for (int d : windows)
+    for (std::size_t p = 0; p < devices.size(); ++p)
+      for (std::size_t rep = 0; rep < kReps; ++rep) trials.push_back({d, p, rep});
+
+  const auto sw = runner::sweep(
+      trials,
+      [&](const Trial& t, const runner::TrialContext& ctx) {
+        core::CaptureTrialConfig c;
+        c.profile = devices[t.device];
+        c.typist = panel[(t.device + t.rep * 7) % panel.size()];
+        c.attacking_window = sim::ms(t.d);
+        c.touches = 100;
+        c.seed = ctx.seed;
+        return core::run_capture_trial(c).rate * 100.0;
+      },
+      args.run);
+  runner::report("fig08", sw);
+
+  runner::note(args, "=== Fig. 8: capture rate vs D by Android version family ===\n");
   metrics::Table table({"D (ms)", families[0].c_str(), families[1].c_str(),
                         families[2].c_str(), families[3].c_str()});
   std::map<std::string, double> at200;
-  for (int d : {50, 75, 100, 125, 150, 175, 200}) {
+  std::size_t i = 0;
+  for (int d : windows) {
     std::map<std::string, metrics::RunningStats> by_family;
-    for (std::size_t p = 0; p < devices.size(); ++p) {
-      // Average several participants per device to steady the estimate.
-      for (std::size_t rep = 0; rep < 4; ++rep) {
-        core::CaptureTrialConfig c;
-        c.profile = devices[p];
-        c.typist = panel[(p + rep * 7) % panel.size()];
-        c.attacking_window = sim::ms(d);
-        c.touches = 100;
-        c.seed = 5000 + p * 31 + rep;
-        by_family[std::string(device::version_family(devices[p].version))].add(
-            core::run_capture_trial(c).rate * 100.0);
-      }
-    }
+    for (std::size_t p = 0; p < devices.size(); ++p)
+      for (std::size_t rep = 0; rep < kReps; ++rep, ++i)
+        by_family[std::string(device::version_family(devices[p].version))].add(sw.results[i]);
     std::vector<std::string> row{metrics::fmt("%d", d)};
     for (const auto& fam : families) {
       row.push_back(metrics::fmt("%.1f", by_family[fam].mean()));
@@ -45,20 +68,22 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  std::fputs(table.to_string().c_str(), stdout);
+  runner::emit(table, args);
 
-  std::puts("\nAnalytic cross-check (per-touch capture, gesture registration):");
-  for (const auto& fam : families) {
-    for (const auto& dev : devices) {
-      if (std::string(device::version_family(dev.version)) != fam) continue;
-      std::printf("  %-13s E[Tmis] = %.1f ms, predicted capture at D=200: %s\n", fam.c_str(),
-                  dev.expected_tmis_ms(),
-                  metrics::percent(core::predicted_capture_rate(dev, 200.0, 14.0)).c_str());
-      break;
+  if (!args.csv) {
+    std::puts("\nAnalytic cross-check (per-touch capture, gesture registration):");
+    for (const auto& fam : families) {
+      for (const auto& dev : devices) {
+        if (std::string(device::version_family(dev.version)) != fam) continue;
+        std::printf("  %-13s E[Tmis] = %.1f ms, predicted capture at D=200: %s\n", fam.c_str(),
+                    dev.expected_tmis_ms(),
+                    metrics::percent(core::predicted_capture_rate(dev, 200.0, 14.0)).c_str());
+        break;
+      }
     }
+    std::printf("\nShape check: Android 10 stays lowest (%.1f%% at D=200 vs %.1f%% on 9.x);\n",
+                at200["Android 10.0"], at200["Android 9.x"]);
+    std::puts("the paper attributes this to the reduced Trm on Android 10 (Section VI-B).");
   }
-  std::printf("\nShape check: Android 10 stays lowest (%.1f%% at D=200 vs %.1f%% on 9.x);\n",
-              at200["Android 10.0"], at200["Android 9.x"]);
-  std::puts("the paper attributes this to the reduced Trm on Android 10 (Section VI-B).");
-  return 0;
+  return sw.ok() ? 0 : 1;
 }

@@ -1,0 +1,87 @@
+// Runner scaling study: the Fig. 7 workload (7 attacking windows x 30
+// participants x 100 touches, one World per trial) executed through
+// runner::sweep at 1, 2, 4, ... hardware_concurrency worker threads.
+//
+// Verifies the determinism contract on the way (every thread count must
+// reproduce the jobs=1 results bit-for-bit) and reports wall-clock
+// speedup and worker utilization per thread count. Speedup naturally
+// tops out at the machine's physical core count.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/report.hpp"
+#include "device/registry.hpp"
+#include "input/typist.hpp"
+#include "metrics/table.hpp"
+#include "runner/bench_cli.hpp"
+#include "runner/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace animus;
+  const auto args = runner::BenchArgs::parse(argc, argv);
+  const auto panel = input::participant_panel();
+  const auto devices = device::all_devices();
+
+  struct Trial {
+    int d;
+    std::size_t participant;
+  };
+  std::vector<Trial> trials;
+  for (int d : {50, 75, 100, 125, 150, 175, 200})
+    for (std::size_t p = 0; p < panel.size(); ++p) trials.push_back({d, p});
+
+  const auto body = [&](const Trial& t, const runner::TrialContext& ctx) {
+    core::CaptureTrialConfig c;
+    c.profile = devices[t.participant % devices.size()];
+    c.typist = panel[t.participant];
+    c.attacking_window = sim::ms(t.d);
+    c.touches = 100;
+    c.seed = ctx.seed;
+    return core::run_capture_trial(c).rate;
+  };
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  // 1, 2, 4, ... up to (and always including) hardware_concurrency;
+  // --jobs N extends the ladder beyond the hardware if asked.
+  std::vector<int> ladder;
+  for (unsigned j = 1; j < hw; j *= 2) ladder.push_back(static_cast<int>(j));
+  ladder.push_back(static_cast<int>(hw));
+  if (args.run.jobs > static_cast<int>(hw)) ladder.push_back(args.run.jobs);
+
+  std::printf("=== runner scaling: fig07 workload (%zu trials) on %u hardware threads ===\n\n",
+              trials.size(), hw);
+  metrics::Table table(
+      {"jobs", "wall (ms)", "speedup", "trials/s", "mean ms/trial", "util", "identical"});
+  std::vector<double> reference;
+  double base_wall = 0.0;
+  for (const int jobs : ladder) {
+    runner::RunOptions opt = args.run;
+    opt.jobs = jobs;
+    const auto sw = runner::sweep(trials, body, opt);
+    if (!sw.ok()) {
+      std::fprintf(stderr, "jobs=%d: %zu trials failed\n", jobs, sw.errors.size());
+      return 1;
+    }
+    if (reference.empty()) {
+      reference = sw.results;
+      base_wall = sw.stats.wall_ms;
+    }
+    const bool identical = sw.results == reference;  // bit-for-bit
+    table.add_row({metrics::fmt("%d", jobs), metrics::fmt("%.1f", sw.stats.wall_ms),
+                   metrics::fmt("%.2fx", base_wall / sw.stats.wall_ms),
+                   metrics::fmt("%.1f", 1000.0 * static_cast<double>(trials.size()) /
+                                            sw.stats.wall_ms),
+                   metrics::fmt("%.2f", sw.stats.trial_ms.mean()),
+                   metrics::fmt("%.0f%%", 100.0 * sw.stats.utilization()),
+                   identical ? "yes" : "NO"});
+    if (!identical) {
+      std::fprintf(stderr, "jobs=%d: results differ from jobs=1 — determinism violated\n",
+                   jobs);
+      return 1;
+    }
+  }
+  runner::emit(table, args);
+  std::puts("\nDeterminism contract: every row must reproduce the jobs=1 results exactly.");
+  return 0;
+}

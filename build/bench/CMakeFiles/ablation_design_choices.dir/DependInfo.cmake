@@ -21,11 +21,12 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/animus_victim.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/animus_input.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/animus_sidechannel.dir/DependInfo.cmake"
-  "/root/repo/build/src/CMakeFiles/animus_metrics.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/animus_server.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/animus_device.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/animus_ui.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/animus_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_metrics.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/animus_sim.dir/DependInfo.cmake"
   )
 

@@ -268,4 +268,5 @@ bench/CMakeFiles/fig08_capture_by_version.dir/fig08_capture_by_version.cpp.o: \
  /root/repo/src/sidechannel/shared_mem.hpp \
  /root/repo/src/victim/accessibility.hpp \
  /root/repo/src/device/registry.hpp /root/repo/src/metrics/stats.hpp \
- /root/repo/src/metrics/table.hpp
+ /root/repo/src/metrics/table.hpp /root/repo/src/runner/bench_cli.hpp \
+ /root/repo/src/runner/runner.hpp

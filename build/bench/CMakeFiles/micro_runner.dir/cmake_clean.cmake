@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_runner.dir/micro_runner.cpp.o"
+  "CMakeFiles/micro_runner.dir/micro_runner.cpp.o.d"
+  "micro_runner"
+  "micro_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runner/bench_cli.cpp" "src/CMakeFiles/animus_runner.dir/runner/bench_cli.cpp.o" "gcc" "src/CMakeFiles/animus_runner.dir/runner/bench_cli.cpp.o.d"
+  "/root/repo/src/runner/runner.cpp" "src/CMakeFiles/animus_runner.dir/runner/runner.cpp.o" "gcc" "src/CMakeFiles/animus_runner.dir/runner/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/animus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

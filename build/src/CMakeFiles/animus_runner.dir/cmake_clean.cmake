@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animus_runner.dir/runner/bench_cli.cpp.o"
+  "CMakeFiles/animus_runner.dir/runner/bench_cli.cpp.o.d"
+  "CMakeFiles/animus_runner.dir/runner/runner.cpp.o"
+  "CMakeFiles/animus_runner.dir/runner/runner.cpp.o.d"
+  "libanimus_runner.a"
+  "libanimus_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animus_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

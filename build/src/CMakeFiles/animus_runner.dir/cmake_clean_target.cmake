@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libanimus_runner.a"
+)

@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/animus_ui.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/animus_ipc.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/animus_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_metrics.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

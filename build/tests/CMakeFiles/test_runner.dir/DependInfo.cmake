@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_runner.cpp" "tests/CMakeFiles/test_runner.dir/test_runner.cpp.o" "gcc" "tests/CMakeFiles/test_runner.dir/test_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/animus_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_percept.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_victim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_input.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_sidechannel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_ui.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/animus_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

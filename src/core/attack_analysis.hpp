@@ -1,5 +1,9 @@
 // Closed-form analysis of Section III-D and simulation probes that
 // cross-check it (Eq. 1-3, Table II regeneration, Fig. 6 outcomes).
+//
+// The simulation probes follow the unified trial shape (config struct
+// in with `seed` + `deterministic`, result struct out) so they plug
+// into runner::sweep exactly like the report.hpp trials.
 #pragma once
 
 #include "device/profile.hpp"
@@ -22,20 +26,70 @@ double expected_total_mistouch_ms(const device::DeviceProfile& profile, double t
 double predicted_capture_rate(const device::DeviceProfile& profile, double d_ms,
                               double contact_ms);
 
-/// Run the draw-and-destroy overlay attack deterministically for
-/// `duration` on a fresh world and report what the notification alert
-/// did — the Fig. 6 outcome probe.
+// ---------------------------------------------------------------------
+// Outcome probe (Fig. 6): run the draw-and-destroy overlay attack for
+// `duration` on a fresh world and report what the notification alert did.
+// ---------------------------------------------------------------------
+
+struct OutcomeProbeConfig {
+  device::DeviceProfile profile;
+  sim::SimTime attacking_window = sim::ms(150);
+  sim::SimTime duration = sim::seconds(5);
+  /// Reproduce the paper's failure mode (addView before removeView).
+  bool add_before_remove = false;
+  std::uint64_t seed = 0x414e494d5553ULL;  // "ANIMUS"
+  /// Use latency means instead of samples (boundary-search style).
+  bool deterministic = true;
+};
+
 struct OutcomeProbe {
   percept::LambdaOutcome outcome = percept::LambdaOutcome::kL1;
   server::SystemUi::AlertStats alert;
   int cycles = 0;
 };
-OutcomeProbe probe_outcome(const device::DeviceProfile& profile, sim::SimTime d,
-                           sim::SimTime duration = sim::seconds(5),
-                           bool add_before_remove = false);
 
-/// Largest integer-millisecond D that still yields Λ1, found by binary
-/// search over full attack simulations — the procedure behind Table II.
-int find_d_upper_bound_ms(const device::DeviceProfile& profile, int max_ms = 1200);
+OutcomeProbe run_outcome_probe(const OutcomeProbeConfig& config);
+
+// ---------------------------------------------------------------------
+// D upper bound (Table II): largest integer-millisecond D that still
+// yields Λ1, found by binary search over full attack simulations.
+// ---------------------------------------------------------------------
+
+struct DBoundTrialConfig {
+  device::DeviceProfile profile;
+  int max_ms = 1200;
+  std::uint64_t seed = 0x414e494d5553ULL;
+  bool deterministic = true;
+};
+
+struct DBoundTrialResult {
+  int d_upper_ms = 0;  ///< largest D (ms) still classified Λ1
+  int probes = 0;      ///< full attack simulations the search ran
+};
+
+DBoundTrialResult run_d_bound_trial(const DBoundTrialConfig& config);
+
+// ---------------------------------------------------------------------
+// Deprecated positional wrappers (the pre-runner API). Prefer the
+// config-struct entry points above, which share the runner::sweep shape.
+// ---------------------------------------------------------------------
+
+inline OutcomeProbe probe_outcome(const device::DeviceProfile& profile, sim::SimTime d,
+                                  sim::SimTime duration = sim::seconds(5),
+                                  bool add_before_remove = false) {
+  OutcomeProbeConfig config;
+  config.profile = profile;
+  config.attacking_window = d;
+  config.duration = duration;
+  config.add_before_remove = add_before_remove;
+  return run_outcome_probe(config);
+}
+
+inline int find_d_upper_bound_ms(const device::DeviceProfile& profile, int max_ms = 1200) {
+  DBoundTrialConfig config;
+  config.profile = profile;
+  config.max_ms = max_ms;
+  return run_d_bound_trial(config).d_upper_ms;
+}
 
 }  // namespace animus::core

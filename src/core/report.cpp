@@ -38,6 +38,7 @@ PasswordTrialResult run_password_trial(const PasswordTrialConfig& config) {
   server::WorldConfig wc;
   wc.profile = config.profile;
   wc.seed = config.seed;
+  wc.deterministic = config.deterministic;
   wc.trace_enabled = false;
   server::World world{wc};
   world.server().grant_overlay_permission(server::kMalwareUid);
@@ -116,6 +117,7 @@ CaptureTrialResult run_capture_trial(const CaptureTrialConfig& config) {
   server::WorldConfig wc;
   wc.profile = config.profile;
   wc.seed = config.seed;
+  wc.deterministic = config.deterministic;
   wc.trace_enabled = false;
   server::World world{wc};
   world.server().grant_overlay_permission(server::kMalwareUid);

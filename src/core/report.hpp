@@ -1,5 +1,11 @@
 // Error taxonomy (Table III) and end-to-end trial runners shared by the
 // tests, examples and bench harnesses.
+//
+// Trial entry points follow one shape across src/core: a config struct
+// in (with `seed` and `deterministic` fields, named identically
+// everywhere) and a result struct out, so any trial plugs into
+// runner::sweep without adapters. See also attack_analysis.hpp for the
+// outcome-probe and D-bound trials.
 #pragma once
 
 #include <string>
@@ -41,6 +47,8 @@ struct PasswordTrialConfig {
   std::string username = "alice";
   std::string password;
   std::uint64_t seed = 1;
+  /// Use latency means instead of samples (boundary-search style).
+  bool deterministic = false;
   /// 0 = use the device's Table II upper bound of D.
   sim::SimTime d_override{0};
   sim::SimTime toast_duration = server::kToastLong;
@@ -77,6 +85,8 @@ struct CaptureTrialConfig {
   sim::SimTime attacking_window = sim::ms(150);
   std::size_t touches = 100;  // 10 strings x 10 characters
   std::uint64_t seed = 1;
+  /// Use latency means instead of samples (boundary-search style).
+  bool deterministic = false;
 };
 
 struct CaptureTrialResult {

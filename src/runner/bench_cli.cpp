@@ -1,0 +1,68 @@
+#include "runner/bench_cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace animus::runner {
+namespace {
+
+[[noreturn]] void usage(const char* argv0, int exit_code) {
+  std::FILE* out = exit_code == 0 ? stdout : stderr;
+  std::fprintf(out,
+               "usage: %s [--jobs N] [--seed S] [--csv]\n"
+               "  --jobs N   worker threads (0 = all hardware cores; default 0)\n"
+               "  --seed S   root seed for the deterministic trial sweep\n"
+               "  --csv      emit tables as CSV and suppress commentary\n"
+               "Tables print on stdout; timing goes to stderr, so output is\n"
+               "byte-identical at any --jobs value.\n",
+               argv0);
+  std::exit(exit_code);
+}
+
+}  // namespace
+
+BenchArgs BenchArgs::parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], flag);
+        usage(argv[0], 2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs" || arg == "-j") {
+      args.run.jobs = std::atoi(value("--jobs"));
+    } else if (arg == "--seed" || arg == "-s") {
+      args.run.root_seed = std::strtoull(value("--seed"), nullptr, 0);
+    } else if (arg == "--csv") {
+      args.csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], argv[i]);
+      usage(argv[0], 2);
+    }
+  }
+  return args;
+}
+
+void emit(const metrics::Table& table, const BenchArgs& args) {
+  std::fputs(args.csv ? table.to_csv().c_str() : table.to_string().c_str(), stdout);
+}
+
+void note(const BenchArgs& args, const char* line) {
+  if (!args.csv) std::puts(line);
+}
+
+void report(const char* label, const SweepStats& stats, const std::vector<TrialError>& errors) {
+  std::fprintf(stderr, "[%s] %s\n", label, stats.to_string().c_str());
+  for (const auto& e : errors) {
+    std::fprintf(stderr, "[%s] trial %zu (seed %llu) failed: %s\n", label, e.index,
+                 static_cast<unsigned long long>(e.seed), e.what.c_str());
+  }
+}
+
+}  // namespace animus::runner

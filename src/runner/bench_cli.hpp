@@ -1,0 +1,43 @@
+// Shared command-line surface for the bench binaries.
+//
+// Every migrated bench accepts the same three flags instead of carrying
+// its own main() boilerplate:
+//
+//   --jobs N   worker threads for runner::sweep (0 = all hardware cores)
+//   --seed S   root seed the per-trial seeds are split from
+//   --csv      emit tables as CSV on stdout and suppress commentary
+//
+// Tables and commentary go to stdout; throughput reports and captured
+// trial errors go to stderr, so `--jobs 1` and `--jobs 8` runs produce
+// byte-identical stdout (the determinism contract) while timing stays
+// visible on the terminal.
+#pragma once
+
+#include "metrics/table.hpp"
+#include "runner/runner.hpp"
+
+namespace animus::runner {
+
+struct BenchArgs {
+  RunOptions run;     ///< jobs + root_seed feed runner::sweep directly
+  bool csv = false;   ///< CSV tables on stdout, commentary suppressed
+
+  /// Parse argv; prints usage and exits on --help (0) or bad args (2).
+  static BenchArgs parse(int argc, char** argv);
+};
+
+/// Print a table to stdout honoring --csv.
+void emit(const metrics::Table& table, const BenchArgs& args);
+
+/// Commentary line (shape checks, headers): stdout unless --csv.
+void note(const BenchArgs& args, const char* line);
+
+/// Throughput report + any captured trial errors, on stderr.
+void report(const char* label, const SweepStats& stats, const std::vector<TrialError>& errors);
+
+template <typename R>
+void report(const char* label, const SweepResult<R>& sweep) {
+  report(label, sweep.stats, sweep.errors);
+}
+
+}  // namespace animus::runner

@@ -1,0 +1,139 @@
+#include "runner/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <random>
+#include <thread>
+
+#include "metrics/table.hpp"
+
+namespace animus::runner {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+int resolve_jobs(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+double SweepStats::utilization() const {
+  const double capacity = static_cast<double>(jobs) * wall_ms;
+  if (capacity <= 0.0) return 0.0;
+  return std::min(1.0, trial_ms.sum() / capacity);
+}
+
+std::string SweepStats::to_string() const {
+  if (trial_ms.count() == 0) return "0 trials";
+  const double rate = wall_ms > 0.0 ? 1000.0 * static_cast<double>(trial_ms.count()) / wall_ms
+                                    : 0.0;
+  return metrics::fmt("%zu trials in %.1f ms on %d thread%s — %.1f trials/s, "
+                      "mean %.2f ms/trial, utilization %.0f%%",
+                      trial_ms.count(), wall_ms, jobs, jobs == 1 ? "" : "s", rate,
+                      trial_ms.mean(), 100.0 * utilization());
+}
+
+ParallelRunner::ParallelRunner(RunOptions options)
+    : options_(std::move(options)), jobs_(resolve_jobs(options_.jobs)) {}
+
+SweepStats ParallelRunner::run(std::size_t total,
+                               const std::function<void(const TrialContext&)>& body,
+                               std::vector<TrialError>* errors) const {
+  SweepStats stats;
+  // Never spin up more workers than there are trials.
+  stats.jobs = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(jobs_), std::max<std::size_t>(total, 1)));
+  if (total == 0) return stats;
+
+  std::uint64_t root_seed = options_.root_seed;
+  if (!options_.deterministic) {
+    // Live mode: fold in OS entropy so repeated runs differ.
+    std::random_device entropy;
+    root_seed ^= (static_cast<std::uint64_t>(entropy()) << 32) ^ entropy();
+  }
+  // Workers fork per-trial seeds from this shared root; Rng::fork is
+  // const (pure function of the root state and the stream id), so the
+  // derivation is identical no matter which worker claims the trial.
+  const sim::Rng root{root_seed};
+
+  const std::size_t chunk =
+      options_.chunk > 0
+          ? options_.chunk
+          : std::clamp<std::size_t>(total / (8 * static_cast<std::size_t>(stats.jobs)),
+                                    std::size_t{1}, std::size_t{64});
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<int> busy{0};
+  std::mutex merge_mu;  // guards stats/errors merge and progress calls
+
+  const auto sweep_start = Clock::now();
+  auto worker = [&] {
+    metrics::RunningStats local_ms;
+    std::vector<TrialError> local_errors;
+    for (;;) {
+      const std::size_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= total) break;
+      const std::size_t end = std::min(begin + chunk, total);
+      busy.fetch_add(1, std::memory_order_relaxed);
+      for (std::size_t i = begin; i < end; ++i) {
+        TrialContext ctx;
+        ctx.index = i;
+        ctx.seed = root.fork(i).next_u64();
+        const auto trial_start = Clock::now();
+        try {
+          body(ctx);
+        } catch (const std::exception& e) {
+          local_errors.push_back({i, ctx.seed, e.what()});
+        } catch (...) {
+          local_errors.push_back({i, ctx.seed, "unknown exception"});
+        }
+        local_ms.add(ms_between(trial_start, Clock::now()));
+        done.fetch_add(1, std::memory_order_relaxed);
+      }
+      busy.fetch_sub(1, std::memory_order_relaxed);
+      if (options_.progress) {
+        std::lock_guard<std::mutex> lock{merge_mu};
+        Progress p;
+        p.done = done.load(std::memory_order_relaxed);
+        p.total = total;
+        p.workers_busy = busy.load(std::memory_order_relaxed);
+        p.jobs = stats.jobs;
+        options_.progress(p);
+      }
+    }
+    std::lock_guard<std::mutex> lock{merge_mu};
+    stats.trial_ms.merge(local_ms);
+    if (errors) {
+      errors->insert(errors->end(), local_errors.begin(), local_errors.end());
+    }
+  };
+
+  if (stats.jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(stats.jobs));
+    for (int j = 0; j < stats.jobs; ++j) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  stats.wall_ms = ms_between(sweep_start, Clock::now());
+
+  if (errors) {
+    std::sort(errors->begin(), errors->end(),
+              [](const TrialError& a, const TrialError& b) { return a.index < b.index; });
+  }
+  return stats;
+}
+
+}  // namespace animus::runner

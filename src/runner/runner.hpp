@@ -1,0 +1,147 @@
+// Parallel deterministic experiment runner.
+//
+// Every headline experiment (Fig. 7/8 capture-rate sweeps, Table II's
+// per-device boundary search, Table III password stealing) is an
+// embarrassingly parallel sweep of independent `server::World`
+// simulations. `runner::sweep` fans those trials out over a thread pool
+// and returns results **in submission order** with **bit-identical
+// determinism regardless of thread count**:
+//
+//   - each trial derives its seed by `sim::Rng::fork`-style splitting
+//     from a single root seed (seed_i = Rng{root}.fork(i).next_u64()),
+//     so trial i's randomness never depends on which worker ran it or
+//     in what order;
+//   - trials never share a World (the trial body constructs its own);
+//   - a trial that throws is captured as a structured `TrialError`
+//     (trial index, seed, what()) instead of aborting the sweep —
+//     sibling trials complete and the caller decides what to do.
+//
+// Work is distributed in chunks through an atomic cursor, per-trial
+// wall-clock is recorded through `metrics::RunningStats`, and an
+// optional progress callback reports trials done / total plus worker
+// occupancy. With jobs == 1 everything runs inline on the calling
+// thread (no pool), which is also the reference ordering the parallel
+// path must reproduce.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "metrics/stats.hpp"
+#include "sim/rng.hpp"
+
+namespace animus::runner {
+
+/// Snapshot handed to RunOptions::progress after each completed chunk.
+struct Progress {
+  std::size_t done = 0;   ///< trials finished so far (across all workers)
+  std::size_t total = 0;  ///< trials submitted
+  int workers_busy = 0;   ///< workers currently inside a trial body
+  int jobs = 1;           ///< pool size
+};
+
+/// Options shared by every batch experiment. Benches expose these as
+/// `--jobs N --seed S` through runner::BenchArgs (bench_cli.hpp).
+struct RunOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  int jobs = 0;
+  /// Root seed every per-trial seed is split from.
+  std::uint64_t root_seed = 0x414e494d5553ULL;  // "ANIMUS"
+  /// When false, the root seed is mixed with fresh OS entropy once per
+  /// run — deliberately irreproducible ("live" mode). Defaults to true:
+  /// identical options => byte-identical results at any thread count.
+  bool deterministic = true;
+  /// Trials per work unit pulled from the shared cursor; 0 = automatic
+  /// (total / (8 * jobs), clamped to [1, 64]).
+  std::size_t chunk = 0;
+  /// Invoked after each completed chunk (serialized; cheap bodies only).
+  std::function<void(const Progress&)> progress;
+};
+
+/// One failed trial, captured instead of aborting the sweep.
+struct TrialError {
+  std::size_t index = 0;   ///< submission index of the failed trial
+  std::uint64_t seed = 0;  ///< the seed it ran with (replay handle)
+  std::string what;        ///< exception message
+};
+
+/// Identity of one trial as seen by the trial body.
+struct TrialContext {
+  std::size_t index = 0;   ///< submission index in [0, total)
+  std::uint64_t seed = 0;  ///< root-derived, thread-count independent
+
+  /// Fresh deterministic RNG for this trial.
+  [[nodiscard]] sim::Rng rng() const { return sim::Rng{seed}; }
+};
+
+/// Timing report for one sweep. Trial times are wall-clock (the trial
+/// bodies run simulated worlds, so simulated time is irrelevant here).
+struct SweepStats {
+  metrics::RunningStats trial_ms;  ///< per-trial wall-clock, milliseconds
+  double wall_ms = 0.0;            ///< whole-sweep wall-clock
+  int jobs = 1;                    ///< pool size actually used
+
+  /// Fraction of jobs * wall_ms spent inside trial bodies (0..1).
+  [[nodiscard]] double utilization() const;
+  /// One-line throughput report ("N trials in X ms on J threads ...").
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thread-pool batch executor. Stateless between runs; the pool is
+/// created per run() so a runner can be kept by value and reused with
+/// different totals.
+class ParallelRunner {
+ public:
+  explicit ParallelRunner(RunOptions options = {});
+
+  /// Worker threads a run() will use (options resolved against the
+  /// hardware; always >= 1).
+  [[nodiscard]] int jobs() const { return jobs_; }
+  [[nodiscard]] const RunOptions& options() const { return options_; }
+
+  /// Execute body(ctx) for every submission index in [0, total).
+  /// The body must be safe to call concurrently for distinct indices.
+  /// Exceptions thrown by a body are appended to *errors (sorted by
+  /// index) when `errors` is non-null, and swallowed otherwise.
+  SweepStats run(std::size_t total, const std::function<void(const TrialContext&)>& body,
+                 std::vector<TrialError>* errors = nullptr) const;
+
+ private:
+  RunOptions options_;
+  int jobs_ = 1;
+};
+
+/// Everything a sweep produced: results in submission order (failed
+/// trials hold a default-constructed R), captured errors, and timing.
+template <typename R>
+struct SweepResult {
+  std::vector<R> results;
+  std::vector<TrialError> errors;
+  SweepStats stats;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+/// The unified trial-submission API: run fn(item, ctx) for every item,
+/// in parallel, deterministically. fn's return type is the result type.
+/// `items` is any sized random-access container (vector, span, array).
+template <typename Items, typename Fn>
+auto sweep(const Items& items, Fn&& fn, const RunOptions& options = {})
+    -> SweepResult<
+        std::decay_t<std::invoke_result_t<Fn&, decltype(items[0]), const TrialContext&>>> {
+  using R = std::decay_t<std::invoke_result_t<Fn&, decltype(items[0]), const TrialContext&>>;
+  SweepResult<R> out;
+  out.results.resize(items.size());
+  const ParallelRunner pool{options};
+  out.stats = pool.run(
+      items.size(),
+      [&](const TrialContext& ctx) { out.results[ctx.index] = fn(items[ctx.index], ctx); },
+      &out.errors);
+  return out;
+}
+
+}  // namespace animus::runner

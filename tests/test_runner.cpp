@@ -1,0 +1,194 @@
+// The parallel runner's contract: submission-order results, bit-identical
+// determinism at any thread count, structured error capture, and sane
+// bookkeeping on the edge cases.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runner/runner.hpp"
+
+namespace animus::runner {
+namespace {
+
+// A trial body with real floating-point work, so bitwise comparison of
+// results is a meaningful determinism check.
+double churn(const TrialContext& ctx) {
+  sim::Rng rng = ctx.rng();
+  double acc = 0.0;
+  for (int i = 0; i < 64; ++i) acc += rng.normal(0.0, 1.0) * rng.uniform01();
+  return acc + static_cast<double>(ctx.index);
+}
+
+std::vector<int> items(std::size_t n) {
+  std::vector<int> xs(n);
+  std::iota(xs.begin(), xs.end(), 0);
+  return xs;
+}
+
+TEST(Runner, ResultsArriveInSubmissionOrder) {
+  RunOptions opt;
+  opt.jobs = 4;
+  opt.chunk = 1;  // maximize interleaving
+  const auto sw = sweep(
+      items(64),
+      [](int item, const TrialContext& ctx) {
+        // Early trials sleep longer, so completion order inverts
+        // submission order unless the runner restores it.
+        std::this_thread::sleep_for(std::chrono::microseconds(200 * (64 - item)));
+        return static_cast<std::size_t>(item) * 10 + ctx.index;
+      },
+      opt);
+  ASSERT_TRUE(sw.ok());
+  ASSERT_EQ(sw.results.size(), 64u);
+  for (std::size_t i = 0; i < sw.results.size(); ++i) EXPECT_EQ(sw.results[i], i * 11);
+}
+
+TEST(Runner, BitIdenticalAcrossThreadCounts) {
+  RunOptions serial;
+  serial.jobs = 1;
+  const auto a = sweep(items(200), [](int, const TrialContext& ctx) { return churn(ctx); },
+                       serial);
+  for (int jobs : {2, 8}) {
+    RunOptions opt;
+    opt.jobs = jobs;
+    opt.chunk = 3;  // deliberately unaligned with the total
+    const auto b = sweep(items(200), [](int, const TrialContext& ctx) { return churn(ctx); },
+                         opt);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.results, b.results) << "jobs=" << jobs;  // bitwise, not approximate
+  }
+}
+
+TEST(Runner, SeedsDependOnRootSeedOnly) {
+  const auto seeds_with = [](std::uint64_t root, int jobs) {
+    RunOptions opt;
+    opt.jobs = jobs;
+    opt.root_seed = root;
+    return sweep(items(32), [](int, const TrialContext& ctx) { return ctx.seed; }, opt).results;
+  };
+  EXPECT_EQ(seeds_with(7, 1), seeds_with(7, 8));
+  EXPECT_NE(seeds_with(7, 1), seeds_with(8, 1));
+  // Distinct trials get distinct streams.
+  auto seeds = seeds_with(7, 1);
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(Runner, NonDeterministicModeVariesBetweenRuns) {
+  RunOptions opt;
+  opt.jobs = 2;
+  opt.deterministic = false;
+  const auto fn = [](int, const TrialContext& ctx) { return ctx.seed; };
+  const auto a = sweep(items(8), fn, opt);
+  const auto b = sweep(items(8), fn, opt);
+  EXPECT_NE(a.results, b.results);  // collides with probability ~2^-64
+}
+
+TEST(Runner, ThrowingTrialBecomesTrialErrorAndSiblingsComplete) {
+  RunOptions opt;
+  opt.jobs = 4;
+  const auto sw = sweep(
+      items(40),
+      [](int item, const TrialContext&) -> int {
+        if (item == 7) throw std::runtime_error("boom at seven");
+        if (item == 23) throw 42;  // non-std exception
+        return item + 1;
+      },
+      opt);
+  EXPECT_FALSE(sw.ok());
+  ASSERT_EQ(sw.errors.size(), 2u);
+  EXPECT_EQ(sw.errors[0].index, 7u);  // sorted by submission index
+  EXPECT_EQ(sw.errors[0].what, "boom at seven");
+  EXPECT_NE(sw.errors[0].seed, 0u);
+  EXPECT_EQ(sw.errors[1].index, 23u);
+  EXPECT_EQ(sw.errors[1].what, "unknown exception");
+  // The failed slots hold default-constructed results; all 38 siblings ran.
+  EXPECT_EQ(sw.results[7], 0);
+  EXPECT_EQ(sw.results[23], 0);
+  for (std::size_t i = 0; i < sw.results.size(); ++i) {
+    if (i == 7 || i == 23) continue;
+    EXPECT_EQ(sw.results[i], static_cast<int>(i) + 1);
+  }
+}
+
+TEST(Runner, EmptySweep) {
+  const auto sw = sweep(std::vector<int>{}, [](int, const TrialContext&) { return 1; });
+  EXPECT_TRUE(sw.ok());
+  EXPECT_TRUE(sw.results.empty());
+  EXPECT_EQ(sw.stats.trial_ms.count(), 0u);
+  EXPECT_EQ(sw.stats.utilization(), 0.0);
+  EXPECT_EQ(sw.stats.to_string(), "0 trials");
+}
+
+TEST(Runner, ProgressReachesTotal) {
+  RunOptions opt;
+  opt.jobs = 2;
+  opt.chunk = 5;
+  std::size_t max_done = 0;
+  std::size_t calls = 0;
+  opt.progress = [&](const Progress& p) {
+    // Serialized by the runner, so plain writes are safe here.
+    EXPECT_LE(p.done, p.total);
+    EXPECT_EQ(p.total, 33u);
+    EXPECT_LE(p.workers_busy, p.jobs);
+    max_done = std::max(max_done, p.done);
+    ++calls;
+  };
+  const auto sw = sweep(items(33), [](int item, const TrialContext&) { return item; }, opt);
+  ASSERT_TRUE(sw.ok());
+  EXPECT_EQ(max_done, 33u);
+  EXPECT_GE(calls, 33u / 5u);  // one call per chunk at minimum
+}
+
+TEST(Runner, StatsCountTrialsAndMeasureTime) {
+  RunOptions opt;
+  opt.jobs = 3;
+  const auto sw = sweep(
+      items(30),
+      [](int item, const TrialContext&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return item;
+      },
+      opt);
+  EXPECT_EQ(sw.stats.trial_ms.count(), 30u);
+  EXPECT_GE(sw.stats.trial_ms.mean(), 0.5);  // each trial slept ~1 ms
+  EXPECT_GT(sw.stats.wall_ms, 0.0);
+  EXPECT_GT(sw.stats.utilization(), 0.0);
+  EXPECT_LE(sw.stats.utilization(), 1.0);
+  EXPECT_EQ(sw.stats.jobs, 3);
+  EXPECT_NE(sw.stats.to_string().find("30 trials"), std::string::npos);
+}
+
+TEST(Runner, JobsResolveAgainstHardwareAndTotal) {
+  EXPECT_GE(ParallelRunner{}.jobs(), 1);
+  RunOptions opt;
+  opt.jobs = 16;
+  const ParallelRunner pool{opt};
+  EXPECT_EQ(pool.jobs(), 16);
+  // More workers than trials: the pool shrinks to the trial count.
+  std::atomic<int> ran{0};
+  const auto stats = pool.run(3, [&](const TrialContext&) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 3);
+  EXPECT_EQ(stats.jobs, 3);
+}
+
+TEST(Runner, ChunkSizeDoesNotAffectResults) {
+  const auto with_chunk = [](std::size_t chunk) {
+    RunOptions opt;
+    opt.jobs = 4;
+    opt.chunk = chunk;
+    return sweep(items(97), [](int, const TrialContext& ctx) { return churn(ctx); }, opt)
+        .results;
+  };
+  const auto a = with_chunk(1);
+  EXPECT_EQ(a, with_chunk(13));
+  EXPECT_EQ(a, with_chunk(1000));  // one worker takes everything
+}
+
+}  // namespace
+}  // namespace animus::runner
