@@ -2,46 +2,90 @@
 // the attacking window D grows, produced by running the actual
 // draw-and-destroy overlay attack at each D on a reference device and
 // classifying what the user could see.
+//
+// Both the coarse outcome table and the 1 ms transition scan are
+// independent probes, so they fan out through runner::sweep; stdout is
+// byte-identical at any --jobs value (timing goes to stderr).
 #include <cstdio>
+#include <vector>
 
 #include "core/attack_analysis.hpp"
 #include "device/registry.hpp"
 #include "metrics/table.hpp"
 #include "percept/outcomes.hpp"
+#include "runner/bench_cli.hpp"
+#include "runner/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace animus;
+  const auto args = runner::BenchArgs::parse(argc, argv);
   const auto& dev = device::reference_device_android9();
-  std::printf("=== Fig. 6: notification view outcomes vs D on %s ===\n\n",
-              dev.display_name().c_str());
-  std::printf("Table II bound for this device: %.0f ms\n\n", dev.d_upper_bound_table_ms);
+  if (!args.csv) {
+    std::printf("=== Fig. 6: notification view outcomes vs D on %s ===\n\n",
+                dev.display_name().c_str());
+    std::printf("Table II bound for this device: %.0f ms\n\n", dev.d_upper_bound_table_ms);
+  }
+
+  std::vector<int> coarse;
+  for (int d = 25; d <= 700; d += 25) coarse.push_back(d);
+  const auto table_sweep = runner::sweep(
+      coarse,
+      [&](int d, const runner::TrialContext& ctx) {
+        core::OutcomeProbeConfig c;
+        c.profile = dev;
+        c.attacking_window = sim::ms(d);
+        c.seed = ctx.seed;
+        return core::run_outcome_probe(c);
+      },
+      args.run);
+  runner::report("fig06:table", table_sweep);
 
   metrics::Table table({"D (ms)", "outcome", "max pixels (of 72)", "animation max",
                         "message drawn", "icon"});
-  percept::LambdaOutcome prev = percept::LambdaOutcome::kL1;
-  for (int d = 25; d <= 700; d += 25) {
-    const auto probe = core::probe_outcome(dev, sim::ms(d));
-    table.add_row({metrics::fmt("%d", d), std::string(percept::to_string(probe.outcome)),
+  for (std::size_t i = 0; i < coarse.size(); ++i) {
+    const auto& probe = table_sweep.results[i];
+    table.add_row({metrics::fmt("%d", coarse[i]),
+                   std::string(percept::to_string(probe.outcome)),
                    metrics::fmt("%d", probe.alert.max_pixels),
                    metrics::percent(probe.alert.max_completeness),
                    metrics::percent(probe.alert.max_message_progress),
                    probe.alert.icon_shown ? "yes" : "no"});
-    if (probe.outcome != prev) prev = probe.outcome;
   }
-  std::fputs(table.to_string().c_str(), stdout);
+  runner::emit(table, args);
 
-  std::puts("\nOutcome transition points (1 ms granularity):");
+  // Transition scan: probe every integer D, then walk the results in
+  // submission order — same transitions the old sequential loop printed,
+  // but the probes themselves run in parallel.
+  std::vector<int> fine;
+  for (int d = 1; d <= 900; ++d) fine.push_back(d);
+  const auto scan_sweep = runner::sweep(
+      fine,
+      [&](int d, const runner::TrialContext& ctx) {
+        core::OutcomeProbeConfig c;
+        c.profile = dev;
+        c.attacking_window = sim::ms(d);
+        c.duration = sim::seconds(3);
+        c.seed = ctx.seed;
+        return core::run_outcome_probe(c).outcome;
+      },
+      args.run);
+  runner::report("fig06:scan", scan_sweep);
+
+  runner::note(args, "\nOutcome transition points (1 ms granularity):");
   percept::LambdaOutcome last = percept::LambdaOutcome::kL1;
-  for (int d = 1; d <= 900; ++d) {
-    const auto probe = core::probe_outcome(dev, sim::ms(d), sim::seconds(3));
-    if (probe.outcome != last) {
-      std::printf("  D >= %3d ms -> %s\n", d,
-                  std::string(percept::to_string(probe.outcome)).c_str());
-      last = probe.outcome;
+  for (std::size_t i = 0; i < fine.size(); ++i) {
+    const auto outcome = scan_sweep.results[i];
+    if (outcome != last) {
+      if (!args.csv) {
+        std::printf("  D >= %3d ms -> %s\n", fine[i],
+                    std::string(percept::to_string(outcome)).c_str());
+      }
+      last = outcome;
     }
     if (last == percept::LambdaOutcome::kL5) break;
   }
-  std::puts("\nShape check: outcomes progress L1 -> L2 -> L3 -> L4 -> L5 as D grows,");
-  std::puts("matching Fig. 6a-6e (view container first, then message, then icon).");
-  return 0;
+  runner::note(args, "\nShape check: outcomes progress L1 -> L2 -> L3 -> L4 -> L5 as D grows,");
+  runner::note(args, "matching Fig. 6a-6e (view container first, then message, then icon).");
+  runner::finish(args);
+  return table_sweep.ok() && scan_sweep.ok() ? 0 : 1;
 }

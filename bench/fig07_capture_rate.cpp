@@ -65,5 +65,6 @@ int main(int argc, char** argv) {
   runner::note(args, "  - mean capture rate increases monotonically with D;");
   runner::note(args, "  - saturates around ~92% by D = 175-200 ms;");
   runner::note(args, "  - ~90% is reached near D = 150 ms.");
+  runner::finish(args);
   return sw.ok() ? 0 : 1;
 }

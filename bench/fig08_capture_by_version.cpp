@@ -85,5 +85,6 @@ int main(int argc, char** argv) {
                 at200["Android 10.0"], at200["Android 9.x"]);
     std::puts("the paper attributes this to the reduced Trm on Android 10 (Section VI-B).");
   }
+  runner::finish(args);
   return sw.ok() ? 0 : 1;
 }

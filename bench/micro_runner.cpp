@@ -83,5 +83,6 @@ int main(int argc, char** argv) {
   }
   runner::emit(table, args);
   std::puts("\nDeterminism contract: every row must reproduce the jobs=1 results exactly.");
+  runner::finish(args);
   return 0;
 }

@@ -98,5 +98,6 @@ int main(int argc, char** argv) {
     std::puts("\nPaper: \"Only one subject reported that there were lags ... nobody noticed");
     std::puts("any suspicious thing.\"");
   }
+  runner::finish(args);
   return sw.ok() ? 0 : 1;
 }

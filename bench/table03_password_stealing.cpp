@@ -134,5 +134,6 @@ int main(int argc, char** argv) {
                        metrics::fmt("%.1f-%.1f", tmis_lo, tmis_hi)});
   }
   runner::emit(by_family, args);
+  runner::finish(args);
   return sw.ok() && fsw.ok() ? 0 : 1;
 }

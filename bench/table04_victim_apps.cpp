@@ -1,47 +1,91 @@
 // Table IV — the password-stealing attack against the eight real-world
 // apps. All are compromised; Alipay requires the extra username-widget
 // workaround because it suppresses password-widget accessibility events.
+//
+// Each (app, repetition) cell is an independent World, so the whole grid
+// fans out through runner::sweep; stdout is byte-identical at any
+// --jobs value (timing goes to stderr).
 #include <cstdio>
+#include <vector>
 
 #include "core/report.hpp"
 #include "device/registry.hpp"
 #include "input/password.hpp"
 #include "input/typist.hpp"
 #include "metrics/table.hpp"
+#include "runner/bench_cli.hpp"
+#include "runner/runner.hpp"
 #include "victim/catalog.hpp"
 
-int main() {
+namespace {
+constexpr int kRepetitions = 12;
+
+struct CellResult {
+  bool stolen = false;
+  bool workaround = false;
+  bool suppressed = false;
+};
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace animus;
+  const auto args = runner::BenchArgs::parse(argc, argv);
   const auto panel = input::participant_panel();
-  std::puts("=== Table IV: apps under testing ===\n");
+  const auto devices = device::all_devices();
+  const auto apps = victim::table_iv_apps();
+
+  struct Trial {
+    std::size_t app;
+    int rep;
+  };
+  std::vector<Trial> trials;
+  for (std::size_t a = 0; a < apps.size(); ++a)
+    for (int i = 0; i < kRepetitions; ++i) trials.push_back({a, i});
+
+  const auto sw = runner::sweep(
+      trials,
+      [&](const Trial& t, const runner::TrialContext& ctx) {
+        core::PasswordTrialConfig c;
+        c.profile = devices[static_cast<std::size_t>(t.rep * 3) % devices.size()];
+        c.app = apps[t.app].spec;
+        c.typist = panel[static_cast<std::size_t>(t.rep) % panel.size()];
+        sim::Rng rng = ctx.rng().fork("password");
+        c.password = input::random_password(8, rng);
+        c.seed = ctx.seed;
+        const auto r = core::run_password_trial(c);
+        CellResult cell;
+        cell.stolen = r.success;
+        cell.workaround = r.used_username_workaround;
+        cell.suppressed = r.alert_outcome == percept::LambdaOutcome::kL1;
+        return cell;
+      },
+      args.run);
+  runner::report("table04", sw);
+
+  runner::note(args, "=== Table IV: apps under testing ===\n");
   metrics::Table table({"App Name", "Version", "Attacks", "workaround used", "trials",
                         "stolen", "alert suppressed"});
-  for (const auto& entry : victim::table_iv_apps()) {
-    int trials = 0, stolen = 0, workaround = 0, suppressed = 0;
-    for (int i = 0; i < 12; ++i) {
-      core::PasswordTrialConfig c;
-      c.profile = device::all_devices()[static_cast<std::size_t>(i * 3) % 30];
-      c.app = entry.spec;
-      c.typist = panel[static_cast<std::size_t>(i) % panel.size()];
-      sim::Rng rng{static_cast<std::uint64_t>(900 + i)};
-      c.password = input::random_password(8, rng);
-      c.seed = static_cast<std::uint64_t>(7000 + i);
-      const auto r = core::run_password_trial(c);
-      ++trials;
-      stolen += r.success;
-      workaround += r.used_username_workaround;
-      suppressed += r.alert_outcome == percept::LambdaOutcome::kL1;
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    int trials_run = 0, stolen = 0, workaround = 0, suppressed = 0;
+    for (int i = 0; i < kRepetitions; ++i) {
+      const auto& cell = sw.results[a * kRepetitions + static_cast<std::size_t>(i)];
+      ++trials_run;
+      stolen += cell.stolen;
+      workaround += cell.workaround;
+      suppressed += cell.suppressed;
     }
-    const bool compromised = stolen > trials / 2;
+    const auto& entry = apps[a];
+    const bool compromised = stolen > trials_run / 2;
     table.add_row({entry.spec.name, entry.spec.version,
                    compromised ? (entry.needs_extra_effort ? "* (extra effort)" : "check")
                                : "FAILED",
-                   workaround == trials ? "yes" : (workaround == 0 ? "no" : "mixed"),
-                   metrics::fmt("%d", trials), metrics::fmt("%d", stolen),
-                   metrics::fmt("%d/%d", suppressed, trials)});
+                   workaround == trials_run ? "yes" : (workaround == 0 ? "no" : "mixed"),
+                   metrics::fmt("%d", trials_run), metrics::fmt("%d", stolen),
+                   metrics::fmt("%d/%d", suppressed, trials_run)});
   }
-  std::fputs(table.to_string().c_str(), stdout);
-  std::puts("\n'check' = compromised with no change (paper's checkmark); '*' = Alipay,");
-  std::puts("compromised via the username-widget accessibility workaround of Section VI-C1.");
-  return 0;
+  runner::emit(table, args);
+  runner::note(args, "\n'check' = compromised with no change (paper's checkmark); '*' = Alipay,");
+  runner::note(args, "compromised via the username-widget accessibility workaround of Section VI-C1.");
+  runner::finish(args);
+  return sw.ok() ? 0 : 1;
 }

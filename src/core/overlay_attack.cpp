@@ -33,6 +33,7 @@ void OverlayAttack::start() {
   world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
                          metrics::fmt("overlay attack start D=%.1fms",
                                       sim::to_ms(config_.attacking_window)));
+  cycle_start_ = world_->now();
   // Step 1: the first notification performs only addView(O1).
   main_thread_->post(sim::ms_f(0.1), server::kAddViewClientCost, [this] {
     current_ = world_->server().add_view(config_.uid, make_spec());
@@ -47,6 +48,11 @@ void OverlayAttack::start() {
 void OverlayAttack::tick() {
   if (!stats_.running) return;
   ++stats_.cycles;
+  // One completed draw-and-destroy round as a duration span: cycles are
+  // strictly sequential, so the attack track nests cleanly in Perfetto.
+  world_->trace().span(cycle_start_, world_->now(), sim::TraceCategory::kAttack,
+                       metrics::fmt("draw-destroy cycle %d", stats_.cycles));
+  cycle_start_ = world_->now();
   // Step 2: remove the displayed overlay, then add the other one. The
   // add call blocks the main thread for kAddViewClientCost, which is why
   // issuing it first (add_before_remove) delays the removal dispatch.

@@ -89,6 +89,7 @@ class OverlayAttack {
   sim::Rng rng_;
   server::ViewHandle current_ = 0;
   sim::EventLoop::EventId timer_{};
+  sim::SimTime cycle_start_{0};  // telemetry: start of the current cycle
   Stats stats_;
 };
 

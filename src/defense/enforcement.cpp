@@ -1,6 +1,7 @@
 #include "defense/enforcement.hpp"
 
 #include "metrics/table.hpp"
+#include "obs/metrics.hpp"
 
 namespace animus::defense {
 
@@ -10,6 +11,8 @@ DefenseDaemon::DefenseDaemon(server::World& world, EnforcementConfig config)
 void DefenseDaemon::install() {
   if (installed_) return;
   installed_ = true;
+  obs::global_registry().counter("animus_defense_installs_total", {{"kind", "daemon"}}).inc();
+  analyzer_.set_trace(&world_->trace());
   world_->transactions().add_observer([this](const ipc::Transaction& t) {
     analyzer_.observe(t);
     // The analyzer appends a Detection exactly once per uid; enforce any
@@ -54,9 +57,13 @@ void DefenseDaemon::enforce(const Detection& detection) {
     world_->nms().cancel_queued(uid, /*keep_content=*/"");
     world_->nms().cancel_current(uid);
   }
+  // Detection-to-enforcement latency as a span on the defense track.
+  world_->trace().span(action.detected_at, action.enforced_at, sim::TraceCategory::kDefense,
+                       metrics::fmt("neutralize uid=%d", uid));
   world_->trace().record(world_->now(), sim::TraceCategory::kDefense,
                          metrics::fmt("defense daemon: uid %d neutralized (%d windows)", uid,
                                       action.windows_removed));
+  obs::global_registry().counter("animus_defense_neutralized_total").inc();
   actions_.push_back(action);
 }
 

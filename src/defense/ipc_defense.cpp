@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "metrics/table.hpp"
+#include "obs/metrics.hpp"
+
 namespace animus::defense {
 
 IpcDefenseAnalyzer::IpcDefenseAnalyzer(IpcDefenseConfig config) : config_(config) {}
@@ -35,8 +38,24 @@ bool IpcDefenseAnalyzer::advance(UidState& st, const ipc::Transaction& t,
 }
 
 void IpcDefenseAnalyzer::observe(const ipc::Transaction& t) {
+  UidState& st = online_[t.caller_uid];
+  const sim::SimTime remove_at = st.last_remove;
+  const std::size_t pairs_before = st.pair_times.size();
   Detection det;
-  if (advance(online_[t.caller_uid], t, config_, &det)) detections_.push_back(det);
+  const bool flagged_now = advance(st, t, config_, &det);
+  if (trace_ != nullptr && st.pair_times.size() > pairs_before) {
+    // The remove→add gap the decision rule measures, as a span.
+    trace_->span(remove_at, t.sent, sim::TraceCategory::kDefense,
+                 metrics::fmt("ipc pair uid=%d n=%zu", t.caller_uid, st.pair_times.size()));
+  }
+  if (flagged_now) {
+    detections_.push_back(det);
+    if (trace_ != nullptr) {
+      trace_->record(t.sent, sim::TraceCategory::kDefense,
+                     metrics::fmt("ipc defense flagged uid=%d pairs=%d", det.uid, det.pairs));
+    }
+    obs::global_registry().counter("animus_ipc_defense_detections_total").inc();
+  }
 }
 
 std::vector<Detection> IpcDefenseAnalyzer::scan(const ipc::TransactionLog& log) const {

@@ -49,6 +49,11 @@ class IpcDefenseAnalyzer {
   /// analyzed immediately.
   void attach(ipc::TransactionLog& log);
 
+  /// When set, each observed remove→add pair emits a duration span on
+  /// the "defense" track (the pair gap the decision rule measures), and
+  /// detections appear as instants.
+  void set_trace(sim::TraceRecorder* trace) { trace_ = trace; }
+
   [[nodiscard]] bool flagged(int uid) const;
   [[nodiscard]] const std::vector<Detection>& detections() const { return detections_; }
   [[nodiscard]] const IpcDefenseConfig& config() const { return config_; }
@@ -67,6 +72,7 @@ class IpcDefenseAnalyzer {
                       Detection* out);
 
   IpcDefenseConfig config_;
+  sim::TraceRecorder* trace_ = nullptr;
   std::map<int, UidState> online_;
   std::vector<Detection> detections_;
 };

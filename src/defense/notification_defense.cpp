@@ -1,6 +1,7 @@
 #include "defense/notification_defense.hpp"
 
 #include "core/overlay_attack.hpp"
+#include "obs/metrics.hpp"
 #include "percept/outcomes.hpp"
 
 namespace animus::defense {
@@ -9,6 +10,9 @@ void install_enhanced_notification_defense(server::World& world, sim::SimTime de
   world.server().set_alert_removal_delay(delay);
   world.trace().record(world.now(), sim::TraceCategory::kDefense,
                        "enhanced notification defense installed", sim::to_ms(delay));
+  obs::global_registry()
+      .counter("animus_defense_installs_total", {{"kind", "enhanced_notification"}})
+      .inc();
 }
 
 core::OutcomeProbe probe_attack_under_defense(const device::DeviceProfile& profile,

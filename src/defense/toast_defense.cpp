@@ -1,6 +1,7 @@
 #include "defense/toast_defense.hpp"
 
 #include "core/toast_attack.hpp"
+#include "obs/metrics.hpp"
 
 namespace animus::defense {
 
@@ -8,6 +9,7 @@ void install_toast_gap_defense(server::World& world, sim::SimTime gap) {
   world.nms().set_inter_toast_gap(gap);
   world.trace().record(world.now(), sim::TraceCategory::kDefense,
                        "toast gap defense installed", sim::to_ms(gap));
+  obs::global_registry().counter("animus_defense_installs_total", {{"kind", "toast_gap"}}).inc();
 }
 
 ToastDefenseProbe probe_toast_attack(const device::DeviceProfile& profile, sim::SimTime gap,

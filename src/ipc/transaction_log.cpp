@@ -1,5 +1,7 @@
 #include "ipc/transaction_log.hpp"
 
+#include "metrics/table.hpp"
+
 namespace animus::ipc {
 
 std::string_view to_string(MethodCode m) {
@@ -24,8 +26,19 @@ std::uint64_t TransactionLog::record(int caller_uid, MethodCode code,
   t.sent = sent;
   t.delivered = delivered;
   log_.push_back(t);
+  if (trace_ != nullptr) {
+    trace_->span(sent, delivered, sim::TraceCategory::kIpc,
+                 metrics::fmt("binder %s uid=%d", std::string(to_string(code)).c_str(),
+                              caller_uid));
+  }
   for (const auto& obs : observers_) obs(log_.back());
   return t.id;
+}
+
+std::size_t TransactionLog::count(MethodCode code) const {
+  std::size_t n = 0;
+  for (const auto& t : log_) n += t.code == code;
+  return n;
 }
 
 std::vector<Transaction> TransactionLog::for_uid(int uid) const {

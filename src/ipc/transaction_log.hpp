@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "sim/trace.hpp"
 
 namespace animus::ipc {
 
@@ -49,7 +50,15 @@ class TransactionLog {
   void set_enabled(bool on) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
+  /// When set, every recorded transaction also emits a duration span on
+  /// the trace's "ipc" track covering the Binder transit (sent ->
+  /// delivered), so Perfetto shows the in-flight call per transaction.
+  void set_trace(sim::TraceRecorder* trace) { trace_ = trace; }
+
   void add_observer(Observer obs) { observers_.push_back(std::move(obs)); }
+
+  /// Transactions recorded with a given method code.
+  [[nodiscard]] std::size_t count(MethodCode code) const;
 
   [[nodiscard]] std::span<const Transaction> all() const { return log_; }
   [[nodiscard]] std::vector<Transaction> for_uid(int uid) const;
@@ -58,6 +67,7 @@ class TransactionLog {
 
  private:
   bool enabled_ = true;
+  sim::TraceRecorder* trace_ = nullptr;
   std::uint64_t next_id_ = 1;
   std::vector<Transaction> log_;
   std::vector<Observer> observers_;

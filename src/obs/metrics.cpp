@@ -1,0 +1,340 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace animus::obs {
+namespace {
+
+void atomic_add(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+Labels canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string fmt_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string prom_labels(const Labels& labels, const char* extra_key = nullptr,
+                        const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    append_json_escaped(out, v);
+    out += "\"";
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ",";
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) throw std::invalid_argument("bounds not increasing");
+  }
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, x);
+  if (!any_.exchange(true, std::memory_order_relaxed)) {
+    // First sample seeds min/max; racing observers fix it up below.
+    min_.store(x, std::memory_order_relaxed);
+    max_.store(x, std::memory_order_relaxed);
+  }
+  atomic_min(min_, x);
+  atomic_max(max_, x);
+}
+
+double Histogram::min() const { return any_.load(std::memory_order_relaxed) ? min_.load() : 0.0; }
+double Histogram::max() const { return any_.load(std::memory_order_relaxed) ? max_.load() : 0.0; }
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t c = bucket_count(i);
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) >= target) {
+      // Interpolate inside bucket i: [lo, hi] where lo is the previous
+      // bound (or min()) and hi the bucket's own bound (or max()).
+      const double lo = i == 0 ? std::min(min(), bounds_.front()) : bounds_[i - 1];
+      const double hi = i < bounds_.size() ? bounds_[i] : std::max(max(), bounds_.back());
+      const double frac =
+          std::clamp((target - static_cast<double>(cum)) / static_cast<double>(c), 0.0, 1.0);
+      return lo + (hi - lo) * frac;
+    }
+    cum += c;
+  }
+  return max();
+}
+
+void Histogram::merge_counts(const std::vector<std::uint64_t>& buckets, double sum,
+                             std::uint64_t count, double min, double max) {
+  if (buckets.size() != counts_.size() || count == 0) return;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    counts_[i].fetch_add(buckets[i], std::memory_order_relaxed);
+  }
+  count_.fetch_add(count, std::memory_order_relaxed);
+  atomic_add(sum_, sum);
+  if (!any_.exchange(true, std::memory_order_relaxed)) {
+    min_.store(min, std::memory_order_relaxed);
+    max_.store(max, std::memory_order_relaxed);
+  }
+  atomic_min(min_, min);
+  atomic_max(max_, max);
+}
+
+std::vector<double> default_latency_buckets_ms() {
+  std::vector<double> bounds;
+  for (double b = 0.01; b < 200'000.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+// ---------------------------------------------------------------- Snapshot
+
+std::string_view to_string(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+const MetricPoint* Snapshot::find(std::string_view name, const Labels& labels) const {
+  const Labels want = canonical(labels);
+  for (const auto& p : points) {
+    if (p.name == name && p.labels == want) return &p;
+  }
+  return nullptr;
+}
+
+std::string Snapshot::to_jsonl() const {
+  std::string out;
+  for (const auto& p : points) {
+    out += R"({"name":")";
+    append_json_escaped(out, p.name);
+    out += R"(","type":")";
+    out += to_string(p.type);
+    out += R"(","labels":{)";
+    bool first = true;
+    for (const auto& [k, v] : p.labels) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"";
+      append_json_escaped(out, k);
+      out += "\":\"";
+      append_json_escaped(out, v);
+      out += "\"";
+    }
+    out += "}";
+    if (p.type == MetricType::kHistogram) {
+      out += R"(,"count":)" + std::to_string(p.count);
+      out += R"(,"sum":)" + fmt_double(p.sum);
+      out += R"(,"min":)" + fmt_double(p.min);
+      out += R"(,"max":)" + fmt_double(p.max);
+      out += R"(,"bounds":[)";
+      for (std::size_t i = 0; i < p.bounds.size(); ++i) {
+        if (i) out += ",";
+        out += fmt_double(p.bounds[i]);
+      }
+      out += R"(],"buckets":[)";
+      for (std::size_t i = 0; i < p.buckets.size(); ++i) {
+        if (i) out += ",";
+        out += std::to_string(p.buckets[i]);
+      }
+      out += "]";
+    } else {
+      out += R"(,"value":)" + fmt_double(p.value);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string Snapshot::to_prometheus() const {
+  std::string out;
+  std::string last_name;
+  for (const auto& p : points) {
+    if (p.name != last_name) {
+      out += "# TYPE " + p.name + " " + std::string(to_string(p.type)) + "\n";
+      last_name = p.name;
+    }
+    if (p.type == MetricType::kHistogram) {
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < p.buckets.size(); ++i) {
+        cum += p.buckets[i];
+        const std::string le = i < p.bounds.size() ? fmt_double(p.bounds[i]) : "+Inf";
+        out += p.name + "_bucket" + prom_labels(p.labels, "le", le) + " " +
+               std::to_string(cum) + "\n";
+      }
+      out += p.name + "_sum" + prom_labels(p.labels) + " " + fmt_double(p.sum) + "\n";
+      out += p.name + "_count" + prom_labels(p.labels) + " " + std::to_string(p.count) + "\n";
+    } else {
+      out += p.name + prom_labels(p.labels) + " " + fmt_double(p.value) + "\n";
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- MetricsRegistry
+
+MetricsRegistry::Cell& MetricsRegistry::cell(std::string_view name, Labels labels,
+                                             MetricType type,
+                                             const std::vector<double>* bounds) {
+  std::lock_guard<std::mutex> lock{mu_};
+  const Key key{std::string(name), canonical(std::move(labels))};
+  auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    Cell c;
+    c.type = type;
+    switch (type) {
+      case MetricType::kCounter: c.counter = std::make_unique<Counter>(); break;
+      case MetricType::kGauge: c.gauge = std::make_unique<Gauge>(); break;
+      case MetricType::kHistogram:
+        c.histogram = std::make_unique<Histogram>(*bounds);
+        break;
+    }
+    it = cells_.emplace(key, std::move(c)).first;
+  } else if (it->second.type != type) {
+    throw std::logic_error("metric '" + key.first + "' re-registered with different type");
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
+  return *cell(name, std::move(labels), MetricType::kCounter, nullptr).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  return *cell(name, std::move(labels), MetricType::kGauge, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds,
+                                      Labels labels) {
+  return *cell(name, std::move(labels), MetricType::kHistogram, &bounds).histogram;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  Snapshot snap;
+  snap.points.reserve(cells_.size());
+  for (const auto& [key, c] : cells_) {  // std::map: deterministic order
+    MetricPoint p;
+    p.name = key.first;
+    p.labels = key.second;
+    p.type = c.type;
+    switch (c.type) {
+      case MetricType::kCounter: p.value = c.counter->value(); break;
+      case MetricType::kGauge: p.value = c.gauge->value(); break;
+      case MetricType::kHistogram: {
+        const Histogram& h = *c.histogram;
+        p.bounds = h.bounds();
+        p.buckets.resize(p.bounds.size() + 1);
+        for (std::size_t i = 0; i < p.buckets.size(); ++i) p.buckets[i] = h.bucket_count(i);
+        p.sum = h.sum();
+        p.count = h.count();
+        p.min = h.min();
+        p.max = h.max();
+        break;
+      }
+    }
+    snap.points.push_back(std::move(p));
+  }
+  return snap;
+}
+
+void MetricsRegistry::merge(const Snapshot& snap) {
+  for (const auto& p : snap.points) {
+    switch (p.type) {
+      case MetricType::kCounter:
+        counter(p.name, p.labels).add(p.value);
+        break;
+      case MetricType::kGauge:
+        gauge(p.name, p.labels).set_max(p.value);
+        break;
+      case MetricType::kHistogram: {
+        Histogram& h = histogram(p.name, p.bounds, p.labels);
+        if (h.bounds() != p.bounds || p.buckets.size() != p.bounds.size() + 1) break;
+        h.merge_counts(p.buckets, p.sum, p.count, p.min, p.max);
+        break;
+      }
+    }
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return cells_.size();
+}
+
+MetricsRegistry& global_registry() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace animus::obs

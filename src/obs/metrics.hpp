@@ -1,0 +1,175 @@
+// Thread-safe metrics registry shared by the simulator, the defenses and
+// the experiment runner.
+//
+// Three instrument kinds, all addressed by (name, labels):
+//   Counter    monotonically increasing double (events, windows, trials)
+//   Gauge      last-written value, plus a set_max() high-water helper
+//   Histogram  fixed bucket bounds, per-bucket counts + sum/count/min/max,
+//              with interpolated quantile estimates
+//
+// Registration is mutex-guarded and returns a stable reference; updates
+// on the returned instrument are lock-free atomics, so hot paths pay one
+// registry lookup and then only atomic adds. A Snapshot freezes every
+// instrument into deterministic (name, labels) order and serializes as
+// JSON-lines or Prometheus text exposition; snapshots merge into other
+// registries so per-world or per-thread registries can aggregate.
+//
+// Metric naming scheme (docs/observability.md): `animus_<noun>_<unit>`
+// with `_total` for counters, e.g. animus_trial_latency_ms,
+// animus_binder_transactions_total{method="addView"}.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace animus::obs {
+
+/// Label set, e.g. {{"method", "addView"}}. Order-insensitive: keys are
+/// sorted on registration so equal sets address the same instrument.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+  }
+  void inc() { add(1.0); }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  /// Keep the maximum ever observed (high-water gauges, e.g. queue depth).
+  void set_max(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  /// `bounds` are inclusive upper bucket bounds, strictly increasing; an
+  /// implicit +inf bucket catches the overflow.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Interpolated quantile estimate from the bucket counts (q in [0,1]).
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Fold a frozen histogram in (bucket-wise; sizes must match).
+  void merge_counts(const std::vector<std::uint64_t>& buckets, double sum, std::uint64_t count,
+                    double min, double max);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<bool> any_{false};
+};
+
+/// Default exponential latency buckets in milliseconds (0.01 .. ~160s).
+std::vector<double> default_latency_buckets_ms();
+
+enum class MetricType : std::uint8_t { kCounter, kGauge, kHistogram };
+
+std::string_view to_string(MetricType t);
+
+/// One frozen instrument.
+struct MetricPoint {
+  std::string name;
+  Labels labels;
+  MetricType type = MetricType::kCounter;
+  double value = 0.0;                  // counter/gauge
+  std::vector<double> bounds;          // histogram
+  std::vector<std::uint64_t> buckets;  // histogram, bounds.size() + 1
+  double sum = 0.0;                    // histogram
+  std::uint64_t count = 0;             // histogram
+  double min = 0.0, max = 0.0;         // histogram
+};
+
+/// Deterministically ordered freeze of a registry.
+struct Snapshot {
+  std::vector<MetricPoint> points;
+
+  [[nodiscard]] const MetricPoint* find(std::string_view name, const Labels& labels = {}) const;
+  /// One JSON object per line, one line per instrument.
+  [[nodiscard]] std::string to_jsonl() const;
+  /// Prometheus text exposition format (histograms expand into
+  /// _bucket{le=...} / _sum / _count series).
+  [[nodiscard]] std::string to_prometheus() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create; the returned reference stays valid for the registry
+  /// lifetime. Re-registering a name with a different type throws.
+  Counter& counter(std::string_view name, Labels labels = {});
+  Gauge& gauge(std::string_view name, Labels labels = {});
+  /// `bounds` only matters on first registration; later calls with the
+  /// same (name, labels) return the existing histogram.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds, Labels labels = {});
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Fold a snapshot in: counters add, gauges keep the max, histograms
+  /// add bucket-wise (bounds must match; mismatches are skipped).
+  void merge(const Snapshot& snap);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Cell {
+    MetricType type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  using Key = std::pair<std::string, Labels>;
+
+  Cell& cell(std::string_view name, Labels labels, MetricType type,
+             const std::vector<double>* bounds);
+
+  mutable std::mutex mu_;
+  std::map<Key, Cell> cells_;
+};
+
+/// Process-wide registry: instrumented components (World teardown, the
+/// runner, the defenses) publish here; --metrics-out snapshots it.
+MetricsRegistry& global_registry();
+
+}  // namespace animus::obs

@@ -1,0 +1,64 @@
+#include "obs/trace_capture.hpp"
+
+namespace animus::obs {
+namespace {
+
+thread_local std::optional<std::size_t> tl_current_trial;
+
+}  // namespace
+
+void TraceCapture::arm(std::size_t trial_index) {
+  std::lock_guard<std::mutex> lock{mu_};
+  armed_ = true;
+  claimed_ = false;
+  captured_ = false;
+  trial_index_ = trial_index;
+  trace_.clear();
+}
+
+bool TraceCapture::armed() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return armed_;
+}
+
+bool TraceCapture::try_claim() {
+  if (tl_current_trial == std::nullopt) return false;
+  std::lock_guard<std::mutex> lock{mu_};
+  if (!armed_ || claimed_ || *tl_current_trial != trial_index_) return false;
+  claimed_ = true;
+  return true;
+}
+
+void TraceCapture::deliver(const sim::TraceRecorder& trace) {
+  std::lock_guard<std::mutex> lock{mu_};
+  if (!claimed_ || captured_) return;
+  trace_ = trace;
+  captured_ = true;
+}
+
+bool TraceCapture::captured() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return captured_;
+}
+
+void TraceCapture::reset() {
+  std::lock_guard<std::mutex> lock{mu_};
+  armed_ = claimed_ = captured_ = false;
+  trial_index_ = 0;
+  trace_.clear();
+}
+
+TraceCapture::TrialScope::TrialScope(std::size_t index) : previous_(tl_current_trial) {
+  tl_current_trial = index;
+}
+
+TraceCapture::TrialScope::~TrialScope() { tl_current_trial = previous_; }
+
+std::optional<std::size_t> TraceCapture::current_trial() { return tl_current_trial; }
+
+TraceCapture& trace_capture() {
+  static TraceCapture* capture = new TraceCapture();  // never destroyed
+  return *capture;
+}
+
+}  // namespace animus::obs

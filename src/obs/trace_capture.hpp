@@ -1,0 +1,77 @@
+// Deterministic trace capture across a parallel sweep.
+//
+// `--trace-out` needs the full span trace of ONE representative trial,
+// but trial bodies construct their Worlds privately and sweeps usually
+// run with tracing disabled for speed. The capture protocol closes that
+// gap without threading a sink through every trial signature:
+//
+//   1. bench_cli arms the process-wide capture for a trial index
+//      (default 0) before the sweep starts;
+//   2. the runner marks the current trial index in a thread-local slot
+//      around each trial body (TrialScope);
+//   3. the first World constructed inside the armed trial claims the
+//      capture (try_claim), force-enables its TraceRecorder, and
+//      delivers a copy of the trace at destruction.
+//
+// The claimed World is a pure function of the armed index — whichever
+// worker thread happens to run the trial — so the captured trace is
+// identical at any --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "sim/trace.hpp"
+
+namespace animus::obs {
+
+class TraceCapture {
+ public:
+  /// Arm capture for submission index `trial_index` of the next sweep.
+  void arm(std::size_t trial_index);
+
+  [[nodiscard]] bool armed() const;
+
+  /// Called by a World constructor: true exactly once, for the first
+  /// World built inside the armed trial. The claimant must deliver().
+  bool try_claim();
+
+  /// Deliver the claimed World's trace (called from its destructor).
+  void deliver(const sim::TraceRecorder& trace);
+
+  [[nodiscard]] bool captured() const;
+  [[nodiscard]] const sim::TraceRecorder& trace() const { return trace_; }
+
+  /// Disarm and drop any captured trace (tests).
+  void reset();
+
+  // ---- runner-side trial marking (thread-local) ----
+
+  /// RAII: marks the current thread as executing sweep trial `index`.
+  class TrialScope {
+   public:
+    explicit TrialScope(std::size_t index);
+    ~TrialScope();
+    TrialScope(const TrialScope&) = delete;
+    TrialScope& operator=(const TrialScope&) = delete;
+
+   private:
+    std::optional<std::size_t> previous_;
+  };
+
+  [[nodiscard]] static std::optional<std::size_t> current_trial();
+
+ private:
+  mutable std::mutex mu_;
+  bool armed_ = false;
+  bool claimed_ = false;
+  bool captured_ = false;
+  std::size_t trial_index_ = 0;
+  sim::TraceRecorder trace_;
+};
+
+/// Process-wide capture slot used by bench_cli, the runner, and World.
+TraceCapture& trace_capture();
+
+}  // namespace animus::obs

@@ -4,20 +4,40 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_capture.hpp"
+#include "sim/chrome_trace.hpp"
+
 namespace animus::runner {
 namespace {
 
 [[noreturn]] void usage(const char* argv0, int exit_code) {
   std::FILE* out = exit_code == 0 ? stdout : stderr;
   std::fprintf(out,
-               "usage: %s [--jobs N] [--seed S] [--csv]\n"
-               "  --jobs N   worker threads (0 = all hardware cores; default 0)\n"
-               "  --seed S   root seed for the deterministic trial sweep\n"
-               "  --csv      emit tables as CSV and suppress commentary\n"
-               "Tables print on stdout; timing goes to stderr, so output is\n"
-               "byte-identical at any --jobs value.\n",
+               "usage: %s [--jobs N] [--seed S] [--csv] [--trace-out FILE]"
+               " [--metrics-out FILE]\n"
+               "  --jobs N            worker threads (0 = all hardware cores; default 0)\n"
+               "  --seed S            root seed for the deterministic trial sweep\n"
+               "  --csv               emit tables as CSV and suppress commentary\n"
+               "  --trace-out FILE    Chrome/Perfetto JSON trace of trial 0\n"
+               "  --metrics-out FILE  metrics snapshot (.prom => Prometheus, else JSONL)\n"
+               "Tables print on stdout; timing and telemetry go to stderr, so\n"
+               "output is byte-identical at any --jobs value.\n",
                argv0);
   std::exit(exit_code);
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = n == body.size() && std::fclose(f) == 0;
+  if (n != body.size()) std::fclose(f);
+  return ok;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
 }
 
 }  // namespace
@@ -25,8 +45,17 @@ namespace {
 BenchArgs BenchArgs::parse(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    const auto value = [&](const char* flag) -> const char* {
+    std::string_view arg = argv[i];
+    // Accept both `--flag value` and `--flag=value`.
+    std::string inline_value;
+    bool has_inline = false;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos && arg.rfind("--", 0) == 0) {
+      inline_value = std::string(arg.substr(eq + 1));
+      arg = arg.substr(0, eq);
+      has_inline = true;
+    }
+    const auto value = [&](const char* flag) -> std::string {
+      if (has_inline) return inline_value;
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s: missing value for %s\n", argv[0], flag);
         usage(argv[0], 2);
@@ -34,11 +63,15 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--jobs" || arg == "-j") {
-      args.run.jobs = std::atoi(value("--jobs"));
+      args.run.jobs = std::atoi(value("--jobs").c_str());
     } else if (arg == "--seed" || arg == "-s") {
-      args.run.root_seed = std::strtoull(value("--seed"), nullptr, 0);
+      args.run.root_seed = std::strtoull(value("--seed").c_str(), nullptr, 0);
     } else if (arg == "--csv") {
       args.csv = true;
+    } else if (arg == "--trace-out") {
+      args.trace_out = value("--trace-out");
+    } else if (arg == "--metrics-out") {
+      args.metrics_out = value("--metrics-out");
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0], 0);
     } else {
@@ -46,6 +79,7 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       usage(argv[0], 2);
     }
   }
+  if (!args.trace_out.empty()) obs::trace_capture().arm(0);
   return args;
 }
 
@@ -59,9 +93,42 @@ void note(const BenchArgs& args, const char* line) {
 
 void report(const char* label, const SweepStats& stats, const std::vector<TrialError>& errors) {
   std::fprintf(stderr, "[%s] %s\n", label, stats.to_string().c_str());
+  if (!stats.samples_ms.empty()) {
+    std::fprintf(stderr, "[%s] %s\n", label, stats.latency_line().c_str());
+    auto& hist = obs::global_registry().histogram("animus_trial_latency_ms",
+                                                  obs::default_latency_buckets_ms(),
+                                                  {{"bench", label}});
+    for (const double ms : stats.samples_ms) hist.observe(ms);
+  }
   for (const auto& e : errors) {
     std::fprintf(stderr, "[%s] trial %zu (seed %llu) failed: %s\n", label, e.index,
                  static_cast<unsigned long long>(e.seed), e.what.c_str());
+  }
+}
+
+void finish(const BenchArgs& args) {
+  if (!args.trace_out.empty()) {
+    auto& capture = obs::trace_capture();
+    if (!capture.captured()) {
+      std::fprintf(stderr, "[bench] --trace-out: no trial trace was captured\n");
+    } else if (sim::write_chrome_trace(capture.trace(), args.trace_out)) {
+      std::fprintf(stderr, "[bench] trace written to %s (%zu records)\n",
+                   args.trace_out.c_str(), capture.trace().size());
+    } else {
+      std::fprintf(stderr, "[bench] failed to write trace to %s\n", args.trace_out.c_str());
+    }
+  }
+  if (!args.metrics_out.empty()) {
+    const obs::Snapshot snap = obs::global_registry().snapshot();
+    const std::string body =
+        ends_with(args.metrics_out, ".prom") ? snap.to_prometheus() : snap.to_jsonl();
+    if (write_file(args.metrics_out, body)) {
+      std::fprintf(stderr, "[bench] metrics written to %s (%zu series)\n",
+                   args.metrics_out.c_str(), snap.points.size());
+    } else {
+      std::fprintf(stderr, "[bench] failed to write metrics to %s\n",
+                   args.metrics_out.c_str());
+    }
   }
 }
 

@@ -1,17 +1,23 @@
 // Shared command-line surface for the bench binaries.
 //
-// Every migrated bench accepts the same three flags instead of carrying
-// its own main() boilerplate:
+// Every migrated bench accepts the same flags instead of carrying its
+// own main() boilerplate:
 //
-//   --jobs N   worker threads for runner::sweep (0 = all hardware cores)
-//   --seed S   root seed the per-trial seeds are split from
-//   --csv      emit tables as CSV on stdout and suppress commentary
+//   --jobs N            worker threads for runner::sweep (0 = all cores)
+//   --seed S            root seed the per-trial seeds are split from
+//   --csv               emit tables as CSV on stdout, suppress commentary
+//   --trace-out FILE    write the Chrome/Perfetto span trace of one
+//                       representative trial (submission index 0)
+//   --metrics-out FILE  snapshot the global metrics registry on exit
+//                       (.prom => Prometheus text, else JSON-lines)
 //
-// Tables and commentary go to stdout; throughput reports and captured
-// trial errors go to stderr, so `--jobs 1` and `--jobs 8` runs produce
-// byte-identical stdout (the determinism contract) while timing stays
-// visible on the terminal.
+// Tables and commentary go to stdout; throughput reports, latency
+// percentiles and captured trial errors go to stderr, so `--jobs 1` and
+// `--jobs 8` runs produce byte-identical stdout (the determinism
+// contract) while telemetry stays visible on the terminal.
 #pragma once
+
+#include <string>
 
 #include "metrics/table.hpp"
 #include "runner/runner.hpp"
@@ -19,10 +25,14 @@
 namespace animus::runner {
 
 struct BenchArgs {
-  RunOptions run;     ///< jobs + root_seed feed runner::sweep directly
-  bool csv = false;   ///< CSV tables on stdout, commentary suppressed
+  RunOptions run;           ///< jobs + root_seed feed runner::sweep directly
+  bool csv = false;         ///< CSV tables on stdout, commentary suppressed
+  std::string trace_out;    ///< span-trace destination ("" = disabled)
+  std::string metrics_out;  ///< metrics-snapshot destination ("" = disabled)
 
   /// Parse argv; prints usage and exits on --help (0) or bad args (2).
+  /// When --trace-out is given, arms the process-wide trace capture for
+  /// trial 0 so the next sweep records its representative trial.
   static BenchArgs parse(int argc, char** argv);
 };
 
@@ -32,12 +42,20 @@ void emit(const metrics::Table& table, const BenchArgs& args);
 /// Commentary line (shape checks, headers): stdout unless --csv.
 void note(const BenchArgs& args, const char* line);
 
-/// Throughput report + any captured trial errors, on stderr.
+/// Throughput report, latency percentile line (p50/p90/p99/max) and any
+/// captured trial errors, on stderr. Also feeds every per-trial latency
+/// sample into the global `animus_trial_latency_ms{bench=label}`
+/// histogram so --metrics-out exports it.
 void report(const char* label, const SweepStats& stats, const std::vector<TrialError>& errors);
 
 template <typename R>
 void report(const char* label, const SweepResult<R>& sweep) {
   report(label, sweep.stats, sweep.errors);
 }
+
+/// Write --trace-out / --metrics-out files, if requested. Call once at
+/// the end of main(); safe no-op when neither flag was given. Reports
+/// destinations (or I/O failures) on stderr.
+void finish(const BenchArgs& args);
 
 }  // namespace animus::runner

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <mutex>
 #include <random>
 #include <thread>
 
 #include "metrics/table.hpp"
+#include "obs/trace_capture.hpp"
 
 namespace animus::runner {
 namespace {
@@ -33,6 +35,23 @@ double SweepStats::utilization() const {
   return std::min(1.0, trial_ms.sum() / capacity);
 }
 
+double SweepStats::percentile(double q) const {
+  if (samples_ms.empty()) return 0.0;
+  std::vector<double> sorted = samples_ms;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::min<double>(std::ceil(clamped * static_cast<double>(sorted.size())),
+                       static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+std::string SweepStats::latency_line() const {
+  if (samples_ms.empty()) return "latency: no samples";
+  return metrics::fmt("latency/trial: p50 %.2f ms  p90 %.2f ms  p99 %.2f ms  max %.2f ms",
+                      percentile(0.50), percentile(0.90), percentile(0.99), trial_ms.max());
+}
+
 std::string SweepStats::to_string() const {
   if (trial_ms.count() == 0) return "0 trials";
   const double rate = wall_ms > 0.0 ? 1000.0 * static_cast<double>(trial_ms.count()) / wall_ms
@@ -54,6 +73,8 @@ SweepStats ParallelRunner::run(std::size_t total,
   stats.jobs = static_cast<int>(
       std::min<std::size_t>(static_cast<std::size_t>(jobs_), std::max<std::size_t>(total, 1)));
   if (total == 0) return stats;
+  // Distinct indices => distinct slots: workers write samples racelessly.
+  stats.samples_ms.assign(total, 0.0);
 
   std::uint64_t root_seed = options_.root_seed;
   if (!options_.deterministic) {
@@ -92,13 +113,18 @@ SweepStats ParallelRunner::run(std::size_t total,
         ctx.seed = root.fork(i).next_u64();
         const auto trial_start = Clock::now();
         try {
+          // Mark the thread with the trial index so an armed TraceCapture
+          // can claim the representative trial's first World.
+          obs::TraceCapture::TrialScope scope{i};
           body(ctx);
         } catch (const std::exception& e) {
           local_errors.push_back({i, ctx.seed, e.what()});
         } catch (...) {
           local_errors.push_back({i, ctx.seed, "unknown exception"});
         }
-        local_ms.add(ms_between(trial_start, Clock::now()));
+        const double elapsed = ms_between(trial_start, Clock::now());
+        local_ms.add(elapsed);
+        stats.samples_ms[i] = elapsed;
         done.fetch_add(1, std::memory_order_relaxed);
       }
       busy.fetch_sub(1, std::memory_order_relaxed);

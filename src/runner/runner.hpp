@@ -82,13 +82,20 @@ struct TrialContext {
 /// bodies run simulated worlds, so simulated time is irrelevant here).
 struct SweepStats {
   metrics::RunningStats trial_ms;  ///< per-trial wall-clock, milliseconds
+  /// Every trial's wall-clock in submission order (index = trial index),
+  /// so latency percentiles are exact and independent of thread count.
+  std::vector<double> samples_ms;
   double wall_ms = 0.0;            ///< whole-sweep wall-clock
   int jobs = 1;                    ///< pool size actually used
 
   /// Fraction of jobs * wall_ms spent inside trial bodies (0..1).
   [[nodiscard]] double utilization() const;
+  /// Exact percentile over samples_ms (q in [0,1], nearest-rank).
+  [[nodiscard]] double percentile(double q) const;
   /// One-line throughput report ("N trials in X ms on J threads ...").
   [[nodiscard]] std::string to_string() const;
+  /// One-line latency table: "p50 ... p90 ... p99 ... max ...".
+  [[nodiscard]] std::string latency_line() const;
 };
 
 /// Thread-pool batch executor. Stateless between runs; the pool is

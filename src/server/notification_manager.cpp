@@ -89,6 +89,7 @@ void NotificationManagerService::maybe_show_next() {
                                 sim::to_ms(request.duration)));
     current_.window = id;
     current_.on_screen = true;
+    current_.shown_at = loop_->now();
     // When the duration elapses, start the fade-out and immediately
     // fetch the next token (Section IV-C step 2).
     current_.expiry = loop_->schedule_after(request.duration, [this, id] { retire(id); });
@@ -97,6 +98,13 @@ void NotificationManagerService::maybe_show_next() {
 }
 
 void NotificationManagerService::retire(ui::WindowId id) {
+  // Full-opacity slot of the retiring toast (surface landed -> fade-out
+  // start); the 500 ms fade tails are separate kAnimation records.
+  if (current_.on_screen && current_.window == id) {
+    trace_->span(current_.shown_at, loop_->now(), sim::TraceCategory::kSystemServer,
+                 metrics::fmt("toast visible uid=%d id=%llu", current_.uid,
+                              static_cast<unsigned long long>(id)));
+  }
   wms_->fade_out_and_remove(id);
   showing_ = false;
   current_ = Current{};

@@ -105,6 +105,7 @@ class NotificationManagerService {
     ui::WindowId window = ui::kInvalidWindow;
     sim::EventLoop::EventId expiry{};
     bool on_screen = false;  // false while the surface is being created
+    sim::SimTime shown_at{0};  // telemetry: when the surface landed
   };
   Current current_;
   Stats stats_;

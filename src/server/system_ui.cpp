@@ -59,6 +59,9 @@ void SystemUi::start_in_animation(Entry& e, int uid) {
   e.pending = loop_->schedule_after(remaining, [this, uid] {
     Entry& en = entry(uid);
     account_segment(en, en.anchor_elapsed, anim_.duration(), +1);
+    // Completed forward segment (anchor_time still marks its start).
+    trace_->span(en.anchor_time, loop_->now(), sim::TraceCategory::kAnimation,
+                 metrics::fmt("slide-in uid=%d", uid));
     en.anchor_elapsed = anim_.duration();
     en.anchor_time = loop_->now();
     en.direction = 0;
@@ -93,6 +96,7 @@ void SystemUi::show_overlay_alert(int uid, sim::SimTime construction_time) {
       e.stats.shows += 1;
       e.phase = AlertPhase::kConstructing;
       e.anchor_elapsed = sim::SimTime{0};
+      e.lifecycle_start = loop_->now();
       trace_->record(loop_->now(), sim::TraceCategory::kSystemUi,
                      metrics::fmt("sysui: constructing alert view uid=%d", uid));
       e.pending = loop_->schedule_after(construction_time, [this, uid] {
@@ -111,6 +115,13 @@ void SystemUi::show_overlay_alert(int uid, sim::SimTime construction_time) {
       loop_->cancel(e.pending);
       const sim::SimTime el = elapsed_at(e, loop_->now());
       account_segment(e, e.anchor_elapsed, el, -1);
+      // The reverse segment is cut short; close it and the old lifecycle
+      // so the new construction opens a fresh span pair.
+      trace_->span(e.anchor_time, loop_->now(), sim::TraceCategory::kAnimation,
+                   metrics::fmt("slide-out (cut) uid=%d", uid));
+      trace_->span(e.lifecycle_start, loop_->now(), sim::TraceCategory::kSystemUi,
+                   metrics::fmt("alert lifecycle uid=%d", uid));
+      e.lifecycle_start = loop_->now();
       e.anchor_elapsed = sim::SimTime{0};
       e.direction = 0;
       e.phase = AlertPhase::kConstructing;
@@ -143,6 +154,8 @@ void SystemUi::dismiss_overlay_alert(int uid) {
       e.phase = AlertPhase::kHidden;
       e.anchor_elapsed = sim::SimTime{0};
       e.stats.dismissals += 1;
+      trace_->span(e.lifecycle_start, loop_->now(), sim::TraceCategory::kSystemUi,
+                   metrics::fmt("alert lifecycle (cancelled) uid=%d", uid));
       trace_->record(loop_->now(), sim::TraceCategory::kSystemUi,
                      metrics::fmt("sysui: alert construction cancelled uid=%d", uid));
       return;
@@ -160,6 +173,9 @@ void SystemUi::dismiss_overlay_alert(int uid) {
       } else {
         const sim::SimTime el = elapsed_at(e, loop_->now());
         account_segment(e, e.anchor_elapsed, el, +1);
+        // Forward segment interrupted mid-flight.
+        trace_->span(e.anchor_time, loop_->now(), sim::TraceCategory::kAnimation,
+                     metrics::fmt("slide-in (cut) uid=%d", uid));
         e.anchor_elapsed = el;
       }
       e.anchor_time = loop_->now();
@@ -171,6 +187,11 @@ void SystemUi::dismiss_overlay_alert(int uid) {
       e.pending = loop_->schedule_after(e.anchor_elapsed, [this, uid] {
         Entry& en = entry(uid);
         account_segment(en, en.anchor_elapsed, sim::SimTime{0}, -1);
+        // Completed reverse segment, then the whole lifecycle.
+        trace_->span(en.anchor_time, loop_->now(), sim::TraceCategory::kAnimation,
+                     metrics::fmt("slide-out uid=%d", uid));
+        trace_->span(en.lifecycle_start, loop_->now(), sim::TraceCategory::kSystemUi,
+                     metrics::fmt("alert lifecycle uid=%d", uid));
         en.anchor_elapsed = sim::SimTime{0};
         en.anchor_time = loop_->now();
         en.direction = 0;
@@ -221,6 +242,22 @@ SystemUi::AlertStats SystemUi::snapshot(int uid) const {
         std::max(s.max_message_progress, message_progress_at(e, loop_->now()));
   }
   return s;
+}
+
+SystemUi::AlertStats SystemUi::totals() const {
+  AlertStats out;
+  for (const auto& [uid, e] : entries_) {
+    out.shows += e.stats.shows;
+    out.dismissals += e.stats.dismissals;
+    out.completions += e.stats.completions;
+    out.max_pixels = std::max(out.max_pixels, e.stats.max_pixels);
+    out.max_completeness = std::max(out.max_completeness, e.stats.max_completeness);
+    out.max_message_progress =
+        std::max(out.max_message_progress, e.stats.max_message_progress);
+    out.icon_shown = out.icon_shown || e.stats.icon_shown;
+    out.visible_time += e.stats.visible_time;
+  }
+  return out;
 }
 
 bool SystemUi::alert_fully_visible(int uid) const {

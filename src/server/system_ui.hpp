@@ -82,6 +82,9 @@ class SystemUi {
   /// classify outcomes while an alert is still animating or shown.
   [[nodiscard]] AlertStats snapshot(int uid) const;
 
+  /// Telemetry rollup across every uid: counters summed, extrema maxed.
+  [[nodiscard]] AlertStats totals() const;
+
   /// Whether a fully-drawn alert entry currently sits in the drawer.
   [[nodiscard]] bool alert_fully_visible(int uid) const;
 
@@ -100,6 +103,7 @@ class SystemUi {
     sim::SimTime anchor_elapsed{0};
     int direction = 0;
     sim::SimTime shown_at{0};  // when the view completed (for message draw)
+    sim::SimTime lifecycle_start{0};  // telemetry: first show of this lifecycle
     sim::EventLoop::EventId pending{};  // construction/completion/hidden event
     sim::EventLoop::EventId icon_event{};
     AlertStats stats;

@@ -32,6 +32,13 @@ bool WindowManagerService::remove_window_now(ui::WindowId id) {
   WindowRecord* rec = find_mutable(id);
   if (rec == nullptr || rec->removed_at.has_value()) return false;
   rec->removed_at = loop_->now();
+  // The whole on-screen lifetime as one duration span: Perfetto then shows
+  // each window as a bar from addView completion to removal.
+  trace_->span(rec->window.added_at, loop_->now(), sim::TraceCategory::kSystemServer,
+               metrics::fmt("window %s uid=%d id=%llu",
+                            std::string(ui::to_string(rec->window.type)).c_str(),
+                            rec->window.owner_uid,
+                            static_cast<unsigned long long>(id)));
   trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
                  metrics::fmt("wms: remove id=%llu", static_cast<unsigned long long>(id)));
   return true;

@@ -1,5 +1,10 @@
 #include "server/world.hpp"
 
+#include "ipc/transaction_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_capture.hpp"
+#include "sim/span.hpp"
+
 namespace animus::server {
 
 World::World(WorldConfig config)
@@ -13,6 +18,49 @@ World::World(WorldConfig config)
       input_(loop_, trace_, wms_, rng_.fork("input")) {
   trace_.set_enabled(config_.trace_enabled);
   server_.set_deterministic(config_.deterministic);
+  // If --trace-out armed the process-wide capture for the trial this
+  // World is constructed in, claim it and force tracing on: sweeps run
+  // with trace_enabled=false by default, but the captured representative
+  // trial must record everything.
+  if (obs::trace_capture().try_claim()) {
+    captured_ = true;
+    trace_.set_enabled(true);
+  }
+  if (trace_.enabled()) txlog_.set_trace(&trace_);
+}
+
+World::~World() {
+  // Publish run totals to the process-wide registry. Worlds are destroyed
+  // on worker threads during parallel sweeps; all updates are atomic.
+  auto& reg = obs::global_registry();
+  reg.counter("animus_worlds_total").inc();
+  reg.counter("animus_events_executed_total").add(static_cast<double>(loop_.executed()));
+  reg.counter("animus_events_cancelled_total").add(static_cast<double>(loop_.cancelled()));
+  reg.gauge("animus_events_max_pending").set_max(static_cast<double>(loop_.max_pending()));
+  reg.counter("animus_windows_added_total").add(static_cast<double>(wms_.total_added()));
+  reg.counter("animus_toasts_shown_total").add(static_cast<double>(nms_.stats().shown));
+  reg.counter("animus_toasts_rejected_total").add(static_cast<double>(nms_.stats().rejected));
+  reg.counter("animus_overlays_rejected_total")
+      .add(static_cast<double>(server_.rejected_overlays()));
+  const SystemUi::AlertStats alerts = sysui_.totals();
+  reg.counter("animus_alert_shows_total").add(static_cast<double>(alerts.shows));
+  reg.counter("animus_alert_dismissals_total").add(static_cast<double>(alerts.dismissals));
+  reg.counter("animus_alert_completions_total").add(static_cast<double>(alerts.completions));
+  using ipc::MethodCode;
+  for (const MethodCode m : {MethodCode::kAddView, MethodCode::kRemoveView,
+                             MethodCode::kEnqueueToast, MethodCode::kOther}) {
+    const std::size_t n = txlog_.count(m);
+    if (n == 0) continue;
+    reg.counter("animus_binder_transactions_total",
+                {{"method", std::string(ipc::to_string(m))}})
+        .add(static_cast<double>(n));
+  }
+  if (captured_) obs::trace_capture().deliver(trace_);
+}
+
+void World::run_until(sim::SimTime t) {
+  sim::ScopedSpan span(trace_, loop_, sim::TraceCategory::kSim, "run_until");
+  loop_.run_until(t);
 }
 
 sim::Actor& World::new_actor(std::string name) {

@@ -49,6 +49,9 @@ struct WorldConfig {
 class World {
  public:
   explicit World(WorldConfig config);
+  /// Publishes run counters to obs::global_registry() and, when this
+  /// World claimed the process-wide trace capture, delivers its trace.
+  ~World();
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
@@ -70,7 +73,9 @@ class World {
   /// Fork a deterministic RNG substream for a component.
   [[nodiscard]] sim::Rng fork_rng(std::string_view label) { return rng_.fork(label); }
 
-  void run_until(sim::SimTime t) { loop_.run_until(t); }
+  /// Advance simulated time to `t`; when tracing, the whole run shows up
+  /// as one span on the "sim" track.
+  void run_until(sim::SimTime t);
   void run_all() { loop_.run_all(); }
 
  private:
@@ -85,6 +90,7 @@ class World {
   SystemServer server_;
   InputDispatcher input_;
   std::vector<std::unique_ptr<sim::Actor>> actors_;
+  bool captured_ = false;  // this World holds the process trace capture
 };
 
 }  // namespace animus::server

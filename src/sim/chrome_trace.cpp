@@ -37,7 +37,7 @@ std::string to_chrome_trace_json(const TraceRecorder& trace, std::string_view pr
   out += R"({"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":")";
   append_escaped(out, process_name);
   out += "\"}}";
-  for (int c = 0; c < 8; ++c) {
+  for (int c = 0; c < kTraceCategoryCount; ++c) {
     const auto cat = static_cast<TraceCategory>(c);
     out += ",\n";
     out += R"({"name":"thread_name","ph":"M","pid":1,"tid":)";
@@ -50,12 +50,38 @@ std::string to_chrome_trace_json(const TraceRecorder& trace, std::string_view pr
     out += ",\n";
     out += R"({"name":")";
     append_escaped(out, rec.message);
-    out += R"(","ph":"i","s":"t","pid":1,"tid":)";
+    switch (rec.phase) {
+      case TracePhase::kInstant:
+        out += R"(","ph":"i","s":"t")";
+        break;
+      case TracePhase::kSpan:
+        out += R"(","ph":"X","dur":)";
+        out += std::to_string(rec.duration.count());
+        break;
+      case TracePhase::kFlowStart:
+        out += R"(","ph":"s")";
+        break;
+      case TracePhase::kFlowEnd:
+        // bp:e binds the arrow to the enclosing slice at this timestamp.
+        out += R"(","ph":"f","bp":"e")";
+        break;
+    }
+    if (rec.flow != 0) {
+      out += R"(,"id":)";
+      out += std::to_string(rec.flow);
+    }
+    out += R"(,"pid":1,"tid":)";
     out += std::to_string(track_of(rec.category));
     out += R"(,"ts":)";
     out += std::to_string(rec.time.count());
     out += R"(,"cat":")";
-    append_escaped(out, to_string(rec.category));
+    // Flow endpoints pair on (cat, id); keep a shared cat so an arrow can
+    // cross category tracks.
+    if (rec.phase == TracePhase::kFlowStart || rec.phase == TracePhase::kFlowEnd) {
+      out += "flow";
+    } else {
+      append_escaped(out, to_string(rec.category));
+    }
     out += "\"";
     if (rec.value != 0.0) {
       out += R"(,"args":{"value":)";

@@ -2,8 +2,10 @@
 // simulated attack can be inspected visually in chrome://tracing or
 // https://ui.perfetto.dev (load the file as a legacy JSON trace).
 //
-// Records are emitted as instant events ("ph":"i"), one named track per
-// TraceCategory, timestamped in virtual-time microseconds.
+// Instant records become "ph":"i" events, duration spans become "ph":"X"
+// complete events, and flow endpoints become "ph":"s"/"ph":"f" arrows —
+// one named track per TraceCategory, timestamped in virtual-time
+// microseconds.
 #pragma once
 
 #include <string>

@@ -1,5 +1,6 @@
 #include "sim/event_loop.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace animus::sim {
@@ -9,6 +10,7 @@ EventLoop::EventId EventLoop::schedule_at(SimTime when, Callback cb) {
   const std::uint64_t seq = next_seq_++;
   heap_.push(HeapEntry{when, seq});
   callbacks_.emplace(seq, std::move(cb));
+  max_pending_ = std::max(max_pending_, callbacks_.size());
   return EventId{seq};
 }
 
@@ -19,7 +21,9 @@ EventLoop::EventId EventLoop::schedule_after(SimTime delay, Callback cb) {
 
 bool EventLoop::cancel(EventId id) {
   if (!id.valid()) return false;
-  return callbacks_.erase(id.seq) > 0;
+  const bool erased = callbacks_.erase(id.seq) > 0;
+  cancelled_ += erased;
+  return erased;
 }
 
 bool EventLoop::pop_next(HeapEntry& out, Callback& cb) {
@@ -41,6 +45,7 @@ bool EventLoop::step() {
   Callback cb;
   if (!pop_next(entry, cb)) return false;
   now_ = entry.when;
+  ++executed_;
   cb();
   return true;
 }

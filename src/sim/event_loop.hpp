@@ -60,6 +60,19 @@ class EventLoop {
   /// Number of events currently pending (cancelled ones excluded).
   [[nodiscard]] std::size_t pending() const { return callbacks_.size(); }
 
+  // ----- lifetime telemetry (fed into obs::MetricsRegistry at World
+  // teardown; plain counters, so the hot path stays allocation- and
+  // lock-free) -----
+
+  /// Events executed since construction.
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+  /// Events scheduled since construction.
+  [[nodiscard]] std::uint64_t scheduled() const { return next_seq_ - 1; }
+  /// Successful cancellations since construction.
+  [[nodiscard]] std::uint64_t cancelled() const { return cancelled_; }
+  /// High-water mark of the pending-event queue.
+  [[nodiscard]] std::size_t max_pending() const { return max_pending_; }
+
  private:
   struct HeapEntry {
     SimTime when;
@@ -74,6 +87,9 @@ class EventLoop {
 
   SimTime now_{0};
   std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::size_t max_pending_ = 0;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
   std::unordered_map<std::uint64_t, Callback> callbacks_;
 };

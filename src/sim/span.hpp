@@ -1,0 +1,45 @@
+// RAII duration span over virtual time.
+//
+// Opens at construction, closes at destruction, and records a completed
+// span ("ph":"X") covering however far the event loop advanced in
+// between. Useful around the lexical scopes where virtual time actually
+// moves — World::run_until horizons, scenario steps — as opposed to
+// event-loop callbacks, which execute at a single instant.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "sim/event_loop.hpp"
+#include "sim/trace.hpp"
+
+namespace animus::sim {
+
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder& trace, const EventLoop& loop, TraceCategory category,
+             std::string message, double value = 0.0)
+      : trace_(&trace),
+        loop_(&loop),
+        category_(category),
+        message_(std::move(message)),
+        value_(value),
+        start_(loop.now()) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() { trace_->span(start_, loop_->now(), category_, std::move(message_), value_); }
+
+  [[nodiscard]] SimTime start() const { return start_; }
+
+ private:
+  TraceRecorder* trace_;
+  const EventLoop* loop_;
+  TraceCategory category_;
+  std::string message_;
+  double value_;
+  SimTime start_;
+};
+
+}  // namespace animus::sim

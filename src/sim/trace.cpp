@@ -1,5 +1,6 @@
 #include "sim/trace.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace animus::sim {
@@ -14,6 +15,8 @@ std::string_view to_string(TraceCategory c) {
     case TraceCategory::kAttack: return "attack";
     case TraceCategory::kDefense: return "defense";
     case TraceCategory::kVictim: return "victim";
+    case TraceCategory::kIpc: return "ipc";
+    case TraceCategory::kSim: return "sim";
   }
   return "?";
 }
@@ -21,6 +24,28 @@ std::string_view to_string(TraceCategory c) {
 void TraceRecorder::record(SimTime t, TraceCategory c, std::string message, double value) {
   if (!enabled_) return;
   records_.push_back(TraceRecord{t, c, std::move(message), value});
+}
+
+void TraceRecorder::span(SimTime start, SimTime end, TraceCategory c, std::string message,
+                         double value, std::uint64_t flow) {
+  if (!enabled_) return;
+  const SimTime dur = std::max(end - start, SimTime{0});
+  records_.push_back(
+      TraceRecord{start, c, std::move(message), value, TracePhase::kSpan, dur, flow});
+}
+
+void TraceRecorder::flow_start(SimTime t, TraceCategory c, std::string message,
+                               std::uint64_t flow) {
+  if (!enabled_) return;
+  records_.push_back(
+      TraceRecord{t, c, std::move(message), 0.0, TracePhase::kFlowStart, SimTime{0}, flow});
+}
+
+void TraceRecorder::flow_end(SimTime t, TraceCategory c, std::string message,
+                             std::uint64_t flow) {
+  if (!enabled_) return;
+  records_.push_back(
+      TraceRecord{t, c, std::move(message), 0.0, TracePhase::kFlowEnd, SimTime{0}, flow});
 }
 
 std::vector<TraceRecord> TraceRecorder::matching(std::string_view needle) const {
@@ -39,6 +64,14 @@ std::size_t TraceRecorder::count(TraceCategory c) const {
   return n;
 }
 
+std::size_t TraceRecorder::span_count(TraceCategory c) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.category == c && r.phase == TracePhase::kSpan) ++n;
+  }
+  return n;
+}
+
 std::string TraceRecorder::to_text(std::size_t max_lines) const {
   std::string out;
   std::size_t n = 0;
@@ -51,6 +84,10 @@ std::string TraceRecorder::to_text(std::size_t max_lines) const {
     std::snprintf(buf, sizeof(buf), "%10.3fms [%-13s] %s", to_ms(r.time),
                   std::string(to_string(r.category)).c_str(), r.message.c_str());
     out += buf;
+    if (r.phase == TracePhase::kSpan) {
+      std::snprintf(buf, sizeof(buf), " [%.3fms]", to_ms(r.duration));
+      out += buf;
+    }
     if (r.value != 0.0) {
       std::snprintf(buf, sizeof(buf), " (%.3f)", r.value);
       out += buf;

@@ -3,6 +3,16 @@
 // Every subsystem can append timestamped records; tests assert on the
 // trace, benches summarize it, and the examples print it as a narrated
 // timeline. Recording is append-only and cheap, and can be disabled.
+//
+// Records come in three phases:
+//   - instants  (record)      a point event, the original API;
+//   - spans     (span)        a duration [start, end] — window lifetimes,
+//                             Binder transits, animation segments;
+//   - flows     (flow_start/flow_end)  links across actors — an app-side
+//                             addView tied to its server-side landing.
+// Spans are appended when their *end* is known, so the record vector is
+// ordered by completion time, not start time; the Chrome-trace exporter
+// emits the start timestamp and a duration ("ph":"X").
 #pragma once
 
 #include <cstdint>
@@ -24,20 +34,48 @@ enum class TraceCategory : std::uint8_t {
   kAttack,        // attack logic milestones
   kDefense,       // defense decisions
   kVictim,        // victim app / accessibility events
+  kIpc,           // Binder transactions in flight
+  kSim,           // simulation driver (World::run_until horizons)
 };
 
+inline constexpr int kTraceCategoryCount = 10;
+
 std::string_view to_string(TraceCategory c);
+
+enum class TracePhase : std::uint8_t {
+  kInstant,    // point event ("ph":"i")
+  kSpan,       // duration event ("ph":"X"), time = start, duration = extent
+  kFlowStart,  // flow origin ("ph":"s")
+  kFlowEnd,    // flow target ("ph":"f")
+};
 
 struct TraceRecord {
   SimTime time{0};
   TraceCategory category{TraceCategory::kApp};
   std::string message;
   double value = 0.0;  // optional numeric payload (pixels, alpha, D, ...)
+  TracePhase phase = TracePhase::kInstant;
+  SimTime duration{0};     // spans only
+  std::uint64_t flow = 0;  // nonzero links records into a flow
 };
 
 class TraceRecorder {
  public:
   void record(SimTime t, TraceCategory c, std::string message, double value = 0.0);
+
+  /// Append a completed duration span [start, end]. end < start clamps to
+  /// a zero-length span at `start`. A nonzero `flow` links the span into
+  /// a flow (see flow_start/flow_end).
+  void span(SimTime start, SimTime end, TraceCategory c, std::string message,
+            double value = 0.0, std::uint64_t flow = 0);
+
+  /// Flow endpoints: a cross-actor arrow from the start record to the end
+  /// record carrying the same nonzero flow id (use new_flow()).
+  void flow_start(SimTime t, TraceCategory c, std::string message, std::uint64_t flow);
+  void flow_end(SimTime t, TraceCategory c, std::string message, std::uint64_t flow);
+
+  /// Fresh flow id, unique within this recorder (deterministic counter).
+  [[nodiscard]] std::uint64_t new_flow() { return next_flow_++; }
 
   void set_enabled(bool on) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
@@ -52,11 +90,15 @@ class TraceRecorder {
   /// Count of records in a category.
   [[nodiscard]] std::size_t count(TraceCategory c) const;
 
+  /// Count of duration spans in a category.
+  [[nodiscard]] std::size_t span_count(TraceCategory c) const;
+
   /// Render as "  12.345ms [category] message (value)" lines.
   [[nodiscard]] std::string to_text(std::size_t max_lines = 200) const;
 
  private:
   bool enabled_ = true;
+  std::uint64_t next_flow_ = 1;
   std::vector<TraceRecord> records_;
 };
 

@@ -1,0 +1,418 @@
+// Telemetry layer: metrics registry, trace capture, spans and the
+// Chrome-trace export format.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_capture.hpp"
+#include "runner/runner.hpp"
+#include "server/world.hpp"
+#include "sim/chrome_trace.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/span.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace animus;
+
+// ------------------------------------------------------------- instruments
+
+TEST(Metrics, CounterAddsAndGaugeTracksMax) {
+  obs::MetricsRegistry reg;
+  auto& c = reg.counter("animus_widgets_total");
+  c.inc();
+  c.add(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+
+  auto& g = reg.gauge("animus_depth");
+  g.set(4.0);
+  g.set_max(2.0);  // lower: ignored
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.set_max(9.0);
+  EXPECT_DOUBLE_EQ(g.value(), 9.0);
+  g.set(1.0);  // plain set always wins
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+}
+
+TEST(Metrics, LabelsAddressDistinctInstrumentsOrderInsensitively) {
+  obs::MetricsRegistry reg;
+  reg.counter("animus_calls_total", {{"method", "addView"}}).inc();
+  reg.counter("animus_calls_total", {{"method", "removeView"}}).add(2.0);
+  // Same label set in a different order resolves to the same instrument.
+  reg.counter("animus_calls_total", {{"uid", "1"}, {"method", "addView"}}).inc();
+  reg.counter("animus_calls_total", {{"method", "addView"}, {"uid", "1"}}).inc();
+
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.points.size(), 3u);
+  const auto* add = snap.find("animus_calls_total", {{"method", "addView"}});
+  ASSERT_NE(add, nullptr);
+  EXPECT_DOUBLE_EQ(add->value, 1.0);
+  const auto* both = snap.find("animus_calls_total", {{"uid", "1"}, {"method", "addView"}});
+  ASSERT_NE(both, nullptr);
+  EXPECT_DOUBLE_EQ(both->value, 2.0);
+}
+
+TEST(Metrics, TypeMismatchThrows) {
+  obs::MetricsRegistry reg;
+  reg.counter("animus_thing");
+  EXPECT_THROW(reg.gauge("animus_thing"), std::logic_error);
+  EXPECT_THROW(reg.histogram("animus_thing", {1.0}), std::logic_error);
+}
+
+TEST(Metrics, HistogramBucketsQuantilesAndExtrema) {
+  obs::MetricsRegistry reg;
+  auto& h = reg.histogram("animus_latency_ms", {1.0, 10.0, 100.0});
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));  // 1..100
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  // Buckets (inclusive upper bounds): <=1 -> 1, <=10 -> 9, <=100 -> 90.
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 9u);
+  EXPECT_EQ(h.bucket_count(2), 90u);
+  EXPECT_EQ(h.bucket_count(3), 0u);  // +inf overflow
+  // Median interpolates inside the (10, 100] bucket.
+  const double p50 = h.quantile(0.5);
+  EXPECT_GT(p50, 10.0);
+  EXPECT_LT(p50, 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(Metrics, ConcurrentCounterAndHistogramUpdatesAreExact) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kUpdates = 10'000;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&reg] {
+      // Registration races on the mutex; updates race lock-free.
+      auto& c = reg.counter("animus_hits_total");
+      auto& h = reg.histogram("animus_obs_ms", {0.5});
+      for (int i = 0; i < kUpdates; ++i) {
+        c.inc();
+        h.observe(i % 2 == 0 ? 0.25 : 1.0);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  const auto snap = reg.snapshot();
+  const auto* c = snap.find("animus_hits_total");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->value, kThreads * static_cast<double>(kUpdates));
+  const auto* h = snap.find("animus_obs_ms");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, static_cast<std::uint64_t>(kThreads) * kUpdates);
+  EXPECT_EQ(h->buckets[0], static_cast<std::uint64_t>(kThreads) * kUpdates / 2);
+  EXPECT_EQ(h->buckets[1], static_cast<std::uint64_t>(kThreads) * kUpdates / 2);
+}
+
+// --------------------------------------------------------------- snapshots
+
+TEST(Metrics, SnapshotOrderIsDeterministic) {
+  obs::MetricsRegistry a;
+  a.counter("z_metric").inc();
+  a.counter("a_metric").inc();
+  a.gauge("m_metric").set(2.0);
+
+  obs::MetricsRegistry b;
+  b.gauge("m_metric").set(2.0);
+  b.counter("a_metric").inc();
+  b.counter("z_metric").inc();
+
+  // Registration order differs; serialized snapshots are identical.
+  EXPECT_EQ(a.snapshot().to_jsonl(), b.snapshot().to_jsonl());
+  ASSERT_EQ(a.snapshot().points.size(), 3u);
+  EXPECT_EQ(a.snapshot().points[0].name, "a_metric");
+}
+
+TEST(Metrics, MergeAddsCountersMaxesGaugesAndFoldsHistograms) {
+  obs::MetricsRegistry worker;
+  worker.counter("animus_trials_total").add(5.0);
+  worker.gauge("animus_peak").set(7.0);
+  auto& h = worker.histogram("animus_ms", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+
+  obs::MetricsRegistry main;
+  main.counter("animus_trials_total").add(2.0);
+  main.gauge("animus_peak").set(3.0);
+  main.histogram("animus_ms", {1.0, 10.0}).observe(20.0);
+
+  main.merge(worker.snapshot());
+  const auto snap = main.snapshot();
+  EXPECT_DOUBLE_EQ(snap.find("animus_trials_total")->value, 7.0);
+  EXPECT_DOUBLE_EQ(snap.find("animus_peak")->value, 7.0);
+  const auto* merged = snap.find("animus_ms");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->count, 3u);
+  EXPECT_DOUBLE_EQ(merged->sum, 25.5);
+  EXPECT_DOUBLE_EQ(merged->min, 0.5);
+  EXPECT_DOUBLE_EQ(merged->max, 20.0);
+  EXPECT_EQ(merged->buckets[0], 1u);
+  EXPECT_EQ(merged->buckets[1], 1u);
+  EXPECT_EQ(merged->buckets[2], 1u);
+}
+
+TEST(Metrics, PrometheusExportHasCumulativeBucketsAndInf) {
+  obs::MetricsRegistry reg;
+  auto& h = reg.histogram("animus_ms", {1.0, 10.0}, {{"bench", "fig07"}});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+  reg.counter("animus_runs_total").inc();
+  const std::string prom = reg.snapshot().to_prometheus();
+  EXPECT_NE(prom.find("# TYPE animus_ms histogram"), std::string::npos);
+  EXPECT_NE(prom.find(R"(animus_ms_bucket{bench="fig07",le="1"} 1)"), std::string::npos);
+  EXPECT_NE(prom.find(R"(animus_ms_bucket{bench="fig07",le="10"} 2)"), std::string::npos);
+  EXPECT_NE(prom.find(R"(animus_ms_bucket{bench="fig07",le="+Inf"} 3)"), std::string::npos);
+  EXPECT_NE(prom.find(R"(animus_ms_count{bench="fig07"} 3)"), std::string::npos);
+  EXPECT_NE(prom.find("animus_runs_total 1"), std::string::npos);
+}
+
+TEST(Metrics, JsonlEscapesLabelValues) {
+  obs::MetricsRegistry reg;
+  reg.counter("animus_odd_total", {{"tag", "quote\"back\\slash\nnewline"}}).inc();
+  const std::string jsonl = reg.snapshot().to_jsonl();
+  EXPECT_NE(jsonl.find(R"(quote\"back\\slash\nnewline)"), std::string::npos);
+  EXPECT_EQ(jsonl.find('\n'), jsonl.size() - 1);  // one line, one record
+}
+
+// ------------------------------------------------------------ trace capture
+
+TEST(TraceCapture, FirstWorldOfArmedTrialClaimsAndDelivers) {
+  auto& cap = obs::trace_capture();
+  cap.reset();
+  cap.arm(1);
+  {
+    obs::TraceCapture::TrialScope scope{0};
+    server::WorldConfig wc;
+    wc.trace_enabled = false;
+    server::World w0{wc};  // wrong trial: no claim
+    EXPECT_FALSE(w0.trace().enabled());
+  }
+  {
+    obs::TraceCapture::TrialScope scope{1};
+    server::WorldConfig wc;
+    wc.trace_enabled = false;
+    server::World w1{wc};  // armed trial: claims, tracing force-enabled
+    EXPECT_TRUE(w1.trace().enabled());
+    w1.server().grant_overlay_permission(server::kMalwareUid);
+    w1.run_until(sim::ms(5));
+    server::World w2{wc};  // second world in same trial: no claim
+    EXPECT_FALSE(w2.trace().enabled());
+  }  // ~World delivers
+  EXPECT_TRUE(cap.captured());
+  EXPECT_GT(cap.trace().size(), 0u);
+  cap.reset();
+  EXPECT_FALSE(cap.captured());
+}
+
+TEST(TraceCapture, UnarmedOrUnmarkedThreadsNeverClaim) {
+  auto& cap = obs::trace_capture();
+  cap.reset();
+  EXPECT_FALSE(cap.try_claim());  // no TrialScope, not armed
+  cap.arm(0);
+  EXPECT_FALSE(cap.try_claim());  // armed but thread not in a trial
+  EXPECT_EQ(obs::TraceCapture::current_trial(), std::nullopt);
+  cap.reset();
+}
+
+TEST(TraceCapture, SweepCapturesIdenticalTraceAtAnyJobCount) {
+  const std::vector<int> items{0, 1, 2, 3, 4, 5, 6, 7};
+  auto run_with_jobs = [&](int jobs) {
+    auto& cap = obs::trace_capture();
+    cap.reset();
+    cap.arm(0);
+    runner::RunOptions opts;
+    opts.jobs = jobs;
+    runner::sweep(
+        items,
+        [](int, const runner::TrialContext& ctx) {
+          server::WorldConfig wc;
+          wc.seed = ctx.seed;
+          wc.trace_enabled = false;
+          server::World w{wc};
+          w.server().grant_overlay_permission(server::kMalwareUid);
+          w.server().add_view(server::kMalwareUid, {});
+          w.run_until(sim::ms(50));
+          return 0;
+        },
+        opts);
+    EXPECT_TRUE(cap.captured());
+    std::string json = sim::to_chrome_trace_json(cap.trace());
+    cap.reset();
+    return json;
+  };
+  const std::string serial = run_with_jobs(1);
+  const std::string parallel = run_with_jobs(4);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_GT(serial.size(), 2u);
+}
+
+// ------------------------------------------------------------ span records
+
+TEST(Spans, ScopedSpanCoversEventLoopAdvance) {
+  sim::EventLoop loop;
+  sim::TraceRecorder trace;
+  {
+    sim::ScopedSpan span(trace, loop, sim::TraceCategory::kSim, "window");
+    loop.run_until(sim::ms(25));
+  }
+  ASSERT_EQ(trace.size(), 1u);
+  const auto& rec = trace.records()[0];
+  EXPECT_EQ(rec.phase, sim::TracePhase::kSpan);
+  EXPECT_EQ(rec.time, sim::SimTime{0});
+  EXPECT_EQ(rec.duration, sim::ms(25));
+  EXPECT_EQ(trace.span_count(sim::TraceCategory::kSim), 1u);
+}
+
+TEST(Spans, BackwardsSpanClampsToZeroDuration) {
+  sim::TraceRecorder trace;
+  trace.span(sim::ms(10), sim::ms(5), sim::TraceCategory::kApp, "clamped");
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.records()[0].duration, sim::SimTime{0});
+  EXPECT_EQ(trace.records()[0].time, sim::ms(10));
+}
+
+// ------------------------------------------------- chrome trace well-formed
+
+// Minimal JSON structural validator: balanced containers, quotes closed,
+// escapes legal. Returns false on the first structural error.
+bool json_well_formed(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        if (i + 1 >= s.size()) return false;
+        const char esc = s[++i];
+        if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' && esc != 'f' &&
+            esc != 'n' && esc != 'r' && esc != 't' && esc != 'u') {
+          return false;
+        }
+        if (esc == 'u') {
+          if (i + 4 >= s.size()) return false;
+          for (int k = 1; k <= 4; ++k) {
+            if (std::isxdigit(static_cast<unsigned char>(s[i + k])) == 0) return false;
+          }
+          i += 4;
+        }
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '[': case '{': stack.push_back(c); break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST(ChromeTrace, ExportIsStructurallyValidWithSpansFlowsAndEscapes) {
+  sim::TraceRecorder trace;
+  trace.record(sim::ms(1), sim::TraceCategory::kApp, "quote \" and \\ backslash\nnewline");
+  trace.span(sim::ms(2), sim::ms(8), sim::TraceCategory::kSystemServer, "window life");
+  const std::uint64_t flow = trace.new_flow();
+  trace.flow_start(sim::ms(2), sim::TraceCategory::kApp, "call", flow);
+  trace.flow_end(sim::ms(4), sim::TraceCategory::kSystemServer, "landed", flow);
+
+  const std::string json = sim::to_chrome_trace_json(trace, "animus-test");
+  EXPECT_TRUE(json_well_formed(json));
+  EXPECT_NE(json.find(R"("ph":"i")"), std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"X","dur":6000)"), std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"s")"), std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"f","bp":"e")"), std::string::npos);
+  // Flow endpoints pair on (cat, id): both carry the shared flow cat.
+  EXPECT_NE(json.find(R"("id":1,"pid":1)"), std::string::npos);
+  EXPECT_EQ(json.find("\n\""), std::string::npos);  // no raw newline inside strings
+}
+
+TEST(ChromeTrace, LiveWorldTraceLoadsCleanAndHasDistinctSpanTracks) {
+  server::WorldConfig wc;
+  wc.deterministic = true;
+  server::World world{wc};
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  // A few add/remove rounds so windows, Binder transits and alert
+  // lifecycles all produce spans.
+  auto h1 = world.server().add_view(server::kMalwareUid, {});
+  world.run_until(sim::ms(150));
+  world.server().remove_view(server::kMalwareUid, h1);
+  world.run_until(sim::ms(1500));
+
+  const auto& trace = world.trace();
+  EXPECT_GT(trace.span_count(sim::TraceCategory::kIpc), 0u);
+  EXPECT_GT(trace.span_count(sim::TraceCategory::kSystemServer), 0u);
+  EXPECT_GT(trace.span_count(sim::TraceCategory::kSystemUi), 0u);
+  EXPECT_GT(trace.span_count(sim::TraceCategory::kSim), 0u);
+
+  const std::string json = sim::to_chrome_trace_json(trace);
+  EXPECT_TRUE(json_well_formed(json));
+  // Instants must carry no dur; spans must never have negative dur.
+  EXPECT_EQ(json.find("\"dur\":-"), std::string::npos);
+}
+
+TEST(ChromeTrace, InstantTimestampsAreMonotonicWithinTheRecordStream) {
+  // The recorder appends in completion order; instants specifically must
+  // be non-decreasing because virtual time never runs backwards.
+  server::WorldConfig wc;
+  wc.deterministic = true;
+  server::World world{wc};
+  world.server().grant_overlay_permission(server::kMalwareUid);
+  world.server().add_view(server::kMalwareUid, {});
+  world.run_until(sim::seconds(1));
+  sim::SimTime last{0};
+  for (const auto& rec : world.trace().records()) {
+    if (rec.phase != sim::TracePhase::kInstant) continue;
+    EXPECT_GE(rec.time, last);
+    last = rec.time;
+  }
+}
+
+// --------------------------------------------------------- world counters
+
+TEST(WorldTelemetry, DestructorPublishesCountersToGlobalRegistry) {
+  auto& reg = obs::global_registry();
+  const auto before = reg.snapshot();
+  const auto value_of = [](const obs::Snapshot& s, const char* name,
+                           const obs::Labels& labels = {}) {
+    const auto* p = s.find(name, labels);
+    return p == nullptr ? 0.0 : p->value;
+  };
+  {
+    server::WorldConfig wc;
+    wc.deterministic = true;
+    server::World world{wc};
+    world.server().grant_overlay_permission(server::kMalwareUid);
+    world.server().add_view(server::kMalwareUid, {});
+    world.run_until(sim::ms(200));
+  }
+  const auto after = reg.snapshot();
+  EXPECT_EQ(value_of(after, "animus_worlds_total"), value_of(before, "animus_worlds_total") + 1);
+  EXPECT_GT(value_of(after, "animus_events_executed_total"),
+            value_of(before, "animus_events_executed_total"));
+  EXPECT_GT(value_of(after, "animus_windows_added_total"),
+            value_of(before, "animus_windows_added_total"));
+  EXPECT_GT(value_of(after, "animus_binder_transactions_total", {{"method", "addView"}}),
+            value_of(before, "animus_binder_transactions_total", {{"method", "addView"}}));
+}
+
+}  // namespace
