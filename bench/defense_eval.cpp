@@ -5,7 +5,14 @@
 //      its slide-in and stays visible; the attack is defeated at any D.
 //  (c) Toast-gap scheduling: successive toasts are separated, making the
 //      fake keyboard flicker perceptibly.
+//  (d) Detection-to-enforcement daemon: revokes the attacker's windows.
+//
+// The per-D probes of (b) and the per-gap probes of (c) are independent
+// Worlds, so they fan out through runner::sweep; the single-world
+// narratives (a) and (d) run inline. All tables are assembled in
+// submission order, so stdout is byte-identical at any --jobs value.
 #include <cstdio>
+#include <vector>
 
 #include "core/overlay_attack.hpp"
 #include "defense/enforcement.hpp"
@@ -15,6 +22,8 @@
 #include "device/registry.hpp"
 #include "metrics/table.hpp"
 #include "percept/outcomes.hpp"
+#include "runner/bench_cli.hpp"
+#include "runner/runner.hpp"
 #include "server/world.hpp"
 
 using namespace animus;
@@ -55,11 +64,12 @@ void run_toggler(server::World& world, int uid) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = runner::BenchArgs::parse(argc, argv);
   const auto& dev = device::reference_device_android9();
 
   // ---------------------------------------------------------- (a) IPC --
-  std::puts("=== Defense (a): IPC-based Binder transaction analysis ===\n");
+  runner::note(args, "=== Defense (a): IPC-based Binder transaction analysis ===\n");
   metrics::Table ipc_table({"workload", "uid", "transactions", "flagged", "expected"});
   {
     auto world = make_world(dev);
@@ -80,9 +90,9 @@ int main() {
     row("draw-and-destroy overlay attack", server::kMalwareUid, true);
     row("benign floating widget", server::kBenignUid, false);
     row("benign 2s-toggling banner", server::kBenignUid + 1, false);
-    std::fputs(ipc_table.to_string().c_str(), stdout);
+    runner::emit(ipc_table, args);
     const auto& det = analyzer.detections();
-    if (!det.empty()) {
+    if (!det.empty() && !args.csv) {
       std::printf("\nDetection: uid=%d after %d rapid remove->add pairs, flagged at "
                   "%.1f s into the attack.\n",
                   det[0].uid, det[0].pairs, sim::to_seconds(det[0].last_pair));
@@ -90,38 +100,73 @@ int main() {
   }
 
   // --------------------------------------- (b) enhanced notification --
-  std::puts("\n=== Defense (b): enhanced notification (t = 690 ms) ===\n");
+  struct AlertTrial {
+    percept::LambdaOutcome plain;
+    percept::LambdaOutcome defended;
+    double visible_s;
+  };
+  const std::vector<int> windows = {60, 150, 215, 300};
+  const auto alert_sweep = runner::sweep(
+      windows,
+      [&](int d, const runner::TrialContext&) {
+        const auto plain = core::probe_outcome(dev, sim::ms(d), sim::seconds(10));
+        const auto defended = defense::probe_attack_under_defense(
+            dev, sim::ms(d), defense::kEnhancedAlertRemovalDelay, sim::seconds(10));
+        return AlertTrial{plain.outcome, defended.outcome,
+                          sim::to_seconds(defended.alert.visible_time)};
+      },
+      args.run);
+  runner::report("defense_eval:alert", alert_sweep);
+
+  runner::note(args, "\n=== Defense (b): enhanced notification (t = 690 ms) ===\n");
   metrics::Table nd_table({"D (ms)", "outcome w/o defense", "outcome with defense",
                            "alert visible (s, 10s attack)"});
-  for (int d : {60, 150, 215, 300}) {
-    const auto plain = core::probe_outcome(dev, sim::ms(d), sim::seconds(10));
-    const auto defended = defense::probe_attack_under_defense(
-        dev, sim::ms(d), defense::kEnhancedAlertRemovalDelay, sim::seconds(10));
-    nd_table.add_row({metrics::fmt("%d", d), std::string(percept::to_string(plain.outcome)),
-                      std::string(percept::to_string(defended.outcome)),
-                      metrics::fmt("%.1f", sim::to_seconds(defended.alert.visible_time))});
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const auto& r = alert_sweep.results[i];
+    nd_table.add_row({metrics::fmt("%d", windows[i]),
+                      std::string(percept::to_string(r.plain)),
+                      std::string(percept::to_string(r.defended)),
+                      metrics::fmt("%.1f", r.visible_s)});
   }
-  std::fputs(nd_table.to_string().c_str(), stdout);
-  std::puts("\nWith the defense the alert always completes (L5) and remains readable —");
-  std::puts("the paper validated t = 690 ms on a Google Pixel 2.");
+  runner::emit(nd_table, args);
+  runner::note(args,
+               "\nWith the defense the alert always completes (L5) and remains readable —");
+  runner::note(args, "the paper validated t = 690 ms on a Google Pixel 2.");
 
   // ------------------------------------------------- (c) toast gap --
-  std::puts("\n=== Defense (c): toast scheduling gap ===\n");
+  struct ToastTrial {
+    double min_alpha;
+    double dip_ms;
+    bool noticeable;
+    int toasts_shown;
+  };
+  const std::vector<int> gaps = {0, 250, 500};
+  const auto toast_sweep = runner::sweep(
+      gaps,
+      [&](int gap, const runner::TrialContext&) {
+        const auto probe = defense::probe_toast_attack(dev, sim::ms(gap));
+        return ToastTrial{probe.flicker.min_alpha, sim::to_ms(probe.flicker.longest_dip),
+                          probe.flicker.noticeable, probe.toasts_shown};
+      },
+      args.run);
+  runner::report("defense_eval:toast", toast_sweep);
+
+  runner::note(args, "\n=== Defense (c): toast scheduling gap ===\n");
   metrics::Table tg_table({"inter-toast gap (ms)", "min alpha", "longest dip (ms)",
                            "flicker noticed", "toasts shown (20s)"});
-  for (int gap : {0, 250, 500}) {
-    const auto probe = defense::probe_toast_attack(dev, sim::ms(gap));
-    tg_table.add_row({metrics::fmt("%d", gap), metrics::fmt("%.2f", probe.flicker.min_alpha),
-                      metrics::fmt("%.0f", sim::to_ms(probe.flicker.longest_dip)),
-                      probe.flicker.noticeable ? "YES" : "no",
-                      metrics::fmt("%d", probe.toasts_shown)});
+  for (std::size_t i = 0; i < gaps.size(); ++i) {
+    const auto& r = toast_sweep.results[i];
+    tg_table.add_row({metrics::fmt("%d", gaps[i]), metrics::fmt("%.2f", r.min_alpha),
+                      metrics::fmt("%.0f", r.dip_ms), r.noticeable ? "YES" : "no",
+                      metrics::fmt("%d", r.toasts_shown)});
   }
-  std::fputs(tg_table.to_string().c_str(), stdout);
-  std::puts("\nStock scheduling: the fade-out overlap hides toast switching entirely;");
-  std::puts("an enforced gap exposes the draw-and-destroy toast attack as flicker.");
+  runner::emit(tg_table, args);
+  runner::note(args,
+               "\nStock scheduling: the fade-out overlap hides toast switching entirely;");
+  runner::note(args, "an enforced gap exposes the draw-and-destroy toast attack as flicker.");
 
   // --------------------------------------------- (d) enforcement --
-  std::puts("\n=== Defense (d): detection-to-enforcement daemon ===\n");
+  runner::note(args, "\n=== Defense (d): detection-to-enforcement daemon ===\n");
   {
     metrics::Table en_table({"scenario", "touches stolen (30, 1/s)", "neutralized at"});
     for (bool defended : {false, true}) {
@@ -149,9 +194,11 @@ int main() {
       en_table.add_row({defended ? "daemon installed" : "stock system",
                         metrics::fmt("%d", attack.stats().captures), when});
     }
-    std::fputs(en_table.to_string().c_str(), stdout);
-    std::puts("\nThe daemon revokes SYSTEM_ALERT_WINDOW and sweeps the attacker's windows");
-    std::puts("~1.3 s into the attack, capping the theft at the first keystroke or two.");
+    runner::emit(en_table, args);
+    runner::note(args,
+                 "\nThe daemon revokes SYSTEM_ALERT_WINDOW and sweeps the attacker's windows");
+    runner::note(args, "~1.3 s into the attack, capping the theft at the first keystroke or two.");
   }
-  return 0;
+  runner::finish(args);
+  return alert_sweep.ok() && toast_sweep.ok() ? 0 : 1;
 }

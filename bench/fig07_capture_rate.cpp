@@ -35,8 +35,9 @@ int main(int argc, char** argv) {
   for (int d : windows)
     for (std::size_t p = 0; p < panel.size(); ++p) trials.push_back({d, p});
 
-  const auto sw = runner::sweep(
-      trials,
+  // Checkpoint-aware sweep: honors --checkpoint-out / --resume-from.
+  const auto sw = runner::run_campaign(
+      "fig07", trials,
       [&](const Trial& t, const runner::TrialContext& ctx) {
         core::CaptureTrialConfig c;
         c.profile = devices[t.participant % devices.size()];
@@ -46,8 +47,7 @@ int main(int argc, char** argv) {
         c.seed = ctx.seed;
         return core::run_capture_trial(c).rate * 100.0;
       },
-      args.run);
-  runner::report("fig07", sw);
+      args);
 
   runner::note(args, "=== Fig. 7: touch-event capture rate vs D (30 participants) ===\n");
   metrics::Table table({"D (ms)", "min", "Q1", "median", "Q3", "max", "mean", "paper mean"});

@@ -37,8 +37,9 @@ int main(int argc, char** argv) {
     for (std::size_t p = 0; p < devices.size(); ++p)
       for (std::size_t rep = 0; rep < kReps; ++rep) trials.push_back({d, p, rep});
 
-  const auto sw = runner::sweep(
-      trials,
+  // Checkpoint-aware sweep: honors --checkpoint-out / --resume-from.
+  const auto sw = runner::run_campaign(
+      "fig08", trials,
       [&](const Trial& t, const runner::TrialContext& ctx) {
         core::CaptureTrialConfig c;
         c.profile = devices[t.device];
@@ -48,8 +49,7 @@ int main(int argc, char** argv) {
         c.seed = ctx.seed;
         return core::run_capture_trial(c).rate * 100.0;
       },
-      args.run);
-  runner::report("fig08", sw);
+      args);
 
   runner::note(args, "=== Fig. 8: capture rate vs D by Android version family ===\n");
   metrics::Table table({"D (ms)", families[0].c_str(), families[1].c_str(),

@@ -1,30 +1,64 @@
 // Section VI-B "Impact of the load" — the upper boundary of D with 0, 3
 // and 5 popular apps running in the background is almost unchanged.
+//
+// Each (model, load) cell is an independent binary search over full
+// attack simulations, so the grid fans out through the checkpoint-aware
+// campaign sweep; stdout is byte-identical at any --jobs value.
+#include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "core/attack_analysis.hpp"
 #include "device/registry.hpp"
 #include "metrics/table.hpp"
+#include "runner/bench_cli.hpp"
+#include "runner/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace animus;
-  std::puts("=== Impact of background load on the upper boundary of D ===\n");
+  const auto args = runner::BenchArgs::parse(argc, argv);
+  const std::vector<const char*> models = {"pixel 2", "mi8", "Redmi", "s8", "mate20"};
+  const std::vector<int> loads = {0, 3, 5};
+
+  struct Trial {
+    const char* model;
+    int load;
+  };
+  std::vector<Trial> trials;
+  for (const char* model : models)
+    for (int load : loads) trials.push_back({model, load});
+
+  const auto sw = runner::run_campaign(
+      "load_impact", trials,
+      [&](const Trial& t, const runner::TrialContext& ctx) {
+        const auto dev = device::find_device(t.model);
+        core::DBoundTrialConfig c;
+        c.profile = t.load == 0 ? *dev : dev->with_load(t.load);
+        c.seed = ctx.seed;  // unused while deterministic, kept for replay
+        return core::run_d_bound_trial(c).d_upper_ms;
+      },
+      args);
+
+  runner::note(args, "=== Impact of background load on the upper boundary of D ===\n");
   metrics::Table table({"Model", "no apps", "3 apps", "5 apps", "max delta (ms)"});
   double worst = 0.0;
-  for (const char* model : {"pixel 2", "mi8", "Redmi", "s8", "mate20"}) {
-    const auto dev = device::find_device(model);
-    const int d0 = core::find_d_upper_bound_ms(*dev);
-    const int d3 = core::find_d_upper_bound_ms(dev->with_load(3));
-    const int d5 = core::find_d_upper_bound_ms(dev->with_load(5));
+  for (std::size_t mi = 0; mi < models.size(); ++mi) {
+    const int d0 = sw.results[mi * loads.size() + 0];
+    const int d3 = sw.results[mi * loads.size() + 1];
+    const int d5 = sw.results[mi * loads.size() + 2];
     const double delta = std::max(std::abs(d3 - d0), std::abs(d5 - d0));
     worst = std::max(worst, delta);
-    table.add_row({dev->model, metrics::fmt("%d", d0), metrics::fmt("%d", d3),
-                   metrics::fmt("%d", d5), metrics::fmt("%.0f", delta)});
+    table.add_row({device::find_device(models[mi])->model, metrics::fmt("%d", d0),
+                   metrics::fmt("%d", d3), metrics::fmt("%d", d5),
+                   metrics::fmt("%.0f", delta)});
   }
-  std::fputs(table.to_string().c_str(), stdout);
-  std::printf("\nLargest shift across all load levels: %.0f ms.\n", worst);
-  std::puts("Paper: \"the optimal upper boundaries of D for no app, three apps and five");
-  std::puts("apps in the background are almost the same ... the influence of the load");
-  std::puts("on the phone is negligible.\"");
-  return 0;
+  runner::emit(table, args);
+  if (!args.csv) {
+    std::printf("\nLargest shift across all load levels: %.0f ms.\n", worst);
+    std::puts("Paper: \"the optimal upper boundaries of D for no app, three apps and five");
+    std::puts("apps in the background are almost the same ... the influence of the load");
+    std::puts("on the phone is negligible.\"");
+  }
+  runner::finish(args);
+  return sw.ok() ? 0 : 1;
 }

@@ -1,0 +1,187 @@
+#include "obs/manifest.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.hpp"
+
+namespace animus::obs {
+namespace {
+
+void field_str(std::string& out, const char* key, std::string_view value, bool comma = true) {
+  out += "  \"";
+  out += key;
+  out += "\": \"";
+  append_json_escaped(out, value);
+  out += comma ? "\",\n" : "\"\n";
+}
+
+void field_u64(std::string& out, const char* key, std::uint64_t value) {
+  out += "  \"";
+  out += key;
+  out += "\": " + std::to_string(value) + ",\n";
+}
+
+void field_bool(std::string& out, const char* key, bool value) {
+  out += "  \"";
+  out += key;
+  out += value ? "\": true,\n" : "\": false,\n";
+}
+
+/// Extract the raw token after `"key":` (string contents unescaped only
+/// for \\ and \"; numbers/bools verbatim). Empty optional when absent.
+std::optional<std::string> raw_value(std::string_view json, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  auto pos = json.find(needle);
+  if (pos == std::string_view::npos) return std::nullopt;
+  pos += needle.size();
+  while (pos < json.size() && (json[pos] == ' ' || json[pos] == '\n')) ++pos;
+  if (pos >= json.size()) return std::nullopt;
+  if (json[pos] == '"') {
+    std::string out;
+    for (++pos; pos < json.size() && json[pos] != '"'; ++pos) {
+      if (json[pos] == '\\' && pos + 1 < json.size()) {
+        ++pos;
+        out += json[pos] == 'n' ? '\n' : json[pos] == 't' ? '\t' : json[pos];
+      } else {
+        out += json[pos];
+      }
+    }
+    return out;
+  }
+  std::string out;
+  while (pos < json.size() && json[pos] != ',' && json[pos] != '\n' && json[pos] != '}') {
+    out += json[pos++];
+  }
+  return out;
+}
+
+std::uint64_t as_u64(const std::optional<std::string>& v) {
+  return v ? std::strtoull(v->c_str(), nullptr, 10) : 0;
+}
+
+double as_double(const std::optional<std::string>& v) {
+  return v ? std::strtod(v->c_str(), nullptr) : 0.0;
+}
+
+}  // namespace
+
+std::string RunManifest::to_json() const {
+  std::string out = "{\n";
+  field_u64(out, "schema", static_cast<std::uint64_t>(schema));
+  field_str(out, "bench", bench);
+  out += "  \"argv\": [";
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"";
+    append_json_escaped(out, argv[i]);
+    out += "\"";
+  }
+  out += "],\n";
+  field_u64(out, "root_seed", root_seed);
+  field_u64(out, "jobs", static_cast<std::uint64_t>(jobs));
+  field_bool(out, "deterministic", deterministic);
+  field_bool(out, "csv", csv);
+  {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3f", stream_interval_ms);
+    out += "  \"stream_interval_ms\": ";
+    out += buf;
+    out += ",\n";
+  }
+  field_u64(out, "checkpoint_interval", checkpoint_interval);
+  field_u64(out, "trace_trial", trace_trial);
+  out += "  \"artifacts\": {\n";
+  out += "  ";
+  field_str(out, "trace", trace_out);
+  out += "  ";
+  field_str(out, "metrics", metrics_out);
+  out += "  ";
+  field_str(out, "stream", stream_out);
+  out += "  ";
+  field_str(out, "checkpoint", checkpoint_out);
+  out += "  ";
+  field_str(out, "resumed_from", resume_from, /*comma=*/false);
+  out += "  },\n";
+  field_u64(out, "trials_total", trials_total);
+  field_u64(out, "trials_resumed", trials_resumed);
+  field_u64(out, "trial_errors", trial_errors);
+  field_u64(out, "stream_lines", stream_lines);
+  field_u64(out, "stream_dropped", stream_dropped);
+  out += "  \"build\": {\n";
+  out += "  ";
+  field_str(out, "compiler", compiler);
+  out += "  ";
+  field_str(out, "type", build_type);
+  out += "    \"cxx\": " + std::to_string(cxx_standard) + "\n";
+  out += "  }\n}\n";
+  return out;
+}
+
+std::optional<RunManifest> RunManifest::parse(std::string_view json) {
+  if (!raw_value(json, "schema")) return std::nullopt;
+  RunManifest m;
+  m.schema = static_cast<int>(as_u64(raw_value(json, "schema")));
+  if (auto v = raw_value(json, "bench")) m.bench = *v;
+  m.root_seed = as_u64(raw_value(json, "root_seed"));
+  m.jobs = static_cast<int>(as_u64(raw_value(json, "jobs")));
+  m.deterministic = raw_value(json, "deterministic").value_or("true") == "true";
+  m.csv = raw_value(json, "csv").value_or("false") == "true";
+  m.stream_interval_ms = as_double(raw_value(json, "stream_interval_ms"));
+  m.checkpoint_interval = as_u64(raw_value(json, "checkpoint_interval"));
+  m.trace_trial = as_u64(raw_value(json, "trace_trial"));
+  if (auto v = raw_value(json, "trace")) m.trace_out = *v;
+  if (auto v = raw_value(json, "metrics")) m.metrics_out = *v;
+  if (auto v = raw_value(json, "stream")) m.stream_out = *v;
+  if (auto v = raw_value(json, "checkpoint")) m.checkpoint_out = *v;
+  if (auto v = raw_value(json, "resumed_from")) m.resume_from = *v;
+  m.trials_total = as_u64(raw_value(json, "trials_total"));
+  m.trials_resumed = as_u64(raw_value(json, "trials_resumed"));
+  m.trial_errors = as_u64(raw_value(json, "trial_errors"));
+  m.stream_lines = as_u64(raw_value(json, "stream_lines"));
+  m.stream_dropped = as_u64(raw_value(json, "stream_dropped"));
+  if (auto v = raw_value(json, "compiler")) m.compiler = *v;
+  if (auto v = raw_value(json, "type")) m.build_type = *v;
+  m.cxx_standard = static_cast<long>(as_u64(raw_value(json, "cxx")));
+  // `argv` entries.
+  const std::string needle = "\"argv\": [";
+  if (auto pos = json.find(needle); pos != std::string_view::npos) {
+    pos += needle.size();
+    while (pos < json.size() && json[pos] != ']') {
+      if (json[pos] == '"') {
+        std::string arg;
+        for (++pos; pos < json.size() && json[pos] != '"'; ++pos) {
+          if (json[pos] == '\\' && pos + 1 < json.size()) ++pos;
+          arg += json[pos];
+        }
+        m.argv.push_back(std::move(arg));
+      }
+      ++pos;
+    }
+  }
+  return m;
+}
+
+std::string RunManifest::path_for(const std::string& artifact) {
+  return artifact + ".manifest.json";
+}
+
+std::string build_compiler_id() {
+#if defined(__VERSION__)
+  return __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string build_type_id() {
+#if defined(ANIMUS_BUILD_TYPE)
+  return ANIMUS_BUILD_TYPE;
+#elif defined(NDEBUG)
+  return "release-like";
+#else
+  return "debug-like";
+#endif
+}
+
+}  // namespace animus::obs

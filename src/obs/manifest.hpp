@@ -1,0 +1,80 @@
+// Self-describing run manifests.
+//
+// Every campaign artifact (--csv table, --metrics-out snapshot,
+// --trace-out trace, telemetry stream, checkpoint) is an orphan without
+// the configuration that produced it: which seed, how many jobs, which
+// build. `RunManifest` records all of that as a small JSON file written
+// next to the artifacts, so a results directory is reproducible from its
+// own contents months later:
+//
+//   {
+//     "schema": 1,
+//     "bench": "fig07_capture_rate",
+//     "argv": ["--jobs", "8", "--csv"],
+//     "root_seed": 71829455837523,
+//     ...
+//     "artifacts": {"metrics": "fig07.prom", "stream": "fig07.stream.jsonl"},
+//     "build": {"compiler": "...", "type": "Release", "cxx": 202002}
+//   }
+//
+// `parse()` round-trips the scalar fields and artifact paths (a minimal
+// extractor, not a general JSON parser) so tooling and tests can verify
+// a manifest without external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace animus::obs {
+
+struct RunManifest {
+  int schema = 1;
+  std::string bench;               ///< binary basename
+  std::vector<std::string> argv;   ///< arguments after argv[0]
+  std::uint64_t root_seed = 0;
+  int jobs = 0;                    ///< requested (0 = all hardware cores)
+  bool deterministic = true;
+  bool csv = false;
+  double stream_interval_ms = 0.0; ///< 0 = streaming disabled
+  std::size_t checkpoint_interval = 0;
+  std::size_t trace_trial = 0;
+
+  // Artifact paths, "" = not produced.
+  std::string trace_out;
+  std::string metrics_out;
+  std::string stream_out;
+  std::string checkpoint_out;
+  std::string resume_from;
+
+  // Outcome, filled in at finish time.
+  std::size_t trials_total = 0;    ///< across all sweeps in the run
+  std::size_t trials_resumed = 0;  ///< satisfied from --resume-from
+  std::size_t trial_errors = 0;
+  std::size_t stream_lines = 0;
+  std::size_t stream_dropped = 0;
+
+  // Build identity.
+  std::string compiler;            ///< __VERSION__
+  std::string build_type;          ///< CMAKE_BUILD_TYPE (or "unknown")
+  long cxx_standard = 0;           ///< __cplusplus
+
+  [[nodiscard]] std::string to_json() const;
+
+  /// Minimal-extractor inverse of to_json(): recovers every scalar field
+  /// and the artifact paths. Returns nullopt when `json` is not a
+  /// manifest (no "schema" field).
+  static std::optional<RunManifest> parse(std::string_view json);
+
+  /// Conventional manifest path next to an artifact:
+  /// "out/fig07.prom" -> "out/fig07.prom.manifest.json".
+  static std::string path_for(const std::string& artifact);
+};
+
+/// Compiler / build-type identity baked into this binary.
+std::string build_compiler_id();
+std::string build_type_id();
+
+}  // namespace animus::obs

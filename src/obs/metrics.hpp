@@ -35,6 +35,10 @@ namespace animus::obs {
 /// sorted on registration so equal sets address the same instrument.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
+/// Append `s` to `out` with JSON string escaping (shared by every JSON
+/// emitter in this subsystem: snapshots, the telemetry stream, manifests).
+void append_json_escaped(std::string& out, std::string_view s);
+
 class Counter {
  public:
   void add(double delta) {

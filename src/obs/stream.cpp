@@ -1,0 +1,169 @@
+#include "obs/stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace animus::obs {
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string fmt_ms(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+TelemetryStreamer::TelemetryStreamer(StreamOptions options) : options_(std::move(options)) {}
+
+TelemetryStreamer::~TelemetryStreamer() { stop(); }
+
+void TelemetryStreamer::add_sampler(std::string kind, std::function<std::string()> fields) {
+  std::lock_guard<std::mutex> lock{mu_};
+  samplers_.emplace_back(std::move(kind), std::move(fields));
+}
+
+std::string TelemetryStreamer::envelope_locked(std::string_view kind, std::string_view fields) {
+  const double t_ms = std::max(
+      last_t_ms_,
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - epoch_)
+          .count());
+  last_t_ms_ = t_ms;  // monotone even if the clock misbehaves
+  std::string line = "{\"seq\":" + std::to_string(seq_++);
+  line += ",\"t_ms\":" + fmt_ms(t_ms);
+  line += ",\"kind\":\"";
+  append_json_escaped(line, kind);
+  line += "\"";
+  if (!fields.empty()) {
+    line += ",";
+    line += fields;
+  }
+  line += "}\n";
+  return line;
+}
+
+void TelemetryStreamer::sample_all_locked() {
+  for (const auto& [kind, fn] : samplers_) {
+    queue_.push_back(envelope_locked(kind, fn()));
+  }
+}
+
+void TelemetryStreamer::drain_locked() {
+  while (!queue_.empty()) {
+    const std::string& line = queue_.front();
+    if (std::fwrite(line.data(), 1, line.size(), file_) == line.size()) ++lines_written_;
+    queue_.pop_front();
+  }
+  std::fflush(file_);
+}
+
+bool TelemetryStreamer::start() {
+  std::lock_guard<std::mutex> lock{mu_};
+  if (running_ || file_ != nullptr) return running_;
+  file_ = std::fopen(options_.path.c_str(), "wb");
+  if (file_ == nullptr) return false;
+  epoch_ = std::chrono::steady_clock::now();
+  running_ = true;
+  stopping_ = false;
+  flusher_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock{mu_};
+    const auto interval = std::chrono::duration<double, std::milli>(
+        std::max(options_.interval_ms, 1.0));
+    while (!stopping_) {
+      cv_.wait_for(lock, interval, [this] { return stopping_; });
+      if (stopping_) break;
+      sample_all_locked();
+      drain_locked();
+    }
+  });
+  return true;
+}
+
+void TelemetryStreamer::stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    if (!running_) return;
+    stopping_ = true;
+    to_join = std::move(flusher_);
+  }
+  cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+  std::lock_guard<std::mutex> lock{mu_};
+  // Clean final flush: one last sample of every sampler, then drain.
+  sample_all_locked();
+  drain_locked();
+  std::fclose(file_);
+  file_ = nullptr;
+  running_ = false;
+}
+
+void TelemetryStreamer::emit(std::string_view kind, std::string_view fields) {
+  std::lock_guard<std::mutex> lock{mu_};
+  if (!running_) return;
+  if (queue_.size() >= options_.max_queue) {
+    ++dropped_;
+    return;
+  }
+  queue_.push_back(envelope_locked(kind, fields));
+}
+
+bool TelemetryStreamer::active() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return running_;
+}
+
+std::size_t TelemetryStreamer::lines_written() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return lines_written_;
+}
+
+std::size_t TelemetryStreamer::dropped() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return dropped_;
+}
+
+std::string stream_fields(const Snapshot& snap) {
+  std::string out = "\"series\":" + std::to_string(snap.points.size());
+  out += ",\"metrics\":[";
+  bool first = true;
+  for (const auto& p : snap.points) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    append_json_escaped(out, p.name);
+    out += "\"";
+    if (!p.labels.empty()) {
+      out += ",\"labels\":{";
+      bool lf = true;
+      for (const auto& [k, v] : p.labels) {
+        if (!lf) out += ",";
+        lf = false;
+        out += "\"";
+        append_json_escaped(out, k);
+        out += "\":\"";
+        append_json_escaped(out, v);
+        out += "\"";
+      }
+      out += "}";
+    }
+    if (p.type == MetricType::kHistogram) {
+      out += ",\"count\":" + std::to_string(p.count);
+      out += ",\"sum\":" + fmt_double(p.sum);
+      out += ",\"max\":" + fmt_double(p.max);
+    } else {
+      out += ",\"value\":" + fmt_double(p.value);
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace animus::obs

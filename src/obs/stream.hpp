@@ -1,0 +1,108 @@
+// Streaming telemetry exporter for long campaigns.
+//
+// A sweep that runs for hours is useless as a black box: `--metrics-out`
+// only materializes at exit, so a campaign that dies at trial 48,000 of
+// 50,000 reports nothing. `TelemetryStreamer` closes that gap by
+// appending timestamped JSONL records to a file *while the sweep runs*:
+//
+//   - a background flusher thread wakes every `interval_ms`, polls every
+//     registered sampler (typically a MetricsRegistry snapshot and the
+//     runner's progress counters) and appends one record per sampler;
+//   - any thread can `emit()` ad-hoc records (progress heartbeats,
+//     campaign start/stop markers) through a bounded queue — when the
+//     queue is full the record is dropped and counted, never blocking a
+//     worker;
+//   - `stop()` takes one final sample of every sampler, drains the
+//     queue, flushes and closes — so the last line of the file always
+//     reflects the final state (the "clean final flush" contract).
+//
+// Record envelope, one JSON object per line:
+//
+//   {"seq":12,"t_ms":2500.1,"kind":"progress",...sampler fields...}
+//
+// `seq` is strictly increasing and `t_ms` (wall-clock since start(), via
+// steady_clock) is non-decreasing across the whole file, so a consumer
+// can tail the stream and detect truncation or reordering.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace animus::obs {
+
+struct StreamOptions {
+  std::string path;            ///< JSONL destination (append is not used; fresh file)
+  double interval_ms = 1000.0; ///< flusher wake period
+  std::size_t max_queue = 1024;///< bounded emit() queue; overflow drops + counts
+};
+
+class TelemetryStreamer {
+ public:
+  explicit TelemetryStreamer(StreamOptions options);
+  ~TelemetryStreamer();  // stop() if still running
+
+  TelemetryStreamer(const TelemetryStreamer&) = delete;
+  TelemetryStreamer& operator=(const TelemetryStreamer&) = delete;
+
+  /// Register a sampler polled on every flusher tick (and once more at
+  /// stop()). `fields` is the record body without the envelope, e.g.
+  /// `"series":12,"worlds":3`. Must be called before start().
+  void add_sampler(std::string kind, std::function<std::string()> fields);
+
+  /// Open the file and launch the flusher. False (with errno intact) if
+  /// the file cannot be opened; the streamer then stays inert.
+  bool start();
+
+  /// Final sample + drain + flush + close. Idempotent.
+  void stop();
+
+  /// Enqueue one ad-hoc record. Thread-safe and non-blocking: when the
+  /// bounded queue is full the record is dropped and counted.
+  void emit(std::string_view kind, std::string_view fields);
+
+  [[nodiscard]] bool active() const;
+  [[nodiscard]] std::size_t lines_written() const;
+  [[nodiscard]] std::size_t dropped() const;
+  [[nodiscard]] const StreamOptions& options() const { return options_; }
+
+ private:
+  std::string envelope_locked(std::string_view kind, std::string_view fields);
+  void sample_all_locked();
+  void drain_locked();
+
+  StreamOptions options_;
+  std::vector<std::pair<std::string, std::function<std::string()>>> samplers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::string> queue_;
+  std::FILE* file_ = nullptr;
+  std::thread flusher_;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::uint64_t seq_ = 0;
+  double last_t_ms_ = 0.0;
+  std::size_t lines_written_ = 0;
+  std::size_t dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Compact stream rendering of a metrics snapshot: counters and gauges
+/// as name/labels/value, histograms as count/sum/max — one
+/// `"series":N,"metrics":[...]` body ready for a TelemetryStreamer
+/// sampler (full bucket detail stays in --metrics-out).
+std::string stream_fields(const Snapshot& snap);
+
+}  // namespace animus::obs

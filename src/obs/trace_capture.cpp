@@ -21,6 +21,21 @@ bool TraceCapture::armed() const {
   return armed_;
 }
 
+std::size_t TraceCapture::armed_index() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return armed_ ? trial_index_ : 0;
+}
+
+void TraceCapture::note_sweep_total(std::size_t total) {
+  std::lock_guard<std::mutex> lock{mu_};
+  if (total > max_sweep_total_) max_sweep_total_ = total;
+}
+
+std::size_t TraceCapture::max_sweep_total() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return max_sweep_total_;
+}
+
 bool TraceCapture::try_claim() {
   if (tl_current_trial == std::nullopt) return false;
   std::lock_guard<std::mutex> lock{mu_};
@@ -45,6 +60,7 @@ void TraceCapture::reset() {
   std::lock_guard<std::mutex> lock{mu_};
   armed_ = claimed_ = captured_ = false;
   trial_index_ = 0;
+  max_sweep_total_ = 0;
   trace_.clear();
 }
 

@@ -33,6 +33,15 @@ class TraceCapture {
 
   [[nodiscard]] bool armed() const;
 
+  /// The submission index the capture is armed for (0 when disarmed).
+  [[nodiscard]] std::size_t armed_index() const;
+
+  /// Runner bookkeeping: every sweep reports its trial count so
+  /// `--trace-trial=N` can be bounds-checked against the largest sweep
+  /// the process ran (benches may run several sweeps of varying sizes).
+  void note_sweep_total(std::size_t total);
+  [[nodiscard]] std::size_t max_sweep_total() const;
+
   /// Called by a World constructor: true exactly once, for the first
   /// World built inside the armed trial. The claimant must deliver().
   bool try_claim();
@@ -68,6 +77,7 @@ class TraceCapture {
   bool claimed_ = false;
   bool captured_ = false;
   std::size_t trial_index_ = 0;
+  std::size_t max_sweep_total_ = 0;
   sim::TraceRecorder trace_;
 };
 

@@ -1,29 +1,74 @@
 #include "runner/bench_cli.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string_view>
+#include <unordered_set>
 
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stream.hpp"
 #include "obs/trace_capture.hpp"
 #include "sim/chrome_trace.hpp"
 
 namespace animus::runner {
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+// Process-wide campaign state shared between parse(), the heartbeat,
+// run_campaign and finish(). Bench binaries parse exactly once.
+struct CampaignState {
+  std::string bench_name;               // argv[0] basename
+  std::vector<std::string> argv_tail;   // argv[1..]
+  std::unique_ptr<obs::TelemetryStreamer> streamer;
+  bool trace_trial_explicit = false;
+  // Heartbeat bookkeeping (callbacks are serialized by the runner).
+  Clock::time_point sweep_start{};
+  Clock::time_point last_beat{};
+  std::size_t prev_done = 0;
+  double beat_period_ms = 1000.0;
+  bool heartbeat = false;
+  // Manifest accounting.
+  std::size_t trials_total = 0;
+  std::size_t trials_resumed = 0;
+  std::size_t trial_errors = 0;
+};
+
+CampaignState& state() {
+  static CampaignState* s = new CampaignState();  // never destroyed
+  return *s;
+}
+
 [[noreturn]] void usage(const char* argv0, int exit_code) {
   std::FILE* out = exit_code == 0 ? stdout : stderr;
-  std::fprintf(out,
-               "usage: %s [--jobs N] [--seed S] [--csv] [--trace-out FILE]"
-               " [--metrics-out FILE]\n"
-               "  --jobs N            worker threads (0 = all hardware cores; default 0)\n"
-               "  --seed S            root seed for the deterministic trial sweep\n"
-               "  --csv               emit tables as CSV and suppress commentary\n"
-               "  --trace-out FILE    Chrome/Perfetto JSON trace of trial 0\n"
-               "  --metrics-out FILE  metrics snapshot (.prom => Prometheus, else JSONL)\n"
-               "Tables print on stdout; timing and telemetry go to stderr, so\n"
-               "output is byte-identical at any --jobs value.\n",
-               argv0);
+  std::fprintf(
+      out,
+      "usage: %s [--jobs N] [--seed S] [--csv] [--trace-out FILE]\n"
+      "          [--trace-trial N] [--metrics-out FILE] [--stream-out FILE]\n"
+      "          [--stream-interval MS] [--progress] [--checkpoint-out FILE]\n"
+      "          [--checkpoint-interval N] [--resume-from FILE] [--manifest FILE]\n"
+      "  --jobs N              worker threads (0 = all hardware cores; default 0)\n"
+      "  --seed S              root seed for the deterministic trial sweep\n"
+      "  --csv                 emit tables as CSV and suppress commentary\n"
+      "  --trace-out FILE      Chrome/Perfetto JSON trace of one trial\n"
+      "  --trace-trial N       capture submission index N (default 0); exits 2\n"
+      "                        when N is out of range for every sweep\n"
+      "  --metrics-out FILE    metrics snapshot (.prom => Prometheus, else JSONL)\n"
+      "  --stream-out FILE     streaming telemetry JSONL (metrics + progress,\n"
+      "                        appended live every --stream-interval)\n"
+      "  --stream-interval MS  stream flush / heartbeat period (default 1000)\n"
+      "  --progress            progress heartbeat on stderr without a stream\n"
+      "  --checkpoint-out FILE persist completed trials for resume\n"
+      "  --checkpoint-interval N  trials between checkpoint flushes (default 64)\n"
+      "  --resume-from FILE    re-run only trials the checkpoint is missing\n"
+      "  --manifest FILE       run manifest (default: next to first artifact)\n"
+      "Tables print on stdout; timing and telemetry go to stderr, so\n"
+      "output is byte-identical at any --jobs value.\n",
+      argv0);
   std::exit(exit_code);
 }
 
@@ -40,10 +85,56 @@ bool ends_with(std::string_view s, std::string_view suffix) {
   return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
 }
 
+std::string basename_of(std::string_view path) {
+  const auto slash = path.find_last_of('/');
+  return std::string(slash == std::string_view::npos ? path : path.substr(slash + 1));
+}
+
+/// Heartbeat installed into RunOptions::progress when --progress or
+/// --stream-out is active: throughput, completion %, ETA from the
+/// elapsed per-trial wall-clock, and the running error count — to
+/// stderr and (when streaming) to the telemetry stream.
+void heartbeat(const Progress& p) {
+  CampaignState& s = state();
+  const auto now = Clock::now();
+  if (p.done < s.prev_done || s.prev_done == 0) s.sweep_start = now;  // new sweep
+  s.prev_done = p.done;
+  const bool final = p.done >= p.total;
+  const double since_beat_ms =
+      std::chrono::duration<double, std::milli>(now - s.last_beat).count();
+  if (!final && since_beat_ms < s.beat_period_ms) return;
+  s.last_beat = now;
+
+  const double elapsed_s =
+      std::chrono::duration<double>(now - s.sweep_start).count();
+  const double rate = elapsed_s > 0.0 ? static_cast<double>(p.done) / elapsed_s : 0.0;
+  const double remaining = static_cast<double>(p.total - p.done);
+  const double eta_s = rate > 0.0 ? remaining / rate : 0.0;
+  const double pct = p.total > 0 ? 100.0 * static_cast<double>(p.done) /
+                                       static_cast<double>(p.total)
+                                 : 100.0;
+  if (s.heartbeat) {
+    std::fprintf(stderr,
+                 "[progress] %s %zu/%zu (%.1f%%)  %.1f trials/s  eta %.1fs  errors %zu\n",
+                 s.bench_name.c_str(), p.done, p.total, pct, rate, eta_s, p.errors);
+  }
+  if (s.streamer) {
+    char fields[256];
+    std::snprintf(fields, sizeof(fields),
+                  "\"done\":%zu,\"total\":%zu,\"pct\":%.3f,\"trials_per_s\":%.3f,"
+                  "\"eta_s\":%.3f,\"errors\":%zu,\"workers_busy\":%d,\"jobs\":%d",
+                  p.done, p.total, pct, rate, eta_s, p.errors, p.workers_busy, p.jobs);
+    s.streamer->emit("progress", fields);
+  }
+}
+
 }  // namespace
 
 BenchArgs BenchArgs::parse(int argc, char** argv) {
   BenchArgs args;
+  CampaignState& s = state();
+  s.bench_name = argc > 0 ? basename_of(argv[0]) : "bench";
+  for (int i = 1; i < argc; ++i) s.argv_tail.emplace_back(argv[i]);
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     // Accept both `--flag value` and `--flag=value`.
@@ -70,8 +161,31 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       args.csv = true;
     } else if (arg == "--trace-out") {
       args.trace_out = value("--trace-out");
+    } else if (arg == "--trace-trial") {
+      args.trace_trial = std::strtoull(value("--trace-trial").c_str(), nullptr, 0);
+      s.trace_trial_explicit = true;
     } else if (arg == "--metrics-out") {
       args.metrics_out = value("--metrics-out");
+    } else if (arg == "--stream-out") {
+      args.stream_out = value("--stream-out");
+    } else if (arg == "--stream-interval") {
+      args.stream_interval_ms = std::strtod(value("--stream-interval").c_str(), nullptr);
+      if (args.stream_interval_ms <= 0.0) {
+        std::fprintf(stderr, "%s: --stream-interval must be positive\n", argv[0]);
+        usage(argv[0], 2);
+      }
+    } else if (arg == "--progress") {
+      args.progress = true;
+    } else if (arg == "--checkpoint-out") {
+      args.checkpoint_out = value("--checkpoint-out");
+    } else if (arg == "--checkpoint-interval") {
+      args.checkpoint_interval = std::strtoull(value("--checkpoint-interval").c_str(),
+                                               nullptr, 0);
+      if (args.checkpoint_interval == 0) args.checkpoint_interval = 1;
+    } else if (arg == "--resume-from") {
+      args.resume_from = value("--resume-from");
+    } else if (arg == "--manifest") {
+      args.manifest_out = value("--manifest");
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0], 0);
     } else {
@@ -79,7 +193,30 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       usage(argv[0], 2);
     }
   }
-  if (!args.trace_out.empty()) obs::trace_capture().arm(0);
+  if (!args.trace_out.empty()) {
+    obs::trace_capture().arm(args.trace_trial);
+  } else if (s.trace_trial_explicit) {
+    std::fprintf(stderr, "%s: --trace-trial has no effect without --trace-out\n", argv[0]);
+  }
+  if (!args.stream_out.empty()) {
+    obs::StreamOptions so;
+    so.path = args.stream_out;
+    so.interval_ms = args.stream_interval_ms;
+    s.streamer = std::make_unique<obs::TelemetryStreamer>(so);
+    s.streamer->add_sampler("metrics", [] {
+      return obs::stream_fields(obs::global_registry().snapshot());
+    });
+    if (!s.streamer->start()) {
+      std::fprintf(stderr, "%s: cannot open --stream-out %s\n", argv[0],
+                   args.stream_out.c_str());
+      std::exit(2);
+    }
+  }
+  s.heartbeat = args.progress;
+  s.beat_period_ms = args.stream_interval_ms;
+  if (args.progress || !args.stream_out.empty()) {
+    args.run.progress = heartbeat;
+  }
   return args;
 }
 
@@ -106,16 +243,126 @@ void report(const char* label, const SweepStats& stats, const std::vector<TrialE
   }
 }
 
+namespace detail {
+
+CampaignPlan prepare_campaign(const char* label, std::size_t total, const BenchArgs& args) {
+  CampaignPlan plan;
+  CheckpointHeader header;
+  header.label = label;
+  header.total = total;
+  header.root_seed = args.run.root_seed;
+  header.deterministic = args.run.deterministic;
+
+  if (!args.resume_from.empty()) {
+    std::string error;
+    auto data = load_checkpoint(args.resume_from, &error);
+    if (!data) {
+      std::fprintf(stderr, "[%s] --resume-from: %s\n", label, error.c_str());
+      std::exit(2);
+    }
+    const std::string mismatch = checkpoint_mismatch(*data, header);
+    if (!mismatch.empty()) {
+      std::fprintf(stderr, "[%s] --resume-from %s: %s\n", label, args.resume_from.c_str(),
+                   mismatch.c_str());
+      std::exit(2);
+    }
+    plan.resumed = std::move(data->trials);
+  }
+
+  std::unordered_set<std::size_t> have;
+  have.reserve(plan.resumed.size());
+  for (const auto& t : plan.resumed) have.insert(t.index);
+  plan.missing.reserve(total - plan.resumed.size());
+  for (std::size_t i = 0; i < total; ++i) {
+    if (have.find(i) == have.end()) plan.missing.push_back(i);
+  }
+
+  if (!args.checkpoint_out.empty()) {
+    // Continuing in place appends to the resumed file; a fresh path gets
+    // a header plus a re-append of every resumed trial, so the new file
+    // is itself a complete checkpoint.
+    const bool in_place = args.checkpoint_out == args.resume_from;
+    plan.writer = std::make_shared<CheckpointWriter>(args.checkpoint_out, header,
+                                                     args.checkpoint_interval, in_place);
+    if (!plan.writer->ok()) {
+      std::fprintf(stderr, "[%s] cannot open --checkpoint-out %s\n", label,
+                   args.checkpoint_out.c_str());
+      std::exit(2);
+    }
+    if (!in_place) {
+      for (const auto& t : plan.resumed) plan.writer->append(t.index, t.seed, t.result);
+    }
+  }
+
+  if (auto* streamer = state().streamer.get()) {
+    char fields[192];
+    std::snprintf(fields, sizeof(fields),
+                  "\"label\":\"%s\",\"total\":%zu,\"resumed\":%zu,\"to_run\":%zu", label,
+                  total, plan.resumed.size(), plan.missing.size());
+    streamer->emit("campaign_start", fields);
+  }
+  return plan;
+}
+
+void finish_campaign(const char* label, const CampaignPlan& plan, const SweepStats& stats,
+                     const std::vector<TrialError>& errors) {
+  report(label, stats, errors);
+  CampaignState& s = state();
+  const std::size_t total = plan.resumed.size() + plan.missing.size();
+  s.trials_total += total;
+  s.trials_resumed += plan.resumed.size();
+  s.trial_errors += errors.size();
+  if (!plan.resumed.empty()) {
+    std::fprintf(stderr, "[%s] resumed %zu/%zu trials from checkpoint; re-ran %zu\n", label,
+                 plan.resumed.size(), total, plan.missing.size());
+  }
+  if (plan.writer) {
+    if (plan.writer->ok()) {
+      std::fprintf(stderr, "[%s] checkpoint written to %s (%zu trials)\n", label,
+                   plan.writer->path().c_str(), plan.writer->appended());
+    } else {
+      std::fprintf(stderr, "[%s] checkpoint write to %s FAILED\n", label,
+                   plan.writer->path().c_str());
+    }
+  }
+  if (s.streamer) {
+    char fields[192];
+    std::snprintf(fields, sizeof(fields),
+                  "\"label\":\"%s\",\"total\":%zu,\"errors\":%zu,\"wall_ms\":%.3f", label,
+                  total, errors.size(), stats.wall_ms);
+    s.streamer->emit("campaign_end", fields);
+  }
+}
+
+void resume_decode_failed(const char* label, std::size_t index) {
+  std::fprintf(stderr, "[%s] --resume-from: cannot decode result of trial %zu\n", label,
+               index);
+  std::exit(2);
+}
+
+}  // namespace detail
+
 void finish(const BenchArgs& args) {
+  CampaignState& s = state();
   if (!args.trace_out.empty()) {
     auto& capture = obs::trace_capture();
-    if (!capture.captured()) {
-      std::fprintf(stderr, "[bench] --trace-out: no trial trace was captured\n");
-    } else if (sim::write_chrome_trace(capture.trace(), args.trace_out)) {
-      std::fprintf(stderr, "[bench] trace written to %s (%zu records)\n",
-                   args.trace_out.c_str(), capture.trace().size());
+    if (capture.captured()) {
+      if (sim::write_chrome_trace(capture.trace(), args.trace_out)) {
+        std::fprintf(stderr, "[bench] trace written to %s (%zu records)\n",
+                     args.trace_out.c_str(), capture.trace().size());
+      } else {
+        std::fprintf(stderr, "[bench] failed to write trace to %s\n", args.trace_out.c_str());
+      }
+    } else if (capture.armed() && args.trace_trial >= capture.max_sweep_total() &&
+               capture.max_sweep_total() > 0) {
+      std::fprintf(stderr,
+                   "[bench] --trace-trial=%zu out of range: the largest sweep ran only "
+                   "%zu trials (valid indices are 0..%zu)\n",
+                   args.trace_trial, capture.max_sweep_total(),
+                   capture.max_sweep_total() - 1);
+      std::exit(2);
     } else {
-      std::fprintf(stderr, "[bench] failed to write trace to %s\n", args.trace_out.c_str());
+      std::fprintf(stderr, "[bench] --trace-out: no trial trace was captured\n");
     }
   }
   if (!args.metrics_out.empty()) {
@@ -128,6 +375,58 @@ void finish(const BenchArgs& args) {
     } else {
       std::fprintf(stderr, "[bench] failed to write metrics to %s\n",
                    args.metrics_out.c_str());
+    }
+  }
+  std::size_t stream_lines = 0;
+  std::size_t stream_dropped = 0;
+  if (s.streamer) {
+    s.streamer->stop();  // clean final flush
+    stream_lines = s.streamer->lines_written();
+    stream_dropped = s.streamer->dropped();
+    std::fprintf(stderr, "[bench] telemetry stream written to %s (%zu lines, %zu dropped)\n",
+                 args.stream_out.c_str(), stream_lines, stream_dropped);
+  }
+  // Run manifest: next to the first file artifact, or wherever
+  // --manifest points. Without any artifact there is nothing to
+  // describe, so none is written.
+  std::string manifest_path = args.manifest_out;
+  if (manifest_path.empty()) {
+    for (const std::string* artifact :
+         {&args.metrics_out, &args.trace_out, &args.stream_out, &args.checkpoint_out}) {
+      if (!artifact->empty()) {
+        manifest_path = obs::RunManifest::path_for(*artifact);
+        break;
+      }
+    }
+  }
+  if (!manifest_path.empty()) {
+    obs::RunManifest m;
+    m.bench = s.bench_name;
+    m.argv = s.argv_tail;
+    m.root_seed = args.run.root_seed;
+    m.jobs = args.run.jobs;
+    m.deterministic = args.run.deterministic;
+    m.csv = args.csv;
+    m.stream_interval_ms = args.stream_out.empty() ? 0.0 : args.stream_interval_ms;
+    m.checkpoint_interval = args.checkpoint_out.empty() ? 0 : args.checkpoint_interval;
+    m.trace_trial = args.trace_trial;
+    m.trace_out = args.trace_out;
+    m.metrics_out = args.metrics_out;
+    m.stream_out = args.stream_out;
+    m.checkpoint_out = args.checkpoint_out;
+    m.resume_from = args.resume_from;
+    m.trials_total = s.trials_total;
+    m.trials_resumed = s.trials_resumed;
+    m.trial_errors = s.trial_errors;
+    m.stream_lines = stream_lines;
+    m.stream_dropped = stream_dropped;
+    m.compiler = obs::build_compiler_id();
+    m.build_type = obs::build_type_id();
+    m.cxx_standard = __cplusplus;
+    if (write_file(manifest_path, m.to_json())) {
+      std::fprintf(stderr, "[bench] run manifest written to %s\n", manifest_path.c_str());
+    } else {
+      std::fprintf(stderr, "[bench] failed to write manifest to %s\n", manifest_path.c_str());
     }
   }
 }

@@ -3,23 +3,49 @@
 // Every migrated bench accepts the same flags instead of carrying its
 // own main() boilerplate:
 //
-//   --jobs N            worker threads for runner::sweep (0 = all cores)
-//   --seed S            root seed the per-trial seeds are split from
-//   --csv               emit tables as CSV on stdout, suppress commentary
-//   --trace-out FILE    write the Chrome/Perfetto span trace of one
-//                       representative trial (submission index 0)
-//   --metrics-out FILE  snapshot the global metrics registry on exit
-//                       (.prom => Prometheus text, else JSON-lines)
+//   --jobs N              worker threads for runner::sweep (0 = all cores)
+//   --seed S              root seed the per-trial seeds are split from
+//   --csv                 emit tables as CSV on stdout, suppress commentary
+//   --trace-out FILE      write the Chrome/Perfetto span trace of one
+//                         representative trial (submission index 0)
+//   --trace-trial N       capture submission index N instead of 0; errors
+//                         (exit 2) when N exceeds every sweep's trial count
+//   --metrics-out FILE    snapshot the global metrics registry on exit
+//                         (.prom => Prometheus text, else JSON-lines)
+//   --stream-out FILE     streaming telemetry: append timestamped JSONL
+//                         records (metrics snapshots, progress heartbeats)
+//                         every --stream-interval while the sweep runs
+//   --stream-interval MS  flush/heartbeat period (default 1000)
+//   --progress            progress heartbeat on stderr (throughput,
+//                         completion %, ETA, errors) even without a stream
+//   --checkpoint-out FILE persist completed trials as JSONL at interval
+//                         boundaries (campaign survives a kill)
+//   --checkpoint-interval N   trials between checkpoint flushes (default 64)
+//   --resume-from FILE    re-run only the trials a checkpoint is missing;
+//                         merged output is byte-identical to an
+//                         uninterrupted run at any --jobs
+//   --manifest FILE       run-manifest destination (default: written next
+//                         to the first file artifact)
 //
 // Tables and commentary go to stdout; throughput reports, latency
-// percentiles and captured trial errors go to stderr, so `--jobs 1` and
-// `--jobs 8` runs produce byte-identical stdout (the determinism
-// contract) while telemetry stays visible on the terminal.
+// percentiles, heartbeats and captured trial errors go to stderr, so
+// `--jobs 1` and `--jobs 8` runs produce byte-identical stdout (the
+// determinism contract) while telemetry stays visible on the terminal.
+//
+// Checkpoint/resume rides on `run_campaign`, the checkpoint-aware form
+// of runner::sweep for benches whose trial results have a TrialCodec.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "metrics/table.hpp"
+#include "runner/checkpoint.hpp"
 #include "runner/runner.hpp"
 
 namespace animus::runner {
@@ -27,12 +53,22 @@ namespace animus::runner {
 struct BenchArgs {
   RunOptions run;           ///< jobs + root_seed feed runner::sweep directly
   bool csv = false;         ///< CSV tables on stdout, commentary suppressed
+  bool progress = false;    ///< stderr heartbeat even without --stream-out
   std::string trace_out;    ///< span-trace destination ("" = disabled)
+  std::size_t trace_trial = 0;       ///< submission index --trace-out captures
   std::string metrics_out;  ///< metrics-snapshot destination ("" = disabled)
+  std::string stream_out;   ///< streaming-telemetry destination ("" = disabled)
+  double stream_interval_ms = 1000.0;
+  std::string checkpoint_out;        ///< checkpoint destination ("" = disabled)
+  std::size_t checkpoint_interval = 64;
+  std::string resume_from;  ///< checkpoint to resume ("" = fresh run)
+  std::string manifest_out; ///< manifest destination ("" = next to artifacts)
 
   /// Parse argv; prints usage and exits on --help (0) or bad args (2).
   /// When --trace-out is given, arms the process-wide trace capture for
-  /// trial 0 so the next sweep records its representative trial.
+  /// --trace-trial (default 0) so a sweep records its representative
+  /// trial. When --stream-out is given, opens the telemetry stream and
+  /// installs a progress heartbeat into `run.progress`.
   static BenchArgs parse(int argc, char** argv);
 };
 
@@ -53,9 +89,69 @@ void report(const char* label, const SweepResult<R>& sweep) {
   report(label, sweep.stats, sweep.errors);
 }
 
-/// Write --trace-out / --metrics-out files, if requested. Call once at
-/// the end of main(); safe no-op when neither flag was given. Reports
-/// destinations (or I/O failures) on stderr.
+/// Write --trace-out / --metrics-out / manifest files and close the
+/// telemetry stream, if requested. Call once at the end of main(); safe
+/// no-op when no artifact flag was given. Reports destinations (or I/O
+/// failures) on stderr. Exits 2 when --trace-trial was out of range for
+/// every sweep the process ran.
 void finish(const BenchArgs& args);
+
+namespace detail {
+
+/// Resume/checkpoint plan for one campaign sweep (non-template half of
+/// run_campaign; prepared in bench_cli.cpp). Exits 2 with a clear
+/// message on an unreadable or mismatched --resume-from file.
+struct CampaignPlan {
+  std::vector<std::size_t> missing;           ///< submission indices to run
+  std::vector<CheckpointData::Trial> resumed; ///< encoded completed trials
+  std::shared_ptr<CheckpointWriter> writer;   ///< null when not checkpointing
+};
+
+CampaignPlan prepare_campaign(const char* label, std::size_t total, const BenchArgs& args);
+
+/// Report + stream + manifest accounting after a campaign sweep.
+void finish_campaign(const char* label, const CampaignPlan& plan, const SweepStats& stats,
+                     const std::vector<TrialError>& errors);
+
+[[noreturn]] void resume_decode_failed(const char* label, std::size_t index);
+
+}  // namespace detail
+
+/// Checkpoint-aware runner::sweep: behaves exactly like
+/// `sweep(items, fn, args.run)` — results in submission order,
+/// byte-identical at any --jobs — but honors --checkpoint-out /
+/// --resume-from and reports the sweep under `label` (subsuming the
+/// separate report() call). Requires TrialCodec<R> so results survive
+/// the round-trip through the checkpoint file exactly.
+template <typename Items, typename Fn>
+auto run_campaign(const char* label, const Items& items, Fn&& fn, const BenchArgs& args)
+    -> SweepResult<
+        std::decay_t<std::invoke_result_t<Fn&, decltype(items[0]), const TrialContext&>>> {
+  using R = std::decay_t<std::invoke_result_t<Fn&, decltype(items[0]), const TrialContext&>>;
+  using Codec = TrialCodec<R>;
+  const std::size_t total = items.size();
+  SweepResult<R> out;
+  out.results.resize(total);
+
+  detail::CampaignPlan plan = detail::prepare_campaign(label, total, args);
+  for (const auto& t : plan.resumed) {
+    R value{};
+    if (!Codec::decode(t.result, &value)) detail::resume_decode_failed(label, t.index);
+    out.results[t.index] = value;
+  }
+
+  const ParallelRunner pool{args.run};
+  out.stats = pool.run_subset(
+      plan.missing, total,
+      [&](const TrialContext& ctx) {
+        R value = fn(items[ctx.index], ctx);
+        if (plan.writer) plan.writer->append(ctx.index, ctx.seed, Codec::encode(value));
+        out.results[ctx.index] = std::move(value);
+      },
+      &out.errors);
+  if (plan.writer) plan.writer->close();
+  detail::finish_campaign(label, plan, out.stats, out.errors);
+  return out;
+}
 
 }  // namespace animus::runner

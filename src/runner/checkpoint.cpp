@@ -1,0 +1,200 @@
+#include "runner/checkpoint.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "obs/metrics.hpp"
+
+namespace animus::runner {
+namespace {
+
+std::string header_line(const CheckpointHeader& h) {
+  std::string out = "{\"kind\":\"header\",\"version\":" + std::to_string(h.version);
+  out += ",\"label\":\"";
+  obs::append_json_escaped(out, h.label);
+  out += "\",\"total\":" + std::to_string(h.total);
+  out += ",\"root_seed\":" + std::to_string(h.root_seed);
+  out += std::string(",\"deterministic\":") + (h.deterministic ? "true" : "false");
+  out += "}\n";
+  return out;
+}
+
+/// Pull the raw token after `"key":` out of one JSONL line.
+std::optional<std::string> raw_value(std::string_view line, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  auto pos = line.find(needle);
+  if (pos == std::string_view::npos) return std::nullopt;
+  pos += needle.size();
+  if (pos >= line.size()) return std::nullopt;
+  if (line[pos] == '"') {
+    std::string out;
+    for (++pos; pos < line.size() && line[pos] != '"'; ++pos) {
+      if (line[pos] == '\\' && pos + 1 < line.size()) {
+        ++pos;
+        out += line[pos] == 'n' ? '\n' : line[pos] == 't' ? '\t' : line[pos];
+      } else {
+        out += line[pos];
+      }
+    }
+    if (pos >= line.size()) return std::nullopt;  // unterminated (torn line)
+    return out;
+  }
+  std::string out;
+  while (pos < line.size() && line[pos] != ',' && line[pos] != '}') out += line[pos++];
+  if (pos >= line.size()) return std::nullopt;  // torn before the delimiter
+  return out;
+}
+
+}  // namespace
+
+CheckpointWriter::CheckpointWriter(std::string path, const CheckpointHeader& header,
+                                   std::size_t flush_interval, bool append)
+    : path_(std::move(path)), flush_interval_(std::max<std::size_t>(flush_interval, 1)) {
+  file_ = std::fopen(path_.c_str(), append ? "ab" : "wb");
+  if (file_ == nullptr) return;
+  ok_ = true;
+  if (!append) {
+    const std::string line = header_line(header);
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) ok_ = false;
+    std::fflush(file_);
+  }
+}
+
+CheckpointWriter::~CheckpointWriter() { close(); }
+
+bool CheckpointWriter::ok() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return ok_;
+}
+
+void CheckpointWriter::append(std::size_t index, std::uint64_t seed,
+                              std::string_view encoded_result) {
+  std::lock_guard<std::mutex> lock{mu_};
+  if (file_ == nullptr) return;
+  std::string line = "{\"kind\":\"trial\",\"index\":" + std::to_string(index);
+  line += ",\"seed\":" + std::to_string(seed);
+  line += ",\"result\":\"";
+  obs::append_json_escaped(line, encoded_result);
+  line += "\"}\n";
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) ok_ = false;
+  ++appended_;
+  if (++since_flush_ >= flush_interval_) {
+    std::fflush(file_);
+    since_flush_ = 0;
+  }
+}
+
+void CheckpointWriter::close() {
+  std::lock_guard<std::mutex> lock{mu_};
+  if (file_ == nullptr) return;
+  if (std::fflush(file_) != 0 || std::fclose(file_) != 0) ok_ = false;
+  file_ = nullptr;
+}
+
+std::size_t CheckpointWriter::appended() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return appended_;
+}
+
+std::optional<CheckpointData> load_checkpoint(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open checkpoint '" + path + "': " + std::strerror(errno);
+    return std::nullopt;
+  }
+  CheckpointData data;
+  std::string line;
+  bool have_header = false;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const auto kind = raw_value(line, "kind");
+    if (!kind) {
+      // A line without a parsable kind is only acceptable as the torn
+      // final line a kill leaves behind.
+      if (in.peek() == std::ifstream::traits_type::eof()) break;
+      if (error) *error = "malformed line " + std::to_string(lineno) + " in '" + path + "'";
+      return std::nullopt;
+    }
+    if (*kind == "header") {
+      if (have_header) {
+        if (error) *error = "duplicate header at line " + std::to_string(lineno);
+        return std::nullopt;
+      }
+      have_header = true;
+      data.header.version =
+          static_cast<int>(std::strtol(raw_value(line, "version").value_or("1").c_str(),
+                                       nullptr, 10));
+      data.header.label = raw_value(line, "label").value_or("");
+      data.header.total = std::strtoull(raw_value(line, "total").value_or("0").c_str(),
+                                        nullptr, 10);
+      data.header.root_seed =
+          std::strtoull(raw_value(line, "root_seed").value_or("0").c_str(), nullptr, 10);
+      data.header.deterministic = raw_value(line, "deterministic").value_or("true") == "true";
+      continue;
+    }
+    if (*kind != "trial") continue;  // forward compatibility: skip unknown kinds
+    const auto index = raw_value(line, "index");
+    const auto seed = raw_value(line, "seed");
+    const auto result = raw_value(line, "result");
+    if (!index || !seed || !result) {
+      if (in.peek() == std::ifstream::traits_type::eof()) break;  // torn final line
+      if (error) *error = "malformed trial at line " + std::to_string(lineno);
+      return std::nullopt;
+    }
+    CheckpointData::Trial t;
+    t.index = std::strtoull(index->c_str(), nullptr, 10);
+    t.seed = std::strtoull(seed->c_str(), nullptr, 10);
+    t.result = *result;
+    data.trials.push_back(std::move(t));
+  }
+  if (!have_header) {
+    if (error) *error = "checkpoint '" + path + "' has no header line";
+    return std::nullopt;
+  }
+  // Sort by index; on duplicates (a re-run overlapping an earlier file)
+  // the later write wins. stable_sort keeps file order within an index.
+  std::stable_sort(data.trials.begin(), data.trials.end(),
+                   [](const auto& a, const auto& b) { return a.index < b.index; });
+  std::vector<CheckpointData::Trial> dedup;
+  dedup.reserve(data.trials.size());
+  for (auto& t : data.trials) {
+    if (!dedup.empty() && dedup.back().index == t.index) {
+      dedup.back() = std::move(t);
+    } else {
+      dedup.push_back(std::move(t));
+    }
+  }
+  data.trials = std::move(dedup);
+  if (error) error->clear();
+  return data;
+}
+
+std::string checkpoint_mismatch(const CheckpointData& data, const CheckpointHeader& expect) {
+  const CheckpointHeader& h = data.header;
+  if (h.root_seed != expect.root_seed) {
+    return "root seed mismatch (checkpoint " + std::to_string(h.root_seed) + ", run " +
+           std::to_string(expect.root_seed) + ")";
+  }
+  if (h.total != expect.total) {
+    return "trial count mismatch (checkpoint " + std::to_string(h.total) + ", run " +
+           std::to_string(expect.total) + ")";
+  }
+  if (h.deterministic != expect.deterministic) {
+    return std::string("determinism mode mismatch (checkpoint ") +
+           (h.deterministic ? "deterministic" : "live") + ", run " +
+           (expect.deterministic ? "deterministic" : "live") + ")";
+  }
+  for (const auto& t : data.trials) {
+    if (t.index >= expect.total) {
+      return "trial index " + std::to_string(t.index) + " out of range for total " +
+             std::to_string(expect.total);
+    }
+  }
+  return "";
+}
+
+}  // namespace animus::runner

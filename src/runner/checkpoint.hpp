@@ -1,0 +1,137 @@
+// Sweep checkpoint/resume for long campaigns.
+//
+// A checkpoint is an append-only JSONL file: one header line recording
+// the sweep identity (root seed, trial count, determinism mode), then
+// one line per *completed* trial carrying its submission index, derived
+// seed and encoded result:
+//
+//   {"kind":"header","version":1,"label":"fig07","total":210,
+//    "root_seed":71829455837523,"deterministic":true}
+//   {"kind":"trial","index":12,"seed":9937...,"result":"86.0"}
+//
+// The writer flushes at interval boundaries (every N appended trials)
+// and on close, so a campaign killed mid-flight loses at most the last
+// interval. The loader tolerates a torn final line — exactly what a
+// kill leaves behind — but rejects a header that does not match the
+// resuming sweep's options (different seed/total means the results are
+// not interchangeable).
+//
+// Resuming re-runs only the missing submission indices; because every
+// trial's seed is a pure function of (root seed, index), the merged
+// result vector is byte-identical to an uninterrupted run at any
+// --jobs value, provided the result codec round-trips exactly
+// (TrialCodec<double> uses %.17g for that reason).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace animus::runner {
+
+struct CheckpointHeader {
+  int version = 1;
+  std::string label;          ///< bench label, informational
+  std::size_t total = 0;      ///< submission count of the sweep
+  std::uint64_t root_seed = 0;
+  bool deterministic = true;
+};
+
+/// Thread-safe append-only writer. All I/O errors latch `ok() == false`
+/// and are reported once by the caller at close.
+class CheckpointWriter {
+ public:
+  /// Truncates `path` and writes the header. `flush_interval` is the
+  /// number of appended trials between fflush barriers (>= 1).
+  /// With `append` true the file is opened for append and no header is
+  /// written (continuing an existing checkpoint in place).
+  CheckpointWriter(std::string path, const CheckpointHeader& header,
+                   std::size_t flush_interval, bool append = false);
+  ~CheckpointWriter();
+
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  [[nodiscard]] bool ok() const;
+
+  /// Append one completed trial (thread-safe).
+  void append(std::size_t index, std::uint64_t seed, std::string_view encoded_result);
+
+  /// Final flush + close. Idempotent; the destructor calls it too.
+  void close();
+
+  [[nodiscard]] std::size_t appended() const;
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::size_t flush_interval_ = 1;
+  std::size_t since_flush_ = 0;
+  std::size_t appended_ = 0;
+  bool ok_ = false;
+};
+
+/// A loaded checkpoint: the header plus (index, encoded result, seed)
+/// for every completed trial, deduplicated (last write wins).
+struct CheckpointData {
+  CheckpointHeader header;
+  struct Trial {
+    std::size_t index = 0;
+    std::uint64_t seed = 0;
+    std::string result;  ///< encoded, as written
+  };
+  std::vector<Trial> trials;  ///< sorted by index
+};
+
+/// Load `path`. A torn trailing line (the signature of a kill mid-write)
+/// is silently dropped; a missing file, unreadable header or malformed
+/// interior line fails with a message in *error.
+std::optional<CheckpointData> load_checkpoint(const std::string& path, std::string* error);
+
+/// "" when `data` can seed a resume of a sweep with this identity;
+/// otherwise a human-readable mismatch description (seed, total, mode).
+std::string checkpoint_mismatch(const CheckpointData& data, const CheckpointHeader& expect);
+
+// ---------------------------------------------------------------------
+// Result codecs: exact, line-safe round-trip encodings for the result
+// types the campaign benches produce. Specialize for new result types.
+// ---------------------------------------------------------------------
+
+template <typename R>
+struct TrialCodec;  // no primary definition: specialize per result type
+
+template <>
+struct TrialCodec<double> {
+  static std::string encode(double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);  // exact round-trip
+    return buf;
+  }
+  static bool decode(std::string_view s, double* out) {
+    char* end = nullptr;
+    const std::string tmp(s);
+    *out = std::strtod(tmp.c_str(), &end);
+    return end == tmp.c_str() + tmp.size() && !tmp.empty();
+  }
+};
+
+template <>
+struct TrialCodec<int> {
+  static std::string encode(int v) { return std::to_string(v); }
+  static bool decode(std::string_view s, int* out) {
+    char* end = nullptr;
+    const std::string tmp(s);
+    *out = static_cast<int>(std::strtol(tmp.c_str(), &end, 10));
+    return end == tmp.c_str() + tmp.size() && !tmp.empty();
+  }
+};
+
+}  // namespace animus::runner

@@ -68,13 +68,26 @@ ParallelRunner::ParallelRunner(RunOptions options)
 SweepStats ParallelRunner::run(std::size_t total,
                                const std::function<void(const TrialContext&)>& body,
                                std::vector<TrialError>* errors) const {
+  std::vector<std::size_t> indices(total);
+  for (std::size_t i = 0; i < total; ++i) indices[i] = i;
+  return run_subset(indices, total, body, errors);
+}
+
+SweepStats ParallelRunner::run_subset(const std::vector<std::size_t>& indices,
+                                      std::size_t total,
+                                      const std::function<void(const TrialContext&)>& body,
+                                      std::vector<TrialError>* errors) const {
+  // Bookkeeping for --trace-trial bounds validation (bench_cli::finish
+  // errors when the armed index exceeds every sweep the process ran).
+  obs::trace_capture().note_sweep_total(total);
+  const std::size_t count = indices.size();
   SweepStats stats;
   // Never spin up more workers than there are trials.
   stats.jobs = static_cast<int>(
-      std::min<std::size_t>(static_cast<std::size_t>(jobs_), std::max<std::size_t>(total, 1)));
-  if (total == 0) return stats;
-  // Distinct indices => distinct slots: workers write samples racelessly.
-  stats.samples_ms.assign(total, 0.0);
+      std::min<std::size_t>(static_cast<std::size_t>(jobs_), std::max<std::size_t>(count, 1)));
+  if (count == 0) return stats;
+  // Distinct slots per subset position: workers write samples racelessly.
+  stats.samples_ms.assign(count, 0.0);
 
   std::uint64_t root_seed = options_.root_seed;
   if (!options_.deterministic) {
@@ -90,11 +103,12 @@ SweepStats ParallelRunner::run(std::size_t total,
   const std::size_t chunk =
       options_.chunk > 0
           ? options_.chunk
-          : std::clamp<std::size_t>(total / (8 * static_cast<std::size_t>(stats.jobs)),
+          : std::clamp<std::size_t>(count / (8 * static_cast<std::size_t>(stats.jobs)),
                                     std::size_t{1}, std::size_t{64});
 
   std::atomic<std::size_t> cursor{0};
   std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> failed{0};
   std::atomic<int> busy{0};
   std::mutex merge_mu;  // guards stats/errors merge and progress calls
 
@@ -104,10 +118,11 @@ SweepStats ParallelRunner::run(std::size_t total,
     std::vector<TrialError> local_errors;
     for (;;) {
       const std::size_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
-      if (begin >= total) break;
-      const std::size_t end = std::min(begin + chunk, total);
+      if (begin >= count) break;
+      const std::size_t end = std::min(begin + chunk, count);
       busy.fetch_add(1, std::memory_order_relaxed);
-      for (std::size_t i = begin; i < end; ++i) {
+      for (std::size_t slot = begin; slot < end; ++slot) {
+        const std::size_t i = indices[slot];  // original submission index
         TrialContext ctx;
         ctx.index = i;
         ctx.seed = root.fork(i).next_u64();
@@ -119,12 +134,14 @@ SweepStats ParallelRunner::run(std::size_t total,
           body(ctx);
         } catch (const std::exception& e) {
           local_errors.push_back({i, ctx.seed, e.what()});
+          failed.fetch_add(1, std::memory_order_relaxed);
         } catch (...) {
           local_errors.push_back({i, ctx.seed, "unknown exception"});
+          failed.fetch_add(1, std::memory_order_relaxed);
         }
         const double elapsed = ms_between(trial_start, Clock::now());
         local_ms.add(elapsed);
-        stats.samples_ms[i] = elapsed;
+        stats.samples_ms[slot] = elapsed;
         done.fetch_add(1, std::memory_order_relaxed);
       }
       busy.fetch_sub(1, std::memory_order_relaxed);
@@ -132,7 +149,8 @@ SweepStats ParallelRunner::run(std::size_t total,
         std::lock_guard<std::mutex> lock{merge_mu};
         Progress p;
         p.done = done.load(std::memory_order_relaxed);
-        p.total = total;
+        p.total = count;
+        p.errors = failed.load(std::memory_order_relaxed);
         p.workers_busy = busy.load(std::memory_order_relaxed);
         p.jobs = stats.jobs;
         options_.progress(p);

@@ -38,10 +38,11 @@ namespace animus::runner {
 
 /// Snapshot handed to RunOptions::progress after each completed chunk.
 struct Progress {
-  std::size_t done = 0;   ///< trials finished so far (across all workers)
-  std::size_t total = 0;  ///< trials submitted
-  int workers_busy = 0;   ///< workers currently inside a trial body
-  int jobs = 1;           ///< pool size
+  std::size_t done = 0;    ///< trials finished so far (across all workers)
+  std::size_t total = 0;   ///< trials submitted
+  std::size_t errors = 0;  ///< trials that threw so far
+  int workers_busy = 0;    ///< workers currently inside a trial body
+  int jobs = 1;            ///< pool size
 };
 
 /// Options shared by every batch experiment. Benches expose these as
@@ -116,6 +117,17 @@ class ParallelRunner {
   /// index) when `errors` is non-null, and swallowed otherwise.
   SweepStats run(std::size_t total, const std::function<void(const TrialContext&)>& body,
                  std::vector<TrialError>* errors = nullptr) const;
+
+  /// Execute body(ctx) for a *subset* of submission indices of a sweep
+  /// whose full size is `total` — the checkpoint/resume path. Each
+  /// ctx.index/ctx.seed is the ORIGINAL submission identity (seeds are a
+  /// pure function of the root seed and the submission index), so a
+  /// resumed subset reproduces exactly what an uninterrupted run would
+  /// have computed for those indices. samples_ms covers only the subset,
+  /// in `indices` order.
+  SweepStats run_subset(const std::vector<std::size_t>& indices, std::size_t total,
+                        const std::function<void(const TrialContext&)>& body,
+                        std::vector<TrialError>* errors = nullptr) const;
 
  private:
   RunOptions options_;

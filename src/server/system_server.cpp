@@ -49,12 +49,14 @@ ViewHandle SystemServer::add_view(int uid, OverlaySpec spec) {
   trace_->record(loop_->now(), sim::TraceCategory::kApp,
                  metrics::fmt("app uid=%d addView h=%llu", uid,
                               static_cast<unsigned long long>(handle)));
-  // Flow arrow: app-side call -> server-side creation completion.
-  const std::uint64_t flow = trace_->new_flow();
+  // Flow arrow: app-side call -> server-side creation completion. Ids
+  // are scoped per transaction kind so concurrent addView/removeView
+  // arrows cannot collide.
+  const std::uint64_t flow = trace_->new_flow("addView");
   trace_->flow_start(loop_->now(), sim::TraceCategory::kApp,
                      metrics::fmt("addView h=%llu",
                                   static_cast<unsigned long long>(handle)),
-                     flow);
+                     flow, "addView");
 
   // Arrival at System Server after Tam, then Tas of window creation.
   const sim::SimTime creation = sample(profile_.tas);
@@ -63,7 +65,7 @@ ViewHandle SystemServer::add_view(int uid, OverlaySpec spec) {
     trace_->flow_end(loop_->now(), sim::TraceCategory::kSystemServer,
                      metrics::fmt("addView delivered h=%llu",
                                   static_cast<unsigned long long>(handle)),
-                     flow);
+                     flow, "addView");
     if (settings_foreground_) {
       ++rejected_overlays_;
       trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
@@ -98,16 +100,16 @@ void SystemServer::remove_view(int uid, ViewHandle handle) {
   trace_->record(loop_->now(), sim::TraceCategory::kApp,
                  metrics::fmt("app uid=%d removeView h=%llu", uid,
                               static_cast<unsigned long long>(handle)));
-  const std::uint64_t flow = trace_->new_flow();
+  const std::uint64_t flow = trace_->new_flow("removeView");
   trace_->flow_start(loop_->now(), sim::TraceCategory::kApp,
                      metrics::fmt("removeView h=%llu",
                                   static_cast<unsigned long long>(handle)),
-                     flow);
+                     flow, "removeView");
   loop_->schedule_after(transit, [this, uid, handle, flow] {
     trace_->flow_end(loop_->now(), sim::TraceCategory::kSystemServer,
                      metrics::fmt("removeView delivered h=%llu",
                                   static_cast<unsigned long long>(handle)),
-                     flow);
+                     flow, "removeView");
     const auto it = handle_to_window_.find(handle);
     if (it == handle_to_window_.end()) {
       // The window is still being created; remove it as soon as it lands.

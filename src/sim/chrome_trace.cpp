@@ -75,10 +75,16 @@ std::string to_chrome_trace_json(const TraceRecorder& trace, std::string_view pr
     out += R"(,"ts":)";
     out += std::to_string(rec.time.count());
     out += R"(,"cat":")";
-    // Flow endpoints pair on (cat, id); keep a shared cat so an arrow can
-    // cross category tracks.
+    // Flow endpoints pair on (cat, id); the cat is shared by both ends
+    // of an arrow so it can cross category tracks, but scoped per
+    // transaction kind ("flow:addView" vs "flow:removeView") so ids
+    // drawn from per-kind counters can never pair across kinds.
     if (rec.phase == TracePhase::kFlowStart || rec.phase == TracePhase::kFlowEnd) {
       out += "flow";
+      if (!rec.flow_kind.empty()) {
+        out += ":";
+        append_escaped(out, rec.flow_kind);
+      }
     } else {
       append_escaped(out, to_string(rec.category));
     }

@@ -23,7 +23,8 @@ std::string_view to_string(TraceCategory c) {
 
 void TraceRecorder::record(SimTime t, TraceCategory c, std::string message, double value) {
   if (!enabled_) return;
-  records_.push_back(TraceRecord{t, c, std::move(message), value});
+  records_.push_back(TraceRecord{t, c, std::move(message), value, TracePhase::kInstant,
+                                 SimTime{0}, 0, {}});
 }
 
 void TraceRecorder::span(SimTime start, SimTime end, TraceCategory c, std::string message,
@@ -31,21 +32,29 @@ void TraceRecorder::span(SimTime start, SimTime end, TraceCategory c, std::strin
   if (!enabled_) return;
   const SimTime dur = std::max(end - start, SimTime{0});
   records_.push_back(
-      TraceRecord{start, c, std::move(message), value, TracePhase::kSpan, dur, flow});
+      TraceRecord{start, c, std::move(message), value, TracePhase::kSpan, dur, flow, {}});
 }
 
 void TraceRecorder::flow_start(SimTime t, TraceCategory c, std::string message,
-                               std::uint64_t flow) {
+                               std::uint64_t flow, std::string_view kind) {
   if (!enabled_) return;
-  records_.push_back(
-      TraceRecord{t, c, std::move(message), 0.0, TracePhase::kFlowStart, SimTime{0}, flow});
+  records_.push_back(TraceRecord{t, c, std::move(message), 0.0, TracePhase::kFlowStart,
+                                 SimTime{0}, flow, std::string(kind)});
 }
 
 void TraceRecorder::flow_end(SimTime t, TraceCategory c, std::string message,
-                             std::uint64_t flow) {
+                             std::uint64_t flow, std::string_view kind) {
   if (!enabled_) return;
-  records_.push_back(
-      TraceRecord{t, c, std::move(message), 0.0, TracePhase::kFlowEnd, SimTime{0}, flow});
+  records_.push_back(TraceRecord{t, c, std::move(message), 0.0, TracePhase::kFlowEnd,
+                                 SimTime{0}, flow, std::string(kind)});
+}
+
+std::uint64_t TraceRecorder::new_flow(std::string_view kind) {
+  if (kind.empty()) return new_flow();
+  const auto it = flow_counters_.find(kind);
+  if (it != flow_counters_.end()) return ++it->second;
+  flow_counters_.emplace(std::string(kind), 1);
+  return 1;
 }
 
 std::vector<TraceRecord> TraceRecorder::matching(std::string_view needle) const {

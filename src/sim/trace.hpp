@@ -13,9 +13,15 @@
 // Spans are appended when their *end* is known, so the record vector is
 // ordered by completion time, not start time; the Chrome-trace exporter
 // emits the start timestamp and a duration ("ph":"X").
+//
+// Flow ids are scoped per transaction kind: `new_flow("addView")` and
+// `new_flow("removeView")` draw from independent counters, and the
+// exporter pairs endpoints on (kind, id), so arrows of different kinds
+// can never collide even when their ids coincide.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
 #include <string>
 #include <string_view>
@@ -57,6 +63,7 @@ struct TraceRecord {
   TracePhase phase = TracePhase::kInstant;
   SimTime duration{0};     // spans only
   std::uint64_t flow = 0;  // nonzero links records into a flow
+  std::string flow_kind;   // flow id namespace ("" = legacy shared scope)
 };
 
 class TraceRecorder {
@@ -70,12 +77,20 @@ class TraceRecorder {
             double value = 0.0, std::uint64_t flow = 0);
 
   /// Flow endpoints: a cross-actor arrow from the start record to the end
-  /// record carrying the same nonzero flow id (use new_flow()).
-  void flow_start(SimTime t, TraceCategory c, std::string message, std::uint64_t flow);
-  void flow_end(SimTime t, TraceCategory c, std::string message, std::uint64_t flow);
+  /// record carrying the same nonzero flow id (use new_flow()). Both
+  /// endpoints must carry the same `kind` — endpoints pair on (kind, id).
+  void flow_start(SimTime t, TraceCategory c, std::string message, std::uint64_t flow,
+                  std::string_view kind = {});
+  void flow_end(SimTime t, TraceCategory c, std::string message, std::uint64_t flow,
+                std::string_view kind = {});
 
   /// Fresh flow id, unique within this recorder (deterministic counter).
   [[nodiscard]] std::uint64_t new_flow() { return next_flow_++; }
+
+  /// Fresh flow id scoped to `kind` (per-kind deterministic counter).
+  /// Ids of different kinds live in disjoint namespaces, so concurrent
+  /// addView/removeView arrows cannot collide in one trace.
+  [[nodiscard]] std::uint64_t new_flow(std::string_view kind);
 
   void set_enabled(bool on) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
@@ -99,6 +114,7 @@ class TraceRecorder {
  private:
   bool enabled_ = true;
   std::uint64_t next_flow_ = 1;
+  std::map<std::string, std::uint64_t, std::less<>> flow_counters_;
   std::vector<TraceRecord> records_;
 };
 

@@ -1,0 +1,486 @@
+// Campaign observability: streaming telemetry, checkpoint/resume and
+// run manifests, plus the per-kind flow-id scoping and the runner
+// plumbing (run_subset, error counting) the campaign path relies on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/manifest.hpp"
+#include "obs/stream.hpp"
+#include "obs/trace_capture.hpp"
+#include "runner/checkpoint.hpp"
+#include "runner/runner.hpp"
+#include "sim/chrome_trace.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace animus;
+
+std::string temp_path(const char* name) { return testing::TempDir() + name; }
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in{path};
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out{path, std::ios::binary};
+  out << content;
+}
+
+// Structural JSON check: balanced braces/brackets outside strings,
+// valid escapes inside them (same checker test_obs.cpp uses).
+bool json_well_formed(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        if (i + 1 >= s.size()) return false;
+        const char esc = s[++i];
+        if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' && esc != 'f' &&
+            esc != 'n' && esc != 'r' && esc != 't' && esc != 'u') {
+          return false;
+        }
+        if (esc == 'u') {
+          if (i + 4 >= s.size()) return false;
+          for (int k = 1; k <= 4; ++k) {
+            if (std::isxdigit(static_cast<unsigned char>(s[i + k])) == 0) return false;
+          }
+          i += 4;
+        }
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '[': case '{': stack.push_back(c); break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+// Extract a numeric field value from a one-line JSON record.
+double number_field(const std::string& line, const std::string& key) {
+  const auto pos = line.find("\"" + key + "\":");
+  EXPECT_NE(pos, std::string::npos) << key << " missing in " << line;
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(line.c_str() + pos + key.size() + 3, nullptr);
+}
+
+// --------------------------------------------------------------- stream
+
+TEST(Stream, JsonlWellFormedMonotoneAndFinalFlush) {
+  const auto path = temp_path("stream_basic.jsonl");
+  obs::TelemetryStreamer streamer{{path, 5.0, 64}};
+  std::atomic<int> polls{0};
+  streamer.add_sampler("metrics", [&] {
+    polls.fetch_add(1);
+    return std::string("\"series\":2");
+  });
+  ASSERT_TRUE(streamer.start());
+  EXPECT_TRUE(streamer.active());
+  streamer.emit("progress", "\"done\":5,\"total\":10");
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  streamer.emit("progress", "\"done\":10,\"total\":10");
+  streamer.stop();
+  EXPECT_FALSE(streamer.active());
+
+  const auto lines = read_lines(path);
+  ASSERT_GE(lines.size(), 3u);  // 2 emits + at least the final sample
+  EXPECT_EQ(lines.size(), streamer.lines_written());
+  EXPECT_GE(polls.load(), 1);  // stop() samples even if no tick fired
+  double prev_t = -1.0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    SCOPED_TRACE(lines[i]);
+    EXPECT_TRUE(json_well_formed(lines[i]));
+    EXPECT_EQ(number_field(lines[i], "seq"), static_cast<double>(i));
+    const double t = number_field(lines[i], "t_ms");
+    EXPECT_GE(t, prev_t);  // non-decreasing timestamps
+    prev_t = t;
+  }
+  // Clean final flush: the file ends with one sample of every sampler.
+  EXPECT_NE(lines.back().find("\"kind\":\"metrics\""), std::string::npos);
+  EXPECT_NE(lines.back().find("\"series\":2"), std::string::npos);
+  EXPECT_EQ(streamer.dropped(), 0u);
+}
+
+TEST(Stream, BoundedQueueDropsInsteadOfBlocking) {
+  const auto path = temp_path("stream_drops.jsonl");
+  // Long interval: the flusher never drains between these emits.
+  obs::TelemetryStreamer streamer{{path, 60000.0, 4}};
+  ASSERT_TRUE(streamer.start());
+  for (int i = 0; i < 10; ++i) streamer.emit("burst", "\"i\":" + std::to_string(i));
+  EXPECT_EQ(streamer.dropped(), 6u);
+  streamer.stop();
+  EXPECT_EQ(read_lines(path).size(), 4u);  // queued ones survive the drain
+}
+
+TEST(Stream, StartFailsCleanlyOnBadPath) {
+  obs::TelemetryStreamer streamer{{temp_path("no/such/dir/s.jsonl"), 10.0, 8}};
+  EXPECT_FALSE(streamer.start());
+  EXPECT_FALSE(streamer.active());
+  streamer.emit("x", "");  // inert, must not crash
+  streamer.stop();
+  EXPECT_EQ(streamer.lines_written(), 0u);
+}
+
+TEST(Stream, MetricsSnapshotFieldsAreWellFormed) {
+  obs::MetricsRegistry reg;
+  reg.counter("animus_c", {{"k", "v\"q"}}).add(3.0);
+  reg.histogram("animus_h", {1.0, 10.0}).observe(4.0);
+  const auto body = obs::stream_fields(reg.snapshot());
+  const std::string record = "{" + body + "}";
+  EXPECT_TRUE(json_well_formed(record));
+  EXPECT_NE(body.find("\"series\":2"), std::string::npos);
+  EXPECT_NE(body.find("\"count\":1"), std::string::npos);  // histogram compacted
+}
+
+// ----------------------------------------------------------- checkpoint
+
+runner::CheckpointHeader test_header() {
+  runner::CheckpointHeader h;
+  h.label = "unit";
+  h.total = 8;
+  h.root_seed = 0xabcdefULL;
+  h.deterministic = true;
+  return h;
+}
+
+TEST(Checkpoint, WriteLoadRoundTripExactDoubles) {
+  const auto path = temp_path("ckpt_roundtrip.jsonl");
+  const double awkward = 1.0 / 3.0;
+  {
+    runner::CheckpointWriter w{path, test_header(), 2};
+    ASSERT_TRUE(w.ok());
+    w.append(3, 111, runner::TrialCodec<double>::encode(awkward));
+    w.append(0, 222, runner::TrialCodec<double>::encode(61.25));
+    w.close();
+    EXPECT_EQ(w.appended(), 2u);
+  }
+  std::string error;
+  const auto data = runner::load_checkpoint(path, &error);
+  ASSERT_TRUE(data.has_value()) << error;
+  EXPECT_EQ(data->header.label, "unit");
+  EXPECT_EQ(data->header.total, 8u);
+  EXPECT_EQ(data->header.root_seed, 0xabcdefULL);
+  ASSERT_EQ(data->trials.size(), 2u);
+  EXPECT_EQ(data->trials[0].index, 0u);  // sorted by index
+  EXPECT_EQ(data->trials[1].index, 3u);
+  EXPECT_EQ(data->trials[1].seed, 111u);
+  double decoded = 0.0;
+  ASSERT_TRUE(runner::TrialCodec<double>::decode(data->trials[1].result, &decoded));
+  EXPECT_EQ(decoded, awkward);  // bit-exact via %.17g
+  EXPECT_EQ(runner::checkpoint_mismatch(*data, test_header()), "");
+}
+
+TEST(Checkpoint, TornFinalLineIsDropped) {
+  const auto path = temp_path("ckpt_torn.jsonl");
+  {
+    runner::CheckpointWriter w{path, test_header(), 1};
+    w.append(1, 10, "42");
+    w.append(2, 20, "43");
+    w.close();
+  }
+  // A kill mid-write leaves a partial trailing line.
+  std::ofstream app{path, std::ios::app | std::ios::binary};
+  app << "{\"kind\":\"trial\",\"index\":5,\"se";
+  app.close();
+  std::string error;
+  const auto data = runner::load_checkpoint(path, &error);
+  ASSERT_TRUE(data.has_value()) << error;
+  EXPECT_EQ(data->trials.size(), 2u);  // torn line gone, intact ones kept
+}
+
+TEST(Checkpoint, MalformedInteriorLineRejected) {
+  const auto path = temp_path("ckpt_bad.jsonl");
+  write_file(path,
+             "{\"kind\":\"header\",\"version\":1,\"label\":\"unit\",\"total\":8,"
+             "\"root_seed\":11259375,\"deterministic\":true}\n"
+             "not json at all\n"
+             "{\"kind\":\"trial\",\"index\":1,\"seed\":10,\"result\":\"42\"}\n");
+  std::string error;
+  EXPECT_FALSE(runner::load_checkpoint(path, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Checkpoint, MissingFileAndMissingHeaderFail) {
+  std::string error;
+  EXPECT_FALSE(runner::load_checkpoint(temp_path("ckpt_nope.jsonl"), &error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  const auto path = temp_path("ckpt_headerless.jsonl");
+  write_file(path, "{\"kind\":\"trial\",\"index\":1,\"seed\":10,\"result\":\"42\"}\n");
+  error.clear();
+  EXPECT_FALSE(runner::load_checkpoint(path, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Checkpoint, MismatchedIdentityIsRefused) {
+  const auto path = temp_path("ckpt_identity.jsonl");
+  {
+    runner::CheckpointWriter w{path, test_header(), 1};
+    w.append(0, 1, "1");
+  }
+  std::string error;
+  const auto data = runner::load_checkpoint(path, &error);
+  ASSERT_TRUE(data.has_value()) << error;
+
+  auto other_seed = test_header();
+  other_seed.root_seed = 999;
+  EXPECT_NE(runner::checkpoint_mismatch(*data, other_seed), "");
+  auto other_total = test_header();
+  other_total.total = 9;
+  EXPECT_NE(runner::checkpoint_mismatch(*data, other_total), "");
+  auto other_mode = test_header();
+  other_mode.deterministic = false;
+  EXPECT_NE(runner::checkpoint_mismatch(*data, other_mode), "");
+}
+
+TEST(Checkpoint, DuplicateIndexLastWriteWins) {
+  const auto path = temp_path("ckpt_dup.jsonl");
+  {
+    runner::CheckpointWriter w{path, test_header(), 1};
+    w.append(4, 40, "first");
+    w.append(4, 40, "second");
+  }
+  std::string error;
+  const auto data = runner::load_checkpoint(path, &error);
+  ASSERT_TRUE(data.has_value()) << error;
+  ASSERT_EQ(data->trials.size(), 1u);
+  EXPECT_EQ(data->trials[0].result, "second");
+}
+
+TEST(Checkpoint, AppendModeContinuesWithoutSecondHeader) {
+  const auto path = temp_path("ckpt_append.jsonl");
+  {
+    runner::CheckpointWriter w{path, test_header(), 1};
+    w.append(0, 1, "10");
+  }
+  {
+    runner::CheckpointWriter w{path, test_header(), 1, /*append=*/true};
+    w.append(1, 2, "20");
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);  // one header + two trials
+  EXPECT_NE(lines[0].find("\"kind\":\"header\""), std::string::npos);
+  std::string error;
+  const auto data = runner::load_checkpoint(path, &error);
+  ASSERT_TRUE(data.has_value()) << error;
+  EXPECT_EQ(data->trials.size(), 2u);
+}
+
+// -------------------------------------------------- runner: resume path
+
+TEST(Runner, RunSubsetPreservesSubmissionIdentity) {
+  runner::RunOptions opt;
+  opt.jobs = 4;
+  opt.root_seed = 77;
+  const runner::ParallelRunner pool{opt};
+  constexpr std::size_t kTotal = 16;
+
+  std::vector<std::uint64_t> full_seeds(kTotal, 0);
+  pool.run(kTotal, [&](const runner::TrialContext& ctx) { full_seeds[ctx.index] = ctx.seed; });
+
+  const std::vector<std::size_t> missing = {1, 5, 6, 11, 15};
+  std::vector<std::uint64_t> subset_seeds(kTotal, 0);
+  std::atomic<int> bodies{0};
+  pool.run_subset(missing, kTotal, [&](const runner::TrialContext& ctx) {
+    bodies.fetch_add(1);
+    subset_seeds[ctx.index] = ctx.seed;
+  });
+  EXPECT_EQ(bodies.load(), static_cast<int>(missing.size()));
+  for (const std::size_t i : missing) {
+    EXPECT_EQ(subset_seeds[i], full_seeds[i]) << "index " << i;
+  }
+}
+
+TEST(Runner, ResumeMergeMatchesUninterruptedRun) {
+  runner::RunOptions opt;
+  opt.jobs = 3;
+  opt.root_seed = 2024;
+  const runner::ParallelRunner pool{opt};
+  constexpr std::size_t kTotal = 24;
+  auto body_value = [](const runner::TrialContext& ctx) {
+    return static_cast<double>(ctx.seed % 997) / 7.0;
+  };
+
+  std::vector<double> uninterrupted(kTotal, 0.0);
+  pool.run(kTotal, [&](const runner::TrialContext& ctx) {
+    uninterrupted[ctx.index] = body_value(ctx);
+  });
+
+  // "Interrupted" run: the first 10 trials survived in a checkpoint
+  // (round-tripped through the codec), the rest are re-run.
+  std::vector<double> merged(kTotal, 0.0);
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    if (i < 10) {
+      double decoded = 0.0;
+      ASSERT_TRUE(runner::TrialCodec<double>::decode(
+          runner::TrialCodec<double>::encode(uninterrupted[i]), &decoded));
+      merged[i] = decoded;
+    } else {
+      missing.push_back(i);
+    }
+  }
+  pool.run_subset(missing, kTotal,
+                  [&](const runner::TrialContext& ctx) { merged[ctx.index] = body_value(ctx); });
+  EXPECT_EQ(merged, uninterrupted);  // byte-identical results vector
+}
+
+TEST(Runner, ProgressReportsErrorCounts) {
+  runner::RunOptions opt;
+  opt.jobs = 2;
+  std::atomic<std::size_t> last_errors{0};
+  opt.progress = [&](const runner::Progress& p) { last_errors.store(p.errors); };
+  const runner::ParallelRunner pool{opt};
+  std::vector<runner::TrialError> errors;
+  pool.run(12, [&](const runner::TrialContext& ctx) {
+    if (ctx.index % 4 == 0) throw std::runtime_error("boom " + std::to_string(ctx.index));
+  }, &errors);
+  ASSERT_EQ(errors.size(), 3u);
+  EXPECT_EQ(errors[0].index, 0u);  // sorted by submission index
+  EXPECT_EQ(errors[1].index, 4u);
+  EXPECT_EQ(errors[2].index, 8u);
+  EXPECT_EQ(last_errors.load(), 3u);  // final progress beat saw them all
+}
+
+// -------------------------------------------------------------- manifest
+
+TEST(Manifest, JsonRoundTrip) {
+  obs::RunManifest m;
+  m.bench = "fig07_capture_rate";
+  m.argv = {"--jobs", "8", "--csv", "--note", "quo\"te"};
+  m.root_seed = 71829455837523ULL;
+  m.jobs = 8;
+  m.deterministic = true;
+  m.csv = true;
+  m.stream_interval_ms = 250.0;
+  m.checkpoint_interval = 64;
+  m.trace_trial = 17;
+  m.trace_out = "out/fig07.trace.json";
+  m.stream_out = "out/fig07.stream.jsonl";
+  m.checkpoint_out = "out/fig07.ckpt.jsonl";
+  m.resume_from = "out/old.ckpt.jsonl";
+  m.trials_total = 210;
+  m.trials_resumed = 100;
+  m.trial_errors = 1;
+  m.stream_lines = 14;
+  m.stream_dropped = 2;
+  m.compiler = obs::build_compiler_id();
+  m.build_type = obs::build_type_id();
+  m.cxx_standard = __cplusplus;
+
+  const auto json = m.to_json();
+  EXPECT_TRUE(json_well_formed(json));
+  const auto back = obs::RunManifest::parse(json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->bench, m.bench);
+  EXPECT_EQ(back->argv, m.argv);
+  EXPECT_EQ(back->root_seed, m.root_seed);
+  EXPECT_EQ(back->jobs, m.jobs);
+  EXPECT_EQ(back->deterministic, m.deterministic);
+  EXPECT_EQ(back->csv, m.csv);
+  EXPECT_DOUBLE_EQ(back->stream_interval_ms, m.stream_interval_ms);
+  EXPECT_EQ(back->checkpoint_interval, m.checkpoint_interval);
+  EXPECT_EQ(back->trace_trial, m.trace_trial);
+  EXPECT_EQ(back->trace_out, m.trace_out);
+  EXPECT_EQ(back->stream_out, m.stream_out);
+  EXPECT_EQ(back->checkpoint_out, m.checkpoint_out);
+  EXPECT_EQ(back->resume_from, m.resume_from);
+  EXPECT_EQ(back->trials_total, m.trials_total);
+  EXPECT_EQ(back->trials_resumed, m.trials_resumed);
+  EXPECT_EQ(back->trial_errors, m.trial_errors);
+  EXPECT_EQ(back->stream_lines, m.stream_lines);
+  EXPECT_EQ(back->stream_dropped, m.stream_dropped);
+  EXPECT_EQ(back->compiler, m.compiler);
+  EXPECT_EQ(back->build_type, m.build_type);
+  EXPECT_EQ(back->cxx_standard, m.cxx_standard);
+}
+
+TEST(Manifest, ParseRejectsNonManifests) {
+  EXPECT_FALSE(obs::RunManifest::parse("{}").has_value());
+  EXPECT_FALSE(obs::RunManifest::parse("[1,2,3]").has_value());
+}
+
+TEST(Manifest, PathForSitsNextToArtifact) {
+  EXPECT_EQ(obs::RunManifest::path_for("out/fig07.prom"), "out/fig07.prom.manifest.json");
+}
+
+// ------------------------------------------------------ flow id scoping
+
+TEST(FlowScoping, PerKindCountersAreIndependent) {
+  sim::TraceRecorder trace;
+  EXPECT_EQ(trace.new_flow("addView"), 1u);
+  EXPECT_EQ(trace.new_flow("addView"), 2u);
+  EXPECT_EQ(trace.new_flow("removeView"), 1u);  // disjoint namespace
+  EXPECT_EQ(trace.new_flow("addView"), 3u);
+  const auto legacy = trace.new_flow();  // kind-less counter untouched
+  EXPECT_EQ(trace.new_flow(""), legacy + 1);
+}
+
+TEST(FlowScoping, ChromeTraceScopesFlowCatByKind) {
+  sim::TraceRecorder trace;
+  const auto add_id = trace.new_flow("addView");
+  const auto rm_id = trace.new_flow("removeView");
+  EXPECT_EQ(add_id, rm_id);  // same numeric id: cat must disambiguate
+  trace.flow_start(sim::ms(1), sim::TraceCategory::kIpc, "addView tx", add_id, "addView");
+  trace.flow_end(sim::ms(2), sim::TraceCategory::kSystemServer, "addView rx", add_id, "addView");
+  trace.flow_start(sim::ms(1), sim::TraceCategory::kIpc, "removeView tx", rm_id,
+                   "removeView");
+  trace.flow_end(sim::ms(3), sim::TraceCategory::kSystemServer, "removeView rx", rm_id,
+                 "removeView");
+  const auto legacy = trace.new_flow();
+  trace.flow_start(sim::ms(4), sim::TraceCategory::kApp, "legacy", legacy);
+  trace.flow_end(sim::ms(5), sim::TraceCategory::kApp, "legacy done", legacy);
+
+  const auto json = sim::to_chrome_trace_json(trace);
+  EXPECT_TRUE(json_well_formed(json));
+  EXPECT_NE(json.find(R"("cat":"flow:addView")"), std::string::npos);
+  EXPECT_NE(json.find(R"("cat":"flow:removeView")"), std::string::npos);
+  EXPECT_NE(json.find(R"("cat":"flow")"), std::string::npos);  // legacy kept
+}
+
+// --------------------------------------------------- trace-trial bounds
+
+TEST(TraceCapture, TracksLargestSweepForBoundsChecks) {
+  auto& cap = obs::trace_capture();
+  cap.reset();
+  EXPECT_EQ(cap.max_sweep_total(), 0u);
+  cap.note_sweep_total(5);
+  cap.note_sweep_total(30);
+  cap.note_sweep_total(10);  // smaller later sweep must not shrink it
+  EXPECT_EQ(cap.max_sweep_total(), 30u);
+  cap.arm(17);
+  EXPECT_TRUE(cap.armed());
+  EXPECT_EQ(cap.armed_index(), 17u);
+  cap.reset();
+  EXPECT_FALSE(cap.armed());
+  EXPECT_EQ(cap.max_sweep_total(), 0u);
+}
+
+}  // namespace
