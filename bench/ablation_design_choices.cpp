@@ -5,10 +5,20 @@
 //  4. IPC-defense decision thresholds vs detection latency / false
 //     positives;
 //  5. ACTION_DOWN harvesting vs full-gesture registration.
+//
+// Each ablation fans its independent Worlds out through runner::sweep
+// (flattened to per-trial granularity where the inner loops are the
+// cost, ablations 1 and 5) and aggregates in submission order, so
+// stdout is byte-identical at any --jobs value — and, because every
+// trial keeps its historical fixed seed, identical to the old serial
+// bench as well.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/overlay_attack.hpp"
 #include "core/report.hpp"
+#include "defense/enforcement.hpp"
 #include "defense/ipc_defense.hpp"
 #include "defense/notification_defense.hpp"
 #include "defense/toast_defense.hpp"
@@ -17,186 +27,261 @@
 #include "input/typist.hpp"
 #include "metrics/stats.hpp"
 #include "metrics/table.hpp"
+#include "percept/outcomes.hpp"
+#include "runner/bench_cli.hpp"
+#include "runner/runner.hpp"
+#include "server/world.hpp"
 #include "victim/catalog.hpp"
 
 using namespace animus;
 
 namespace {
 
-double password_success(double safety_factor, int trials) {
+/// One len-8 password trial at `safety_factor` of the Table II bound.
+/// Seeds are fixed per (kind, i) — the historical serial scheme — so the
+/// percentages below reproduce the pre-runner bench exactly.
+core::PasswordTrialResult password_probe(double safety_factor, int i, bool leak_probe) {
   const auto panel = input::participant_panel();
   const auto devices = device::all_devices();
-  int ok = 0;
-  for (int i = 0; i < trials; ++i) {
-    core::PasswordTrialConfig c;
-    c.profile = devices[static_cast<std::size_t>(i) % devices.size()];
-    c.app = victim::table_iv_apps()[static_cast<std::size_t>(i) % 7].spec;
-    c.typist = panel[static_cast<std::size_t>(i) % panel.size()];
-    sim::Rng rng{static_cast<std::uint64_t>(40000 + i)};
-    c.password = input::random_password(8, rng);
-    c.seed = static_cast<std::uint64_t>(50000 + i);
-    c.d_override = sim::ms_f(safety_factor * c.profile.d_upper_bound_table_ms);
-    ok += core::run_password_trial(c).success;
-  }
-  return 100.0 * ok / trials;
-}
-
-double alert_leak_rate(double safety_factor, int trials) {
-  const auto panel = input::participant_panel();
-  const auto devices = device::all_devices();
-  int leaked = 0;
-  for (int i = 0; i < trials; ++i) {
-    core::PasswordTrialConfig c;
-    c.profile = devices[static_cast<std::size_t>(i) % devices.size()];
-    c.app = victim::table_iv_apps()[static_cast<std::size_t>(i) % 7].spec;
-    c.typist = panel[static_cast<std::size_t>(i) % panel.size()];
-    sim::Rng rng{static_cast<std::uint64_t>(41000 + i)};
-    c.password = input::random_password(8, rng);
-    c.seed = static_cast<std::uint64_t>(51000 + i);
-    c.d_override = sim::ms_f(safety_factor * c.profile.d_upper_bound_table_ms);
-    leaked += core::run_password_trial(c).alert_outcome != percept::LambdaOutcome::kL1;
-  }
-  return 100.0 * leaked / trials;
+  core::PasswordTrialConfig c;
+  c.profile = devices[static_cast<std::size_t>(i) % devices.size()];
+  c.app = victim::table_iv_apps()[static_cast<std::size_t>(i) % 7].spec;
+  c.typist = panel[static_cast<std::size_t>(i) % panel.size()];
+  sim::Rng rng{static_cast<std::uint64_t>((leak_probe ? 41000 : 40000) + i)};
+  c.password = input::random_password(8, rng);
+  c.seed = static_cast<std::uint64_t>((leak_probe ? 51000 : 50000) + i);
+  c.d_override = sim::ms_f(safety_factor * c.profile.d_upper_bound_table_ms);
+  return core::run_password_trial(c);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = runner::BenchArgs::parse(argc, argv);
   const auto& dev = device::reference_device_android9();
 
-  std::puts("=== Ablation 1: attacking-window safety factor (D / Table II bound) ===\n");
+  runner::note(args, "=== Ablation 1: attacking-window safety factor (D / Table II bound) ===\n");
   {
-    metrics::Table t({"factor", "len-8 success %", "alert leaked %"});
-    for (double f : {0.70, 0.80, 0.88, 0.95, 1.00, 1.05}) {
-      t.add_row({metrics::fmt("%.2f", f), metrics::fmt("%.1f", password_success(f, 90)),
-                 metrics::fmt("%.1f", alert_leak_rate(f, 90))});
+    const std::vector<double> factors = {0.70, 0.80, 0.88, 0.95, 1.00, 1.05};
+    constexpr int kTrials = 90;
+    // Flattened: (factor, trial, success-vs-leak probe) per sweep item.
+    struct Probe {
+      double factor;
+      int i;
+      bool leak;
+    };
+    std::vector<Probe> probes;
+    for (double f : factors) {
+      for (int i = 0; i < kTrials; ++i) probes.push_back({f, i, false});
+      for (int i = 0; i < kTrials; ++i) probes.push_back({f, i, true});
     }
-    std::fputs(t.to_string().c_str(), stdout);
-    std::puts("\nLarger D captures more touches (fewer mistouch gaps per keystroke) but");
-    std::puts("past the bound the warning alert escapes; 0.88 keeps leakage at zero with");
-    std::puts("nearly-peak success — the stealer's default.\n");
+    const auto sweep = runner::sweep(
+        probes,
+        [](const Probe& p, const runner::TrialContext&) {
+          const auto r = password_probe(p.factor, p.i, p.leak);
+          return p.leak ? r.alert_outcome != percept::LambdaOutcome::kL1 : r.success;
+        },
+        args.run);
+    runner::report("ablation:safety_factor", sweep);
+
+    metrics::Table t({"factor", "len-8 success %", "alert leaked %"});
+    for (std::size_t f = 0; f < factors.size(); ++f) {
+      int ok = 0;
+      int leaked = 0;
+      const std::size_t base = f * 2 * kTrials;
+      for (int i = 0; i < kTrials; ++i) {
+        ok += sweep.results[base + static_cast<std::size_t>(i)];
+        leaked += sweep.results[base + kTrials + static_cast<std::size_t>(i)];
+      }
+      t.add_row({metrics::fmt("%.2f", factors[f]),
+                 metrics::fmt("%.1f", 100.0 * ok / kTrials),
+                 metrics::fmt("%.1f", 100.0 * leaked / kTrials)});
+    }
+    runner::emit(t, args);
+    runner::note(args, "\nLarger D captures more touches (fewer mistouch gaps per keystroke) but");
+    runner::note(args, "past the bound the warning alert escapes; 0.88 keeps leakage at zero with");
+    runner::note(args, "nearly-peak success — the stealer's default.\n");
   }
 
-  std::puts("=== Ablation 2: toast duration 2 s vs 3.5 s (Section IV-D) ===\n");
+  runner::note(args, "=== Ablation 2: toast duration 2 s vs 3.5 s (Section IV-D) ===\n");
   {
+    const std::vector<sim::SimTime> durations = {server::kToastShort, server::kToastLong};
+    const auto sweep = runner::sweep(
+        durations,
+        [&](sim::SimTime dur, const runner::TrialContext&) {
+          return defense::probe_toast_attack(dev, sim::SimTime{0}, sim::seconds(30), dur);
+        },
+        args.run);
+    runner::report("ablation:toast_duration", sweep);
+
     metrics::Table t({"duration", "toasts/30s", "min alpha", "flicker"});
-    for (auto dur : {server::kToastShort, server::kToastLong}) {
-      const auto probe = defense::probe_toast_attack(dev, sim::SimTime{0}, sim::seconds(30), dur);
-      t.add_row({metrics::fmt("%.1f s", sim::to_seconds(dur)),
+    for (std::size_t d = 0; d < durations.size(); ++d) {
+      const auto& probe = sweep.results[d];
+      t.add_row({metrics::fmt("%.1f s", sim::to_seconds(durations[d])),
                  metrics::fmt("%d", probe.toasts_shown),
                  metrics::fmt("%.2f", probe.flicker.min_alpha),
                  probe.flicker.noticeable ? "YES" : "no"});
     }
-    std::fputs(t.to_string().c_str(), stdout);
-    std::puts("\n3.5 s halves the number of switch points — the paper's recommendation.\n");
+    runner::emit(t, args);
+    runner::note(args, "\n3.5 s halves the number of switch points — the paper's recommendation.\n");
   }
 
-  std::puts("=== Ablation 3: enhanced-notification delay t ===\n");
+  runner::note(args, "=== Ablation 3: enhanced-notification delay t ===\n");
   {
+    const std::vector<int> delays = {0, 100, 200, 400, 690, 1000};
+    const auto sweep = runner::sweep(
+        delays,
+        [&](int delay, const runner::TrialContext&) {
+          return defense::probe_attack_under_defense(dev, sim::ms(190), sim::ms(delay),
+                                                     sim::seconds(10));
+        },
+        args.run);
+    runner::report("ablation:notification_delay", sweep);
+
     metrics::Table t({"t (ms)", "outcome under attack (D=190)", "alert visible (of 10 s)"});
-    for (int delay : {0, 100, 200, 400, 690, 1000}) {
-      const auto probe = defense::probe_attack_under_defense(dev, sim::ms(190),
-                                                             sim::ms(delay), sim::seconds(10));
-      t.add_row({metrics::fmt("%d", delay),
-                 std::string(percept::to_string(probe.outcome)),
+    for (std::size_t d = 0; d < delays.size(); ++d) {
+      const auto& probe = sweep.results[d];
+      t.add_row({metrics::fmt("%d", delays[d]), std::string(percept::to_string(probe.outcome)),
                  metrics::fmt("%.1f s", sim::to_seconds(probe.alert.visible_time))});
     }
-    std::fputs(t.to_string().c_str(), stdout);
-    std::puts("\nAny t >= the attack period D defeats the suppression; 690 ms covers every");
-    std::puts("device bound in Table II with margin, which is why the paper chose it.\n");
+    runner::emit(t, args);
+    runner::note(args, "\nAny t >= the attack period D defeats the suppression; 690 ms covers every");
+    runner::note(args, "device bound in Table II with margin, which is why the paper chose it.\n");
   }
 
-  std::puts("=== Ablation 4: IPC-defense thresholds ===\n");
+  runner::note(args, "=== Ablation 4: IPC-defense thresholds ===\n");
   {
+    struct Thresholds {
+      int pairs;
+      int gap;
+    };
+    std::vector<Thresholds> grid;
+    for (int pairs : {4, 8, 16}) {
+      for (int gap : {100, 500}) grid.push_back({pairs, gap});
+    }
+    struct IpcResult {
+      bool flagged_attack = false;
+      bool flagged_benign = false;
+      std::string latency = "-";
+    };
+    const auto sweep = runner::sweep(
+        grid,
+        [&](const Thresholds& th, const runner::TrialContext&) {
+          server::WorldConfig wc;
+          wc.profile = dev;
+          wc.trace_enabled = false;
+          server::World world{wc};
+          world.server().grant_overlay_permission(server::kMalwareUid);
+          world.server().grant_overlay_permission(server::kBenignUid);
+          defense::IpcDefenseConfig cfg;
+          cfg.min_pairs = th.pairs;
+          cfg.pair_gap_threshold = sim::ms(th.gap);
+          defense::IpcDefenseAnalyzer analyzer{cfg};
+          analyzer.attach(world.transactions());
+          core::OverlayAttackConfig oc;
+          oc.attacking_window = sim::ms(190);
+          core::OverlayAttack attack{world, oc};
+          attack.start();
+          // Benign toggler: show 1.5 s, hide, every 2 s.
+          for (int i = 0; i < 20; ++i) {
+            world.loop().schedule_at(sim::seconds(2 * i), [&world] {
+              server::OverlaySpec spec;
+              spec.bounds = {0, 0, 200, 200};
+              const auto h = world.server().add_view(server::kBenignUid, spec);
+              world.loop().schedule_after(sim::ms(1500), [&world, h] {
+                world.server().remove_view(server::kBenignUid, h);
+              });
+            });
+          }
+          world.run_until(sim::seconds(40));
+          attack.stop();
+          IpcResult r;
+          r.flagged_attack = analyzer.flagged(server::kMalwareUid);
+          r.flagged_benign = analyzer.flagged(server::kBenignUid);
+          for (const auto& d : analyzer.detections()) {
+            if (d.uid == server::kMalwareUid) {
+              r.latency = metrics::fmt("%.1f s", sim::to_seconds(d.last_pair));
+            }
+          }
+          return r;
+        },
+        args.run);
+    runner::report("ablation:ipc_thresholds", sweep);
+
     metrics::Table t({"min pairs", "gap thr (ms)", "detects attack", "flags 2s toggler",
                       "detection latency"});
-    for (int pairs : {4, 8, 16}) {
-      for (int gap : {100, 500}) {
-        server::WorldConfig wc;
-        wc.profile = dev;
-        wc.trace_enabled = false;
-        server::World world{wc};
-        world.server().grant_overlay_permission(server::kMalwareUid);
-        world.server().grant_overlay_permission(server::kBenignUid);
-        defense::IpcDefenseConfig cfg;
-        cfg.min_pairs = pairs;
-        cfg.pair_gap_threshold = sim::ms(gap);
-        defense::IpcDefenseAnalyzer analyzer{cfg};
-        analyzer.attach(world.transactions());
-        core::OverlayAttackConfig oc;
-        oc.attacking_window = sim::ms(190);
-        core::OverlayAttack attack{world, oc};
-        attack.start();
-        // Benign toggler: show 1.5 s, hide, every 2 s.
-        for (int i = 0; i < 20; ++i) {
-          world.loop().schedule_at(sim::seconds(2 * i), [&world] {
-            server::OverlaySpec spec;
-            spec.bounds = {0, 0, 200, 200};
-            const auto h = world.server().add_view(server::kBenignUid, spec);
-            world.loop().schedule_after(sim::ms(1500), [&world, h] {
-              world.server().remove_view(server::kBenignUid, h);
-            });
-          });
-        }
-        world.run_until(sim::seconds(40));
-        attack.stop();
-        std::string latency = "-";
-        for (const auto& d : analyzer.detections()) {
-          if (d.uid == server::kMalwareUid) {
-            latency = metrics::fmt("%.1f s", sim::to_seconds(d.last_pair));
-          }
-        }
-        t.add_row({metrics::fmt("%d", pairs), metrics::fmt("%d", gap),
-                   analyzer.flagged(server::kMalwareUid) ? "yes" : "NO",
-                   analyzer.flagged(server::kBenignUid) ? "YES (false positive)" : "no",
-                   latency});
-      }
+    for (std::size_t g = 0; g < grid.size(); ++g) {
+      const auto& r = sweep.results[g];
+      t.add_row({metrics::fmt("%d", grid[g].pairs), metrics::fmt("%d", grid[g].gap),
+                 r.flagged_attack ? "yes" : "NO",
+                 r.flagged_benign ? "YES (false positive)" : "no", r.latency});
     }
-    std::fputs(t.to_string().c_str(), stdout);
-    std::puts("\nThe rule is robust across thresholds: the attack's remove->add pairs are");
-    std::puts("orders of magnitude denser than any benign overlay usage.\n");
+    runner::emit(t, args);
+    runner::note(args, "\nThe rule is robust across thresholds: the attack's remove->add pairs are");
+    runner::note(args, "orders of magnitude denser than any benign overlay usage.\n");
   }
 
-  std::puts("=== Ablation 5: ACTION_DOWN harvesting vs gesture registration ===\n");
+  runner::note(args, "=== Ablation 5: ACTION_DOWN harvesting vs gesture registration ===\n");
   {
-    metrics::Table t({"delivery", "capture % (D=150, Android 9)", "capture % (Android 10)"});
+    constexpr int kReps = 10;
+    struct CaptureTrial {
+      bool on_down;
+      const char* model;
+      int i;
+    };
+    std::vector<CaptureTrial> trials;
     for (bool on_down : {true, false}) {
-      double rates[2] = {0, 0};
-      int idx = 0;
       for (const char* model : {"mi8", "mi9"}) {
-        const auto d = device::find_device(model);
-        metrics::RunningStats rs;
-        for (int i = 0; i < 10; ++i) {
+        for (int i = 0; i < kReps; ++i) trials.push_back({on_down, model, i});
+      }
+    }
+    const auto sweep = runner::sweep(
+        trials,
+        [](const CaptureTrial& trial, const runner::TrialContext&) {
+          const auto d = device::find_device(trial.model);
           server::WorldConfig wc;
           wc.profile = *d;
-          wc.seed = 600 + i;
+          wc.seed = static_cast<std::uint64_t>(600 + trial.i);
           wc.trace_enabled = false;
           server::World world{wc};
           world.server().grant_overlay_permission(server::kMalwareUid);
           core::OverlayAttackConfig oc;
           oc.attacking_window = sim::ms(150);
           oc.bounds = {90, 900, 900, 600};
-          oc.capture_on_down = on_down;
+          oc.capture_on_down = trial.on_down;
           core::OverlayAttack attack{world, oc};
           attack.start();
-          input::Typist typist{input::participant_panel()[i % 30],
-                               world.fork_rng("t").fork(i)};
+          input::Typist typist{input::participant_panel()[trial.i % 30],
+                               world.fork_rng("t").fork(trial.i)};
           const auto taps = typist.plan_taps({90, 900, 900, 600}, 100, sim::ms(500));
           for (const auto& pt : taps) {
             world.loop().schedule_at(pt.at, [&world, pt] { world.input().inject_tap(pt.point); });
           }
           world.run_until(taps.back().at + sim::ms(500));
-          rs.add(attack.stats().captures);
+          const double captures = attack.stats().captures;
           attack.stop();
-        }
-        rates[idx++] = rs.mean();
+          return captures;
+        },
+        args.run);
+    runner::report("ablation:down_harvesting", sweep);
+
+    metrics::Table t({"delivery", "capture % (D=150, Android 9)", "capture % (Android 10)"});
+    for (int delivery = 0; delivery < 2; ++delivery) {
+      double rates[2] = {0, 0};
+      for (int m = 0; m < 2; ++m) {
+        metrics::RunningStats rs;
+        const std::size_t base = static_cast<std::size_t>(delivery * 2 + m) * kReps;
+        for (int i = 0; i < kReps; ++i) rs.add(sweep.results[base + static_cast<std::size_t>(i)]);
+        rates[m] = rs.mean();
       }
-      t.add_row({on_down ? "ACTION_DOWN (password attack)" : "full gesture (test app)",
+      t.add_row({delivery == 0 ? "ACTION_DOWN (password attack)" : "full gesture (test app)",
                  metrics::fmt("%.1f", rates[0]), metrics::fmt("%.1f", rates[1])});
     }
-    std::fputs(t.to_string().c_str(), stdout);
-    std::puts("\nDOWN-harvesting is immune to mid-gesture window destruction, which is how");
-    std::puts("Table III's near-perfect per-touch capture coexists with Fig. 7's ~90%.");
+    runner::emit(t, args);
+    runner::note(args, "\nDOWN-harvesting is immune to mid-gesture window destruction, which is how");
+    runner::note(args, "Table III's near-perfect per-touch capture coexists with Fig. 7's ~90%.");
   }
+
+  runner::finish(args);
   return 0;
 }

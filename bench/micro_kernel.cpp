@@ -3,6 +3,8 @@
 // itself: a full 30-participant capture sweep must stay interactive.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "analysis/corpus.hpp"
 #include "analysis/manifest.hpp"
 #include "analysis/scanner.hpp"
@@ -30,6 +32,48 @@ void BM_EventLoopScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventLoopScheduleRun);
+
+// The overlay attack's hot shape (§III): every draw-destroy iteration
+// cancels the pending alert-animation event and schedules the next
+// cycle, so cancel — not bulk schedule+run — dominates the kernel time
+// of Fig. 7/8 sweeps and Table II's binary searches.
+void BM_EventLoopCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    int sink = 0;
+    sim::EventLoop::EventId pending{};
+    for (int i = 0; i < 1000; ++i) {
+      // Cancel the previous "alert" event before it fires, then schedule
+      // the replacement — the steady-state of a draw-destroy loop.
+      loop.cancel(pending);
+      pending = loop.schedule_at(sim::us(i * 11 + 400), [&sink] { ++sink; });
+      loop.schedule_at(sim::us(i * 11), [&sink] { ++sink; });
+    }
+    loop.run_all();
+    benchmark::DoNotOptimize(sink);
+  }
+  // Each iteration is one cancel + two schedules.
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopCancelHeavy);
+
+// Periodic timer that re-arms itself from inside its own callback — the
+// shape of toast re-enqueue loops and defense watchdogs. Exercises slot
+// reuse: a slab engine should reach steady state with zero allocation.
+void BM_EventLoopPeriodicReschedule(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    int remaining = 1000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) loop.schedule_after(sim::ms(2), tick);
+    };
+    loop.schedule_after(sim::ms(2), tick);
+    loop.run_all();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopPeriodicReschedule);
 
 void BM_RngNormal(benchmark::State& state) {
   sim::Rng rng{42};

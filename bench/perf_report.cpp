@@ -1,0 +1,219 @@
+// Machine-readable kernel performance report.
+//
+// Runs the event-engine micro workloads (bulk schedule+run, the overlay
+// attack's cancel-heavy draw-destroy shape, periodic self-rescheduling)
+// plus a reduced Fig. 7-style capture-rate sweep, and writes one JSON
+// document — BENCH_kernel.json by default — so the perf trajectory of
+// the simulation kernel is tracked from PR to PR. CI's perf-smoke job
+// uploads the file as an artifact; docs/performance.md describes the
+// schema and how to read it.
+//
+//   perf_report [--out FILE] [--jobs N] [--quick]
+//
+// Unlike the google-benchmark binaries this is self-timing (median of
+// repeats over fixed-size workloads), so the output is a small, stable
+// schema rather than console text, and it runs in seconds.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "device/registry.hpp"
+#include "input/typist.hpp"
+#include "runner/runner.hpp"
+#include "sim/event_loop.hpp"
+
+namespace {
+
+using namespace animus;
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ns(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::nano>(b - a).count();
+}
+
+struct Sample {
+  std::string name;
+  std::string note;
+  std::size_t events = 0;   // events (or trials) per repeat
+  int repeats = 0;
+  double ns_per_event = 0;  // median over repeats
+  double ops_per_sec = 0;
+};
+
+/// Time `body` (a workload processing `events` events) `repeats` times
+/// and keep the median — robust against scheduler noise without needing
+/// google-benchmark's adaptive iteration machinery.
+template <typename Fn>
+Sample timed(const char* name, const char* note, std::size_t events, int repeats, Fn&& body) {
+  std::vector<double> ns(static_cast<std::size_t>(repeats));
+  body();  // warm-up: page in the slab / heap pools
+  for (auto& slot : ns) {
+    const auto t0 = Clock::now();
+    body();
+    slot = elapsed_ns(t0, Clock::now());
+  }
+  std::sort(ns.begin(), ns.end());
+  const double median = ns[ns.size() / 2];
+  Sample s;
+  s.name = name;
+  s.note = note;
+  s.events = events;
+  s.repeats = repeats;
+  s.ns_per_event = median / static_cast<double>(events);
+  s.ops_per_sec = 1e9 * static_cast<double>(events) / median;
+  return s;
+}
+
+/// Bulk schedule of N events, then drain: the baseline kernel cost.
+Sample bench_schedule_run(int n, int repeats) {
+  return timed("schedule_run", "bulk schedule + run_all", static_cast<std::size_t>(n), repeats,
+               [n] {
+                 sim::EventLoop loop;
+                 int sink = 0;
+                 for (int i = 0; i < n; ++i) {
+                   loop.schedule_at(sim::us(i * 7 % 997), [&sink] { ++sink; });
+                 }
+                 loop.run_all();
+               });
+}
+
+/// The overlay draw-destroy shape: cancel the pending alert event,
+/// schedule its replacement, schedule the next cycle (§III hot path).
+Sample bench_schedule_cancel(int n, int repeats) {
+  return timed("schedule_cancel", "draw-destroy: cancel + 2 schedules per cycle",
+               static_cast<std::size_t>(n), repeats, [n] {
+                 sim::EventLoop loop;
+                 int sink = 0;
+                 sim::EventLoop::EventId pending{};
+                 for (int i = 0; i < n; ++i) {
+                   loop.cancel(pending);
+                   pending = loop.schedule_at(sim::us(i * 11 + 400), [&sink] { ++sink; });
+                   loop.schedule_at(sim::us(i * 11), [&sink] { ++sink; });
+                 }
+                 loop.run_all();
+               });
+}
+
+/// Self-rearming periodic timer: slot-reuse steady state.
+Sample bench_periodic(int n, int repeats) {
+  return timed("periodic_reschedule", "timer re-arms itself from its callback",
+               static_cast<std::size_t>(n), repeats, [n] {
+                 sim::EventLoop loop;
+                 int remaining = n;
+                 std::function<void()> tick = [&] {
+                   if (--remaining > 0) loop.schedule_after(sim::ms(2), tick);
+                 };
+                 loop.schedule_after(sim::ms(2), tick);
+                 loop.run_all();
+               });
+}
+
+/// Reduced Fig. 7 sweep: 30 participants x 3 windows, full Worlds, via
+/// runner::sweep — end-to-end wall clock including the parallel runner.
+Sample bench_fig07_sweep(int jobs, bool quick) {
+  const auto panel = input::participant_panel();
+  const auto devices = device::all_devices();
+  const std::vector<int> windows = quick ? std::vector<int>{150} : std::vector<int>{50, 125, 200};
+  struct Trial {
+    int d;
+    std::size_t participant;
+  };
+  std::vector<Trial> trials;
+  for (int d : windows)
+    for (std::size_t p = 0; p < panel.size(); ++p) trials.push_back({d, p});
+
+  runner::RunOptions opts;
+  opts.jobs = jobs;
+  const auto t0 = Clock::now();
+  const auto sw = runner::sweep(
+      trials,
+      [&](const Trial& t, const runner::TrialContext& ctx) {
+        core::CaptureTrialConfig c;
+        c.profile = devices[t.participant % devices.size()];
+        c.typist = panel[t.participant];
+        c.attacking_window = sim::ms(t.d);
+        c.touches = 100;
+        c.seed = ctx.seed;
+        return core::run_capture_trial(c).rate * 100.0;
+      },
+      opts);
+  const double ns = elapsed_ns(t0, Clock::now());
+
+  Sample s;
+  s.name = "fig07_sweep";
+  s.note = "capture-rate sweep wall-clock (full Worlds through runner::sweep)";
+  s.events = trials.size();
+  s.repeats = 1;
+  s.ns_per_event = ns / static_cast<double>(trials.size());
+  s.ops_per_sec = 1e9 * static_cast<double>(trials.size()) / ns;
+  // Guard against the sweep being optimized into nonsense.
+  if (sw.results.size() != trials.size()) s.events = 0;
+  return s;
+}
+
+void write_json(const char* path, const std::vector<Sample>& samples, int jobs) {
+  std::FILE* f = std::strcmp(path, "-") == 0 ? stdout : std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "perf_report: cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"schema\": 1,\n  \"report\": \"animus-kernel\",\n");
+  std::fprintf(f, "  \"engine\": \"%s\",\n", sim::EventLoop::engine_name());
+  std::fprintf(f, "  \"jobs\": %d,\n  \"benchmarks\": [\n", jobs);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"note\": \"%s\", \"events\": %zu, "
+                 "\"repeats\": %d, \"ns_per_event\": %.2f, \"ops_per_sec\": %.0f}%s\n",
+                 s.name.c_str(), s.note.c_str(), s.events, s.repeats, s.ns_per_event,
+                 s.ops_per_sec, i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  if (f != stdout) std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out = "BENCH_kernel.json";
+  int jobs = 0;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out = argv[i] + 6;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = std::atoi(argv[i] + 7);
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: perf_report [--out FILE|-] [--jobs N] [--quick]\n");
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+
+  const int n = quick ? 10'000 : 100'000;
+  const int repeats = quick ? 5 : 9;
+  std::vector<Sample> samples;
+  samples.push_back(bench_schedule_run(n, repeats));
+  samples.push_back(bench_schedule_cancel(n, repeats));
+  samples.push_back(bench_periodic(n, repeats));
+  samples.push_back(bench_fig07_sweep(jobs, quick));
+
+  for (const Sample& s : samples) {
+    std::fprintf(stderr, "%-22s %10.2f ns/event  %12.0f ops/s  (%zu events x %d)\n",
+                 s.name.c_str(), s.ns_per_event, s.ops_per_sec, s.events, s.repeats);
+  }
+  write_json(out, samples, jobs);
+  if (std::strcmp(out, "-") != 0) std::fprintf(stderr, "perf_report: wrote %s\n", out);
+  return 0;
+}

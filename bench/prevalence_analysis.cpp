@@ -5,24 +5,69 @@
 // Paper counts: 4,405 apps with SYSTEM_ALERT_WINDOW + accessibility
 // service; 18,887 apps calling addView+removeView with
 // SYSTEM_ALERT_WINDOW; 15,179 apps using a customized toast.
-#include <chrono>
+//
+// The corpus is streamed in fixed shards through runner::sweep — each
+// trial scans one contiguous sample range and returns raw counts, which
+// merge by summation in submission order, so stdout is byte-identical
+// at any --jobs value (throughput goes to stderr via runner::report).
 #include <cstdio>
+#include <numeric>
+#include <string_view>
+#include <vector>
 
 #include "analysis/corpus.hpp"
 #include "metrics/table.hpp"
+#include "runner/bench_cli.hpp"
+#include "runner/runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace animus;
-  // Full scan by default; `--quick` samples 1 in 37 and scales.
+  // Full scan by default; `--quick` samples 1 in 37 and scales. The flag
+  // is consumed before the shared CLI sees the rest.
   std::size_t stride = 1;
-  if (argc > 1 && std::string_view(argv[1]) == "--quick") stride = 37;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") {
+      stride = 37;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const auto args = runner::BenchArgs::parse(static_cast<int>(rest.size()), rest.data());
 
   analysis::Corpus corpus{2016};
   std::printf("=== Prevalence analysis over %zu apps (stride %zu) ===\n\n", corpus.size(),
               stride);
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto counts = analysis::count_attack_prerequisites(corpus, stride);
-  const auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0);
+
+  // Fixed shard count: the work distribution (and thus the merge) is
+  // independent of --jobs; stealing only changes which worker scans a
+  // shard, never what the shard contains.
+  const std::size_t samples = (corpus.size() + stride - 1) / stride;
+  constexpr std::size_t kShards = 128;
+  std::vector<std::size_t> shards(kShards);
+  std::iota(shards.begin(), shards.end(), std::size_t{0});
+
+  const auto sweep = runner::sweep(
+      shards,
+      [&](std::size_t shard, const runner::TrialContext&) {
+        const std::size_t begin = shard * samples / kShards;
+        const std::size_t end = (shard + 1) * samples / kShards;
+        return analysis::count_attack_prerequisites_range(corpus, begin, end, stride);
+      },
+      args.run);
+  runner::report("prevalence", sweep);
+
+  analysis::CorpusCounts raw;
+  for (const auto& shard : sweep.results) {
+    raw.total += shard.total;
+    raw.saw_and_accessibility += shard.saw_and_accessibility;
+    raw.addremove_and_saw += shard.addremove_and_saw;
+    raw.custom_toast += shard.custom_toast;
+    raw.parse_failures += shard.parse_failures;
+  }
+  const std::size_t parsed = raw.total;
+  const auto counts = analysis::scale_sampled_counts(raw, corpus.size());
 
   metrics::Table table({"Predicate", "measured", "paper", "delta"});
   auto row = [&table](const char* name, std::size_t got, std::size_t want) {
@@ -34,11 +79,17 @@ int main(int argc, char** argv) {
   row("SYSTEM_ALERT_WINDOW + accessibility service", counts.saw_and_accessibility, 4405);
   row("addView + removeView + SYSTEM_ALERT_WINDOW", counts.addremove_and_saw, 18887);
   row("customized toast (Toast.setView)", counts.custom_toast, 15179);
-  std::fputs(table.to_string().c_str(), stdout);
-  std::printf("\nManifests parsed: %zu, parse failures: %zu, %.2f s (%.0f apps/s)\n",
-              counts.total / stride, counts.parse_failures, elapsed.count(),
-              static_cast<double>(counts.total / stride) / elapsed.count());
-  std::puts("\nConclusion (paper): app stores admit apps using the accessibility service,");
-  std::puts("overlays and customized toasts, so the malicious app has distribution paths.");
+  runner::emit(table, args);
+  std::printf("\nManifests parsed: %zu, parse failures: %zu\n", parsed, raw.parse_failures);
+  // Wall-clock throughput is telemetry, not a result — stderr keeps
+  // stdout reproducible byte-for-byte.
+  std::fprintf(stderr, "[prevalence] %.2f ms (%.0f apps/s)\n", sweep.stats.wall_ms,
+               1000.0 * static_cast<double>(parsed) / sweep.stats.wall_ms);
+
+  runner::note(args,
+               "\nConclusion (paper): app stores admit apps using the accessibility service,");
+  runner::note(args,
+               "overlays and customized toasts, so the malicious app has distribution paths.");
+  runner::finish(args);
   return 0;
 }

@@ -112,11 +112,14 @@ ApkInfo Corpus::app(std::size_t i) const {
   return apk;
 }
 
-CorpusCounts count_attack_prerequisites(const Corpus& corpus, std::size_t stride) {
+CorpusCounts count_attack_prerequisites_range(const Corpus& corpus, std::size_t begin,
+                                              std::size_t end, std::size_t stride) {
   CorpusCounts counts;
   if (stride == 0) stride = 1;
   std::size_t sampled = 0;
-  for (std::size_t i = 0; i < corpus.size(); i += stride) {
+  for (std::size_t k = begin; k < end; ++k) {
+    const std::size_t i = k * stride;
+    if (i >= corpus.size()) break;
     ++sampled;
     const ApkInfo apk = corpus.app(i);
     const ScanResult scan = scan_apk(apk);
@@ -133,9 +136,14 @@ CorpusCounts count_attack_prerequisites(const Corpus& corpus, std::size_t stride
     if (scan.custom_toast) ++counts.custom_toast;
   }
   counts.total = sampled;
-  if (stride > 1 && sampled > 0) {
-    const double scale = static_cast<double>(corpus.size()) / static_cast<double>(sampled);
-    counts.total = corpus.size();
+  return counts;
+}
+
+CorpusCounts scale_sampled_counts(CorpusCounts counts, std::size_t corpus_size) {
+  const std::size_t sampled = counts.total;
+  if (sampled > 0 && sampled < corpus_size) {
+    const double scale = static_cast<double>(corpus_size) / static_cast<double>(sampled);
+    counts.total = corpus_size;
     counts.saw_and_accessibility =
         static_cast<std::size_t>(counts.saw_and_accessibility * scale + 0.5);
     counts.addremove_and_saw =
@@ -143,6 +151,13 @@ CorpusCounts count_attack_prerequisites(const Corpus& corpus, std::size_t stride
     counts.custom_toast = static_cast<std::size_t>(counts.custom_toast * scale + 0.5);
   }
   return counts;
+}
+
+CorpusCounts count_attack_prerequisites(const Corpus& corpus, std::size_t stride) {
+  if (stride == 0) stride = 1;
+  const std::size_t samples = (corpus.size() + stride - 1) / stride;
+  return scale_sampled_counts(count_attack_prerequisites_range(corpus, 0, samples, stride),
+                              corpus.size());
 }
 
 }  // namespace animus::analysis

@@ -60,4 +60,16 @@ struct CorpusCounts {
 /// samples every stride-th app and scales the counts (quick mode).
 CorpusCounts count_attack_prerequisites(const Corpus& corpus, std::size_t stride = 1);
 
+/// Shardable form: raw (unscaled) counts over sample positions
+/// [begin, end) of the stride-decimated corpus — sample k inspects app
+/// k * stride. Disjoint ranges sum to exactly one full pass, so
+/// runner::sweep can fan the corpus out across workers and merge the
+/// shards in submission order.
+CorpusCounts count_attack_prerequisites_range(const Corpus& corpus, std::size_t begin,
+                                              std::size_t end, std::size_t stride = 1);
+
+/// Scale raw sampled counts up to the full corpus size with the same
+/// rounding count_attack_prerequisites applies (no-op at full coverage).
+CorpusCounts scale_sampled_counts(CorpusCounts counts, std::size_t corpus_size);
+
 }  // namespace animus::analysis

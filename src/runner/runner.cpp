@@ -11,6 +11,7 @@
 
 #include "metrics/table.hpp"
 #include "obs/trace_capture.hpp"
+#include "runner/steal_queue.hpp"
 
 namespace animus::runner {
 namespace {
@@ -106,49 +107,68 @@ SweepStats ParallelRunner::run_subset(const std::vector<std::size_t>& indices,
           : std::clamp<std::size_t>(count / (8 * static_cast<std::size_t>(stats.jobs)),
                                     std::size_t{1}, std::size_t{64});
 
-  std::atomic<std::size_t> cursor{0};
+  // Work distribution: the subset positions [0, count) are partitioned
+  // into one contiguous block per worker, each behind a Chase-Lev-style
+  // two-ended queue. A worker drains its own block front-to-back (so
+  // jobs=1 is exact submission order — the reference the parallel path
+  // must reproduce), and once empty steals single trials from the BACK
+  // of its peers' blocks. Skewed trial costs (Table II's per-device
+  // binary searches) therefore no longer serialize behind a slow chunk:
+  // the deterministic seed derivation makes results independent of which
+  // worker runs a trial, so stealing changes wall-clock only.
+  const auto nq = static_cast<std::size_t>(stats.jobs);
+  std::vector<StealQueue> queues(nq);
+  for (std::size_t w = 0; w < nq; ++w) {
+    queues[w].assign(static_cast<std::uint32_t>(w * count / nq),
+                     static_cast<std::uint32_t>((w + 1) * count / nq));
+  }
+
   std::atomic<std::size_t> done{0};
   std::atomic<std::size_t> failed{0};
   std::atomic<int> busy{0};
   std::mutex merge_mu;  // guards stats/errors merge and progress calls
 
   const auto sweep_start = Clock::now();
-  auto worker = [&] {
+  auto worker = [&](std::size_t self) {
     metrics::RunningStats local_ms;
     std::vector<TrialError> local_errors;
+    busy.fetch_add(1, std::memory_order_relaxed);
     for (;;) {
-      const std::size_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
-      if (begin >= count) break;
-      const std::size_t end = std::min(begin + chunk, count);
-      busy.fetch_add(1, std::memory_order_relaxed);
-      for (std::size_t slot = begin; slot < end; ++slot) {
-        const std::size_t i = indices[slot];  // original submission index
-        TrialContext ctx;
-        ctx.index = i;
-        ctx.seed = root.fork(i).next_u64();
-        const auto trial_start = Clock::now();
-        try {
-          // Mark the thread with the trial index so an armed TraceCapture
-          // can claim the representative trial's first World.
-          obs::TraceCapture::TrialScope scope{i};
-          body(ctx);
-        } catch (const std::exception& e) {
-          local_errors.push_back({i, ctx.seed, e.what()});
-          failed.fetch_add(1, std::memory_order_relaxed);
-        } catch (...) {
-          local_errors.push_back({i, ctx.seed, "unknown exception"});
-          failed.fetch_add(1, std::memory_order_relaxed);
-        }
-        const double elapsed = ms_between(trial_start, Clock::now());
-        local_ms.add(elapsed);
-        stats.samples_ms[slot] = elapsed;
-        done.fetch_add(1, std::memory_order_relaxed);
+      std::uint32_t slot = 0;
+      bool got = queues[self].pop_front(&slot);
+      // Own block drained: steal from the back of the other workers'
+      // blocks, scanning from the next peer so thieves spread out.
+      for (std::size_t v = 1; !got && v < nq; ++v) {
+        got = queues[(self + v) % nq].steal_back(&slot);
       }
-      busy.fetch_sub(1, std::memory_order_relaxed);
-      if (options_.progress) {
+      if (!got) break;
+      const std::size_t i = indices[slot];  // original submission index
+      TrialContext ctx;
+      ctx.index = i;
+      ctx.seed = root.fork(i).next_u64();
+      const auto trial_start = Clock::now();
+      try {
+        // Mark the thread with the trial index so an armed TraceCapture
+        // can claim the representative trial's first World.
+        obs::TraceCapture::TrialScope scope{i};
+        body(ctx);
+      } catch (const std::exception& e) {
+        local_errors.push_back({i, ctx.seed, e.what()});
+        failed.fetch_add(1, std::memory_order_relaxed);
+      } catch (...) {
+        local_errors.push_back({i, ctx.seed, "unknown exception"});
+        failed.fetch_add(1, std::memory_order_relaxed);
+      }
+      const double elapsed = ms_between(trial_start, Clock::now());
+      local_ms.add(elapsed);
+      stats.samples_ms[slot] = elapsed;
+      const std::size_t completed = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      // Progress cadence matches the old chunked runner: every `chunk`
+      // completions and at the end, not after every trial.
+      if (options_.progress && (completed % chunk == 0 || completed == count)) {
         std::lock_guard<std::mutex> lock{merge_mu};
         Progress p;
-        p.done = done.load(std::memory_order_relaxed);
+        p.done = completed;
         p.total = count;
         p.errors = failed.load(std::memory_order_relaxed);
         p.workers_busy = busy.load(std::memory_order_relaxed);
@@ -156,6 +176,7 @@ SweepStats ParallelRunner::run_subset(const std::vector<std::size_t>& indices,
         options_.progress(p);
       }
     }
+    busy.fetch_sub(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock{merge_mu};
     stats.trial_ms.merge(local_ms);
     if (errors) {
@@ -164,11 +185,11 @@ SweepStats ParallelRunner::run_subset(const std::vector<std::size_t>& indices,
   };
 
   if (stats.jobs == 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(stats.jobs));
-    for (int j = 0; j < stats.jobs; ++j) pool.emplace_back(worker);
+    for (int j = 0; j < stats.jobs; ++j) pool.emplace_back(worker, static_cast<std::size_t>(j));
     for (auto& t : pool) t.join();
   }
   stats.wall_ms = ms_between(sweep_start, Clock::now());

@@ -16,7 +16,13 @@
 //     (trial index, seed, what()) instead of aborting the sweep —
 //     sibling trials complete and the caller decides what to do.
 //
-// Work is distributed in chunks through an atomic cursor, per-trial
+// Work is distributed through per-worker Chase-Lev-style deques
+// (runner/steal_queue.hpp): each worker owns a contiguous block of
+// trials, drains it front-to-back, then steals single trials from the
+// back of its peers' blocks — so a skewed trial-cost distribution
+// (Table II's per-device binary searches) no longer serializes behind
+// one slow chunk. Because seeds are a pure function of the submission
+// index, stealing changes wall-clock only, never results. Per-trial
 // wall-clock is recorded through `metrics::RunningStats`, and an
 // optional progress callback reports trials done / total plus worker
 // occupancy. With jobs == 1 everything runs inline on the calling
@@ -56,10 +62,11 @@ struct RunOptions {
   /// run — deliberately irreproducible ("live" mode). Defaults to true:
   /// identical options => byte-identical results at any thread count.
   bool deterministic = true;
-  /// Trials per work unit pulled from the shared cursor; 0 = automatic
-  /// (total / (8 * jobs), clamped to [1, 64]).
+  /// Progress-callback cadence in completed trials; 0 = automatic
+  /// (total / (8 * jobs), clamped to [1, 64]). (Work is distributed by
+  /// stealing single trials, so this no longer affects scheduling.)
   std::size_t chunk = 0;
-  /// Invoked after each completed chunk (serialized; cheap bodies only).
+  /// Invoked every `chunk` completed trials (serialized; cheap bodies only).
   std::function<void(const Progress&)> progress;
 };
 

@@ -1,0 +1,92 @@
+// Chase-Lev-style work-stealing queue for the parallel runner.
+//
+// The runner's work is static: every trial index is known before the
+// pool starts and nothing is pushed mid-run. That lets the classic
+// growable Chase-Lev ring collapse to its essential mechanism — a
+// per-worker range of pre-partitioned work claimed from two ends:
+//
+//   - the owner pops from the FRONT (low indices first, preserving the
+//     submission-order locality that makes checkpoint flushes and
+//     progress output feel sequential);
+//   - idle workers steal from the BACK, so a thief grabs the work the
+//     owner would reach last and the two ends only collide on the final
+//     item.
+//
+// Both bounds live in ONE atomic word ({head:32, tail:32}, claimed by
+// CAS), so the owner/thief race that the full Chase-Lev algorithm
+// resolves with fences cannot lose or duplicate an item: every claim
+// moves exactly one bound of the same word. Lock-free, allocation-free,
+// and — because trials are coarse (>= tens of microseconds) — contention
+// on the word is negligible.
+//
+// Replaces the fixed-chunk atomic cursor, whose failure mode was
+// Table II's skewed per-device binary searches: one slow chunk pinned a
+// worker while its siblings idled. With stealing, a worker that drains
+// its own range takes single trials from the slowest peer instead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace animus::runner {
+
+class StealQueue {
+ public:
+  StealQueue() = default;
+
+  /// Reset to own the half-open range [begin, end).
+  void assign(std::uint32_t begin, std::uint32_t end) {
+    range_.store(pack(begin, end), std::memory_order_relaxed);
+  }
+
+  /// Owner end: claim the lowest unclaimed position. False when drained.
+  bool pop_front(std::uint32_t* out) {
+    std::uint64_t r = range_.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::uint32_t head = unpack_head(r);
+      const std::uint32_t tail = unpack_tail(r);
+      if (head >= tail) return false;
+      if (range_.compare_exchange_weak(r, pack(head + 1, tail), std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+        *out = head;
+        return true;
+      }
+    }
+  }
+
+  /// Thief end: claim the highest unclaimed position. False when drained.
+  bool steal_back(std::uint32_t* out) {
+    std::uint64_t r = range_.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::uint32_t head = unpack_head(r);
+      const std::uint32_t tail = unpack_tail(r);
+      if (head >= tail) return false;
+      if (range_.compare_exchange_weak(r, pack(head, tail - 1), std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+        *out = tail - 1;
+        return true;
+      }
+    }
+  }
+
+  /// Items not yet claimed (racy snapshot; for monitoring only).
+  [[nodiscard]] std::uint32_t remaining() const {
+    const std::uint64_t r = range_.load(std::memory_order_relaxed);
+    const std::uint32_t head = unpack_head(r);
+    const std::uint32_t tail = unpack_tail(r);
+    return head < tail ? tail - head : 0;
+  }
+
+ private:
+  static std::uint64_t pack(std::uint32_t head, std::uint32_t tail) {
+    return (static_cast<std::uint64_t>(head) << 32) | tail;
+  }
+  static std::uint32_t unpack_head(std::uint64_t r) { return static_cast<std::uint32_t>(r >> 32); }
+  static std::uint32_t unpack_tail(std::uint64_t r) {
+    return static_cast<std::uint32_t>(r & 0xffffffffu);
+  }
+
+  std::atomic<std::uint64_t> range_{0};
+};
+
+}  // namespace animus::runner

@@ -37,6 +37,12 @@ World::~World() {
   reg.counter("animus_events_executed_total").add(static_cast<double>(loop_.executed()));
   reg.counter("animus_events_cancelled_total").add(static_cast<double>(loop_.cancelled()));
   reg.gauge("animus_events_max_pending").set_max(static_cast<double>(loop_.max_pending()));
+  // Nonzero means some run_all() stopped at its max_events guard with
+  // events still pending — a runaway self-rescheduling loop that would
+  // otherwise truncate a fault-injection sweep silently.
+  if (loop_.hit_event_cap()) {
+    reg.counter("animus_event_cap_hits_total").add(static_cast<double>(loop_.cap_hits()));
+  }
   reg.counter("animus_windows_added_total").add(static_cast<double>(wms_.total_added()));
   reg.counter("animus_toasts_shown_total").add(static_cast<double>(nms_.stats().shown));
   reg.counter("animus_toasts_rejected_total").add(static_cast<double>(nms_.stats().rejected));

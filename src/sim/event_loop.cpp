@@ -1,17 +1,191 @@
 #include "sim/event_loop.hpp"
 
-#include <algorithm>
 #include <utility>
 
 namespace animus::sim {
 
+std::vector<std::unique_ptr<EventLoop::Slot[]>>& EventLoop::chunk_pool() {
+  // Per-thread so loops on concurrent runner workers never contend; a
+  // loop destroyed on a different thread than it was built on simply
+  // donates its chunks to the destroying thread's pool.
+  thread_local std::vector<std::unique_ptr<Slot[]>> pool;
+  return pool;
+}
+
+std::vector<EventLoop::Entry>& EventLoop::heap_spare() {
+  thread_local std::vector<Entry> spare;
+  return spare;
+}
+
+void EventLoop::grow_heap() {
+  if (heap_.capacity() == 0) {
+    auto& spare = heap_spare();
+    if (spare.capacity() != 0) {
+      spare.clear();
+      heap_.swap(spare);
+      return;
+    }
+  }
+  // A 1024-entry floor (24 KB) skips the pennywise doubling steps a
+  // trial always outgrows anyway.
+  heap_.reserve(heap_.empty() ? 1024 : heap_.size() * 2);
+}
+
+EventLoop::~EventLoop() {
+  // Destroy still-pending callbacks. Executed events were consumed and
+  // cancelled ones reset on the spot, so the only live callables are the
+  // ones whose heap entry still carries a matching generation — scan
+  // those O(pending) entries rather than scrubbing every slot the loop
+  // ever touched (the full scrub walked ~2 cache lines per slot and cost
+  // more than the events themselves at microbenchmark scale).
+  if (live_ != 0) {
+    for (const Entry& e : heap_) {
+      Slot& s = slot(e.slot);
+      if (s.generation == e.generation) s.cb.reset();
+    }
+  }
+  // Park the heap buffer for the next loop on this thread (keep the
+  // larger of the two; Entry is trivially destructible so clear() is
+  // free).
+  auto& spare = heap_spare();
+  if (heap_.capacity() > spare.capacity()) {
+    heap_.clear();
+    spare.swap(heap_);
+  }
+  auto& pool = chunk_pool();
+  // Cap the parked memory per thread (256 chunks of 512 slots covers the
+  // 100k-event perf_report workload, ~12 MB); a loop that grew beyond
+  // that frees the excess normally.
+  constexpr std::size_t kPoolCap = 256;
+  for (auto& c : chunks_) {
+    if (pool.size() >= kPoolCap) break;
+    pool.push_back(std::move(c));
+  }
+}
+
+void EventLoop::append_chunk() {
+  auto& pool = chunk_pool();
+  if (!pool.empty()) {
+    chunks_.push_back(std::move(pool.back()));
+    pool.pop_back();
+  } else {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+  }
+  bump_chunk_ = chunks_.back().get();
+  slab_size_ += kChunkSize;
+}
+
+void EventLoop::release_slot(std::uint32_t idx) {
+  Slot& s = slot(idx);
+  if (++s.generation == 0) s.generation = 1;  // skip the invalid tag
+  s.next_free = free_head_;
+  free_head_ = idx;
+}
+
+// The heap is 4-ary: half the depth of a binary heap and the four
+// children of a node sit in adjacent Entries (two cache lines at most),
+// which is the better trade for a pop-dominated workload — every
+// executed event pays one sift_down, while sift_up on schedule usually
+// terminates after a level or two.
+
+void EventLoop::sift_down(std::size_t pos) {
+  const Entry moving = heap_[pos];
+  const std::size_t size = heap_.size();
+  for (;;) {
+    const std::size_t first = 4 * pos + 1;
+    if (first >= size) break;
+    const std::size_t last = first + 4 < size ? first + 4 : size;
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (heap_[c].before(heap_[best])) best = c;
+    }
+    if (!heap_[best].before(moving)) break;
+    heap_[pos] = heap_[best];
+    pos = best;
+  }
+  heap_[pos] = moving;
+}
+
+void EventLoop::sift_down_refill(std::size_t pos) {
+  // Floyd's variant for the pop path: the entry at `pos` is the heap's
+  // old back element — large, so it almost always belongs at the
+  // bottom. March it down the min-child chain without comparing against
+  // it (3 compares per level instead of 4), then bubble it back up the
+  // zero-or-one levels it overshot.
+  const Entry refill = heap_[pos];
+  const std::size_t size = heap_.size();
+  for (;;) {
+    const std::size_t first = 4 * pos + 1;
+    if (first >= size) break;
+    // The next level's candidates — the children of all four children —
+    // are contiguous at [4*first+1, 4*first+17). Fetch that frontier
+    // while comparing this level, so whichever child wins, its children
+    // are already in flight; the descent's serial cache misses overlap
+    // instead of chaining (this is what the deep-heap pops of a 100k
+    // event drain are bound by). Small heaps live in L1/L2 where the
+    // speculative fetches only cost issue slots, so skip them there.
+    const std::size_t gfirst = 4 * first + 1;
+    if (size > 4096 && gfirst < size) {
+      const char* g = reinterpret_cast<const char*>(&heap_[gfirst]);
+      __builtin_prefetch(g);
+      __builtin_prefetch(g + 64);
+      __builtin_prefetch(g + 128);
+      __builtin_prefetch(g + 192);
+      __builtin_prefetch(g + 256);
+      __builtin_prefetch(g + 320);
+    }
+    const std::size_t last = first + 4 < size ? first + 4 : size;
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (heap_[c].before(heap_[best])) best = c;
+    }
+    heap_[pos] = heap_[best];
+    pos = best;
+  }
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!refill.before(heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = refill;
+}
+
+bool EventLoop::skim_stale() {
+  while (!heap_.empty()) {
+    // No cancelled entries anywhere means the top is live — skip the
+    // slab load entirely (the common case for cancel-free workloads).
+    if (stale_ == 0) return true;
+    const Entry& top = heap_[0];
+    if (slot(top.slot).generation == top.generation) return true;
+    // Cancelled: the slot was reclaimed the moment cancel() ran; only
+    // this 24-byte entry lingered, and it dies in one compare.
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    --stale_;
+    if (!heap_.empty()) sift_down_refill(0);
+  }
+  return false;
+}
+
+void EventLoop::compact() {
+  std::size_t w = 0;
+  for (const Entry& e : heap_) {
+    if (slot(e.slot).generation == e.generation) heap_[w++] = e;
+  }
+  heap_.resize(w);
+  stale_ = 0;
+  // Bottom-up heapify: sift every internal node, deepest first.
+  if (w > 1) {
+    for (std::size_t i = (w - 2) / 4 + 1; i-- > 0;) sift_down(i);
+  }
+}
+
 EventLoop::EventId EventLoop::schedule_at(SimTime when, Callback cb) {
-  if (when < now_) when = now_;
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(HeapEntry{when, seq});
-  callbacks_.emplace(seq, std::move(cb));
-  max_pending_ = std::max(max_pending_, callbacks_.size());
-  return EventId{seq};
+  if (heap_.capacity() == heap_.size()) grow_heap();
+  const Acquired a = acquire_slot();
+  a.s->cb = std::move(cb);
+  return finish_schedule(when, a);
 }
 
 EventLoop::EventId EventLoop::schedule_after(SimTime delay, Callback cb) {
@@ -20,46 +194,75 @@ EventLoop::EventId EventLoop::schedule_after(SimTime delay, Callback cb) {
 }
 
 bool EventLoop::cancel(EventId id) {
-  if (!id.valid()) return false;
-  const bool erased = callbacks_.erase(id.seq) > 0;
-  cancelled_ += erased;
-  return erased;
-}
-
-bool EventLoop::pop_next(HeapEntry& out, Callback& cb) {
-  while (!heap_.empty()) {
-    HeapEntry top = heap_.top();
-    heap_.pop();
-    auto it = callbacks_.find(top.seq);
-    if (it == callbacks_.end()) continue;  // cancelled: tombstone
-    out = top;
-    cb = std::move(it->second);
-    callbacks_.erase(it);
-    return true;
+  // bump_ (not slab_size_) is the guard: every id this loop ever minted
+  // addresses a slot below it, and slots above it may hold stale headers
+  // from a recycled chunk (the pool does not scrub them).
+  if (!id.valid() || id.slot >= bump_) return false;
+  Slot& s = slot(id.slot);
+  // Generation mismatch: the event already ran or was cancelled (and the
+  // slot possibly reused) — the handle is stale.
+  if (s.generation != id.generation) return false;
+  s.cb.reset();
+  release_slot(id.slot);
+  --live_;
+  ++cancelled_;
+  // LIFO fast path: the overlay draw-destroy cycle (§III) cancels the
+  // alert it scheduled a beat earlier, whose entry still sits in the
+  // heap's last few leaves. Removing it there is O(1) — swap with the
+  // back, pop, and re-sit the swapped leaf — and leaves no stale entry
+  // to skim or compact later.
+  const std::size_t size = heap_.size();
+  const std::size_t scan = size < 4 ? size : 4;
+  for (std::size_t i = size - scan; i < size; ++i) {
+    if (heap_[i].slot == id.slot && heap_[i].generation == id.generation) {
+      heap_[i] = heap_.back();
+      heap_.pop_back();
+      if (i < heap_.size()) {
+        sift_up(i);
+        sift_down(i);
+      }
+      return true;
+    }
   }
-  return false;
+  // Amortized housekeeping: once a third of the heap is dead weight,
+  // filter + re-heapify in one O(heap) pass rather than paying a full
+  // sift_down per stale entry at pop time.
+  if (++stale_ * 3 > heap_.size()) compact();
+  return true;
 }
 
 bool EventLoop::step() {
-  HeapEntry entry{};
-  Callback cb;
-  if (!pop_next(entry, cb)) return false;
-  now_ = entry.when;
+  if (!skim_stale()) return false;
+  const Entry top = heap_[0];
+  // Pop order is time order, which permutes slot order — the slot line
+  // is usually not in L1. Start the fetch now so it overlaps the sift.
+  __builtin_prefetch(&slot(top.slot), 1);
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down_refill(0);
+  Slot& s = slot(top.slot);
+  now_ = top.when;
+  // Stale the handle *before* invoking (a self-cancel from inside the
+  // callback returns false), but keep the slot OFF the free list until
+  // the callback returns: it runs in place in its slot — no move out —
+  // and events it schedules must not overwrite it. Chunks are stable,
+  // so growth during the callback can't move `s` either.
+  if (++s.generation == 0) s.generation = 1;
+  --live_;
   ++executed_;
-  cb();
+  s.cb.consume();  // fused invoke + destroy, leaves the slot empty
+  s.next_free = free_head_;
+  free_head_ = top.slot;
+  // Start fetching the *next* event's slot a whole pop ahead of its
+  // consume — the ~20ns lead of the pre-sift prefetch above doesn't
+  // cover a DRAM miss once the slab outgrows the cache.
+  if (!heap_.empty()) __builtin_prefetch(&slot(heap_[0].slot), 1);
   return true;
 }
 
 std::size_t EventLoop::run_until(SimTime until) {
   std::size_t executed = 0;
-  while (!heap_.empty()) {
-    // Peek through tombstones without popping live entries early.
-    HeapEntry top = heap_.top();
-    if (callbacks_.find(top.seq) == callbacks_.end()) {
-      heap_.pop();
-      continue;
-    }
-    if (top.when > until) break;
+  while (skim_stale() && heap_[0].when <= until) {
     step();
     ++executed;
   }
@@ -70,6 +273,7 @@ std::size_t EventLoop::run_until(SimTime until) {
 std::size_t EventLoop::run_all(std::size_t max_events) {
   std::size_t executed = 0;
   while (executed < max_events && step()) ++executed;
+  if (executed == max_events && live_ != 0) ++cap_hits_;
   return executed;
 }
 

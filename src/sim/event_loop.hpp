@@ -1,35 +1,78 @@
-// Deterministic discrete-event loop.
+// Deterministic discrete-event loop — slab engine.
 //
 // Events are (time, sequence, callback) triples executed in nondecreasing
 // time order; ties are broken by scheduling order, so a simulation run is
-// a pure function of its inputs. Cancellation is O(log n) amortized via a
-// tombstone map.
+// a pure function of its inputs.
+//
+// Storage is a slab of generation-tagged slots recycled through a free
+// list, ordered by a binary min-heap of POD entries that index into the
+// slab:
+//
+//   - the slab grows in fixed 512-slot chunks and slots NEVER move:
+//     growing appends a chunk instead of reallocating, so callbacks are
+//     move-constructed exactly once (into their slot) no matter how big
+//     the slab gets;
+//   - schedule: pop a free slot (no allocation once the slab is warm),
+//     move the callback into it, push a 24-byte {when, seq, slot,
+//     generation} entry onto the heap. The sort key lives *in* the heap
+//     entry, so sift comparisons stay cache-local and never touch the
+//     slab. The returned EventId is {slot, generation}.
+//   - cancel: O(1). The id addresses its slot directly; the generation
+//     tag rejects stale handles (event already ran, double cancel, slot
+//     reused) without any hash probe. The callback is destroyed and the
+//     slot reclaimed onto the free list immediately — the matching heap
+//     entry goes stale and is skipped (one generation compare) when it
+//     surfaces at the top. Unlike the previous tombstone design nothing
+//     is ever tombstoned in a map: a cancelled event costs 24 bytes of
+//     heap entry until its time would have come, and nothing else.
+//   - callbacks are InlineCallback<64>: typical captures (`this` plus a
+//     couple of ints) live inside the slot; only oversized captures
+//     heap-allocate.
+//
+// Compared to the previous std::priority_queue + std::unordered_map
+// design this removes the per-schedule hash insert + node allocation,
+// the per-pop hash find + erase, and the per-cancel hash erase — and
+// cancel is *the* hot operation in the overlay attack: every
+// draw-destroy iteration cancels the pending alert-animation event
+// (§III). Steady state allocates nothing: slots and heap capacity are
+// reused across the draw-destroy cycles of an entire trial.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
+#include "sim/inline_callback.hpp"
 #include "sim/time.hpp"
 
 namespace animus::sim {
 
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  /// Small-buffer callback: captures up to 64 bytes never allocate.
+  using Callback = InlineCallback<64>;
 
   /// Opaque handle for cancelling a scheduled event. Default-constructed
   /// handles are invalid and cancel() on them is a no-op returning false.
+  /// Handles are generation-tagged: once the event runs or is cancelled
+  /// its slot may be reused, and the old handle is rejected.
   struct EventId {
-    std::uint64_t seq = 0;
-    [[nodiscard]] bool valid() const { return seq != 0; }
+    std::uint32_t slot = 0;
+    std::uint32_t generation = 0;
+    [[nodiscard]] bool valid() const { return generation != 0; }
   };
 
   EventLoop() = default;
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
+  /// Destroys pending callbacks and returns the slab's chunks to a
+  /// thread-local pool for the next EventLoop on this thread (a sweep
+  /// builds one World — and thus one loop — per trial, so chunks cycle
+  /// loop-to-loop instead of malloc-to-OS; see chunk_pool()).
+  ~EventLoop();
+
+  /// Engine identifier stamped into perf reports (BENCH_kernel.json).
+  [[nodiscard]] static const char* engine_name() { return "slab+genheap"; }
 
   /// Current virtual time; advances only while events run.
   [[nodiscard]] SimTime now() const { return now_; }
@@ -41,8 +84,30 @@ class EventLoop {
   /// Schedule `cb` at now() + delay (delay < 0 clamps to 0).
   EventId schedule_after(SimTime delay, Callback cb);
 
-  /// Cancel a pending event. Returns true iff the event existed and had
-  /// not yet run.
+  /// Hot-path overloads for plain callables: the callable is constructed
+  /// directly inside its slab slot, skipping the wrapper temporary and
+  /// its two type-erased relocations per schedule.
+  template <typename F, typename = std::enable_if_t<
+                            !std::is_same_v<std::decay_t<F>, Callback> &&
+                            std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventId schedule_at(SimTime when, F&& fn) {
+    if (heap_.capacity() == heap_.size()) grow_heap();
+    const Acquired a = acquire_slot();
+    a.s->cb.emplace(std::forward<F>(fn));
+    return finish_schedule(when, a);
+  }
+
+  template <typename F, typename = std::enable_if_t<
+                            !std::is_same_v<std::decay_t<F>, Callback> &&
+                            std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventId schedule_after(SimTime delay, F&& fn) {
+    if (delay < SimTime{0}) delay = SimTime{0};
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
+
+  /// Cancel a pending event in O(1). Returns true iff the event existed
+  /// and had not yet run; stale ids (double cancel, already-executed
+  /// event, reused slot) return false.
   bool cancel(EventId id);
 
   /// Run the single next event. Returns false when the queue is empty.
@@ -54,11 +119,12 @@ class EventLoop {
   std::size_t run_until(SimTime until);
 
   /// Drain the queue completely (events may schedule more events).
-  /// `max_events` guards against runaway self-rescheduling loops.
+  /// `max_events` guards against runaway self-rescheduling loops; when
+  /// the guard fires with events still pending, hit_event_cap() latches.
   std::size_t run_all(std::size_t max_events = 100'000'000);
 
   /// Number of events currently pending (cancelled ones excluded).
-  [[nodiscard]] std::size_t pending() const { return callbacks_.size(); }
+  [[nodiscard]] std::size_t pending() const { return live_; }
 
   // ----- lifetime telemetry (fed into obs::MetricsRegistry at World
   // teardown; plain counters, so the hot path stays allocation- and
@@ -67,31 +133,170 @@ class EventLoop {
   /// Events executed since construction.
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
   /// Events scheduled since construction.
-  [[nodiscard]] std::uint64_t scheduled() const { return next_seq_ - 1; }
+  [[nodiscard]] std::uint64_t scheduled() const { return scheduled_; }
   /// Successful cancellations since construction.
   [[nodiscard]] std::uint64_t cancelled() const { return cancelled_; }
   /// High-water mark of the pending-event queue.
   [[nodiscard]] std::size_t max_pending() const { return max_pending_; }
+  /// True iff some run_all() call ever stopped at its max_events guard
+  /// with events still pending — runaway self-rescheduling, which used
+  /// to truncate fault-injection sweeps silently. Sticky; also counted
+  /// by cap_hits() so World teardown can export it as a metric.
+  [[nodiscard]] bool hit_event_cap() const { return cap_hits_ != 0; }
+  /// Number of run_all() calls that stopped at the guard.
+  [[nodiscard]] std::uint64_t cap_hits() const { return cap_hits_; }
 
  private:
-  struct HeapEntry {
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  /// Heap entry: the full sort key plus the slab address of the payload.
+  /// POD and self-contained so sift comparisons never touch the slab.
+  struct Entry {
     SimTime when;
-    std::uint64_t seq;
-    bool operator>(const HeapEntry& o) const {
-      return when != o.when ? when > o.when : seq > o.seq;
+    std::uint64_t seq;         ///< global scheduling order (tie-break)
+    std::uint32_t slot;
+    std::uint32_t generation;  ///< stale when != slots_[slot].generation
+    [[nodiscard]] bool before(const Entry& o) const {
+      // `when` is never negative (schedule_at clamps to now_ >= 0), so
+      // (when, seq) orders lexicographically as one unsigned 128-bit
+      // key: cmp/sbb on x86, no time-equality branch to mispredict in
+      // the sift loops' min-child selection over near-random keys.
+#if defined(__SIZEOF_INT128__)
+      __extension__ using Key = unsigned __int128;
+      const Key a = Key{static_cast<std::uint64_t>(when.count())} << 64 | seq;
+      const Key b = Key{static_cast<std::uint64_t>(o.when.count())} << 64 | o.seq;
+      return a < b;
+#else
+      return when != o.when ? when < o.when : seq < o.seq;
+#endif
     }
   };
 
-  /// Pop the next live entry off the heap, skipping tombstones.
-  bool pop_next(HeapEntry& out, Callback& cb);
+  /// Callback storage. Generation 0 is never live, so a
+  /// default-constructed EventId can't address a slot.
+  struct Slot {
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNone;  ///< free-list link while free
+    Callback cb;
+  };
+
+  // Slots live in stable fixed-size chunks: growth appends a chunk and
+  // never moves existing slots (an InlineCallback move is an indirect
+  // call, so vector reallocation of live slots would dominate bulk
+  // scheduling).
+  static constexpr std::uint32_t kChunkShift = 9;  // 512 slots per chunk
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  [[nodiscard]] Slot& slot(std::uint32_t idx) {
+    return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  }
+  [[nodiscard]] const Slot& slot(std::uint32_t idx) const {
+    return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  }
+
+  /// Thread-local stack of chunks recycled across EventLoop lifetimes
+  /// on this thread. Without it, every short-lived loop (one per trial
+  /// World) frees ~50 KB chunks back to malloc, glibc trims the arena,
+  /// and the next loop pays a page fault per 4 KB it re-touches — which
+  /// dominated cold-loop scheduling by ~4x. Parked chunks hold no live
+  /// callbacks (all destroyed by then) but their headers are NOT
+  /// scrubbed: bump allocation stamps the generation on first use, and
+  /// cancel() rejects any slot at or above bump_, so stale headers are
+  /// unreachable.
+  static std::vector<std::unique_ptr<Slot[]>>& chunk_pool();
+  /// Thread-local spare heap buffer, recycled like the chunks: the
+  /// destructor parks heap_'s capacity here and the first schedule of
+  /// the next loop takes it back, so steady-state trials reallocate
+  /// nothing at all.
+  static std::vector<Entry>& heap_spare();
+  /// Ensure room for one more heap entry (adopt the spare buffer or
+  /// reserve geometrically from a 1024-entry floor).
+  void grow_heap();
+  /// A freshly acquired slot: the resolved pointer (so callers don't
+  /// re-walk the chunk table) plus its index and current generation.
+  struct Acquired {
+    Slot* s;
+    std::uint32_t idx;
+    std::uint32_t generation;
+  };
+
+  /// Append a chunk to the slab (recycled from the thread-local pool
+  /// when possible). Cold path of acquire_slot().
+  void append_chunk();
+
+  /// Take a slot off the free list, or bump-allocate. Inline: schedule
+  /// is two calls' worth of hot path (this + finish_schedule) per event,
+  /// and keeping both in the caller's frame is worth ~10% on the
+  /// schedule-heavy kernel benchmarks.
+  Acquired acquire_slot() {
+    // Recycled slots first (LIFO keeps the hot cache lines hot) ...
+    if (free_head_ != kNone) {
+      const std::uint32_t idx = free_head_;
+      Slot& s = slot(idx);
+      free_head_ = s.next_free;
+      return {&s, idx, s.generation};
+    }
+    // ... then bump-allocate never-used capacity in address order.
+    if (bump_ == slab_size_) append_chunk();
+    const std::uint32_t idx = bump_++;
+    Slot* s = bump_chunk_ + (idx & (kChunkSize - 1));
+    s->generation = 1;
+    return {s, idx, 1};
+  }
+
+  /// Shared tail of every schedule path: push the heap entry for the
+  /// acquired slot (whose callback is already in place), update
+  /// telemetry, and mint the handle. `when` is clamped to now() here.
+  EventId finish_schedule(SimTime when, const Acquired& a) {
+    if (when < now_) when = now_;
+    heap_.push_back(Entry{when, next_seq_++, a.idx, a.generation});
+    sift_up(heap_.size() - 1);
+    ++scheduled_;
+    if (++live_ > max_pending_) max_pending_ = live_;
+    return EventId{a.idx, a.generation};
+  }
+
+  void sift_up(std::size_t pos) {
+    const Entry moving = heap_[pos];
+    while (pos > 0) {
+      const std::size_t parent = (pos - 1) / 4;
+      if (!moving.before(heap_[parent])) break;
+      heap_[pos] = heap_[parent];
+      pos = parent;
+    }
+    heap_[pos] = moving;
+  }
+  void sift_down(std::size_t pos);
+  /// Floyd's pop-path sift: the entry at `pos` came from the heap's
+  /// back, so descend the min-child chain all the way down (3 compares
+  /// per level instead of 4) and bubble back up the rare overshoot.
+  void sift_down_refill(std::size_t pos);
+  /// Pop heap entries until the top is live; false when drained.
+  bool skim_stale();
+  /// Drop every stale entry and re-heapify in place. O(heap) — called
+  /// from cancel() once stales exceed a third of the heap, so a
+  /// cancel-heavy phase pays amortized O(1) per cancel instead of a full
+  /// sift_down per stale entry when it eventually surfaces at the top.
+  void compact();
+  /// Bump the generation (staling every outstanding handle and heap
+  /// entry) and push the slot back on the free list.
+  void release_slot(std::uint32_t idx);
 
   SimTime now_{0};
   std::uint64_t next_seq_ = 1;
+  std::uint64_t scheduled_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t cancelled_ = 0;
+  std::uint64_t cap_hits_ = 0;
+  std::size_t live_ = 0;  ///< scheduled, not yet run or cancelled
   std::size_t max_pending_ = 0;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::size_t stale_ = 0;    ///< cancelled entries still parked in heap_
+  std::vector<Entry> heap_;  ///< min-heap by (when, seq); may hold stale entries
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  Slot* bump_chunk_ = nullptr;   ///< chunks_.back().get(), bump fast path
+  std::uint32_t slab_size_ = 0;  ///< total slots across chunks
+  std::uint32_t bump_ = 0;       ///< next never-used slot
+  std::uint32_t free_head_ = kNone;
 };
 
 }  // namespace animus::sim

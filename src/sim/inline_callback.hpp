@@ -1,0 +1,169 @@
+// Small-buffer-optimized move-only callable, the event engine's callback
+// type.
+//
+// `std::function` heap-allocates any capture bigger than its (tiny,
+// implementation-defined) inline buffer and drags in RTTI-based type
+// erasure. Event-loop callbacks are scheduled millions of times per
+// sweep and their captures are almost always small — `this` plus a
+// couple of ints — so InlineCallback<64> stores them inline and the
+// steady-state schedule/cancel path never allocates. Oversized captures
+// still work: they fall back to a single heap allocation, and the
+// wrapper's layout (one ops pointer + the buffer) stays identical.
+//
+// Differences from std::function, chosen deliberately for the hot path:
+//   - move-only (copying a scheduled event is meaningless);
+//   - invoking an empty callback is undefined instead of throwing;
+//   - no target()/target_type() introspection.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace animus::sim {
+
+template <std::size_t Capacity>
+class InlineCallback {
+ public:
+  InlineCallback() = default;
+
+  /// Wrap any void() callable. Captures up to `Capacity` bytes (and no
+  /// stricter than max_align_t alignment) are stored inline; larger ones
+  /// take one heap allocation.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    construct(std::forward<F>(fn));
+  }
+
+  /// Destroy the current callable (if any) and construct `fn` in place —
+  /// lets owners of a stored InlineCallback (the event loop's slot slab)
+  /// skip the intermediate wrapper object and its type-erased moves.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  void emplace(F&& fn) {
+    reset();
+    construct(std::forward<F>(fn));
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { move_from(std::move(other)); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  /// Destroy the held callable (no-op when empty).
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  /// Invoke, then destroy, in one type-erased dispatch — the event
+  /// loop's execute path, where the callback is dead after it runs.
+  /// Leaves *this empty. The callable may re-enter the owner of this
+  /// wrapper (e.g. schedule into the slot slab) because the wrapper is
+  /// marked empty before the call.
+  void consume() {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->invoke_destroy(buf_);
+  }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True iff a callable of type F would be stored without allocating.
+  template <typename F>
+  [[nodiscard]] static constexpr bool fits_inline() {
+    using Fn = std::decay_t<F>;
+    return sizeof(Fn) <= Capacity && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(unsigned char*);
+    /// Invoke then destroy (the execute path fuses both dispatches).
+    void (*invoke_destroy)(unsigned char*);
+    /// Move-construct dst's payload from src's, then destroy src's.
+    void (*relocate)(unsigned char* dst, unsigned char* src);
+    void (*destroy)(unsigned char*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](unsigned char* b) { (*std::launder(reinterpret_cast<Fn*>(b)))(); },
+      [](unsigned char* b) {
+        Fn* f = std::launder(reinterpret_cast<Fn*>(b));
+        (*f)();
+        f->~Fn();
+      },
+      [](unsigned char* dst, unsigned char* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (static_cast<void*>(dst)) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](unsigned char* b) { std::launder(reinterpret_cast<Fn*>(b))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](unsigned char* b) { (**std::launder(reinterpret_cast<Fn**>(b)))(); },
+      [](unsigned char* b) {
+        Fn* f = *std::launder(reinterpret_cast<Fn**>(b));
+        (*f)();
+        delete f;
+      },
+      [](unsigned char* dst, unsigned char* src) {
+        // The stored pointer is trivially destructible; copying it over
+        // transfers ownership.
+        ::new (static_cast<void*>(dst)) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](unsigned char* b) { delete *std::launder(reinterpret_cast<Fn**>(b)); },
+  };
+
+  template <typename F>
+  void construct(F&& fn) {
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  void move_from(InlineCallback&& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  // Buffer first: with Capacity a multiple of alignof(max_align_t) the
+  // wrapper packs to Capacity + sizeof(void*) with no padding holes.
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace animus::sim

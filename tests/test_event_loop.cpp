@@ -124,6 +124,86 @@ TEST(EventLoop, RunAllHonoursEventBudget) {
   EXPECT_EQ(loop.run_all(1000), 1000u);
 }
 
+TEST(EventLoop, EventCapLatchesStickyFlagAndCountsHits) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.hit_event_cap());
+  std::function<void()> forever = [&] { loop.schedule_after(ms(1), forever); };
+  loop.schedule_after(ms(1), forever);
+  loop.run_all(100);
+  EXPECT_TRUE(loop.hit_event_cap());  // stopped at the guard, work pending
+  EXPECT_EQ(loop.cap_hits(), 1u);
+  loop.run_all(50);
+  EXPECT_EQ(loop.cap_hits(), 2u);  // every capped drain counts
+  EXPECT_TRUE(loop.hit_event_cap());
+}
+
+TEST(EventLoop, DrainingExactlyAtTheBudgetIsNotACapHit) {
+  EventLoop loop;
+  for (int i = 0; i < 10; ++i) loop.schedule_at(ms(i), [] {});
+  EXPECT_EQ(loop.run_all(10), 10u);  // budget == work: clean drain
+  EXPECT_FALSE(loop.hit_event_cap());
+  EXPECT_EQ(loop.cap_hits(), 0u);
+}
+
+TEST(EventLoop, StaleHandleAfterExecutionIsRejected) {
+  EventLoop loop;
+  const auto id = loop.schedule_at(ms(1), [] {});
+  loop.run_all();
+  EXPECT_FALSE(loop.cancel(id));  // already ran
+  EXPECT_EQ(loop.cancelled(), 0u);
+}
+
+TEST(EventLoop, SlotReuseInvalidatesOldHandles) {
+  EventLoop loop;
+  const auto first = loop.schedule_at(ms(1), [] {});
+  EXPECT_TRUE(loop.cancel(first));
+  // LIFO free list: the next schedule reuses the slot the cancel freed.
+  const auto second = loop.schedule_at(ms(2), [] {});
+  ASSERT_EQ(second.slot, first.slot);
+  EXPECT_NE(second.generation, first.generation);
+  EXPECT_FALSE(loop.cancel(first));   // generation tag rejects the stale handle
+  EXPECT_TRUE(loop.cancel(second));   // the live tenant is still cancellable
+  EXPECT_EQ(loop.cancelled(), 2u);
+}
+
+TEST(EventLoop, SelfCancelFromInsideCallbackReturnsFalse) {
+  EventLoop loop;
+  EventLoop::EventId self{};
+  bool self_cancel = true;
+  self = loop.schedule_at(ms(1), [&] { self_cancel = loop.cancel(self); });
+  loop.run_all();
+  EXPECT_FALSE(self_cancel);  // a running event is no longer cancellable
+  EXPECT_EQ(loop.executed(), 1u);
+  EXPECT_EQ(loop.cancelled(), 0u);
+}
+
+TEST(EventLoop, OversizedCapturesFallBackToHeapAndStillRun) {
+  // 128 bytes of capture exceeds InlineCallback<64>'s buffer, forcing
+  // the heap path; behavior must be unchanged.
+  struct Big {
+    char payload[128];
+  };
+  static_assert(!EventLoop::Callback::fits_inline<Big>());
+  EventLoop loop;
+  Big big{};
+  big.payload[0] = 42;
+  char seen = 0;
+  const auto id = loop.schedule_at(ms(1), [big, &seen] { seen = big.payload[0]; });
+  loop.schedule_at(ms(2), [big, &seen] { seen += big.payload[0]; });
+  EXPECT_TRUE(loop.cancel(id));  // heap-backed callbacks cancel cleanly too
+  loop.run_all();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(EventLoop, TypicalCapturesStayInline) {
+  struct Typical {
+    void* self;
+    int a, b;
+  };
+  static_assert(EventLoop::Callback::fits_inline<Typical>());
+  static_assert(EventLoop::Callback::fits_inline<int>());
+}
+
 TEST(EventLoop, PendingCountExcludesCancelled) {
   EventLoop loop;
   auto a = loop.schedule_at(ms(1), [] {});

@@ -3,7 +3,13 @@
 // checked throughout. Seeds are fixed, so failures are reproducible.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <functional>
 #include <map>
+#include <queue>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "server/window_manager.hpp"
@@ -77,6 +83,202 @@ TEST_P(EventLoopFuzz, ReschedulingFromCallbacksTerminates) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EventLoopFuzz, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------
+// Differential fuzz: the slab engine vs a reference model of the old
+// priority_queue + unordered_map design (tombstone cancellation). The
+// two must agree on execution order, every cancel() return value, and
+// all telemetry counters under randomized schedule/cancel/run
+// interleavings — the slab rebuild changed the storage, not the
+// semantics.
+
+/// Faithful reimplementation of the pre-slab engine, kept as the
+/// executable specification of EventLoop's ordering/cancel semantics.
+class ReferenceLoop {
+ public:
+  using Callback = std::function<void()>;
+  struct EventId {
+    std::uint64_t seq = 0;
+  };
+
+  [[nodiscard]] sim::SimTime now() const { return now_; }
+
+  EventId schedule_at(sim::SimTime when, Callback cb) {
+    if (when < now_) when = now_;
+    const std::uint64_t seq = next_seq_++;
+    heap_.push(Entry{when, seq});
+    callbacks_.emplace(seq, std::move(cb));
+    max_pending_ = std::max(max_pending_, callbacks_.size());
+    return EventId{seq};
+  }
+
+  EventId schedule_after(sim::SimTime delay, Callback cb) {
+    if (delay < sim::SimTime{0}) delay = sim::SimTime{0};
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  bool cancel(EventId id) {
+    if (id.seq == 0) return false;
+    const bool erased = callbacks_.erase(id.seq) > 0;
+    cancelled_ += erased;
+    return erased;
+  }
+
+  bool step() {
+    while (!heap_.empty()) {
+      const Entry top = heap_.top();
+      heap_.pop();
+      auto it = callbacks_.find(top.seq);
+      if (it == callbacks_.end()) continue;  // cancelled: tombstone
+      Callback cb = std::move(it->second);
+      callbacks_.erase(it);
+      now_ = top.when;
+      ++executed_;
+      cb();
+      return true;
+    }
+    return false;
+  }
+
+  std::size_t run_until(sim::SimTime until) {
+    std::size_t executed = 0;
+    while (!heap_.empty()) {
+      const Entry top = heap_.top();
+      if (callbacks_.find(top.seq) == callbacks_.end()) {
+        heap_.pop();
+        continue;
+      }
+      if (top.when > until) break;
+      step();
+      ++executed;
+    }
+    if (now_ < until) now_ = until;
+    return executed;
+  }
+
+  std::size_t run_all(std::size_t max_events = 100'000'000) {
+    std::size_t executed = 0;
+    while (executed < max_events && step()) ++executed;
+    return executed;
+  }
+
+  [[nodiscard]] std::size_t pending() const { return callbacks_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+  [[nodiscard]] std::uint64_t scheduled() const { return next_seq_ - 1; }
+  [[nodiscard]] std::uint64_t cancelled() const { return cancelled_; }
+  [[nodiscard]] std::size_t max_pending() const { return max_pending_; }
+
+ private:
+  struct Entry {
+    sim::SimTime when;
+    std::uint64_t seq;
+    bool operator>(const Entry& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+  sim::SimTime now_{0};
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::size_t max_pending_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+/// Pure per-tag hash so callbacks behave identically in both engines
+/// without sharing mutable RNG state (splitmix64 finalizer).
+std::uint64_t tag_hash(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Drives one engine; two instances driven by the same op stream must
+/// produce identical logs. Tags are minted in execution order, so a
+/// chained event gets the same tag in both engines iff ordering agrees.
+template <typename Loop>
+struct DiffHarness {
+  Loop loop;
+  std::vector<typename Loop::EventId> ids;  // every handle ever minted
+  std::vector<std::pair<std::uint64_t, sim::SimTime>> log;
+  std::uint64_t next_tag = 0;
+
+  void schedule(sim::SimTime delay) {
+    const std::uint64_t tag = next_tag++;
+    ids.push_back(loop.schedule_after(delay, [this, tag] { fire(tag); }));
+  }
+
+  void fire(std::uint64_t tag) {
+    log.emplace_back(tag, loop.now());
+    const std::uint64_t h = tag_hash(tag);
+    // 1-in-8 events re-arm from inside their own callback (the periodic
+    // shape); chains die out geometrically.
+    if ((h & 7u) == 0) {
+      schedule(sim::us(static_cast<std::int64_t>((h >> 8) % 5000)));
+    }
+  }
+};
+
+class EngineDiffFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineDiffFuzz, SlabEngineMatchesReferenceSemantics) {
+  sim::Rng rng{static_cast<std::uint64_t>(GetParam()) * 7919};
+  DiffHarness<sim::EventLoop> slab;
+  DiffHarness<ReferenceLoop> ref;
+
+  for (int op = 0; op < 4000; ++op) {
+    const int kind = static_cast<int>(rng.uniform_int(0, 5));
+    switch (kind) {
+      case 0:
+      case 1:
+      case 2: {  // schedule
+        const auto delay = sim::ms(rng.uniform_int(0, 400));
+        slab.schedule(delay);
+        ref.schedule(delay);
+        break;
+      }
+      case 3: {  // cancel a handle from the whole history — live ids,
+                 // executed ids, and already-cancelled ids alike, so
+                 // stale-handle rejection (double cancel, run event,
+                 // reused slot) is exercised constantly.
+        ASSERT_EQ(slab.ids.size(), ref.ids.size());
+        if (!slab.ids.empty()) {
+          const std::size_t idx = rng.index(slab.ids.size());
+          EXPECT_EQ(slab.loop.cancel(slab.ids[idx]), ref.loop.cancel(ref.ids[idx]))
+              << "cancel disagreement at op " << op;
+        }
+        break;
+      }
+      case 4: {  // bounded time advance
+        const auto dt = sim::ms(rng.uniform_int(0, 150));
+        EXPECT_EQ(slab.loop.run_until(slab.loop.now() + dt),
+                  ref.loop.run_until(ref.loop.now() + dt));
+        break;
+      }
+      case 5: {  // bounded event-count drain
+        const auto budget = static_cast<std::size_t>(rng.uniform_int(1, 40));
+        EXPECT_EQ(slab.loop.run_all(budget), ref.loop.run_all(budget));
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(slab.loop.run_all(), ref.loop.run_all());
+
+  // Identical execution history...
+  ASSERT_EQ(slab.log.size(), ref.log.size());
+  EXPECT_EQ(slab.log, ref.log);
+  // ...and identical telemetry.
+  EXPECT_EQ(slab.loop.now(), ref.loop.now());
+  EXPECT_EQ(slab.loop.executed(), ref.loop.executed());
+  EXPECT_EQ(slab.loop.scheduled(), ref.loop.scheduled());
+  EXPECT_EQ(slab.loop.cancelled(), ref.loop.cancelled());
+  EXPECT_EQ(slab.loop.max_pending(), ref.loop.max_pending());
+  EXPECT_EQ(slab.loop.pending(), 0u);
+  EXPECT_EQ(ref.loop.pending(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineDiffFuzz, ::testing::Range(1, 13));
 
 class ActorFuzz : public ::testing::TestWithParam<int> {};
 

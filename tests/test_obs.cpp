@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -413,6 +414,29 @@ TEST(WorldTelemetry, DestructorPublishesCountersToGlobalRegistry) {
             value_of(before, "animus_windows_added_total"));
   EXPECT_GT(value_of(after, "animus_binder_transactions_total", {{"method", "addView"}}),
             value_of(before, "animus_binder_transactions_total", {{"method", "addView"}}));
+}
+
+TEST(WorldTelemetry, RunawayEventCapSurfacesAsCounter) {
+  auto& reg = obs::global_registry();
+  const auto value_of = [&reg](const char* name) {
+    const auto snap = reg.snapshot();
+    const auto* p = snap.find(name, {});
+    return p == nullptr ? 0.0 : p->value;
+  };
+  const double before = value_of("animus_event_cap_hits_total");
+  {
+    server::WorldConfig wc;
+    wc.deterministic = true;
+    server::World world{wc};
+    // Runaway self-rescheduling: run_all's guard stops it, and the cap
+    // hit must surface in the registry instead of truncating silently.
+    std::function<void()> forever = [&world, &forever] {
+      world.loop().schedule_after(sim::ms(1), forever);
+    };
+    world.loop().schedule_after(sim::ms(1), forever);
+    world.loop().run_all(500);
+  }
+  EXPECT_EQ(value_of("animus_event_cap_hits_total"), before + 1.0);
 }
 
 }  // namespace

@@ -64,6 +64,33 @@ TEST(Runner, BitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(Runner, StealingKeepsSkewedSweepBitIdentical) {
+  // Deliberately skewed trial costs — a few pathological trials are
+  // ~100x the rest, the shape of Table II's per-device binary searches.
+  // Under the old fixed-chunk cursor these serialized a worker; under
+  // work stealing idle workers drain them item by item. Either way the
+  // results must stay bitwise equal to the serial run: seeds are a pure
+  // function of the submission index, so scheduling may change only
+  // wall-clock, never output.
+  const auto body = [](int item, const TrialContext& ctx) {
+    sim::Rng rng = ctx.rng();
+    const int spins = item % 29 == 0 ? 6400 : 64;  // heavy tail
+    double acc = 0.0;
+    for (int i = 0; i < spins; ++i) acc += rng.normal(0.0, 1.0) * rng.uniform01();
+    return acc + static_cast<double>(ctx.index);
+  };
+  RunOptions serial;
+  serial.jobs = 1;
+  const auto a = sweep(items(233), body, serial);
+  ASSERT_TRUE(a.ok());
+  RunOptions stealing;
+  stealing.jobs = 8;
+  const auto b = sweep(items(233), body, stealing);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.results, b.results);  // bitwise, not approximate
+  EXPECT_EQ(b.stats.samples_ms.size(), 233u);  // per-trial samples intact
+}
+
 TEST(Runner, SeedsDependOnRootSeedOnly) {
   const auto seeds_with = [](std::uint64_t root, int jobs) {
     RunOptions opt;
