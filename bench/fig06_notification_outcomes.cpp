@@ -4,12 +4,15 @@
 // classifying what the user could see.
 //
 // Both the coarse outcome table and the 1 ms transition scan are
-// independent probes, so they fan out through runner::sweep; stdout is
-// byte-identical at any --jobs value (timing goes to stderr).
+// independent campaigns ("fig06:table" / "fig06:scan"), so they fan out
+// through runner::run_campaign — checkpointing both sweeps as sections
+// of one file — and stdout is byte-identical at any --jobs, --backend
+// or --shards value (timing goes to stderr).
 #include <cstdio>
 #include <vector>
 
 #include "core/attack_analysis.hpp"
+#include "core/trial_fields.hpp"
 #include "device/registry.hpp"
 #include "metrics/table.hpp"
 #include "percept/outcomes.hpp"
@@ -28,8 +31,8 @@ int main(int argc, char** argv) {
 
   std::vector<int> coarse;
   for (int d = 25; d <= 700; d += 25) coarse.push_back(d);
-  const auto table_sweep = runner::sweep(
-      coarse,
+  const auto table_sweep = runner::run_campaign(
+      "fig06:table", coarse,
       [&](int d, const runner::TrialContext& ctx) {
         core::OutcomeProbeConfig c;
         c.profile = dev;
@@ -37,8 +40,7 @@ int main(int argc, char** argv) {
         c.seed = ctx.seed;
         return core::run_outcome_probe(c);
       },
-      args.run);
-  runner::report("fig06:table", table_sweep);
+      args);
 
   metrics::Table table({"D (ms)", "outcome", "max pixels (of 72)", "animation max",
                         "message drawn", "icon"});
@@ -58,8 +60,8 @@ int main(int argc, char** argv) {
   // but the probes themselves run in parallel.
   std::vector<int> fine;
   for (int d = 1; d <= 900; ++d) fine.push_back(d);
-  const auto scan_sweep = runner::sweep(
-      fine,
+  const auto scan_sweep = runner::run_campaign(
+      "fig06:scan", fine,
       [&](int d, const runner::TrialContext& ctx) {
         core::OutcomeProbeConfig c;
         c.profile = dev;
@@ -68,8 +70,7 @@ int main(int argc, char** argv) {
         c.seed = ctx.seed;
         return core::run_outcome_probe(c).outcome;
       },
-      args.run);
-  runner::report("fig06:scan", scan_sweep);
+      args);
 
   runner::note(args, "\nOutcome transition points (1 ms granularity):");
   percept::LambdaOutcome last = percept::LambdaOutcome::kL1;

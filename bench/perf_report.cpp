@@ -24,6 +24,8 @@
 #include "core/report.hpp"
 #include "device/registry.hpp"
 #include "input/typist.hpp"
+#include "runner/backend.hpp"
+#include "runner/field_codec.hpp"
 #include "runner/runner.hpp"
 #include "sim/event_loop.hpp"
 
@@ -111,6 +113,35 @@ Sample bench_periodic(int n, int repeats) {
                  loop.schedule_after(sim::ms(2), tick);
                  loop.run_all();
                });
+}
+
+/// Per-trial dispatch overhead of an execution backend: a body that does
+/// almost nothing (encode one double) pushed through run_encoded, so the
+/// time measured is the backend's own cost — steal-queue handoff for
+/// threads, fork + pipe round-trips for process shards. Catches backend
+/// regressions in the same perf-smoke trend as the kernel workloads.
+Sample bench_sweep_dispatch(const char* name, const char* backend_name, int parallelism,
+                            int trials, int repeats) {
+  runner::RunOptions opts;
+  opts.jobs = parallelism;
+  std::string error;
+  const auto backend = runner::make_backend(backend_name, opts, parallelism, &error);
+  if (!backend) {
+    std::fprintf(stderr, "perf_report: %s\n", error.c_str());
+    std::exit(1);
+  }
+  std::vector<std::size_t> indices(static_cast<std::size_t>(trials));
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  const runner::EncodedBody body = [](const runner::TrialContext& ctx) {
+    return runner::TrialCodec<double>::encode(static_cast<double>(ctx.index));
+  };
+  Sample s = timed(name, "", static_cast<std::size_t>(trials), repeats, [&] {
+    const auto sweep = backend->run_encoded(indices, indices.size(), body, nullptr);
+    if (sweep.encoded.size() != indices.size()) std::exit(1);
+  });
+  s.note = std::string("near-empty trials through the ") + backend_name +
+           " backend: pure dispatch overhead";
+  return s;
 }
 
 /// Reduced Fig. 7 sweep: 30 participants x 3 windows, full Worlds, via
@@ -207,6 +238,13 @@ int main(int argc, char** argv) {
   samples.push_back(bench_schedule_run(n, repeats));
   samples.push_back(bench_schedule_cancel(n, repeats));
   samples.push_back(bench_periodic(n, repeats));
+  const int dispatch_trials = quick ? 256 : 2048;
+  samples.push_back(
+      bench_sweep_dispatch("sweep_dispatch_threads", "threads", 2, dispatch_trials, repeats));
+#if !defined(_WIN32)
+  samples.push_back(
+      bench_sweep_dispatch("sweep_dispatch_process", "process", 2, dispatch_trials, repeats));
+#endif
   samples.push_back(bench_fig07_sweep(jobs, quick));
 
   for (const Sample& s : samples) {

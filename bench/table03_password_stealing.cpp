@@ -11,12 +11,15 @@
 // (out of 300 trials per length).
 //
 // The 1500 main trials plus the per-family appendix fan out through
-// runner::sweep; each trial draws its password and world seed from its
-// root-derived TrialContext stream.
+// runner::run_campaign as the "table03" / "table03:family" sections of
+// one checkpoint; each trial draws its password and world seed from its
+// root-derived TrialContext stream, and the full PasswordTrialResult
+// rides through the field codec (checkpoint, shard pipe, --trials-out).
 #include <cstdio>
 #include <vector>
 
 #include "core/report.hpp"
+#include "core/trial_fields.hpp"
 #include "device/registry.hpp"
 #include "input/password.hpp"
 #include "input/typist.hpp"
@@ -44,8 +47,8 @@ int main(int argc, char** argv) {
     for (std::size_t p = 0; p < panel.size(); ++p)
       for (int rep = 0; rep < kPasswordsPerParticipant; ++rep) trials.push_back({len, p, rep});
 
-  const auto sw = runner::sweep(
-      trials,
+  const auto sw = runner::run_campaign(
+      "table03", trials,
       [&](const Trial& t, const runner::TrialContext& ctx) {
         core::PasswordTrialConfig c;
         c.profile = devices[t.participant % devices.size()];
@@ -54,10 +57,9 @@ int main(int argc, char** argv) {
         auto password_rng = ctx.rng().fork("password");
         c.password = input::random_password(static_cast<std::size_t>(t.length), password_rng);
         c.seed = ctx.rng().fork("world").next_u64();
-        return core::run_password_trial(c).error;
+        return core::run_password_trial(c);
       },
-      args.run);
-  runner::report("table03", sw);
+      args);
 
   runner::note(args, "=== Table III: password stealing success rates and errors ===");
   runner::note(args, "(30 participants x 10 passwords per length)\n");
@@ -71,7 +73,7 @@ int main(int argc, char** argv) {
   for (std::size_t row = 0; row < lengths.size(); ++row) {
     int ok = 0, e_len = 0, e_cap = 0, e_key = 0;
     for (int n = 0; n < per_length; ++n, ++i) {
-      const auto error = sw.results[i];
+      const auto error = sw.results[i].error;
       ok += error == core::PasswordErrorKind::kNone;
       e_len += error == core::PasswordErrorKind::kLength;
       e_cap += error == core::PasswordErrorKind::kCapitalization;
@@ -102,8 +104,8 @@ int main(int argc, char** argv) {
   for (std::size_t d = 0; d < devices.size(); ++d)
     for (int rep = 0; rep < 6; ++rep) family_trials.push_back({d, rep});
 
-  const auto fsw = runner::sweep(
-      family_trials,
+  const auto fsw = runner::run_campaign(
+      "table03:family", family_trials,
       [&](const FamilyTrial& t, const runner::TrialContext& ctx) {
         core::PasswordTrialConfig c;
         c.profile = devices[t.device];
@@ -112,10 +114,9 @@ int main(int argc, char** argv) {
         auto password_rng = ctx.rng().fork("password");
         c.password = input::random_password(8, password_rng);
         c.seed = ctx.rng().fork("world").next_u64();
-        return core::run_password_trial(c).success;
+        return core::run_password_trial(c);
       },
-      args.run);
-  runner::report("table03-appendix", fsw);
+      args);
 
   runner::note(args, "\nAppendix: length-8 success by Android version family:");
   metrics::Table by_family({"family", "trials", "success", "E[Tmis] range (ms)"});
@@ -128,7 +129,7 @@ int main(int argc, char** argv) {
       tmis_lo = std::min(tmis_lo, dev.expected_tmis_ms());
       tmis_hi = std::max(tmis_hi, dev.expected_tmis_ms());
       ++n;
-      ok += fsw.results[j];
+      ok += fsw.results[j].success;
     }
     by_family.add_row({fam, metrics::fmt("%d", n), metrics::fmt("%.1f%%", 100.0 * ok / n),
                        metrics::fmt("%.1f-%.1f", tmis_lo, tmis_hi)});

@@ -1,0 +1,47 @@
+// Field descriptors for the trial result structs.
+//
+// Declaring ANIMUS_FIELDS(Type, ...) gives a struct a TrialCodec "for
+// free": checkpoint encode/decode, cross-process transport over the
+// shard backend, and --trials-out CSV columns are all derived from this
+// one list (runner/field_codec.hpp). The descriptors live here — not in
+// the domain headers — so server/percept/core stay independent of the
+// runner layer; any bench or test that sweeps these structs includes
+// this header next to bench_cli.hpp.
+//
+// Each declaration must list every field that defines the result: a
+// field left out silently round-trips as its default, which would break
+// the backends' byte-identical-stdout contract.
+#pragma once
+
+#include "core/attack_analysis.hpp"
+#include "core/report.hpp"
+#include "percept/flicker.hpp"
+#include "runner/field_codec.hpp"
+#include "server/system_ui.hpp"
+
+namespace animus::server {
+
+ANIMUS_FIELDS(SystemUi::AlertStats, shows, dismissals, completions, max_pixels,
+              max_completeness, max_message_progress, icon_shown, visible_time)
+
+}  // namespace animus::server
+
+namespace animus::percept {
+
+ANIMUS_FIELDS(FlickerResult, min_alpha, longest_dip, dips, noticeable)
+
+}  // namespace animus::percept
+
+namespace animus::core {
+
+ANIMUS_FIELDS(OutcomeProbe, outcome, alert, cycles)
+
+ANIMUS_FIELDS(DBoundTrialResult, d_upper_ms, probes)
+
+ANIMUS_FIELDS(PasswordTrialResult, intended, decoded, error, success, triggered,
+              used_username_workaround, widget_filled, captured_touches, password_touches,
+              leaked_to_real_keyboard, alert, alert_outcome, flicker)
+
+ANIMUS_FIELDS(CaptureTrialResult, touches, captured, rate, alert, alert_outcome)
+
+}  // namespace animus::core

@@ -80,6 +80,15 @@ std::string RunManifest::to_json() const {
   out += "],\n";
   field_u64(out, "root_seed", root_seed);
   field_u64(out, "jobs", static_cast<std::uint64_t>(jobs));
+  field_str(out, "backend", backend);
+  field_u64(out, "shards", static_cast<std::uint64_t>(shards));
+  {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6f", inject_fault);
+    out += "  \"inject_fault\": ";
+    out += buf;
+    out += ",\n";
+  }
   field_bool(out, "deterministic", deterministic);
   field_bool(out, "csv", csv);
   {
@@ -106,6 +115,8 @@ std::string RunManifest::to_json() const {
   field_u64(out, "trials_total", trials_total);
   field_u64(out, "trials_resumed", trials_resumed);
   field_u64(out, "trial_errors", trial_errors);
+  field_u64(out, "errors_injected", errors_injected);
+  field_u64(out, "errors_organic", errors_organic);
   field_u64(out, "stream_lines", stream_lines);
   field_u64(out, "stream_dropped", stream_dropped);
   out += "  \"build\": {\n";
@@ -125,6 +136,9 @@ std::optional<RunManifest> RunManifest::parse(std::string_view json) {
   if (auto v = raw_value(json, "bench")) m.bench = *v;
   m.root_seed = as_u64(raw_value(json, "root_seed"));
   m.jobs = static_cast<int>(as_u64(raw_value(json, "jobs")));
+  if (auto v = raw_value(json, "backend")) m.backend = *v;
+  m.shards = static_cast<int>(as_u64(raw_value(json, "shards")));
+  m.inject_fault = as_double(raw_value(json, "inject_fault"));
   m.deterministic = raw_value(json, "deterministic").value_or("true") == "true";
   m.csv = raw_value(json, "csv").value_or("false") == "true";
   m.stream_interval_ms = as_double(raw_value(json, "stream_interval_ms"));
@@ -138,6 +152,8 @@ std::optional<RunManifest> RunManifest::parse(std::string_view json) {
   m.trials_total = as_u64(raw_value(json, "trials_total"));
   m.trials_resumed = as_u64(raw_value(json, "trials_resumed"));
   m.trial_errors = as_u64(raw_value(json, "trial_errors"));
+  m.errors_injected = as_u64(raw_value(json, "errors_injected"));
+  m.errors_organic = as_u64(raw_value(json, "errors_organic"));
   m.stream_lines = as_u64(raw_value(json, "stream_lines"));
   m.stream_dropped = as_u64(raw_value(json, "stream_dropped"));
   if (auto v = raw_value(json, "compiler")) m.compiler = *v;

@@ -36,6 +36,9 @@ struct RunManifest {
   std::vector<std::string> argv;   ///< arguments after argv[0]
   std::uint64_t root_seed = 0;
   int jobs = 0;                    ///< requested (0 = all hardware cores)
+  std::string backend = "threads"; ///< execution backend ("threads"|"process")
+  int shards = 0;                  ///< process-backend workers (0 = all cores)
+  double inject_fault = 0.0;       ///< --inject-fault rate (0 = disabled)
   bool deterministic = true;
   bool csv = false;
   double stream_interval_ms = 0.0; ///< 0 = streaming disabled
@@ -53,6 +56,8 @@ struct RunManifest {
   std::size_t trials_total = 0;    ///< across all sweeps in the run
   std::size_t trials_resumed = 0;  ///< satisfied from --resume-from
   std::size_t trial_errors = 0;
+  std::size_t errors_injected = 0; ///< errors from --inject-fault trials
+  std::size_t errors_organic = 0;  ///< everything else (incl. worker crashes)
   std::size_t stream_lines = 0;
   std::size_t stream_dropped = 0;
 

@@ -1,0 +1,60 @@
+#include "runner/backend.hpp"
+
+#include <cstdlib>
+#include <unordered_map>
+#include <utility>
+
+namespace animus::runner {
+
+EncodedSweep ThreadBackend::run_encoded(const std::vector<std::size_t>& indices,
+                                        std::size_t total, const EncodedBody& body,
+                                        const ResultSink& sink) {
+  EncodedSweep out;
+  const std::size_t count = indices.size();
+  out.encoded.resize(count);
+  out.produced.assign(count, 0);
+
+  std::unordered_map<std::size_t, std::size_t> slot_of;
+  slot_of.reserve(count);
+  for (std::size_t slot = 0; slot < count; ++slot) slot_of.emplace(indices[slot], slot);
+
+  // The existing steal-queue pool, unchanged: workers write distinct
+  // slots, so no synchronization beyond the runner's own is needed.
+  out.stats = runner_.run_subset(
+      indices, total,
+      [&](const TrialContext& ctx) {
+        std::string enc = body(ctx);
+        const std::size_t slot = slot_of.at(ctx.index);
+        if (sink) sink(ctx.index, ctx.seed, enc);
+        out.encoded[slot] = std::move(enc);
+        out.produced[slot] = 1;
+      },
+      &out.errors);
+  return out;
+}
+
+std::unique_ptr<ExecutionBackend> make_backend(std::string_view name, const RunOptions& run,
+                                               int shards, std::string* error) {
+  if (name.empty() || name == "threads" || name == "thread") {
+    return std::make_unique<ThreadBackend>(run);
+  }
+  if (name == "process" || name == "processes") {
+#if defined(_WIN32)
+    if (error) *error = "the process backend requires a POSIX platform (fork/pipes)";
+    return nullptr;
+#else
+    ProcessShardBackend::Options opts;
+    opts.shards = shards;
+    if (const char* crash = std::getenv("ANIMUS_SHARD_CRASH_TRIAL")) {
+      opts.crash_trial = std::strtoull(crash, nullptr, 10);
+    }
+    return std::make_unique<ProcessShardBackend>(run, opts);
+#endif
+  }
+  if (error) {
+    *error = "unknown backend '" + std::string(name) + "' (expected threads|process)";
+  }
+  return nullptr;
+}
+
+}  // namespace animus::runner

@@ -1,0 +1,130 @@
+// Pluggable execution backends for the parallel runner.
+//
+// `ExecutionBackend` is the seam between "what a sweep computes" and
+// "where its trials run". A backend executes a trial body for a subset
+// of submission indices and hands back every result in CODEC-ENCODED
+// form (runner/field_codec.hpp) — the one representation that survives
+// any execution boundary:
+//
+//   - `ThreadBackend` wraps `ParallelRunner`: the existing steal-queue
+//     thread pool, bit-for-bit. Trial bodies run in-process; encoded
+//     results are returned straight from worker memory.
+//   - `ProcessShardBackend` forks N worker processes. The parent feeds
+//     trial indices over a command pipe (one in flight per worker, so
+//     skewed trial costs balance dynamically) and reads encoded results
+//     back over a result pipe. A worker that dies mid-trial — SIGSEGV
+//     inside an attack World, OOM kill, anything — is reaped by the
+//     parent: the in-flight trial is recorded as a TrialError and the
+//     REST OF THE SWEEP COMPLETES on the surviving workers.
+//
+// Both backends obey the runner's determinism contract: per-trial seeds
+// are trial_seed(root, index) regardless of which worker/process runs a
+// trial, results are keyed by submission index, and errors are sorted —
+// so a campaign's stdout is byte-identical for any {backend, jobs,
+// shards} combination.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runner/runner.hpp"
+
+namespace animus::runner {
+
+/// A trial body that returns its codec-encoded result. Bodies signal
+/// failure by throwing; backends capture that as a TrialError.
+using EncodedBody = std::function<std::string(const TrialContext&)>;
+
+/// Invoked once per completed trial with its encoded result — the
+/// checkpoint-append hook. ThreadBackend calls it from worker threads
+/// (the sink must be thread-safe, as CheckpointWriter::append is);
+/// ProcessShardBackend calls it from the coordinating parent process.
+using ResultSink =
+    std::function<void(std::size_t index, std::uint64_t seed, std::string_view encoded)>;
+
+/// What a backend hands back: encoded results by subset position
+/// ("slot", i.e. the position within the `indices` argument), a
+/// produced flag per slot (false = the trial failed), errors sorted by
+/// submission index, and timing.
+struct EncodedSweep {
+  std::vector<std::string> encoded;  ///< by slot; "" when !produced[slot]
+  std::vector<char> produced;        ///< by slot; 1 = encoded[slot] is valid
+  std::vector<TrialError> errors;    ///< sorted by submission index
+  SweepStats stats;
+};
+
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  /// "threads" or "process" — recorded in run manifests.
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Worker parallelism the backend will use (threads or shard count).
+  [[nodiscard]] virtual int parallelism() const = 0;
+
+  /// Execute body(ctx) for every submission index in `indices` (a
+  /// subset of a sweep whose full size is `total`). Each ctx carries
+  /// the ORIGINAL submission identity. `sink` may be null.
+  virtual EncodedSweep run_encoded(const std::vector<std::size_t>& indices, std::size_t total,
+                                   const EncodedBody& body, const ResultSink& sink) = 0;
+};
+
+/// The existing steal-queue thread pool behind the backend interface.
+class ThreadBackend final : public ExecutionBackend {
+ public:
+  explicit ThreadBackend(RunOptions options) : runner_{std::move(options)} {}
+
+  [[nodiscard]] const char* name() const override { return "threads"; }
+  [[nodiscard]] int parallelism() const override { return runner_.jobs(); }
+
+  EncodedSweep run_encoded(const std::vector<std::size_t>& indices, std::size_t total,
+                           const EncodedBody& body, const ResultSink& sink) override;
+
+  /// Direct access for callers that do not need encoding (runner::sweep).
+  [[nodiscard]] const ParallelRunner& runner() const { return runner_; }
+
+ private:
+  ParallelRunner runner_;
+};
+
+/// Cross-process sharded backend (POSIX fork + pipes).
+class ProcessShardBackend final : public ExecutionBackend {
+ public:
+  struct Options {
+    /// Worker processes; 0 means one per hardware core.
+    int shards = 0;
+    /// Test hook: a worker that is handed this submission index kills
+    /// itself (SIGKILL) before running the trial — a deterministic
+    /// stand-in for a worker crashing mid-sweep. Read from the
+    /// ANIMUS_SHARD_CRASH_TRIAL environment variable by make_backend.
+    std::size_t crash_trial = static_cast<std::size_t>(-1);
+  };
+
+  ProcessShardBackend(RunOptions run, Options options)
+      : run_{std::move(run)}, options_{options}, shards_{resolve_jobs(options.shards)} {}
+
+  [[nodiscard]] const char* name() const override { return "process"; }
+  [[nodiscard]] int parallelism() const override { return shards_; }
+
+  EncodedSweep run_encoded(const std::vector<std::size_t>& indices, std::size_t total,
+                           const EncodedBody& body, const ResultSink& sink) override;
+
+ private:
+  RunOptions run_;
+  Options options_;
+  int shards_ = 1;
+};
+
+/// Factory for the shared --backend flag: "threads" (default) or
+/// "process". `shards` only applies to the process backend. Returns
+/// nullptr with a message in *error for an unknown name or an
+/// unsupported platform.
+std::unique_ptr<ExecutionBackend> make_backend(std::string_view name, const RunOptions& run,
+                                               int shards, std::string* error);
+
+}  // namespace animus::runner

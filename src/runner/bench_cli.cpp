@@ -36,6 +36,15 @@ struct CampaignState {
   std::size_t trials_total = 0;
   std::size_t trials_resumed = 0;
   std::size_t trial_errors = 0;
+  std::size_t errors_injected = 0;
+  std::size_t errors_organic = 0;
+  std::string backend_name = "threads";
+  int backend_parallelism = 0;
+  // Checkpoint paths this process already opened: a later campaign in
+  // the same bench appends its section instead of truncating the file.
+  std::unordered_set<std::string> checkpoints_opened;
+  // --trials-out accumulator: one CSV block per campaign, in run order.
+  std::string trials_csv;
 };
 
 CampaignState& state() {
@@ -47,13 +56,25 @@ CampaignState& state() {
   std::FILE* out = exit_code == 0 ? stdout : stderr;
   std::fprintf(
       out,
-      "usage: %s [--jobs N] [--seed S] [--csv] [--trace-out FILE]\n"
-      "          [--trace-trial N] [--metrics-out FILE] [--stream-out FILE]\n"
-      "          [--stream-interval MS] [--progress] [--checkpoint-out FILE]\n"
-      "          [--checkpoint-interval N] [--resume-from FILE] [--manifest FILE]\n"
+      "usage: %s [--jobs N] [--seed S] [--backend NAME] [--shards N]\n"
+      "          [--inject-fault RATE] [--csv] [--trials-out FILE]\n"
+      "          [--trace-out FILE] [--trace-trial N] [--metrics-out FILE]\n"
+      "          [--stream-out FILE] [--stream-interval MS] [--progress]\n"
+      "          [--checkpoint-out FILE] [--checkpoint-interval N]\n"
+      "          [--resume-from FILE] [--manifest FILE]\n"
       "  --jobs N              worker threads (0 = all hardware cores; default 0)\n"
       "  --seed S              root seed for the deterministic trial sweep\n"
+      "  --backend NAME        campaign execution backend: threads (default)\n"
+      "                        or process (forked shard workers; a crashed\n"
+      "                        worker costs one trial, not the sweep)\n"
+      "  --shards N            worker processes for --backend=process\n"
+      "                        (0 = all hardware cores)\n"
+      "  --inject-fault RATE   deterministically fail ~RATE of campaign trials\n"
+      "                        (seed-derived; injected vs organic error counts\n"
+      "                        are recorded in the run manifest)\n"
       "  --csv                 emit tables as CSV and suppress commentary\n"
+      "  --trials-out FILE     per-trial CSV, columns derived from the field\n"
+      "                        codec (label,index + one column per field)\n"
       "  --trace-out FILE      Chrome/Perfetto JSON trace of one trial\n"
       "  --trace-trial N       capture submission index N (default 0); exits 2\n"
       "                        when N is out of range for every sweep\n"
@@ -67,7 +88,7 @@ CampaignState& state() {
       "  --resume-from FILE    re-run only trials the checkpoint is missing\n"
       "  --manifest FILE       run manifest (default: next to first artifact)\n"
       "Tables print on stdout; timing and telemetry go to stderr, so\n"
-      "output is byte-identical at any --jobs value.\n",
+      "output is byte-identical at any --jobs/--backend/--shards value.\n",
       argv0);
   std::exit(exit_code);
 }
@@ -130,6 +151,15 @@ void heartbeat(const Progress& p) {
 
 }  // namespace
 
+bool fault_scheduled(std::uint64_t root_seed, double rate, std::size_t index) {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  // A dedicated substream: independent of the per-trial seeds (which
+  // feed the World), so injecting faults never perturbs the results of
+  // the trials that survive.
+  return sim::Rng{root_seed}.fork("inject-fault").fork(index).uniform01() < rate;
+}
+
 BenchArgs BenchArgs::parse(int argc, char** argv) {
   BenchArgs args;
   CampaignState& s = state();
@@ -157,8 +187,25 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       args.run.jobs = std::atoi(value("--jobs").c_str());
     } else if (arg == "--seed" || arg == "-s") {
       args.run.root_seed = std::strtoull(value("--seed").c_str(), nullptr, 0);
+    } else if (arg == "--backend") {
+      args.backend = value("--backend");
+      std::string error;
+      if (make_backend(args.backend, {}, 1, &error) == nullptr) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+        usage(argv[0], 2);
+      }
+    } else if (arg == "--shards") {
+      args.shards = std::atoi(value("--shards").c_str());
+    } else if (arg == "--inject-fault") {
+      args.inject_fault = std::strtod(value("--inject-fault").c_str(), nullptr);
+      if (args.inject_fault < 0.0 || args.inject_fault > 1.0) {
+        std::fprintf(stderr, "%s: --inject-fault must be in [0, 1]\n", argv[0]);
+        usage(argv[0], 2);
+      }
     } else if (arg == "--csv") {
       args.csv = true;
+    } else if (arg == "--trials-out") {
+      args.trials_out = value("--trials-out");
     } else if (arg == "--trace-out") {
       args.trace_out = value("--trace-out");
     } else if (arg == "--trace-trial") {
@@ -193,7 +240,17 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       usage(argv[0], 2);
     }
   }
+  const bool process_backend =
+      args.backend == "process" || args.backend == "processes";
   if (!args.trace_out.empty()) {
+    if (process_backend) {
+      // Trial bodies run in forked workers whose memory never returns to
+      // the parent, so the capture cannot see the representative trial.
+      std::fprintf(stderr,
+                   "%s: --trace-out cannot capture under --backend=process; "
+                   "use --backend=threads for tracing\n",
+                   argv[0]);
+    }
     obs::trace_capture().arm(args.trace_trial);
   } else if (s.trace_trial_explicit) {
     std::fprintf(stderr, "%s: --trace-trial has no effect without --trace-out\n", argv[0]);
@@ -253,6 +310,7 @@ CampaignPlan prepare_campaign(const char* label, std::size_t total, const BenchA
   header.root_seed = args.run.root_seed;
   header.deterministic = args.run.deterministic;
 
+  std::string last_header_label;  // of the resumed file, when in place
   if (!args.resume_from.empty()) {
     std::string error;
     auto data = load_checkpoint(args.resume_from, &error);
@@ -260,13 +318,20 @@ CampaignPlan prepare_campaign(const char* label, std::size_t total, const BenchA
       std::fprintf(stderr, "[%s] --resume-from: %s\n", label, error.c_str());
       std::exit(2);
     }
-    const std::string mismatch = checkpoint_mismatch(*data, header);
+    const CheckpointData::Section* section = data->section(label);
+    if (section == nullptr) {
+      std::fprintf(stderr, "[%s] --resume-from %s: no checkpoint section for label '%s'\n",
+                   label, args.resume_from.c_str(), label);
+      std::exit(2);
+    }
+    const std::string mismatch = checkpoint_mismatch(*section, header);
     if (!mismatch.empty()) {
       std::fprintf(stderr, "[%s] --resume-from %s: %s\n", label, args.resume_from.c_str(),
                    mismatch.c_str());
       std::exit(2);
     }
-    plan.resumed = std::move(data->trials);
+    plan.resumed = section->trials;
+    last_header_label = data->last_header_label;
   }
 
   std::unordered_set<std::size_t> have;
@@ -277,28 +342,51 @@ CampaignPlan prepare_campaign(const char* label, std::size_t total, const BenchA
     if (have.find(i) == have.end()) plan.missing.push_back(i);
   }
 
+  CampaignState& s = state();
   if (!args.checkpoint_out.empty()) {
-    // Continuing in place appends to the resumed file; a fresh path gets
-    // a header plus a re-append of every resumed trial, so the new file
-    // is itself a complete checkpoint.
+    // Mode selection: continuing the resumed file in place appends (and
+    // skips even the header when our section is already the file's
+    // open tail); a path this process already wrote gets an additional
+    // section; a fresh path is truncated and seeded with a re-append of
+    // every resumed trial, so the new file is itself complete.
     const bool in_place = args.checkpoint_out == args.resume_from;
+    const bool reopened = s.checkpoints_opened.count(args.checkpoint_out) > 0;
+    CheckpointWriter::Mode mode = CheckpointWriter::Mode::kTruncate;
+    if (in_place) {
+      mode = (!reopened && last_header_label == label) ? CheckpointWriter::Mode::kAppend
+                                                       : CheckpointWriter::Mode::kAppendHeader;
+    } else if (reopened) {
+      mode = CheckpointWriter::Mode::kAppendHeader;
+    }
     plan.writer = std::make_shared<CheckpointWriter>(args.checkpoint_out, header,
-                                                     args.checkpoint_interval, in_place);
+                                                     args.checkpoint_interval, mode);
     if (!plan.writer->ok()) {
       std::fprintf(stderr, "[%s] cannot open --checkpoint-out %s\n", label,
                    args.checkpoint_out.c_str());
       std::exit(2);
     }
+    s.checkpoints_opened.insert(args.checkpoint_out);
     if (!in_place) {
       for (const auto& t : plan.resumed) plan.writer->append(t.index, t.seed, t.result);
     }
   }
 
-  if (auto* streamer = state().streamer.get()) {
-    char fields[192];
+  std::string backend_error;
+  plan.backend = make_backend(args.backend, args.run, args.shards, &backend_error);
+  if (plan.backend == nullptr) {
+    std::fprintf(stderr, "[%s] --backend: %s\n", label, backend_error.c_str());
+    std::exit(2);
+  }
+  s.backend_name = plan.backend->name();
+  s.backend_parallelism = plan.backend->parallelism();
+
+  if (auto* streamer = s.streamer.get()) {
+    char fields[256];
     std::snprintf(fields, sizeof(fields),
-                  "\"label\":\"%s\",\"total\":%zu,\"resumed\":%zu,\"to_run\":%zu", label,
-                  total, plan.resumed.size(), plan.missing.size());
+                  "\"label\":\"%s\",\"total\":%zu,\"resumed\":%zu,\"to_run\":%zu,"
+                  "\"backend\":\"%s\"",
+                  label, total, plan.resumed.size(), plan.missing.size(),
+                  plan.backend->name());
     streamer->emit("campaign_start", fields);
   }
   return plan;
@@ -312,6 +400,14 @@ void finish_campaign(const char* label, const CampaignPlan& plan, const SweepSta
   s.trials_total += total;
   s.trials_resumed += plan.resumed.size();
   s.trial_errors += errors.size();
+  std::size_t injected = 0;
+  for (const auto& e : errors) injected += e.what == kInjectedFaultWhat ? 1 : 0;
+  s.errors_injected += injected;
+  s.errors_organic += errors.size() - injected;
+  if (injected > 0) {
+    std::fprintf(stderr, "[%s] %zu of %zu errors were injected (--inject-fault)\n", label,
+                 injected, errors.size());
+  }
   if (!plan.resumed.empty()) {
     std::fprintf(stderr, "[%s] resumed %zu/%zu trials from checkpoint; re-ran %zu\n", label,
                  plan.resumed.size(), total, plan.missing.size());
@@ -334,11 +430,12 @@ void finish_campaign(const char* label, const CampaignPlan& plan, const SweepSta
   }
 }
 
-void resume_decode_failed(const char* label, std::size_t index) {
-  std::fprintf(stderr, "[%s] --resume-from: cannot decode result of trial %zu\n", label,
-               index);
+void campaign_decode_failed(const char* label, std::size_t index, const char* source) {
+  std::fprintf(stderr, "[%s] %s: cannot decode result of trial %zu\n", label, source, index);
   std::exit(2);
 }
+
+void append_trials_csv(std::string&& block) { state().trials_csv += block; }
 
 }  // namespace detail
 
@@ -377,6 +474,14 @@ void finish(const BenchArgs& args) {
                    args.metrics_out.c_str());
     }
   }
+  if (!args.trials_out.empty()) {
+    if (write_file(args.trials_out, s.trials_csv)) {
+      std::fprintf(stderr, "[bench] per-trial CSV written to %s\n", args.trials_out.c_str());
+    } else {
+      std::fprintf(stderr, "[bench] failed to write per-trial CSV to %s\n",
+                   args.trials_out.c_str());
+    }
+  }
   std::size_t stream_lines = 0;
   std::size_t stream_dropped = 0;
   if (s.streamer) {
@@ -392,7 +497,8 @@ void finish(const BenchArgs& args) {
   std::string manifest_path = args.manifest_out;
   if (manifest_path.empty()) {
     for (const std::string* artifact :
-         {&args.metrics_out, &args.trace_out, &args.stream_out, &args.checkpoint_out}) {
+         {&args.metrics_out, &args.trace_out, &args.stream_out, &args.checkpoint_out,
+          &args.trials_out}) {
       if (!artifact->empty()) {
         manifest_path = obs::RunManifest::path_for(*artifact);
         break;
@@ -405,6 +511,9 @@ void finish(const BenchArgs& args) {
     m.argv = s.argv_tail;
     m.root_seed = args.run.root_seed;
     m.jobs = args.run.jobs;
+    m.backend = s.backend_name;
+    m.shards = args.shards;
+    m.inject_fault = args.inject_fault;
     m.deterministic = args.run.deterministic;
     m.csv = args.csv;
     m.stream_interval_ms = args.stream_out.empty() ? 0.0 : args.stream_interval_ms;
@@ -418,6 +527,8 @@ void finish(const BenchArgs& args) {
     m.trials_total = s.trials_total;
     m.trials_resumed = s.trials_resumed;
     m.trial_errors = s.trial_errors;
+    m.errors_injected = s.errors_injected;
+    m.errors_organic = s.errors_organic;
     m.stream_lines = stream_lines;
     m.stream_dropped = stream_dropped;
     m.compiler = obs::build_compiler_id();

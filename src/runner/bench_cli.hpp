@@ -5,7 +5,19 @@
 //
 //   --jobs N              worker threads for runner::sweep (0 = all cores)
 //   --seed S              root seed the per-trial seeds are split from
+//   --backend NAME        execution backend for campaigns: `threads`
+//                         (default; in-process steal-queue pool) or
+//                         `process` (fork N shard workers; a crashed
+//                         worker costs one trial, not the sweep)
+//   --shards N            worker processes for --backend=process
+//                         (0 = all hardware cores)
+//   --inject-fault RATE   deterministically fail ~RATE of campaign
+//                         trials (seed-derived set; exercises the error
+//                         path; injected vs organic counts land in the
+//                         run manifest)
 //   --csv                 emit tables as CSV on stdout, suppress commentary
+//   --trials-out FILE     per-trial CSV: label,index + one column per
+//                         result field (derived from the field codec)
 //   --trace-out FILE      write the Chrome/Perfetto span trace of one
 //                         representative trial (submission index 0)
 //   --trace-trial N       capture submission index N instead of 0; errors
@@ -29,22 +41,30 @@
 //
 // Tables and commentary go to stdout; throughput reports, latency
 // percentiles, heartbeats and captured trial errors go to stderr, so
-// `--jobs 1` and `--jobs 8` runs produce byte-identical stdout (the
-// determinism contract) while telemetry stays visible on the terminal.
+// `--jobs 1`, `--jobs 8` and `--backend=process --shards 4` runs
+// produce byte-identical stdout (the determinism contract) while
+// telemetry stays visible on the terminal.
 //
-// Checkpoint/resume rides on `run_campaign`, the checkpoint-aware form
-// of runner::sweep for benches whose trial results have a TrialCodec.
+// Checkpoint/resume rides on `run_campaign`, the backend- and
+// checkpoint-aware form of runner::sweep for benches whose trial
+// results have a TrialCodec (i.e. scalars, or structs declared with
+// ANIMUS_FIELDS). A campaign's trial bodies always produce
+// codec-encoded results — that one representation feeds the execution
+// backend (runner/backend.hpp), the checkpoint file, --trials-out rows
+// and the in-memory result vector alike.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "metrics/table.hpp"
+#include "runner/backend.hpp"
 #include "runner/checkpoint.hpp"
 #include "runner/runner.hpp"
 
@@ -52,8 +72,12 @@ namespace animus::runner {
 
 struct BenchArgs {
   RunOptions run;           ///< jobs + root_seed feed runner::sweep directly
+  std::string backend;      ///< "" or "threads" or "process"
+  int shards = 0;           ///< process-backend worker count (0 = all cores)
+  double inject_fault = 0.0;         ///< fraction of trials to fail (0..1)
   bool csv = false;         ///< CSV tables on stdout, commentary suppressed
   bool progress = false;    ///< stderr heartbeat even without --stream-out
+  std::string trials_out;   ///< per-trial CSV destination ("" = disabled)
   std::string trace_out;    ///< span-trace destination ("" = disabled)
   std::size_t trace_trial = 0;       ///< submission index --trace-out captures
   std::string metrics_out;  ///< metrics-snapshot destination ("" = disabled)
@@ -72,6 +96,16 @@ struct BenchArgs {
   static BenchArgs parse(int argc, char** argv);
 };
 
+/// Exception message carried by every --inject-fault failure; the
+/// manifest's injected-vs-organic split keys on it.
+inline constexpr const char* kInjectedFaultWhat = "injected fault (--inject-fault)";
+
+/// True when --inject-fault=`rate` fails submission index `index` under
+/// `root_seed`. A pure function of its arguments (the fault set is a
+/// seed-derived substream, independent of backend/jobs/shards), so
+/// tests and the manifest accounting can reproduce the schedule.
+bool fault_scheduled(std::uint64_t root_seed, double rate, std::size_t index);
+
 /// Print a table to stdout honoring --csv.
 void emit(const metrics::Table& table, const BenchArgs& args);
 
@@ -89,22 +123,24 @@ void report(const char* label, const SweepResult<R>& sweep) {
   report(label, sweep.stats, sweep.errors);
 }
 
-/// Write --trace-out / --metrics-out / manifest files and close the
-/// telemetry stream, if requested. Call once at the end of main(); safe
-/// no-op when no artifact flag was given. Reports destinations (or I/O
-/// failures) on stderr. Exits 2 when --trace-trial was out of range for
-/// every sweep the process ran.
+/// Write --trace-out / --metrics-out / --trials-out / manifest files and
+/// close the telemetry stream, if requested. Call once at the end of
+/// main(); safe no-op when no artifact flag was given. Reports
+/// destinations (or I/O failures) on stderr. Exits 2 when --trace-trial
+/// was out of range for every sweep the process ran.
 void finish(const BenchArgs& args);
 
 namespace detail {
 
-/// Resume/checkpoint plan for one campaign sweep (non-template half of
-/// run_campaign; prepared in bench_cli.cpp). Exits 2 with a clear
-/// message on an unreadable or mismatched --resume-from file.
+/// Resume/checkpoint/backend plan for one campaign sweep (the
+/// non-template half of run_campaign; prepared in bench_cli.cpp).
+/// Exits 2 with a clear message on an unreadable or mismatched
+/// --resume-from file or an unknown --backend.
 struct CampaignPlan {
   std::vector<std::size_t> missing;           ///< submission indices to run
   std::vector<CheckpointData::Trial> resumed; ///< encoded completed trials
   std::shared_ptr<CheckpointWriter> writer;   ///< null when not checkpointing
+  std::shared_ptr<ExecutionBackend> backend;  ///< never null
 };
 
 CampaignPlan prepare_campaign(const char* label, std::size_t total, const BenchArgs& args);
@@ -113,16 +149,23 @@ CampaignPlan prepare_campaign(const char* label, std::size_t total, const BenchA
 void finish_campaign(const char* label, const CampaignPlan& plan, const SweepStats& stats,
                      const std::vector<TrialError>& errors);
 
-[[noreturn]] void resume_decode_failed(const char* label, std::size_t index);
+[[noreturn]] void campaign_decode_failed(const char* label, std::size_t index,
+                                         const char* source);
+
+/// Accumulate one campaign's per-trial CSV block for --trials-out
+/// (written once by finish()).
+void append_trials_csv(std::string&& block);
 
 }  // namespace detail
 
-/// Checkpoint-aware runner::sweep: behaves exactly like
+/// Backend- and checkpoint-aware runner::sweep: behaves exactly like
 /// `sweep(items, fn, args.run)` — results in submission order,
-/// byte-identical at any --jobs — but honors --checkpoint-out /
-/// --resume-from and reports the sweep under `label` (subsuming the
-/// separate report() call). Requires TrialCodec<R> so results survive
-/// the round-trip through the checkpoint file exactly.
+/// byte-identical stdout for any {--backend, --jobs, --shards} — but
+/// honors --backend / --checkpoint-out / --resume-from /
+/// --inject-fault / --trials-out and reports the sweep under `label`
+/// (subsuming the separate report() call). Requires TrialCodec<R> so
+/// results survive the round-trip through the execution boundary and
+/// the checkpoint file exactly.
 template <typename Items, typename Fn>
 auto run_campaign(const char* label, const Items& items, Fn&& fn, const BenchArgs& args)
     -> SweepResult<
@@ -136,21 +179,64 @@ auto run_campaign(const char* label, const Items& items, Fn&& fn, const BenchArg
   detail::CampaignPlan plan = detail::prepare_campaign(label, total, args);
   for (const auto& t : plan.resumed) {
     R value{};
-    if (!Codec::decode(t.result, &value)) detail::resume_decode_failed(label, t.index);
+    if (!Codec::decode(t.result, &value)) {
+      detail::campaign_decode_failed(label, t.index, "--resume-from");
+    }
     out.results[t.index] = value;
   }
 
-  const ParallelRunner pool{args.run};
-  out.stats = pool.run_subset(
-      plan.missing, total,
-      [&](const TrialContext& ctx) {
-        R value = fn(items[ctx.index], ctx);
-        if (plan.writer) plan.writer->append(ctx.index, ctx.seed, Codec::encode(value));
-        out.results[ctx.index] = std::move(value);
-      },
-      &out.errors);
+  // Every trial produces its codec-encoded result: the one
+  // representation that crosses any execution boundary (thread pool or
+  // worker-process pipe) and feeds the checkpoint sink unchanged.
+  const std::uint64_t fault_root = args.run.root_seed;
+  const double fault_rate = args.inject_fault;
+  const EncodedBody body = [&](const TrialContext& ctx) -> std::string {
+    if (fault_scheduled(fault_root, fault_rate, ctx.index)) {
+      throw std::runtime_error(kInjectedFaultWhat);
+    }
+    return Codec::encode(fn(items[ctx.index], ctx));
+  };
+  ResultSink sink;
+  if (plan.writer) {
+    sink = [&](std::size_t index, std::uint64_t seed, std::string_view encoded) {
+      plan.writer->append(index, seed, encoded);
+    };
+  }
+
+  EncodedSweep ran = plan.backend->run_encoded(plan.missing, total, body, sink);
+  for (std::size_t slot = 0; slot < plan.missing.size(); ++slot) {
+    if (!ran.produced[slot]) continue;  // failed trial: default R stays
+    R value{};
+    if (!Codec::decode(ran.encoded[slot], &value)) {
+      detail::campaign_decode_failed(label, plan.missing[slot], "backend");
+    }
+    out.results[plan.missing[slot]] = std::move(value);
+  }
+  out.errors = std::move(ran.errors);
+  out.stats = std::move(ran.stats);
+
   if (plan.writer) plan.writer->close();
   detail::finish_campaign(label, plan, out.stats, out.errors);
+
+  if (!args.trials_out.empty()) {
+    // Columns come straight from the field descriptors (nested structs
+    // flattened to dotted names), so every bench's per-trial export is
+    // derived, not hand-rolled.
+    std::string block = "# ";
+    block += label;
+    block += "\nlabel,index,";
+    block += csv_header<R>();
+    block += '\n';
+    for (std::size_t i = 0; i < total; ++i) {
+      block += label;
+      block += ',';
+      block += std::to_string(i);
+      block += ',';
+      block += csv_row(out.results[i]);
+      block += '\n';
+    }
+    detail::append_trials_csv(std::move(block));
+  }
   return out;
 }
 

@@ -47,15 +47,32 @@ std::optional<std::string> raw_value(std::string_view line, std::string_view key
   return out;
 }
 
+void sort_dedup(std::vector<CheckpointData::Trial>* trials) {
+  // Sort by index; on duplicates (a re-run overlapping an earlier file)
+  // the later write wins. stable_sort keeps file order within an index.
+  std::stable_sort(trials->begin(), trials->end(),
+                   [](const auto& a, const auto& b) { return a.index < b.index; });
+  std::vector<CheckpointData::Trial> dedup;
+  dedup.reserve(trials->size());
+  for (auto& t : *trials) {
+    if (!dedup.empty() && dedup.back().index == t.index) {
+      dedup.back() = std::move(t);
+    } else {
+      dedup.push_back(std::move(t));
+    }
+  }
+  *trials = std::move(dedup);
+}
+
 }  // namespace
 
 CheckpointWriter::CheckpointWriter(std::string path, const CheckpointHeader& header,
-                                   std::size_t flush_interval, bool append)
+                                   std::size_t flush_interval, Mode mode)
     : path_(std::move(path)), flush_interval_(std::max<std::size_t>(flush_interval, 1)) {
-  file_ = std::fopen(path_.c_str(), append ? "ab" : "wb");
+  file_ = std::fopen(path_.c_str(), mode == Mode::kTruncate ? "wb" : "ab");
   if (file_ == nullptr) return;
   ok_ = true;
-  if (!append) {
+  if (mode != Mode::kAppend) {
     const std::string line = header_line(header);
     if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) ok_ = false;
     std::fflush(file_);
@@ -98,6 +115,16 @@ std::size_t CheckpointWriter::appended() const {
   return appended_;
 }
 
+const CheckpointData::Section* CheckpointData::section(std::string_view label) const {
+  for (const auto& s : sections) {
+    if (s.header.label == label) return &s;
+  }
+  // Label is informational for single-sweep files: an unmatched needle
+  // still resumes when there is no ambiguity about which sweep it is.
+  if (sections.size() == 1) return &sections.front();
+  return nullptr;
+}
+
 std::optional<CheckpointData> load_checkpoint(const std::string& path, std::string* error) {
   std::ifstream in(path);
   if (!in) {
@@ -105,8 +132,8 @@ std::optional<CheckpointData> load_checkpoint(const std::string& path, std::stri
     return std::nullopt;
   }
   CheckpointData data;
+  CheckpointData::Section* current = nullptr;
   std::string line;
-  bool have_header = false;
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
@@ -120,20 +147,25 @@ std::optional<CheckpointData> load_checkpoint(const std::string& path, std::stri
       return std::nullopt;
     }
     if (*kind == "header") {
-      if (have_header) {
-        if (error) *error = "duplicate header at line " + std::to_string(lineno);
-        return std::nullopt;
-      }
-      have_header = true;
-      data.header.version =
-          static_cast<int>(std::strtol(raw_value(line, "version").value_or("1").c_str(),
-                                       nullptr, 10));
-      data.header.label = raw_value(line, "label").value_or("");
-      data.header.total = std::strtoull(raw_value(line, "total").value_or("0").c_str(),
-                                        nullptr, 10);
-      data.header.root_seed =
+      CheckpointHeader h;
+      h.version = static_cast<int>(
+          std::strtol(raw_value(line, "version").value_or("1").c_str(), nullptr, 10));
+      h.label = raw_value(line, "label").value_or("");
+      h.total = std::strtoull(raw_value(line, "total").value_or("0").c_str(), nullptr, 10);
+      h.root_seed =
           std::strtoull(raw_value(line, "root_seed").value_or("0").c_str(), nullptr, 10);
-      data.header.deterministic = raw_value(line, "deterministic").value_or("true") == "true";
+      h.deterministic = raw_value(line, "deterministic").value_or("true") == "true";
+      data.last_header_label = h.label;
+      // A repeated label re-opens its section (an in-place resume
+      // appends a fresh header before continuing a sweep).
+      current = nullptr;
+      for (auto& s : data.sections) {
+        if (s.header.label == h.label) current = &s;
+      }
+      if (current == nullptr) {
+        data.sections.push_back({std::move(h), {}});
+        current = &data.sections.back();
+      }
       continue;
     }
     if (*kind != "trial") continue;  // forward compatibility: skip unknown kinds
@@ -145,36 +177,28 @@ std::optional<CheckpointData> load_checkpoint(const std::string& path, std::stri
       if (error) *error = "malformed trial at line " + std::to_string(lineno);
       return std::nullopt;
     }
+    if (current == nullptr) {
+      if (error) *error = "trial before any header at line " + std::to_string(lineno);
+      return std::nullopt;
+    }
     CheckpointData::Trial t;
     t.index = std::strtoull(index->c_str(), nullptr, 10);
     t.seed = std::strtoull(seed->c_str(), nullptr, 10);
     t.result = *result;
-    data.trials.push_back(std::move(t));
+    current->trials.push_back(std::move(t));
   }
-  if (!have_header) {
+  if (data.sections.empty()) {
     if (error) *error = "checkpoint '" + path + "' has no header line";
     return std::nullopt;
   }
-  // Sort by index; on duplicates (a re-run overlapping an earlier file)
-  // the later write wins. stable_sort keeps file order within an index.
-  std::stable_sort(data.trials.begin(), data.trials.end(),
-                   [](const auto& a, const auto& b) { return a.index < b.index; });
-  std::vector<CheckpointData::Trial> dedup;
-  dedup.reserve(data.trials.size());
-  for (auto& t : data.trials) {
-    if (!dedup.empty() && dedup.back().index == t.index) {
-      dedup.back() = std::move(t);
-    } else {
-      dedup.push_back(std::move(t));
-    }
-  }
-  data.trials = std::move(dedup);
+  for (auto& s : data.sections) sort_dedup(&s.trials);
   if (error) error->clear();
   return data;
 }
 
-std::string checkpoint_mismatch(const CheckpointData& data, const CheckpointHeader& expect) {
-  const CheckpointHeader& h = data.header;
+std::string checkpoint_mismatch(const CheckpointData::Section& section,
+                                const CheckpointHeader& expect) {
+  const CheckpointHeader& h = section.header;
   if (h.root_seed != expect.root_seed) {
     return "root seed mismatch (checkpoint " + std::to_string(h.root_seed) + ", run " +
            std::to_string(expect.root_seed) + ")";
@@ -188,7 +212,7 @@ std::string checkpoint_mismatch(const CheckpointData& data, const CheckpointHead
            (h.deterministic ? "deterministic" : "live") + ", run " +
            (expect.deterministic ? "deterministic" : "live") + ")";
   }
-  for (const auto& t : data.trials) {
+  for (const auto& t : section.trials) {
     if (t.index >= expect.total) {
       return "trial index " + std::to_string(t.index) + " out of range for total " +
              std::to_string(expect.total);

@@ -1,26 +1,33 @@
 // Sweep checkpoint/resume for long campaigns.
 //
-// A checkpoint is an append-only JSONL file: one header line recording
-// the sweep identity (root seed, trial count, determinism mode), then
-// one line per *completed* trial carrying its submission index, derived
-// seed and encoded result:
+// A checkpoint is an append-only JSONL file: a header line recording a
+// sweep's identity (label, root seed, trial count, determinism mode),
+// then one line per *completed* trial carrying its submission index,
+// derived seed and codec-encoded result:
 //
 //   {"kind":"header","version":1,"label":"fig07","total":210,
 //    "root_seed":71829455837523,"deterministic":true}
 //   {"kind":"trial","index":12,"seed":9937...,"result":"86.0"}
 //
+// A file may hold several such SECTIONS — one per sweep label — so a
+// bench that runs more than one campaign (fig06's outcome table + 1 ms
+// scan, table03's main grid + family appendix) checkpoints every sweep
+// into a single file; each header starts (or re-opens) the section for
+// its label, and the trials that follow belong to it.
+//
 // The writer flushes at interval boundaries (every N appended trials)
 // and on close, so a campaign killed mid-flight loses at most the last
 // interval. The loader tolerates a torn final line — exactly what a
-// kill leaves behind — but rejects a header that does not match the
-// resuming sweep's options (different seed/total means the results are
-// not interchangeable).
+// kill leaves behind — but a resume rejects a section whose header does
+// not match the resuming sweep's options (different seed/total means
+// the results are not interchangeable).
 //
 // Resuming re-runs only the missing submission indices; because every
 // trial's seed is a pure function of (root seed, index), the merged
 // result vector is byte-identical to an uninterrupted run at any
-// --jobs value, provided the result codec round-trips exactly
-// (TrialCodec<double> uses %.17g for that reason).
+// --jobs value and on any execution backend, provided the result codec
+// round-trips exactly — which is what the field-descriptor codec
+// (runner/field_codec.hpp) guarantees.
 #pragma once
 
 #include <cstdint>
@@ -33,11 +40,13 @@
 #include <utility>
 #include <vector>
 
+#include "runner/field_codec.hpp"  // TrialCodec<R>, used by every campaign
+
 namespace animus::runner {
 
 struct CheckpointHeader {
   int version = 1;
-  std::string label;          ///< bench label, informational
+  std::string label;          ///< sweep label; keys the section in the file
   std::size_t total = 0;      ///< submission count of the sweep
   std::uint64_t root_seed = 0;
   bool deterministic = true;
@@ -47,12 +56,16 @@ struct CheckpointHeader {
 /// and are reported once by the caller at close.
 class CheckpointWriter {
  public:
-  /// Truncates `path` and writes the header. `flush_interval` is the
-  /// number of appended trials between fflush barriers (>= 1).
-  /// With `append` true the file is opened for append and no header is
-  /// written (continuing an existing checkpoint in place).
+  enum class Mode {
+    kTruncate,       ///< fresh file: truncate, write the header
+    kAppend,         ///< continue the file's current section in place
+    kAppendHeader,   ///< append a new section header, then trials
+  };
+
+  /// `flush_interval` is the number of appended trials between fflush
+  /// barriers (>= 1).
   CheckpointWriter(std::string path, const CheckpointHeader& header,
-                   std::size_t flush_interval, bool append = false);
+                   std::size_t flush_interval, Mode mode = Mode::kTruncate);
   ~CheckpointWriter();
 
   CheckpointWriter(const CheckpointWriter&) = delete;
@@ -79,16 +92,30 @@ class CheckpointWriter {
   bool ok_ = false;
 };
 
-/// A loaded checkpoint: the header plus (index, encoded result, seed)
-/// for every completed trial, deduplicated (last write wins).
+/// A loaded checkpoint: one section per sweep label, each holding the
+/// header plus (index, seed, encoded result) for every completed trial,
+/// deduplicated (last write wins).
 struct CheckpointData {
-  CheckpointHeader header;
   struct Trial {
     std::size_t index = 0;
     std::uint64_t seed = 0;
     std::string result;  ///< encoded, as written
   };
-  std::vector<Trial> trials;  ///< sorted by index
+  struct Section {
+    CheckpointHeader header;
+    std::vector<Trial> trials;  ///< sorted by index
+  };
+  std::vector<Section> sections;     ///< in first-seen file order
+  std::string last_header_label;     ///< label of the file's final header line
+
+  /// The section for `label`, or nullptr. An empty needle with exactly
+  /// one section returns that section (label is informational for
+  /// single-sweep files).
+  [[nodiscard]] const Section* section(std::string_view label) const;
+
+  /// Single-sweep conveniences: the first section.
+  [[nodiscard]] const CheckpointHeader& header() const { return sections.front().header; }
+  [[nodiscard]] const std::vector<Trial>& trials() const { return sections.front().trials; }
 };
 
 /// Load `path`. A torn trailing line (the signature of a kill mid-write)
@@ -96,42 +123,9 @@ struct CheckpointData {
 /// interior line fails with a message in *error.
 std::optional<CheckpointData> load_checkpoint(const std::string& path, std::string* error);
 
-/// "" when `data` can seed a resume of a sweep with this identity;
+/// "" when `section` can seed a resume of a sweep with this identity;
 /// otherwise a human-readable mismatch description (seed, total, mode).
-std::string checkpoint_mismatch(const CheckpointData& data, const CheckpointHeader& expect);
-
-// ---------------------------------------------------------------------
-// Result codecs: exact, line-safe round-trip encodings for the result
-// types the campaign benches produce. Specialize for new result types.
-// ---------------------------------------------------------------------
-
-template <typename R>
-struct TrialCodec;  // no primary definition: specialize per result type
-
-template <>
-struct TrialCodec<double> {
-  static std::string encode(double v) {
-    char buf[48];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);  // exact round-trip
-    return buf;
-  }
-  static bool decode(std::string_view s, double* out) {
-    char* end = nullptr;
-    const std::string tmp(s);
-    *out = std::strtod(tmp.c_str(), &end);
-    return end == tmp.c_str() + tmp.size() && !tmp.empty();
-  }
-};
-
-template <>
-struct TrialCodec<int> {
-  static std::string encode(int v) { return std::to_string(v); }
-  static bool decode(std::string_view s, int* out) {
-    char* end = nullptr;
-    const std::string tmp(s);
-    *out = static_cast<int>(std::strtol(tmp.c_str(), &end, 10));
-    return end == tmp.c_str() + tmp.size() && !tmp.empty();
-  }
-};
+std::string checkpoint_mismatch(const CheckpointData::Section& section,
+                                const CheckpointHeader& expect);
 
 }  // namespace animus::runner

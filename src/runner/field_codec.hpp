@@ -1,0 +1,484 @@
+// Field-descriptor mini-reflection for trial result types.
+//
+// One declaration next to a result struct,
+//
+//   struct DBoundTrialResult { int d_upper_ms = 0; int probes = 0; };
+//   ANIMUS_FIELDS(DBoundTrialResult, d_upper_ms, probes)
+//
+// derives everything the runner stack needs to move that struct across
+// a serialization boundary, instead of a hand-written codec per type:
+//
+//   - TrialCodec<T>::encode/decode — the exact, line-safe round-trip
+//     used by checkpoint files and by the cross-process sharded backend
+//     (results travel over a pipe as encoded text);
+//   - csv_header<T>() / csv_row(v) — per-trial CSV emission in
+//     runner::bench_cli (--trials-out), nested structs flattened to
+//     dotted column names ("alert.max_pixels");
+//   - field-by-field visitation (for_each_field) for anything else that
+//     wants the layout (manifest JSON, future diff tooling).
+//
+// Supported field types: bool, integral, enum (encoded by underlying
+// value), float/double (exact: %.17g for finite values, explicit
+// nan/-nan/inf/-inf tokens for the non-finite ones strtod round-trips
+// inconsistently across libcs), std::string (escaped), any
+// std::chrono::duration (encoded by tick count), and nested structs
+// that carry their own ANIMUS_FIELDS declaration.
+//
+// The encoding is a single line of `name=value` pairs separated by ';',
+// nested structs wrapped in braces:
+//
+//   d_upper_ms=412;probes=11
+//   outcome=1;alert={shows=3;max_pixels=72;...};cycles=20
+//
+// Decoding matches pairs by NAME, not position: unknown names are
+// ignored and missing names keep their default-constructed value, so a
+// checkpoint written before a field was added still resumes. Decode
+// returns false on a syntax error or when a matched value fails to
+// parse — the caller treats the checkpoint as corrupt.
+//
+// This header is dependency-free (standard library only) so result
+// structs anywhere in the tree — src/core, src/server, benches — can
+// declare their fields without creating a link edge to the runner.
+#pragma once
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <type_traits>
+
+namespace animus::runner {
+
+// ------------------------------------------------------------- descriptors
+
+/// One described field: display name + pointer-to-member.
+template <typename T, typename M>
+struct FieldDef {
+  const char* name;
+  M T::*member;
+};
+
+template <typename T, typename M>
+constexpr FieldDef<T, M> field_def(const char* name, M T::*member) {
+  return {name, member};
+}
+
+namespace codec_detail {
+
+template <typename T, typename = void>
+struct HasFields : std::false_type {};
+template <typename T>
+struct HasFields<T, std::void_t<decltype(animus_fields(static_cast<const T*>(nullptr)))>>
+    : std::true_type {};
+
+template <typename T>
+struct IsDuration : std::false_type {};
+template <typename R, typename P>
+struct IsDuration<std::chrono::duration<R, P>> : std::true_type {};
+
+template <typename>
+inline constexpr bool kAlwaysFalse = false;
+
+}  // namespace codec_detail
+
+/// True when T has an ANIMUS_FIELDS declaration visible via ADL.
+template <typename T>
+inline constexpr bool kHasFields = codec_detail::HasFields<T>::value;
+
+/// Visit every described field of `v` as fn(name, member_reference).
+template <typename T, typename Fn>
+void for_each_field(T& v, Fn&& fn) {
+  static_assert(kHasFields<std::remove_const_t<T>>,
+                "type has no ANIMUS_FIELDS declaration");
+  std::apply([&](const auto&... defs) { (fn(defs.name, v.*(defs.member)), ...); },
+             animus_fields(static_cast<const std::remove_const_t<T>*>(nullptr)));
+}
+
+// ---------------------------------------------------------- scalar values
+
+namespace codec_detail {
+
+/// Exact double text: %.17g round-trips every finite value; the
+/// non-finite ones get fixed tokens because printf may emit "nan(...)"
+/// payload forms and strtod's acceptance of them varies by libc.
+inline void encode_double(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += std::signbit(v) ? "-nan" : "nan";
+    return;
+  }
+  if (std::isinf(v)) {
+    out += v < 0 ? "-inf" : "inf";
+    return;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+inline bool decode_double(std::string_view s, double* out) {
+  if (s == "nan") {
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  if (s == "-nan") {
+    *out = -std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  if (s == "inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (s == "-inf") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (s.empty()) return false;
+  // encode_double only ever emits %.17g output (or the fixed tokens
+  // above), so restrict the decode domain to exactly that alphabet —
+  // strtod alone would also admit "nan(0x1)", hex floats, etc.
+  for (const char c : s) {
+    const bool ok = (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.' || c == 'e';
+    if (!ok) return false;
+  }
+  const std::string tmp(s);
+  char* end = nullptr;
+  errno = 0;  // strtod flags subnormals ERANGE on some libcs; value is still exact
+  *out = std::strtod(tmp.c_str(), &end);
+  return end == tmp.c_str() + tmp.size();
+}
+
+inline void escape_string(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case ';': out += "\\:"; break;   // keep ';' free as the pair separator
+      case '=': out += "\\e"; break;
+      case '{': out += "\\<"; break;
+      case '}': out += "\\>"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c; break;
+    }
+  }
+}
+
+inline bool unescape_string(std::string_view s, std::string* out) {
+  out->clear();
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      *out += s[i];
+      continue;
+    }
+    if (++i >= s.size()) return false;
+    switch (s[i]) {
+      case '\\': *out += '\\'; break;
+      case ':': *out += ';'; break;
+      case 'e': *out += '='; break;
+      case '<': *out += '{'; break;
+      case '>': *out += '}'; break;
+      case 'n': *out += '\n'; break;
+      case 'r': *out += '\r'; break;
+      default: return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace codec_detail
+
+/// Append the encoded form of `v` to `out`.
+template <typename T>
+void encode_value(std::string& out, const T& v) {
+  if constexpr (std::is_same_v<T, bool>) {
+    out += v ? '1' : '0';
+  } else if constexpr (std::is_enum_v<T>) {
+    encode_value(out, static_cast<std::underlying_type_t<T>>(v));
+  } else if constexpr (std::is_floating_point_v<T>) {
+    codec_detail::encode_double(out, static_cast<double>(v));
+  } else if constexpr (std::is_integral_v<T>) {
+    out += std::to_string(v);
+  } else if constexpr (codec_detail::IsDuration<T>::value) {
+    out += std::to_string(static_cast<std::int64_t>(v.count()));
+  } else if constexpr (std::is_same_v<T, std::string>) {
+    codec_detail::escape_string(out, v);
+  } else if constexpr (kHasFields<T>) {
+    out += '{';
+    bool first = true;
+    for_each_field(v, [&](const char* name, const auto& member) {
+      if (!first) out += ';';
+      first = false;
+      out += name;
+      out += '=';
+      encode_value(out, member);
+    });
+    out += '}';
+  } else {
+    static_assert(codec_detail::kAlwaysFalse<T>,
+                  "no codec for this field type — add ANIMUS_FIELDS() to the "
+                  "struct or extend encode_value()");
+  }
+}
+
+/// Parse the encoded form produced by encode_value. Returns false on a
+/// syntax error or unparsable matched value.
+template <typename T>
+bool decode_value(std::string_view s, T* out);
+
+namespace codec_detail {
+
+/// Split `body` ("a=1;b={x=2;y=3};c=4") into name/value pairs at
+/// top-level ';', honoring nesting braces and escapes, and hand each to
+/// fn(name, value). Returns false on malformed input.
+template <typename Fn>
+bool split_pairs(std::string_view body, Fn&& fn) {
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    const std::size_t eq = body.find('=', pos);
+    if (eq == std::string_view::npos || eq == pos) return false;
+    const std::string_view name = body.substr(pos, eq - pos);
+    // Field names never contain structure characters; seeing one here
+    // means a mangled pair (e.g. ";;") — report it, don't mis-parse.
+    if (name.find_first_of(";{}\\") != std::string_view::npos) return false;
+    std::size_t end = eq + 1;
+    int depth = 0;
+    for (; end < body.size(); ++end) {
+      const char c = body[end];
+      if (c == '\\') {
+        if (++end >= body.size()) return false;
+      } else if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        if (--depth < 0) return false;
+      } else if (c == ';' && depth == 0) {
+        break;
+      }
+    }
+    if (depth != 0) return false;
+    if (!fn(name, body.substr(eq + 1, end - eq - 1))) return false;
+    pos = end + (end < body.size() ? 1 : 0);
+    if (pos == body.size() && end < body.size()) return false;  // trailing ';'
+  }
+  return true;
+}
+
+}  // namespace codec_detail
+
+template <typename T>
+bool decode_value(std::string_view s, T* out) {
+  if constexpr (std::is_same_v<T, bool>) {
+    if (s == "1" || s == "true") {
+      *out = true;
+    } else if (s == "0" || s == "false") {
+      *out = false;
+    } else {
+      return false;
+    }
+    return true;
+  } else if constexpr (std::is_enum_v<T>) {
+    std::underlying_type_t<T> raw{};
+    if (!decode_value(s, &raw)) return false;
+    *out = static_cast<T>(raw);
+    return true;
+  } else if constexpr (std::is_floating_point_v<T>) {
+    double d = 0.0;
+    if (!codec_detail::decode_double(s, &d)) return false;
+    *out = static_cast<T>(d);
+    return true;
+  } else if constexpr (std::is_integral_v<T>) {
+    if (s.empty()) return false;
+    const std::string tmp(s);
+    char* end = nullptr;
+    if constexpr (std::is_signed_v<T>) {
+      const long long v = std::strtoll(tmp.c_str(), &end, 10);
+      *out = static_cast<T>(v);
+    } else {
+      const unsigned long long v = std::strtoull(tmp.c_str(), &end, 10);
+      *out = static_cast<T>(v);
+    }
+    return end == tmp.c_str() + tmp.size();
+  } else if constexpr (codec_detail::IsDuration<T>::value) {
+    std::int64_t ticks = 0;
+    if (!decode_value(s, &ticks)) return false;
+    *out = T{static_cast<typename T::rep>(ticks)};
+    return true;
+  } else if constexpr (std::is_same_v<T, std::string>) {
+    return codec_detail::unescape_string(s, out);
+  } else if constexpr (kHasFields<T>) {
+    if (s.size() < 2 || s.front() != '{' || s.back() != '}') return false;
+    const std::string_view body = s.substr(1, s.size() - 2);
+    bool ok = true;
+    const bool parsed = codec_detail::split_pairs(body, [&](std::string_view name,
+                                                            std::string_view value) {
+      for_each_field(*out, [&](const char* fname, auto& member) {
+        if (name == fname) ok = ok && decode_value(value, &member);
+      });
+      return ok;  // unknown names ignored; a bad matched value aborts
+    });
+    return parsed && ok;
+  } else {
+    static_assert(codec_detail::kAlwaysFalse<T>, "no codec for this field type");
+  }
+}
+
+// -------------------------------------------------------------- TrialCodec
+
+/// Exact, line-safe round-trip codec for trial result types: the
+/// contract checkpoint/resume and the process-shard backend both rely on
+/// for byte-identical merged output. Scalars (double, int, bool, enums)
+/// work out of the box; struct results need one ANIMUS_FIELDS
+/// declaration. Specialize only for types the field machinery cannot
+/// express.
+template <typename R>
+struct TrialCodec {
+  static std::string encode(const R& v) {
+    std::string out;
+    if constexpr (kHasFields<R>) {
+      // Top-level structs drop the braces: the checkpoint line already
+      // delimits the value, and `a=1;b=2` beats `{a=1;b=2}` for eyes.
+      bool first = true;
+      for_each_field(v, [&](const char* name, const auto& member) {
+        if (!first) out += ';';
+        first = false;
+        out += name;
+        out += '=';
+        encode_value(out, member);
+      });
+    } else {
+      encode_value(out, v);
+    }
+    return out;
+  }
+
+  static bool decode(std::string_view s, R* out) {
+    *out = R{};
+    if constexpr (kHasFields<R>) {
+      std::string wrapped;
+      wrapped.reserve(s.size() + 2);
+      wrapped += '{';
+      wrapped.append(s.data(), s.size());
+      wrapped += '}';
+      return decode_value(std::string_view{wrapped}, out);
+    } else {
+      return decode_value(s, out);
+    }
+  }
+};
+
+// ---------------------------------------------------------- CSV derivation
+
+namespace codec_detail {
+
+template <typename T>
+void append_csv_header(std::string& out, const std::string& prefix, bool* first) {
+  T* probe = nullptr;
+  std::apply(
+      [&](const auto&... defs) {
+        (
+            [&] {
+              using M = std::remove_reference_t<decltype(probe->*(defs.member))>;
+              if constexpr (kHasFields<M>) {
+                append_csv_header<M>(out, prefix + defs.name + ".", first);
+              } else {
+                if (!*first) out += ',';
+                *first = false;
+                out += prefix;
+                out += defs.name;
+              }
+            }(),
+            ...);
+      },
+      animus_fields(static_cast<const T*>(nullptr)));
+}
+
+template <typename T>
+void append_csv_row(std::string& out, const T& v, bool* first) {
+  for_each_field(v, [&](const char*, const auto& member) {
+    using M = std::remove_const_t<std::remove_reference_t<decltype(member)>>;
+    if constexpr (kHasFields<M>) {
+      append_csv_row(out, member, first);
+    } else {
+      if (!*first) out += ',';
+      *first = false;
+      if constexpr (std::is_same_v<M, std::string>) {
+        escape_string(out, member);  // keeps the row one line, comma-free
+      } else {
+        encode_value(out, member);
+      }
+    }
+  });
+}
+
+}  // namespace codec_detail
+
+/// Flattened CSV column names for a described struct ("d_upper_ms,probes",
+/// nested fields dotted: "alert.max_pixels"). Scalar result types get the
+/// single column "value".
+template <typename R>
+std::string csv_header() {
+  if constexpr (kHasFields<R>) {
+    std::string out;
+    bool first = true;
+    codec_detail::append_csv_header<R>(out, "", &first);
+    return out;
+  } else {
+    return "value";
+  }
+}
+
+/// One CSV row matching csv_header<R>() column-for-column.
+template <typename R>
+std::string csv_row(const R& v) {
+  std::string out;
+  if constexpr (kHasFields<R>) {
+    bool first = true;
+    codec_detail::append_csv_row(out, v, &first);
+  } else {
+    encode_value(out, v);
+  }
+  return out;
+}
+
+}  // namespace animus::runner
+
+// ------------------------------------------------------------------ macro
+//
+// ANIMUS_FIELDS(Type, f1, f2, ...) expands to an `animus_fields` free
+// function returning the field-descriptor tuple. Invoke it in the same
+// namespace as Type (right after the struct definition) so ADL finds it.
+
+#define ANIMUS_FC_EXPAND(x) x
+#define ANIMUS_FC_NARG(...) \
+  ANIMUS_FC_EXPAND(ANIMUS_FC_ARG_N(__VA_ARGS__, 16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1))
+#define ANIMUS_FC_ARG_N(_1, _2, _3, _4, _5, _6, _7, _8, _9, _10, _11, _12, _13, _14, _15, _16, N, ...) N
+
+#define ANIMUS_FC_ENTRY(Type, name) ::animus::runner::field_def(#name, &Type::name)
+#define ANIMUS_FC_APPLY_1(T, a) ANIMUS_FC_ENTRY(T, a)
+#define ANIMUS_FC_APPLY_2(T, a, ...) ANIMUS_FC_ENTRY(T, a), ANIMUS_FC_EXPAND(ANIMUS_FC_APPLY_1(T, __VA_ARGS__))
+#define ANIMUS_FC_APPLY_3(T, a, ...) ANIMUS_FC_ENTRY(T, a), ANIMUS_FC_EXPAND(ANIMUS_FC_APPLY_2(T, __VA_ARGS__))
+#define ANIMUS_FC_APPLY_4(T, a, ...) ANIMUS_FC_ENTRY(T, a), ANIMUS_FC_EXPAND(ANIMUS_FC_APPLY_3(T, __VA_ARGS__))
+#define ANIMUS_FC_APPLY_5(T, a, ...) ANIMUS_FC_ENTRY(T, a), ANIMUS_FC_EXPAND(ANIMUS_FC_APPLY_4(T, __VA_ARGS__))
+#define ANIMUS_FC_APPLY_6(T, a, ...) ANIMUS_FC_ENTRY(T, a), ANIMUS_FC_EXPAND(ANIMUS_FC_APPLY_5(T, __VA_ARGS__))
+#define ANIMUS_FC_APPLY_7(T, a, ...) ANIMUS_FC_ENTRY(T, a), ANIMUS_FC_EXPAND(ANIMUS_FC_APPLY_6(T, __VA_ARGS__))
+#define ANIMUS_FC_APPLY_8(T, a, ...) ANIMUS_FC_ENTRY(T, a), ANIMUS_FC_EXPAND(ANIMUS_FC_APPLY_7(T, __VA_ARGS__))
+#define ANIMUS_FC_APPLY_9(T, a, ...) ANIMUS_FC_ENTRY(T, a), ANIMUS_FC_EXPAND(ANIMUS_FC_APPLY_8(T, __VA_ARGS__))
+#define ANIMUS_FC_APPLY_10(T, a, ...) ANIMUS_FC_ENTRY(T, a), ANIMUS_FC_EXPAND(ANIMUS_FC_APPLY_9(T, __VA_ARGS__))
+#define ANIMUS_FC_APPLY_11(T, a, ...) ANIMUS_FC_ENTRY(T, a), ANIMUS_FC_EXPAND(ANIMUS_FC_APPLY_10(T, __VA_ARGS__))
+#define ANIMUS_FC_APPLY_12(T, a, ...) ANIMUS_FC_ENTRY(T, a), ANIMUS_FC_EXPAND(ANIMUS_FC_APPLY_11(T, __VA_ARGS__))
+#define ANIMUS_FC_APPLY_13(T, a, ...) ANIMUS_FC_ENTRY(T, a), ANIMUS_FC_EXPAND(ANIMUS_FC_APPLY_12(T, __VA_ARGS__))
+#define ANIMUS_FC_APPLY_14(T, a, ...) ANIMUS_FC_ENTRY(T, a), ANIMUS_FC_EXPAND(ANIMUS_FC_APPLY_13(T, __VA_ARGS__))
+#define ANIMUS_FC_APPLY_15(T, a, ...) ANIMUS_FC_ENTRY(T, a), ANIMUS_FC_EXPAND(ANIMUS_FC_APPLY_14(T, __VA_ARGS__))
+#define ANIMUS_FC_APPLY_16(T, a, ...) ANIMUS_FC_ENTRY(T, a), ANIMUS_FC_EXPAND(ANIMUS_FC_APPLY_15(T, __VA_ARGS__))
+#define ANIMUS_FC_APPLY__(N, T, ...) ANIMUS_FC_EXPAND(ANIMUS_FC_APPLY_##N(T, __VA_ARGS__))
+#define ANIMUS_FC_APPLY_(N, T, ...) ANIMUS_FC_APPLY__(N, T, __VA_ARGS__)
+
+#define ANIMUS_FIELDS(Type, ...)                                                     \
+  [[maybe_unused]] inline constexpr auto animus_fields(const Type*) {                \
+    return std::make_tuple(                                                          \
+        ANIMUS_FC_APPLY_(ANIMUS_FC_EXPAND(ANIMUS_FC_NARG(__VA_ARGS__)), Type, __VA_ARGS__)); \
+  }

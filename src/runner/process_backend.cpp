@@ -1,0 +1,406 @@
+// ProcessShardBackend: fork N workers, feed them trial indices over
+// pipes, read codec-encoded results back, reap crashes into
+// SweepResult::errors without losing the rest of the sweep.
+//
+// Topology: one command pipe (parent -> worker) and one result pipe
+// (worker -> parent) per worker. The parent keeps exactly ONE trial in
+// flight per worker — that is what makes a crash attributable (the
+// in-flight index is the one that died with the worker) and what load-
+// balances skewed trial costs (a worker asks for its next index only
+// when the previous one is done, so fast workers drain the queue while
+// a slow binary search occupies one shard).
+//
+// Wire protocol, one line per message:
+//   parent -> worker:  "R <slot> <index>\n"   run submission index
+//                      "Q\n"                  drain and _exit(0)
+//   worker -> parent:  "O <slot> <elapsed_ms> <escaped-result>\n"
+//                      "E <slot> <elapsed_ms> <escaped-what>\n"
+// The payload escaping (backslash + newline) keeps messages line-framed
+// for any codec output; the codec itself is already line-safe.
+//
+// Workers _exit(2) rather than exit() so inherited stdio buffers are
+// never double-flushed, and never write to stdout/stderr — the parent
+// owns all reporting, which preserves the byte-identical-stdout
+// contract across backends.
+#include "runner/backend.hpp"
+
+#if !defined(_WIN32)
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/trace_capture.hpp"
+
+namespace animus::runner {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+void escape_payload(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+}
+
+std::string unescape_payload(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      out += s[i] == 'n' ? '\n' : s[i];
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+/// Write all of `line` to fd; false on any failure (dead worker).
+bool write_all(int fd, std::string_view line) {
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+struct Worker {
+  pid_t pid = -1;
+  int cmd_w = -1;       ///< parent's write end of the command pipe
+  int res_r = -1;       ///< parent's read end of the result pipe
+  std::string buffer;   ///< partial-line accumulator for res_r
+  std::size_t in_flight = static_cast<std::size_t>(-1);  ///< slot, or -1
+  bool alive = false;
+  bool draining = false;  ///< sent "Q", waiting for a clean exit
+};
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// The worker-side loop. Never returns.
+[[noreturn]] void worker_main(int cmd_r, int res_w, std::uint64_t root_seed,
+                              const std::vector<std::size_t>& indices, const EncodedBody& body,
+                              std::size_t crash_trial) {
+  std::FILE* cmd = ::fdopen(cmd_r, "r");
+  if (cmd == nullptr) ::_exit(2);
+  char line[128];
+  std::string msg;
+  while (std::fgets(line, sizeof(line), cmd) != nullptr) {
+    if (line[0] == 'Q') break;
+    if (line[0] != 'R') continue;
+    std::size_t slot = 0;
+    unsigned long long index = 0;
+    if (std::sscanf(line + 1, "%zu %llu", &slot, &index) != 2) ::_exit(2);
+    if (index == crash_trial) ::raise(SIGKILL);  // deterministic crash hook
+    (void)indices;
+    TrialContext ctx;
+    ctx.index = static_cast<std::size_t>(index);
+    ctx.seed = trial_seed(root_seed, ctx.index);
+    const auto t0 = Clock::now();
+    char tag = 'O';
+    std::string payload;
+    try {
+      payload = body(ctx);
+    } catch (const std::exception& e) {
+      tag = 'E';
+      payload = e.what();
+    } catch (...) {
+      tag = 'E';
+      payload = "unknown exception";
+    }
+    const double elapsed = ms_between(t0, Clock::now());
+    msg.clear();
+    msg += tag;
+    msg += ' ';
+    msg += std::to_string(slot);
+    msg += ' ';
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6f", elapsed);
+    msg += buf;
+    msg += ' ';
+    escape_payload(msg, payload);
+    msg += '\n';
+    if (!write_all(res_w, msg)) ::_exit(2);  // parent went away
+  }
+  ::_exit(0);
+}
+
+}  // namespace
+
+EncodedSweep ProcessShardBackend::run_encoded(const std::vector<std::size_t>& indices,
+                                              std::size_t total, const EncodedBody& body,
+                                              const ResultSink& sink) {
+  obs::trace_capture().note_sweep_total(total);  // --trace-trial bounds accounting
+  EncodedSweep out;
+  const std::size_t count = indices.size();
+  out.encoded.resize(count);
+  out.produced.assign(count, 0);
+  const int workers_n = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(shards_), std::max<std::size_t>(count, 1)));
+  out.stats.jobs = workers_n;
+  if (count == 0) return out;
+  out.stats.samples_ms.assign(count, 0.0);
+
+  const std::uint64_t root_seed = resolve_root_seed(run_);
+  const std::size_t chunk =
+      run_.chunk > 0
+          ? run_.chunk
+          : std::clamp<std::size_t>(count / (8 * static_cast<std::size_t>(workers_n)),
+                                    std::size_t{1}, std::size_t{64});
+
+  // A worker we just discovered dead mid-write must not SIGPIPE us.
+  struct sigaction ignore_pipe {};
+  ignore_pipe.sa_handler = SIG_IGN;
+  struct sigaction old_pipe {};
+  ::sigaction(SIGPIPE, &ignore_pipe, &old_pipe);
+
+  const auto sweep_start = Clock::now();
+  std::vector<Worker> workers(static_cast<std::size_t>(workers_n));
+  for (auto& w : workers) {
+    int cmd[2] = {-1, -1};
+    int res[2] = {-1, -1};
+    if (::pipe(cmd) != 0 || ::pipe(res) != 0) break;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(cmd[0]);
+      ::close(cmd[1]);
+      ::close(res[0]);
+      ::close(res[1]);
+      break;
+    }
+    if (pid == 0) {
+      // Child: keep only this worker's pipe ends (siblings forked
+      // earlier are inherited — close their fds so their EOFs work).
+      for (const auto& other : workers) {
+        if (other.cmd_w >= 0) ::close(other.cmd_w);
+        if (other.res_r >= 0) ::close(other.res_r);
+      }
+      ::close(cmd[1]);
+      ::close(res[0]);
+      worker_main(cmd[0], res[1], root_seed, indices, body, options_.crash_trial);
+    }
+    ::close(cmd[0]);
+    ::close(res[1]);
+    w.pid = pid;
+    w.cmd_w = cmd[1];
+    w.res_r = res[0];
+    w.alive = true;
+  }
+
+  std::vector<char> resolved(count, 0);
+  std::size_t next_slot = 0;
+  std::size_t outstanding = count;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+
+  auto record_error = [&](std::size_t slot, std::string what) {
+    const std::size_t index = indices[slot];
+    out.errors.push_back({index, trial_seed(root_seed, index), std::move(what)});
+    resolved[slot] = 1;
+    ++failed;
+  };
+
+  auto reap = [&](Worker& w) {
+    w.alive = false;
+    if (w.cmd_w >= 0) ::close(w.cmd_w);
+    if (w.res_r >= 0) ::close(w.res_r);
+    w.cmd_w = w.res_r = -1;
+    int status = 0;
+    ::waitpid(w.pid, &status, 0);
+    return status;
+  };
+
+  /// Hand the next queued slot to `w`, or tell it to drain.
+  auto dispatch = [&](Worker& w) {
+    while (next_slot < count && resolved[next_slot]) ++next_slot;
+    if (next_slot >= count) {
+      w.in_flight = kNone;
+      w.draining = true;
+      write_all(w.cmd_w, "Q\n");  // failure is fine: EOF will reap it
+      return;
+    }
+    const std::size_t slot = next_slot++;
+    w.in_flight = slot;
+    const std::string msg =
+        "R " + std::to_string(slot) + " " + std::to_string(indices[slot]) + "\n";
+    if (!write_all(w.cmd_w, msg)) {
+      // Worker died between trials with this one just assigned: the
+      // trial never ran, but the worker is gone — account and reap.
+      const int status = reap(w);
+      record_error(slot, WIFSIGNALED(status)
+                             ? std::string("worker killed by signal ") +
+                                   std::to_string(WTERMSIG(status)) + " before trial started"
+                             : "worker exited before trial started");
+      w.in_flight = kNone;
+      --outstanding;
+    }
+  };
+
+  auto progress_beat = [&](bool force) {
+    if (!run_.progress) return;
+    if (!force && completed % chunk != 0) return;
+    Progress p;
+    p.done = completed;
+    p.total = count;
+    p.errors = failed;
+    p.workers_busy = 0;
+    for (const auto& w : workers) p.workers_busy += (w.alive && w.in_flight != kNone) ? 1 : 0;
+    p.jobs = workers_n;
+    run_.progress(p);
+  };
+
+  /// One complete result line from worker `w`.
+  auto handle_line = [&](Worker& w, std::string_view line) {
+    if (line.size() < 2 || (line[0] != 'O' && line[0] != 'E')) return;
+    std::size_t slot = 0;
+    double elapsed = 0.0;
+    int consumed = 0;
+    const std::string head(line.substr(1, std::min<std::size_t>(line.size() - 1, 64)));
+    if (std::sscanf(head.c_str(), "%zu %lf %n", &slot, &elapsed, &consumed) != 2) return;
+    const auto payload_at = line.find(' ', line.find(' ', 2) + 1) + 1;
+    const std::string payload = unescape_payload(line.substr(payload_at));
+    if (slot >= count || resolved[slot]) return;
+    const std::size_t index = indices[slot];
+    out.stats.samples_ms[slot] = elapsed;
+    out.stats.trial_ms.add(elapsed);
+    if (line[0] == 'O') {
+      if (sink) sink(index, trial_seed(root_seed, index), payload);
+      out.encoded[slot] = payload;
+      out.produced[slot] = 1;
+    } else {
+      out.errors.push_back({index, trial_seed(root_seed, index), payload});
+      ++failed;
+    }
+    resolved[slot] = 1;
+    w.in_flight = kNone;
+    --outstanding;
+    ++completed;
+    progress_beat(completed == count);
+    dispatch(w);
+  };
+
+  // Prime every worker with one trial.
+  for (auto& w : workers) {
+    if (w.alive) dispatch(w);
+  }
+
+  std::vector<pollfd> fds;
+  while (outstanding > 0) {
+    fds.clear();
+    std::vector<Worker*> polled;
+    for (auto& w : workers) {
+      if (!w.alive) continue;
+      fds.push_back({w.res_r, POLLIN, 0});
+      polled.push_back(&w);
+    }
+    if (fds.empty()) {
+      // Every worker is gone with work still queued or in flight: the
+      // sweep cannot make progress — record what remains and stop.
+      for (std::size_t slot = 0; slot < count; ++slot) {
+        if (!resolved[slot]) {
+          record_error(slot, "no surviving worker (all " + std::to_string(workers_n) +
+                                 " shards exited)");
+          --outstanding;
+        }
+      }
+      break;
+    }
+    const int rc = ::poll(fds.data(), fds.size(), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Worker& w = *polled[i];
+      char buf[4096];
+      const ssize_t n = ::read(w.res_r, buf, sizeof(buf));
+      if (n > 0) {
+        w.buffer.append(buf, static_cast<std::size_t>(n));
+        std::size_t start = 0;
+        for (std::size_t nl = w.buffer.find('\n', start); nl != std::string::npos;
+             nl = w.buffer.find('\n', start)) {
+          handle_line(w, std::string_view(w.buffer).substr(start, nl - start));
+          start = nl + 1;
+        }
+        w.buffer.erase(0, start);
+        continue;
+      }
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      // EOF: clean drain after "Q", or a crash with a trial in flight.
+      const std::size_t in_flight = w.in_flight;
+      const bool was_draining = w.draining;
+      const int status = reap(w);
+      if (in_flight != kNone) {
+        std::string what;
+        if (WIFSIGNALED(status)) {
+          what = "worker killed by signal " + std::to_string(WTERMSIG(status)) + " (" +
+                 ::strsignal(WTERMSIG(status)) + ") while running trial " +
+                 std::to_string(indices[in_flight]);
+        } else {
+          what = "worker exited with status " +
+                 std::to_string(WIFEXITED(status) ? WEXITSTATUS(status) : -1) +
+                 " while running trial " + std::to_string(indices[in_flight]);
+        }
+        record_error(in_flight, std::move(what));
+        --outstanding;
+        ++completed;
+        progress_beat(true);
+      } else if (!was_draining) {
+        // Idle worker died between dispatches; nothing was lost.
+      }
+    }
+  }
+
+  // Drain the survivors and reap them.
+  for (auto& w : workers) {
+    if (!w.alive) continue;
+    if (!w.draining) write_all(w.cmd_w, "Q\n");
+    reap(w);
+  }
+
+  ::sigaction(SIGPIPE, &old_pipe, nullptr);
+
+  out.stats.wall_ms = ms_between(sweep_start, Clock::now());
+  std::sort(out.errors.begin(), out.errors.end(),
+            [](const TrialError& a, const TrialError& b) { return a.index < b.index; });
+  return out;
+}
+
+}  // namespace animus::runner
+
+#else  // _WIN32: the factory refuses to construct one; keep the linker happy.
+
+namespace animus::runner {
+EncodedSweep ProcessShardBackend::run_encoded(const std::vector<std::size_t>&, std::size_t,
+                                              const EncodedBody&, const ResultSink&) {
+  return {};
+}
+}  // namespace animus::runner
+
+#endif

@@ -22,13 +22,30 @@ double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
+}  // namespace
+
 int resolve_jobs(int requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw ? static_cast<int>(hw) : 1;
 }
 
-}  // namespace
+std::uint64_t resolve_root_seed(const RunOptions& options) {
+  std::uint64_t root_seed = options.root_seed;
+  if (!options.deterministic) {
+    // Live mode: fold in OS entropy so repeated runs differ.
+    std::random_device entropy;
+    root_seed ^= (static_cast<std::uint64_t>(entropy()) << 32) ^ entropy();
+  }
+  return root_seed;
+}
+
+std::uint64_t trial_seed(std::uint64_t root_seed, std::size_t index) {
+  // Rng::fork is const (a pure function of the root state and the
+  // stream id), so the derivation is identical no matter which worker —
+  // or which process — claims the trial.
+  return sim::Rng{root_seed}.fork(index).next_u64();
+}
 
 double SweepStats::utilization() const {
   const double capacity = static_cast<double>(jobs) * wall_ms;
@@ -90,16 +107,10 @@ SweepStats ParallelRunner::run_subset(const std::vector<std::size_t>& indices,
   // Distinct slots per subset position: workers write samples racelessly.
   stats.samples_ms.assign(count, 0.0);
 
-  std::uint64_t root_seed = options_.root_seed;
-  if (!options_.deterministic) {
-    // Live mode: fold in OS entropy so repeated runs differ.
-    std::random_device entropy;
-    root_seed ^= (static_cast<std::uint64_t>(entropy()) << 32) ^ entropy();
-  }
-  // Workers fork per-trial seeds from this shared root; Rng::fork is
-  // const (pure function of the root state and the stream id), so the
-  // derivation is identical no matter which worker claims the trial.
-  const sim::Rng root{root_seed};
+  // Workers fork per-trial seeds from this shared root; trial_seed is a
+  // pure function of (root, index), so the derivation is identical no
+  // matter which worker claims the trial.
+  const std::uint64_t root_seed = resolve_root_seed(options_);
 
   const std::size_t chunk =
       options_.chunk > 0
@@ -145,7 +156,7 @@ SweepStats ParallelRunner::run_subset(const std::vector<std::size_t>& indices,
       const std::size_t i = indices[slot];  // original submission index
       TrialContext ctx;
       ctx.index = i;
-      ctx.seed = root.fork(i).next_u64();
+      ctx.seed = trial_seed(root_seed, i);
       const auto trial_start = Clock::now();
       try {
         // Mark the thread with the trial index so an armed TraceCapture

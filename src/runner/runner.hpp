@@ -77,6 +77,20 @@ struct TrialError {
   std::string what;        ///< exception message
 };
 
+/// Worker count `requested` resolves to against the hardware (>= 1;
+/// 0 means std::thread::hardware_concurrency()).
+int resolve_jobs(int requested);
+
+/// The effective root seed for a run: RunOptions::root_seed, mixed with
+/// fresh OS entropy once when the run is not deterministic. Execution
+/// backends resolve this exactly once per sweep so every worker —
+/// thread or forked process — derives the same per-trial seeds.
+std::uint64_t resolve_root_seed(const RunOptions& options);
+
+/// The seed for submission index `index`: a pure function of
+/// (root seed, index), independent of worker, backend and schedule.
+std::uint64_t trial_seed(std::uint64_t root_seed, std::size_t index);
+
 /// Identity of one trial as seen by the trial body.
 struct TrialContext {
   std::size_t index = 0;   ///< submission index in [0, total)

@@ -1,0 +1,209 @@
+// Execution backends: the equivalence contract (satellite of the
+// pluggable-backend refactor). The same workload must produce
+// byte-identical encoded results — and identical error indices — under
+// ThreadBackend at any thread count and ProcessShardBackend at any
+// shard count; a worker crash mid-sweep must be reaped without losing
+// the rest of the sweep.
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runner/backend.hpp"
+#include "runner/bench_cli.hpp"
+#include "runner/field_codec.hpp"
+#include "runner/runner.hpp"
+
+namespace {
+
+using namespace animus;
+
+constexpr std::size_t kTotal = 60;
+
+// A seed-dependent trial body: encodes "index plus a value drawn from
+// the trial's RNG stream", and fails deterministically on indices
+// divisible by 13 — so both result bytes and error placement depend on
+// the backend honoring the shared seed derivation.
+std::string workload(const runner::TrialContext& ctx) {
+  if (ctx.index % 13 == 5) {
+    throw std::runtime_error("boom " + std::to_string(ctx.index));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%zu:%" PRIu64 ":", ctx.index, ctx.seed);
+  return buf + runner::TrialCodec<double>::encode(ctx.rng().uniform01());
+}
+
+std::vector<std::size_t> all_indices() {
+  std::vector<std::size_t> v(kTotal);
+  for (std::size_t i = 0; i < kTotal; ++i) v[i] = i;
+  return v;
+}
+
+runner::EncodedSweep run_with(runner::ExecutionBackend& backend) {
+  return backend.run_encoded(all_indices(), kTotal, workload, nullptr);
+}
+
+void expect_equivalent(const runner::EncodedSweep& a, const runner::EncodedSweep& b,
+                       const char* what) {
+  SCOPED_TRACE(what);
+  ASSERT_EQ(a.encoded.size(), b.encoded.size());
+  for (std::size_t i = 0; i < a.encoded.size(); ++i) {
+    EXPECT_EQ(a.produced[i], b.produced[i]) << "slot " << i;
+    EXPECT_EQ(a.encoded[i], b.encoded[i]) << "slot " << i;
+  }
+  ASSERT_EQ(a.errors.size(), b.errors.size());
+  for (std::size_t i = 0; i < a.errors.size(); ++i) {
+    EXPECT_EQ(a.errors[i].index, b.errors[i].index);
+    EXPECT_EQ(a.errors[i].seed, b.errors[i].seed);
+    EXPECT_EQ(a.errors[i].what, b.errors[i].what);
+  }
+}
+
+TEST(Backends, ThreadAndProcessBackendsAreByteIdentical) {
+  runner::RunOptions run;
+  run.root_seed = 0xBEEF;
+
+  runner::RunOptions one = run;
+  one.jobs = 1;
+  runner::ThreadBackend threads1{one};
+  runner::RunOptions eight = run;
+  eight.jobs = 8;
+  runner::ThreadBackend threads8{eight};
+  runner::ProcessShardBackend process2{run, {/*shards=*/2}};
+
+  const auto r1 = run_with(threads1);
+  const auto r8 = run_with(threads8);
+  const auto rp = run_with(process2);
+
+  // The baseline itself is sane: 60 slots, failures exactly where the
+  // body says, successes carrying the root-derived seed.
+  ASSERT_EQ(r1.encoded.size(), kTotal);
+  std::set<std::size_t> failed;
+  for (const auto& e : r1.errors) failed.insert(e.index);
+  EXPECT_EQ(failed, (std::set<std::size_t>{5, 18, 31, 44, 57}));
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    EXPECT_EQ(static_cast<bool>(r1.produced[i]), failed.count(i) == 0) << i;
+  }
+  for (const auto& e : r1.errors) {
+    EXPECT_EQ(e.seed, runner::trial_seed(0xBEEF, e.index));
+    EXPECT_EQ(e.what, "boom " + std::to_string(e.index));
+  }
+
+  expect_equivalent(r1, r8, "threads jobs=1 vs jobs=8");
+  expect_equivalent(r1, rp, "threads jobs=1 vs process shards=2");
+  EXPECT_EQ(rp.stats.jobs, 2);
+}
+
+TEST(Backends, BackendsAgreeOnSubsetsToo) {
+  // Resume paths hand backends a sparse subset; slot keying must still
+  // line up with the subset order, not the submission index.
+  std::vector<std::size_t> subset = {57, 2, 40, 19, 5, 33};
+  runner::RunOptions run;
+  run.jobs = 4;
+  runner::ThreadBackend threads{run};
+  runner::ProcessShardBackend process{run, {/*shards=*/3}};
+
+  const auto rt = threads.run_encoded(subset, kTotal, workload, nullptr);
+  const auto rp = process.run_encoded(subset, kTotal, workload, nullptr);
+  expect_equivalent(rt, rp, "subset threads vs process");
+  ASSERT_EQ(rt.encoded.size(), subset.size());
+  EXPECT_TRUE(rt.produced[1]);
+  EXPECT_EQ(rt.encoded[1].rfind("2:", 0), 0u);  // slot 1 holds index 2
+  // Errors carry submission indices (5 and 57), sorted ascending.
+  ASSERT_EQ(rt.errors.size(), 2u);
+  EXPECT_EQ(rt.errors[0].index, 5u);
+  EXPECT_EQ(rt.errors[1].index, 57u);
+}
+
+TEST(Backends, SinkSeesEverySuccessfulTrialOnce) {
+  runner::RunOptions run;
+  run.jobs = 1;
+  runner::ProcessShardBackend process{run, {/*shards=*/2}};
+  std::vector<char> seen(kTotal, 0);
+  std::size_t calls = 0;
+  const auto sweep = process.run_encoded(
+      all_indices(), kTotal, workload,
+      [&](std::size_t index, std::uint64_t seed, std::string_view encoded) {
+        ++calls;
+        ASSERT_LT(index, kTotal);
+        EXPECT_EQ(seen[index], 0) << "duplicate sink call for " << index;
+        seen[index] = 1;
+        EXPECT_EQ(seed, runner::trial_seed(run.root_seed, index));
+        EXPECT_FALSE(encoded.empty());
+      });
+  EXPECT_EQ(calls, kTotal - sweep.errors.size());
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    EXPECT_EQ(static_cast<bool>(seen[i]), static_cast<bool>(sweep.produced[i])) << i;
+  }
+}
+
+TEST(Backends, CrashedWorkerIsReapedWithoutLosingTheSweep) {
+  runner::RunOptions run;
+  runner::ProcessShardBackend::Options opts;
+  opts.shards = 2;
+  opts.crash_trial = 21;  // worker SIGKILLs itself when handed trial 21
+  runner::ProcessShardBackend process{run, opts};
+
+  const auto sweep = run_with(process);
+  std::set<std::size_t> failed;
+  for (const auto& e : sweep.errors) failed.insert(e.index);
+  // The organic failures all still happen AND the crashed trial is
+  // attributed — nothing else is lost.
+  EXPECT_EQ(failed, (std::set<std::size_t>{5, 18, 21, 31, 44, 57}));
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    EXPECT_EQ(static_cast<bool>(sweep.produced[i]), failed.count(i) == 0) << i;
+  }
+  for (const auto& e : sweep.errors) {
+    if (e.index == 21) {
+      EXPECT_NE(e.what.find("signal"), std::string::npos) << e.what;
+    } else {
+      EXPECT_EQ(e.what.rfind("boom", 0), 0u) << e.what;
+    }
+  }
+}
+
+TEST(Backends, MakeBackendResolvesNamesAndRejectsUnknown) {
+  runner::RunOptions run;
+  std::string error;
+  auto threads = runner::make_backend("", run, 0, &error);
+  ASSERT_NE(threads, nullptr) << error;
+  EXPECT_STREQ(threads->name(), "threads");
+  auto process = runner::make_backend("process", run, 3, &error);
+  ASSERT_NE(process, nullptr) << error;
+  EXPECT_STREQ(process->name(), "process");
+  EXPECT_EQ(process->parallelism(), 3);
+
+  auto bogus = runner::make_backend("gpu", run, 0, &error);
+  EXPECT_EQ(bogus, nullptr);
+  EXPECT_NE(error.find("gpu"), std::string::npos);
+}
+
+TEST(Backends, FaultScheduleIsDeterministicAndRateShaped) {
+  // The --inject-fault schedule is a pure function of (root seed, rate,
+  // index): stable across calls, empty at 0, total at 1, and roughly
+  // rate-proportional in between.
+  const std::uint64_t root = 0xFA11;
+  int hits = 0;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const bool a = runner::fault_scheduled(root, 0.1, i);
+    const bool b = runner::fault_scheduled(root, 0.1, i);
+    EXPECT_EQ(a, b);
+    hits += a;
+    EXPECT_FALSE(runner::fault_scheduled(root, 0.0, i));
+    EXPECT_TRUE(runner::fault_scheduled(root, 1.0, i));
+  }
+  EXPECT_GT(hits, 60);
+  EXPECT_LT(hits, 140);
+  // A different root seed draws a different schedule.
+  int moved = 0;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    moved += runner::fault_scheduled(root, 0.1, i) != runner::fault_scheduled(root + 1, 0.1, i);
+  }
+  EXPECT_GT(moved, 0);
+}
+
+}  // namespace

@@ -184,17 +184,17 @@ TEST(Checkpoint, WriteLoadRoundTripExactDoubles) {
   std::string error;
   const auto data = runner::load_checkpoint(path, &error);
   ASSERT_TRUE(data.has_value()) << error;
-  EXPECT_EQ(data->header.label, "unit");
-  EXPECT_EQ(data->header.total, 8u);
-  EXPECT_EQ(data->header.root_seed, 0xabcdefULL);
-  ASSERT_EQ(data->trials.size(), 2u);
-  EXPECT_EQ(data->trials[0].index, 0u);  // sorted by index
-  EXPECT_EQ(data->trials[1].index, 3u);
-  EXPECT_EQ(data->trials[1].seed, 111u);
+  EXPECT_EQ(data->header().label, "unit");
+  EXPECT_EQ(data->header().total, 8u);
+  EXPECT_EQ(data->header().root_seed, 0xabcdefULL);
+  ASSERT_EQ(data->trials().size(), 2u);
+  EXPECT_EQ(data->trials()[0].index, 0u);  // sorted by index
+  EXPECT_EQ(data->trials()[1].index, 3u);
+  EXPECT_EQ(data->trials()[1].seed, 111u);
   double decoded = 0.0;
-  ASSERT_TRUE(runner::TrialCodec<double>::decode(data->trials[1].result, &decoded));
+  ASSERT_TRUE(runner::TrialCodec<double>::decode(data->trials()[1].result, &decoded));
   EXPECT_EQ(decoded, awkward);  // bit-exact via %.17g
-  EXPECT_EQ(runner::checkpoint_mismatch(*data, test_header()), "");
+  EXPECT_EQ(runner::checkpoint_mismatch(data->sections.front(), test_header()), "");
 }
 
 TEST(Checkpoint, TornFinalLineIsDropped) {
@@ -212,7 +212,7 @@ TEST(Checkpoint, TornFinalLineIsDropped) {
   std::string error;
   const auto data = runner::load_checkpoint(path, &error);
   ASSERT_TRUE(data.has_value()) << error;
-  EXPECT_EQ(data->trials.size(), 2u);  // torn line gone, intact ones kept
+  EXPECT_EQ(data->trials().size(), 2u);  // torn line gone, intact ones kept
 }
 
 TEST(Checkpoint, MalformedInteriorLineRejected) {
@@ -251,13 +251,13 @@ TEST(Checkpoint, MismatchedIdentityIsRefused) {
 
   auto other_seed = test_header();
   other_seed.root_seed = 999;
-  EXPECT_NE(runner::checkpoint_mismatch(*data, other_seed), "");
+  EXPECT_NE(runner::checkpoint_mismatch(data->sections.front(), other_seed), "");
   auto other_total = test_header();
   other_total.total = 9;
-  EXPECT_NE(runner::checkpoint_mismatch(*data, other_total), "");
+  EXPECT_NE(runner::checkpoint_mismatch(data->sections.front(), other_total), "");
   auto other_mode = test_header();
   other_mode.deterministic = false;
-  EXPECT_NE(runner::checkpoint_mismatch(*data, other_mode), "");
+  EXPECT_NE(runner::checkpoint_mismatch(data->sections.front(), other_mode), "");
 }
 
 TEST(Checkpoint, DuplicateIndexLastWriteWins) {
@@ -270,8 +270,8 @@ TEST(Checkpoint, DuplicateIndexLastWriteWins) {
   std::string error;
   const auto data = runner::load_checkpoint(path, &error);
   ASSERT_TRUE(data.has_value()) << error;
-  ASSERT_EQ(data->trials.size(), 1u);
-  EXPECT_EQ(data->trials[0].result, "second");
+  ASSERT_EQ(data->trials().size(), 1u);
+  EXPECT_EQ(data->trials()[0].result, "second");
 }
 
 TEST(Checkpoint, AppendModeContinuesWithoutSecondHeader) {
@@ -281,7 +281,8 @@ TEST(Checkpoint, AppendModeContinuesWithoutSecondHeader) {
     w.append(0, 1, "10");
   }
   {
-    runner::CheckpointWriter w{path, test_header(), 1, /*append=*/true};
+    runner::CheckpointWriter w{path, test_header(), 1,
+                               runner::CheckpointWriter::Mode::kAppend};
     w.append(1, 2, "20");
   }
   const auto lines = read_lines(path);
@@ -290,7 +291,64 @@ TEST(Checkpoint, AppendModeContinuesWithoutSecondHeader) {
   std::string error;
   const auto data = runner::load_checkpoint(path, &error);
   ASSERT_TRUE(data.has_value()) << error;
-  EXPECT_EQ(data->trials.size(), 2u);
+  EXPECT_EQ(data->trials().size(), 2u);
+}
+
+TEST(Checkpoint, MultiSectionFileKeepsSweepsApart) {
+  const auto path = temp_path("ckpt_sections.jsonl");
+  auto second = test_header();
+  second.label = "unit:scan";
+  second.total = 4;
+  {
+    runner::CheckpointWriter w{path, test_header(), 1};
+    w.append(0, 1, "10");
+    w.append(1, 2, "11");
+  }
+  {
+    runner::CheckpointWriter w{path, second, 1,
+                               runner::CheckpointWriter::Mode::kAppendHeader};
+    w.append(0, 5, "90");
+  }
+  std::string error;
+  const auto data = runner::load_checkpoint(path, &error);
+  ASSERT_TRUE(data.has_value()) << error;
+  ASSERT_EQ(data->sections.size(), 2u);
+  EXPECT_EQ(data->last_header_label, "unit:scan");
+
+  const auto* first = data->section("unit");
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->trials.size(), 2u);
+  const auto* scan = data->section("unit:scan");
+  ASSERT_NE(scan, nullptr);
+  ASSERT_EQ(scan->trials.size(), 1u);
+  EXPECT_EQ(scan->trials[0].result, "90");
+  EXPECT_EQ(scan->header.total, 4u);
+  EXPECT_EQ(data->section("absent"), nullptr);
+  // A label-less lookup is only unambiguous for single-section files.
+  EXPECT_EQ(data->section(""), nullptr);
+}
+
+TEST(Checkpoint, ReopenedSectionMergesAcrossHeaders) {
+  // A re-run appends a fresh header for the same label (kAppendHeader);
+  // the loader folds both runs' trials into one section, last write wins.
+  const auto path = temp_path("ckpt_reopen.jsonl");
+  {
+    runner::CheckpointWriter w{path, test_header(), 1};
+    w.append(0, 1, "old");
+    w.append(2, 3, "kept");
+  }
+  {
+    runner::CheckpointWriter w{path, test_header(), 1,
+                               runner::CheckpointWriter::Mode::kAppendHeader};
+    w.append(0, 1, "new");
+  }
+  std::string error;
+  const auto data = runner::load_checkpoint(path, &error);
+  ASSERT_TRUE(data.has_value()) << error;
+  ASSERT_EQ(data->sections.size(), 1u);
+  ASSERT_EQ(data->trials().size(), 2u);
+  EXPECT_EQ(data->trials()[0].result, "new");
+  EXPECT_EQ(data->trials()[1].result, "kept");
 }
 
 // -------------------------------------------------- runner: resume path
@@ -377,6 +435,9 @@ TEST(Manifest, JsonRoundTrip) {
   m.argv = {"--jobs", "8", "--csv", "--note", "quo\"te"};
   m.root_seed = 71829455837523ULL;
   m.jobs = 8;
+  m.backend = "process";
+  m.shards = 4;
+  m.inject_fault = 0.125;
   m.deterministic = true;
   m.csv = true;
   m.stream_interval_ms = 250.0;
@@ -389,6 +450,8 @@ TEST(Manifest, JsonRoundTrip) {
   m.trials_total = 210;
   m.trials_resumed = 100;
   m.trial_errors = 1;
+  m.errors_injected = 1;
+  m.errors_organic = 0;
   m.stream_lines = 14;
   m.stream_dropped = 2;
   m.compiler = obs::build_compiler_id();
@@ -403,6 +466,9 @@ TEST(Manifest, JsonRoundTrip) {
   EXPECT_EQ(back->argv, m.argv);
   EXPECT_EQ(back->root_seed, m.root_seed);
   EXPECT_EQ(back->jobs, m.jobs);
+  EXPECT_EQ(back->backend, m.backend);
+  EXPECT_EQ(back->shards, m.shards);
+  EXPECT_DOUBLE_EQ(back->inject_fault, m.inject_fault);
   EXPECT_EQ(back->deterministic, m.deterministic);
   EXPECT_EQ(back->csv, m.csv);
   EXPECT_DOUBLE_EQ(back->stream_interval_ms, m.stream_interval_ms);
@@ -415,6 +481,8 @@ TEST(Manifest, JsonRoundTrip) {
   EXPECT_EQ(back->trials_total, m.trials_total);
   EXPECT_EQ(back->trials_resumed, m.trials_resumed);
   EXPECT_EQ(back->trial_errors, m.trial_errors);
+  EXPECT_EQ(back->errors_injected, m.errors_injected);
+  EXPECT_EQ(back->errors_organic, m.errors_organic);
   EXPECT_EQ(back->stream_lines, m.stream_lines);
   EXPECT_EQ(back->stream_dropped, m.stream_dropped);
   EXPECT_EQ(back->compiler, m.compiler);
