@@ -18,6 +18,7 @@
 
 #include "core/overlay_attack.hpp"
 #include "core/report.hpp"
+#include "core/trial_session.hpp"
 #include "defense/enforcement.hpp"
 #include "defense/ipc_defense.hpp"
 #include "defense/notification_defense.hpp"
@@ -51,7 +52,7 @@ core::PasswordTrialResult password_probe(double safety_factor, int i, bool leak_
   c.password = input::random_password(8, rng);
   c.seed = static_cast<std::uint64_t>((leak_probe ? 51000 : 50000) + i);
   c.d_override = sim::ms_f(safety_factor * c.profile.d_upper_bound_table_ms);
-  return core::run_password_trial(c);
+  return core::TrialSession::local().run(c);
 }
 
 }  // namespace

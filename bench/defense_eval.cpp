@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/overlay_attack.hpp"
+#include "core/trial_session.hpp"
 #include "defense/enforcement.hpp"
 #include "defense/ipc_defense.hpp"
 #include "defense/notification_defense.hpp"
@@ -109,7 +110,8 @@ int main(int argc, char** argv) {
   const auto alert_sweep = runner::sweep(
       windows,
       [&](int d, const runner::TrialContext&) {
-        const auto plain = core::probe_outcome(dev, sim::ms(d), sim::seconds(10));
+        const auto plain = core::TrialSession::local().run(core::OutcomeProbeConfig{
+            .profile = dev, .attacking_window = sim::ms(d), .duration = sim::seconds(10)});
         const auto defended = defense::probe_attack_under_defense(
             dev, sim::ms(d), defense::kEnhancedAlertRemovalDelay, sim::seconds(10));
         return AlertTrial{plain.outcome, defended.outcome,

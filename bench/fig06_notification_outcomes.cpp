@@ -13,6 +13,7 @@
 
 #include "core/attack_analysis.hpp"
 #include "core/trial_fields.hpp"
+#include "core/trial_session.hpp"
 #include "device/registry.hpp"
 #include "metrics/table.hpp"
 #include "percept/outcomes.hpp"
@@ -22,6 +23,7 @@
 int main(int argc, char** argv) {
   using namespace animus;
   const auto args = runner::BenchArgs::parse(argc, argv);
+  const auto tier = core::parse_tier(args.tier).value_or(core::Tier::kAuto);
   const auto& dev = device::reference_device_android9();
   if (!args.csv) {
     std::printf("=== Fig. 6: notification view outcomes vs D on %s ===\n\n",
@@ -38,7 +40,8 @@ int main(int argc, char** argv) {
         c.profile = dev;
         c.attacking_window = sim::ms(d);
         c.seed = ctx.seed;
-        return core::run_outcome_probe(c);
+        c.tier = tier;
+        return core::TrialSession::local().run(c);
       },
       args);
 
@@ -68,7 +71,8 @@ int main(int argc, char** argv) {
         c.attacking_window = sim::ms(d);
         c.duration = sim::seconds(3);
         c.seed = ctx.seed;
-        return core::run_outcome_probe(c).outcome;
+        c.tier = tier;
+        return core::TrialSession::local().run(c).outcome;
       },
       args);
 

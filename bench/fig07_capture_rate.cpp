@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/report.hpp"
+#include "core/trial_session.hpp"
 #include "device/registry.hpp"
 #include "input/typist.hpp"
 #include "metrics/stats.hpp"
@@ -45,7 +46,7 @@ int main(int argc, char** argv) {
         c.attacking_window = sim::ms(t.d);
         c.touches = 100;  // 10 strings x 10 characters
         c.seed = ctx.seed;
-        return core::run_capture_trial(c).rate * 100.0;
+        return core::TrialSession::local().run(c).rate * 100.0;
       },
       args);
 

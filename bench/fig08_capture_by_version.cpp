@@ -10,6 +10,7 @@
 
 #include "core/attack_analysis.hpp"
 #include "core/report.hpp"
+#include "core/trial_session.hpp"
 #include "device/registry.hpp"
 #include "input/typist.hpp"
 #include "metrics/stats.hpp"
@@ -47,7 +48,7 @@ int main(int argc, char** argv) {
         c.attacking_window = sim::ms(t.d);
         c.touches = 100;
         c.seed = ctx.seed;
-        return core::run_capture_trial(c).rate * 100.0;
+        return core::TrialSession::local().run(c).rate * 100.0;
       },
       args);
 

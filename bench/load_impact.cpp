@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/attack_analysis.hpp"
+#include "core/trial_session.hpp"
 #include "device/registry.hpp"
 #include "metrics/table.hpp"
 #include "runner/bench_cli.hpp"
@@ -17,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace animus;
   const auto args = runner::BenchArgs::parse(argc, argv);
+  const auto tier = core::parse_tier(args.tier).value_or(core::Tier::kAuto);
   const std::vector<const char*> models = {"pixel 2", "mi8", "Redmi", "s8", "mate20"};
   const std::vector<int> loads = {0, 3, 5};
 
@@ -35,7 +37,8 @@ int main(int argc, char** argv) {
         core::DBoundTrialConfig c;
         c.profile = t.load == 0 ? *dev : dev->with_load(t.load);
         c.seed = ctx.seed;  // unused while deterministic, kept for replay
-        return core::run_d_bound_trial(c).d_upper_ms;
+        c.tier = tier;
+        return core::TrialSession::local().run(c).d_upper_ms;
       },
       args);
 

@@ -9,6 +9,7 @@
 #include "analysis/manifest.hpp"
 #include "analysis/scanner.hpp"
 #include "core/report.hpp"
+#include "core/trial_session.hpp"
 #include "device/registry.hpp"
 #include "input/typist.hpp"
 #include "sim/event_loop.hpp"
@@ -124,7 +125,7 @@ void BM_CaptureTrial(benchmark::State& state) {
     c.attacking_window = sim::ms(150);
     c.touches = 100;
     c.seed = seed++;
-    benchmark::DoNotOptimize(core::run_capture_trial(c).rate);
+    benchmark::DoNotOptimize(core::TrialSession::local().run(c).rate);
   }
   state.SetLabel("one participant, 100 touches");
 }
@@ -139,7 +140,7 @@ void BM_PasswordTrial(benchmark::State& state) {
     c.typist = panel[seed % panel.size()];
     c.password = "tk&%48GH";
     c.seed = seed++;
-    benchmark::DoNotOptimize(core::run_password_trial(c).success);
+    benchmark::DoNotOptimize(core::TrialSession::local().run(c).success);
   }
   state.SetLabel("full login + theft simulation");
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/report.hpp"
+#include "core/trial_session.hpp"
 #include "device/registry.hpp"
 #include "input/typist.hpp"
 #include "runner/backend.hpp"
@@ -144,6 +145,27 @@ Sample bench_sweep_dispatch(const char* name, const char* backend_name, int para
   return s;
 }
 
+/// Outcome-probe throughput on each trial tier, single thread: the
+/// session-reused simulation (one World recycled across epochs) and the
+/// analytic replay. Reported as trials/sec so the tier speedup is read
+/// straight off the report.
+Sample bench_trials_per_sec(const char* name, const char* note, core::Tier tier, int trials,
+                            int repeats) {
+  core::TrialSession session;
+  const auto& dev = device::reference_device_android9();
+  Sample s = timed(name, note, static_cast<std::size_t>(trials), repeats, [&] {
+    for (int i = 0; i < trials; ++i) {
+      core::OutcomeProbeConfig c;
+      c.profile = dev;
+      c.attacking_window = sim::ms(50 + (i % 40) * 5);
+      c.duration = sim::seconds(3);
+      c.tier = tier;
+      if (session.run(c).cycles <= 0) std::exit(1);
+    }
+  });
+  return s;
+}
+
 /// Reduced Fig. 7 sweep: 30 participants x 3 windows, full Worlds, via
 /// runner::sweep — end-to-end wall clock including the parallel runner.
 Sample bench_fig07_sweep(int jobs, bool quick) {
@@ -170,7 +192,7 @@ Sample bench_fig07_sweep(int jobs, bool quick) {
         c.attacking_window = sim::ms(t.d);
         c.touches = 100;
         c.seed = ctx.seed;
-        return core::run_capture_trial(c).rate * 100.0;
+        return core::TrialSession::local().run(c).rate * 100.0;
       },
       opts);
   const double ns = elapsed_ns(t0, Clock::now());
@@ -193,7 +215,7 @@ void write_json(const char* path, const std::vector<Sample>& samples, int jobs) 
     std::fprintf(stderr, "perf_report: cannot open %s\n", path);
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"schema\": 1,\n  \"report\": \"animus-kernel\",\n");
+  std::fprintf(f, "{\n  \"schema\": 2,\n  \"report\": \"animus-kernel\",\n");
   std::fprintf(f, "  \"engine\": \"%s\",\n", sim::EventLoop::engine_name());
   std::fprintf(f, "  \"jobs\": %d,\n  \"benchmarks\": [\n", jobs);
   for (std::size_t i = 0; i < samples.size(); ++i) {
@@ -245,6 +267,13 @@ int main(int argc, char** argv) {
   samples.push_back(
       bench_sweep_dispatch("sweep_dispatch_process", "process", 2, dispatch_trials, repeats));
 #endif
+  const int tier_trials = quick ? 64 : 256;
+  samples.push_back(bench_trials_per_sec("trials_per_sec_sim",
+                                         "outcome probes, session-reused World, sim tier",
+                                         core::Tier::kSim, tier_trials, repeats));
+  samples.push_back(bench_trials_per_sec("trials_per_sec_analytic",
+                                         "outcome probes, closed-form analytic tier",
+                                         core::Tier::kAnalytic, tier_trials, repeats));
   samples.push_back(bench_fig07_sweep(jobs, quick));
 
   for (const Sample& s : samples) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/report.hpp"
+#include "core/trial_session.hpp"
 #include "device/registry.hpp"
 #include "input/typist.hpp"
 #include "metrics/table.hpp"
@@ -47,7 +48,7 @@ int main(int argc, char** argv) {
         c.typist = panel[p];
         c.password = "tk&%48GH";  // the paper's demo password
         c.seed = ctx.seed;
-        const auto r = core::run_password_trial(c);
+        const auto r = core::TrialSession::local().run(c);
         auto survey_rng = survey_root.fork(p);
         Session s;
         s.success = r.success;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/report.hpp"
+#include "core/trial_session.hpp"
 #include "core/trial_fields.hpp"
 #include "device/registry.hpp"
 #include "input/password.hpp"
@@ -57,7 +58,7 @@ int main(int argc, char** argv) {
         auto password_rng = ctx.rng().fork("password");
         c.password = input::random_password(static_cast<std::size_t>(t.length), password_rng);
         c.seed = ctx.rng().fork("world").next_u64();
-        return core::run_password_trial(c);
+        return core::TrialSession::local().run(c);
       },
       args);
 
@@ -114,7 +115,7 @@ int main(int argc, char** argv) {
         auto password_rng = ctx.rng().fork("password");
         c.password = input::random_password(8, password_rng);
         c.seed = ctx.rng().fork("world").next_u64();
-        return core::run_password_trial(c);
+        return core::TrialSession::local().run(c);
       },
       args);
 

@@ -21,7 +21,7 @@ int main() {
   metrics::Table table({"Model", "Android", "max stealthy D (ms)", "attack D (ms)",
                         "E[Tmis] (ms)", "per-touch capture", "len-8 success est."});
   for (const auto& dev : device::all_devices()) {
-    const int bound = core::find_d_upper_bound_ms(dev);
+    const int bound = core::run_d_bound_trial({.profile = dev}).d_upper_ms;
     const double attack_d = core::kBoundSafetyFactor * bound;
     // ACTION_DOWN harvesting: contact duration does not matter.
     const double per_touch = core::predicted_capture_rate(dev, attack_d, 0.0);

@@ -1,0 +1,260 @@
+#include "core/analytic.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "percept/outcomes.hpp"
+#include "server/system_server.hpp"
+#include "server/system_ui.hpp"
+#include "server/world.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/trace.hpp"
+#include "ui/animation.hpp"
+
+namespace animus::core::analytic {
+
+namespace {
+
+/// Client-side transit of an actor post (OverlayAttack's 0.1 ms).
+constexpr sim::SimTime kClientTransit = sim::ms_f(0.1);
+
+/// Replays the deterministic probe schedule against a real SystemUi.
+///
+/// Every event the replay schedules corresponds one-to-one, in creation
+/// order, to an event the full simulation would schedule (attack timer
+/// ticks, malware-main actor tasks, Binder landings, alert dispatches),
+/// so equal-time ties resolve through the event loop's sequence numbers
+/// exactly as they do in the simulation. SystemUi then schedules its own
+/// lifecycle events in the same loop, and its AlertStats come out
+/// byte-identical. What the replay *omits* never reaches the event loop
+/// in the simulation either: window objects, Binder ledger rows and
+/// trace strings.
+///
+/// Engines are reusable (EventLoop::reset + SystemUi::reset keep the
+/// warm storage), which is what makes the analytic D-bound search and
+/// campaign sweeps allocation-quiet after the first probe.
+class ReplayEngine {
+ public:
+  OutcomeProbe run(const OutcomeProbeConfig& config) {
+    loop_.reset();
+    trace_.set_enabled(false);
+    if (sysui_) {
+      sysui_->reset(config.profile);
+    } else {
+      sysui_.emplace(loop_, trace_, config.profile);
+    }
+
+    d_ = config.attacking_window;
+    c0_ = kClientTransit;
+    cc_ = server::kAddViewClientCost;
+    tam_tas_ = config.profile.tam.mean() + config.profile.tas.mean();
+    trm_ = config.profile.trm.mean();
+    tn_ = config.profile.tn.mean();
+    tv_ = config.profile.tv.mean();
+    tnr_ = config.profile.tnr.mean();
+    notify_ = device::traits(config.profile.version).overlay_notification;
+
+    busy_ = sim::SimTime{0};
+    cycles_ = 0;
+    issues_ = 0;
+    live_ = 0;
+    show_pending_ = false;
+    win_.clear();
+
+    // OverlayAttack::start() at t = 0: post the first addView to the
+    // malware-main actor (issue 0), then arm the cycle timer at D.
+    schedule_issue();
+    loop_.schedule_at(d_, [this] { tick(); });
+
+    loop_.run_until(config.duration);
+
+    OutcomeProbe probe;
+    probe.alert = sysui_->snapshot(server::kMalwareUid);
+    probe.outcome = percept::classify(probe.alert);
+    probe.cycles = cycles_;
+    return probe;
+  }
+
+ private:
+  struct Win {
+    bool landed = false;
+    bool removed = false;
+    bool deferred = false;  // removeView landed before the creation did
+  };
+
+  /// Actor::post of one draw-and-destroy round: the task starts at
+  /// max(arrival, busy_until) and blocks malware-main for the addView
+  /// client cost — the saturation mechanism when D < kAddViewClientCost.
+  void schedule_issue() {
+    const int k = issues_++;
+    win_.emplace_back();
+    const sim::SimTime start = std::max(loop_.now() + c0_, busy_);
+    loop_.schedule_at(start, [this, k] { issue(k); });
+    busy_ = start + cc_;
+  }
+
+  /// OverlayAttack::tick at t = cycles * D.
+  void tick() {
+    ++cycles_;
+    schedule_issue();
+    loop_.schedule_at(loop_.now() + d_, [this] { tick(); });
+  }
+
+  /// The malware-main task: removeView(W_{k-1}) then addView(W_k),
+  /// issued back to back — the Binder landings race (Section III-C).
+  void issue(int k) {
+    if (k > 0) {
+      loop_.schedule_at(loop_.now() + trm_, [this, k] { remove_land(k - 1); });
+    }
+    loop_.schedule_at(loop_.now() + tam_tas_, [this, k] { add_land(k); });
+  }
+
+  void add_land(int k) {
+    Win& w = win_[static_cast<std::size_t>(k)];
+    w.landed = true;
+    ++live_;
+    if (w.deferred) {
+      // The removeView overtook the creation; honour it instantly.
+      w.removed = true;
+      --live_;
+      on_removed();
+      return;
+    }
+    on_added();
+  }
+
+  void remove_land(int k) {
+    Win& w = win_[static_cast<std::size_t>(k)];
+    if (!w.landed) {
+      w.deferred = true;  // still being created; remove once it lands
+      return;
+    }
+    if (w.removed) return;
+    w.removed = true;
+    --live_;
+    on_removed();
+  }
+
+  /// SystemServer::on_overlay_added — the per-uid pending-show slot is
+  /// overwritten, not cancelled, exactly like the map entry it mirrors.
+  void on_added() {
+    if (!notify_) return;
+    show_pending_ = true;
+    show_id_ = loop_.schedule_after(tn_, [this] {
+      show_pending_ = false;
+      sysui_->show_overlay_alert(server::kMalwareUid, tv_);
+    });
+  }
+
+  /// SystemServer::on_overlay_removed with no defense delay: once no
+  /// overlay remains, cancel an in-flight show and dispatch the removal.
+  void on_removed() {
+    if (live_ > 0) return;
+    if (show_pending_) {
+      loop_.cancel(show_id_);
+      show_pending_ = false;
+    }
+    loop_.schedule_after(tnr_, [this] {
+      sysui_->dismiss_overlay_alert(server::kMalwareUid);
+    });
+  }
+
+  sim::EventLoop loop_;
+  sim::TraceRecorder trace_;
+  std::optional<server::SystemUi> sysui_;
+
+  sim::SimTime d_{0}, c0_{0}, cc_{0};
+  sim::SimTime tam_tas_{0}, trm_{0}, tn_{0}, tv_{0}, tnr_{0};
+  bool notify_ = true;
+
+  sim::SimTime busy_{0};  // malware-main actor busy_until
+  int cycles_ = 0;
+  int issues_ = 0;
+  int live_ = 0;  // live overlay count (wms_->overlay_count(uid))
+  bool show_pending_ = false;
+  sim::EventLoop::EventId show_id_{};
+  std::vector<Win> win_;
+};
+
+ReplayEngine& engine() {
+  thread_local ReplayEngine e;
+  return e;
+}
+
+}  // namespace
+
+bool eligible(const OutcomeProbeConfig& config) {
+  return config.deterministic && !config.add_before_remove &&
+         config.attacking_window > sim::SimTime{0};
+}
+
+bool eligible(const DBoundTrialConfig& config) {
+  // Every probe the search runs is deterministic, remove-before-add,
+  // D >= 1 ms — eligible whenever the trial itself is deterministic.
+  return config.deterministic && config.max_ms >= 1;
+}
+
+OutcomeProbe run_probe(const OutcomeProbeConfig& config) {
+  return engine().run(config);
+}
+
+DBoundTrialResult run_d_bound(const DBoundTrialConfig& config) {
+  // The same binary search the simulation tier runs — probe for probe —
+  // so `probes` and any --trials-out row match bit for bit.
+  DBoundTrialResult r;
+  auto lambda1 = [&config, &r](int d_ms) {
+    ++r.probes;
+    OutcomeProbeConfig pc;
+    pc.profile = config.profile;
+    pc.attacking_window = sim::ms(d_ms);
+    pc.duration = sim::seconds(3);
+    pc.seed = config.seed;
+    pc.deterministic = config.deterministic;
+    return run_probe(pc).outcome == percept::LambdaOutcome::kL1;
+  };
+  int lo = 1;                  // assumed Λ1 (checked below)
+  int hi = config.max_ms;      // assumed not Λ1
+  if (!lambda1(lo)) return r;  // d_upper_ms stays 0
+  if (lambda1(hi)) {
+    r.d_upper_ms = hi;
+    return r;
+  }
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo) / 2;
+    (lambda1(mid) ? lo : hi) = mid;
+  }
+  r.d_upper_ms = lo;
+  return r;
+}
+
+sim::SimTime time_to_reveal(const device::DeviceProfile& profile, int min_pixels) {
+  return ui::notification_slide_in().time_to_reveal(min_pixels,
+                                                    profile.notification_height_px);
+}
+
+sim::SimTime first_visible_pixel_after_issue(const device::DeviceProfile& profile) {
+  return profile.tam.mean() + profile.tas.mean() + profile.tn.mean() + profile.tv.mean() +
+         time_to_reveal(profile, ui::kNakedEyeMinPixels);
+}
+
+int closed_form_d_upper_ms(const device::DeviceProfile& profile, int max_ms) {
+  // Pre-Android-8 never warns about overlays: Λ1 at any D.
+  if (!device::traits(profile.version).overlay_notification) return max_ms;
+  const sim::SimTime a = profile.tam.mean() + profile.tas.mean();
+  const sim::SimTime r = profile.trm.mean();
+  // Removals that land after the next overlay has already been created
+  // (Tam + Tas < Trm) never leave the app overlay-less, so the alert is
+  // never dismissed and completes at any D.
+  if (a < r) return 0;
+  const sim::SimTime tmis = a - r;
+  // Per cycle the alert may play for D - Tmis - Tn - Tv + Tnr before the
+  // dismissal lands; Λ1 needs that below Ta (Eq. 3, exact microseconds).
+  const sim::SimTime boundary = time_to_reveal(profile, ui::kNakedEyeMinPixels) + tmis +
+                                profile.tn.mean() + profile.tv.mean() - profile.tnr.mean();
+  if (boundary <= sim::SimTime{0}) return 0;
+  const auto d_upper = static_cast<int>((boundary.count() - 1) / 1000);
+  return std::clamp(d_upper, 0, max_ms);
+}
+
+}  // namespace animus::core::analytic

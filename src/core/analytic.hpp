@@ -1,0 +1,69 @@
+// Analytic trial tier: closed forms plus a bit-exact schedule replay.
+//
+// The deterministic draw-and-destroy outcome probe is fully determined
+// by latency *means* — no randomness is consumed — so the whole trial
+// schedule (issue times under the blocking addView cost, Binder land
+// times, alert show/dismiss dispatches, Section III-C's overtaken
+// removals) can be precomputed and replayed against a real SystemUi
+// instance without constructing a World, windows, Binder records or
+// trace strings. The replay drives the very same SystemUi code the
+// simulation runs, through an event loop with the same (time, creation
+// order) tie-breaking, so the resulting AlertStats are byte-identical
+// to the simulation's — differential tests enforce this across every
+// device profile.
+//
+// On top of the replay, two true closed forms answer the paper's
+// headline quantities in O(1) from the interpolator, animation
+// duration, refresh interval and view height (Section III-B/D):
+// first-visible-pixel time and the Eq.(3) upper bound of D in exact
+// microsecond arithmetic.
+#pragma once
+
+#include "core/attack_analysis.hpp"
+#include "device/profile.hpp"
+#include "sim/time.hpp"
+
+namespace animus::core::analytic {
+
+/// Whether the analytic tier reproduces this probe exactly: the replay
+/// covers deterministic latencies and the paper's remove-before-add
+/// ordering (the add-before-remove failure mode serializes through the
+/// client-side actor in a way only the simulation models).
+[[nodiscard]] bool eligible(const OutcomeProbeConfig& config);
+
+/// Whether the analytic tier reproduces this D-bound search exactly
+/// (every probe the search runs must itself be eligible).
+[[nodiscard]] bool eligible(const DBoundTrialConfig& config);
+
+/// Replay the probe schedule. Precondition: eligible(config).
+[[nodiscard]] OutcomeProbe run_probe(const OutcomeProbeConfig& config);
+
+/// Binary-search the Λ1 boundary over analytic probes — the same search
+/// the simulation tier runs, probe for probe. Precondition:
+/// eligible(config).
+[[nodiscard]] DBoundTrialResult run_d_bound(const DBoundTrialConfig& config);
+
+// ------------------------------------------------------------ closed forms
+
+/// Ta: frame-quantized animation play time before the alert view
+/// presents at least `min_pixels` rounded pixels (ui::kNakedEyeMinPixels
+/// is the Λ1/Λ2 boundary). Exact, in microseconds.
+[[nodiscard]] sim::SimTime time_to_reveal(const device::DeviceProfile& profile,
+                                          int min_pixels);
+
+/// Time from an overlay addView *issue* to the first naked-eye-visible
+/// alert pixel, were the alert left alone: Tam + Tas + Tn + Tv + Ta.
+/// Deterministic means, exact microseconds.
+[[nodiscard]] sim::SimTime first_visible_pixel_after_issue(
+    const device::DeviceProfile& profile);
+
+/// Eq.(3) in exact microsecond arithmetic: the largest integer-ms
+/// attacking window D for which the per-cycle alert play time
+/// D - Tmis - Tn - Tv + Tnr stays below Ta — i.e. the boundary the
+/// simulated binary search finds, without running it. Clamped to
+/// [0, max_ms]; devices that never show the overlay alert (pre-Android
+/// 8) report max_ms.
+[[nodiscard]] int closed_form_d_upper_ms(const device::DeviceProfile& profile,
+                                         int max_ms = 1200);
+
+}  // namespace animus::core::analytic

@@ -3,9 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/overlay_attack.hpp"
-#include "server/world.hpp"
-
 namespace animus::core {
 
 double expected_total_mistouch_ms(const device::DeviceProfile& profile, double total_ms,
@@ -19,59 +16,6 @@ double predicted_capture_rate(const device::DeviceProfile& profile, double d_ms,
                               double contact_ms) {
   const double loss = (contact_ms + profile.expected_tmis_ms()) / d_ms;
   return std::clamp(1.0 - loss, 0.0, 1.0);
-}
-
-OutcomeProbe run_outcome_probe(const OutcomeProbeConfig& config) {
-  server::WorldConfig wc;
-  wc.profile = config.profile;
-  wc.seed = config.seed;
-  wc.deterministic = config.deterministic;
-  wc.trace_enabled = false;
-  server::World world{wc};
-  world.server().grant_overlay_permission(server::kMalwareUid);
-
-  OverlayAttackConfig oc;
-  oc.attacking_window = config.attacking_window;
-  oc.add_before_remove = config.add_before_remove;
-  OverlayAttack attack{world, oc};
-  attack.start();
-  world.run_until(config.duration);
-
-  OutcomeProbe probe;
-  probe.alert = world.system_ui().snapshot(server::kMalwareUid);
-  probe.outcome = percept::classify(probe.alert);
-  probe.cycles = attack.stats().cycles;
-  attack.stop();
-  return probe;
-}
-
-DBoundTrialResult run_d_bound_trial(const DBoundTrialConfig& config) {
-  // Λ1(D) is monotone: more waiting lets the slide-in animation play
-  // further. Binary search the boundary.
-  DBoundTrialResult r;
-  auto lambda1 = [&config, &r](int d_ms) {
-    ++r.probes;
-    OutcomeProbeConfig pc;
-    pc.profile = config.profile;
-    pc.attacking_window = sim::ms(d_ms);
-    pc.duration = sim::seconds(3);
-    pc.seed = config.seed;
-    pc.deterministic = config.deterministic;
-    return run_outcome_probe(pc).outcome == percept::LambdaOutcome::kL1;
-  };
-  int lo = 1;                 // assumed Λ1 (checked below)
-  int hi = config.max_ms;     // assumed not Λ1
-  if (!lambda1(lo)) return r;  // d_upper_ms stays 0
-  if (lambda1(hi)) {
-    r.d_upper_ms = hi;
-    return r;
-  }
-  while (hi - lo > 1) {
-    const int mid = lo + (hi - lo) / 2;
-    (lambda1(mid) ? lo : hi) = mid;
-  }
-  r.d_upper_ms = lo;
-  return r;
 }
 
 }  // namespace animus::core

@@ -1,11 +1,15 @@
 // Closed-form analysis of Section III-D and simulation probes that
 // cross-check it (Eq. 1-3, Table II regeneration, Fig. 6 outcomes).
 //
-// The simulation probes follow the unified trial shape (config struct
-// in with `seed` + `deterministic`, result struct out) so they plug
-// into runner::sweep exactly like the report.hpp trials.
+// The probes follow the unified trial shape (config struct in with
+// `seed` + `deterministic`, result struct out) so they plug into
+// runner::sweep exactly like the report.hpp trials. The free functions
+// below are one-shot conveniences over core::TrialSession
+// (trial_session.hpp), which reuses one World across trials and routes
+// eligible configs to the analytic tier (`tier` field, core/tier.hpp).
 #pragma once
 
+#include "core/tier.hpp"
 #include "device/profile.hpp"
 #include "percept/outcomes.hpp"
 #include "server/system_ui.hpp"
@@ -40,6 +44,8 @@ struct OutcomeProbeConfig {
   std::uint64_t seed = 0x414e494d5553ULL;  // "ANIMUS"
   /// Use latency means instead of samples (boundary-search style).
   bool deterministic = true;
+  /// Execution tier; kAuto takes the analytic fast path when eligible.
+  Tier tier = Tier::kAuto;
 };
 
 struct OutcomeProbe {
@@ -60,6 +66,8 @@ struct DBoundTrialConfig {
   int max_ms = 1200;
   std::uint64_t seed = 0x414e494d5553ULL;
   bool deterministic = true;
+  /// Execution tier; kAuto takes the analytic fast path when eligible.
+  Tier tier = Tier::kAuto;
 };
 
 struct DBoundTrialResult {
@@ -68,28 +76,5 @@ struct DBoundTrialResult {
 };
 
 DBoundTrialResult run_d_bound_trial(const DBoundTrialConfig& config);
-
-// ---------------------------------------------------------------------
-// Deprecated positional wrappers (the pre-runner API). Prefer the
-// config-struct entry points above, which share the runner::sweep shape.
-// ---------------------------------------------------------------------
-
-inline OutcomeProbe probe_outcome(const device::DeviceProfile& profile, sim::SimTime d,
-                                  sim::SimTime duration = sim::seconds(5),
-                                  bool add_before_remove = false) {
-  OutcomeProbeConfig config;
-  config.profile = profile;
-  config.attacking_window = d;
-  config.duration = duration;
-  config.add_before_remove = add_before_remove;
-  return run_outcome_probe(config);
-}
-
-inline int find_d_upper_bound_ms(const device::DeviceProfile& profile, int max_ms = 1200) {
-  DBoundTrialConfig config;
-  config.profile = profile;
-  config.max_ms = max_ms;
-  return run_d_bound_trial(config).d_upper_ms;
-}
 
 }  // namespace animus::core

@@ -30,9 +30,11 @@ void OverlayAttack::start() {
   stats_ = Stats{};
   stats_.running = true;
   stats_.started = world_->now();
-  world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
-                         metrics::fmt("overlay attack start D=%.1fms",
-                                      sim::to_ms(config_.attacking_window)));
+  if (world_->trace().enabled()) {
+    world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
+                           metrics::fmt("overlay attack start D=%.1fms",
+                                        sim::to_ms(config_.attacking_window)));
+  }
   cycle_start_ = world_->now();
   // Step 1: the first notification performs only addView(O1).
   main_thread_->post(sim::ms_f(0.1), server::kAddViewClientCost, [this] {
@@ -50,8 +52,10 @@ void OverlayAttack::tick() {
   ++stats_.cycles;
   // One completed draw-and-destroy round as a duration span: cycles are
   // strictly sequential, so the attack track nests cleanly in Perfetto.
-  world_->trace().span(cycle_start_, world_->now(), sim::TraceCategory::kAttack,
-                       metrics::fmt("draw-destroy cycle %d", stats_.cycles));
+  if (world_->trace().enabled()) {
+    world_->trace().span(cycle_start_, world_->now(), sim::TraceCategory::kAttack,
+                         metrics::fmt("draw-destroy cycle %d", stats_.cycles));
+  }
   cycle_start_ = world_->now();
   // Step 2: remove the displayed overlay, then add the other one. The
   // add call blocks the main thread for kAddViewClientCost, which is why
@@ -87,8 +91,10 @@ void OverlayAttack::stop() {
     if (current_ != 0) world_->server().remove_view(config_.uid, current_);
     current_ = 0;
   });
-  world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
-                         metrics::fmt("overlay attack stop after %d cycles", stats_.cycles));
+  if (world_->trace().enabled()) {
+    world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
+                           metrics::fmt("overlay attack stop after %d cycles", stats_.cycles));
+  }
 }
 
 }  // namespace animus::core

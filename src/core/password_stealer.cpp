@@ -96,11 +96,13 @@ void PasswordStealer::trigger(bool via_username_workaround) {
   result_.triggered_at = world_->now();
   believed_.reset(input::LayoutKind::kLower);
   stream_.clear();
-  world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
-                         metrics::fmt("password stealer triggered (%s) D=%.1fms",
-                                      via_username_workaround ? "username workaround"
-                                                              : "password focus",
-                                      sim::to_ms(attacking_window())));
+  if (world_->trace().enabled()) {
+    world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
+                           metrics::fmt("password stealer triggered (%s) D=%.1fms",
+                                        via_username_workaround ? "username workaround"
+                                                                : "password focus",
+                                        sim::to_ms(attacking_window())));
+  }
   toast_->start();
   overlay_->start();
 }

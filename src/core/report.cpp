@@ -2,10 +2,6 @@
 
 #include <cctype>
 
-#include "core/overlay_attack.hpp"
-#include "core/password_stealer.hpp"
-#include "server/world.hpp"
-
 namespace animus::core {
 
 std::string_view to_string(PasswordErrorKind k) {
@@ -32,134 +28,6 @@ PasswordErrorKind classify_password_error(const std::string& intended,
     }
   }
   return case_only ? PasswordErrorKind::kCapitalization : PasswordErrorKind::kWrongKey;
-}
-
-PasswordTrialResult run_password_trial(const PasswordTrialConfig& config) {
-  server::WorldConfig wc;
-  wc.profile = config.profile;
-  wc.seed = config.seed;
-  wc.deterministic = config.deterministic;
-  wc.trace_enabled = false;
-  server::World world{wc};
-  world.server().grant_overlay_permission(server::kMalwareUid);
-
-  victim::VictimApp victim{world, config.app};
-  victim.open_login_screen();
-
-  PasswordStealerConfig sc;
-  sc.attacking_window = config.d_override;
-  sc.toast_duration = config.toast_duration;
-  PasswordStealer stealer{world, victim, sc};
-  stealer.arm();
-
-  input::Typist typist{config.typist, world.fork_rng("typist").fork(config.seed)};
-  const input::Keyboard keyboard{victim.keyboard_bounds()};
-
-  // --- Phase 1: focus the username field and type the username on the
-  // real keyboard (no attack yet). ---
-  const ui::Point username_tap = victim.username_bounds().center();
-  world.loop().schedule_at(sim::ms(300),
-                           [&world, username_tap] { world.input().inject_tap(username_tap); });
-  const auto username_touches =
-      typist.plan(keyboard, config.username, sim::ms(700), /*press_enter=*/false);
-  for (const auto& pt : username_touches) {
-    world.loop().schedule_at(pt.at, [&world, pt] { world.input().inject_tap(pt.point); });
-  }
-  const sim::SimTime username_done =
-      username_touches.empty() ? sim::ms(700) : username_touches.back().at;
-
-  // --- Phase 2: focus the password field; accessibility events trigger
-  // the stealer (directly, or via the username workaround). ---
-  const sim::SimTime password_focus = username_done + sim::ms(400);
-  const ui::Point password_tap = victim.password_bounds().center();
-  world.loop().schedule_at(password_focus,
-                           [&world, password_tap] { world.input().inject_tap(password_tap); });
-
-  // --- Phase 3: type the password on what the user believes is the
-  // keyboard (actually the fake-keyboard toast under the overlays). ---
-  const auto password_touches =
-      typist.plan(keyboard, config.password, password_focus + sim::ms(800),
-                  /*press_enter=*/false);
-  for (const auto& pt : password_touches) {
-    world.loop().schedule_at(pt.at, [&world, pt] { world.input().inject_tap(pt.point); });
-  }
-  const sim::SimTime last_touch =
-      password_touches.empty() ? password_focus : password_touches.back().at;
-  const sim::SimTime trial_end = last_touch + sim::ms(500);
-  world.run_until(trial_end);
-
-  PasswordTrialResult r;
-  r.intended = config.password;
-  r.password_touches = static_cast<int>(password_touches.size());
-  r.leaked_to_real_keyboard = static_cast<int>(victim.password_text().size());
-  r.alert = world.system_ui().snapshot(server::kMalwareUid);
-  r.alert_outcome = percept::classify(r.alert);
-  r.decoded = stealer.finalize();
-  world.run_until(trial_end + sim::seconds(1));  // let teardown settle
-
-  r.triggered = stealer.result().triggered;
-  r.used_username_workaround = stealer.result().used_username_workaround;
-  r.widget_filled = stealer.result().widget_filled;
-  r.captured_touches = stealer.result().captured_touches;
-  r.error = classify_password_error(r.intended, r.decoded);
-  r.success = r.error == PasswordErrorKind::kNone;
-  if (r.triggered) {
-    // Scan once the first fake-keyboard toast has fully faded in: during
-    // that initial 500 ms the *identical* real keyboard shows through
-    // the translucent toast, so there is nothing for the user to see.
-    r.flicker = percept::scan_flicker(world.wms(), server::kMalwareUid, "fake_keyboard",
-                                      stealer.result().triggered_at + sim::ms(800), trial_end);
-  }
-  return r;
-}
-
-CaptureTrialResult run_capture_trial(const CaptureTrialConfig& config) {
-  server::WorldConfig wc;
-  wc.profile = config.profile;
-  wc.seed = config.seed;
-  wc.deterministic = config.deterministic;
-  wc.trace_enabled = false;
-  server::World world{wc};
-  world.server().grant_overlay_permission(server::kMalwareUid);
-
-  // The instrumented test app: a full-screen activity with an input
-  // widget; every completed tap on the widget is a typed character.
-  const ui::Rect widget{90, 900, 900, 600};
-  std::size_t typed_into_app = 0;
-  ui::Window app;
-  app.owner_uid = server::kBenignUid;
-  app.type = ui::WindowType::kActivity;
-  app.bounds = ui::Rect{0, 0, 1080, 2280};
-  app.content = "testapp";
-  app.on_touch = [&typed_into_app](sim::SimTime, ui::Point) { ++typed_into_app; };
-  world.wms().add_window_now(std::move(app));
-
-  OverlayAttackConfig oc;
-  oc.attacking_window = config.attacking_window;
-  oc.bounds = widget;
-  oc.capture_on_down = false;  // characters register on complete gestures
-  OverlayAttack attack{world, oc};
-
-  input::Typist typist{config.typist, world.fork_rng("typist").fork(config.seed)};
-  const auto taps = typist.plan_taps(widget, config.touches, sim::ms(1000));
-  for (const auto& pt : taps) {
-    world.loop().schedule_at(pt.at, [&world, pt] { world.input().inject_tap(pt.point); });
-  }
-
-  world.loop().schedule_at(sim::ms(200), [&attack] { attack.start(); });
-  const sim::SimTime end = (taps.empty() ? sim::ms(1000) : taps.back().at) + sim::ms(500);
-  world.run_until(end);
-
-  CaptureTrialResult r;
-  r.touches = config.touches;
-  r.captured = static_cast<std::size_t>(attack.stats().captures);
-  r.rate = config.touches == 0 ? 0.0
-                               : static_cast<double>(r.captured) /
-                                     static_cast<double>(config.touches);
-  r.alert = world.system_ui().snapshot(server::kMalwareUid);
-  r.alert_outcome = percept::classify(r.alert);
-  attack.stop();
-  return r;
 }
 
 }  // namespace animus::core

@@ -5,7 +5,10 @@
 // in (with `seed` and `deterministic` fields, named identically
 // everywhere) and a result struct out, so any trial plugs into
 // runner::sweep without adapters. See also attack_analysis.hpp for the
-// outcome-probe and D-bound trials.
+// outcome-probe and D-bound trials. The free run_* functions are
+// one-shot conveniences over core::TrialSession (trial_session.hpp),
+// which reuses one World across trials; sweeps should use
+// TrialSession::local().
 #pragma once
 
 #include <string>

@@ -1,0 +1,39 @@
+// Execution tier of a trial: full event-driven simulation, the
+// closed-form/replay analytic fast path, or automatic selection.
+//
+// The analytic tier is bit-exact with the simulation on its domain
+// (deterministic latencies, remove-before-add attack order, no defense,
+// no fault injection, no background contention) — differential tests
+// lock the two together. Outside that domain the analytic tier falls
+// back to simulation, so `kAuto` is always safe to request.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace animus::core {
+
+enum class Tier {
+  kAuto,      ///< analytic when the config is eligible, simulation otherwise
+  kSim,       ///< always run the full event-driven simulation
+  kAnalytic,  ///< request the analytic fast path (simulation if ineligible)
+};
+
+constexpr std::string_view to_string(Tier t) {
+  switch (t) {
+    case Tier::kAuto: return "auto";
+    case Tier::kSim: return "sim";
+    case Tier::kAnalytic: return "analytic";
+  }
+  return "?";
+}
+
+/// Parse a --tier value; empty optional on an unknown name.
+constexpr std::optional<Tier> parse_tier(std::string_view s) {
+  if (s == "auto") return Tier::kAuto;
+  if (s == "sim") return Tier::kSim;
+  if (s == "analytic") return Tier::kAnalytic;
+  return std::nullopt;
+}
+
+}  // namespace animus::core

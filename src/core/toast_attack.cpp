@@ -27,9 +27,11 @@ void ToastAttack::start() {
   stats_ = Stats{};
   stats_.running = true;
   stats_.started = world_->now();
-  world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
-                         metrics::fmt("toast attack start dur=%.0fms",
-                                      sim::to_ms(config_.toast_duration)));
+  if (world_->trace().enabled()) {
+    world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
+                           metrics::fmt("toast attack start dur=%.0fms",
+                                        sim::to_ms(config_.toast_duration)));
+  }
   if (config_.enqueue_interval > sim::SimTime{0}) {
     // Fig. 5 workflow: the worker thread enqueues every D.
     timer_tick();
@@ -62,8 +64,10 @@ void ToastAttack::switch_content(std::string content) {
   if (config_.content == content) return;
   config_.content = std::move(content);
   ++stats_.content_switches;
-  world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
-                         "toast attack: switch to " + config_.content);
+  if (world_->trace().enabled()) {
+    world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
+                           "toast attack: switch to " + config_.content);
+  }
   if (!stats_.running) return;
   // Purge stale queued boards, queue a toast with the new board, then
   // cancel the current one so the replacement appears immediately
@@ -80,8 +84,10 @@ void ToastAttack::stop() {
   stats_.running = false;
   stats_.stopped = world_->now();
   world_->loop().cancel(timer_);
-  world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
-                         metrics::fmt("toast attack stop after %d toasts", stats_.shown));
+  if (world_->trace().enabled()) {
+    world_->trace().record(world_->now(), sim::TraceCategory::kAttack,
+                           metrics::fmt("toast attack stop after %d toasts", stats_.shown));
+  }
 }
 
 }  // namespace animus::core

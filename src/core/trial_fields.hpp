@@ -1,4 +1,4 @@
-// Field descriptors for the trial result structs.
+// Field descriptors for the trial config and result structs.
 //
 // Declaring ANIMUS_FIELDS(Type, ...) gives a struct a TrialCodec "for
 // free": checkpoint encode/decode, cross-process transport over the
@@ -10,14 +10,47 @@
 //
 // Each declaration must list every field that defines the result: a
 // field left out silently round-trips as its default, which would break
-// the backends' byte-identical-stdout contract.
+// the backends' byte-identical-stdout contract. The config structs are
+// declared too, so a campaign can ship a whole trial description across
+// the process boundary (or pin one into a checkpoint) with the same
+// byte-exact guarantees as the results.
 #pragma once
 
 #include "core/attack_analysis.hpp"
 #include "core/report.hpp"
+#include "input/typist.hpp"
 #include "percept/flicker.hpp"
 #include "runner/field_codec.hpp"
 #include "server/system_ui.hpp"
+#include "victim/victim_app.hpp"
+
+namespace animus::ipc {
+
+ANIMUS_FIELDS(LatencyModel, mean_ms, sd_ms, floor_ms)
+
+}  // namespace animus::ipc
+
+namespace animus::device {
+
+ANIMUS_FIELDS(DeviceProfile, manufacturer, model, version, screen_w, screen_h,
+              notification_height_px, tam, trm, tas, tn, tv, tnr, toast_create,
+              d_upper_bound_table_ms, load_factor)
+
+}  // namespace animus::device
+
+namespace animus::input {
+
+ANIMUS_FIELDS(TypistProfile, name, inter_key_mean_ms, inter_key_sd_ms, inter_key_min_ms,
+              jitter_frac, misspell_rate)
+
+}  // namespace animus::input
+
+namespace animus::victim {
+
+ANIMUS_FIELDS(VictimAppSpec, name, version, disables_password_accessibility,
+              shares_parent_view)
+
+}  // namespace animus::victim
 
 namespace animus::server {
 
@@ -34,9 +67,20 @@ ANIMUS_FIELDS(FlickerResult, min_alpha, longest_dip, dips, noticeable)
 
 namespace animus::core {
 
+ANIMUS_FIELDS(OutcomeProbeConfig, profile, attacking_window, duration, add_before_remove,
+              seed, deterministic, tier)
+
 ANIMUS_FIELDS(OutcomeProbe, outcome, alert, cycles)
 
+ANIMUS_FIELDS(DBoundTrialConfig, profile, max_ms, seed, deterministic, tier)
+
 ANIMUS_FIELDS(DBoundTrialResult, d_upper_ms, probes)
+
+ANIMUS_FIELDS(CaptureTrialConfig, profile, typist, attacking_window, touches, seed,
+              deterministic)
+
+ANIMUS_FIELDS(PasswordTrialConfig, profile, app, typist, username, password, seed,
+              deterministic, d_override, toast_duration)
 
 ANIMUS_FIELDS(PasswordTrialResult, intended, decoded, error, success, triggered,
               used_username_workaround, widget_filled, captured_touches, password_touches,

@@ -1,0 +1,84 @@
+// TrialSession: the redesigned trial entry point.
+//
+// One session owns one arena-backed World and runs trials back to back
+// against it: instead of constructing (and tearing down) a World per
+// trial, each trial opens a fresh *epoch* via World::reset_to_epoch,
+// which restores the pristine just-constructed state while keeping the
+// event-loop slabs, window history vectors and Binder ledgers warm.
+// Results are byte-identical to fresh-World runs — the session tests
+// lock the two flows together, including under fault injection — at a
+// fraction of the per-trial cost.
+//
+// The session is also the tier dispatcher: probe and D-bound configs
+// carry a `tier` field (core/tier.hpp), and eligible deterministic
+// trials are answered by the analytic replay (core/analytic.hpp)
+// without touching the World at all. `kAuto` is the default; requesting
+// `kAnalytic` for an ineligible config falls back to simulation and
+// bumps the `animus_analytic_fallbacks_total` counter.
+//
+// Construction idiom (uniform across every trial kind): configs are
+// aggregates with designated-initializer-friendly defaults; name the
+// fields you change and let the rest default —
+//
+//   core::TrialSession session;
+//   auto probe = session.run(core::OutcomeProbeConfig{
+//       .profile = device::reference_device(),
+//       .attacking_window = sim::ms(150),
+//   });
+//
+// The free run_* functions remain as one-shot conveniences (fresh
+// session per call) for tests and examples that run a single trial;
+// sweeps should use TrialSession::local(), one session per worker
+// thread.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/attack_analysis.hpp"
+#include "core/report.hpp"
+#include "server/world.hpp"
+
+namespace animus::core {
+
+class TrialSession {
+ public:
+  TrialSession() = default;
+  TrialSession(const TrialSession&) = delete;
+  TrialSession& operator=(const TrialSession&) = delete;
+
+  /// Fig. 6 outcome probe. Analytic-tier eligible when deterministic
+  /// with the paper's remove-before-add ordering.
+  OutcomeProbe run(const OutcomeProbeConfig& config);
+
+  /// Table II D-upper-bound search. Analytic-tier eligible when
+  /// deterministic; the search reuses this session's World across its
+  /// probes on the simulation tier.
+  DBoundTrialResult run(const DBoundTrialConfig& config);
+
+  /// Section VI-B capture-rate trial (stochastic: always simulated).
+  CaptureTrialResult run(const CaptureTrialConfig& config);
+
+  /// Section VI-C1 password-stealing trial (stochastic: always simulated).
+  PasswordTrialResult run(const PasswordTrialConfig& config);
+
+  /// Session shared by all trials on the current thread — what
+  /// runner::sweep trial bodies should use.
+  static TrialSession& local();
+
+  /// Epochs opened so far (trials run on the simulation tier).
+  [[nodiscard]] std::size_t epochs() const { return epochs_; }
+
+ private:
+  /// Open a fresh epoch: reset the session World to `config`, or build
+  /// it on first use. The returned World is byte-identical to a freshly
+  /// constructed one.
+  server::World& begin_epoch(server::WorldConfig config);
+
+  OutcomeProbe run_sim(const OutcomeProbeConfig& config);
+
+  std::optional<server::World> world_;
+  std::size_t epochs_ = 0;
+};
+
+}  // namespace animus::core

@@ -31,9 +31,11 @@ void SoftKeyboard::on_touch(sim::SimTime, ui::Point p) {
   if (key == nullptr) return;  // dead zone between keys
   ++presses_;
   const auto result = state_.press(*key);
-  world_->trace().record(world_->now(), sim::TraceCategory::kInput,
-                         metrics::fmt("ime: press '%s' layout=%s", key->label.c_str(),
-                                      std::string(to_string(state_.current())).c_str()));
+  if (world_->trace().enabled()) {
+    world_->trace().record(world_->now(), sim::TraceCategory::kInput,
+                           metrics::fmt("ime: press '%s' layout=%s", key->label.c_str(),
+                                        std::string(to_string(state_.current())).c_str()));
+  }
   if (sink_) sink_(result);
 }
 

@@ -65,6 +65,17 @@ class TransactionLog {
   [[nodiscard]] std::size_t size() const { return log_.size(); }
   void clear() { log_.clear(); }
 
+  /// Restore the freshly-constructed state (ledger emptied, ids rewound,
+  /// observers dropped, tracing detached); entry storage capacity is
+  /// retained for the next trial of a session.
+  void reset() {
+    enabled_ = true;
+    trace_ = nullptr;
+    next_id_ = 1;
+    log_.clear();
+    observers_.clear();
+  }
+
  private:
   bool enabled_ = true;
   sim::TraceRecorder* trace_ = nullptr;

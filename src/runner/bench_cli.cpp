@@ -57,7 +57,7 @@ CampaignState& state() {
   std::fprintf(
       out,
       "usage: %s [--jobs N] [--seed S] [--backend NAME] [--shards N]\n"
-      "          [--inject-fault RATE] [--csv] [--trials-out FILE]\n"
+      "          [--tier NAME] [--inject-fault RATE] [--csv] [--trials-out FILE]\n"
       "          [--trace-out FILE] [--trace-trial N] [--metrics-out FILE]\n"
       "          [--stream-out FILE] [--stream-interval MS] [--progress]\n"
       "          [--checkpoint-out FILE] [--checkpoint-interval N]\n"
@@ -69,6 +69,9 @@ CampaignState& state() {
       "                        worker costs one trial, not the sweep)\n"
       "  --shards N            worker processes for --backend=process\n"
       "                        (0 = all hardware cores)\n"
+      "  --tier NAME           trial tier: auto (default; analytic fast path\n"
+      "                        when eligible), sim, or analytic (ineligible\n"
+      "                        trials fall back to sim)\n"
       "  --inject-fault RATE   deterministically fail ~RATE of campaign trials\n"
       "                        (seed-derived; injected vs organic error counts\n"
       "                        are recorded in the run manifest)\n"
@@ -196,6 +199,12 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       }
     } else if (arg == "--shards") {
       args.shards = std::atoi(value("--shards").c_str());
+    } else if (arg == "--tier") {
+      args.tier = value("--tier");
+      if (args.tier != "auto" && args.tier != "sim" && args.tier != "analytic") {
+        std::fprintf(stderr, "%s: --tier must be auto, sim or analytic\n", argv[0]);
+        usage(argv[0], 2);
+      }
     } else if (arg == "--inject-fault") {
       args.inject_fault = std::strtod(value("--inject-fault").c_str(), nullptr);
       if (args.inject_fault < 0.0 || args.inject_fault > 1.0) {

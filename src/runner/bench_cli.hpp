@@ -11,6 +11,12 @@
 //                         worker costs one trial, not the sweep)
 //   --shards N            worker processes for --backend=process
 //                         (0 = all hardware cores)
+//   --tier NAME           trial execution tier: `auto` (default; closed-form
+//                         analytic replay when a trial is eligible, full
+//                         simulation otherwise), `sim` (force simulation)
+//                         or `analytic` (force the fast tier; ineligible
+//                         trials fall back to sim and bump the
+//                         animus_analytic_fallbacks_total counter)
 //   --inject-fault RATE   deterministically fail ~RATE of campaign
 //                         trials (seed-derived set; exercises the error
 //                         path; injected vs organic counts land in the
@@ -74,6 +80,7 @@ struct BenchArgs {
   RunOptions run;           ///< jobs + root_seed feed runner::sweep directly
   std::string backend;      ///< "" or "threads" or "process"
   int shards = 0;           ///< process-backend worker count (0 = all cores)
+  std::string tier = "auto";         ///< trial tier: auto | sim | analytic
   double inject_fault = 0.0;         ///< fraction of trials to fail (0..1)
   bool csv = false;         ///< CSV tables on stdout, commentary suppressed
   bool progress = false;    ///< stderr heartbeat even without --stream-out

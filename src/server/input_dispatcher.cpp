@@ -21,8 +21,10 @@ void InputDispatcher::inject_tap(ui::Point p, sim::SimTime contact,
   const WindowRecord* rec = wms_->topmost_touchable_at(p, down);
   if (rec == nullptr) {
     ++stats_.untargeted;
-    trace_->record(down, sim::TraceCategory::kInput,
-                   metrics::fmt("input: tap (%d,%d) -> no target", p.x, p.y));
+    if (trace_->enabled()) {
+      trace_->record(down, sim::TraceCategory::kInput,
+                     metrics::fmt("input: tap (%d,%d) -> no target", p.x, p.y));
+    }
     if (done) done(TouchOutcome{});
     return;
   }
@@ -36,29 +38,44 @@ void InputDispatcher::inject_tap(ui::Point p, sim::SimTime contact,
     // later destruction of the window cannot take it back.
     outcome.kind = TouchOutcome::Kind::kDelivered;
     ++stats_.delivered;
-    trace_->record(down, sim::TraceCategory::kInput,
-                   metrics::fmt("input: down (%d,%d) -> %s uid=%d", p.x, p.y,
-                                std::string(ui::to_string(outcome.target_type)).c_str(),
-                                outcome.target_uid));
+    if (trace_->enabled()) {
+      trace_->record(down, sim::TraceCategory::kInput,
+                     metrics::fmt("input: down (%d,%d) -> %s uid=%d", p.x, p.y,
+                                  std::string(ui::to_string(outcome.target_type)).c_str(),
+                                  outcome.target_uid));
+    }
     if (rec->window.on_touch) rec->window.on_touch(down, p);
     if (done) done(outcome);
     return;
   }
-  loop_->schedule_after(contact, [this, id, p, down, outcome, done = std::move(done)]() mutable {
+  // The capture is kept <= 64 bytes so the event loop stores it inline;
+  // the outcome is rebuilt at delivery from the record (which outlives
+  // the window) instead of riding along in the capture.
+  loop_->schedule_after(contact, [this, id, p, down, done = std::move(done)]() mutable {
     const WindowRecord* bound = wms_->find(id);
+    TouchOutcome outcome;
+    outcome.target = id;
+    if (bound != nullptr) {
+      outcome.target_type = bound->window.type;
+      outcome.target_uid = bound->window.owner_uid;
+    }
     if (bound != nullptr && bound->alive_at(loop_->now())) {
       outcome.kind = TouchOutcome::Kind::kDelivered;
       ++stats_.delivered;
-      trace_->record(loop_->now(), sim::TraceCategory::kInput,
-                     metrics::fmt("input: tap (%d,%d) -> %s uid=%d", p.x, p.y,
-                                  std::string(ui::to_string(outcome.target_type)).c_str(),
-                                  outcome.target_uid));
+      if (trace_->enabled()) {
+        trace_->record(loop_->now(), sim::TraceCategory::kInput,
+                       metrics::fmt("input: tap (%d,%d) -> %s uid=%d", p.x, p.y,
+                                    std::string(ui::to_string(outcome.target_type)).c_str(),
+                                    outcome.target_uid));
+      }
       if (bound->window.on_touch) bound->window.on_touch(down, p);
     } else {
       outcome.kind = TouchOutcome::Kind::kCancelled;
       ++stats_.cancelled;
-      trace_->record(loop_->now(), sim::TraceCategory::kInput,
-                     metrics::fmt("input: tap (%d,%d) cancelled (window gone)", p.x, p.y));
+      if (trace_->enabled()) {
+        trace_->record(loop_->now(), sim::TraceCategory::kInput,
+                       metrics::fmt("input: tap (%d,%d) cancelled (window gone)", p.x, p.y));
+      }
     }
     if (done) done(outcome);
   });

@@ -67,6 +67,13 @@ class InputDispatcher {
   void set_contact_model(const TouchContactModel& m) { contact_ = m; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Restore the freshly-constructed state with a fresh RNG substream.
+  void reset(sim::Rng rng) {
+    rng_ = rng;
+    contact_ = TouchContactModel{};
+    stats_ = Stats{};
+  }
+
  private:
   sim::EventLoop* loop_;
   sim::TraceRecorder* trace_;

@@ -19,15 +19,33 @@ NotificationManagerService::NotificationManagerService(sim::EventLoop& loop,
       max_tokens_per_app_(traits(profile.version).max_toast_tokens_per_app),
       serialized_(traits(profile.version).serialized_toasts) {}
 
+void NotificationManagerService::reset(const device::DeviceProfile& profile, sim::Rng rng) {
+  rng_ = rng;
+  toast_create_ = profile.toast_create;
+  max_tokens_per_app_ = traits(profile.version).max_toast_tokens_per_app;
+  serialized_ = traits(profile.version).serialized_toasts;
+  deterministic_ = false;
+  inter_toast_gap_ = sim::SimTime{0};
+  next_allowed_show_ = sim::SimTime{0};
+  queue_.clear();
+  tokens_per_uid_.clear();
+  showing_ = false;
+  current_ = Current{};
+  stats_ = Stats{};
+  listeners_.clear();
+}
+
 bool NotificationManagerService::enqueue_toast_now(ToastRequest request) {
   // Clamp to the two durations Android offers.
   request.duration = request.duration >= kToastLong ? kToastLong : kToastShort;
   int& tokens = tokens_per_uid_[request.uid];
   if (tokens >= max_tokens_per_app_) {
     ++stats_.rejected;
-    trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
-                   metrics::fmt("nms: enqueueToast rejected uid=%d (cap %d)", request.uid,
-                                max_tokens_per_app_));
+    if (trace_->enabled()) {
+      trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
+                     metrics::fmt("nms: enqueueToast rejected uid=%d (cap %d)", request.uid,
+                                  max_tokens_per_app_));
+    }
     return false;
   }
   ++tokens;
@@ -54,9 +72,11 @@ bool NotificationManagerService::enqueue_toast_now(ToastRequest request) {
   }
   queue_.push_back(std::move(request));
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
-  trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
-                 metrics::fmt("nms: token enqueued uid=%d depth=%zu", queue_.back().uid,
-                              queue_.size()));
+  if (trace_->enabled()) {
+    trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
+                   metrics::fmt("nms: token enqueued uid=%d depth=%zu", queue_.back().uid,
+                                queue_.size()));
+  }
   maybe_show_next();
   return true;
 }
@@ -83,10 +103,12 @@ void NotificationManagerService::maybe_show_next() {
     w.content = request.content;
     const ui::WindowId id = wms_->add_toast_now(w);
     ++stats_.shown;
-    trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
-                   metrics::fmt("nms: toast shown uid=%d id=%llu dur=%.0fms", request.uid,
-                                static_cast<unsigned long long>(id),
-                                sim::to_ms(request.duration)));
+    if (trace_->enabled()) {
+      trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
+                     metrics::fmt("nms: toast shown uid=%d id=%llu dur=%.0fms", request.uid,
+                                  static_cast<unsigned long long>(id),
+                                  sim::to_ms(request.duration)));
+    }
     current_.window = id;
     current_.on_screen = true;
     current_.shown_at = loop_->now();
@@ -100,7 +122,7 @@ void NotificationManagerService::maybe_show_next() {
 void NotificationManagerService::retire(ui::WindowId id) {
   // Full-opacity slot of the retiring toast (surface landed -> fade-out
   // start); the 500 ms fade tails are separate kAnimation records.
-  if (current_.on_screen && current_.window == id) {
+  if (current_.on_screen && current_.window == id && trace_->enabled()) {
     trace_->span(current_.shown_at, loop_->now(), sim::TraceCategory::kSystemServer,
                  metrics::fmt("toast visible uid=%d id=%llu", current_.uid,
                               static_cast<unsigned long long>(id)));
@@ -115,9 +137,11 @@ void NotificationManagerService::retire(ui::WindowId id) {
 bool NotificationManagerService::cancel_current(int uid) {
   if (!showing_ || current_.uid != uid || !current_.on_screen) return false;
   loop_->cancel(current_.expiry);
-  trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
-                 metrics::fmt("nms: toast cancelled uid=%d id=%llu", uid,
-                              static_cast<unsigned long long>(current_.window)));
+  if (trace_->enabled()) {
+    trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
+                   metrics::fmt("nms: toast cancelled uid=%d id=%llu", uid,
+                                static_cast<unsigned long long>(current_.window)));
+  }
   retire(current_.window);
   return true;
 }
@@ -133,7 +157,7 @@ int NotificationManagerService::cancel_queued(int uid, std::string_view keep_con
       ++it;
     }
   }
-  if (dropped > 0) {
+  if (dropped > 0 && trace_->enabled()) {
     trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
                    metrics::fmt("nms: %d queued tokens cancelled uid=%d", dropped, uid));
   }

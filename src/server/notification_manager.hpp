@@ -82,6 +82,11 @@ class NotificationManagerService {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] int max_tokens_per_app() const { return max_tokens_per_app_; }
 
+  /// Restore the freshly-constructed state for `profile` with a fresh RNG
+  /// substream (queue, token caps, current toast and listeners cleared).
+  /// Scheduled expiry events must be torn down via EventLoop::reset.
+  void reset(const device::DeviceProfile& profile, sim::Rng rng);
+
  private:
   void maybe_show_next();
   void retire(ui::WindowId id);

@@ -24,6 +24,23 @@ sim::SimTime SystemServer::sample(const ipc::LatencyModel& m) {
   return deterministic_ ? m.mean() : m.sample(rng_);
 }
 
+void SystemServer::reset(sim::Rng rng, const device::DeviceProfile& profile) {
+  rng_ = rng;
+  profile_ = profile;
+  traits_ = device::traits(profile.version);
+  deterministic_ = false;
+  settings_foreground_ = false;
+  alert_removal_delay_ = sim::SimTime{0};
+  overlay_permitted_.clear();
+  rejected_overlays_ = 0;
+  next_handle_ = 1;
+  handle_to_window_.clear();
+  deferred_removals_.clear();
+  pending_alert_removal_.clear();
+  pending_alert_show_.clear();
+  nms_last_delivery_ = sim::SimTime{0};
+}
+
 void SystemServer::set_deterministic(bool on) {
   deterministic_ = on;
   nms_->set_deterministic(on);
@@ -38,38 +55,48 @@ sim::SimTime SystemServer::effective_tn() const {
 ViewHandle SystemServer::add_view(int uid, OverlaySpec spec) {
   if (!has_overlay_permission(uid)) {
     ++rejected_overlays_;
-    trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
-                   metrics::fmt("wms: addView denied (no SYSTEM_ALERT_WINDOW) uid=%d", uid));
+    if (trace_->enabled()) {
+      trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
+                     metrics::fmt("wms: addView denied (no SYSTEM_ALERT_WINDOW) uid=%d", uid));
+    }
     return 0;
   }
   const ViewHandle handle = next_handle_++;
   const sim::SimTime transit = sample(profile_.tam);
   txlog_->record(uid, ipc::MethodCode::kAddView, "android.view.IWindowManager", loop_->now(),
                  loop_->now() + transit);
-  trace_->record(loop_->now(), sim::TraceCategory::kApp,
-                 metrics::fmt("app uid=%d addView h=%llu", uid,
-                              static_cast<unsigned long long>(handle)));
   // Flow arrow: app-side call -> server-side creation completion. Ids
   // are scoped per transaction kind so concurrent addView/removeView
-  // arrows cannot collide.
-  const std::uint64_t flow = trace_->new_flow("addView");
-  trace_->flow_start(loop_->now(), sim::TraceCategory::kApp,
-                     metrics::fmt("addView h=%llu",
-                                  static_cast<unsigned long long>(handle)),
-                     flow, "addView");
+  // arrows cannot collide. All formatting is gated on the recorder so
+  // untraced trials never build the strings (the dominant per-cycle cost).
+  std::uint64_t flow = 0;
+  if (trace_->enabled()) {
+    trace_->record(loop_->now(), sim::TraceCategory::kApp,
+                   metrics::fmt("app uid=%d addView h=%llu", uid,
+                                static_cast<unsigned long long>(handle)));
+    flow = trace_->new_flow("addView");
+    trace_->flow_start(loop_->now(), sim::TraceCategory::kApp,
+                       metrics::fmt("addView h=%llu",
+                                    static_cast<unsigned long long>(handle)),
+                       flow, "addView");
+  }
 
   // Arrival at System Server after Tam, then Tas of window creation.
   const sim::SimTime creation = sample(profile_.tas);
   loop_->schedule_after(transit + creation,
-                        [this, uid, handle, flow, spec = std::move(spec)] {
-    trace_->flow_end(loop_->now(), sim::TraceCategory::kSystemServer,
-                     metrics::fmt("addView delivered h=%llu",
-                                  static_cast<unsigned long long>(handle)),
-                     flow, "addView");
+                        [this, uid, handle, flow, spec = std::move(spec)]() mutable {
+    if (trace_->enabled()) {
+      trace_->flow_end(loop_->now(), sim::TraceCategory::kSystemServer,
+                       metrics::fmt("addView delivered h=%llu",
+                                    static_cast<unsigned long long>(handle)),
+                       flow, "addView");
+    }
     if (settings_foreground_) {
       ++rejected_overlays_;
-      trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
-                     metrics::fmt("wms: overlay blocked over Settings uid=%d", uid));
+      if (trace_->enabled()) {
+        trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
+                       metrics::fmt("wms: overlay blocked over Settings uid=%d", uid));
+      }
       return;
     }
     ui::Window w;
@@ -77,8 +104,8 @@ ViewHandle SystemServer::add_view(int uid, OverlaySpec spec) {
     w.type = ui::WindowType::kAppOverlay;
     w.flags = spec.flags;
     w.bounds = spec.bounds;
-    w.content = spec.content;
-    w.on_touch = spec.on_touch;
+    w.content = std::move(spec.content);
+    w.on_touch = std::move(spec.on_touch);
     w.deliver_on_down = spec.deliver_on_down;
     const ui::WindowId id = wms_->add_window_now(std::move(w));
     handle_to_window_[handle] = id;
@@ -97,19 +124,24 @@ void SystemServer::remove_view(int uid, ViewHandle handle) {
   const sim::SimTime transit = sample(profile_.trm);
   txlog_->record(uid, ipc::MethodCode::kRemoveView, "android.view.IWindowManager",
                  loop_->now(), loop_->now() + transit);
-  trace_->record(loop_->now(), sim::TraceCategory::kApp,
-                 metrics::fmt("app uid=%d removeView h=%llu", uid,
-                              static_cast<unsigned long long>(handle)));
-  const std::uint64_t flow = trace_->new_flow("removeView");
-  trace_->flow_start(loop_->now(), sim::TraceCategory::kApp,
-                     metrics::fmt("removeView h=%llu",
-                                  static_cast<unsigned long long>(handle)),
-                     flow, "removeView");
+  std::uint64_t flow = 0;
+  if (trace_->enabled()) {
+    trace_->record(loop_->now(), sim::TraceCategory::kApp,
+                   metrics::fmt("app uid=%d removeView h=%llu", uid,
+                                static_cast<unsigned long long>(handle)));
+    flow = trace_->new_flow("removeView");
+    trace_->flow_start(loop_->now(), sim::TraceCategory::kApp,
+                       metrics::fmt("removeView h=%llu",
+                                    static_cast<unsigned long long>(handle)),
+                       flow, "removeView");
+  }
   loop_->schedule_after(transit, [this, uid, handle, flow] {
-    trace_->flow_end(loop_->now(), sim::TraceCategory::kSystemServer,
-                     metrics::fmt("removeView delivered h=%llu",
-                                  static_cast<unsigned long long>(handle)),
-                     flow, "removeView");
+    if (trace_->enabled()) {
+      trace_->flow_end(loop_->now(), sim::TraceCategory::kSystemServer,
+                       metrics::fmt("removeView delivered h=%llu",
+                                    static_cast<unsigned long long>(handle)),
+                       flow, "removeView");
+    }
     const auto it = handle_to_window_.find(handle);
     if (it == handle_to_window_.end()) {
       // The window is still being created; remove it as soon as it lands.
@@ -156,9 +188,11 @@ void SystemServer::cancel_queued_toasts(int uid, std::string keep_content) {
 
 ViewHandle SystemServer::add_type_toast_view(int uid, ui::Rect bounds, std::string content) {
   if (traits_.type_toast_removed) {
-    trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
-                   metrics::fmt("wms: TYPE_TOAST rejected (removed in Android 8) uid=%d",
-                                uid));
+    if (trace_->enabled()) {
+      trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
+                     metrics::fmt("wms: TYPE_TOAST rejected (removed in Android 8) uid=%d",
+                                  uid));
+    }
     return 0;
   }
   const ViewHandle handle = next_handle_++;
@@ -187,8 +221,11 @@ void SystemServer::on_overlay_added(int uid) {
   if (pending != pending_alert_removal_.end()) {
     loop_->cancel(pending->second);
     pending_alert_removal_.erase(pending);
-    trace_->record(loop_->now(), sim::TraceCategory::kDefense,
-                   metrics::fmt("system_server: alert removal cancelled (re-add) uid=%d", uid));
+    if (trace_->enabled()) {
+      trace_->record(loop_->now(), sim::TraceCategory::kDefense,
+                     metrics::fmt("system_server: alert removal cancelled (re-add) uid=%d",
+                                  uid));
+    }
   }
   // Notify System UI to show the warning alert (Tn transit, which
   // includes the ANA share on Android 10/11; the view construction Tv

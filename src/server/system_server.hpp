@@ -105,6 +105,12 @@ class SystemServer {
   [[nodiscard]] const device::DeviceProfile& profile() const { return profile_; }
   [[nodiscard]] sim::SimTime effective_tn() const;
 
+  /// Restore the freshly-constructed state for `profile` with a fresh RNG
+  /// substream (permissions, policy toggles, handles and pending-dispatch
+  /// bookkeeping all cleared). In-flight events must be torn down
+  /// separately via EventLoop::reset.
+  void reset(sim::Rng rng, const device::DeviceProfile& profile);
+
  private:
   sim::SimTime sample(const ipc::LatencyModel& m);
   /// Deliver a Notification-Manager call after `transit`, preserving

@@ -15,6 +15,13 @@ SystemUi::SystemUi(sim::EventLoop& loop, sim::TraceRecorder& trace,
       view_height_px_(profile.notification_height_px),
       visible_threshold_(anim_.time_to_reveal(ui::kNakedEyeMinPixels, view_height_px_)) {}
 
+void SystemUi::reset(const device::DeviceProfile& profile) {
+  view_height_px_ = profile.notification_height_px;
+  visible_threshold_ = anim_.time_to_reveal(ui::kNakedEyeMinPixels, view_height_px_);
+  entries_.clear();
+  status_bar_icons_.clear();
+}
+
 sim::SimTime SystemUi::elapsed_at(const Entry& e, sim::SimTime t) const {
   const sim::SimTime delta = t - e.anchor_time;
   sim::SimTime el = e.anchor_elapsed + sim::SimTime{e.direction * delta.count()};
@@ -53,23 +60,29 @@ void SystemUi::start_in_animation(Entry& e, int uid) {
   e.anchor_time = loop_->now();
   e.direction = +1;
   const sim::SimTime remaining = anim_.duration() - e.anchor_elapsed;
-  trace_->record(loop_->now(), sim::TraceCategory::kAnimation,
-                 metrics::fmt("sysui: startTopAnimation uid=%d from=%.1fms", uid,
-                              sim::to_ms(e.anchor_elapsed)));
+  if (trace_->enabled()) {
+    trace_->record(loop_->now(), sim::TraceCategory::kAnimation,
+                   metrics::fmt("sysui: startTopAnimation uid=%d from=%.1fms", uid,
+                                sim::to_ms(e.anchor_elapsed)));
+  }
   e.pending = loop_->schedule_after(remaining, [this, uid] {
     Entry& en = entry(uid);
     account_segment(en, en.anchor_elapsed, anim_.duration(), +1);
     // Completed forward segment (anchor_time still marks its start).
-    trace_->span(en.anchor_time, loop_->now(), sim::TraceCategory::kAnimation,
-                 metrics::fmt("slide-in uid=%d", uid));
+    if (trace_->enabled()) {
+      trace_->span(en.anchor_time, loop_->now(), sim::TraceCategory::kAnimation,
+                   metrics::fmt("slide-in uid=%d", uid));
+    }
     en.anchor_elapsed = anim_.duration();
     en.anchor_time = loop_->now();
     en.direction = 0;
     en.phase = AlertPhase::kShown;
     en.shown_at = loop_->now();
     en.stats.completions += 1;
-    trace_->record(loop_->now(), sim::TraceCategory::kSystemUi,
-                   metrics::fmt("sysui: alert fully shown uid=%d", uid));
+    if (trace_->enabled()) {
+      trace_->record(loop_->now(), sim::TraceCategory::kSystemUi,
+                     metrics::fmt("sysui: alert fully shown uid=%d", uid));
+    }
     // Message layout starts after a delay, draws over kMessageDrawTime,
     // then the icon appears.
     en.icon_event = loop_->schedule_after(
@@ -79,9 +92,11 @@ void SystemUi::start_in_animation(Entry& e, int uid) {
           if (!status_bar_has_icon(uid) &&
               static_cast<int>(status_bar_icons_.size()) < kStatusBarIconCapacity) {
             status_bar_icons_.push_back(uid);
-            trace_->record(loop_->now(), sim::TraceCategory::kSystemUi,
-                           metrics::fmt("sysui: status-bar icon uid=%d", uid));
-          } else {
+            if (trace_->enabled()) {
+              trace_->record(loop_->now(), sim::TraceCategory::kSystemUi,
+                             metrics::fmt("sysui: status-bar icon uid=%d", uid));
+            }
+          } else if (trace_->enabled()) {
             trace_->record(loop_->now(), sim::TraceCategory::kSystemUi,
                            metrics::fmt("sysui: status bar full, icon hidden uid=%d", uid));
           }
@@ -97,8 +112,10 @@ void SystemUi::show_overlay_alert(int uid, sim::SimTime construction_time) {
       e.phase = AlertPhase::kConstructing;
       e.anchor_elapsed = sim::SimTime{0};
       e.lifecycle_start = loop_->now();
-      trace_->record(loop_->now(), sim::TraceCategory::kSystemUi,
-                     metrics::fmt("sysui: constructing alert view uid=%d", uid));
+      if (trace_->enabled()) {
+        trace_->record(loop_->now(), sim::TraceCategory::kSystemUi,
+                       metrics::fmt("sysui: constructing alert view uid=%d", uid));
+      }
       e.pending = loop_->schedule_after(construction_time, [this, uid] {
         Entry& en = entry(uid);
         start_in_animation(en, uid);
@@ -117,16 +134,20 @@ void SystemUi::show_overlay_alert(int uid, sim::SimTime construction_time) {
       account_segment(e, e.anchor_elapsed, el, -1);
       // The reverse segment is cut short; close it and the old lifecycle
       // so the new construction opens a fresh span pair.
-      trace_->span(e.anchor_time, loop_->now(), sim::TraceCategory::kAnimation,
-                   metrics::fmt("slide-out (cut) uid=%d", uid));
-      trace_->span(e.lifecycle_start, loop_->now(), sim::TraceCategory::kSystemUi,
-                   metrics::fmt("alert lifecycle uid=%d", uid));
+      if (trace_->enabled()) {
+        trace_->span(e.anchor_time, loop_->now(), sim::TraceCategory::kAnimation,
+                     metrics::fmt("slide-out (cut) uid=%d", uid));
+        trace_->span(e.lifecycle_start, loop_->now(), sim::TraceCategory::kSystemUi,
+                     metrics::fmt("alert lifecycle uid=%d", uid));
+      }
       e.lifecycle_start = loop_->now();
       e.anchor_elapsed = sim::SimTime{0};
       e.direction = 0;
       e.phase = AlertPhase::kConstructing;
-      trace_->record(loop_->now(), sim::TraceCategory::kSystemUi,
-                     metrics::fmt("sysui: reconstructing alert view uid=%d", uid));
+      if (trace_->enabled()) {
+        trace_->record(loop_->now(), sim::TraceCategory::kSystemUi,
+                       metrics::fmt("sysui: reconstructing alert view uid=%d", uid));
+      }
       e.pending = loop_->schedule_after(construction_time, [this, uid] {
         Entry& en = entry(uid);
         start_in_animation(en, uid);
@@ -154,10 +175,12 @@ void SystemUi::dismiss_overlay_alert(int uid) {
       e.phase = AlertPhase::kHidden;
       e.anchor_elapsed = sim::SimTime{0};
       e.stats.dismissals += 1;
-      trace_->span(e.lifecycle_start, loop_->now(), sim::TraceCategory::kSystemUi,
-                   metrics::fmt("alert lifecycle (cancelled) uid=%d", uid));
-      trace_->record(loop_->now(), sim::TraceCategory::kSystemUi,
-                     metrics::fmt("sysui: alert construction cancelled uid=%d", uid));
+      if (trace_->enabled()) {
+        trace_->span(e.lifecycle_start, loop_->now(), sim::TraceCategory::kSystemUi,
+                     metrics::fmt("alert lifecycle (cancelled) uid=%d", uid));
+        trace_->record(loop_->now(), sim::TraceCategory::kSystemUi,
+                       metrics::fmt("sysui: alert construction cancelled uid=%d", uid));
+      }
       return;
     }
     case AlertPhase::kAnimatingIn:
@@ -174,31 +197,39 @@ void SystemUi::dismiss_overlay_alert(int uid) {
         const sim::SimTime el = elapsed_at(e, loop_->now());
         account_segment(e, e.anchor_elapsed, el, +1);
         // Forward segment interrupted mid-flight.
-        trace_->span(e.anchor_time, loop_->now(), sim::TraceCategory::kAnimation,
-                     metrics::fmt("slide-in (cut) uid=%d", uid));
+        if (trace_->enabled()) {
+          trace_->span(e.anchor_time, loop_->now(), sim::TraceCategory::kAnimation,
+                       metrics::fmt("slide-in (cut) uid=%d", uid));
+        }
         e.anchor_elapsed = el;
       }
       e.anchor_time = loop_->now();
       e.direction = -1;
       e.phase = AlertPhase::kAnimatingOut;
-      trace_->record(loop_->now(), sim::TraceCategory::kAnimation,
-                     metrics::fmt("sysui: reverse animation uid=%d from=%.1fms", uid,
-                                  sim::to_ms(e.anchor_elapsed)));
+      if (trace_->enabled()) {
+        trace_->record(loop_->now(), sim::TraceCategory::kAnimation,
+                       metrics::fmt("sysui: reverse animation uid=%d from=%.1fms", uid,
+                                    sim::to_ms(e.anchor_elapsed)));
+      }
       e.pending = loop_->schedule_after(e.anchor_elapsed, [this, uid] {
         Entry& en = entry(uid);
         account_segment(en, en.anchor_elapsed, sim::SimTime{0}, -1);
         // Completed reverse segment, then the whole lifecycle.
-        trace_->span(en.anchor_time, loop_->now(), sim::TraceCategory::kAnimation,
-                     metrics::fmt("slide-out uid=%d", uid));
-        trace_->span(en.lifecycle_start, loop_->now(), sim::TraceCategory::kSystemUi,
-                     metrics::fmt("alert lifecycle uid=%d", uid));
+        if (trace_->enabled()) {
+          trace_->span(en.anchor_time, loop_->now(), sim::TraceCategory::kAnimation,
+                       metrics::fmt("slide-out uid=%d", uid));
+          trace_->span(en.lifecycle_start, loop_->now(), sim::TraceCategory::kSystemUi,
+                       metrics::fmt("alert lifecycle uid=%d", uid));
+        }
         en.anchor_elapsed = sim::SimTime{0};
         en.anchor_time = loop_->now();
         en.direction = 0;
         en.phase = AlertPhase::kHidden;
         std::erase(status_bar_icons_, uid);
-        trace_->record(loop_->now(), sim::TraceCategory::kSystemUi,
-                       metrics::fmt("sysui: alert hidden uid=%d", uid));
+        if (trace_->enabled()) {
+          trace_->record(loop_->now(), sim::TraceCategory::kSystemUi,
+                         metrics::fmt("sysui: alert hidden uid=%d", uid));
+        }
       });
       return;
     }

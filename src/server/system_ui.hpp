@@ -94,6 +94,11 @@ class SystemUi {
   [[nodiscard]] int status_bar_icon_count() const;
   [[nodiscard]] bool status_bar_has_icon(int uid) const;
 
+  /// Restore the freshly-constructed state for `profile` (alert entries
+  /// and status-bar slots dropped, view geometry recomputed). Scheduled
+  /// lifecycle events must be torn down separately via EventLoop::reset.
+  void reset(const device::DeviceProfile& profile);
+
  private:
   struct Entry {
     AlertPhase phase = AlertPhase::kHidden;

@@ -13,11 +13,14 @@ WindowManagerService::WindowManagerService(sim::EventLoop& loop, sim::TraceRecor
 ui::WindowId WindowManagerService::add_window_now(ui::Window window) {
   window.id = next_id_++;
   window.added_at = loop_->now();
-  trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
-                 metrics::fmt("wms: add %s uid=%d id=%llu",
-                              std::string(ui::to_string(window.type)).c_str(),
-                              window.owner_uid,
-                              static_cast<unsigned long long>(window.id)));
+  if (trace_->enabled()) {
+    trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
+                   metrics::fmt("wms: add %s uid=%d id=%llu",
+                                std::string(ui::to_string(window.type)).c_str(),
+                                window.owner_uid,
+                                static_cast<unsigned long long>(window.id)));
+  }
+  live_.push_back(static_cast<std::uint32_t>(records_.size()));
   records_.push_back(WindowRecord{std::move(window), std::nullopt});
   return records_.back().window.id;
 }
@@ -32,15 +35,25 @@ bool WindowManagerService::remove_window_now(ui::WindowId id) {
   WindowRecord* rec = find_mutable(id);
   if (rec == nullptr || rec->removed_at.has_value()) return false;
   rec->removed_at = loop_->now();
+  const auto idx = static_cast<std::uint32_t>(rec - records_.data());
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    if (live_[i] == idx) {
+      live_[i] = live_.back();
+      live_.pop_back();
+      break;
+    }
+  }
   // The whole on-screen lifetime as one duration span: Perfetto then shows
   // each window as a bar from addView completion to removal.
-  trace_->span(rec->window.added_at, loop_->now(), sim::TraceCategory::kSystemServer,
-               metrics::fmt("window %s uid=%d id=%llu",
-                            std::string(ui::to_string(rec->window.type)).c_str(),
-                            rec->window.owner_uid,
-                            static_cast<unsigned long long>(id)));
-  trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
-                 metrics::fmt("wms: remove id=%llu", static_cast<unsigned long long>(id)));
+  if (trace_->enabled()) {
+    trace_->span(rec->window.added_at, loop_->now(), sim::TraceCategory::kSystemServer,
+                 metrics::fmt("window %s uid=%d id=%llu",
+                              std::string(ui::to_string(rec->window.type)).c_str(),
+                              rec->window.owner_uid,
+                              static_cast<unsigned long long>(id)));
+    trace_->record(loop_->now(), sim::TraceCategory::kSystemServer,
+                   metrics::fmt("wms: remove id=%llu", static_cast<unsigned long long>(id)));
+  }
   return true;
 }
 
@@ -49,9 +62,11 @@ bool WindowManagerService::fade_out_and_remove(ui::WindowId id) {
   if (rec == nullptr || rec->removed_at.has_value()) return false;
   const ui::Animation anim = ui::toast_fade_out();
   rec->window.exit_fade = ui::FadeAnimation{anim, loop_->now(), /*fade_in=*/false};
-  trace_->record(loop_->now(), sim::TraceCategory::kAnimation,
-                 metrics::fmt("wms: fade-out start id=%llu",
-                              static_cast<unsigned long long>(id)));
+  if (trace_->enabled()) {
+    trace_->record(loop_->now(), sim::TraceCategory::kAnimation,
+                   metrics::fmt("wms: fade-out start id=%llu",
+                                static_cast<unsigned long long>(id)));
+  }
   loop_->schedule_after(anim.duration(), [this, id] { remove_window_now(id); });
   return true;
 }
@@ -69,6 +84,16 @@ bool above(const ui::Window& a, const ui::Window& b) {
 const WindowRecord* WindowManagerService::topmost_touchable_at(ui::Point p,
                                                                sim::SimTime t) const {
   const WindowRecord* best = nullptr;
+  if (t == loop_->now()) {
+    // Current-time query (the input hot path): only the live set can
+    // match, and every live record is alive at now().
+    for (const std::uint32_t idx : live_) {
+      const WindowRecord& rec = records_[idx];
+      if (!rec.window.touchable() || !rec.window.bounds.contains(p)) continue;
+      if (best == nullptr || above(rec.window, best->window)) best = &rec;
+    }
+    return best;
+  }
   for (const auto& rec : records_) {
     if (!rec.alive_at(t) || !rec.window.touchable() || !rec.window.bounds.contains(p)) continue;
     if (best == nullptr || above(rec.window, best->window)) best = &rec;
@@ -78,6 +103,14 @@ const WindowRecord* WindowManagerService::topmost_touchable_at(ui::Point p,
 
 const WindowRecord* WindowManagerService::topmost_at(ui::Point p, sim::SimTime t) const {
   const WindowRecord* best = nullptr;
+  if (t == loop_->now()) {
+    for (const std::uint32_t idx : live_) {
+      const WindowRecord& rec = records_[idx];
+      if (!rec.window.bounds.contains(p)) continue;
+      if (best == nullptr || above(rec.window, best->window)) best = &rec;
+    }
+    return best;
+  }
   for (const auto& rec : records_) {
     if (!rec.alive_at(t) || !rec.window.bounds.contains(p)) continue;
     if (best == nullptr || above(rec.window, best->window)) best = &rec;
@@ -91,17 +124,15 @@ bool WindowManagerService::alive_at(ui::WindowId id, sim::SimTime t) const {
 }
 
 const WindowRecord* WindowManagerService::find(ui::WindowId id) const {
-  for (const auto& rec : records_) {
-    if (rec.window.id == id) return &rec;
-  }
-  return nullptr;
+  // Ids are minted densely from 1 in append order, so a record's index
+  // is its id - 1.
+  if (id == 0 || id > records_.size()) return nullptr;
+  return &records_[static_cast<std::size_t>(id - 1)];
 }
 
 WindowRecord* WindowManagerService::find_mutable(ui::WindowId id) {
-  for (auto& rec : records_) {
-    if (rec.window.id == id) return &rec;
-  }
-  return nullptr;
+  if (id == 0 || id > records_.size()) return nullptr;
+  return &records_[static_cast<std::size_t>(id - 1)];
 }
 
 int WindowManagerService::overlay_count(int uid) const {
@@ -110,9 +141,9 @@ int WindowManagerService::overlay_count(int uid) const {
 
 int WindowManagerService::count(int uid, ui::WindowType type) const {
   int n = 0;
-  const sim::SimTime now = loop_->now();
-  for (const auto& rec : records_) {
-    if (rec.alive_at(now) && rec.window.owner_uid == uid && rec.window.type == type) ++n;
+  for (const std::uint32_t idx : live_) {
+    const ui::Window& w = records_[idx].window;
+    if (w.owner_uid == uid && w.type == type) ++n;
   }
   return n;
 }
@@ -145,11 +176,6 @@ double WindowManagerService::combined_alpha_at(int uid, std::string_view content
   return 1.0 - transparency;
 }
 
-std::size_t WindowManagerService::live_count() const {
-  const sim::SimTime now = loop_->now();
-  std::size_t n = 0;
-  for (const auto& rec : records_) n += rec.alive_at(now);
-  return n;
-}
+std::size_t WindowManagerService::live_count() const { return live_.size(); }
 
 }  // namespace animus::server

@@ -93,6 +93,15 @@ class WindowManagerService {
   /// Total number of add operations ever performed.
   [[nodiscard]] std::size_t total_added() const { return records_.size(); }
 
+  /// Restore the freshly-constructed state (history and live set
+  /// emptied, ids rewound); storage capacity is retained for the next
+  /// trial of a session.
+  void reset() {
+    next_id_ = 1;
+    records_.clear();
+    live_.clear();
+  }
+
  private:
   [[nodiscard]] WindowRecord* find_mutable(ui::WindowId id);
 
@@ -100,6 +109,13 @@ class WindowManagerService {
   sim::TraceRecorder* trace_;
   std::uint64_t next_id_ = 1;
   std::vector<WindowRecord> records_;
+  /// Indices into records_ of windows not yet removed. Ids are dense and
+  /// records append-only, so find() is array indexing, and the live set
+  /// keeps the per-event queries (overlay_count, topmost_* at now())
+  /// O(live) instead of O(history) — the draw-and-destroy attack grows
+  /// the history by two records per cycle while at most a handful of
+  /// windows are ever alive at once.
+  std::vector<std::uint32_t> live_;
 };
 
 }  // namespace animus::server

@@ -29,7 +29,11 @@ World::World(WorldConfig config)
   if (trace_.enabled()) txlog_.set_trace(&trace_);
 }
 
-World::~World() {
+World::~World() { finish_epoch(); }
+
+void World::finish_epoch() {
+  if (!epoch_open_) return;
+  epoch_open_ = false;
   // Publish run totals to the process-wide registry. Worlds are destroyed
   // on worker threads during parallel sweeps; all updates are atomic.
   auto& reg = obs::global_registry();
@@ -61,7 +65,37 @@ World::~World() {
                 {{"method", std::string(ipc::to_string(m))}})
         .add(static_cast<double>(n));
   }
-  if (captured_) obs::trace_capture().deliver(trace_);
+  if (captured_) {
+    obs::trace_capture().deliver(trace_);
+    captured_ = false;
+  }
+}
+
+void World::reset_to_epoch(WorldConfig config) {
+  finish_epoch();
+  config_ = std::move(config);
+  // Mirror the construction sequence exactly: member-init order first
+  // (loop, rng, trace, txlog, wms, nms, sysui, server, input — the RNG
+  // forks MUST be drawn in that order to reproduce the substreams), then
+  // the constructor body.
+  loop_.reset();
+  actors_.clear();
+  rng_ = sim::Rng(config_.seed);
+  trace_.reset();
+  txlog_.reset();
+  wms_.reset();
+  nms_.reset(config_.profile, rng_.fork("nms"));
+  sysui_.reset(config_.profile);
+  server_.reset(rng_.fork("system_server"), config_.profile);
+  input_.reset(rng_.fork("input"));
+  trace_.set_enabled(config_.trace_enabled);
+  server_.set_deterministic(config_.deterministic);
+  if (obs::trace_capture().try_claim()) {
+    captured_ = true;
+    trace_.set_enabled(true);
+  }
+  if (trace_.enabled()) txlog_.set_trace(&trace_);
+  epoch_open_ = true;
 }
 
 void World::run_until(sim::SimTime t) {

@@ -52,6 +52,24 @@ class World {
   /// Publishes run counters to obs::global_registry() and, when this
   /// World claimed the process-wide trace capture, delivers its trace.
   ~World();
+
+  // ----- epoch lifecycle (TrialSession fast path) -----
+  //
+  // A World *epoch* is one trial's worth of simulated activity: it opens
+  // at construction (or reset_to_epoch) and closes at finish_epoch, which
+  // publishes the same telemetry destruction would. reset_to_epoch then
+  // restores the pristine just-constructed state for `config` without
+  // reallocating the event-loop slabs, window history or ledgers —
+  // byte-identical to a fresh World, at a fraction of the cost.
+
+  /// Close the current epoch: publish run counters and deliver the trace
+  /// if this epoch claimed the process-wide capture. Idempotent; the
+  /// destructor calls it for the final epoch.
+  void finish_epoch();
+
+  /// Finish the current epoch (if still open) and re-initialise every
+  /// component exactly as `World(config)` would, reusing warm storage.
+  void reset_to_epoch(WorldConfig config);
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
@@ -90,7 +108,8 @@ class World {
   SystemServer server_;
   InputDispatcher input_;
   std::vector<std::unique_ptr<sim::Actor>> actors_;
-  bool captured_ = false;  // this World holds the process trace capture
+  bool captured_ = false;    // this epoch holds the process trace capture
+  bool epoch_open_ = true;   // telemetry for the current epoch not yet published
 };
 
 }  // namespace animus::server

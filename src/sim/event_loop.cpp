@@ -4,25 +4,20 @@
 
 namespace animus::sim {
 
-std::vector<std::unique_ptr<EventLoop::Slot[]>>& EventLoop::chunk_pool() {
+EventLoop::ThreadCache& EventLoop::thread_cache() {
   // Per-thread so loops on concurrent runner workers never contend; a
   // loop destroyed on a different thread than it was built on simply
   // donates its chunks to the destroying thread's pool.
-  thread_local std::vector<std::unique_ptr<Slot[]>> pool;
-  return pool;
-}
-
-std::vector<EventLoop::Entry>& EventLoop::heap_spare() {
-  thread_local std::vector<Entry> spare;
-  return spare;
+  thread_local ThreadCache cache;
+  return cache;
 }
 
 void EventLoop::grow_heap() {
   if (heap_.capacity() == 0) {
-    auto& spare = heap_spare();
-    if (spare.capacity() != 0) {
-      spare.clear();
-      heap_.swap(spare);
+    auto& cache = thread_cache();
+    if (cache.alive && cache.spare.capacity() != 0) {
+      cache.spare.clear();
+      heap_.swap(cache.spare);
       return;
     }
   }
@@ -44,30 +39,31 @@ EventLoop::~EventLoop() {
       if (s.generation == e.generation) s.cb.reset();
     }
   }
-  // Park the heap buffer for the next loop on this thread (keep the
-  // larger of the two; Entry is trivially destructible so clear() is
-  // free).
-  auto& spare = heap_spare();
-  if (heap_.capacity() > spare.capacity()) {
+  // Park the heap buffer and chunks for the next loop on this thread
+  // (keep the larger of the two heap buffers; Entry is trivially
+  // destructible so clear() is free). A loop outliving the cache — a
+  // thread_local session destroyed after it — frees everything normally.
+  auto& cache = thread_cache();
+  if (!cache.alive) return;
+  if (heap_.capacity() > cache.spare.capacity()) {
     heap_.clear();
-    spare.swap(heap_);
+    cache.spare.swap(heap_);
   }
-  auto& pool = chunk_pool();
   // Cap the parked memory per thread (256 chunks of 512 slots covers the
   // 100k-event perf_report workload, ~12 MB); a loop that grew beyond
   // that frees the excess normally.
   constexpr std::size_t kPoolCap = 256;
   for (auto& c : chunks_) {
-    if (pool.size() >= kPoolCap) break;
-    pool.push_back(std::move(c));
+    if (cache.chunks.size() >= kPoolCap) break;
+    cache.chunks.push_back(std::move(c));
   }
 }
 
 void EventLoop::append_chunk() {
-  auto& pool = chunk_pool();
-  if (!pool.empty()) {
-    chunks_.push_back(std::move(pool.back()));
-    pool.pop_back();
+  auto& cache = thread_cache();
+  if (cache.alive && !cache.chunks.empty()) {
+    chunks_.push_back(std::move(cache.chunks.back()));
+    cache.chunks.pop_back();
   } else {
     chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
   }
@@ -179,6 +175,35 @@ void EventLoop::compact() {
   if (w > 1) {
     for (std::size_t i = (w - 2) / 4 + 1; i-- > 0;) sift_down(i);
   }
+}
+
+void EventLoop::reset() {
+  // Destroy still-pending callbacks exactly as the destructor does:
+  // only heap entries with a matching generation hold live callables.
+  if (live_ != 0) {
+    for (const Entry& e : heap_) {
+      Slot& s = slot(e.slot);
+      if (s.generation == e.generation) s.cb.reset();
+    }
+  }
+  heap_.clear();  // capacity is retained
+  stale_ = 0;
+  // Rebuild the free list over every slot ever used, bumping each
+  // generation so outstanding handles go stale. bump_ tracks the peak
+  // *concurrent* slot demand (the free list recycles below it), so this
+  // walk is O(max_pending), not O(events).
+  free_head_ = kNone;
+  for (std::uint32_t idx = bump_; idx-- > 0;) {
+    Slot& s = slot(idx);
+    if (++s.generation == 0) s.generation = 1;
+    s.next_free = free_head_;
+    free_head_ = idx;
+  }
+  now_ = SimTime{0};
+  next_seq_ = 1;
+  scheduled_ = executed_ = cancelled_ = cap_hits_ = 0;
+  live_ = 0;
+  max_pending_ = 0;
 }
 
 EventLoop::EventId EventLoop::schedule_at(SimTime when, Callback cb) {

@@ -68,7 +68,7 @@ class EventLoop {
   /// Destroys pending callbacks and returns the slab's chunks to a
   /// thread-local pool for the next EventLoop on this thread (a sweep
   /// builds one World — and thus one loop — per trial, so chunks cycle
-  /// loop-to-loop instead of malloc-to-OS; see chunk_pool()).
+  /// loop-to-loop instead of malloc-to-OS; see thread_cache()).
   ~EventLoop();
 
   /// Engine identifier stamped into perf reports (BENCH_kernel.json).
@@ -125,6 +125,15 @@ class EventLoop {
 
   /// Number of events currently pending (cancelled ones excluded).
   [[nodiscard]] std::size_t pending() const { return live_; }
+
+  /// Restore the freshly-constructed state — pending callbacks are
+  /// destroyed (not run), virtual time returns to zero and every counter
+  /// clears — while keeping the slab chunks and heap capacity warm, so a
+  /// session that runs thousands of trials through one loop pays the
+  /// allocation cost once. Every EventId minted before the reset is
+  /// invalidated (each touched slot's generation is bumped); callers
+  /// must nevertheless drop old handles, as slot indices are recycled.
+  void reset();
 
   // ----- lifetime telemetry (fed into obs::MetricsRegistry at World
   // teardown; plain counters, so the hot path stays allocation- and
@@ -194,21 +203,30 @@ class EventLoop {
     return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
   }
 
-  /// Thread-local stack of chunks recycled across EventLoop lifetimes
-  /// on this thread. Without it, every short-lived loop (one per trial
-  /// World) frees ~50 KB chunks back to malloc, glibc trims the arena,
-  /// and the next loop pays a page fault per 4 KB it re-touches — which
-  /// dominated cold-loop scheduling by ~4x. Parked chunks hold no live
-  /// callbacks (all destroyed by then) but their headers are NOT
-  /// scrubbed: bump allocation stamps the generation on first use, and
-  /// cancel() rejects any slot at or above bump_, so stale headers are
+  /// Thread-local storage recycled across EventLoop lifetimes on this
+  /// thread: a stack of slab chunks plus a spare heap buffer. Without
+  /// it, every short-lived loop (one per trial World) frees ~50 KB
+  /// chunks back to malloc, glibc trims the arena, and the next loop
+  /// pays a page fault per 4 KB it re-touches — which dominated
+  /// cold-loop scheduling by ~4x. Parked chunks hold no live callbacks
+  /// (all destroyed by then) but their headers are NOT scrubbed: bump
+  /// allocation stamps the generation on first use, and cancel()
+  /// rejects any slot at or above bump_, so stale headers are
   /// unreachable.
-  static std::vector<std::unique_ptr<Slot[]>>& chunk_pool();
-  /// Thread-local spare heap buffer, recycled like the chunks: the
-  /// destructor parks heap_'s capacity here and the first schedule of
-  /// the next loop takes it back, so steady-state trials reallocate
-  /// nothing at all.
-  static std::vector<Entry>& heap_spare();
+  ///
+  /// `alive` exists because loops themselves live in thread_local
+  /// sessions (TrialSession::local(), the analytic replay engine),
+  /// whose destructors can run *after* this cache's: the destructor
+  /// flips the flag, and a late ~EventLoop that sees it down frees its
+  /// buffers normally instead of parking them into destructed vectors
+  /// (which double-freed the parked storage at thread exit).
+  struct ThreadCache {
+    std::vector<std::unique_ptr<Slot[]>> chunks;
+    std::vector<Entry> spare;
+    bool alive = true;
+    ~ThreadCache() { alive = false; }
+  };
+  static ThreadCache& thread_cache();
   /// Ensure room for one more heap entry (adopt the spare buffer or
   /// reserve geometrically from a 1024-entry floor).
   void grow_heap();

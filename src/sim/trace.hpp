@@ -99,6 +99,16 @@ class TraceRecorder {
   [[nodiscard]] std::size_t size() const { return records_.size(); }
   void clear() { records_.clear(); }
 
+  /// Restore the freshly-constructed state (records dropped, flow
+  /// counters rewound, recording re-enabled); record storage capacity is
+  /// retained for the next trial of a session.
+  void reset() {
+    enabled_ = true;
+    next_flow_ = 1;
+    flow_counters_.clear();
+    records_.clear();
+  }
+
   /// All records whose message contains `needle` (simple substring).
   [[nodiscard]] std::vector<TraceRecord> matching(std::string_view needle) const;
 

@@ -32,8 +32,10 @@ void VictimApp::open_login_screen() {
   w.content = "victim:login:" + spec_.name;
   w.on_touch = [this](sim::SimTime t, ui::Point p) { on_activity_touch(t, p); };
   activity_window_ = world_->wms().add_window_now(std::move(w));
-  world_->trace().record(world_->now(), sim::TraceCategory::kVictim,
-                         metrics::fmt("victim %s: login screen", spec_.name.c_str()));
+  if (world_->trace().enabled()) {
+    world_->trace().record(world_->now(), sim::TraceCategory::kVictim,
+                           metrics::fmt("victim %s: login screen", spec_.name.c_str()));
+  }
   if (oracle_ != nullptr) {
     oracle_->record_transition(server::kVictimUid, "LoginActivity",
                                sidechannel::login_screen_signature());
@@ -59,8 +61,10 @@ void VictimApp::focus(Widget w) {
                                sidechannel::password_focus_signature());
   }
   publish(AccessibilityEventType::kViewFocused, w);
-  world_->trace().record(world_->now(), sim::TraceCategory::kVictim,
-                         metrics::fmt("victim %s: focus widget %d", spec_.name.c_str(), w));
+  if (world_->trace().enabled()) {
+    world_->trace().record(world_->now(), sim::TraceCategory::kVictim,
+                           metrics::fmt("victim %s: focus widget %d", spec_.name.c_str(), w));
+  }
   if (w == kUsernameField || w == kPasswordField) {
     ime_.show();
   } else {

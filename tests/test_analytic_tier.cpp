@@ -1,0 +1,155 @@
+// Differential tests locking the analytic tier to the simulation tier.
+//
+// The closed-form/replay tier (core/analytic.hpp) must be byte-identical
+// to the full event-driven simulation on its whole eligible domain —
+// results are compared through the TrialCodec encoding, so any drift in
+// any field (outcome, every AlertStats counter, cycle count) fails, not
+// just the headline classification.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/analytic.hpp"
+#include "core/trial_fields.hpp"
+#include "core/trial_session.hpp"
+#include "device/registry.hpp"
+#include "obs/metrics.hpp"
+#include "runner/field_codec.hpp"
+#include "ui/animation.hpp"
+
+namespace {
+
+using namespace animus;
+using core::DBoundTrialConfig;
+using core::OutcomeProbeConfig;
+using core::Tier;
+using runner::TrialCodec;
+
+std::string probe_bytes(const OutcomeProbeConfig& config) {
+  return TrialCodec<core::OutcomeProbe>::encode(core::run_outcome_probe(config));
+}
+
+OutcomeProbeConfig at_tier(OutcomeProbeConfig config, Tier tier) {
+  config.tier = tier;
+  return config;
+}
+
+TEST(AnalyticTier, ProbeMatchesSimBitForBitAcrossTheFleet) {
+  // Every device, with D pinned around its own Λ1 boundary (where the
+  // outcome is most sensitive to event ordering) plus fixed spot values.
+  for (const auto& dev : device::all_devices()) {
+    const int bound = static_cast<int>(dev.d_upper_bound_table_ms);
+    for (const int d : {50, bound - 25, bound - 1, bound, bound + 1, bound + 25, 400}) {
+      if (d < 1) continue;
+      OutcomeProbeConfig c;
+      c.profile = dev;
+      c.attacking_window = sim::ms(d);
+      EXPECT_TRUE(core::analytic::eligible(c));
+      EXPECT_EQ(probe_bytes(at_tier(c, Tier::kAnalytic)), probe_bytes(at_tier(c, Tier::kSim)))
+          << dev.display_name() << " D=" << d;
+    }
+  }
+}
+
+TEST(AnalyticTier, ProbeMatchesSimAcrossDurations) {
+  const auto& dev = device::reference_device_android9();
+  for (const auto duration : {sim::seconds(3), sim::seconds(5), sim::ms(12'345)}) {
+    for (const int d : {60, 150, 215, 216, 300}) {
+      OutcomeProbeConfig c;
+      c.profile = dev;
+      c.attacking_window = sim::ms(d);
+      c.duration = duration;
+      EXPECT_EQ(probe_bytes(at_tier(c, Tier::kAnalytic)), probe_bytes(at_tier(c, Tier::kSim)))
+          << "D=" << d << " T=" << sim::to_ms(duration);
+    }
+  }
+}
+
+TEST(AnalyticTier, DBoundMatchesSimOnEveryDevice) {
+  for (const auto& dev : device::all_devices()) {
+    DBoundTrialConfig c;
+    c.profile = dev;
+    c.tier = Tier::kAnalytic;
+    const auto fast = core::run_d_bound_trial(c);
+    c.tier = Tier::kSim;
+    const auto slow = core::run_d_bound_trial(c);
+    EXPECT_EQ(fast.d_upper_ms, slow.d_upper_ms) << dev.display_name();
+    EXPECT_EQ(fast.probes, slow.probes) << dev.display_name();
+  }
+}
+
+TEST(AnalyticTier, DBoundMatchesSimOnLegacyAndCappedSearches) {
+  const auto legacy =
+      device::make_profile("Legacy", "nexus5", device::AndroidVersion::kV7, 150.0);
+  for (const int cap : {100, 600}) {
+    DBoundTrialConfig c;
+    c.profile = legacy;
+    c.max_ms = cap;
+    c.tier = Tier::kAnalytic;
+    const auto fast = core::run_d_bound_trial(c);
+    c.tier = Tier::kSim;
+    const auto slow = core::run_d_bound_trial(c);
+    EXPECT_EQ(fast.d_upper_ms, slow.d_upper_ms) << cap;
+    EXPECT_EQ(fast.probes, slow.probes) << cap;
+  }
+}
+
+TEST(AnalyticTier, ClosedFormAgreesWithTheReplaySearch) {
+  // Eq. (3)-style direct arithmetic vs the replay-driven binary search:
+  // the closed form must land on the same integer for every device.
+  for (const auto& dev : device::all_devices()) {
+    DBoundTrialConfig c;
+    c.profile = dev;
+    c.tier = Tier::kAnalytic;
+    EXPECT_EQ(core::analytic::closed_form_d_upper_ms(dev, c.max_ms),
+              core::run_d_bound_trial(c).d_upper_ms)
+        << dev.display_name();
+  }
+}
+
+TEST(AnalyticTier, IneligibleConfigFallsBackToSimAndCounts) {
+  // add_before_remove breaks the strict remove->add event shape the
+  // replay assumes; a forced-analytic request must fall back to the
+  // simulation (same bytes) and bump the fallback counter.
+  OutcomeProbeConfig c;
+  c.profile = device::reference_device_android9();
+  c.attacking_window = sim::ms(150);
+  c.add_before_remove = true;
+  EXPECT_FALSE(core::analytic::eligible(c));
+  auto& counter = obs::global_registry().counter("animus_analytic_fallbacks_total");
+  const auto before = counter.value();
+  EXPECT_EQ(probe_bytes(at_tier(c, Tier::kAnalytic)), probe_bytes(at_tier(c, Tier::kSim)));
+  EXPECT_GT(counter.value(), before);
+}
+
+TEST(AnalyticTier, StochasticConfigIsIneligible) {
+  OutcomeProbeConfig c;
+  c.profile = device::reference_device_android9();
+  c.deterministic = false;
+  EXPECT_FALSE(core::analytic::eligible(c));
+  DBoundTrialConfig d;
+  d.profile = c.profile;
+  d.deterministic = false;
+  EXPECT_FALSE(core::analytic::eligible(d));
+}
+
+TEST(AnalyticTier, FirstVisiblePixelConsistentWithRevealTime) {
+  // The naked-eye reveal after the notify+construction transit is the
+  // first instant a perceptible pixel can be on glass.
+  const auto& dev = device::reference_device_android9();
+  const auto reveal = core::analytic::time_to_reveal(dev, ui::kNakedEyeMinPixels);
+  const auto first = core::analytic::first_visible_pixel_after_issue(dev);
+  EXPECT_EQ(first, dev.tam.mean() + dev.tas.mean() + dev.tn.mean() + dev.tv.mean() + reveal);
+  EXPECT_GT(reveal, sim::SimTime{0});
+  EXPECT_LT(reveal, ui::notification_slide_in().duration());
+}
+
+TEST(AnalyticTier, TierParsingRoundTrips) {
+  EXPECT_EQ(core::parse_tier("auto"), Tier::kAuto);
+  EXPECT_EQ(core::parse_tier("sim"), Tier::kSim);
+  EXPECT_EQ(core::parse_tier("analytic"), Tier::kAnalytic);
+  EXPECT_FALSE(core::parse_tier("warp").has_value());
+  EXPECT_EQ(core::to_string(Tier::kAnalytic), "analytic");
+}
+
+}  // namespace

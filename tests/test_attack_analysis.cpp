@@ -52,8 +52,8 @@ TEST(PredictedCapture, ClampsToZero) {
 
 TEST(ProbeOutcome, DeterministicAndRepeatable) {
   const auto& dev = device::reference_device_android9();
-  const auto a = probe_outcome(dev, ms(150));
-  const auto b = probe_outcome(dev, ms(150));
+  const auto a = run_outcome_probe({.profile = dev, .attacking_window = ms(150)});
+  const auto b = run_outcome_probe({.profile = dev, .attacking_window = ms(150)});
   EXPECT_EQ(a.outcome, b.outcome);
   EXPECT_EQ(a.cycles, b.cycles);
   EXPECT_EQ(a.alert.max_pixels, b.alert.max_pixels);
@@ -64,7 +64,9 @@ TEST(ProbeOutcome, MonotoneInD) {
   const auto& dev = device::reference_device_android9();
   int prev = 1;
   for (int d = 50; d <= 800; d += 50) {
-    const int sev = static_cast<int>(probe_outcome(dev, ms(d), seconds(4)).outcome);
+    const auto probe = run_outcome_probe(
+        {.profile = dev, .attacking_window = ms(d), .duration = seconds(4)});
+    const int sev = static_cast<int>(probe.outcome);
     EXPECT_GE(sev, prev) << "D=" << d;
     prev = sev;
   }
@@ -72,15 +74,17 @@ TEST(ProbeOutcome, MonotoneInD) {
 
 TEST(ProbeOutcome, CyclesScaleWithDuration) {
   const auto& dev = device::reference_device_android9();
-  const auto short_run = probe_outcome(dev, ms(100), seconds(2));
-  const auto long_run = probe_outcome(dev, ms(100), seconds(8));
+  const auto short_run = run_outcome_probe(
+      {.profile = dev, .attacking_window = ms(100), .duration = seconds(2)});
+  const auto long_run = run_outcome_probe(
+      {.profile = dev, .attacking_window = ms(100), .duration = seconds(8)});
   EXPECT_GT(long_run.cycles, short_run.cycles * 3);
 }
 
 TEST(FindDBound, AgreesWithClosedFormEverywhere) {
   for (const auto& dev : device::all_devices()) {
-    EXPECT_NEAR(find_d_upper_bound_ms(dev), dev.predicted_d_max_ms(ui::kNakedEyeMinPixels),
-                1.0)
+    EXPECT_NEAR(run_d_bound_trial({.profile = dev}).d_upper_ms,
+                dev.predicted_d_max_ms(ui::kNakedEyeMinPixels), 1.0)
         << dev.display_name();
   }
 }
@@ -89,13 +93,13 @@ TEST(FindDBound, LegacyDeviceNeverShowsAlert) {
   // No overlay notification on Android 7: every D is "stealthy".
   const auto legacy =
       device::make_profile("Legacy", "nexus5", device::AndroidVersion::kV7, 150.0);
-  EXPECT_EQ(find_d_upper_bound_ms(legacy, 600), 600);
+  EXPECT_EQ(run_d_bound_trial({.profile = legacy, .max_ms = 600}).d_upper_ms, 600);
 }
 
 TEST(FindDBound, RespectsSearchCap) {
   const auto& dev = device::reference_device_android9();
   // Cap below the true bound: the search saturates at the cap.
-  EXPECT_EQ(find_d_upper_bound_ms(dev, 100), 100);
+  EXPECT_EQ(run_d_bound_trial({.profile = dev, .max_ms = 100}).d_upper_ms, 100);
 }
 
 }  // namespace

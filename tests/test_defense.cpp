@@ -153,7 +153,7 @@ TEST(NotificationDefense, DefeatsAttackAtAnyD) {
 TEST(NotificationDefense, WithoutDefenseSameDsAreInvisible) {
   const auto& dev = device::reference_device_android9();
   for (int d_ms : {60, 150, 215}) {
-    const auto probe = core::probe_outcome(dev, ms(d_ms));
+    const auto probe = core::run_outcome_probe({.profile = dev, .attacking_window = ms(d_ms)});
     EXPECT_EQ(probe.outcome, percept::LambdaOutcome::kL1) << "D=" << d_ms;
   }
 }

@@ -45,15 +45,17 @@ TEST(OverlayAttack, KeepsOverlayPresentAlmostAlways) {
 
 TEST(OverlayAttack, SuppressesAlertBelowTableBound) {
   const auto& dev = device::reference_device_android9();  // bound 215 ms
-  const auto probe = probe_outcome(dev, ms(static_cast<int>(dev.d_upper_bound_table_ms)));
+  const auto probe = run_outcome_probe(
+      {.profile = dev, .attacking_window = ms(static_cast<int>(dev.d_upper_bound_table_ms))});
   EXPECT_EQ(probe.outcome, LambdaOutcome::kL1);
   EXPECT_LT(probe.alert.max_pixels, ui::kNakedEyeMinPixels);
 }
 
 TEST(OverlayAttack, AlertEscapesAboveTableBound) {
   const auto& dev = device::reference_device_android9();
-  const auto probe =
-      probe_outcome(dev, ms(static_cast<int>(dev.d_upper_bound_table_ms) + 30));
+  const auto probe = run_outcome_probe(
+      {.profile = dev,
+       .attacking_window = ms(static_cast<int>(dev.d_upper_bound_table_ms) + 30)});
   EXPECT_NE(probe.outcome, LambdaOutcome::kL1);
 }
 
@@ -63,7 +65,7 @@ TEST(OverlayAttack, SimulatedBoundMatchesTableTwoForSpotDevices) {
   for (const char* model : {"s8", "pixel 2", "Redmi", "x21iA"}) {
     const auto dev = device::find_device(model);
     ASSERT_TRUE(dev.has_value()) << model;
-    const int simulated = find_d_upper_bound_ms(*dev);
+    const int simulated = run_d_bound_trial({.profile = *dev}).d_upper_ms;
     EXPECT_NEAR(simulated, dev->d_upper_bound_table_ms, 2.0) << model;
   }
 }
@@ -73,7 +75,8 @@ TEST(OverlayAttack, AddBeforeRemoveFailureMode) {
   // replacement overlay registers before the removal check and the
   // alert animation is never reset -> the alert eventually shows.
   const auto& dev = device::reference_device_android9();
-  const auto probe = probe_outcome(dev, ms(150), seconds(5), /*add_before_remove=*/true);
+  const auto probe = run_outcome_probe(
+      {.profile = dev, .attacking_window = ms(150), .add_before_remove = true});
   EXPECT_EQ(probe.outcome, LambdaOutcome::kL5);
 }
 

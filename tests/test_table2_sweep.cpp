@@ -24,7 +24,7 @@ class TableTwoSweep : public ::testing::TestWithParam<std::size_t> {
 };
 
 TEST_P(TableTwoSweep, SimulatedBoundMatchesPaper) {
-  EXPECT_EQ(find_d_upper_bound_ms(dev()),
+  EXPECT_EQ(run_d_bound_trial({.profile = dev()}).d_upper_ms,
             static_cast<int>(dev().d_upper_bound_table_ms))
       << dev().display_name();
 }
@@ -53,8 +53,9 @@ TEST_P(TableTwoSweep, DefaultAttackWindowStaysInvisibleUnderJitter) {
 }
 
 TEST_P(TableTwoSweep, AlertEscapesWellAboveBound) {
-  const auto probe =
-      probe_outcome(dev(), sim::ms(static_cast<int>(dev().d_upper_bound_table_ms) + 40));
+  const auto probe = run_outcome_probe(
+      {.profile = dev(),
+       .attacking_window = sim::ms(static_cast<int>(dev().d_upper_bound_table_ms) + 40)});
   EXPECT_NE(probe.outcome, percept::LambdaOutcome::kL1) << dev().display_name();
 }
 

@@ -1,0 +1,148 @@
+// TrialSession reuse contract: a session that recycles one World across
+// trials must be byte-identical — results and published telemetry — to
+// running every trial on a freshly constructed World, serially and
+// through the parallel campaign runner, with and without fault
+// injection.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/trial_fields.hpp"
+#include "core/trial_session.hpp"
+#include "device/registry.hpp"
+#include "input/typist.hpp"
+#include "obs/metrics.hpp"
+#include "runner/bench_cli.hpp"
+#include "runner/field_codec.hpp"
+
+namespace {
+
+using namespace animus;
+using core::Tier;
+using runner::TrialCodec;
+
+std::vector<core::OutcomeProbeConfig> probe_grid() {
+  const auto devices = device::all_devices();
+  std::vector<core::OutcomeProbeConfig> grid;
+  int i = 0;
+  for (const int d : {60, 150, 215, 216, 300, 700}) {
+    for (const std::uint64_t seed : {1ULL, 99ULL}) {
+      core::OutcomeProbeConfig c;
+      c.profile = devices[static_cast<std::size_t>(i++) % devices.size()];
+      c.attacking_window = sim::ms(d);
+      c.duration = sim::seconds(3);
+      c.seed = seed;
+      // Half the grid samples latencies, so the sim tier (and its RNG
+      // restoration across epochs) is exercised, not just the replay.
+      c.deterministic = (i % 2) == 0;
+      c.tier = Tier::kSim;  // session reuse is a sim-tier property
+      grid.push_back(c);
+    }
+  }
+  return grid;
+}
+
+TEST(TrialSession, ReusedWorldMatchesFreshWorldsSerially) {
+  const auto grid = probe_grid();
+  core::TrialSession session;
+  for (const auto& c : grid) {
+    // One-shot free function = fresh session = fresh World.
+    const auto fresh = TrialCodec<core::OutcomeProbe>::encode(core::run_outcome_probe(c));
+    const auto reused = TrialCodec<core::OutcomeProbe>::encode(session.run(c));
+    EXPECT_EQ(fresh, reused) << c.profile.display_name();
+  }
+  EXPECT_EQ(session.epochs(), grid.size());
+}
+
+TEST(TrialSession, CaptureAndPasswordTrialsMatchFreshWorlds) {
+  const auto panel = input::participant_panel();
+  const auto devices = device::all_devices();
+  core::TrialSession session;
+  for (int i = 0; i < 4; ++i) {
+    core::CaptureTrialConfig cc;
+    cc.profile = devices[static_cast<std::size_t>(i) * 7 % devices.size()];
+    cc.typist = panel[static_cast<std::size_t>(i)];
+    cc.attacking_window = sim::ms(100 + 25 * i);
+    cc.touches = 40;
+    cc.seed = static_cast<std::uint64_t>(17 + i);
+    EXPECT_EQ(TrialCodec<core::CaptureTrialResult>::encode(core::run_capture_trial(cc)),
+              TrialCodec<core::CaptureTrialResult>::encode(session.run(cc)))
+        << i;
+
+    core::PasswordTrialConfig pc;
+    pc.profile = devices[static_cast<std::size_t>(i) * 11 % devices.size()];
+    pc.typist = panel[static_cast<std::size_t>(i + 5)];
+    pc.password = "tk&%48GH";
+    pc.seed = static_cast<std::uint64_t>(29 + i);
+    EXPECT_EQ(TrialCodec<core::PasswordTrialResult>::encode(core::run_password_trial(pc)),
+              TrialCodec<core::PasswordTrialResult>::encode(session.run(pc)))
+        << i;
+  }
+}
+
+TEST(TrialSession, EpochTelemetryMatchesFreshWorldAccounting) {
+  // finish_epoch must publish exactly what a fresh World's destructor
+  // publishes: one animus_worlds_total tick per trial, identical event
+  // totals for identical trials.
+  auto& worlds = obs::global_registry().counter("animus_worlds_total");
+  auto& events = obs::global_registry().counter("animus_events_executed_total");
+  core::OutcomeProbeConfig c;
+  c.profile = device::reference_device_android9();
+  c.attacking_window = sim::ms(150);
+  c.duration = sim::seconds(3);
+  c.tier = Tier::kSim;
+
+  const double w0 = worlds.value(), e0 = events.value();
+  core::run_outcome_probe(c);  // fresh World
+  const double w1 = worlds.value(), e1 = events.value();
+  core::TrialSession session;
+  session.run(c);
+  session.run(c);  // second epoch on the same World
+  const double w2 = worlds.value(), e2 = events.value();
+
+  EXPECT_EQ(w1 - w0, 1.0);
+  EXPECT_EQ(w2 - w1, 2.0);
+  EXPECT_EQ(e2 - e1, 2.0 * (e1 - e0));
+}
+
+std::vector<std::string> run_probe_campaign(int jobs, double inject_fault) {
+  runner::BenchArgs args;
+  args.run.jobs = jobs;
+  args.run.root_seed = 7;
+  args.inject_fault = inject_fault;
+  const auto grid = probe_grid();
+  const auto sweep = runner::run_campaign(
+      "session-test", grid,
+      [&](const core::OutcomeProbeConfig& c, const runner::TrialContext&) {
+        return core::TrialSession::local().run(c);
+      },
+      args);
+  std::vector<std::string> encoded;
+  encoded.reserve(sweep.results.size());
+  for (const auto& r : sweep.results) {
+    encoded.push_back(TrialCodec<core::OutcomeProbe>::encode(r));
+  }
+  return encoded;
+}
+
+TEST(TrialSession, CampaignResultsAreByteIdenticalAtAnyJobsValue) {
+  // --jobs 8 hands each worker thread its own thread-local session (its
+  // own World); submission-order results must still match --jobs 1,
+  // where one session serves every trial back to back.
+  EXPECT_EQ(run_probe_campaign(1, 0.0), run_probe_campaign(8, 0.0));
+}
+
+TEST(TrialSession, CampaignSurvivesFaultInjectionIdentically) {
+  // Faulted trials abort mid-stream; the next trial on that worker's
+  // session must still open a pristine epoch.
+  const auto serial = run_probe_campaign(1, 0.25);
+  const auto parallel = run_probe_campaign(8, 0.25);
+  EXPECT_EQ(serial, parallel);
+  // The fault schedule is seed-derived, so some (but not all) trials
+  // must have defaulted.
+  const auto clean = run_probe_campaign(1, 0.0);
+  EXPECT_NE(serial, clean);
+}
+
+}  // namespace
