@@ -1,0 +1,72 @@
+// campaignd — the long-running campaign service daemon.
+//
+// Accepts campaign submissions over HTTP, schedules them sequentially
+// over the ExecutionBackend fleet, streams live telemetry over SSE and
+// keeps finished results queryable in an append-only index:
+//
+//   campaignd --port 8791 --index results/index.jsonl
+//
+//   curl -s localhost:8791/campaigns                    # list runs
+//   curl -s localhost:8791/campaigns/c0001/metrics      # live snapshot
+//   curl -sN localhost:8791/events                      # SSE stream
+//   curl -s -XPOST -d '{"bench":"fig07","seed":42}' \
+//        localhost:8791/campaigns                       # submit
+//   curl -s -XPOST localhost:8791/shutdown              # clean exit
+//
+// A shutdown request lets the running campaign finish (its result is
+// appended to the index) and abandons the rest of the queue — queued
+// work is cheap to resubmit, finished work is not.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "service/daemon.hpp"
+#include "service/http.hpp"
+
+int main(int argc, char** argv) {
+  using namespace animus;
+  int port = 8791;
+  std::string index_path = "campaign-index.jsonl";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--index" && i + 1 < argc) {
+      index_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--port N] [--index FILE]\n", argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], argv[i]);
+      return 2;
+    }
+  }
+
+  service::CampaignDaemon::Options options;
+  options.index_path = index_path;
+  service::CampaignDaemon daemon(options);
+  daemon.start();
+
+  service::HttpServer server(
+      [&daemon](const service::HttpRequest& req) { return daemon.handle(req); },
+      &daemon.hub());
+  if (!server.start(port)) {
+    std::fprintf(stderr, "%s: cannot bind 127.0.0.1:%d\n", argv[0], port);
+    return 2;
+  }
+  std::printf("campaignd listening on http://127.0.0.1:%d (index: %s)\n", server.port(),
+              index_path.c_str());
+  std::fflush(stdout);
+
+  while (!daemon.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "[campaignd] shutdown requested; finishing running campaign\n");
+  server.stop();
+  daemon.stop();
+  std::printf("campaignd: clean shutdown\n");
+  return 0;
+}

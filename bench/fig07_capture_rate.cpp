@@ -5,67 +5,23 @@
 //
 // Paper means: 61.0 79.8 86.7 89.0 91.0 92.8 92.8 (%).
 //
-// Each (D, participant) cell is an independent World, so the whole grid
-// fans out through runner::sweep; stdout is byte-identical at any
-// --jobs value (timing goes to stderr).
-#include <cstdio>
-#include <vector>
-
-#include "core/report.hpp"
-#include "core/trial_session.hpp"
-#include "device/registry.hpp"
-#include "input/typist.hpp"
-#include "metrics/stats.hpp"
-#include "metrics/table.hpp"
+// The sweep + table logic lives in service/benches.cpp, shared with the
+// campaign daemon so a daemon-submitted fig07 produces a CSV
+// byte-identical to this binary's --csv output.
 #include "runner/bench_cli.hpp"
-#include "runner/runner.hpp"
+#include "service/benches.hpp"
 
 int main(int argc, char** argv) {
   using namespace animus;
   const auto args = runner::BenchArgs::parse(argc, argv);
-  const auto panel = input::participant_panel();
-  const auto devices = device::all_devices();
-  const double paper_means[] = {61.0, 79.8, 86.7, 89.0, 91.0, 92.8, 92.8};
-  const std::vector<int> windows = {50, 75, 100, 125, 150, 175, 200};
-
-  struct Trial {
-    int d;
-    std::size_t participant;
-  };
-  std::vector<Trial> trials;
-  for (int d : windows)
-    for (std::size_t p = 0; p < panel.size(); ++p) trials.push_back({d, p});
-
-  // Checkpoint-aware sweep: honors --checkpoint-out / --resume-from.
-  const auto sw = runner::run_campaign(
-      "fig07", trials,
-      [&](const Trial& t, const runner::TrialContext& ctx) {
-        core::CaptureTrialConfig c;
-        c.profile = devices[t.participant % devices.size()];
-        c.typist = panel[t.participant];
-        c.attacking_window = sim::ms(t.d);
-        c.touches = 100;  // 10 strings x 10 characters
-        c.seed = ctx.seed;
-        return core::TrialSession::local().run(c).rate * 100.0;
-      },
-      args);
+  const auto out = service::find_campaign_bench("fig07")->run(args);
 
   runner::note(args, "=== Fig. 7: touch-event capture rate vs D (30 participants) ===\n");
-  metrics::Table table({"D (ms)", "min", "Q1", "median", "Q3", "max", "mean", "paper mean"});
-  for (std::size_t di = 0; di < windows.size(); ++di) {
-    const auto first = sw.results.begin() + static_cast<std::ptrdiff_t>(di * panel.size());
-    const std::vector<double> rates(first, first + static_cast<std::ptrdiff_t>(panel.size()));
-    const auto bp = metrics::box_plot(rates);
-    table.add_row({metrics::fmt("%d", windows[di]), metrics::fmt("%.1f", bp.summary.min),
-                   metrics::fmt("%.1f", bp.summary.q1), metrics::fmt("%.1f", bp.summary.median),
-                   metrics::fmt("%.1f", bp.summary.q3), metrics::fmt("%.1f", bp.summary.max),
-                   metrics::fmt("%.1f", bp.mean), metrics::fmt("%.1f", paper_means[di])});
-  }
-  runner::emit(table, args);
+  runner::emit(out.table, args);
   runner::note(args, "\nShape checks (paper, Section VI-B):");
   runner::note(args, "  - mean capture rate increases monotonically with D;");
   runner::note(args, "  - saturates around ~92% by D = 175-200 ms;");
   runner::note(args, "  - ~90% is reached near D = 150 ms.");
   runner::finish(args);
-  return sw.ok() ? 0 : 1;
+  return out.ok ? 0 : 1;
 }

@@ -2,76 +2,31 @@
 // finds Android 10 lowest (~90% even at D = 200 ms) because its reduced
 // Trm enlarges the mistouch gap Tmis = Tas + Tam - Trm.
 //
-// The (D, device, repetition) grid fans out through runner::sweep and
-// is grouped by version family afterwards, in submission order.
+// The sweep + table logic lives in service/benches.cpp, shared with the
+// campaign daemon so a daemon-submitted fig08 produces a CSV
+// byte-identical to this binary's --csv output.
 #include <cstdio>
-#include <map>
-#include <vector>
+#include <cstdlib>
+#include <string>
 
 #include "core/attack_analysis.hpp"
-#include "core/report.hpp"
-#include "core/trial_session.hpp"
 #include "device/registry.hpp"
-#include "input/typist.hpp"
 #include "metrics/stats.hpp"
-#include "metrics/table.hpp"
 #include "runner/bench_cli.hpp"
-#include "runner/runner.hpp"
+#include "service/benches.hpp"
 
 int main(int argc, char** argv) {
   using namespace animus;
   const auto args = runner::BenchArgs::parse(argc, argv);
-  const auto panel = input::participant_panel();
-  const auto devices = device::all_devices();
   const std::vector<std::string> families = {"Android 8.x", "Android 9.x", "Android 10.0",
                                              "Android 11.0"};
-  const std::vector<int> windows = {50, 75, 100, 125, 150, 175, 200};
-  constexpr std::size_t kReps = 4;  // participants averaged per device
-
-  struct Trial {
-    int d;
-    std::size_t device;
-    std::size_t rep;
-  };
-  std::vector<Trial> trials;
-  for (int d : windows)
-    for (std::size_t p = 0; p < devices.size(); ++p)
-      for (std::size_t rep = 0; rep < kReps; ++rep) trials.push_back({d, p, rep});
-
-  // Checkpoint-aware sweep: honors --checkpoint-out / --resume-from.
-  const auto sw = runner::run_campaign(
-      "fig08", trials,
-      [&](const Trial& t, const runner::TrialContext& ctx) {
-        core::CaptureTrialConfig c;
-        c.profile = devices[t.device];
-        c.typist = panel[(t.device + t.rep * 7) % panel.size()];
-        c.attacking_window = sim::ms(t.d);
-        c.touches = 100;
-        c.seed = ctx.seed;
-        return core::TrialSession::local().run(c).rate * 100.0;
-      },
-      args);
+  const auto out = service::find_campaign_bench("fig08")->run(args);
 
   runner::note(args, "=== Fig. 8: capture rate vs D by Android version family ===\n");
-  metrics::Table table({"D (ms)", families[0].c_str(), families[1].c_str(),
-                        families[2].c_str(), families[3].c_str()});
-  std::map<std::string, double> at200;
-  std::size_t i = 0;
-  for (int d : windows) {
-    std::map<std::string, metrics::RunningStats> by_family;
-    for (std::size_t p = 0; p < devices.size(); ++p)
-      for (std::size_t rep = 0; rep < kReps; ++rep, ++i)
-        by_family[std::string(device::version_family(devices[p].version))].add(sw.results[i]);
-    std::vector<std::string> row{metrics::fmt("%d", d)};
-    for (const auto& fam : families) {
-      row.push_back(metrics::fmt("%.1f", by_family[fam].mean()));
-      if (d == 200) at200[fam] = by_family[fam].mean();
-    }
-    table.add_row(std::move(row));
-  }
-  runner::emit(table, args);
+  runner::emit(out.table, args);
 
   if (!args.csv) {
+    const auto devices = device::all_devices();
     std::puts("\nAnalytic cross-check (per-touch capture, gesture registration):");
     for (const auto& fam : families) {
       for (const auto& dev : devices) {
@@ -82,10 +37,14 @@ int main(int argc, char** argv) {
         break;
       }
     }
+    // The D=200 row is the table's last; families start at column 1.
+    const std::size_t last = out.table.rows() - 1;
+    const double at200_v9 = std::strtod(out.table.cell(last, 2).c_str(), nullptr);
+    const double at200_v10 = std::strtod(out.table.cell(last, 3).c_str(), nullptr);
     std::printf("\nShape check: Android 10 stays lowest (%.1f%% at D=200 vs %.1f%% on 9.x);\n",
-                at200["Android 10.0"], at200["Android 9.x"]);
+                at200_v10, at200_v9);
     std::puts("the paper attributes this to the reduced Trm on Android 10 (Section VI-B).");
   }
   runner::finish(args);
-  return sw.ok() ? 0 : 1;
+  return out.ok ? 0 : 1;
 }

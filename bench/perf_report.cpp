@@ -25,6 +25,8 @@
 #include "core/trial_session.hpp"
 #include "device/registry.hpp"
 #include "input/typist.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stream.hpp"
 #include "runner/backend.hpp"
 #include "runner/field_codec.hpp"
 #include "runner/runner.hpp"
@@ -166,6 +168,48 @@ Sample bench_trials_per_sec(const char* name, const char* note, core::Tier tier,
   return s;
 }
 
+/// Streaming-telemetry sample cost at scale: snapshot + encode one
+/// metrics record for a registry of `series` counters, of which ~one
+/// moves per tick (the realistic long-campaign shape — almost every
+/// series is quiet between frames). The delta path is what a fast
+/// --stream-interval pays per tick; the note carries the measured ratio
+/// against the full stream_fields rendering the pre-delta format paid.
+Sample bench_stream_delta(int series, int frames, int repeats) {
+  obs::MetricsRegistry reg;
+  std::vector<obs::Counter*> counters;
+  counters.reserve(static_cast<std::size_t>(series));
+  for (int i = 0; i < series; ++i) {
+    counters.push_back(&reg.counter("animus_perf_stream", {{"s", std::to_string(i)}}));
+    counters.back()->add(1.0);
+  }
+  const auto events = static_cast<std::size_t>(series) * static_cast<std::size_t>(frames);
+  std::size_t sink = 0;
+  const auto churn = [&](int f) {
+    counters[static_cast<std::size_t>(f * 131) % counters.size()]->add(1.0);
+  };
+  const Sample full = timed("stream_full", "", events, repeats, [&] {
+    for (int f = 0; f < frames; ++f) {
+      churn(f);
+      sink += obs::stream_fields(reg.snapshot()).size();
+    }
+  });
+  Sample s = timed("stream_delta_vs_full", "", events, repeats, [&] {
+    obs::DeltaEncoder enc;  // fresh per repeat: frame 0 keyframe + deltas
+    for (int f = 0; f < frames; ++f) {
+      churn(f);
+      sink += enc.encode(reg.snapshot()).size();
+    }
+  });
+  if (sink == 0) s.events = 0;  // keep the encoders honest
+  char note[160];
+  std::snprintf(note, sizeof(note),
+                "delta-encoded metrics sample, %d series, ~1 changed/tick; "
+                "full-snapshot path costs %.2fx",
+                series, full.ns_per_event / s.ns_per_event);
+  s.note = note;
+  return s;
+}
+
 /// Reduced Fig. 7 sweep: 30 participants x 3 windows, full Worlds, via
 /// runner::sweep — end-to-end wall clock including the parallel runner.
 Sample bench_fig07_sweep(int jobs, bool quick) {
@@ -215,7 +259,7 @@ void write_json(const char* path, const std::vector<Sample>& samples, int jobs) 
     std::fprintf(stderr, "perf_report: cannot open %s\n", path);
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"schema\": 2,\n  \"report\": \"animus-kernel\",\n");
+  std::fprintf(f, "{\n  \"schema\": 3,\n  \"report\": \"animus-kernel\",\n");
   std::fprintf(f, "  \"engine\": \"%s\",\n", sim::EventLoop::engine_name());
   std::fprintf(f, "  \"jobs\": %d,\n  \"benchmarks\": [\n", jobs);
   for (std::size_t i = 0; i < samples.size(); ++i) {
@@ -274,6 +318,7 @@ int main(int argc, char** argv) {
   samples.push_back(bench_trials_per_sec("trials_per_sec_analytic",
                                          "outcome probes, closed-form analytic tier",
                                          core::Tier::kAnalytic, tier_trials, repeats));
+  samples.push_back(bench_stream_delta(10'000, quick ? 8 : 16, repeats));
   samples.push_back(bench_fig07_sweep(jobs, quick));
 
   for (const Sample& s : samples) {

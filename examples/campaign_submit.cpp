@@ -1,0 +1,195 @@
+// campaign_submit — submission client for campaignd.
+//
+// Submits one campaign, optionally waits for it to finish and prints
+// the result CSV on stdout — which is byte-identical to running the
+// same bench directly with --csv (the daemon and the CLI share one
+// campaign definition):
+//
+//   campaign_submit --port 8791 --bench fig07 --seed 42 --wait > fig07.csv
+//   campaign_submit --port 8791 --list          # dump GET /campaigns
+//
+// The client speaks just enough HTTP/1.1 over a loopback socket for
+// the daemon's JSON surface; status goes to stderr, payload to stdout.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "service/json_util.hpp"
+
+namespace {
+
+#if !defined(_WIN32)
+
+/// One HTTP/1.1 exchange against 127.0.0.1:`port`; returns the response
+/// body, or nullopt on any socket failure.
+std::optional<std::string> http_exchange(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + off, request.size() - off, 0);
+    if (n < 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string raw;
+  char buf[4096];
+  for (ssize_t n = ::recv(fd, buf, sizeof(buf), 0); n > 0; n = ::recv(fd, buf, sizeof(buf), 0)) {
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const auto body_at = raw.find("\r\n\r\n");
+  if (body_at == std::string::npos) return std::nullopt;
+  return raw.substr(body_at + 4);
+}
+
+std::optional<std::string> http_get(int port, const std::string& path) {
+  return http_exchange(port, "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n");
+}
+
+std::optional<std::string> http_post(int port, const std::string& path,
+                                     const std::string& body) {
+  return http_exchange(port, "POST " + path + " HTTP/1.1\r\nHost: localhost\r\n" +
+                                 "Content-Length: " + std::to_string(body.size()) +
+                                 "\r\n\r\n" + body);
+}
+
+#endif  // !_WIN32
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: %s [--port N] --bench NAME [--seed S] [--jobs N]\n"
+               "          [--backend NAME] [--shards N] [--tier NAME] [--wait]\n"
+               "       %s [--port N] --list\n"
+               "  --wait   poll until the campaign finishes, print its CSV on stdout\n"
+               "  --list   dump GET /campaigns and exit\n",
+               argv0, argv0);
+  std::exit(code);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#if defined(_WIN32)
+  (void)argc;
+  (void)argv;
+  std::fprintf(stderr, "campaign_submit: POSIX sockets required\n");
+  return 2;
+#else
+  using animus::service::json_field;
+  int port = 8791;
+  std::string bench, backend, tier;
+  unsigned long long seed = 0;
+  int jobs = 0, shards = 0;
+  bool wait = false, list = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0], 2);
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = std::atoi(value());
+    } else if (arg == "--bench") {
+      bench = value();
+    } else if (arg == "--seed") {
+      seed = std::strtoull(value(), nullptr, 0);
+    } else if (arg == "--jobs") {
+      jobs = std::atoi(value());
+    } else if (arg == "--backend") {
+      backend = value();
+    } else if (arg == "--shards") {
+      shards = std::atoi(value());
+    } else if (arg == "--tier") {
+      tier = value();
+    } else if (arg == "--wait") {
+      wait = true;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], argv[i]);
+      usage(argv[0], 2);
+    }
+  }
+
+  if (list) {
+    const auto body = http_get(port, "/campaigns");
+    if (!body) {
+      std::fprintf(stderr, "%s: cannot reach campaignd on port %d\n", argv[0], port);
+      return 2;
+    }
+    std::fputs(body->c_str(), stdout);
+    return 0;
+  }
+  if (bench.empty()) usage(argv[0], 2);
+
+  std::string submission = "{\"bench\":\"" + bench + "\",\"seed\":" + std::to_string(seed) +
+                           ",\"jobs\":" + std::to_string(jobs);
+  if (!backend.empty()) submission += ",\"backend\":\"" + backend + "\"";
+  if (shards > 0) submission += ",\"shards\":" + std::to_string(shards);
+  if (!tier.empty()) submission += ",\"tier\":\"" + tier + "\"";
+  submission += "}";
+
+  const auto reply = http_post(port, "/campaigns", submission);
+  if (!reply) {
+    std::fprintf(stderr, "%s: cannot reach campaignd on port %d\n", argv[0], port);
+    return 2;
+  }
+  if (const auto error = json_field(*reply, "error")) {
+    std::fprintf(stderr, "%s: submission rejected: %s\n", argv[0], error->c_str());
+    return 2;
+  }
+  const auto id = json_field(*reply, "id");
+  if (!id) {
+    std::fprintf(stderr, "%s: unexpected reply: %s\n", argv[0], reply->c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "[campaign_submit] submitted %s as %s\n", bench.c_str(), id->c_str());
+  if (!wait) {
+    std::printf("%s\n", id->c_str());
+    return 0;
+  }
+
+  // Poll the result store until the campaign leaves the queue.
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const auto record = http_get(port, "/campaigns/" + *id);
+    if (!record) {
+      std::fprintf(stderr, "%s: lost connection to campaignd\n", argv[0]);
+      return 2;
+    }
+    const std::string status = json_field(*record, "status").value_or("");
+    if (status == "queued" || status == "running") continue;
+    if (status == "done") {
+      std::fputs(json_field(*record, "csv").value_or("").c_str(), stdout);
+      return 0;
+    }
+    std::fprintf(stderr, "%s: campaign %s finished with status '%s'\n", argv[0], id->c_str(),
+                 status.c_str());
+    return 1;
+  }
+#endif
+}

@@ -12,6 +12,12 @@ void Table::add_row(std::vector<std::string> cells) {
   rows_.push_back(std::move(cells));
 }
 
+const std::string& Table::cell(std::size_t r, std::size_t c) const {
+  static const std::string empty;
+  if (r >= rows_.size() || c >= rows_[r].size()) return empty;
+  return rows_[r][c];
+}
+
 std::string Table::to_string() const {
   std::vector<std::size_t> width(headers_.size(), 0);
   for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();

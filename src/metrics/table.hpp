@@ -18,6 +18,10 @@ class Table {
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
 
+  /// Cell (r, c) as written (padded empty when out of range), so
+  /// callers can derive commentary from a finished table.
+  [[nodiscard]] const std::string& cell(std::size_t r, std::size_t c) const;
+
   /// Render with a header separator, columns padded to content width.
   [[nodiscard]] std::string to_string() const;
 

@@ -98,6 +98,7 @@ std::string RunManifest::to_json() const {
     out += buf;
     out += ",\n";
   }
+  field_bool(out, "stream_delta", stream_delta);
   field_u64(out, "checkpoint_interval", checkpoint_interval);
   field_u64(out, "trace_trial", trace_trial);
   out += "  \"artifacts\": {\n";
@@ -142,6 +143,7 @@ std::optional<RunManifest> RunManifest::parse(std::string_view json) {
   m.deterministic = raw_value(json, "deterministic").value_or("true") == "true";
   m.csv = raw_value(json, "csv").value_or("false") == "true";
   m.stream_interval_ms = as_double(raw_value(json, "stream_interval_ms"));
+  m.stream_delta = raw_value(json, "stream_delta").value_or("false") == "true";
   m.checkpoint_interval = as_u64(raw_value(json, "checkpoint_interval"));
   m.trace_trial = as_u64(raw_value(json, "trace_trial"));
   if (auto v = raw_value(json, "trace")) m.trace_out = *v;

@@ -42,6 +42,7 @@ struct RunManifest {
   bool deterministic = true;
   bool csv = false;
   double stream_interval_ms = 0.0; ///< 0 = streaming disabled
+  bool stream_delta = false;       ///< metrics samples were delta-encoded
   std::size_t checkpoint_interval = 0;
   std::size_t trace_trial = 0;
 

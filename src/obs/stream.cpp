@@ -129,6 +129,53 @@ std::size_t TelemetryStreamer::dropped() const {
   return dropped_;
 }
 
+namespace {
+
+/// One snapshot point as a stream JSON object. `changed_buckets`
+/// (delta-mode histograms only) appends a "buckets":[[index,count],...]
+/// array; the nullptr path is exactly the historical stream_fields
+/// rendering, which must stay byte-identical.
+void append_point_json(std::string& out, const MetricPoint& p,
+                       const std::vector<std::pair<std::size_t, std::uint64_t>>* changed_buckets) {
+  out += "{\"name\":\"";
+  append_json_escaped(out, p.name);
+  out += "\"";
+  if (!p.labels.empty()) {
+    out += ",\"labels\":{";
+    bool lf = true;
+    for (const auto& [k, v] : p.labels) {
+      if (!lf) out += ",";
+      lf = false;
+      out += "\"";
+      append_json_escaped(out, k);
+      out += "\":\"";
+      append_json_escaped(out, v);
+      out += "\"";
+    }
+    out += "}";
+  }
+  if (p.type == MetricType::kHistogram) {
+    out += ",\"count\":" + std::to_string(p.count);
+    out += ",\"sum\":" + fmt_double(p.sum);
+    out += ",\"max\":" + fmt_double(p.max);
+    if (changed_buckets != nullptr && !changed_buckets->empty()) {
+      out += ",\"buckets\":[";
+      bool bf = true;
+      for (const auto& [index, count] : *changed_buckets) {
+        if (!bf) out += ",";
+        bf = false;
+        out += "[" + std::to_string(index) + "," + std::to_string(count) + "]";
+      }
+      out += "]";
+    }
+  } else {
+    out += ",\"value\":" + fmt_double(p.value);
+  }
+  out += "}";
+}
+
+}  // namespace
+
 std::string stream_fields(const Snapshot& snap) {
   std::string out = "\"series\":" + std::to_string(snap.points.size());
   out += ",\"metrics\":[";
@@ -136,33 +183,83 @@ std::string stream_fields(const Snapshot& snap) {
   for (const auto& p : snap.points) {
     if (!first) out += ",";
     first = false;
-    out += "{\"name\":\"";
-    append_json_escaped(out, p.name);
-    out += "\"";
-    if (!p.labels.empty()) {
-      out += ",\"labels\":{";
-      bool lf = true;
-      for (const auto& [k, v] : p.labels) {
-        if (!lf) out += ",";
-        lf = false;
-        out += "\"";
-        append_json_escaped(out, k);
-        out += "\":\"";
-        append_json_escaped(out, v);
-        out += "\"";
-      }
-      out += "}";
-    }
-    if (p.type == MetricType::kHistogram) {
-      out += ",\"count\":" + std::to_string(p.count);
-      out += ",\"sum\":" + fmt_double(p.sum);
-      out += ",\"max\":" + fmt_double(p.max);
-    } else {
-      out += ",\"value\":" + fmt_double(p.value);
-    }
-    out += "}";
+    append_point_json(out, p, nullptr);
   }
   out += "]";
+  return out;
+}
+
+DeltaEncoder::DeltaEncoder(std::size_t keyframe_every)
+    : keyframe_every_(std::max<std::size_t>(keyframe_every, 1)) {}
+
+std::string DeltaEncoder::encode(const Snapshot& snap) {
+  const bool keyframe = frames_ % keyframe_every_ == 0;
+  ++frames_;
+
+  // One merge pass: `prev_` holds the last frame in snapshot order, and
+  // series are only ever inserted (never retired or reordered), so each
+  // snapshot point either matches the next surviving prev entry or is
+  // brand new. The rebuilt state vector recycles the matched entries'
+  // string keys and bucket storage — the steady state allocates nothing
+  // per series.
+  std::string out;
+  std::string metrics;
+  std::size_t changed = 0;
+  std::vector<std::pair<std::size_t, std::uint64_t>> changed_buckets;
+  std::vector<SeriesState> next;
+  next.reserve(snap.points.size());
+  std::size_t j = 0;
+  for (const auto& p : snap.points) {
+    const bool existing =
+        j < prev_.size() && prev_[j].name == p.name && prev_[j].labels == p.labels;
+    const SeriesState* st = existing ? &prev_[j] : nullptr;
+    if (!keyframe) {
+      bool dirty = st == nullptr;
+      changed_buckets.clear();
+      if (p.type == MetricType::kHistogram) {
+        if (!dirty) {
+          dirty = p.count != st->count || p.sum != st->sum || p.max != st->max;
+        }
+        for (std::size_t i = 0; i < p.buckets.size(); ++i) {
+          const std::uint64_t before =
+              st != nullptr && i < st->buckets.size() ? st->buckets[i] : 0;
+          if (p.buckets[i] != before) changed_buckets.push_back({i, p.buckets[i]});
+        }
+        dirty = dirty || !changed_buckets.empty();
+      } else if (!dirty) {
+        dirty = p.value != st->value;
+      }
+      if (dirty) {
+        if (changed > 0) metrics += ",";
+        append_point_json(metrics, p, &changed_buckets);
+        ++changed;
+      }
+    }
+    if (existing) {
+      next.push_back(std::move(prev_[j]));
+      ++j;
+    } else {
+      next.emplace_back();
+      next.back().name = p.name;
+      next.back().labels = p.labels;
+    }
+    SeriesState& st2 = next.back();
+    st2.value = p.value;
+    st2.buckets = p.buckets;
+    st2.sum = p.sum;
+    st2.count = p.count;
+    st2.max = p.max;
+  }
+  prev_ = std::move(next);
+
+  if (keyframe) {
+    out = "\"keyframe\":true,";
+    out += stream_fields(snap);
+  } else {
+    out = "\"delta\":true,\"series\":" + std::to_string(snap.points.size());
+    out += ",\"changed\":" + std::to_string(changed);
+    out += ",\"metrics\":[" + metrics + "]";
+  }
   return out;
 }
 

@@ -105,4 +105,60 @@ class TelemetryStreamer {
 /// sampler (full bucket detail stays in --metrics-out).
 std::string stream_fields(const Snapshot& snap);
 
+/// Incremental snapshot encoder for delta-mode streaming.
+///
+/// A full `stream_fields` body is O(total series) per tick; on a
+/// long campaign with thousands of series, almost all of it repeats the
+/// previous tick. DeltaEncoder remembers the last snapshot it encoded
+/// and emits one of two bodies:
+///
+///   keyframe  `"keyframe":true,` + the full stream_fields body —
+///             frame 0 and every `keyframe_every`-th frame thereafter,
+///             so a late subscriber syncs within one keyframe period;
+///   delta     `"delta":true,"series":N,"changed":M,"metrics":[...]` —
+///             only series whose value (counter/gauge) or
+///             count/sum/max (histogram) changed since the previous
+///             frame. Histogram entries additionally carry
+///             `"buckets":[[index,count],...]` for the buckets that
+///             changed. Values are absolute, so applying a delta means
+///             overwriting the named series — consumers never have to
+///             add increments, and a lost delta is healed by the next
+///             keyframe.
+///
+/// Series are keyed by (name, labels); the registry never retires a
+/// series, so deltas carry no tombstones. Snapshots iterate the
+/// registry's map in sorted key order and existing series never move,
+/// so the previous frame is kept as a sorted vector and each encode is
+/// a single two-pointer merge — no per-series map lookups, which is
+/// what lets a 10k-series registry tick at sub-second intervals.
+class DeltaEncoder {
+ public:
+  /// `keyframe_every` = total frame period of keyframes: frame 0, K,
+  /// 2K, ... are keyframes, everything between is a delta.
+  explicit DeltaEncoder(std::size_t keyframe_every = kDefaultKeyframeEvery);
+
+  /// Encode `snap` relative to the previously encoded frame. Returns a
+  /// TelemetryStreamer sampler body (no envelope).
+  std::string encode(const Snapshot& snap);
+
+  [[nodiscard]] std::size_t frames() const { return frames_; }
+
+  static constexpr std::size_t kDefaultKeyframeEvery = 10;
+
+ private:
+  struct SeriesState {
+    std::string name;
+    Labels labels;
+    double value = 0.0;                  // counter/gauge
+    std::vector<std::uint64_t> buckets;  // histogram
+    double sum = 0.0;
+    std::uint64_t count = 0;
+    double max = 0.0;
+  };
+
+  std::size_t keyframe_every_;
+  std::size_t frames_ = 0;
+  std::vector<SeriesState> prev_;  // snapshot order (sorted by name+labels)
+};
+
 }  // namespace animus::obs

@@ -51,6 +51,14 @@ void TraceCapture::deliver(const sim::TraceRecorder& trace) {
   captured_ = true;
 }
 
+void TraceCapture::deliver_remote(sim::TraceRecorder&& trace) {
+  std::lock_guard<std::mutex> lock{mu_};
+  if (!armed_ || captured_) return;
+  claimed_ = true;
+  trace_ = std::move(trace);
+  captured_ = true;
+}
+
 bool TraceCapture::captured() const {
   std::lock_guard<std::mutex> lock{mu_};
   return captured_;

@@ -49,6 +49,13 @@ class TraceCapture {
   /// Deliver the claimed World's trace (called from its destructor).
   void deliver(const sim::TraceRecorder& trace);
 
+  /// Deliver a trace that was claimed and captured in ANOTHER process (a
+  /// forked shard worker ships the armed trial's spans back over the
+  /// result pipe). The claim happened in the worker's copy of this
+  /// singleton, so the parent's slot is still armed-but-unclaimed;
+  /// accept exactly the first remote delivery while armed.
+  void deliver_remote(sim::TraceRecorder&& trace);
+
   [[nodiscard]] bool captured() const;
   [[nodiscard]] const sim::TraceRecorder& trace() const { return trace_; }
 

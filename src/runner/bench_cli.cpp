@@ -59,7 +59,8 @@ CampaignState& state() {
       "usage: %s [--jobs N] [--seed S] [--backend NAME] [--shards N]\n"
       "          [--tier NAME] [--inject-fault RATE] [--csv] [--trials-out FILE]\n"
       "          [--trace-out FILE] [--trace-trial N] [--metrics-out FILE]\n"
-      "          [--stream-out FILE] [--stream-interval MS] [--progress]\n"
+      "          [--stream-out FILE] [--stream-interval MS] [--stream-full]\n"
+      "          [--progress]\n"
       "          [--checkpoint-out FILE] [--checkpoint-interval N]\n"
       "          [--resume-from FILE] [--manifest FILE]\n"
       "  --jobs N              worker threads (0 = all hardware cores; default 0)\n"
@@ -84,7 +85,10 @@ CampaignState& state() {
       "  --metrics-out FILE    metrics snapshot (.prom => Prometheus, else JSONL)\n"
       "  --stream-out FILE     streaming telemetry JSONL (metrics + progress,\n"
       "                        appended live every --stream-interval)\n"
-      "  --stream-interval MS  stream flush / heartbeat period (default 1000)\n"
+      "  --stream-interval MS  stream flush / heartbeat period (default 1000);\n"
+      "                        below 1000 metrics samples are delta-encoded\n"
+      "                        (changed series only + periodic keyframes)\n"
+      "  --stream-full         full metrics samples at any interval\n"
       "  --progress            progress heartbeat on stderr without a stream\n"
       "  --checkpoint-out FILE persist completed trials for resume\n"
       "  --checkpoint-interval N  trials between checkpoint flushes (default 64)\n"
@@ -153,6 +157,10 @@ void heartbeat(const Progress& p) {
 }
 
 }  // namespace
+
+bool stream_delta_enabled(const BenchArgs& args) {
+  return !args.stream_out.empty() && !args.stream_full && args.stream_interval_ms < 1000.0;
+}
 
 bool fault_scheduled(std::uint64_t root_seed, double rate, std::size_t index) {
   if (rate <= 0.0) return false;
@@ -230,6 +238,8 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
         std::fprintf(stderr, "%s: --stream-interval must be positive\n", argv[0]);
         usage(argv[0], 2);
       }
+    } else if (arg == "--stream-full") {
+      args.stream_full = true;
     } else if (arg == "--progress") {
       args.progress = true;
     } else if (arg == "--checkpoint-out") {
@@ -249,17 +259,10 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       usage(argv[0], 2);
     }
   }
-  const bool process_backend =
-      args.backend == "process" || args.backend == "processes";
   if (!args.trace_out.empty()) {
-    if (process_backend) {
-      // Trial bodies run in forked workers whose memory never returns to
-      // the parent, so the capture cannot see the representative trial.
-      std::fprintf(stderr,
-                   "%s: --trace-out cannot capture under --backend=process; "
-                   "use --backend=threads for tracing\n",
-                   argv[0]);
-    }
+    // Works under every backend: thread workers claim the capture
+    // directly; forked shard workers inherit the armed state and ship
+    // the captured trace back over the result pipe ("T" message).
     obs::trace_capture().arm(args.trace_trial);
   } else if (s.trace_trial_explicit) {
     std::fprintf(stderr, "%s: --trace-trial has no effect without --trace-out\n", argv[0]);
@@ -269,9 +272,20 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
     so.path = args.stream_out;
     so.interval_ms = args.stream_interval_ms;
     s.streamer = std::make_unique<obs::TelemetryStreamer>(so);
-    s.streamer->add_sampler("metrics", [] {
-      return obs::stream_fields(obs::global_registry().snapshot());
-    });
+    if (stream_delta_enabled(args)) {
+      // Sub-second ticks would pay the full-snapshot encode many times
+      // per second; switch the metrics sampler to delta encoding. The
+      // sampler is only ever polled from the flusher thread (and once
+      // more at stop()), so the encoder needs no locking of its own.
+      auto encoder = std::make_shared<obs::DeltaEncoder>();
+      s.streamer->add_sampler("metrics", [encoder] {
+        return encoder->encode(obs::global_registry().snapshot());
+      });
+    } else {
+      s.streamer->add_sampler("metrics", [] {
+        return obs::stream_fields(obs::global_registry().snapshot());
+      });
+    }
     if (!s.streamer->start()) {
       std::fprintf(stderr, "%s: cannot open --stream-out %s\n", argv[0],
                    args.stream_out.c_str());
@@ -526,6 +540,7 @@ void finish(const BenchArgs& args) {
     m.deterministic = args.run.deterministic;
     m.csv = args.csv;
     m.stream_interval_ms = args.stream_out.empty() ? 0.0 : args.stream_interval_ms;
+    m.stream_delta = stream_delta_enabled(args);
     m.checkpoint_interval = args.checkpoint_out.empty() ? 0 : args.checkpoint_interval;
     m.trace_trial = args.trace_trial;
     m.trace_out = args.trace_out;

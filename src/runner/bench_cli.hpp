@@ -33,7 +33,13 @@
 //   --stream-out FILE     streaming telemetry: append timestamped JSONL
 //                         records (metrics snapshots, progress heartbeats)
 //                         every --stream-interval while the sweep runs
-//   --stream-interval MS  flush/heartbeat period (default 1000)
+//   --stream-interval MS  flush/heartbeat period (default 1000). Below
+//                         1000 ms the metrics samples switch to delta
+//                         encoding (changed series only, with a full
+//                         keyframe every 10th sample) so a fast tick
+//                         does not pay the full-snapshot cost
+//   --stream-full         force full metrics samples at any interval
+//                         (the pre-delta byte-identical JSONL format)
 //   --progress            progress heartbeat on stderr (throughput,
 //                         completion %, ETA, errors) even without a stream
 //   --checkpoint-out FILE persist completed trials as JSONL at interval
@@ -90,6 +96,7 @@ struct BenchArgs {
   std::string metrics_out;  ///< metrics-snapshot destination ("" = disabled)
   std::string stream_out;   ///< streaming-telemetry destination ("" = disabled)
   double stream_interval_ms = 1000.0;
+  bool stream_full = false; ///< force full metrics samples (disable delta mode)
   std::string checkpoint_out;        ///< checkpoint destination ("" = disabled)
   std::size_t checkpoint_interval = 64;
   std::string resume_from;  ///< checkpoint to resume ("" = fresh run)
@@ -112,6 +119,13 @@ inline constexpr const char* kInjectedFaultWhat = "injected fault (--inject-faul
 /// seed-derived substream, independent of backend/jobs/shards), so
 /// tests and the manifest accounting can reproduce the schedule.
 bool fault_scheduled(std::uint64_t root_seed, double rate, std::size_t index);
+
+/// True when the telemetry stream's metrics samples are delta-encoded:
+/// streaming is on, the interval is below 1 s (a fast tick would pay
+/// the full-snapshot cost many times per second) and --stream-full did
+/// not opt out. Pure predicate over the parsed args; the manifest's
+/// `stream_delta` field records the same decision.
+bool stream_delta_enabled(const BenchArgs& args);
 
 /// Print a table to stdout honoring --csv.
 void emit(const metrics::Table& table, const BenchArgs& args);

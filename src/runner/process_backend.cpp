@@ -15,8 +15,19 @@
 //                      "Q\n"                  drain and _exit(0)
 //   worker -> parent:  "O <slot> <elapsed_ms> <escaped-result>\n"
 //                      "E <slot> <elapsed_ms> <escaped-what>\n"
+//                      "T <slot> <escaped-trace>\n"  claimed-trial spans
 // The payload escaping (backslash + newline) keeps messages line-framed
 // for any codec output; the codec itself is already line-safe.
+//
+// The "T" message closes the --trace-out gap: the armed TraceCapture
+// state is inherited through fork, so the worker that runs the armed
+// trial claims and captures its World's trace locally — every trial
+// body finishes its epoch before returning, so the capture is complete
+// right after body(). The worker serializes it (sim::serialize_records)
+// and ships it once, just before that trial's result line; the parent
+// deserializes into its own still-unclaimed capture slot
+// (TraceCapture::deliver_remote), making the chrome trace identical to
+// a thread-backend run of the same sweep.
 //
 // Workers _exit(2) rather than exit() so inherited stdio buffers are
 // never double-flushed, and never write to stdout/stderr — the parent
@@ -110,6 +121,7 @@ constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   if (cmd == nullptr) ::_exit(2);
   char line[128];
   std::string msg;
+  bool trace_sent = false;
   while (std::fgets(line, sizeof(line), cmd) != nullptr) {
     if (line[0] == 'Q') break;
     if (line[0] != 'R') continue;
@@ -125,6 +137,7 @@ constexpr std::size_t kNone = static_cast<std::size_t>(-1);
     char tag = 'O';
     std::string payload;
     try {
+      obs::TraceCapture::TrialScope scope(ctx.index);
       payload = body(ctx);
     } catch (const std::exception& e) {
       tag = 'E';
@@ -134,6 +147,19 @@ constexpr std::size_t kNone = static_cast<std::size_t>(-1);
       payload = "unknown exception";
     }
     const double elapsed = ms_between(t0, Clock::now());
+    // captured() stays true for the rest of this worker's life, so ship
+    // the claimed trial's trace exactly once, ahead of its result line.
+    if (!trace_sent && obs::trace_capture().captured()) {
+      trace_sent = true;
+      msg.clear();
+      msg += 'T';
+      msg += ' ';
+      msg += std::to_string(slot);
+      msg += ' ';
+      escape_payload(msg, sim::serialize_records(obs::trace_capture().trace()));
+      msg += '\n';
+      if (!write_all(res_w, msg)) ::_exit(2);
+    }
     msg.clear();
     msg += tag;
     msg += ' ';
@@ -276,6 +302,17 @@ EncodedSweep ProcessShardBackend::run_encoded(const std::vector<std::size_t>& in
 
   /// One complete result line from worker `w`.
   auto handle_line = [&](Worker& w, std::string_view line) {
+    if (line.size() >= 2 && line[0] == 'T') {
+      // Claimed-trial trace shipped from a worker: adopt it into this
+      // process's (armed, still unclaimed) capture slot.
+      const auto payload_at = line.find(' ', 2);
+      if (payload_at == std::string_view::npos) return;
+      sim::TraceRecorder remote;
+      if (sim::deserialize_records(unescape_payload(line.substr(payload_at + 1)), &remote)) {
+        obs::trace_capture().deliver_remote(std::move(remote));
+      }
+      return;
+    }
     if (line.size() < 2 || (line[0] != 'O' && line[0] != 'E')) return;
     std::size_t slot = 0;
     double elapsed = 0.0;

@@ -1,0 +1,143 @@
+#include "service/benches.hpp"
+
+#include <map>
+#include <string>
+
+#include "core/trial_session.hpp"
+#include "device/registry.hpp"
+#include "input/typist.hpp"
+#include "metrics/stats.hpp"
+
+namespace animus::service {
+namespace {
+
+// Grid shapes shared by both figures (paper Section VI-B).
+const std::vector<int>& windows_ms() {
+  static const std::vector<int> w = {50, 75, 100, 125, 150, 175, 200};
+  return w;
+}
+
+std::size_t fig07_trials() { return windows_ms().size() * input::participant_panel().size(); }
+
+constexpr std::size_t kFig08Reps = 4;  // participants averaged per device
+
+std::size_t fig08_trials() {
+  return windows_ms().size() * device::all_devices().size() * kFig08Reps;
+}
+
+/// Fig. 7 — capture rate vs D, box plot over the 30-participant panel.
+CampaignOutput run_fig07(const runner::BenchArgs& args) {
+  const auto panel = input::participant_panel();
+  const auto devices = device::all_devices();
+  const double paper_means[] = {61.0, 79.8, 86.7, 89.0, 91.0, 92.8, 92.8};
+  const auto& windows = windows_ms();
+
+  struct Trial {
+    int d;
+    std::size_t participant;
+  };
+  std::vector<Trial> trials;
+  for (int d : windows)
+    for (std::size_t p = 0; p < panel.size(); ++p) trials.push_back({d, p});
+
+  const auto sw = runner::run_campaign(
+      "fig07", trials,
+      [&](const Trial& t, const runner::TrialContext& ctx) {
+        core::CaptureTrialConfig c;
+        c.profile = devices[t.participant % devices.size()];
+        c.typist = panel[t.participant];
+        c.attacking_window = sim::ms(t.d);
+        c.touches = 100;  // 10 strings x 10 characters
+        c.seed = ctx.seed;
+        return core::TrialSession::local().run(c).rate * 100.0;
+      },
+      args);
+
+  CampaignOutput out{
+      metrics::Table({"D (ms)", "min", "Q1", "median", "Q3", "max", "mean", "paper mean"})};
+  for (std::size_t di = 0; di < windows.size(); ++di) {
+    const auto first = sw.results.begin() + static_cast<std::ptrdiff_t>(di * panel.size());
+    const std::vector<double> rates(first, first + static_cast<std::ptrdiff_t>(panel.size()));
+    const auto bp = metrics::box_plot(rates);
+    out.table.add_row({metrics::fmt("%d", windows[di]), metrics::fmt("%.1f", bp.summary.min),
+                       metrics::fmt("%.1f", bp.summary.q1),
+                       metrics::fmt("%.1f", bp.summary.median),
+                       metrics::fmt("%.1f", bp.summary.q3), metrics::fmt("%.1f", bp.summary.max),
+                       metrics::fmt("%.1f", bp.mean), metrics::fmt("%.1f", paper_means[di])});
+  }
+  out.trials = trials.size();
+  out.errors = sw.errors.size();
+  out.wall_ms = sw.stats.wall_ms;
+  out.ok = sw.ok();
+  return out;
+}
+
+/// Fig. 8 — capture rate vs D grouped by Android version family.
+CampaignOutput run_fig08(const runner::BenchArgs& args) {
+  const auto panel = input::participant_panel();
+  const auto devices = device::all_devices();
+  const std::vector<std::string> families = {"Android 8.x", "Android 9.x", "Android 10.0",
+                                             "Android 11.0"};
+  const auto& windows = windows_ms();
+
+  struct Trial {
+    int d;
+    std::size_t device;
+    std::size_t rep;
+  };
+  std::vector<Trial> trials;
+  for (int d : windows)
+    for (std::size_t p = 0; p < devices.size(); ++p)
+      for (std::size_t rep = 0; rep < kFig08Reps; ++rep) trials.push_back({d, p, rep});
+
+  const auto sw = runner::run_campaign(
+      "fig08", trials,
+      [&](const Trial& t, const runner::TrialContext& ctx) {
+        core::CaptureTrialConfig c;
+        c.profile = devices[t.device];
+        c.typist = panel[(t.device + t.rep * 7) % panel.size()];
+        c.attacking_window = sim::ms(t.d);
+        c.touches = 100;
+        c.seed = ctx.seed;
+        return core::TrialSession::local().run(c).rate * 100.0;
+      },
+      args);
+
+  CampaignOutput out{metrics::Table({"D (ms)", families[0].c_str(), families[1].c_str(),
+                                     families[2].c_str(), families[3].c_str()})};
+  std::size_t i = 0;
+  for (int d : windows) {
+    std::map<std::string, metrics::RunningStats> by_family;
+    for (std::size_t p = 0; p < devices.size(); ++p)
+      for (std::size_t rep = 0; rep < kFig08Reps; ++rep, ++i)
+        by_family[std::string(device::version_family(devices[p].version))].add(sw.results[i]);
+    std::vector<std::string> row{metrics::fmt("%d", d)};
+    for (const auto& fam : families) row.push_back(metrics::fmt("%.1f", by_family[fam].mean()));
+    out.table.add_row(std::move(row));
+  }
+  out.trials = trials.size();
+  out.errors = sw.errors.size();
+  out.wall_ms = sw.stats.wall_ms;
+  out.ok = sw.ok();
+  return out;
+}
+
+}  // namespace
+
+const std::vector<CampaignBench>& campaign_benches() {
+  static const std::vector<CampaignBench> benches = {
+      {"fig07", "touch-event capture rate vs D (30-participant panel)", fig07_trials(),
+       run_fig07},
+      {"fig08", "capture rate vs D by Android version family", fig08_trials(), run_fig08},
+  };
+  return benches;
+}
+
+const CampaignBench* find_campaign_bench(std::string_view name) {
+  for (const auto& b : campaign_benches()) {
+    if (name == b.name) return &b;
+  }
+  return nullptr;
+}
+
+}  // namespace animus::service

@@ -1,0 +1,46 @@
+// Campaign bench registry: the sweep + table logic of the paper-figure
+// benches, factored out of their main()s so two callers share one
+// definition byte-for-byte:
+//
+//   - the CLI binaries (bench/fig07_capture_rate, ...) parse flags,
+//     call run(), print the table and their commentary;
+//   - the campaign daemon schedules submissions onto the same run()
+//     with a synthetic BenchArgs.
+//
+// That sharing is the service's core correctness contract: a campaign
+// submitted over HTTP must produce a CSV byte-identical to the same
+// bench invoked directly with --csv, because both are
+// `output.table.to_csv()` of the same deterministic sweep.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "metrics/table.hpp"
+#include "runner/bench_cli.hpp"
+
+namespace animus::service {
+
+struct CampaignOutput {
+  metrics::Table table;      ///< canonical result; to_csv() is the artifact
+  std::size_t trials = 0;    ///< trials swept
+  std::size_t errors = 0;    ///< failed trials
+  double wall_ms = 0.0;      ///< sweep wall-clock
+  bool ok = true;            ///< errors == 0
+};
+
+struct CampaignBench {
+  const char* name;          ///< submission name, e.g. "fig07"
+  const char* description;
+  std::size_t trials;        ///< sweep size (fixed per bench)
+  CampaignOutput (*run)(const runner::BenchArgs& args);
+};
+
+/// Every bench a campaign submission may name.
+const std::vector<CampaignBench>& campaign_benches();
+
+/// Lookup by name; nullptr when unknown.
+const CampaignBench* find_campaign_bench(std::string_view name);
+
+}  // namespace animus::service

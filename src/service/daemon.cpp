@@ -1,0 +1,322 @@
+#include "service/daemon.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "obs/metrics.hpp"
+#include "obs/stream.hpp"
+#include "runner/backend.hpp"
+#include "service/benches.hpp"
+#include "service/json_util.hpp"
+
+namespace animus::service {
+namespace {
+
+HttpResponse json_response(int status, std::string body) {
+  HttpResponse res;
+  res.status = status;
+  res.body = std::move(body);
+  return res;
+}
+
+HttpResponse error_response(int status, std::string_view message) {
+  std::string body = "{\"error\":\"";
+  obs::append_json_escaped(body, message);
+  body += "\"}\n";
+  return json_response(status, std::move(body));
+}
+
+/// Placeholder record for a queued/running campaign, so `/campaigns`
+/// renders every lifecycle stage in the one record shape.
+CampaignRecord pending_record(const std::string& id, const CampaignSubmission& sub,
+                              const char* status) {
+  CampaignRecord rec;
+  rec.id = id;
+  rec.bench = sub.bench;
+  rec.seed = sub.seed;
+  rec.jobs = sub.jobs;
+  rec.backend = sub.backend;
+  rec.shards = sub.shards;
+  rec.tier = sub.tier;
+  if (const CampaignBench* b = find_campaign_bench(sub.bench)) rec.trials = b->trials;
+  rec.status = status;
+  return rec;
+}
+
+}  // namespace
+
+std::optional<CampaignSubmission> CampaignSubmission::parse(std::string_view json,
+                                                            std::string* error) {
+  CampaignSubmission sub;
+  const auto bench = json_field(json, "bench");
+  if (!bench || bench->empty()) {
+    *error = "missing required field: bench";
+    return std::nullopt;
+  }
+  sub.bench = *bench;
+  if (find_campaign_bench(sub.bench) == nullptr) {
+    *error = "unknown bench: " + sub.bench;
+    return std::nullopt;
+  }
+  sub.seed = json_u64(json, "seed");
+  sub.jobs = static_cast<int>(json_u64(json, "jobs"));
+  if (sub.jobs < 0) {
+    *error = "jobs must be >= 0";
+    return std::nullopt;
+  }
+  sub.backend = json_field(json, "backend").value_or("");
+  // The campaign runner exits the whole process on an unknown backend —
+  // fine for a CLI, fatal for a daemon — so reject at submit time.
+  std::string backend_error;
+  if (runner::make_backend(sub.backend, {}, 1, &backend_error) == nullptr) {
+    *error = backend_error;
+    return std::nullopt;
+  }
+  sub.shards = static_cast<int>(json_u64(json, "shards"));
+  if (sub.shards < 0) {
+    *error = "shards must be >= 0";
+    return std::nullopt;
+  }
+  sub.tier = json_field(json, "tier").value_or("auto");
+  if (sub.tier != "auto" && sub.tier != "sim" && sub.tier != "analytic") {
+    *error = "tier must be auto, sim or analytic";
+    return std::nullopt;
+  }
+  return sub;
+}
+
+CampaignDaemon::CampaignDaemon(Options options)
+    : options_(std::move(options)),
+      index_(options_.index_path),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (!options_.now_ms) {
+    options_.now_ms = [this] {
+      return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                       epoch_)
+          .count();
+    };
+  }
+}
+
+CampaignDaemon::~CampaignDaemon() { stop(); }
+
+void CampaignDaemon::start() {
+  index_.load();
+  next_id_ = index_.max_id() + 1;
+  stopping_ = false;
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+void CampaignDaemon::stop() {
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    if (stopping_ && !scheduler_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+  hub_.close_all();
+}
+
+bool CampaignDaemon::shutdown_requested() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return shutdown_requested_;
+}
+
+std::size_t CampaignDaemon::pending() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return queue_.size() + (running_ ? 1 : 0);
+}
+
+void CampaignDaemon::drain() {
+  std::unique_lock<std::mutex> lock{mu_};
+  cv_.wait(lock, [this] { return queue_.empty() && !running_; });
+}
+
+HttpResponse CampaignDaemon::handle(const HttpRequest& req) {
+  const std::string_view path = req.path;
+  if (req.method == "GET") {
+    if (path == "/healthz") return json_response(200, "{\"ok\":true}\n");
+    if (path == "/campaigns") return handle_list();
+    if (path == "/events") {
+      HttpResponse res;
+      res.sse = true;
+      return res;
+    }
+    if (path.rfind("/campaigns/", 0) == 0) {
+      std::string_view rest = path.substr(11);
+      const auto slash = rest.find('/');
+      if (slash == std::string_view::npos) return handle_get(rest);
+      if (rest.substr(slash + 1) == "metrics") return handle_metrics(rest.substr(0, slash));
+      return error_response(404, "not found");
+    }
+    return error_response(404, "not found");
+  }
+  if (req.method == "POST") {
+    if (path == "/campaigns") return handle_submit(req);
+    if (path == "/shutdown") {
+      std::lock_guard<std::mutex> lock{mu_};
+      shutdown_requested_ = true;
+      return json_response(200, "{\"ok\":true,\"shutting_down\":true}\n");
+    }
+    return error_response(404, "not found");
+  }
+  return error_response(405, "method not allowed");
+}
+
+HttpResponse CampaignDaemon::handle_submit(const HttpRequest& req) {
+  std::string error;
+  const auto sub = CampaignSubmission::parse(req.body, &error);
+  if (!sub) return error_response(400, error);
+
+  std::string id;
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "c%04zu", next_id_++);
+    id = buf;
+    queue_.push_back({id, *sub});
+  }
+  cv_.notify_all();
+  hub_.publish(sse_event("campaign", pending_record(id, *sub, "queued").to_json()));
+  return json_response(202, "{\"id\":\"" + id + "\",\"status\":\"queued\"}\n");
+}
+
+std::string CampaignDaemon::list_json_locked() const {
+  std::string out = "{\"campaigns\":[";
+  bool first = true;
+  const auto add = [&](const std::string& json) {
+    if (!first) out += ",";
+    first = false;
+    out += json;
+  };
+  for (const auto& rec : index_.records()) add(rec.to_json());
+  if (running_) add(pending_record(running_->id, running_->sub, "running").to_json());
+  for (const auto& q : queue_) add(pending_record(q.id, q.sub, "queued").to_json());
+  out += "]}\n";
+  return out;
+}
+
+HttpResponse CampaignDaemon::handle_list() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return json_response(200, list_json_locked());
+}
+
+HttpResponse CampaignDaemon::handle_get(std::string_view id) const {
+  std::lock_guard<std::mutex> lock{mu_};
+  for (const auto& rec : index_.records()) {
+    if (rec.id == id) return json_response(200, rec.to_json() + "\n");
+  }
+  if (running_ && running_->id == id) {
+    return json_response(200, pending_record(running_->id, running_->sub, "running").to_json() +
+                                  "\n");
+  }
+  for (const auto& q : queue_) {
+    if (q.id == id) {
+      return json_response(200, pending_record(q.id, q.sub, "queued").to_json() + "\n");
+    }
+  }
+  return error_response(404, "unknown campaign id");
+}
+
+HttpResponse CampaignDaemon::handle_metrics(std::string_view id) const {
+  std::string status;
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    for (const auto& rec : index_.records()) {
+      if (rec.id == id) status = rec.status;
+    }
+    if (running_ && running_->id == id) status = "running";
+    for (const auto& q : queue_) {
+      if (q.id == id) status = "queued";
+    }
+  }
+  if (status.empty()) return error_response(404, "unknown campaign id");
+  // One campaign runs at a time, so the process-wide registry is the
+  // live view of whatever the scheduler is (or was last) doing.
+  std::string body = "{\"id\":\"";
+  obs::append_json_escaped(body, id);
+  body += "\",\"status\":\"" + status + "\",";
+  body += obs::stream_fields(obs::global_registry().snapshot());
+  body += "}\n";
+  return json_response(200, std::move(body));
+}
+
+void CampaignDaemon::scheduler_loop() {
+  for (;;) {
+    Queued q;
+    {
+      std::unique_lock<std::mutex> lock{mu_};
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      q = queue_.front();
+      queue_.pop_front();
+      running_ = q;
+    }
+    hub_.publish(sse_event("campaign", pending_record(q.id, q.sub, "running").to_json()));
+    run_one(q);
+    {
+      std::lock_guard<std::mutex> lock{mu_};
+      running_.reset();
+    }
+    cv_.notify_all();
+  }
+}
+
+void CampaignDaemon::run_one(const Queued& q) {
+  const CampaignBench* bench = find_campaign_bench(q.sub.bench);
+  if (bench == nullptr) return;  // validated at submit; defensive
+
+  runner::BenchArgs args;
+  args.csv = true;  // the canonical artifact is table.to_csv()
+  args.run.root_seed = q.sub.seed;
+  args.run.jobs = q.sub.jobs;
+  args.backend = q.sub.backend;
+  args.shards = q.sub.shards;
+  args.tier = q.sub.tier;
+
+  // Live telemetry: every runner progress beat publishes one heartbeat
+  // and one delta-encoded metrics update (keyframe first, then changed
+  // series only). The runner beats once per dispatch chunk, so even a
+  // fast sweep gives subscribers a keyframe plus several deltas.
+  auto encoder = std::make_shared<obs::DeltaEncoder>(options_.keyframe_every);
+  const std::string id = q.id;
+  args.run.progress = [this, encoder, id](const runner::Progress& p) {
+    char fields[256];
+    std::snprintf(fields, sizeof(fields),
+                  "{\"id\":\"%s\",\"t_ms\":%.3f,\"done\":%zu,\"total\":%zu,\"errors\":%zu,"
+                  "\"workers_busy\":%d,\"jobs\":%d}",
+                  id.c_str(), options_.now_ms(), p.done, p.total, p.errors, p.workers_busy,
+                  p.jobs);
+    hub_.publish(sse_event("heartbeat", fields));
+    std::string metrics = "{\"id\":\"" + id + "\",";
+    metrics += encoder->encode(obs::global_registry().snapshot());
+    metrics += "}";
+    hub_.publish(sse_event("metrics", metrics));
+  };
+
+  CampaignRecord rec = pending_record(q.id, q.sub, "running");
+  try {
+    const CampaignOutput out = bench->run(args);
+    rec.trials = out.trials;
+    rec.errors = out.errors;
+    rec.wall_ms = out.wall_ms;
+    rec.csv = out.table.to_csv();
+    rec.status = out.ok ? "done" : "error";
+  } catch (const std::exception& e) {
+    rec.status = "error";
+    std::fprintf(stderr, "[campaignd] %s (%s) failed: %s\n", q.id.c_str(),
+                 q.sub.bench.c_str(), e.what());
+  }
+
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    if (!index_.append(rec)) {
+      std::fprintf(stderr, "[campaignd] cannot append %s to %s\n", q.id.c_str(),
+                   index_.path().c_str());
+    }
+  }
+  hub_.publish(sse_event("campaign", rec.to_json()));
+}
+
+}  // namespace animus::service

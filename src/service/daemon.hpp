@@ -1,0 +1,123 @@
+// CampaignDaemon: the long-running campaign service behind `campaignd`.
+//
+// Submissions (bench name + seed/jobs/backend/shards/tier) enter a FIFO
+// queue over `POST /campaigns`; one scheduler thread drains the queue,
+// running each campaign through the shared bench registry
+// (service/benches.hpp) on the existing ExecutionBackend fleet. The
+// observability surface:
+//
+//   GET  /campaigns               queued + running + finished runs
+//   GET  /campaigns/<id>          one record, result CSV inlined
+//   GET  /campaigns/<id>/metrics  current metrics snapshot
+//   GET  /events                  SSE: heartbeats + delta metric updates
+//   POST /campaigns               submit; 202 {"id":"c0001",...}
+//   POST /shutdown                request clean daemon exit
+//   GET  /healthz                 liveness probe
+//
+// Finished campaigns append to the ManifestIndex (index.jsonl), so
+// `/campaigns` keeps answering for them across restarts; queued and
+// running entries live only in memory (a killed daemon drops its queue,
+// never its results). `handle()` is a pure request->response function
+// so tests drive the whole HTTP surface without sockets.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "service/http.hpp"
+#include "service/index.hpp"
+
+namespace animus::service {
+
+/// Parsed + validated body of `POST /campaigns`.
+struct CampaignSubmission {
+  std::string bench;
+  std::uint64_t seed = 0;
+  int jobs = 0;               ///< 0 = all hardware cores
+  std::string backend;        ///< "" | "threads" | "process"
+  int shards = 0;
+  std::string tier = "auto";
+
+  /// Validate every field a bad submission could smuggle past the
+  /// campaign runner (which exits the process on an unknown backend —
+  /// acceptable for a CLI, fatal for a daemon). On failure returns
+  /// nullopt and sets `*error`.
+  static std::optional<CampaignSubmission> parse(std::string_view json, std::string* error);
+};
+
+class CampaignDaemon {
+ public:
+  struct Options {
+    std::string index_path;   ///< index.jsonl location (required)
+    /// Milliseconds timestamp source for SSE heartbeats; injectable so
+    /// recorded-request tests stay deterministic. Defaults to a
+    /// steady-clock-since-start reading.
+    std::function<double()> now_ms;
+    std::size_t keyframe_every = 10;  ///< SSE metrics keyframe cadence
+  };
+
+  explicit CampaignDaemon(Options options);
+  ~CampaignDaemon();
+
+  CampaignDaemon(const CampaignDaemon&) = delete;
+  CampaignDaemon& operator=(const CampaignDaemon&) = delete;
+
+  /// Load the index and launch the scheduler thread.
+  void start();
+
+  /// Drain-stop: finishes the running campaign, abandons the queue.
+  void stop();
+
+  /// The full HTTP surface; give to HttpServer or call directly.
+  HttpResponse handle(const HttpRequest& req);
+
+  /// Feeds `GET /events` connections.
+  [[nodiscard]] SseHub& hub() { return hub_; }
+
+  /// True once POST /shutdown was received.
+  [[nodiscard]] bool shutdown_requested() const;
+
+  /// Queue depth + running state (tests).
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Block until the queue is empty and nothing is running (tests).
+  void drain();
+
+ private:
+  struct Queued {
+    std::string id;
+    CampaignSubmission sub;
+  };
+
+  HttpResponse handle_submit(const HttpRequest& req);
+  HttpResponse handle_list() const;
+  HttpResponse handle_get(std::string_view id) const;
+  HttpResponse handle_metrics(std::string_view id) const;
+  void scheduler_loop();
+  void run_one(const Queued& q);
+  std::string list_json_locked() const;
+
+  Options options_;
+  ManifestIndex index_;
+  SseHub hub_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Queued> queue_;
+  std::optional<Queued> running_;
+  std::size_t next_id_ = 1;
+  bool stopping_ = false;
+  bool shutdown_requested_ = false;
+  std::thread scheduler_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace animus::service

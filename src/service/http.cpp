@@ -1,0 +1,294 @@
+#include "service/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace animus::service {
+
+std::optional<HttpRequest> HttpRequest::parse(std::string_view raw, bool* malformed) {
+  if (malformed != nullptr) *malformed = false;
+  // Headers end at the first blank line; accept bare-\n framing too so
+  // hand-written test fixtures don't need \r\n.
+  std::size_t head_end = raw.find("\r\n\r\n");
+  std::size_t body_at = head_end + 4;
+  if (head_end == std::string_view::npos) {
+    head_end = raw.find("\n\n");
+    body_at = head_end + 2;
+    if (head_end == std::string_view::npos) return std::nullopt;  // incomplete
+  }
+  const std::string_view head = raw.substr(0, head_end);
+  const std::size_t line_end = std::min(head.find('\r'), head.find('\n'));
+  const std::string_view request_line = head.substr(0, line_end);
+
+  HttpRequest req;
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 = sp1 == std::string_view::npos
+                              ? std::string_view::npos
+                              : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    if (malformed != nullptr) *malformed = true;
+    return std::nullopt;
+  }
+  req.method = std::string(request_line.substr(0, sp1));
+  req.path = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  if (const auto q = req.path.find('?'); q != std::string::npos) req.path.resize(q);
+
+  // Content-Length (case-insensitive scan; the only header we honor).
+  std::size_t content_length = 0;
+  std::size_t pos = 0;
+  while (pos < head.size()) {
+    std::size_t eol = head.find('\n', pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string line(head.substr(pos, eol - pos));
+    std::transform(line.begin(), line.end(), line.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    if (line.rfind("content-length:", 0) == 0) {
+      content_length = std::strtoull(line.c_str() + 15, nullptr, 10);
+    }
+    pos = eol + 1;
+  }
+  if (raw.size() - body_at < content_length) return std::nullopt;  // body incomplete
+  req.body = std::string(raw.substr(body_at, content_length));
+  return req;
+}
+
+std::string_view status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Internal Server Error";
+  }
+}
+
+std::string HttpResponse::to_string() const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " ";
+  out += status_text(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string sse_event(std::string_view event, std::string_view data) {
+  std::string out = "event: ";
+  out += event;
+  out += "\ndata: ";
+  out += data;
+  out += "\n\n";
+  return out;
+}
+
+// ------------------------------------------------------------------ SseHub
+
+std::optional<std::string> SseHub::Subscription::next() {
+  std::unique_lock<std::mutex> lock{mu};
+  cv.wait(lock, [this] { return closed || !frames.empty(); });
+  if (frames.empty()) return std::nullopt;  // closed and drained
+  std::string frame = std::move(frames.front());
+  frames.pop_front();
+  return frame;
+}
+
+std::shared_ptr<SseHub::Subscription> SseHub::subscribe() {
+  auto sub = std::make_shared<Subscription>();
+  std::lock_guard<std::mutex> lock{mu_};
+  subs_.push_back(sub);
+  return sub;
+}
+
+void SseHub::unsubscribe(const std::shared_ptr<Subscription>& sub) {
+  std::lock_guard<std::mutex> lock{mu_};
+  subs_.erase(std::remove(subs_.begin(), subs_.end(), sub), subs_.end());
+}
+
+void SseHub::publish(const std::string& frame) {
+  std::vector<std::shared_ptr<Subscription>> subs;
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    subs = subs_;
+  }
+  for (auto& sub : subs) {
+    {
+      std::lock_guard<std::mutex> lock{sub->mu};
+      if (sub->closed) continue;
+      if (sub->frames.size() >= kMaxQueuedFrames) {
+        sub->frames.pop_front();
+        ++sub->dropped;
+      }
+      sub->frames.push_back(frame);
+    }
+    sub->cv.notify_one();
+  }
+}
+
+void SseHub::close_all() {
+  std::vector<std::shared_ptr<Subscription>> subs;
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    subs = subs_;
+  }
+  for (auto& sub : subs) {
+    {
+      std::lock_guard<std::mutex> lock{sub->mu};
+      sub->closed = true;
+    }
+    sub->cv.notify_all();
+  }
+}
+
+std::size_t SseHub::subscriber_count() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return subs_.size();
+}
+
+// --------------------------------------------------------------- HttpServer
+
+#if !defined(_WIN32)
+
+namespace {
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool HttpServer::start(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  stopping_.store(false);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (listen_fd_ < 0 && !acceptor_.joinable()) return;
+  stopping_.store(true);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (hub_ != nullptr) hub_->close_all();  // wake SSE writers
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock{workers_mu_};
+    workers = std::move(workers_);
+  }
+  for (auto& t : workers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void HttpServer::accept_loop() {
+  while (!stopping_.load()) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket closed by stop()
+    }
+    std::lock_guard<std::mutex> lock{workers_mu_};
+    workers_.emplace_back([this, client] { serve(client); });
+  }
+}
+
+void HttpServer::serve(int client) {
+  std::string raw;
+  std::optional<HttpRequest> req;
+  bool malformed = false;
+  char buf[4096];
+  while (!req && !malformed && raw.size() < 1 << 20) {
+    const ssize_t n = ::recv(client, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    raw.append(buf, static_cast<std::size_t>(n));
+    req = HttpRequest::parse(raw, &malformed);
+  }
+  if (!req) {
+    if (malformed) {
+      HttpResponse bad;
+      bad.status = 400;
+      bad.body = "{\"error\":\"malformed request\"}\n";
+      send_all(client, bad.to_string());
+    }
+    ::close(client);
+    return;
+  }
+
+  const HttpResponse res = handler_(*req);
+  if (!res.sse || hub_ == nullptr) {
+    send_all(client, res.to_string());
+    ::close(client);
+    return;
+  }
+
+  // SSE: headers, then relay hub frames until the client hangs up or
+  // the hub closes (daemon shutdown). No Content-Length — the stream
+  // ends when the connection does.
+  if (!send_all(client,
+                "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n"
+                "Cache-Control: no-cache\r\nConnection: close\r\n\r\n"
+                ": connected\n\n")) {
+    ::close(client);
+    return;
+  }
+  auto sub = hub_->subscribe();
+  while (auto frame = sub->next()) {
+    if (!send_all(client, *frame)) break;  // client went away
+  }
+  hub_->unsubscribe(sub);
+  ::close(client);
+}
+
+#else  // _WIN32: the daemon entry point refuses to start; keep links happy.
+
+bool HttpServer::start(int) { return false; }
+void HttpServer::stop() {}
+void HttpServer::accept_loop() {}
+void HttpServer::serve(int) {}
+
+#endif
+
+}  // namespace animus::service

@@ -1,0 +1,132 @@
+// Dependency-free HTTP/1.1 + SSE server for the campaign daemon.
+//
+// The service's observability surface is three GET endpoints and one
+// POST, all tiny JSON bodies — a full HTTP stack would be almost all
+// dead weight. This server parses exactly what it needs (request line,
+// Content-Length, body), answers with Connection: close, and supports
+// one streaming shape: a handler that marks its response `sse` keeps
+// the connection open and relays every frame an `SseHub` publishes
+// until the client disconnects or the server stops.
+//
+// The split matters for testing: `HttpRequest` -> `HttpResponse` is a
+// pure function of the daemon (CampaignDaemon::handle), so the
+// recorded-request tests drive it directly and deterministically;
+// HttpServer is only the socket plumbing around it, covered by one
+// loopback smoke test.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace animus::service {
+
+struct HttpRequest {
+  std::string method;  ///< "GET" | "POST" (anything else -> 405)
+  std::string path;    ///< path only, e.g. "/campaigns/c0001/metrics"
+  std::string body;    ///< POST payload
+
+  /// Parse a raw request (request line + headers + optional body).
+  /// nullopt until the request is complete (headers not finished, or
+  /// fewer body bytes than Content-Length promised) or on malformed
+  /// input (distinguished by `malformed`).
+  static std::optional<HttpRequest> parse(std::string_view raw, bool* malformed);
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  bool sse = false;  ///< stream SseHub frames instead of `body`
+
+  /// Full wire form: status line, headers, body. Deterministic — no
+  /// Date header — so recorded-request tests can lock exact bytes.
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] std::string_view status_text(int status);
+
+/// One SSE frame: "event: <event>\ndata: <data>\n\n". `data` must be a
+/// single line (the service only publishes single-line JSON).
+[[nodiscard]] std::string sse_event(std::string_view event, std::string_view data);
+
+/// Broadcast hub for SSE frames. Publishers never block: each
+/// subscriber owns a bounded queue, and a subscriber that stops reading
+/// loses oldest-first (counted), exactly like TelemetryStreamer's
+/// bounded emit queue.
+class SseHub {
+ public:
+  struct Subscription {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::string> frames;
+    std::size_t dropped = 0;
+    bool closed = false;
+
+    /// Next frame, or nullopt once closed and drained.
+    std::optional<std::string> next();
+  };
+
+  std::shared_ptr<Subscription> subscribe();
+  void unsubscribe(const std::shared_ptr<Subscription>& sub);
+
+  /// Enqueue `frame` to every live subscriber.
+  void publish(const std::string& frame);
+
+  /// Wake every subscriber with closed=true (server shutdown).
+  void close_all();
+
+  [[nodiscard]] std::size_t subscriber_count() const;
+
+  static constexpr std::size_t kMaxQueuedFrames = 1024;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Subscription>> subs_;
+};
+
+/// Threaded accept loop over a loopback listen socket. One thread per
+/// connection (connections are few: a dashboard, a submitter, CI curl).
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// `hub` feeds SSE connections; may be null when no handler ever
+  /// returns an sse response.
+  HttpServer(Handler handler, SseHub* hub) : handler_(std::move(handler)), hub_(hub) {}
+  ~HttpServer() { stop(); }
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral) and start accepting.
+  bool start(int port);
+  void stop();
+
+  /// Bound port (after start()).
+  [[nodiscard]] int port() const { return port_; }
+
+ private:
+  void accept_loop();
+  void serve(int client);
+
+  Handler handler_;
+  SseHub* hub_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex workers_mu_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace animus::service

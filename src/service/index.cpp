@@ -1,0 +1,118 @@
+#include "service/index.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.hpp"
+#include "service/json_util.hpp"
+
+namespace animus::service {
+namespace {
+
+void field_str(std::string& out, const char* key, std::string_view value) {
+  out += ",\"";
+  out += key;
+  out += "\":\"";
+  obs::append_json_escaped(out, value);
+  out += "\"";
+}
+
+void field_u64(std::string& out, const char* key, std::uint64_t value) {
+  out += ",\"";
+  out += key;
+  out += "\":" + std::to_string(value);
+}
+
+}  // namespace
+
+std::string CampaignRecord::to_json() const {
+  std::string out = "{\"kind\":\"campaign\"";
+  field_str(out, "id", id);
+  field_str(out, "bench", bench);
+  field_u64(out, "seed", seed);
+  field_u64(out, "jobs", static_cast<std::uint64_t>(jobs));
+  field_str(out, "backend", backend);
+  field_u64(out, "shards", static_cast<std::uint64_t>(shards));
+  field_str(out, "tier", tier);
+  field_u64(out, "trials", trials);
+  field_u64(out, "errors", errors);
+  {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3f", wall_ms);
+    out += ",\"wall_ms\":";
+    out += buf;
+  }
+  field_str(out, "csv", csv);
+  field_str(out, "status", status);
+  out += "}";
+  return out;
+}
+
+std::optional<CampaignRecord> CampaignRecord::parse(std::string_view line) {
+  if (json_field(line, "kind").value_or("") != "campaign") return std::nullopt;
+  const auto id = json_field(line, "id");
+  const auto bench = json_field(line, "bench");
+  if (!id || id->empty() || !bench || bench->empty()) return std::nullopt;
+  // A torn final line is detectable by its missing tail: "status" is
+  // always the last field written, so require it for a complete record.
+  const auto status = json_field(line, "status");
+  if (!status || line.find('}') == std::string_view::npos) return std::nullopt;
+  CampaignRecord rec;
+  rec.id = *id;
+  rec.bench = *bench;
+  rec.seed = json_u64(line, "seed");
+  rec.jobs = static_cast<int>(json_u64(line, "jobs"));
+  rec.backend = json_field(line, "backend").value_or("");
+  rec.shards = static_cast<int>(json_u64(line, "shards"));
+  rec.tier = json_field(line, "tier").value_or("auto");
+  rec.trials = json_u64(line, "trials");
+  rec.errors = json_u64(line, "errors");
+  rec.wall_ms = json_double(line, "wall_ms");
+  rec.csv = json_field(line, "csv").value_or("");
+  rec.status = *status;
+  return rec;
+}
+
+void ManifestIndex::load() {
+  records_.clear();
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return;  // fresh daemon: nothing durable yet
+  std::string content;
+  char buf[4096];
+  for (std::size_t n = std::fread(buf, 1, sizeof(buf), f); n > 0;
+       n = std::fread(buf, 1, sizeof(buf), f)) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  std::size_t start = 0;
+  while (start < content.size()) {
+    const std::size_t nl = content.find('\n', start);
+    if (nl == std::string::npos) break;  // torn final line: drop it
+    const std::string_view line = std::string_view(content).substr(start, nl - start);
+    if (auto rec = CampaignRecord::parse(line)) records_.push_back(std::move(*rec));
+    start = nl + 1;
+  }
+}
+
+bool ManifestIndex::append(const CampaignRecord& rec) {
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  if (f == nullptr) return false;
+  const std::string line = rec.to_json() + "\n";
+  const bool ok = std::fwrite(line.data(), 1, line.size(), f) == line.size();
+  std::fflush(f);
+  std::fclose(f);
+  if (ok) records_.push_back(rec);
+  return ok;
+}
+
+std::size_t ManifestIndex::max_id() const {
+  std::size_t max = 0;
+  for (const auto& rec : records_) {
+    if (rec.id.size() < 2 || rec.id[0] != 'c') continue;
+    const std::size_t n = std::strtoull(rec.id.c_str() + 1, nullptr, 10);
+    if (n > max) max = n;
+  }
+  return max;
+}
+
+}  // namespace animus::service

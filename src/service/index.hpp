@@ -1,0 +1,78 @@
+// Append-only manifest index for the campaign service.
+//
+// Every finished campaign appends one JSON line to `index.jsonl`, so
+// `GET /campaigns` can answer for runs that finished before the daemon
+// was last restarted — the index, not daemon memory, is the durable
+// result store. Records are flat JSON objects:
+//
+//   {"kind":"campaign","id":"c0001","bench":"fig07","seed":42,...,
+//    "csv":"D (ms),min,...","status":"done"}
+//
+// The CSV artifact itself is inlined (escaped) because campaign tables
+// are small; a consumer gets the full result from one GET without a
+// second artifact fetch.
+//
+// The loader mirrors the checkpoint loader's crash tolerance: a torn
+// final line (daemon killed mid-append) is ignored, everything before
+// it loads normally. Only fields that are pure functions of the
+// campaign (no timestamps beyond wall_ms, which is persisted verbatim)
+// go into a record, so a reload reproduces `GET /campaigns` byte-for-
+// byte — the restart-identity contract the tests lock.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace animus::service {
+
+struct CampaignRecord {
+  std::string id;             ///< "c0001" — assigned at submission
+  std::string bench;          ///< campaign bench name ("fig07", ...)
+  std::uint64_t seed = 0;     ///< root seed of the sweep
+  int jobs = 0;               ///< worker threads (0 = all cores)
+  std::string backend;        ///< "" = threads
+  int shards = 0;             ///< process-backend workers
+  std::string tier = "auto";  ///< trial tier
+  std::size_t trials = 0;     ///< trials run
+  std::size_t errors = 0;     ///< failed trials
+  double wall_ms = 0.0;       ///< sweep wall-clock
+  std::string csv;            ///< result table, to_csv() bytes
+  std::string status;         ///< "done" | "error"
+
+  /// One JSON line (no trailing newline).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Inverse of to_json(); nullopt when `line` is not a campaign record.
+  static std::optional<CampaignRecord> parse(std::string_view line);
+};
+
+class ManifestIndex {
+ public:
+  explicit ManifestIndex(std::string path) : path_(std::move(path)) {}
+
+  /// Read every record already in the file. A missing file is an empty
+  /// index (fresh daemon); a torn final line is dropped. Clears any
+  /// previously loaded state, so a reload observes exactly the file.
+  void load();
+
+  /// Append one record and flush, so the record survives a crash
+  /// immediately after the campaign finishes.
+  bool append(const CampaignRecord& rec);
+
+  [[nodiscard]] const std::vector<CampaignRecord>& records() const { return records_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Largest numeric suffix among loaded "c<NNNN>" ids (0 when empty),
+  /// so a restarted daemon continues the id sequence instead of reusing
+  /// ids that are already durable.
+  [[nodiscard]] std::size_t max_id() const;
+
+ private:
+  std::string path_;
+  std::vector<CampaignRecord> records_;
+};
+
+}  // namespace animus::service

@@ -1,0 +1,71 @@
+// Minimal JSON field extraction for the campaign service.
+//
+// The service's wire bodies (submissions, index records) are flat JSON
+// objects produced by our own emitters, so a full parser is overkill:
+// `json_field` pulls the raw token after `"key":` — string contents
+// unescaped, numbers/bools verbatim — exactly the scheme RunManifest's
+// parse() uses. Nested objects are not supported (and not produced).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace animus::service {
+
+/// Raw token after `"key":`. Strings are unescaped (\", \\, \n, \t,
+/// \uXXXX for control characters); numbers and bools come back verbatim.
+/// Empty optional when the key is absent.
+inline std::optional<std::string> json_field(std::string_view json, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  auto pos = json.find(needle);
+  if (pos == std::string_view::npos) return std::nullopt;
+  pos += needle.size();
+  while (pos < json.size() && (json[pos] == ' ' || json[pos] == '\n')) ++pos;
+  if (pos >= json.size()) return std::nullopt;
+  if (json[pos] == '"') {
+    std::string out;
+    for (++pos; pos < json.size() && json[pos] != '"'; ++pos) {
+      if (json[pos] == '\\' && pos + 1 < json.size()) {
+        ++pos;
+        switch (json[pos]) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            // Only \u00XX is ever emitted (control characters).
+            if (pos + 4 < json.size()) {
+              const std::string hex(json.substr(pos + 1, 4));
+              out += static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
+              pos += 4;
+            }
+            break;
+          }
+          default: out += json[pos];
+        }
+      } else {
+        out += json[pos];
+      }
+    }
+    return out;
+  }
+  std::string out;
+  while (pos < json.size() && json[pos] != ',' && json[pos] != '\n' && json[pos] != '}') {
+    out += json[pos++];
+  }
+  return out;
+}
+
+inline std::uint64_t json_u64(std::string_view json, std::string_view key,
+                              std::uint64_t fallback = 0) {
+  const auto v = json_field(json, key);
+  return v ? std::strtoull(v->c_str(), nullptr, 10) : fallback;
+}
+
+inline double json_double(std::string_view json, std::string_view key, double fallback = 0.0) {
+  const auto v = json_field(json, key);
+  return v ? std::strtod(v->c_str(), nullptr) : fallback;
+}
+
+}  // namespace animus::service

@@ -1,7 +1,9 @@
 #include "sim/trace.hpp"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 
 namespace animus::sim {
 
@@ -79,6 +81,87 @@ std::size_t TraceRecorder::span_count(TraceCategory c) const {
     if (r.category == c && r.phase == TracePhase::kSpan) ++n;
   }
   return n;
+}
+
+namespace {
+
+void append_prefixed(std::string& out, std::string_view s) {
+  out += std::to_string(s.size());
+  out += ':';
+  out += s;
+}
+
+/// Parse "<len>:<bytes>" at `*pos`; false on malformed input.
+bool read_prefixed(std::string_view wire, std::size_t* pos, std::string* out) {
+  const std::size_t colon = wire.find(':', *pos);
+  if (colon == std::string_view::npos) return false;
+  char* end = nullptr;
+  const unsigned long long len = std::strtoull(wire.data() + *pos, &end, 10);
+  if (end != wire.data() + colon) return false;
+  if (colon + 1 + len > wire.size()) return false;
+  *out = std::string(wire.substr(colon + 1, len));
+  *pos = colon + 1 + len;
+  return true;
+}
+
+}  // namespace
+
+std::string serialize_records(const TraceRecorder& trace) {
+  std::string out = "animus-trace 1 " + std::to_string(trace.size()) + "\n";
+  for (const TraceRecord& r : trace.records()) {
+    char head[128];
+    std::snprintf(head, sizeof(head), "%lld %u %u %.17g %lld %" PRIu64 " ",
+                  static_cast<long long>(r.time.count()),
+                  static_cast<unsigned>(r.category), static_cast<unsigned>(r.phase), r.value,
+                  static_cast<long long>(r.duration.count()), r.flow);
+    out += head;
+    append_prefixed(out, r.flow_kind);
+    append_prefixed(out, r.message);
+    out += '\n';
+  }
+  return out;
+}
+
+bool deserialize_records(std::string_view wire, TraceRecorder* out) {
+  std::size_t pos = 0;
+  unsigned long long count = 0;
+  {
+    const std::size_t nl = wire.find('\n');
+    if (nl == std::string_view::npos) return false;
+    const std::string head(wire.substr(0, nl));
+    if (std::sscanf(head.c_str(), "animus-trace 1 %llu", &count) != 1) return false;
+    pos = nl + 1;
+  }
+  for (unsigned long long i = 0; i < count; ++i) {
+    long long time_us = 0;
+    unsigned cat = 0;
+    unsigned phase = 0;
+    double value = 0.0;
+    long long dur_us = 0;
+    std::uint64_t flow = 0;
+    int consumed = 0;
+    // The numeric head is bounded; the strings are length-prefixed and
+    // may themselves contain newlines, so records are parsed by
+    // consumption, never by splitting the wire on '\n'.
+    const std::string head(wire.substr(pos, std::min<std::size_t>(wire.size() - pos, 160)));
+    if (std::sscanf(head.c_str(), "%lld %u %u %lf %lld %" SCNu64 " %n", &time_us, &cat, &phase,
+                    &value, &dur_us, &flow, &consumed) != 6) {
+      return false;
+    }
+    if (cat >= static_cast<unsigned>(kTraceCategoryCount) || phase > 3) return false;
+    pos += static_cast<std::size_t>(consumed);
+    std::string kind;
+    std::string message;
+    if (!read_prefixed(wire, &pos, &kind) || !read_prefixed(wire, &pos, &message)) {
+      return false;
+    }
+    if (pos >= wire.size() || wire[pos] != '\n') return false;  // record terminator
+    ++pos;
+    out->append(TraceRecord{SimTime{time_us}, static_cast<TraceCategory>(cat),
+                            std::move(message), value, static_cast<TracePhase>(phase),
+                            SimTime{dur_us}, flow, std::move(kind)});
+  }
+  return true;
 }
 
 std::string TraceRecorder::to_text(std::size_t max_lines) const {

@@ -109,6 +109,10 @@ class TraceRecorder {
     records_.clear();
   }
 
+  /// Append a fully-formed record (deserialization path; bypasses the
+  /// enabled() gate because the record was already captured elsewhere).
+  void append(TraceRecord record) { records_.push_back(std::move(record)); }
+
   /// All records whose message contains `needle` (simple substring).
   [[nodiscard]] std::vector<TraceRecord> matching(std::string_view needle) const;
 
@@ -127,5 +131,23 @@ class TraceRecorder {
   std::map<std::string, std::uint64_t, std::less<>> flow_counters_;
   std::vector<TraceRecord> records_;
 };
+
+/// Exact wire form of a recorder's records, for shipping a captured
+/// trace across a process boundary (a forked shard worker sends the
+/// claimed trial's spans back to the coordinating parent). The format
+/// is line-oriented with length-prefixed strings, so any message or
+/// flow-kind content round-trips byte-exactly:
+///
+///   animus-trace 1 <record count>
+///   <time_us> <cat> <phase> <value %.17g> <dur_us> <flow> <k>:<kind><m>:<msg>
+///
+/// Two recorders holding equal records serialize identically, which is
+/// what the threads-vs-process trace equivalence tests compare.
+std::string serialize_records(const TraceRecorder& trace);
+
+/// Inverse of serialize_records: appends every record to `*out` (which
+/// should be empty for an exact reconstruction). False on malformed
+/// input; `*out` may then hold a prefix.
+bool deserialize_records(std::string_view wire, TraceRecorder* out);
 
 }  // namespace animus::sim

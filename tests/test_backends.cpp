@@ -13,10 +13,14 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace_capture.hpp"
 #include "runner/backend.hpp"
 #include "runner/bench_cli.hpp"
 #include "runner/field_codec.hpp"
 #include "runner/runner.hpp"
+#include "server/world.hpp"
+#include "sim/chrome_trace.hpp"
+#include "sim/trace.hpp"
 
 namespace {
 
@@ -180,6 +184,84 @@ TEST(Backends, MakeBackendResolvesNamesAndRejectsUnknown) {
   auto bogus = runner::make_backend("gpu", run, 0, &error);
   EXPECT_EQ(bogus, nullptr);
   EXPECT_NE(error.find("gpu"), std::string::npos);
+}
+
+TEST(Backends, TraceRecordsSurviveTheWireFormatExactly) {
+  sim::TraceRecorder trace;
+  sim::TraceRecord awkward;
+  awkward.time = sim::ms(3);
+  awkward.category = sim::TraceCategory::kSim;
+  awkward.message = "msg\nwith\\weird \"bytes\" and 17:colons";
+  awkward.value = 1.0 / 3.0;  // exercises %.17g exactness
+  awkward.phase = sim::TracePhase::kSpan;
+  awkward.duration = sim::ms(7);
+  awkward.flow = 42;
+  awkward.flow_kind = "kind with spaces";
+  trace.append(awkward);
+  trace.append(sim::TraceRecord{});  // all-defaults record
+  const std::string wire = sim::serialize_records(trace);
+
+  sim::TraceRecorder back;
+  ASSERT_TRUE(sim::deserialize_records(wire, &back));
+  ASSERT_EQ(back.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& a = trace.records()[i];
+    const auto& b = back.records()[i];
+    EXPECT_EQ(b.time, a.time) << i;
+    EXPECT_EQ(b.category, a.category) << i;
+    EXPECT_EQ(b.phase, a.phase) << i;
+    EXPECT_DOUBLE_EQ(b.value, a.value) << i;
+    EXPECT_EQ(b.duration, a.duration) << i;
+    EXPECT_EQ(b.flow, a.flow) << i;
+    EXPECT_EQ(b.flow_kind, a.flow_kind) << i;
+    EXPECT_EQ(b.message, a.message) << i;
+  }
+  // Round-trip determinism: re-serializing yields the same bytes.
+  EXPECT_EQ(sim::serialize_records(back), wire);
+
+  sim::TraceRecorder reject;
+  EXPECT_FALSE(sim::deserialize_records("animus-trace 1 junk", &reject));
+  EXPECT_FALSE(sim::deserialize_records("animus-trace 1 1\n3000 99 0 0 0 0 1:x0:", &reject));
+  EXPECT_TRUE(sim::deserialize_records("animus-trace 1 0\n", &reject));
+  EXPECT_EQ(reject.size(), 0u);
+}
+
+TEST(Backends, ProcessBackendShipsTheArmedTrialTraceAcrossTheFork) {
+  // --trace-out under --backend=process: the armed trial runs in a
+  // forked shard worker, which claims the capture in its copy of the
+  // process and ships the spans back over the result pipe. The parent's
+  // captured trace must be byte-identical to a thread-backend run.
+  const std::vector<std::size_t> indices{0, 1, 2, 3, 4, 5};
+  const runner::EncodedBody body = [](const runner::TrialContext& ctx) -> std::string {
+    server::WorldConfig wc;
+    wc.seed = ctx.seed;
+    wc.trace_enabled = false;
+    server::World w{wc};
+    w.server().grant_overlay_permission(server::kMalwareUid);
+    w.server().add_view(server::kMalwareUid, {});
+    w.run_until(sim::ms(50));
+    return "done";
+  };
+  auto capture_with = [&](runner::ExecutionBackend& backend) {
+    auto& cap = obs::trace_capture();
+    cap.reset();
+    cap.arm(2);
+    backend.run_encoded(indices, indices.size(), body, nullptr);
+    EXPECT_TRUE(cap.captured());
+    std::string json = sim::to_chrome_trace_json(cap.trace());
+    cap.reset();
+    return json;
+  };
+
+  runner::RunOptions run;
+  run.root_seed = 0x7ACE;
+  run.jobs = 2;
+  runner::ThreadBackend threads{run};
+  runner::ProcessShardBackend process{run, {/*shards=*/2}};
+  const std::string via_threads = capture_with(threads);
+  const std::string via_process = capture_with(process);
+  EXPECT_GT(via_threads.size(), 2u);
+  EXPECT_EQ(via_threads, via_process);
 }
 
 TEST(Backends, FaultScheduleIsDeterministicAndRateShaped) {

@@ -15,6 +15,7 @@
 #include "obs/manifest.hpp"
 #include "obs/stream.hpp"
 #include "obs/trace_capture.hpp"
+#include "runner/bench_cli.hpp"
 #include "runner/checkpoint.hpp"
 #include "runner/runner.hpp"
 #include "sim/chrome_trace.hpp"
@@ -157,6 +158,103 @@ TEST(Stream, MetricsSnapshotFieldsAreWellFormed) {
   EXPECT_TRUE(json_well_formed(record));
   EXPECT_NE(body.find("\"series\":2"), std::string::npos);
   EXPECT_NE(body.find("\"count\":1"), std::string::npos);  // histogram compacted
+}
+
+// -------------------------------------------------------- delta encoding
+
+TEST(DeltaEncoder, KeyframeCadenceAndFirstFrameMatchesFullSnapshot) {
+  obs::MetricsRegistry reg;
+  reg.counter("animus_c").add(3.0);
+  obs::DeltaEncoder enc{3};
+
+  // Frame 0 is a keyframe: the full stream_fields body behind the flag,
+  // byte-identical to the non-delta rendering.
+  const auto frame0 = enc.encode(reg.snapshot());
+  EXPECT_EQ(frame0, "\"keyframe\":true," + obs::stream_fields(reg.snapshot()));
+
+  // Frames 1..2 are deltas, frame 3 a keyframe again, and so on.
+  for (std::size_t f = 1; f <= 7; ++f) {
+    const auto body = enc.encode(reg.snapshot());
+    if (f % 3 == 0) {
+      EXPECT_EQ(body.rfind("\"keyframe\":true,", 0), 0u) << f;
+    } else {
+      EXPECT_EQ(body.rfind("\"delta\":true,", 0), 0u) << f;
+    }
+    EXPECT_TRUE(json_well_formed("{" + body + "}")) << body;
+  }
+  EXPECT_EQ(enc.frames(), 8u);
+}
+
+TEST(DeltaEncoder, DeltasCarryOnlyChangedSeriesWithAbsoluteValues) {
+  obs::MetricsRegistry reg;
+  reg.counter("animus_a").add(5.0);
+  reg.counter("animus_b").add(1.0);
+  obs::DeltaEncoder enc;  // default cadence: only frame 0 is a keyframe here
+  enc.encode(reg.snapshot());
+
+  // Nothing changed: an empty delta.
+  const auto quiet = enc.encode(reg.snapshot());
+  EXPECT_EQ(quiet, "\"delta\":true,\"series\":2,\"changed\":0,\"metrics\":[]");
+
+  // One counter moves: exactly that series, with its ABSOLUTE value —
+  // a consumer overwrites, never adds.
+  reg.counter("animus_a").add(2.0);
+  const auto moved = enc.encode(reg.snapshot());
+  EXPECT_EQ(moved,
+            "\"delta\":true,\"series\":2,\"changed\":1,"
+            "\"metrics\":[{\"name\":\"animus_a\",\"value\":7}]");
+
+  // A series born between frames is dirty by definition.
+  reg.gauge("animus_g", {{"k", "v"}}).set(4.5);
+  const auto born = enc.encode(reg.snapshot());
+  EXPECT_NE(born.find("\"changed\":1"), std::string::npos);
+  EXPECT_NE(born.find("\"name\":\"animus_g\",\"labels\":{\"k\":\"v\"},\"value\":4.5"),
+            std::string::npos);
+}
+
+TEST(DeltaEncoder, HistogramDeltasListChangedBucketsWithAbsoluteCounts) {
+  obs::MetricsRegistry reg;
+  auto& h = reg.histogram("animus_h", {1.0, 10.0, 100.0});
+  h.observe(5.0);
+  obs::DeltaEncoder enc;
+  enc.encode(reg.snapshot());
+
+  h.observe(5.0);   // same bucket again -> count 2 there
+  h.observe(50.0);  // new bucket
+  const auto body = enc.encode(reg.snapshot());
+  EXPECT_EQ(body.rfind("\"delta\":true,", 0), 0u);
+  EXPECT_NE(body.find("\"count\":3"), std::string::npos);
+  // Changed buckets as [index, absolute count] pairs.
+  EXPECT_NE(body.find("\"buckets\":[[1,2],[2,1]]"), std::string::npos) << body;
+  EXPECT_TRUE(json_well_formed("{" + body + "}"));
+
+  // Untouched histogram: silent next frame.
+  EXPECT_NE(enc.encode(reg.snapshot()).find("\"changed\":0"), std::string::npos);
+}
+
+TEST(DeltaEncoder, LostDeltaIsHealedByNextKeyframe) {
+  obs::MetricsRegistry reg;
+  reg.counter("animus_c").add(1.0);
+  obs::DeltaEncoder enc{2};  // keyframes at frames 0, 2, 4...
+  enc.encode(reg.snapshot());
+  reg.counter("animus_c").add(1.0);
+  enc.encode(reg.snapshot());  // delta a consumer might have dropped
+  reg.counter("animus_c").add(1.0);
+  // The next keyframe carries the complete state regardless.
+  const auto key = enc.encode(reg.snapshot());
+  EXPECT_EQ(key, "\"keyframe\":true," + obs::stream_fields(reg.snapshot()));
+  EXPECT_NE(key.find("\"value\":3"), std::string::npos);
+}
+
+TEST(DeltaEncoder, StreamDeltaDefaultRuleFollowsIntervalAndEscapeHatch) {
+  runner::BenchArgs args;
+  EXPECT_FALSE(runner::stream_delta_enabled(args));  // no stream at all
+  args.stream_out = "out.jsonl";
+  EXPECT_FALSE(runner::stream_delta_enabled(args));  // default 1000 ms: full
+  args.stream_interval_ms = 100.0;
+  EXPECT_TRUE(runner::stream_delta_enabled(args));   // fast tick: delta
+  args.stream_full = true;
+  EXPECT_FALSE(runner::stream_delta_enabled(args));  // explicit escape hatch
 }
 
 // ----------------------------------------------------------- checkpoint
@@ -441,6 +539,7 @@ TEST(Manifest, JsonRoundTrip) {
   m.deterministic = true;
   m.csv = true;
   m.stream_interval_ms = 250.0;
+  m.stream_delta = true;
   m.checkpoint_interval = 64;
   m.trace_trial = 17;
   m.trace_out = "out/fig07.trace.json";
@@ -472,6 +571,7 @@ TEST(Manifest, JsonRoundTrip) {
   EXPECT_EQ(back->deterministic, m.deterministic);
   EXPECT_EQ(back->csv, m.csv);
   EXPECT_DOUBLE_EQ(back->stream_interval_ms, m.stream_interval_ms);
+  EXPECT_EQ(back->stream_delta, m.stream_delta);
   EXPECT_EQ(back->checkpoint_interval, m.checkpoint_interval);
   EXPECT_EQ(back->trace_trial, m.trace_trial);
   EXPECT_EQ(back->trace_out, m.trace_out);

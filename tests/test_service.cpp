@@ -1,0 +1,558 @@
+// Campaign service: HTTP parsing/rendering, the SSE hub, the manifest
+// index (torn-line tolerance + restart identity) and the daemon's full
+// request surface, driven as recorded requests through
+// CampaignDaemon::handle — a pure request->response function — so the
+// exact response bytes are locked without sockets. One loopback smoke
+// covers the socket plumbing itself.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/benches.hpp"
+#include "service/daemon.hpp"
+#include "service/http.hpp"
+#include "service/index.hpp"
+#include "service/json_util.hpp"
+
+// Minimal blocking loopback client for the socket smoke test (defined
+// after the tests). Reads the whole response for plain requests
+// (stop_after == 0) or until `stop_after` SSE frames have arrived.
+std::string test_http_exchange(int port, const std::string& raw, std::size_t stop_after);
+
+namespace {
+
+using namespace animus;
+
+std::string temp_path(const char* name) { return testing::TempDir() + name; }
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out{path, std::ios::binary};
+  out << content;
+}
+
+void append_raw(const std::string& path, const std::string& content) {
+  std::ofstream out{path, std::ios::binary | std::ios::app};
+  out << content;
+}
+
+service::HttpRequest get(const std::string& path) {
+  service::HttpRequest req;
+  req.method = "GET";
+  req.path = path;
+  return req;
+}
+
+service::HttpRequest post(const std::string& path, std::string body) {
+  service::HttpRequest req;
+  req.method = "POST";
+  req.path = path;
+  req.body = std::move(body);
+  return req;
+}
+
+// ------------------------------------------------------------ http parsing
+
+TEST(Http, ParsesCompleteGetRequest) {
+  bool malformed = true;
+  const auto req =
+      service::HttpRequest::parse("GET /campaigns HTTP/1.1\r\nHost: x\r\n\r\n", &malformed);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_FALSE(malformed);
+  EXPECT_EQ(req->method, "GET");
+  EXPECT_EQ(req->path, "/campaigns");
+  EXPECT_EQ(req->body, "");
+}
+
+TEST(Http, IncompleteHeadersAreNotMalformed) {
+  bool malformed = true;
+  EXPECT_FALSE(service::HttpRequest::parse("GET /campaigns HTTP/1.1\r\nHos", &malformed));
+  EXPECT_FALSE(malformed);  // just keep reading
+}
+
+TEST(Http, QueryStringIsStripped) {
+  bool malformed = false;
+  const auto req =
+      service::HttpRequest::parse("GET /campaigns?page=2 HTTP/1.1\r\n\r\n", &malformed);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->path, "/campaigns");
+}
+
+TEST(Http, BareNewlineFramingIsAccepted) {
+  bool malformed = false;
+  const auto req = service::HttpRequest::parse("GET /healthz HTTP/1.1\n\n", &malformed);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->path, "/healthz");
+}
+
+TEST(Http, PostWaitsForFullBodyThenDeliversIt) {
+  const std::string raw =
+      "POST /campaigns HTTP/1.1\r\nContent-Length: 16\r\n\r\n{\"bench\":\"fig07\"";
+  bool malformed = false;
+  // Short one byte: incomplete, not malformed.
+  EXPECT_FALSE(service::HttpRequest::parse(raw.substr(0, raw.size() - 1), &malformed));
+  EXPECT_FALSE(malformed);
+  const auto req = service::HttpRequest::parse(raw, &malformed);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->method, "POST");
+  EXPECT_EQ(req->body, "{\"bench\":\"fig07\"");
+}
+
+TEST(Http, MalformedRequestLineIsFlagged) {
+  bool malformed = false;
+  EXPECT_FALSE(service::HttpRequest::parse("NONSENSE\r\n\r\n", &malformed));
+  EXPECT_TRUE(malformed);
+}
+
+TEST(Http, ResponseWireFormatIsDeterministic) {
+  service::HttpResponse res;
+  res.status = 200;
+  res.body = "{\"ok\":true}\n";
+  // No Date header, fixed header order: recorded-request tests can lock
+  // exact bytes.
+  EXPECT_EQ(res.to_string(),
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+            "Content-Length: 12\r\nConnection: close\r\n\r\n{\"ok\":true}\n");
+  EXPECT_EQ(service::status_text(404), "Not Found");
+  EXPECT_EQ(service::status_text(405), "Method Not Allowed");
+}
+
+TEST(Http, SseEventFrameShape) {
+  EXPECT_EQ(service::sse_event("heartbeat", "{\"done\":3}"),
+            "event: heartbeat\ndata: {\"done\":3}\n\n");
+}
+
+// --------------------------------------------------------------- sse hub
+
+TEST(SseHub, DeliversPublishedFramesInOrder) {
+  service::SseHub hub;
+  auto sub = hub.subscribe();
+  EXPECT_EQ(hub.subscriber_count(), 1u);
+  hub.publish("one");
+  hub.publish("two");
+  EXPECT_EQ(sub->next(), "one");
+  EXPECT_EQ(sub->next(), "two");
+  hub.close_all();
+  EXPECT_FALSE(sub->next().has_value());
+  hub.unsubscribe(sub);
+  EXPECT_EQ(hub.subscriber_count(), 0u);
+}
+
+TEST(SseHub, SlowSubscriberLosesOldestFramesCounted) {
+  service::SseHub hub;
+  auto sub = hub.subscribe();
+  for (std::size_t i = 0; i < service::SseHub::kMaxQueuedFrames + 5; ++i) {
+    hub.publish(std::to_string(i));
+  }
+  // Oldest five dropped; the queue begins at frame 5.
+  EXPECT_EQ(sub->next(), "5");
+  std::size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock{sub->mu};
+    dropped = sub->dropped;
+  }
+  EXPECT_EQ(dropped, 5u);
+  hub.close_all();
+}
+
+// --------------------------------------------------------- manifest index
+
+service::CampaignRecord sample_record(const char* id) {
+  service::CampaignRecord rec;
+  rec.id = id;
+  rec.bench = "fig07";
+  rec.seed = 42;
+  rec.jobs = 4;
+  rec.backend = "process";
+  rec.shards = 2;
+  rec.tier = "sim";
+  rec.trials = 210;
+  rec.errors = 1;
+  rec.wall_ms = 1234.5;
+  rec.csv = "D (ms),mean\n50,61.0\n";
+  rec.status = "done";
+  return rec;
+}
+
+TEST(ManifestIndex, RecordJsonRoundTripsIncludingEscapedCsv) {
+  const auto rec = sample_record("c0007");
+  const std::string json = rec.to_json();
+  // The CSV is inlined with its newlines escaped — one record, one line.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\"csv\":\"D (ms),mean\\n50,61.0\\n\""), std::string::npos);
+  const auto back = service::CampaignRecord::parse(json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->id, rec.id);
+  EXPECT_EQ(back->bench, rec.bench);
+  EXPECT_EQ(back->seed, rec.seed);
+  EXPECT_EQ(back->jobs, rec.jobs);
+  EXPECT_EQ(back->backend, rec.backend);
+  EXPECT_EQ(back->shards, rec.shards);
+  EXPECT_EQ(back->tier, rec.tier);
+  EXPECT_EQ(back->trials, rec.trials);
+  EXPECT_EQ(back->errors, rec.errors);
+  EXPECT_DOUBLE_EQ(back->wall_ms, rec.wall_ms);
+  EXPECT_EQ(back->csv, rec.csv);
+  EXPECT_EQ(back->status, rec.status);
+  // Reserialized bytes are identical: restart identity at record level.
+  EXPECT_EQ(back->to_json(), json);
+}
+
+TEST(ManifestIndex, ParseRejectsForeignKindsAndTornLines) {
+  EXPECT_FALSE(service::CampaignRecord::parse("{\"kind\":\"checkpoint\",\"id\":\"c1\"}"));
+  EXPECT_FALSE(service::CampaignRecord::parse("not json at all"));
+  // A torn append loses the tail of the line; "status" is written last,
+  // so its absence marks the record incomplete.
+  const std::string full = sample_record("c0009").to_json();
+  const std::string torn = full.substr(0, full.find("\"status\""));
+  EXPECT_FALSE(service::CampaignRecord::parse(torn));
+}
+
+TEST(ManifestIndex, MissingFileLoadsEmptyAndAppendPersists) {
+  const auto path = temp_path("svc_index_fresh.jsonl");
+  std::remove(path.c_str());
+  service::ManifestIndex index{path};
+  index.load();
+  EXPECT_TRUE(index.records().empty());
+  EXPECT_EQ(index.max_id(), 0u);
+
+  ASSERT_TRUE(index.append(sample_record("c0001")));
+  ASSERT_TRUE(index.append(sample_record("c0003")));
+  EXPECT_EQ(index.records().size(), 2u);
+  EXPECT_EQ(index.max_id(), 3u);
+
+  service::ManifestIndex reloaded{path};
+  reloaded.load();
+  ASSERT_EQ(reloaded.records().size(), 2u);
+  EXPECT_EQ(reloaded.records()[0].to_json(), index.records()[0].to_json());
+  EXPECT_EQ(reloaded.records()[1].to_json(), index.records()[1].to_json());
+  EXPECT_EQ(reloaded.max_id(), 3u);
+}
+
+TEST(ManifestIndex, TornFinalLineIsDroppedEverythingBeforeLoads) {
+  const auto path = temp_path("svc_index_torn.jsonl");
+  std::remove(path.c_str());
+  service::ManifestIndex index{path};
+  ASSERT_TRUE(index.append(sample_record("c0001")));
+  ASSERT_TRUE(index.append(sample_record("c0002")));
+  // Daemon killed mid-append: a partial record with no trailing newline.
+  const std::string full = sample_record("c0003").to_json();
+  append_raw(path, full.substr(0, full.size() / 2));
+
+  service::ManifestIndex reloaded{path};
+  reloaded.load();
+  ASSERT_EQ(reloaded.records().size(), 2u);
+  EXPECT_EQ(reloaded.records()[1].id, "c0002");
+  EXPECT_EQ(reloaded.max_id(), 2u);
+
+  // A torn line WITH a newline (truncated then flushed) is also dropped.
+  append_raw(path, "\n{\"kind\":\"campaign\",\"id\":\"c0004\",\"bench\":\"fig07\"\n");
+  reloaded.load();
+  EXPECT_EQ(reloaded.records().size(), 2u);
+}
+
+// ------------------------------------------------------------- submission
+
+TEST(Submission, ValidatesEveryFieldBeforeQueueing) {
+  std::string error;
+  const auto ok = service::CampaignSubmission::parse(
+      "{\"bench\":\"fig07\",\"seed\":7,\"jobs\":4,\"backend\":\"process\","
+      "\"shards\":2,\"tier\":\"sim\"}",
+      &error);
+  ASSERT_TRUE(ok.has_value()) << error;
+  EXPECT_EQ(ok->bench, "fig07");
+  EXPECT_EQ(ok->seed, 7u);
+  EXPECT_EQ(ok->jobs, 4);
+  EXPECT_EQ(ok->backend, "process");
+  EXPECT_EQ(ok->shards, 2);
+  EXPECT_EQ(ok->tier, "sim");
+
+  // Defaults: threads backend, tier auto, seed/jobs/shards zero.
+  const auto min = service::CampaignSubmission::parse("{\"bench\":\"fig08\"}", &error);
+  ASSERT_TRUE(min.has_value()) << error;
+  EXPECT_EQ(min->backend, "");
+  EXPECT_EQ(min->tier, "auto");
+
+  EXPECT_FALSE(service::CampaignSubmission::parse("{}", &error));
+  EXPECT_NE(error.find("bench"), std::string::npos);
+  EXPECT_FALSE(service::CampaignSubmission::parse("{\"bench\":\"fig99\"}", &error));
+  EXPECT_NE(error.find("fig99"), std::string::npos);
+  // The campaign runner would std::exit(2) on an unknown backend; the
+  // daemon must reject it at submit time instead.
+  EXPECT_FALSE(
+      service::CampaignSubmission::parse("{\"bench\":\"fig07\",\"backend\":\"gpu\"}", &error));
+  EXPECT_NE(error.find("gpu"), std::string::npos);
+  EXPECT_FALSE(
+      service::CampaignSubmission::parse("{\"bench\":\"fig07\",\"tier\":\"warp\"}", &error));
+  EXPECT_NE(error.find("tier"), std::string::npos);
+}
+
+// ------------------------------------------------- recorded-request surface
+
+TEST(Daemon, RecordedRequestsLockTheReadOnlySurface) {
+  const auto path = temp_path("svc_daemon_recorded.jsonl");
+  std::remove(path.c_str());
+  // Hand-written durable index: two finished campaigns.
+  write_file(path, sample_record("c0001").to_json() + "\n" +
+                       sample_record("c0002").to_json() + "\n");
+
+  service::CampaignDaemon daemon{{path, nullptr, 10}};
+  daemon.start();
+
+  const auto health = daemon.handle(get("/healthz"));
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "{\"ok\":true}\n");
+
+  const auto list = daemon.handle(get("/campaigns"));
+  EXPECT_EQ(list.status, 200);
+  EXPECT_EQ(list.body, "{\"campaigns\":[" + sample_record("c0001").to_json() + "," +
+                           sample_record("c0002").to_json() + "]}\n");
+
+  const auto one = daemon.handle(get("/campaigns/c0002"));
+  EXPECT_EQ(one.status, 200);
+  EXPECT_EQ(one.body, sample_record("c0002").to_json() + "\n");
+
+  const auto metrics = daemon.handle(get("/campaigns/c0001/metrics"));
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.body.rfind("{\"id\":\"c0001\",\"status\":\"done\",\"series\":", 0), 0u)
+      << metrics.body;
+  EXPECT_EQ(metrics.body.back(), '\n');
+
+  const auto events = daemon.handle(get("/events"));
+  EXPECT_TRUE(events.sse);
+
+  // Error surface.
+  EXPECT_EQ(daemon.handle(get("/nope")).status, 404);
+  EXPECT_EQ(daemon.handle(get("/campaigns/c9999")).status, 404);
+  EXPECT_EQ(daemon.handle(get("/campaigns/c9999/metrics")).status, 404);
+  EXPECT_EQ(daemon.handle(get("/campaigns/c0001/spans")).status, 404);
+  EXPECT_EQ(daemon.handle(post("/nope", "")).status, 404);
+  service::HttpRequest del;
+  del.method = "DELETE";
+  del.path = "/campaigns";
+  const auto denied = daemon.handle(del);
+  EXPECT_EQ(denied.status, 405);
+  EXPECT_EQ(denied.body, "{\"error\":\"method not allowed\"}\n");
+
+  const auto bad = daemon.handle(post("/campaigns", "{\"bench\":\"fig99\"}"));
+  EXPECT_EQ(bad.status, 400);
+  EXPECT_NE(bad.body.find("unknown bench"), std::string::npos);
+
+  EXPECT_FALSE(daemon.shutdown_requested());
+  const auto down = daemon.handle(post("/shutdown", ""));
+  EXPECT_EQ(down.status, 200);
+  EXPECT_EQ(down.body, "{\"ok\":true,\"shutting_down\":true}\n");
+  EXPECT_TRUE(daemon.shutdown_requested());
+  daemon.stop();
+}
+
+TEST(Daemon, CampaignListIsIdenticalAcrossRestart) {
+  const auto path = temp_path("svc_daemon_restart.jsonl");
+  std::remove(path.c_str());
+  write_file(path, sample_record("c0001").to_json() + "\n" +
+                       sample_record("c0002").to_json() + "\n");
+
+  std::string before;
+  {
+    service::CampaignDaemon daemon{{path, nullptr, 10}};
+    daemon.start();
+    before = daemon.handle(get("/campaigns")).body;
+    daemon.stop();
+  }
+  // Torn final line from a mid-append kill must not disturb the list.
+  const std::string torn = sample_record("c0003").to_json();
+  append_raw(path, torn.substr(0, torn.size() / 3));
+  {
+    service::CampaignDaemon daemon{{path, nullptr, 10}};
+    daemon.start();
+    EXPECT_EQ(daemon.handle(get("/campaigns")).body, before);
+    // The restarted daemon continues the id sequence past the durable
+    // maximum instead of reusing ids.
+    const auto res = daemon.handle(post("/campaigns", "{\"bench\":\"fig07\"}"));
+    EXPECT_EQ(res.status, 202);
+    EXPECT_EQ(res.body.rfind("{\"id\":\"c0003\"", 0), 0u) << res.body;
+    daemon.stop();
+  }
+}
+
+// ----------------------------------------------- end-to-end: run a campaign
+
+TEST(Daemon, RunsSubmissionAndServesCsvByteIdenticalToDirectRun) {
+  const auto path = temp_path("svc_daemon_run.jsonl");
+  std::remove(path.c_str());
+  service::CampaignDaemon daemon{{path, nullptr, 10}};
+  daemon.start();
+  auto sub = daemon.hub().subscribe();
+
+  const auto accepted = daemon.handle(
+      post("/campaigns", "{\"bench\":\"fig07\",\"seed\":7,\"jobs\":4,\"tier\":\"analytic\"}"));
+  EXPECT_EQ(accepted.status, 202);
+  EXPECT_EQ(accepted.body, "{\"id\":\"c0001\",\"status\":\"queued\"}\n");
+  daemon.drain();
+
+  // The finished record serves the same CSV bytes the bench produces
+  // when invoked directly with the same arguments — both are
+  // table.to_csv() of the same deterministic sweep.
+  runner::BenchArgs args;
+  args.csv = true;
+  args.run.root_seed = 7;
+  args.run.jobs = 4;
+  args.tier = "analytic";
+  const auto direct = service::find_campaign_bench("fig07")->run(args);
+
+  const auto one = daemon.handle(get("/campaigns/c0001"));
+  EXPECT_EQ(one.status, 200);
+  const auto rec = service::CampaignRecord::parse(one.body);
+  ASSERT_TRUE(rec.has_value()) << one.body;
+  EXPECT_EQ(rec->status, "done");
+  EXPECT_EQ(rec->trials, 210u);
+  EXPECT_EQ(rec->errors, 0u);
+  EXPECT_EQ(rec->csv, direct.table.to_csv());
+
+  const auto metrics = daemon.handle(get("/campaigns/c0001/metrics"));
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.body.rfind("{\"id\":\"c0001\",\"status\":\"done\",", 0), 0u);
+
+  // Live SSE telemetry: the runner beats once per dispatch chunk
+  // (210 trials / chunk 6 at jobs=4 = 35 beats), each publishing one
+  // heartbeat and one delta-encoded metrics frame; with keyframes every
+  // 10th frame a subscriber saw 4 keyframes and 31 deltas — comfortably
+  // past the "a keyframe plus at least two deltas" acceptance bar.
+  daemon.stop();  // close_all -> next() drains then returns nullopt
+  std::size_t campaigns = 0, heartbeats = 0, keyframes = 0, deltas = 0;
+  while (auto frame = sub->next()) {
+    if (frame->rfind("event: campaign\n", 0) == 0) ++campaigns;
+    if (frame->rfind("event: heartbeat\n", 0) == 0) ++heartbeats;
+    if (frame->rfind("event: metrics\n", 0) == 0) {
+      if (frame->find("\"keyframe\":true") != std::string::npos) ++keyframes;
+      if (frame->find("\"delta\":true") != std::string::npos) ++deltas;
+    }
+  }
+  EXPECT_EQ(campaigns, 3u);  // queued, running, done
+  EXPECT_EQ(heartbeats, 35u);
+  EXPECT_EQ(keyframes, 4u);
+  EXPECT_EQ(deltas, 31u);
+
+  // The result is durable: a fresh daemon serves it from the index.
+  service::CampaignDaemon reborn{{path, nullptr, 10}};
+  reborn.start();
+  const auto again = reborn.handle(get("/campaigns/c0001"));
+  EXPECT_EQ(again.body, one.body);
+  reborn.stop();
+}
+
+TEST(Daemon, FailedCampaignIsRecordedAsError) {
+  const auto path = temp_path("svc_daemon_error.jsonl");
+  std::remove(path.c_str());
+  service::CampaignDaemon daemon{{path, nullptr, 10}};
+  daemon.start();
+  // No registered bench fails deterministically, so persist an error
+  // record through the same append path the scheduler uses and check
+  // the status survives the restart round-trip.
+  auto rec = sample_record("c0001");
+  rec.status = "error";
+  rec.csv.clear();
+  {
+    service::ManifestIndex index{path};
+    index.load();
+    ASSERT_TRUE(index.append(rec));
+  }
+  daemon.stop();
+
+  service::CampaignDaemon reborn{{path, nullptr, 10}};
+  reborn.start();
+  const auto one = reborn.handle(get("/campaigns/c0001"));
+  EXPECT_EQ(one.status, 200);
+  EXPECT_NE(one.body.find("\"status\":\"error\""), std::string::npos);
+  reborn.stop();
+}
+
+// ------------------------------------------------------- socket smoke test
+
+TEST(HttpServer, LoopbackRoundTripAndSseRelay) {
+  const auto path = temp_path("svc_server_smoke.jsonl");
+  std::remove(path.c_str());
+  service::CampaignDaemon daemon{{path, nullptr, 10}};
+  daemon.start();
+  service::HttpServer server{[&](const service::HttpRequest& req) { return daemon.handle(req); },
+                             &daemon.hub()};
+  ASSERT_TRUE(server.start(0));  // ephemeral port
+  ASSERT_GT(server.port(), 0);
+
+  // SSE: a blocking client reads headers + one relayed frame.
+  std::string sse_seen;
+  std::thread client{[&] {
+    sse_seen = test_http_exchange(server.port(),
+                                  "GET /events HTTP/1.1\r\nHost: l\r\n\r\n", 1);
+  }};
+  // Give the subscriber a moment to attach, then publish one frame.
+  for (int i = 0; i < 200 && daemon.hub().subscriber_count() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GT(daemon.hub().subscriber_count(), 0u);
+  daemon.hub().publish(service::sse_event("heartbeat", "{\"done\":1}"));
+  client.join();
+  EXPECT_NE(sse_seen.find("text/event-stream"), std::string::npos);
+  EXPECT_NE(sse_seen.find("event: heartbeat\ndata: {\"done\":1}\n\n"), std::string::npos);
+
+  const std::string body = test_http_exchange(server.port(),
+                                              "GET /healthz HTTP/1.1\r\nHost: l\r\n\r\n", 0);
+  EXPECT_NE(body.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(body.find("{\"ok\":true}"), std::string::npos);
+
+  server.stop();
+  daemon.stop();
+}
+
+}  // namespace
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+std::string test_http_exchange(int port, const std::string& raw, std::size_t stop_after) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  std::size_t sent = 0;
+  while (sent < raw.size()) {
+    const auto n = ::send(fd, raw.data() + sent, raw.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const auto n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+    if (stop_after > 0) {
+      std::size_t frames = 0;
+      for (std::size_t at = out.find("\n\n"); at != std::string::npos;
+           at = out.find("\n\n", at + 2)) {
+        ++frames;
+      }
+      // Headers' \r\n\r\n also matches; require the SSE comment + frames.
+      if (frames > stop_after) break;
+    }
+  }
+  ::close(fd);
+  return out;
+}
+#else
+std::string test_http_exchange(int, const std::string&, std::size_t) { return {}; }
+#endif
