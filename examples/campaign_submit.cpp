@@ -80,8 +80,10 @@ std::optional<std::string> http_post(int port, const std::string& path,
 [[noreturn]] void usage(const char* argv0, int code) {
   std::fprintf(code == 0 ? stdout : stderr,
                "usage: %s [--port N] --bench NAME [--seed S] [--jobs N]\n"
-               "          [--backend NAME] [--shards N] [--tier NAME] [--wait]\n"
+               "          [--backend NAME] [--shards N] [--tier NAME] [--trace] [--wait]\n"
                "       %s [--port N] --list\n"
+               "  --trace  capture the representative trial's Chrome trace\n"
+               "           (fetch it later via GET /campaigns/<id>/trace)\n"
                "  --wait   poll until the campaign finishes, print its CSV on stdout\n"
                "  --list   dump GET /campaigns and exit\n",
                argv0, argv0);
@@ -102,7 +104,7 @@ int main(int argc, char** argv) {
   std::string bench, backend, tier;
   unsigned long long seed = 0;
   int jobs = 0, shards = 0;
-  bool wait = false, list = false;
+  bool wait = false, list = false, trace = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     const auto value = [&]() -> const char* {
@@ -123,6 +125,8 @@ int main(int argc, char** argv) {
       shards = std::atoi(value());
     } else if (arg == "--tier") {
       tier = value();
+    } else if (arg == "--trace") {
+      trace = true;
     } else if (arg == "--wait") {
       wait = true;
     } else if (arg == "--list") {
@@ -151,6 +155,7 @@ int main(int argc, char** argv) {
   if (!backend.empty()) submission += ",\"backend\":\"" + backend + "\"";
   if (shards > 0) submission += ",\"shards\":" + std::to_string(shards);
   if (!tier.empty()) submission += ",\"tier\":\"" + tier + "\"";
+  if (trace) submission += ",\"trace\":true";
   submission += "}";
 
   const auto reply = http_post(port, "/campaigns", submission);

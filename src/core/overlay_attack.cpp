@@ -52,6 +52,8 @@ void OverlayAttack::tick() {
   ++stats_.cycles;
   // One completed draw-and-destroy round as a duration span: cycles are
   // strictly sequential, so the attack track nests cleanly in Perfetto.
+  sim::profile_span("attack.draw_destroy_cycle", sim::TraceCategory::kAttack, cycle_start_,
+                    world_->now());
   if (world_->trace().enabled()) {
     world_->trace().span(cycle_start_, world_->now(), sim::TraceCategory::kAttack,
                          metrics::fmt("draw-destroy cycle %d", stats_.cycles));

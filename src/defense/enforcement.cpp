@@ -58,6 +58,8 @@ void DefenseDaemon::enforce(const Detection& detection) {
     world_->nms().cancel_current(uid);
   }
   // Detection-to-enforcement latency as a span on the defense track.
+  sim::profile_span("defense.neutralize", sim::TraceCategory::kDefense, action.detected_at,
+                    action.enforced_at);
   world_->trace().span(action.detected_at, action.enforced_at, sim::TraceCategory::kDefense,
                        metrics::fmt("neutralize uid=%d", uid));
   world_->trace().record(world_->now(), sim::TraceCategory::kDefense,

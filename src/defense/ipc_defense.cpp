@@ -43,10 +43,13 @@ void IpcDefenseAnalyzer::observe(const ipc::Transaction& t) {
   const std::size_t pairs_before = st.pair_times.size();
   Detection det;
   const bool flagged_now = advance(st, t, config_, &det);
-  if (trace_ != nullptr && st.pair_times.size() > pairs_before) {
-    // The remove→add gap the decision rule measures, as a span.
-    trace_->span(remove_at, t.sent, sim::TraceCategory::kDefense,
-                 metrics::fmt("ipc pair uid=%d n=%zu", t.caller_uid, st.pair_times.size()));
+  if (st.pair_times.size() > pairs_before) {
+    sim::profile_span("defense.ipc_pair", sim::TraceCategory::kDefense, remove_at, t.sent);
+    if (trace_ != nullptr) {
+      // The remove→add gap the decision rule measures, as a span.
+      trace_->span(remove_at, t.sent, sim::TraceCategory::kDefense,
+                   metrics::fmt("ipc pair uid=%d n=%zu", t.caller_uid, st.pair_times.size()));
+    }
   }
   if (flagged_now) {
     detections_.push_back(det);

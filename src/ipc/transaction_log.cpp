@@ -26,7 +26,17 @@ std::uint64_t TransactionLog::record(int caller_uid, MethodCode code,
   t.sent = sent;
   t.delivered = delivered;
   log_.push_back(t);
-  if (trace_ != nullptr) {
+  // Static per-method names: the sweep profiler keys on the pointer and
+  // must not pay for message formatting on the (trace-disabled) hot path.
+  const char* span_name = "binder.other";
+  switch (code) {
+    case MethodCode::kAddView: span_name = "binder.addView"; break;
+    case MethodCode::kRemoveView: span_name = "binder.removeView"; break;
+    case MethodCode::kEnqueueToast: span_name = "binder.enqueueToast"; break;
+    case MethodCode::kOther: break;
+  }
+  sim::profile_span(span_name, sim::TraceCategory::kIpc, sent, delivered);
+  if (trace_ != nullptr && trace_->enabled()) {
     trace_->span(sent, delivered, sim::TraceCategory::kIpc,
                  metrics::fmt("binder %s uid=%d", std::string(to_string(code)).c_str(),
                               caller_uid));

@@ -105,6 +105,8 @@ std::string RunManifest::to_json() const {
   out += "  ";
   field_str(out, "trace", trace_out);
   out += "  ";
+  field_str(out, "profile", profile_out);
+  out += "  ";
   field_str(out, "metrics", metrics_out);
   out += "  ";
   field_str(out, "stream", stream_out);
@@ -147,6 +149,7 @@ std::optional<RunManifest> RunManifest::parse(std::string_view json) {
   m.checkpoint_interval = as_u64(raw_value(json, "checkpoint_interval"));
   m.trace_trial = as_u64(raw_value(json, "trace_trial"));
   if (auto v = raw_value(json, "trace")) m.trace_out = *v;
+  if (auto v = raw_value(json, "profile")) m.profile_out = *v;
   if (auto v = raw_value(json, "metrics")) m.metrics_out = *v;
   if (auto v = raw_value(json, "stream")) m.stream_out = *v;
   if (auto v = raw_value(json, "checkpoint")) m.checkpoint_out = *v;

@@ -48,6 +48,7 @@ struct RunManifest {
 
   // Artifact paths, "" = not produced.
   std::string trace_out;
+  std::string profile_out;
   std::string metrics_out;
   std::string stream_out;
   std::string checkpoint_out;

@@ -1,0 +1,618 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace animus::obs {
+
+int profile_bucket(std::uint64_t ns) {
+  if (ns == 0) return 0;
+  const int b = std::bit_width(ns);
+  return b < kProfileBucketCount ? b : kProfileBucketCount - 1;
+}
+
+std::uint64_t profile_bucket_upper_ns(int bucket) {
+  if (bucket <= 0) return 0;
+  if (bucket >= kProfileBucketCount - 1) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+std::uint64_t profile_percentile_ns(const ProfileEntry& e, int pct) {
+  if (e.count == 0) return 0;
+  const std::uint64_t rank = (e.count * static_cast<std::uint64_t>(pct) + 99) / 100;
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kProfileBucketCount; ++b) {
+    cum += e.buckets[b];
+    if (cum >= rank && cum > 0) return profile_bucket_upper_ns(b);
+  }
+  return profile_bucket_upper_ns(kProfileBucketCount - 1);
+}
+
+std::uint64_t ProfileReport::span_count() const {
+  std::uint64_t n = 0;
+  for (const auto& e : entries) n += e.count;
+  return n;
+}
+
+const ProfileEntry* ProfileReport::find(std::string_view name) const {
+  for (const auto& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// --- per-thread accumulation -----------------------------------------------
+
+constexpr std::size_t kSlots = 256;      // power of two; ~2 dozen static names
+constexpr std::size_t kNameCache = 32;   // direct-map shortcut over find_slot
+constexpr std::size_t kMaxStack = 4096;  // completed spans awaiting a parent
+
+struct Slot {
+  const char* name = nullptr;  // static literal; pointer identity is the key
+  sim::TraceCategory category = sim::TraceCategory::kApp;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t self_ns = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+  std::uint64_t buckets[kProfileBucketCount] = {};
+};
+
+struct Frame {
+  std::int64_t start_us = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+struct ThreadProfile {
+  // Spans land here first: sim::profile_span appends records inline (see
+  // trace.hpp) and the aggregation below runs as one tight loop per drain —
+  // at trial boundaries, when the ring fills, and before any snapshot.
+  sim::detail::SpanRing ring;
+  Slot slots[kSlots];
+  Frame stack[kMaxStack];
+  // Direct-map shortcut keyed on the name pointer's low bits: one load and
+  // one compare on the drain path where the hash probe would pay a
+  // multiply plus a dependent lookup. Collisions just fall back.
+  Slot* name_cache[kNameCache] = {};
+  std::size_t depth = 0;
+  std::uint64_t dropped = 0;    // table full
+  std::uint64_t overflows = 0;  // stack full
+
+  void clear() {
+    ring.count = 0;
+    std::memset(static_cast<void*>(slots), 0, sizeof(slots));
+    std::memset(static_cast<void*>(name_cache), 0, sizeof(name_cache));
+    depth = 0;
+    dropped = 0;
+    overflows = 0;
+  }
+
+  Slot* find_slot(const char* name, sim::TraceCategory cat) {
+    std::uintptr_t h = reinterpret_cast<std::uintptr_t>(name);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    for (std::size_t probe = 0; probe < kSlots; ++probe) {
+      Slot& s = slots[(h + probe) & (kSlots - 1)];
+      if (s.name != name && s.name != nullptr) continue;
+      if (s.name == nullptr) {
+        s.name = name;
+        s.category = cat;
+        // Sentinel so the hot path needs no first-observation branch.
+        s.min_ns = ~std::uint64_t{0};
+      }
+      return &s;
+    }
+    return nullptr;
+  }
+
+  [[gnu::always_inline]] inline void apply(const char* name, sim::TraceCategory cat,
+                                           std::int64_t start_us, std::uint32_t dur_us) {
+    const std::uint64_t dur_ns = static_cast<std::uint64_t>(dur_us) * 1000u;
+
+    // Spans arrive in completion order, so every frame on the stack that
+    // *starts* inside this span is a completed child: subtract it once.
+    std::uint64_t child_ns = 0;
+    while (depth > 0 && stack[depth - 1].start_us >= start_us) {
+      child_ns += stack[depth - 1].dur_ns;
+      --depth;
+    }
+    const std::uint64_t self_ns = dur_ns > child_ns ? dur_ns - child_ns : 0;
+    if (depth < kMaxStack) {
+      stack[depth++] = Frame{start_us, dur_ns};
+    } else {
+      ++overflows;
+    }
+
+    const std::size_t ci = (reinterpret_cast<std::uintptr_t>(name) >> 4) & (kNameCache - 1);
+    Slot* s = name_cache[ci];
+    if (s == nullptr || s->name != name) {
+      s = find_slot(name, cat);
+      if (s == nullptr) {
+        ++dropped;
+        return;
+      }
+      name_cache[ci] = s;
+    }
+    s->min_ns = std::min(s->min_ns, dur_ns);
+    s->max_ns = std::max(s->max_ns, dur_ns);
+    ++s->count;
+    s->total_ns += dur_ns;
+    s->self_ns += self_ns;
+    ++s->buckets[profile_bucket(dur_ns)];
+  }
+
+  void drain() {
+    const std::uint32_t n = ring.count;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const sim::detail::SpanRec& r = ring.recs[i];
+      apply(r.name, static_cast<sim::TraceCategory>(r.category), r.start_us, r.dur_us);
+    }
+    ring.count = 0;
+  }
+};
+
+// --- process-wide collector ------------------------------------------------
+
+using EntryKey = std::pair<std::string, int>;
+
+struct Collector {
+  mutable std::mutex mu;
+  std::vector<ThreadProfile*> live;
+  std::map<EntryKey, ProfileEntry> retired;
+  std::uint64_t retired_dropped = 0;
+  std::uint64_t retired_overflows = 0;
+  std::atomic<bool> enabled{false};
+};
+
+// Leaked on purpose: thread_local destructors (including the main
+// thread's) must be able to retire into it during teardown in any order.
+Collector& collector() {
+  static Collector* c = new Collector;
+  return *c;
+}
+
+void merge_entry(ProfileEntry* into, const ProfileEntry& from) {
+  if (from.count == 0) return;
+  if (into->count == 0) {
+    into->min_ns = from.min_ns;
+    into->max_ns = from.max_ns;
+  } else {
+    into->min_ns = std::min(into->min_ns, from.min_ns);
+    into->max_ns = std::max(into->max_ns, from.max_ns);
+  }
+  into->count += from.count;
+  into->total_ns += from.total_ns;
+  into->self_ns += from.self_ns;
+  for (int b = 0; b < kProfileBucketCount; ++b) into->buckets[b] += from.buckets[b];
+}
+
+void fold_slot_locked(Collector& c, const Slot& s) {
+  ProfileEntry& e = c.retired[EntryKey{std::string(s.name), static_cast<int>(s.category)}];
+  if (e.name.empty()) {
+    e.name = s.name;
+    e.category = s.category;
+  }
+  ProfileEntry tmp;
+  tmp.count = s.count;
+  tmp.total_ns = s.total_ns;
+  tmp.self_ns = s.self_ns;
+  tmp.min_ns = s.min_ns;
+  tmp.max_ns = s.max_ns;
+  std::memcpy(tmp.buckets, s.buckets, sizeof(tmp.buckets));
+  merge_entry(&e, tmp);
+}
+
+struct ThreadSlot {
+  ThreadProfile* tp = nullptr;
+
+  ~ThreadSlot();
+};
+
+thread_local ThreadSlot t_profile;
+// Raw mirror of t_profile.tp: the per-span hot path loads one TLS word
+// and calls nothing else. ThreadSlot keeps ownership + the retire-at-
+// thread-exit destructor.
+thread_local ThreadProfile* t_tp = nullptr;
+
+ThreadSlot::~ThreadSlot() {
+  if (tp == nullptr) return;
+  sim::detail::t_span_ring = nullptr;
+  tp->drain();
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  for (const Slot& s : tp->slots) {
+    if (s.name != nullptr && s.count > 0) fold_slot_locked(c, s);
+  }
+  c.retired_dropped += tp->dropped;
+  c.retired_overflows += tp->overflows;
+  c.live.erase(std::remove(c.live.begin(), c.live.end(), tp), c.live.end());
+  delete tp;
+  tp = nullptr;
+  t_tp = nullptr;
+}
+
+[[gnu::noinline]] ThreadProfile* attach_thread_profile() {
+  auto* tp = new ThreadProfile;
+  t_profile.tp = tp;
+  t_tp = tp;
+  sim::detail::t_span_ring = &tp->ring;
+  Collector& coll = collector();
+  std::lock_guard<std::mutex> lock(coll.mu);
+  coll.live.push_back(tp);
+  return tp;
+}
+
+// Slow path of sim::profile_span: the calling thread has no ring yet, or its
+// ring is full. Drain-then-apply keeps completion order exact.
+void hook_span(const char* name, sim::TraceCategory c, sim::SimTime start, sim::SimTime end) {
+  ThreadProfile* tp = t_tp;
+  if (tp == nullptr) tp = attach_thread_profile();
+  tp->drain();
+  const std::int64_t d = (end - start).count();
+  const std::uint32_t dur_us =
+      d <= 0 ? 0u : (d >= 0xffffffffll ? 0xffffffffu : static_cast<std::uint32_t>(d));
+  tp->apply(name, c, start.count(), dur_us);
+}
+
+void hook_flush() {
+  if (ThreadProfile* tp = t_tp) {
+    tp->drain();
+    tp->depth = 0;
+  }
+}
+
+// --- wire + text helpers ---------------------------------------------------
+
+void append_prefixed(std::string& out, std::string_view s) {
+  out += std::to_string(s.size());
+  out += ':';
+  out += s;
+}
+
+bool read_prefixed(std::string_view wire, std::size_t* pos, std::string* out) {
+  const std::size_t colon = wire.find(':', *pos);
+  if (colon == std::string_view::npos) return false;
+  char* end = nullptr;
+  const unsigned long long len = std::strtoull(wire.data() + *pos, &end, 10);
+  if (end != wire.data() + colon) return false;
+  if (colon + 1 + len > wire.size()) return false;
+  *out = std::string(wire.substr(colon + 1, len));
+  *pos = colon + 1 + len;
+  return true;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Entries ranked by self time (desc), name as the deterministic tiebreak.
+std::vector<const ProfileEntry*> by_self_time(const ProfileReport& report) {
+  std::vector<const ProfileEntry*> order;
+  order.reserve(report.entries.size());
+  for (const auto& e : report.entries) order.push_back(&e);
+  std::sort(order.begin(), order.end(), [](const ProfileEntry* a, const ProfileEntry* b) {
+    if (a->self_ns != b->self_ns) return a->self_ns > b->self_ns;
+    return a->name < b->name;
+  });
+  return order;
+}
+
+}  // namespace
+
+// --- report rendering ------------------------------------------------------
+
+std::string to_profile_json(const ProfileReport& report) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": 1,\n";
+  out += "  \"report\": \"animus-profile\",\n";
+  out += "  \"spans\": " + std::to_string(report.span_count()) + ",\n";
+  out += "  \"dropped_spans\": " + std::to_string(report.dropped_spans) + ",\n";
+  out += "  \"stack_overflows\": " + std::to_string(report.stack_overflows) + ",\n";
+  out += "  \"entries\": [";
+  bool first = true;
+  for (const ProfileEntry& e : report.entries) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": ";
+    append_json_string(out, e.name);
+    out += ", \"category\": ";
+    append_json_string(out, sim::to_string(e.category));
+    char buf[352];
+    std::snprintf(buf, sizeof(buf),
+                  ", \"count\": %" PRIu64 ", \"total_ns\": %" PRIu64 ", \"self_ns\": %" PRIu64
+                  ", \"min_ns\": %" PRIu64 ", \"max_ns\": %" PRIu64 ", \"p50_ns\": %" PRIu64
+                  ", \"p90_ns\": %" PRIu64 ", \"p99_ns\": %" PRIu64 ", \"buckets\": [",
+                  e.count, e.total_ns, e.self_ns, e.min_ns, e.max_ns,
+                  profile_percentile_ns(e, 50), profile_percentile_ns(e, 90),
+                  profile_percentile_ns(e, 99));
+    out += buf;
+    bool first_bucket = true;
+    for (int b = 0; b < kProfileBucketCount; ++b) {
+      if (e.buckets[b] == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += "[" + std::to_string(b) + ", " + std::to_string(e.buckets[b]) + "]";
+    }
+    out += "]}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string profile_summary_json(const ProfileReport& report, std::size_t top_n) {
+  std::string out = "{\"spans\":" + std::to_string(report.span_count()) + ",\"top\":[";
+  const auto order = by_self_time(report);
+  for (std::size_t i = 0; i < order.size() && i < top_n; ++i) {
+    if (i > 0) out += ',';
+    out += "{\"name\":";
+    append_json_string(out, order[i]->name);
+    out += ",\"self_ns\":" + std::to_string(order[i]->self_ns);
+    out += ",\"count\":" + std::to_string(order[i]->count) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string profile_table(const ProfileReport& report, std::size_t top_n) {
+  std::string out = "== span profile: top self-time ==\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "  %12s %12s %10s %10s %10s  %s\n", "self_ms", "total_ms",
+                "count", "p50_ns", "p99_ns", "span");
+  out += buf;
+  const auto order = by_self_time(report);
+  for (std::size_t i = 0; i < order.size() && i < top_n; ++i) {
+    const ProfileEntry& e = *order[i];
+    std::snprintf(buf, sizeof(buf), "  %12.3f %12.3f %10" PRIu64 " %10" PRIu64 " %10" PRIu64
+                  "  %s (%s)\n",
+                  static_cast<double>(e.self_ns) / 1e6, static_cast<double>(e.total_ns) / 1e6,
+                  e.count, profile_percentile_ns(e, 50), profile_percentile_ns(e, 99),
+                  e.name.c_str(), std::string(sim::to_string(e.category)).c_str());
+    out += buf;
+  }
+  if (report.dropped_spans != 0 || report.stack_overflows != 0) {
+    std::snprintf(buf, sizeof(buf), "  (%" PRIu64 " spans dropped, %" PRIu64
+                  " stack overflows)\n",
+                  report.dropped_spans, report.stack_overflows);
+    out += buf;
+  }
+  return out;
+}
+
+// --- wire ------------------------------------------------------------------
+
+std::string serialize_profile(const ProfileReport& report) {
+  std::string out = "animus-profile 1 " + std::to_string(report.entries.size()) + " " +
+                    std::to_string(report.dropped_spans) + " " +
+                    std::to_string(report.stack_overflows) + "\n";
+  for (const ProfileEntry& e : report.entries) {
+    int nb = 0;
+    for (int b = 0; b < kProfileBucketCount; ++b) {
+      if (e.buckets[b] != 0) ++nb;
+    }
+    char head[224];
+    std::snprintf(head, sizeof(head),
+                  "%u %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %d",
+                  static_cast<unsigned>(e.category), e.count, e.total_ns, e.self_ns, e.min_ns,
+                  e.max_ns, nb);
+    out += head;
+    for (int b = 0; b < kProfileBucketCount; ++b) {
+      if (e.buckets[b] == 0) continue;
+      out += ' ';
+      out += std::to_string(b);
+      out += ':';
+      out += std::to_string(e.buckets[b]);
+    }
+    out += ' ';
+    append_prefixed(out, e.name);
+    out += '\n';
+  }
+  return out;
+}
+
+bool deserialize_profile(std::string_view wire, ProfileReport* out) {
+  std::size_t pos = 0;
+  unsigned long long count = 0;
+  unsigned long long dropped = 0;
+  unsigned long long overflows = 0;
+  {
+    const std::size_t nl = wire.find('\n');
+    if (nl == std::string_view::npos) return false;
+    const std::string head(wire.substr(0, nl));
+    if (std::sscanf(head.c_str(), "animus-profile 1 %llu %llu %llu", &count, &dropped,
+                    &overflows) != 3) {
+      return false;
+    }
+    pos = nl + 1;
+  }
+  out->dropped_spans += dropped;
+  out->stack_overflows += overflows;
+  for (unsigned long long i = 0; i < count; ++i) {
+    // Numerics are bounded (head + <=64 bucket pairs); the name is
+    // length-prefixed, so it is parsed by consumption like the trace wire.
+    const std::string region(wire.substr(pos, std::min<std::size_t>(wire.size() - pos, 2048)));
+    const char* s = region.c_str();
+    char* end = nullptr;
+    const auto read_u64 = [&](unsigned long long* v) -> bool {
+      *v = std::strtoull(s, &end, 10);
+      if (end == s) return false;
+      s = end;
+      return true;
+    };
+    unsigned long long cat = 0;
+    unsigned long long nb = 0;
+    ProfileEntry e;
+    if (!read_u64(&cat) || cat >= static_cast<unsigned>(sim::kTraceCategoryCount)) return false;
+    unsigned long long v = 0;
+    if (!read_u64(&v)) return false;
+    e.count = v;
+    if (!read_u64(&v)) return false;
+    e.total_ns = v;
+    if (!read_u64(&v)) return false;
+    e.self_ns = v;
+    if (!read_u64(&v)) return false;
+    e.min_ns = v;
+    if (!read_u64(&v)) return false;
+    e.max_ns = v;
+    if (!read_u64(&nb) || nb > static_cast<unsigned long long>(kProfileBucketCount)) return false;
+    for (unsigned long long b = 0; b < nb; ++b) {
+      unsigned long long idx = 0;
+      unsigned long long n = 0;
+      if (!read_u64(&idx) || idx >= static_cast<unsigned long long>(kProfileBucketCount)) {
+        return false;
+      }
+      if (*s != ':') return false;
+      ++s;
+      if (!read_u64(&n)) return false;
+      e.buckets[idx] = n;
+    }
+    if (*s != ' ') return false;
+    ++s;
+    std::size_t name_pos = pos + static_cast<std::size_t>(s - region.c_str());
+    if (!read_prefixed(wire, &name_pos, &e.name)) return false;
+    if (name_pos >= wire.size() || wire[name_pos] != '\n') return false;
+    pos = name_pos + 1;
+    e.category = static_cast<sim::TraceCategory>(cat);
+    out->entries.push_back(std::move(e));
+  }
+  return true;
+}
+
+void merge_profile(ProfileReport* to, const ProfileReport& from) {
+  std::map<EntryKey, ProfileEntry> acc;
+  for (ProfileEntry& e : to->entries) {
+    acc.emplace(EntryKey{e.name, static_cast<int>(e.category)}, std::move(e));
+  }
+  for (const ProfileEntry& e : from.entries) {
+    auto [it, inserted] = acc.emplace(EntryKey{e.name, static_cast<int>(e.category)}, e);
+    if (!inserted) merge_entry(&it->second, e);
+  }
+  to->entries.clear();
+  for (auto& [key, e] : acc) to->entries.push_back(std::move(e));
+  to->dropped_spans += from.dropped_spans;
+  to->stack_overflows += from.stack_overflows;
+}
+
+// --- SpanProfiler ----------------------------------------------------------
+
+SpanProfiler& SpanProfiler::instance() {
+  static SpanProfiler profiler;
+  return profiler;
+}
+
+SpanProfiler& span_profiler() { return SpanProfiler::instance(); }
+
+void SpanProfiler::enable() {
+  collector().enabled.store(true, std::memory_order_relaxed);
+  sim::set_profile_hooks(&hook_span, &hook_flush);
+}
+
+void SpanProfiler::disable() {
+  sim::set_profile_hooks(nullptr, nullptr);
+  collector().enabled.store(false, std::memory_order_relaxed);
+}
+
+bool SpanProfiler::enabled() const {
+  return collector().enabled.load(std::memory_order_relaxed);
+}
+
+void SpanProfiler::reset() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.retired.clear();
+  c.retired_dropped = 0;
+  c.retired_overflows = 0;
+  for (ThreadProfile* tp : c.live) tp->clear();
+}
+
+ProfileReport SpanProfiler::snapshot() const {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  std::map<EntryKey, ProfileEntry> acc = c.retired;
+  std::uint64_t dropped = c.retired_dropped;
+  std::uint64_t overflows = c.retired_overflows;
+  for (ThreadProfile* tp : c.live) {
+    // Live threads may hold one trial of undrained records. Snapshot assumes
+    // quiescence (workers joined / between trials) — the same assumption the
+    // unsynchronized slot reads below have always made.
+    tp->drain();
+    for (const Slot& s : tp->slots) {
+      if (s.name == nullptr || s.count == 0) continue;
+      ProfileEntry& e = acc[EntryKey{std::string(s.name), static_cast<int>(s.category)}];
+      if (e.name.empty()) {
+        e.name = s.name;
+        e.category = s.category;
+      }
+      ProfileEntry tmp;
+      tmp.count = s.count;
+      tmp.total_ns = s.total_ns;
+      tmp.self_ns = s.self_ns;
+      tmp.min_ns = s.min_ns;
+      tmp.max_ns = s.max_ns;
+      std::memcpy(tmp.buckets, s.buckets, sizeof(tmp.buckets));
+      merge_entry(&e, tmp);
+    }
+    dropped += tp->dropped;
+    overflows += tp->overflows;
+  }
+  ProfileReport out;
+  out.dropped_spans = dropped;
+  out.stack_overflows = overflows;
+  out.entries.reserve(acc.size());
+  for (auto& [key, e] : acc) out.entries.push_back(std::move(e));  // map order == sorted
+  return out;
+}
+
+void SpanProfiler::merge(const ProfileReport& report) {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  for (const ProfileEntry& e : report.entries) {
+    ProfileEntry& into = c.retired[EntryKey{e.name, static_cast<int>(e.category)}];
+    if (into.name.empty()) {
+      into.name = e.name;
+      into.category = e.category;
+    }
+    merge_entry(&into, e);
+  }
+  c.retired_dropped += report.dropped_spans;
+  c.retired_overflows += report.stack_overflows;
+}
+
+void SpanProfiler::observe(const char* name, sim::TraceCategory c, sim::SimTime start,
+                           sim::SimTime end) {
+  hook_span(name, c, start, end);
+}
+
+void SpanProfiler::flush_stack() { hook_flush(); }
+
+}  // namespace animus::obs

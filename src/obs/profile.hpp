@@ -1,0 +1,146 @@
+// Sweep-wide span profiler.
+//
+// Aggregates every span the actor instrumentation reports through
+// sim::profile_span() — across all trials, all worker threads, and (via
+// the serialized wire form) all process shards — into one deterministic
+// profile: per span name, a count, total and self time, min/max, and a
+// log2-bucket latency histogram from which p50/p90/p99 are derived.
+//
+// Design constraints, in order:
+//   1. Near-zero overhead. Observation is lock-free per-thread: a
+//      pointer-hashed open-addressed table of fixed slots (names are
+//      static literals, so the pointer is the identity) and a bounded
+//      containment stack for self-time. No allocation, no formatting,
+//      no atomics on the hot path.
+//   2. Determinism. All statistics are commutative (sums, extrema,
+//      bucket counts) over the per-trial span multiset, which is itself
+//      a pure function of the trial config. Merging per-thread tables,
+//      retired-thread accumulations and shard-worker wire payloads in
+//      any order yields the same snapshot, so the profile JSON is
+//      byte-identical across {--jobs, --backend, --shards}.
+//   3. Wall-clock free. Span times are *simulated* time; anything
+//      nondeterministic (worker utilization) lives in runner::SweepStats
+//      and is reported on stderr/SSE, never in the profile JSON.
+//
+// Self time uses the completion-order containment stack: spans arrive
+// ordered by end time (TraceRecorder appends on completion), so any
+// already-observed span whose start lies inside a newly observed span is
+// a completed child; its duration is subtracted once. Trial boundaries
+// (sim::profile_flush()) clear the stack because simulated time rewinds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace animus::obs {
+
+/// log2 duration buckets: bucket 0 holds 0 ns, bucket b >= 1 holds
+/// [2^(b-1), 2^b - 1] ns; the last bucket absorbs everything larger.
+inline constexpr int kProfileBucketCount = 64;
+
+/// Bucket index for a duration (0 for 0 ns, else bit_width, clamped).
+int profile_bucket(std::uint64_t ns);
+
+/// Inclusive upper bound of a bucket in ns (0 for bucket 0).
+std::uint64_t profile_bucket_upper_ns(int bucket);
+
+struct ProfileEntry {
+  std::string name;
+  sim::TraceCategory category = sim::TraceCategory::kSim;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t self_ns = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+  std::uint64_t buckets[kProfileBucketCount] = {};
+};
+
+/// `pct`-th percentile (e.g. 50, 90, 99) as the inclusive ns upper bound
+/// of the histogram bucket the rank falls in — a deterministic integer.
+std::uint64_t profile_percentile_ns(const ProfileEntry& e, int pct);
+
+struct ProfileReport {
+  std::vector<ProfileEntry> entries;  // sorted by (name, category)
+  std::uint64_t dropped_spans = 0;    // per-thread table full (should be 0)
+  std::uint64_t stack_overflows = 0;  // containment stack full (self-time
+                                      // of the enclosing span overstated)
+
+  [[nodiscard]] std::uint64_t span_count() const;
+  [[nodiscard]] const ProfileEntry* find(std::string_view name) const;
+};
+
+/// Deterministic JSON profile report: sorted span names, sparse
+/// ["bucket", count] histogram pairs, integer percentile bounds. Two
+/// equal reports render byte-identically.
+std::string to_profile_json(const ProfileReport& report);
+
+/// Compact summary for SSE `done` events: span total plus the top
+/// `top_n` self-time entries. Also deterministic.
+std::string profile_summary_json(const ProfileReport& report, std::size_t top_n = 3);
+
+/// Human top-N table by self time for stderr.
+std::string profile_table(const ProfileReport& report, std::size_t top_n = 12);
+
+/// Wire form for shipping a shard worker's profile over the result pipe
+/// (same idiom as sim::serialize_records): line-oriented with a
+/// length-prefixed name per entry.
+///
+///   animus-profile 1 <entries> <dropped> <overflows>
+///   <cat> <count> <total> <self> <min> <max> <n> <b>:<c>... <len>:<name>
+std::string serialize_profile(const ProfileReport& report);
+
+/// Inverse of serialize_profile; false on malformed input.
+bool deserialize_profile(std::string_view wire, ProfileReport* out);
+
+/// Merge `from` into `to` (commutative and associative: sums, extrema,
+/// bucket adds; entries keyed by (name, category)).
+void merge_profile(ProfileReport* to, const ProfileReport& from);
+
+/// Process-wide collector behind sim::profile_span(). One instance;
+/// per-thread tables register on first observation and fold into a
+/// retired accumulator at thread exit, so pool workers joined by the
+/// runner leave nothing behind. enable()/reset()/snapshot() are meant to
+/// be called while no trials are in flight (between sweeps).
+class SpanProfiler {
+ public:
+  static SpanProfiler& instance();
+
+  /// Install the sim hooks and start aggregating. Idempotent. The
+  /// enabled state is inherited across fork(), which is how shard
+  /// workers know to profile (they reset() first to drop the parent's
+  /// inherited counts, then ship their own delta back on the pipe).
+  void enable();
+  void disable();
+  [[nodiscard]] bool enabled() const;
+
+  /// Drop all accumulated data (retired + live thread tables). Call
+  /// quiesced — concurrent observation on another thread races.
+  void reset();
+
+  /// Merged view of everything observed so far (retired threads, live
+  /// thread tables, and merge()d shard payloads), sorted and ready for
+  /// to_profile_json(). Call quiesced.
+  [[nodiscard]] ProfileReport snapshot() const;
+
+  /// Fold an external report (a shard worker's deserialized wire
+  /// payload) into the accumulator.
+  void merge(const ProfileReport& report);
+
+  /// Direct observation entry points (the installed hooks call these;
+  /// tests drive them directly).
+  void observe(const char* name, sim::TraceCategory c, sim::SimTime start, sim::SimTime end);
+  void flush_stack();
+
+ private:
+  SpanProfiler() = default;
+};
+
+/// The process-wide profiler (sugar mirroring obs::global_registry()).
+SpanProfiler& span_profiler();
+
+}  // namespace animus::obs

@@ -10,6 +10,7 @@
 
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/stream.hpp"
 #include "obs/trace_capture.hpp"
 #include "sim/chrome_trace.hpp"
@@ -58,7 +59,8 @@ CampaignState& state() {
       out,
       "usage: %s [--jobs N] [--seed S] [--backend NAME] [--shards N]\n"
       "          [--tier NAME] [--inject-fault RATE] [--csv] [--trials-out FILE]\n"
-      "          [--trace-out FILE] [--trace-trial N] [--metrics-out FILE]\n"
+      "          [--trace-out FILE] [--trace-trial N] [--profile-out FILE]\n"
+      "          [--metrics-out FILE]\n"
       "          [--stream-out FILE] [--stream-interval MS] [--stream-full]\n"
       "          [--progress]\n"
       "          [--checkpoint-out FILE] [--checkpoint-interval N]\n"
@@ -82,6 +84,10 @@ CampaignState& state() {
       "  --trace-out FILE      Chrome/Perfetto JSON trace of one trial\n"
       "  --trace-trial N       capture submission index N (default 0); exits 2\n"
       "                        when N is out of range for every sweep\n"
+      "  --profile-out FILE    aggregate every span from every trial into a\n"
+      "                        deterministic JSON profile (byte-identical at\n"
+      "                        any --jobs/--backend/--shards); top self-time\n"
+      "                        table + worker utilization go to stderr\n"
       "  --metrics-out FILE    metrics snapshot (.prom => Prometheus, else JSONL)\n"
       "  --stream-out FILE     streaming telemetry JSONL (metrics + progress,\n"
       "                        appended live every --stream-interval)\n"
@@ -228,6 +234,8 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
     } else if (arg == "--trace-trial") {
       args.trace_trial = std::strtoull(value("--trace-trial").c_str(), nullptr, 0);
       s.trace_trial_explicit = true;
+    } else if (arg == "--profile-out") {
+      args.profile_out = value("--profile-out");
     } else if (arg == "--metrics-out") {
       args.metrics_out = value("--metrics-out");
     } else if (arg == "--stream-out") {
@@ -266,6 +274,15 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
     obs::trace_capture().arm(args.trace_trial);
   } else if (s.trace_trial_explicit) {
     std::fprintf(stderr, "%s: --trace-trial has no effect without --trace-out\n", argv[0]);
+  }
+  if (!args.profile_out.empty()) {
+    // Enabled before any trial runs so every span is counted. Forked
+    // shard workers inherit the enabled flag, reset their inherited
+    // counts, and ship their delta back over the result pipe ("P"
+    // message) — the parent's merge is commutative, so the final
+    // profile is byte-identical to a threads-backend run.
+    obs::span_profiler().enable();
+    obs::span_profiler().reset();
   }
   if (!args.stream_out.empty()) {
     obs::StreamOptions so;
@@ -310,6 +327,12 @@ void note(const BenchArgs& args, const char* line) {
 
 void report(const char* label, const SweepStats& stats, const std::vector<TrialError>& errors) {
   std::fprintf(stderr, "[%s] %s\n", label, stats.to_string().c_str());
+  // Per-worker utilization timelines ride with --profile-out: wall-clock
+  // (which worker ran/stole what varies run to run), so stderr only —
+  // never part of the deterministic profile JSON.
+  if (obs::span_profiler().enabled() && !stats.workers.empty()) {
+    std::fputs(stats.worker_lines().c_str(), stderr);
+  }
   if (!stats.samples_ms.empty()) {
     std::fprintf(stderr, "[%s] %s\n", label, stats.latency_line().c_str());
     auto& hist = obs::global_registry().histogram("animus_trial_latency_ms",
@@ -485,6 +508,18 @@ void finish(const BenchArgs& args) {
       std::fprintf(stderr, "[bench] --trace-out: no trial trace was captured\n");
     }
   }
+  if (!args.profile_out.empty()) {
+    const obs::ProfileReport profile = obs::span_profiler().snapshot();
+    if (write_file(args.profile_out, obs::to_profile_json(profile))) {
+      std::fprintf(stderr, "[bench] span profile written to %s (%zu spans, %zu entries)\n",
+                   args.profile_out.c_str(), static_cast<std::size_t>(profile.span_count()),
+                   profile.entries.size());
+    } else {
+      std::fprintf(stderr, "[bench] failed to write span profile to %s\n",
+                   args.profile_out.c_str());
+    }
+    std::fputs(obs::profile_table(profile).c_str(), stderr);
+  }
   if (!args.metrics_out.empty()) {
     const obs::Snapshot snap = obs::global_registry().snapshot();
     const std::string body =
@@ -520,8 +555,8 @@ void finish(const BenchArgs& args) {
   std::string manifest_path = args.manifest_out;
   if (manifest_path.empty()) {
     for (const std::string* artifact :
-         {&args.metrics_out, &args.trace_out, &args.stream_out, &args.checkpoint_out,
-          &args.trials_out}) {
+         {&args.metrics_out, &args.trace_out, &args.profile_out, &args.stream_out,
+          &args.checkpoint_out, &args.trials_out}) {
       if (!artifact->empty()) {
         manifest_path = obs::RunManifest::path_for(*artifact);
         break;
@@ -544,6 +579,7 @@ void finish(const BenchArgs& args) {
     m.checkpoint_interval = args.checkpoint_out.empty() ? 0 : args.checkpoint_interval;
     m.trace_trial = args.trace_trial;
     m.trace_out = args.trace_out;
+    m.profile_out = args.profile_out;
     m.metrics_out = args.metrics_out;
     m.stream_out = args.stream_out;
     m.checkpoint_out = args.checkpoint_out;

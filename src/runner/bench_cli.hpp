@@ -28,6 +28,13 @@
 //                         representative trial (submission index 0)
 //   --trace-trial N       capture submission index N instead of 0; errors
 //                         (exit 2) when N exceeds every sweep's trial count
+//   --profile-out FILE    sweep-wide span profile: aggregate EVERY span
+//                         from EVERY trial (count, total/self simulated
+//                         ns, min/max, log2 latency histogram) into one
+//                         deterministic JSON report — byte-identical at
+//                         any --jobs/--backend/--shards — plus a top-N
+//                         self-time table and per-worker utilization
+//                         timelines on stderr
 //   --metrics-out FILE    snapshot the global metrics registry on exit
 //                         (.prom => Prometheus text, else JSON-lines)
 //   --stream-out FILE     streaming telemetry: append timestamped JSONL
@@ -93,6 +100,7 @@ struct BenchArgs {
   std::string trials_out;   ///< per-trial CSV destination ("" = disabled)
   std::string trace_out;    ///< span-trace destination ("" = disabled)
   std::size_t trace_trial = 0;       ///< submission index --trace-out captures
+  std::string profile_out;  ///< sweep-profile destination ("" = disabled)
   std::string metrics_out;  ///< metrics-snapshot destination ("" = disabled)
   std::string stream_out;   ///< streaming-telemetry destination ("" = disabled)
   double stream_interval_ms = 1000.0;
@@ -105,8 +113,11 @@ struct BenchArgs {
   /// Parse argv; prints usage and exits on --help (0) or bad args (2).
   /// When --trace-out is given, arms the process-wide trace capture for
   /// --trace-trial (default 0) so a sweep records its representative
-  /// trial. When --stream-out is given, opens the telemetry stream and
-  /// installs a progress heartbeat into `run.progress`.
+  /// trial. When --profile-out is given, enables the sweep-wide span
+  /// profiler (obs::span_profiler()) at parse time, before any trial
+  /// runs — forked shard workers inherit the enabled state. When
+  /// --stream-out is given, opens the telemetry stream and installs a
+  /// progress heartbeat into `run.progress`.
   static BenchArgs parse(int argc, char** argv);
 };
 

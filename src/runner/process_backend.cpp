@@ -16,8 +16,18 @@
 //   worker -> parent:  "O <slot> <elapsed_ms> <escaped-result>\n"
 //                      "E <slot> <elapsed_ms> <escaped-what>\n"
 //                      "T <slot> <escaped-trace>\n"  claimed-trial spans
+//                      "P <escaped-profile>\n"       span-profile tables
 // The payload escaping (backslash + newline) keeps messages line-framed
 // for any codec output; the codec itself is already line-safe.
+//
+// The "P" message is the profile analogue of "T": a worker that ran with
+// the sweep profiler enabled (the enabled flag is inherited through
+// fork; the worker reset()s first so it ships only its own delta)
+// serializes its aggregated span tables once, right after the "Q"
+// drain request, and the parent merges them — profile statistics are
+// commutative sums/extrema, so the merged snapshot is byte-identical to
+// a thread-backend run of the same sweep. The parent therefore reads
+// every draining worker's result pipe to EOF before reaping it.
 //
 // The "T" message closes the --trace-out gap: the armed TraceCapture
 // state is inherited through fork, so the worker that runs the armed
@@ -50,6 +60,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/profile.hpp"
 #include "obs/trace_capture.hpp"
 
 namespace animus::runner {
@@ -119,6 +130,10 @@ constexpr std::size_t kNone = static_cast<std::size_t>(-1);
                               std::size_t crash_trial) {
   std::FILE* cmd = ::fdopen(cmd_r, "r");
   if (cmd == nullptr) ::_exit(2);
+  // The profiler's enabled flag and accumulated tables are both
+  // inherited through fork: keep the flag, drop the parent's counts so
+  // this worker ships only what it observes itself.
+  if (obs::span_profiler().enabled()) obs::span_profiler().reset();
   char line[128];
   std::string msg;
   bool trace_sent = false;
@@ -173,6 +188,17 @@ constexpr std::size_t kNone = static_cast<std::size_t>(-1);
     msg += '\n';
     if (!write_all(res_w, msg)) ::_exit(2);  // parent went away
   }
+  // Drain requested (or the command pipe vanished): ship this worker's
+  // aggregated span-profile tables once, then exit. The parent keeps
+  // reading our result pipe to EOF, so the message cannot be lost.
+  if (obs::span_profiler().enabled()) {
+    msg.clear();
+    msg += 'P';
+    msg += ' ';
+    escape_payload(msg, obs::serialize_profile(obs::span_profiler().snapshot()));
+    msg += '\n';
+    write_all(res_w, msg);  // best effort: the parent may already be gone
+  }
   ::_exit(0);
 }
 
@@ -191,6 +217,8 @@ EncodedSweep ProcessShardBackend::run_encoded(const std::vector<std::size_t>& in
   out.stats.jobs = workers_n;
   if (count == 0) return out;
   out.stats.samples_ms.assign(count, 0.0);
+  // One utilization slot per shard (busy = worker-measured trial time).
+  out.stats.workers.assign(static_cast<std::size_t>(workers_n), WorkerUtil{});
 
   const std::uint64_t root_seed = resolve_root_seed(run_);
   const std::size_t chunk =
@@ -302,6 +330,16 @@ EncodedSweep ProcessShardBackend::run_encoded(const std::vector<std::size_t>& in
 
   /// One complete result line from worker `w`.
   auto handle_line = [&](Worker& w, std::string_view line) {
+    if (line.size() >= 2 && line[0] == 'P') {
+      // A draining worker's span-profile tables: fold them into the
+      // process-wide profiler (commutative merge — shard count and
+      // arrival order cannot change the snapshot).
+      obs::ProfileReport remote;
+      if (obs::deserialize_profile(unescape_payload(line.substr(2)), &remote)) {
+        obs::span_profiler().merge(remote);
+      }
+      return;
+    }
     if (line.size() >= 2 && line[0] == 'T') {
       // Claimed-trial trace shipped from a worker: adopt it into this
       // process's (armed, still unclaimed) capture slot.
@@ -325,6 +363,9 @@ EncodedSweep ProcessShardBackend::run_encoded(const std::vector<std::size_t>& in
     const std::size_t index = indices[slot];
     out.stats.samples_ms[slot] = elapsed;
     out.stats.trial_ms.add(elapsed);
+    WorkerUtil& util = out.stats.workers[static_cast<std::size_t>(&w - workers.data())];
+    ++util.trials;
+    util.busy_ms += elapsed;
     if (line[0] == 'O') {
       if (sink) sink(index, trial_seed(root_seed, index), payload);
       out.encoded[slot] = payload;
@@ -414,16 +455,36 @@ EncodedSweep ProcessShardBackend::run_encoded(const std::vector<std::size_t>& in
     }
   }
 
-  // Drain the survivors and reap them.
+  // Drain the survivors and reap them. A draining worker ships its "P"
+  // span-profile message between the "Q" and its clean exit — and the
+  // main poll loop may have returned (outstanding hit zero) before that
+  // message arrived — so read each result pipe to EOF before reaping.
   for (auto& w : workers) {
     if (!w.alive) continue;
     if (!w.draining) write_all(w.cmd_w, "Q\n");
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(w.res_r, buf, sizeof(buf));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      w.buffer.append(buf, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (std::size_t nl = w.buffer.find('\n', start); nl != std::string::npos;
+           nl = w.buffer.find('\n', start)) {
+        handle_line(w, std::string_view(w.buffer).substr(start, nl - start));
+        start = nl + 1;
+      }
+      w.buffer.erase(0, start);
+    }
     reap(w);
   }
 
   ::sigaction(SIGPIPE, &old_pipe, nullptr);
 
   out.stats.wall_ms = ms_between(sweep_start, Clock::now());
+  for (auto& util : out.stats.workers) {
+    util.wait_ms = std::max(0.0, out.stats.wall_ms - util.busy_ms);
+  }
   std::sort(out.errors.begin(), out.errors.end(),
             [](const TrialError& a, const TrialError& b) { return a.index < b.index; });
   return out;

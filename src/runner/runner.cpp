@@ -70,6 +70,25 @@ std::string SweepStats::latency_line() const {
                       percentile(0.50), percentile(0.90), percentile(0.99), trial_ms.max());
 }
 
+std::string SweepStats::worker_lines() const {
+  std::string out;
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    const WorkerUtil& u = workers[w];
+    const double span = u.busy_ms + u.wait_ms;
+    constexpr int kCells = 24;
+    const int filled =
+        span > 0.0 ? static_cast<int>(u.busy_ms / span * kCells + 0.5) : 0;
+    std::string bar(static_cast<std::size_t>(std::clamp(filled, 0, kCells)), '#');
+    bar.resize(kCells, '-');
+    out += metrics::fmt("worker %2zu: %5llu trials (%llu stolen)  busy %8.1f ms  "
+                        "wait %7.1f ms  [%s]\n",
+                        w, static_cast<unsigned long long>(u.trials),
+                        static_cast<unsigned long long>(u.stolen), u.busy_ms, u.wait_ms,
+                        bar.c_str());
+  }
+  return out;
+}
+
 std::string SweepStats::to_string() const {
   if (trial_ms.count() == 0) return "0 trials";
   const double rate = wall_ms > 0.0 ? 1000.0 * static_cast<double>(trial_ms.count()) / wall_ms
@@ -106,6 +125,8 @@ SweepStats ParallelRunner::run_subset(const std::vector<std::size_t>& indices,
   if (count == 0) return stats;
   // Distinct slots per subset position: workers write samples racelessly.
   stats.samples_ms.assign(count, 0.0);
+  // One utilization slot per worker, written only by its owner.
+  stats.workers.assign(static_cast<std::size_t>(stats.jobs), WorkerUtil{});
 
   // Workers fork per-trial seeds from this shared root; trial_seed is a
   // pure function of (root, index), so the derivation is identical no
@@ -143,14 +164,18 @@ SweepStats ParallelRunner::run_subset(const std::vector<std::size_t>& indices,
   auto worker = [&](std::size_t self) {
     metrics::RunningStats local_ms;
     std::vector<TrialError> local_errors;
+    WorkerUtil& util = stats.workers[self];
+    const auto worker_start = Clock::now();
     busy.fetch_add(1, std::memory_order_relaxed);
     for (;;) {
       std::uint32_t slot = 0;
       bool got = queues[self].pop_front(&slot);
+      bool stolen = false;
       // Own block drained: steal from the back of the other workers'
       // blocks, scanning from the next peer so thieves spread out.
       for (std::size_t v = 1; !got && v < nq; ++v) {
         got = queues[(self + v) % nq].steal_back(&slot);
+        stolen = got;
       }
       if (!got) break;
       const std::size_t i = indices[slot];  // original submission index
@@ -173,6 +198,9 @@ SweepStats ParallelRunner::run_subset(const std::vector<std::size_t>& indices,
       const double elapsed = ms_between(trial_start, Clock::now());
       local_ms.add(elapsed);
       stats.samples_ms[slot] = elapsed;
+      ++util.trials;
+      if (stolen) ++util.stolen;
+      util.busy_ms += elapsed;
       const std::size_t completed = done.fetch_add(1, std::memory_order_relaxed) + 1;
       // Progress cadence matches the old chunked runner: every `chunk`
       // completions and at the end, not after every trial.
@@ -188,6 +216,7 @@ SweepStats ParallelRunner::run_subset(const std::vector<std::size_t>& indices,
       }
     }
     busy.fetch_sub(1, std::memory_order_relaxed);
+    util.wait_ms = std::max(0.0, ms_between(worker_start, Clock::now()) - util.busy_ms);
     std::lock_guard<std::mutex> lock{merge_mu};
     stats.trial_ms.merge(local_ms);
     if (errors) {

@@ -100,6 +100,16 @@ struct TrialContext {
   [[nodiscard]] sim::Rng rng() const { return sim::Rng{seed}; }
 };
 
+/// Wall-clock utilization of one worker over a sweep. Everything here is
+/// timing-dependent (which worker ran or stole which trial varies run to
+/// run) — report it on stderr or SSE, never in deterministic artifacts.
+struct WorkerUtil {
+  std::uint64_t trials = 0;  ///< trials this worker executed
+  std::uint64_t stolen = 0;  ///< of those, taken from a peer's block
+  double busy_ms = 0.0;      ///< wall-clock inside trial bodies
+  double wait_ms = 0.0;      ///< wall-clock acquiring work / steal-waiting
+};
+
 /// Timing report for one sweep. Trial times are wall-clock (the trial
 /// bodies run simulated worlds, so simulated time is irrelevant here).
 struct SweepStats {
@@ -109,6 +119,10 @@ struct SweepStats {
   std::vector<double> samples_ms;
   double wall_ms = 0.0;            ///< whole-sweep wall-clock
   int jobs = 1;                    ///< pool size actually used
+  /// Per-worker utilization (size == jobs for the thread backend; one
+  /// entry per shard for the process backend). Wall-clock, not
+  /// deterministic — excluded from profile JSON by design.
+  std::vector<WorkerUtil> workers;
 
   /// Fraction of jobs * wall_ms spent inside trial bodies (0..1).
   [[nodiscard]] double utilization() const;
@@ -118,6 +132,9 @@ struct SweepStats {
   [[nodiscard]] std::string to_string() const;
   /// One-line latency table: "p50 ... p90 ... p99 ... max ...".
   [[nodiscard]] std::string latency_line() const;
+  /// Multi-line per-worker timeline ("worker 0: 52 trials ... [####-]"),
+  /// one bar per worker; empty string when workers is empty.
+  [[nodiscard]] std::string worker_lines() const;
 };
 
 /// Thread-pool batch executor. Stateless between runs; the pool is

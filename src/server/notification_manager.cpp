@@ -122,10 +122,14 @@ void NotificationManagerService::maybe_show_next() {
 void NotificationManagerService::retire(ui::WindowId id) {
   // Full-opacity slot of the retiring toast (surface landed -> fade-out
   // start); the 500 ms fade tails are separate kAnimation records.
-  if (current_.on_screen && current_.window == id && trace_->enabled()) {
-    trace_->span(current_.shown_at, loop_->now(), sim::TraceCategory::kSystemServer,
-                 metrics::fmt("toast visible uid=%d id=%llu", current_.uid,
-                              static_cast<unsigned long long>(id)));
+  if (current_.on_screen && current_.window == id) {
+    sim::profile_span("nms.toast_visible", sim::TraceCategory::kSystemServer,
+                      current_.shown_at, loop_->now());
+    if (trace_->enabled()) {
+      trace_->span(current_.shown_at, loop_->now(), sim::TraceCategory::kSystemServer,
+                   metrics::fmt("toast visible uid=%d id=%llu", current_.uid,
+                                static_cast<unsigned long long>(id)));
+    }
   }
   wms_->fade_out_and_remove(id);
   showing_ = false;

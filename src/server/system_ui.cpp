@@ -69,6 +69,8 @@ void SystemUi::start_in_animation(Entry& e, int uid) {
     Entry& en = entry(uid);
     account_segment(en, en.anchor_elapsed, anim_.duration(), +1);
     // Completed forward segment (anchor_time still marks its start).
+    sim::profile_span("sysui.slide_in", sim::TraceCategory::kAnimation, en.anchor_time,
+                      loop_->now());
     if (trace_->enabled()) {
       trace_->span(en.anchor_time, loop_->now(), sim::TraceCategory::kAnimation,
                    metrics::fmt("slide-in uid=%d", uid));
@@ -134,6 +136,10 @@ void SystemUi::show_overlay_alert(int uid, sim::SimTime construction_time) {
       account_segment(e, e.anchor_elapsed, el, -1);
       // The reverse segment is cut short; close it and the old lifecycle
       // so the new construction opens a fresh span pair.
+      sim::profile_span("sysui.slide_out.cut", sim::TraceCategory::kAnimation, e.anchor_time,
+                        loop_->now());
+      sim::profile_span("sysui.alert_lifecycle", sim::TraceCategory::kSystemUi,
+                        e.lifecycle_start, loop_->now());
       if (trace_->enabled()) {
         trace_->span(e.anchor_time, loop_->now(), sim::TraceCategory::kAnimation,
                      metrics::fmt("slide-out (cut) uid=%d", uid));
@@ -175,6 +181,8 @@ void SystemUi::dismiss_overlay_alert(int uid) {
       e.phase = AlertPhase::kHidden;
       e.anchor_elapsed = sim::SimTime{0};
       e.stats.dismissals += 1;
+      sim::profile_span("sysui.alert_lifecycle.cancelled", sim::TraceCategory::kSystemUi,
+                        e.lifecycle_start, loop_->now());
       if (trace_->enabled()) {
         trace_->span(e.lifecycle_start, loop_->now(), sim::TraceCategory::kSystemUi,
                      metrics::fmt("alert lifecycle (cancelled) uid=%d", uid));
@@ -197,6 +205,8 @@ void SystemUi::dismiss_overlay_alert(int uid) {
         const sim::SimTime el = elapsed_at(e, loop_->now());
         account_segment(e, e.anchor_elapsed, el, +1);
         // Forward segment interrupted mid-flight.
+        sim::profile_span("sysui.slide_in.cut", sim::TraceCategory::kAnimation, e.anchor_time,
+                          loop_->now());
         if (trace_->enabled()) {
           trace_->span(e.anchor_time, loop_->now(), sim::TraceCategory::kAnimation,
                        metrics::fmt("slide-in (cut) uid=%d", uid));
@@ -215,6 +225,10 @@ void SystemUi::dismiss_overlay_alert(int uid) {
         Entry& en = entry(uid);
         account_segment(en, en.anchor_elapsed, sim::SimTime{0}, -1);
         // Completed reverse segment, then the whole lifecycle.
+        sim::profile_span("sysui.slide_out", sim::TraceCategory::kAnimation, en.anchor_time,
+                          loop_->now());
+        sim::profile_span("sysui.alert_lifecycle", sim::TraceCategory::kSystemUi,
+                          en.lifecycle_start, loop_->now());
         if (trace_->enabled()) {
           trace_->span(en.anchor_time, loop_->now(), sim::TraceCategory::kAnimation,
                        metrics::fmt("slide-out uid=%d", uid));

@@ -45,6 +45,9 @@ bool WindowManagerService::remove_window_now(ui::WindowId id) {
   }
   // The whole on-screen lifetime as one duration span: Perfetto then shows
   // each window as a bar from addView completion to removal.
+  sim::profile_span(rec->window.type == ui::WindowType::kToast ? "wm.window.toast"
+                                                               : "wm.window",
+                    sim::TraceCategory::kSystemServer, rec->window.added_at, loop_->now());
   if (trace_->enabled()) {
     trace_->span(rec->window.added_at, loop_->now(), sim::TraceCategory::kSystemServer,
                  metrics::fmt("window %s uid=%d id=%llu",

@@ -16,6 +16,10 @@ World::World(WorldConfig config)
       server_(loop_, rng_.fork("system_server"), trace_, config_.profile, wms_, nms_, sysui_,
               txlog_),
       input_(loop_, trace_, wms_, rng_.fork("input")) {
+  // Simulated time starts at zero for this trial: clear the sweep
+  // profiler's containment stack left by the previous trial on this
+  // thread (self-time attribution would otherwise cross trials).
+  sim::profile_flush();
   trace_.set_enabled(config_.trace_enabled);
   server_.set_deterministic(config_.deterministic);
   // If --trace-out armed the process-wide capture for the trial this
@@ -34,6 +38,9 @@ World::~World() { finish_epoch(); }
 void World::finish_epoch() {
   if (!epoch_open_) return;
   epoch_open_ = false;
+  // Trial boundary for the sweep profiler: simulated time rewinds before
+  // the next epoch (or the next World on this thread).
+  sim::profile_flush();
   // Publish run totals to the process-wide registry. Worlds are destroyed
   // on worker threads during parallel sweeps; all updates are atomic.
   auto& reg = obs::global_registry();
@@ -99,7 +106,8 @@ void World::reset_to_epoch(WorldConfig config) {
 }
 
 void World::run_until(sim::SimTime t) {
-  sim::ScopedSpan span(trace_, loop_, sim::TraceCategory::kSim, "run_until");
+  sim::ScopedSpan span(trace_, loop_, sim::TraceCategory::kSim, "run_until", 0.0,
+                       "world.run_until");
   loop_.run_until(t);
 }
 

@@ -1,13 +1,17 @@
 #include "service/daemon.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/stream.hpp"
+#include "obs/trace_capture.hpp"
 #include "runner/backend.hpp"
 #include "service/benches.hpp"
 #include "service/json_util.hpp"
+#include "sim/chrome_trace.hpp"
 
 namespace animus::service {
 namespace {
@@ -24,6 +28,14 @@ HttpResponse error_response(int status, std::string_view message) {
   obs::append_json_escaped(body, message);
   body += "\"}\n";
   return json_response(status, std::move(body));
+}
+
+/// A known path hit with the wrong method: 405 plus the Allow header
+/// required by RFC 9110 (so a client can discover what would work).
+HttpResponse method_not_allowed(const char* allow) {
+  HttpResponse res = error_response(405, "method not allowed");
+  res.headers.emplace_back("Allow", allow);
+  return res;
 }
 
 /// Placeholder record for a queued/running campaign, so `/campaigns`
@@ -82,6 +94,12 @@ std::optional<CampaignSubmission> CampaignSubmission::parse(std::string_view jso
     *error = "tier must be auto, sim or analytic";
     return std::nullopt;
   }
+  const std::string trace = json_field(json, "trace").value_or("false");
+  if (trace != "true" && trace != "false") {
+    *error = "trace must be true or false";
+    return std::nullopt;
+  }
+  sub.trace = trace == "true";
   return sub;
 }
 
@@ -135,33 +153,48 @@ void CampaignDaemon::drain() {
 
 HttpResponse CampaignDaemon::handle(const HttpRequest& req) {
   const std::string_view path = req.path;
-  if (req.method == "GET") {
-    if (path == "/healthz") return json_response(200, "{\"ok\":true}\n");
-    if (path == "/campaigns") return handle_list();
-    if (path == "/events") {
-      HttpResponse res;
-      res.sse = true;
-      return res;
+  // Path-first routing: resolve what the path IS before checking how it
+  // was asked for, so a known path with the wrong method is 405 (with
+  // Allow) and only genuinely unknown paths are 404.
+  if (path == "/healthz") {
+    if (req.method != "GET") return method_not_allowed("GET");
+    return json_response(200, "{\"ok\":true}\n");
+  }
+  if (path == "/campaigns") {
+    if (req.method == "GET") return handle_list();
+    if (req.method == "POST") return handle_submit(req);
+    return method_not_allowed("GET, POST");
+  }
+  if (path == "/events") {
+    if (req.method != "GET") return method_not_allowed("GET");
+    HttpResponse res;
+    res.sse = true;
+    return res;
+  }
+  if (path == "/shutdown") {
+    if (req.method != "POST") return method_not_allowed("POST");
+    std::lock_guard<std::mutex> lock{mu_};
+    shutdown_requested_ = true;
+    return json_response(200, "{\"ok\":true,\"shutting_down\":true}\n");
+  }
+  if (path.rfind("/campaigns/", 0) == 0) {
+    const std::string_view rest = path.substr(11);
+    const auto slash = rest.find('/');
+    if (slash == std::string_view::npos) {
+      if (req.method != "GET") return method_not_allowed("GET");
+      return handle_get(rest);
     }
-    if (path.rfind("/campaigns/", 0) == 0) {
-      std::string_view rest = path.substr(11);
-      const auto slash = rest.find('/');
-      if (slash == std::string_view::npos) return handle_get(rest);
-      if (rest.substr(slash + 1) == "metrics") return handle_metrics(rest.substr(0, slash));
-      return error_response(404, "not found");
+    const std::string_view id = rest.substr(0, slash);
+    const std::string_view leaf = rest.substr(slash + 1);
+    if (leaf == "metrics" || leaf == "trace" || leaf == "profile") {
+      if (req.method != "GET") return method_not_allowed("GET");
+      if (leaf == "metrics") return handle_metrics(id);
+      if (leaf == "trace") return handle_trace(id);
+      return handle_profile(id);
     }
     return error_response(404, "not found");
   }
-  if (req.method == "POST") {
-    if (path == "/campaigns") return handle_submit(req);
-    if (path == "/shutdown") {
-      std::lock_guard<std::mutex> lock{mu_};
-      shutdown_requested_ = true;
-      return json_response(200, "{\"ok\":true,\"shutting_down\":true}\n");
-    }
-    return error_response(404, "not found");
-  }
-  return error_response(405, "method not allowed");
+  return error_response(404, "not found");
 }
 
 HttpResponse CampaignDaemon::handle_submit(const HttpRequest& req) {
@@ -242,6 +275,41 @@ HttpResponse CampaignDaemon::handle_metrics(std::string_view id) const {
   return json_response(200, std::move(body));
 }
 
+HttpResponse CampaignDaemon::handle_trace(std::string_view id) const {
+  std::lock_guard<std::mutex> lock{mu_};
+  for (const auto& rec : index_.records()) {
+    if (rec.id != id) continue;
+    if (rec.trace.empty()) {
+      return error_response(404, "campaign ran without trace capture (submit with "
+                                 "\"trace\":true)");
+    }
+    return json_response(200, rec.trace);
+  }
+  if ((running_ && running_->id == id) ||
+      std::any_of(queue_.begin(), queue_.end(),
+                  [&](const Queued& q) { return q.id == id; })) {
+    return error_response(404, "campaign has not finished");
+  }
+  return error_response(404, "unknown campaign id");
+}
+
+HttpResponse CampaignDaemon::handle_profile(std::string_view id) const {
+  std::lock_guard<std::mutex> lock{mu_};
+  for (const auto& rec : index_.records()) {
+    if (rec.id != id) continue;
+    if (rec.profile.empty()) {
+      return error_response(404, "no profile recorded for this campaign");
+    }
+    return json_response(200, rec.profile);
+  }
+  if ((running_ && running_->id == id) ||
+      std::any_of(queue_.begin(), queue_.end(),
+                  [&](const Queued& q) { return q.id == id; })) {
+    return error_response(404, "campaign has not finished");
+  }
+  return error_response(404, "unknown campaign id");
+}
+
 void CampaignDaemon::scheduler_loop() {
   for (;;) {
     Queued q;
@@ -276,17 +344,26 @@ void CampaignDaemon::run_one(const Queued& q) {
   args.tier = q.sub.tier;
 
   // Live telemetry: every runner progress beat publishes one heartbeat
-  // and one delta-encoded metrics update (keyframe first, then changed
-  // series only). The runner beats once per dispatch chunk, so even a
-  // fast sweep gives subscribers a keyframe plus several deltas.
+  // (throughput + ETA derived from options_.now_ms, so recorded tests
+  // stay deterministic) and one delta-encoded metrics update (keyframe
+  // first, then changed series only). The runner beats once per dispatch
+  // chunk, so even a fast sweep gives subscribers a keyframe plus
+  // several deltas.
   auto encoder = std::make_shared<obs::DeltaEncoder>(options_.keyframe_every);
   const std::string id = q.id;
-  args.run.progress = [this, encoder, id](const runner::Progress& p) {
-    char fields[256];
+  const double start_ms = options_.now_ms();
+  args.run.progress = [this, encoder, id, start_ms](const runner::Progress& p) {
+    const double t_ms = options_.now_ms();
+    const double elapsed_s = (t_ms - start_ms) / 1000.0;
+    const double rate = elapsed_s > 0.0 ? static_cast<double>(p.done) / elapsed_s : 0.0;
+    const double eta_s =
+        rate > 0.0 ? static_cast<double>(p.total - p.done) / rate : 0.0;
+    char fields[320];
     std::snprintf(fields, sizeof(fields),
-                  "{\"id\":\"%s\",\"t_ms\":%.3f,\"done\":%zu,\"total\":%zu,\"errors\":%zu,"
+                  "{\"id\":\"%s\",\"t_ms\":%.3f,\"done\":%zu,\"total\":%zu,"
+                  "\"trials_per_s\":%.3f,\"eta_s\":%.3f,\"errors\":%zu,"
                   "\"workers_busy\":%d,\"jobs\":%d}",
-                  id.c_str(), options_.now_ms(), p.done, p.total, p.errors, p.workers_busy,
+                  id.c_str(), t_ms, p.done, p.total, rate, eta_s, p.errors, p.workers_busy,
                   p.jobs);
     hub_.publish(sse_event("heartbeat", fields));
     std::string metrics = "{\"id\":\"" + id + "\",";
@@ -294,6 +371,17 @@ void CampaignDaemon::run_one(const Queued& q) {
     metrics += "}";
     hub_.publish(sse_event("metrics", metrics));
   };
+
+  // Every campaign is profiled: the sweep profiler is near-free when the
+  // campaign's spans are cheap, and `GET /campaigns/<id>/profile` should
+  // work without the submitter having opted in. Reset drops whatever the
+  // previous campaign accumulated (one campaign runs at a time).
+  obs::span_profiler().enable();
+  obs::span_profiler().reset();
+  if (q.sub.trace) {
+    obs::trace_capture().reset();
+    obs::trace_capture().arm(0);
+  }
 
   CampaignRecord rec = pending_record(q.id, q.sub, "running");
   try {
@@ -308,6 +396,14 @@ void CampaignDaemon::run_one(const Queued& q) {
     std::fprintf(stderr, "[campaignd] %s (%s) failed: %s\n", q.id.c_str(),
                  q.sub.bench.c_str(), e.what());
   }
+  const obs::ProfileReport profile = obs::span_profiler().snapshot();
+  rec.profile = obs::to_profile_json(profile);
+  if (q.sub.trace) {
+    if (obs::trace_capture().captured()) {
+      rec.trace = sim::to_chrome_trace_json(obs::trace_capture().trace());
+    }
+    obs::trace_capture().reset();
+  }
 
   {
     std::lock_guard<std::mutex> lock{mu_};
@@ -316,7 +412,16 @@ void CampaignDaemon::run_one(const Queued& q) {
                    index_.path().c_str());
     }
   }
-  hub_.publish(sse_event("campaign", rec.to_json()));
+  // The done event must stay browsable: strip the inlined artifacts
+  // (a trace can be megabytes) and splice in a top-3 self-time summary
+  // consumers can render without a second fetch.
+  CampaignRecord lite = rec;
+  lite.trace.clear();
+  lite.profile.clear();
+  std::string event = lite.to_json();
+  event.pop_back();  // '}'
+  event += ",\"profile_summary\":" + obs::profile_summary_json(profile) + "}";
+  hub_.publish(sse_event("campaign", event));
 }
 
 }  // namespace animus::service

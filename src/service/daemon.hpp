@@ -9,10 +9,21 @@
 //   GET  /campaigns               queued + running + finished runs
 //   GET  /campaigns/<id>          one record, result CSV inlined
 //   GET  /campaigns/<id>/metrics  current metrics snapshot
-//   GET  /events                  SSE: heartbeats + delta metric updates
+//   GET  /campaigns/<id>/trace    Chrome trace of the representative
+//                                 trial (campaigns submitted with
+//                                 "trace":true); 404 otherwise
+//   GET  /campaigns/<id>/profile  sweep-wide span profile JSON (every
+//                                 campaign is profiled); 404 for
+//                                 pre-profiler records
+//   GET  /events                  SSE: heartbeats (with trials/s + ETA)
+//                                 + delta metric updates
 //   POST /campaigns               submit; 202 {"id":"c0001",...}
 //   POST /shutdown                request clean daemon exit
 //   GET  /healthz                 liveness probe
+//
+// Routing is path-first: a known path with the wrong method answers
+// 405 with an Allow header naming what would work; only unknown paths
+// answer 404.
 //
 // Finished campaigns append to the ManifestIndex (index.jsonl), so
 // `/campaigns` keeps answering for them across restarts; queued and
@@ -45,6 +56,10 @@ struct CampaignSubmission {
   std::string backend;        ///< "" | "threads" | "process"
   int shards = 0;
   std::string tier = "auto";
+  /// Capture the Chrome trace of the representative trial (index 0) and
+  /// store it in the record for `GET /campaigns/<id>/trace`. Off by
+  /// default: a full trace of one trial is ~100x the CSV artifact.
+  bool trace = false;
 
   /// Validate every field a bad submission could smuggle past the
   /// campaign runner (which exits the process on an unknown backend —
@@ -101,6 +116,8 @@ class CampaignDaemon {
   HttpResponse handle_list() const;
   HttpResponse handle_get(std::string_view id) const;
   HttpResponse handle_metrics(std::string_view id) const;
+  HttpResponse handle_trace(std::string_view id) const;
+  HttpResponse handle_profile(std::string_view id) const;
   void scheduler_loop();
   void run_one(const Queued& q);
   std::string list_json_locked() const;

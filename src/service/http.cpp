@@ -78,6 +78,9 @@ std::string HttpResponse::to_string() const {
   out += "\r\nContent-Type: ";
   out += content_type;
   out += "\r\nContent-Length: " + std::to_string(body.size());
+  for (const auto& [name, value] : headers) {
+    out += "\r\n" + name + ": " + value;
+  }
   out += "\r\nConnection: close\r\n\r\n";
   out += body;
   return out;

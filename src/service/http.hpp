@@ -26,6 +26,7 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace animus::service {
@@ -47,6 +48,11 @@ struct HttpResponse {
   std::string content_type = "application/json";
   std::string body;
   bool sse = false;  ///< stream SseHub frames instead of `body`
+  /// Extra headers ("Name: value", no CRLF), emitted between
+  /// Content-Length and Connection. Empty for most responses, so the
+  /// recorded-request byte expectations predating this field still hold;
+  /// 405 responses carry their Allow header here.
+  std::vector<std::pair<std::string, std::string>> headers;
 
   /// Full wire form: status line, headers, body. Deterministic — no
   /// Date header — so recorded-request tests can lock exact bytes.

@@ -43,6 +43,11 @@ std::string CampaignRecord::to_json() const {
     out += buf;
   }
   field_str(out, "csv", csv);
+  // Optional artifacts: skipped entirely when empty so pre-existing
+  // records round-trip byte-identically. "status" stays the last field
+  // (the torn-line detector keys on it).
+  if (!trace.empty()) field_str(out, "trace", trace);
+  if (!profile.empty()) field_str(out, "profile", profile);
   field_str(out, "status", status);
   out += "}";
   return out;
@@ -69,6 +74,8 @@ std::optional<CampaignRecord> CampaignRecord::parse(std::string_view line) {
   rec.errors = json_u64(line, "errors");
   rec.wall_ms = json_double(line, "wall_ms");
   rec.csv = json_field(line, "csv").value_or("");
+  rec.trace = json_field(line, "trace").value_or("");
+  rec.profile = json_field(line, "profile").value_or("");
   rec.status = *status;
   return rec;
 }

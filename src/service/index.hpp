@@ -40,6 +40,13 @@ struct CampaignRecord {
   std::size_t errors = 0;     ///< failed trials
   double wall_ms = 0.0;       ///< sweep wall-clock
   std::string csv;            ///< result table, to_csv() bytes
+  /// Chrome trace JSON of the representative trial ("" = campaign ran
+  /// without trace capture). Emitted only when non-empty, so records
+  /// written before this field existed parse and re-serialize untouched.
+  std::string trace;
+  /// Deterministic span-profile JSON of the whole sweep ("" = profiling
+  /// was off). Emitted only when non-empty, like `trace`.
+  std::string profile;
   std::string status;         ///< "done" | "error"
 
   /// One JSON line (no trailing newline).

@@ -17,19 +17,25 @@ namespace animus::sim {
 
 class ScopedSpan {
  public:
+  /// `profile_name`, when set, must be a static string literal: the span
+  /// is also reported to the sweep profiler (see sim::profile_span).
   ScopedSpan(TraceRecorder& trace, const EventLoop& loop, TraceCategory category,
-             std::string message, double value = 0.0)
+             std::string message, double value = 0.0, const char* profile_name = nullptr)
       : trace_(&trace),
         loop_(&loop),
         category_(category),
         message_(std::move(message)),
         value_(value),
+        profile_name_(profile_name),
         start_(loop.now()) {}
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
-  ~ScopedSpan() { trace_->span(start_, loop_->now(), category_, std::move(message_), value_); }
+  ~ScopedSpan() {
+    if (profile_name_ != nullptr) profile_span(profile_name_, category_, start_, loop_->now());
+    trace_->span(start_, loop_->now(), category_, std::move(message_), value_);
+  }
 
   [[nodiscard]] SimTime start() const { return start_; }
 
@@ -39,6 +45,7 @@ class ScopedSpan {
   TraceCategory category_;
   std::string message_;
   double value_;
+  const char* profile_name_;
   SimTime start_;
 };
 

@@ -164,6 +164,17 @@ bool deserialize_records(std::string_view wire, TraceRecorder* out) {
   return true;
 }
 
+namespace detail {
+std::atomic<ProfileSpanFn> g_profile_span{nullptr};
+std::atomic<ProfileFlushFn> g_profile_flush{nullptr};
+thread_local SpanRing* t_span_ring = nullptr;
+}  // namespace detail
+
+void set_profile_hooks(detail::ProfileSpanFn span_fn, detail::ProfileFlushFn flush_fn) {
+  detail::g_profile_span.store(span_fn, std::memory_order_relaxed);
+  detail::g_profile_flush.store(flush_fn, std::memory_order_relaxed);
+}
+
 std::string TraceRecorder::to_text(std::size_t max_lines) const {
   std::string out;
   std::size_t n = 0;

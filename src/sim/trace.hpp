@@ -20,6 +20,7 @@
 // can never collide even when their ids coincide.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <span>
@@ -149,5 +150,93 @@ std::string serialize_records(const TraceRecorder& trace);
 /// should be empty for an exact reconstruction). False on malformed
 /// input; `*out` may then hold a prefix.
 bool deserialize_records(std::string_view wire, TraceRecorder* out);
+
+// ---------------------------------------------------------------------------
+// Sweep-wide span profiling hook.
+//
+// TraceRecorder captures *one* armed trial in full; the profiler wants a
+// cheap statistical observation of *every* span in *every* trial, even when
+// tracing is disabled. Call sites report completed spans through
+// profile_span() with a statically-allocated name (a string literal — the
+// profiler keys its per-thread tables on the pointer, so the name must
+// outlive the sweep and must not be rebuilt per call). With no hook
+// installed the cost is one relaxed atomic load.
+//
+// The hook lives here in `sim` — the lowest layer — because call sites span
+// `ipc`, `server`, `core` and `defense`, none of which may depend on `obs`.
+// `obs::SpanProfiler` installs the actual aggregation via
+// set_profile_hooks().
+//
+// The hot path is two-tier. Dense workloads emit a span every couple of
+// hundred nanoseconds of real work, so even an empty out-of-line hook call
+// is a measurable tax; profile_span() therefore appends a 24-byte record to
+// a per-thread ring *inline* and only falls out to the hook when the thread
+// has no ring yet or the ring is full. The profiler drains the ring — hash,
+// min/max, histogram, self-time containment — in one tight warm-cache loop
+// per trial instead of once per span. Batching cannot reorder anything:
+// records are drained on the owning thread in append (= completion) order,
+// and every aggregate is commutative, so sweep output stays byte-identical.
+//
+// profile_flush() marks a trial boundary: simulated time rewinds between
+// trials (World construction, reset_to_epoch, finish_epoch), which would
+// otherwise confuse the profiler's self-time containment stack. It also
+// drains the ring, so at most one in-flight trial is ever buffered.
+
+namespace detail {
+using ProfileSpanFn = void (*)(const char* name, TraceCategory c, SimTime start, SimTime end);
+using ProfileFlushFn = void (*)();
+extern std::atomic<ProfileSpanFn> g_profile_span;
+extern std::atomic<ProfileFlushFn> g_profile_flush;
+
+/// One buffered span completion. Durations are stored in whole simulated
+/// microseconds (clamped to u32 — ~71 simulated minutes, far past any
+/// trial) so a record packs into 24 bytes / three stores.
+struct SpanRec {
+  const char* name;       // static literal, pointer identity is the key
+  std::int64_t start_us;  // needed in full for the containment stack
+  std::uint32_t dur_us;
+  std::uint32_t category;
+};
+
+inline constexpr std::uint32_t kSpanRingCapacity = 1024;
+
+struct SpanRing {
+  std::uint32_t count = 0;
+  SpanRec recs[kSpanRingCapacity];
+};
+
+/// Owned by the profiler's per-thread state (obs layer); null until the
+/// installed hook attaches this thread, and while no profiler is installed.
+extern thread_local SpanRing* t_span_ring;
+}  // namespace detail
+
+/// Report a completed span [start, end] under a *static* name. Near-free
+/// when no profiler is installed; one TLS load and a 24-byte ring append
+/// when one is.
+inline void profile_span(const char* name, TraceCategory c, SimTime start, SimTime end) {
+  auto* fn = detail::g_profile_span.load(std::memory_order_relaxed);
+  if (fn == nullptr) return;
+  detail::SpanRing* r = detail::t_span_ring;
+  if (r == nullptr || r->count == detail::kSpanRingCapacity) [[unlikely]] {
+    fn(name, c, start, end);  // attach this thread, or drain the full ring
+    return;
+  }
+  detail::SpanRec& rec = r->recs[r->count++];
+  rec.name = name;
+  rec.start_us = start.count();
+  const std::int64_t d = (end - start).count();
+  rec.dur_us = d <= 0 ? 0u
+                      : (d >= 0xffffffffll ? 0xffffffffu : static_cast<std::uint32_t>(d));
+  rec.category = static_cast<std::uint32_t>(c);
+}
+
+/// Mark a trial/epoch boundary on the calling thread (simulated time is
+/// about to rewind); resets the profiler's containment stack.
+inline void profile_flush() {
+  if (auto* fn = detail::g_profile_flush.load(std::memory_order_relaxed)) fn();
+}
+
+/// Install (or, with nullptrs, remove) the process-wide profiling hooks.
+void set_profile_hooks(detail::ProfileSpanFn span_fn, detail::ProfileFlushFn flush_fn);
 
 }  // namespace animus::sim

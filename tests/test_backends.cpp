@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/profile.hpp"
 #include "obs/trace_capture.hpp"
 #include "runner/backend.hpp"
 #include "runner/bench_cli.hpp"
@@ -261,6 +262,47 @@ TEST(Backends, ProcessBackendShipsTheArmedTrialTraceAcrossTheFork) {
   const std::string via_threads = capture_with(threads);
   const std::string via_process = capture_with(process);
   EXPECT_GT(via_threads.size(), 2u);
+  EXPECT_EQ(via_threads, via_process);
+}
+
+TEST(Backends, ProcessBackendMergesProfilesByteIdenticallyWithThreads) {
+  // --profile-out under --backend=process: every forked shard worker
+  // resets its inherited counts, profiles its own trials, and ships the
+  // delta back over the result pipe ("P" message). The parent's merged
+  // snapshot must render byte-identically to a threads-backend run —
+  // span statistics are commutative over the per-trial span multiset.
+  const std::vector<std::size_t> indices{0, 1, 2, 3, 4, 5, 6, 7};
+  const runner::EncodedBody body = [](const runner::TrialContext& ctx) -> std::string {
+    server::WorldConfig wc;
+    wc.seed = ctx.seed;
+    wc.trace_enabled = false;
+    server::World w{wc};
+    w.server().grant_overlay_permission(server::kMalwareUid);
+    w.server().add_view(server::kMalwareUid, {});
+    w.run_until(sim::ms(40 + 10 * (ctx.index % 3)));
+    return "done";
+  };
+  auto profile_with = [&](runner::ExecutionBackend& backend) {
+    auto& prof = obs::span_profiler();
+    prof.enable();
+    prof.reset();
+    backend.run_encoded(indices, indices.size(), body, nullptr);
+    const std::string json = obs::to_profile_json(prof.snapshot());
+    prof.reset();
+    prof.disable();
+    return json;
+  };
+
+  runner::RunOptions run;
+  run.root_seed = 0x9F0F;
+  run.jobs = 4;
+  runner::ThreadBackend threads{run};
+  runner::ProcessShardBackend process{run, {/*shards=*/2}};
+  const std::string via_threads = profile_with(threads);
+  const std::string via_process = profile_with(process);
+  // Real instrumentation fired: the World run_until span is always there.
+  EXPECT_NE(via_threads.find("world.run_until"), std::string::npos);
+  EXPECT_NE(via_threads.find("binder.addView"), std::string::npos);
   EXPECT_EQ(via_threads, via_process);
 }
 

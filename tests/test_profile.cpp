@@ -1,0 +1,266 @@
+// Sweep-wide span profiler: bucket/percentile math, aggregation
+// exactness, self-time containment, merge commutativity, the shard wire
+// format, and byte-identical profile JSON across thread counts.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/profile.hpp"
+#include "runner/runner.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace animus;
+using sim::SimTime;
+using sim::TraceCategory;
+
+SimTime us(std::int64_t n) { return SimTime{n}; }
+
+/// Every test owns the process-wide profiler for its duration.
+struct ProfilerFixture : ::testing::Test {
+  void SetUp() override {
+    obs::span_profiler().enable();
+    obs::span_profiler().reset();
+  }
+  void TearDown() override {
+    obs::span_profiler().reset();
+    obs::span_profiler().disable();
+  }
+};
+
+// ------------------------------------------------------------ bucket math
+
+TEST(ProfileBuckets, Log2IndexAndUpperBound) {
+  EXPECT_EQ(obs::profile_bucket(0), 0);
+  EXPECT_EQ(obs::profile_bucket(1), 1);
+  EXPECT_EQ(obs::profile_bucket(2), 2);
+  EXPECT_EQ(obs::profile_bucket(3), 2);
+  EXPECT_EQ(obs::profile_bucket(4), 3);
+  EXPECT_EQ(obs::profile_bucket(1023), 10);
+  EXPECT_EQ(obs::profile_bucket(1024), 11);
+  // The last bucket absorbs everything larger.
+  EXPECT_EQ(obs::profile_bucket(~std::uint64_t{0}), obs::kProfileBucketCount - 1);
+
+  EXPECT_EQ(obs::profile_bucket_upper_ns(0), 0u);
+  EXPECT_EQ(obs::profile_bucket_upper_ns(1), 1u);
+  EXPECT_EQ(obs::profile_bucket_upper_ns(2), 3u);
+  EXPECT_EQ(obs::profile_bucket_upper_ns(10), 1023u);
+  // Upper bound of a bucket is the largest duration that maps into it.
+  for (std::uint64_t ns : {1u, 2u, 3u, 4u, 1023u, 1024u}) {
+    EXPECT_LE(ns, obs::profile_bucket_upper_ns(obs::profile_bucket(ns)));
+  }
+}
+
+TEST(ProfileBuckets, PercentileIsBucketUpperBoundAtRank) {
+  obs::ProfileEntry e;
+  // 90 spans of 1 ns (bucket 1), 10 of ~1000 ns (bucket 10).
+  e.count = 100;
+  e.buckets[1] = 90;
+  e.buckets[10] = 10;
+  EXPECT_EQ(obs::profile_percentile_ns(e, 50), 1u);
+  EXPECT_EQ(obs::profile_percentile_ns(e, 90), 1u);    // rank 90 is still bucket 1
+  EXPECT_EQ(obs::profile_percentile_ns(e, 99), 1023u); // rank 99 lands in bucket 10
+  obs::ProfileEntry zero;
+  EXPECT_EQ(obs::profile_percentile_ns(zero, 99), 0u);
+}
+
+// ----------------------------------------------------------- aggregation
+
+TEST_F(ProfilerFixture, AggregatesCountTotalMinMax) {
+  auto& prof = obs::span_profiler();
+  // Durations 10, 20, 30 us -> 10000..30000 ns. Disjoint spans: no
+  // containment, so self == total.
+  prof.observe("test.span", TraceCategory::kSim, us(0), us(10));
+  prof.observe("test.span", TraceCategory::kSim, us(20), us(40));
+  prof.observe("test.span", TraceCategory::kSim, us(50), us(80));
+
+  const obs::ProfileReport report = prof.snapshot();
+  ASSERT_EQ(report.entries.size(), 1u);
+  const obs::ProfileEntry* e = report.find("test.span");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->count, 3u);
+  EXPECT_EQ(e->total_ns, 60000u);
+  EXPECT_EQ(e->self_ns, 60000u);
+  EXPECT_EQ(e->min_ns, 10000u);
+  EXPECT_EQ(e->max_ns, 30000u);
+  EXPECT_EQ(report.span_count(), 3u);
+  EXPECT_EQ(report.dropped_spans, 0u);
+}
+
+TEST_F(ProfilerFixture, SelfTimeSubtractsCompletedChildren) {
+  auto& prof = obs::span_profiler();
+  // Spans report in completion order: two children inside one parent.
+  prof.observe("child", TraceCategory::kSim, us(10), us(20));   // 10 us
+  prof.observe("child", TraceCategory::kSim, us(30), us(45));   // 15 us
+  prof.observe("parent", TraceCategory::kSim, us(0), us(100));  // 100 us
+
+  const obs::ProfileReport report = prof.snapshot();
+  const obs::ProfileEntry* parent = report.find("parent");
+  ASSERT_NE(parent, nullptr);
+  EXPECT_EQ(parent->total_ns, 100000u);
+  EXPECT_EQ(parent->self_ns, 75000u);  // 100 - 10 - 15 us
+  const obs::ProfileEntry* child = report.find("child");
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->self_ns, 25000u);   // leaves keep everything
+}
+
+TEST_F(ProfilerFixture, SiblingsDoNotNestIntoEachOther) {
+  auto& prof = obs::span_profiler();
+  prof.observe("a", TraceCategory::kSim, us(0), us(10));
+  prof.observe("b", TraceCategory::kSim, us(20), us(30));  // starts after a ended
+  const obs::ProfileReport report = prof.snapshot();
+  EXPECT_EQ(report.find("a")->self_ns, 10000u);
+  EXPECT_EQ(report.find("b")->self_ns, 10000u);
+}
+
+TEST_F(ProfilerFixture, FlushStackIsATrialBoundary) {
+  auto& prof = obs::span_profiler();
+  prof.observe("child", TraceCategory::kSim, us(10), us(20));
+  prof.flush_stack();  // next trial: simulated time rewinds
+  prof.observe("parent", TraceCategory::kSim, us(0), us(100));
+  const obs::ProfileReport report = prof.snapshot();
+  // The flushed child must NOT be attributed to the next trial's parent.
+  EXPECT_EQ(report.find("parent")->self_ns, 100000u);
+}
+
+TEST_F(ProfilerFixture, TableFullCountsDroppedSpans) {
+  auto& prof = obs::span_profiler();
+  // The per-thread table has a fixed slot count; drive more distinct
+  // names (stable pointers stand in for static literals) than fit.
+  static std::vector<std::string> names;
+  if (names.empty()) {
+    names.reserve(400);
+    for (int i = 0; i < 400; ++i) names.push_back("drop.span." + std::to_string(i));
+  }
+  for (const auto& n : names) {
+    prof.observe(n.c_str(), TraceCategory::kSim, us(0), us(1));
+    prof.flush_stack();
+  }
+  const obs::ProfileReport report = prof.snapshot();
+  EXPECT_GT(report.dropped_spans, 0u);
+  EXPECT_LT(report.entries.size(), names.size());
+  EXPECT_EQ(report.span_count() + report.dropped_spans, 400u);
+}
+
+// ------------------------------------------------------- merge and wire
+
+obs::ProfileReport make_report(std::uint64_t scale) {
+  obs::ProfileReport r;
+  obs::ProfileEntry a;
+  a.name = "alpha";
+  a.category = TraceCategory::kSim;
+  a.count = 2 * scale;
+  a.total_ns = 1000 * scale;
+  a.self_ns = 800 * scale;
+  a.min_ns = 100;
+  a.max_ns = 900 * scale;
+  a.buckets[obs::profile_bucket(500)] = 2 * scale;
+  obs::ProfileEntry b;
+  b.name = "beta";
+  b.category = TraceCategory::kAttack;
+  b.count = scale;
+  b.total_ns = 50 * scale;
+  b.self_ns = 50 * scale;
+  b.min_ns = 50;
+  b.max_ns = 50;
+  b.buckets[obs::profile_bucket(50)] = scale;
+  r.entries = {a, b};
+  return r;
+}
+
+TEST(ProfileMerge, CommutativeAndByteIdenticalJson) {
+  obs::ProfileReport ab = make_report(1);
+  obs::merge_profile(&ab, make_report(3));
+  obs::ProfileReport ba = make_report(3);
+  obs::merge_profile(&ba, make_report(1));
+  EXPECT_EQ(obs::to_profile_json(ab), obs::to_profile_json(ba));
+
+  const obs::ProfileEntry* alpha = ab.find("alpha");
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_EQ(alpha->count, 8u);
+  EXPECT_EQ(alpha->total_ns, 4000u);
+  EXPECT_EQ(alpha->min_ns, 100u);
+  EXPECT_EQ(alpha->max_ns, 2700u);
+}
+
+TEST(ProfileWire, RoundTripsExactly) {
+  obs::ProfileReport r = make_report(7);
+  r.dropped_spans = 3;
+  r.stack_overflows = 1;
+  const std::string wire = obs::serialize_profile(r);
+  obs::ProfileReport back;
+  ASSERT_TRUE(obs::deserialize_profile(wire, &back));
+  EXPECT_EQ(back.dropped_spans, 3u);
+  EXPECT_EQ(back.stack_overflows, 1u);
+  EXPECT_EQ(obs::to_profile_json(back), obs::to_profile_json(r));
+}
+
+TEST(ProfileWire, RejectsMalformedPayloads) {
+  obs::ProfileReport out;
+  EXPECT_FALSE(obs::deserialize_profile("", &out));
+  EXPECT_FALSE(obs::deserialize_profile("not-a-profile 1 0 0 0\n", &out));
+  EXPECT_FALSE(obs::deserialize_profile("animus-profile 99 0 0 0\n", &out));
+  // Truncated entry line.
+  std::string wire = obs::serialize_profile(make_report(1));
+  wire.resize(wire.size() / 2);
+  EXPECT_FALSE(obs::deserialize_profile(wire, &out));
+}
+
+TEST(ProfileJson, SummaryAndTableRenderTopSelfTime) {
+  obs::ProfileReport r = make_report(2);
+  const std::string summary = obs::profile_summary_json(r, 1);
+  EXPECT_NE(summary.find("\"alpha\""), std::string::npos);  // top self-time
+  EXPECT_EQ(summary.find("\"beta\""), std::string::npos);   // truncated at 1
+  const std::string table = obs::profile_table(r, 5);
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("self"), std::string::npos);
+}
+
+// ------------------------------------------- determinism across workers
+
+TEST_F(ProfilerFixture, SnapshotJsonIsIdenticalAcrossJobCounts) {
+  // A deterministic synthetic workload: trial i emits spans whose
+  // simulated times are pure functions of i — exactly the situation in a
+  // real sweep, where span times derive from the trial seed.
+  const auto run_sweep = [](int jobs) {
+    obs::span_profiler().reset();
+    runner::RunOptions options;
+    options.jobs = jobs;
+    runner::ParallelRunner pool{options};
+    pool.run(64, [](const runner::TrialContext& ctx) {
+      auto& prof = obs::span_profiler();
+      prof.flush_stack();  // Worlds do this in their constructor
+      const std::int64_t base = static_cast<std::int64_t>(ctx.index % 7);
+      const std::int64_t dur = static_cast<std::int64_t>(ctx.index % 29) + 1;
+      prof.observe("trial.child", TraceCategory::kAnimation, us(base + 1), us(base + 1 + dur));
+      prof.observe("trial.parent", TraceCategory::kSim, us(base), us(base + 4 * dur));
+    });
+    return obs::to_profile_json(obs::span_profiler().snapshot());
+  };
+
+  const std::string serial = run_sweep(1);
+  const std::string parallel = run_sweep(4);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("trial.parent"), std::string::npos);
+}
+
+TEST_F(ProfilerFixture, WorkerUtilizationAccountsEveryTrial) {
+  runner::RunOptions options;
+  options.jobs = 3;
+  runner::ParallelRunner pool{options};
+  const runner::SweepStats stats =
+      pool.run(10, [](const runner::TrialContext&) {});
+  ASSERT_EQ(stats.workers.size(), 3u);
+  std::uint64_t trials = 0;
+  for (const auto& w : stats.workers) trials += w.trials;
+  EXPECT_EQ(trials, 10u);
+  // Stolen trials are a subset of executed trials.
+  for (const auto& w : stats.workers) EXPECT_LE(w.stolen, w.trials);
+  EXPECT_FALSE(stats.worker_lines().empty());
+  EXPECT_NE(stats.worker_lines().find("worker  0"), std::string::npos);
+}
+
+}  // namespace

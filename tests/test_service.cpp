@@ -25,6 +25,11 @@
 // (stop_after == 0) or until `stop_after` SSE frames have arrived.
 std::string test_http_exchange(int port, const std::string& raw, std::size_t stop_after);
 
+// Opens an SSE connection, reads the response headers, then closes the
+// socket abruptly (a browser tab closing mid-stream). Returns true when
+// the headers arrived.
+bool test_sse_connect_then_drop(int port);
+
 namespace {
 
 using namespace animus;
@@ -120,6 +125,17 @@ TEST(Http, ResponseWireFormatIsDeterministic) {
             "Content-Length: 12\r\nConnection: close\r\n\r\n{\"ok\":true}\n");
   EXPECT_EQ(service::status_text(404), "Not Found");
   EXPECT_EQ(service::status_text(405), "Method Not Allowed");
+}
+
+TEST(Http, ExtraHeadersAreEmittedBetweenLengthAndConnection) {
+  service::HttpResponse res;
+  res.status = 405;
+  res.body = "{\"error\":\"method not allowed\"}\n";
+  res.headers.emplace_back("Allow", "GET, POST");
+  EXPECT_EQ(res.to_string(),
+            "HTTP/1.1 405 Method Not Allowed\r\nContent-Type: application/json\r\n"
+            "Content-Length: 31\r\nAllow: GET, POST\r\nConnection: close\r\n\r\n"
+            "{\"error\":\"method not allowed\"}\n");
 }
 
 TEST(Http, SseEventFrameShape) {
@@ -256,6 +272,28 @@ TEST(ManifestIndex, TornFinalLineIsDroppedEverythingBeforeLoads) {
   EXPECT_EQ(reloaded.records().size(), 2u);
 }
 
+TEST(ManifestIndex, TraceAndProfileFieldsAreEmittedOnlyWhenPresent) {
+  auto rec = sample_record("c0010");
+  const std::string plain = rec.to_json();
+  // Pre-profiler records keep their exact historical shape.
+  EXPECT_EQ(plain.find("\"trace\""), std::string::npos);
+  EXPECT_EQ(plain.find("\"profile\""), std::string::npos);
+
+  rec.trace = "{\"traceEvents\":[]}\n";
+  rec.profile = "{\n  \"schema\": 1,\n  \"report\": \"animus-profile\"\n}\n";
+  const std::string json = rec.to_json();
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // still one line per record
+  // "status" stays last: the torn-line detector keys on it.
+  EXPECT_LT(json.find("\"trace\""), json.find("\"status\""));
+  EXPECT_LT(json.find("\"profile\""), json.find("\"status\""));
+
+  const auto back = service::CampaignRecord::parse(json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->trace, rec.trace);
+  EXPECT_EQ(back->profile, rec.profile);
+  EXPECT_EQ(back->to_json(), json);
+}
+
 // ------------------------------------------------------------- submission
 
 TEST(Submission, ValidatesEveryFieldBeforeQueueing) {
@@ -290,6 +328,16 @@ TEST(Submission, ValidatesEveryFieldBeforeQueueing) {
   EXPECT_FALSE(
       service::CampaignSubmission::parse("{\"bench\":\"fig07\",\"tier\":\"warp\"}", &error));
   EXPECT_NE(error.find("tier"), std::string::npos);
+
+  // Trace capture is opt-in and strictly boolean.
+  EXPECT_FALSE(ok->trace);
+  const auto traced =
+      service::CampaignSubmission::parse("{\"bench\":\"fig07\",\"trace\":true}", &error);
+  ASSERT_TRUE(traced.has_value()) << error;
+  EXPECT_TRUE(traced->trace);
+  EXPECT_FALSE(
+      service::CampaignSubmission::parse("{\"bench\":\"fig07\",\"trace\":1}", &error));
+  EXPECT_NE(error.find("trace"), std::string::npos);
 }
 
 // ------------------------------------------------- recorded-request surface
@@ -349,6 +397,101 @@ TEST(Daemon, RecordedRequestsLockTheReadOnlySurface) {
   EXPECT_EQ(down.body, "{\"ok\":true,\"shutting_down\":true}\n");
   EXPECT_TRUE(daemon.shutdown_requested());
   daemon.stop();
+}
+
+TEST(Daemon, WrongMethodOnKnownPathsAnswers405WithAllow) {
+  const auto path = temp_path("svc_daemon_methods.jsonl");
+  std::remove(path.c_str());
+  write_file(path, sample_record("c0001").to_json() + "\n");
+  service::CampaignDaemon daemon{{path, nullptr, 10}};
+  daemon.start();
+
+  const auto request = [](const char* method, const char* target) {
+    service::HttpRequest req;
+    req.method = method;
+    req.path = target;
+    return req;
+  };
+  const auto allow_of = [](const service::HttpResponse& res) -> std::string {
+    for (const auto& [name, value] : res.headers) {
+      if (name == "Allow") return value;
+    }
+    return {};
+  };
+
+  struct Case {
+    const char* method;
+    const char* target;
+    const char* allow;
+  };
+  // Every known path, hit with a method it does not serve. Routing is
+  // path-first, so these are 405 + Allow — not 404.
+  const Case cases[] = {
+      {"POST", "/healthz", "GET"},
+      {"DELETE", "/campaigns", "GET, POST"},
+      {"POST", "/events", "GET"},
+      {"GET", "/shutdown", "POST"},
+      {"POST", "/campaigns/c0001", "GET"},
+      {"POST", "/campaigns/c0001/metrics", "GET"},
+      {"DELETE", "/campaigns/c0001/trace", "GET"},
+      {"PUT", "/campaigns/c0001/profile", "GET"},
+  };
+  for (const auto& c : cases) {
+    const auto res = daemon.handle(request(c.method, c.target));
+    EXPECT_EQ(res.status, 405) << c.method << " " << c.target;
+    EXPECT_EQ(res.body, "{\"error\":\"method not allowed\"}\n");
+    EXPECT_EQ(allow_of(res), c.allow) << c.method << " " << c.target;
+    // The Allow header reaches the wire.
+    EXPECT_NE(res.to_string().find("\r\nAllow: " + std::string{c.allow} + "\r\n"),
+              std::string::npos)
+        << c.method << " " << c.target;
+  }
+  // GET /shutdown was refused, not acted on.
+  EXPECT_FALSE(daemon.shutdown_requested());
+  // Unknown paths are 404 for any method — no Allow header invented.
+  for (const char* method : {"GET", "POST", "DELETE", "PUT"}) {
+    const auto res = daemon.handle(request(method, "/campaigns/c0001/spans"));
+    EXPECT_EQ(res.status, 404) << method;
+    EXPECT_TRUE(res.headers.empty()) << method;
+  }
+  EXPECT_EQ(daemon.handle(request("PATCH", "/nope")).status, 404);
+  daemon.stop();
+}
+
+TEST(Daemon, TraceAndProfile404sNameTheCause) {
+  const auto path = temp_path("svc_daemon_profile404.jsonl");
+  std::remove(path.c_str());
+  // A finished record from before trace/profile capture existed.
+  write_file(path, sample_record("c0001").to_json() + "\n");
+  service::CampaignDaemon daemon{{path, nullptr, 10}};
+  daemon.start();
+
+  const auto trace = daemon.handle(get("/campaigns/c0001/trace"));
+  EXPECT_EQ(trace.status, 404);
+  EXPECT_NE(trace.body.find("without trace capture"), std::string::npos) << trace.body;
+  // The remedy is spelled out (the JSON-escaped submission flag).
+  EXPECT_NE(trace.body.find("\\\"trace\\\":true"), std::string::npos) << trace.body;
+
+  const auto profile = daemon.handle(get("/campaigns/c0001/profile"));
+  EXPECT_EQ(profile.status, 404);
+  EXPECT_NE(profile.body.find("no profile recorded"), std::string::npos) << profile.body;
+
+  EXPECT_NE(daemon.handle(get("/campaigns/c9999/trace")).body.find("unknown campaign id"),
+            std::string::npos);
+  EXPECT_NE(daemon.handle(get("/campaigns/c9999/profile")).body.find("unknown campaign id"),
+            std::string::npos);
+  daemon.stop();
+
+  // A queued-but-unstarted campaign (scheduler never launched) reports
+  // "has not finished" rather than "unknown".
+  const auto idle_path = temp_path("svc_daemon_idle.jsonl");
+  std::remove(idle_path.c_str());
+  service::CampaignDaemon idle{{idle_path, nullptr, 10}};
+  EXPECT_EQ(idle.handle(post("/campaigns", "{\"bench\":\"fig07\"}")).status, 202);
+  EXPECT_NE(idle.handle(get("/campaigns/c0001/trace")).body.find("has not finished"),
+            std::string::npos);
+  EXPECT_NE(idle.handle(get("/campaigns/c0001/profile")).body.find("has not finished"),
+            std::string::npos);
 }
 
 TEST(Daemon, CampaignListIsIdenticalAcrossRestart) {
@@ -446,6 +589,69 @@ TEST(Daemon, RunsSubmissionAndServesCsvByteIdenticalToDirectRun) {
   reborn.stop();
 }
 
+TEST(Daemon, TracedSimCampaignServesProfileAndTraceWithLiveRates) {
+  const auto path = temp_path("svc_daemon_traced.jsonl");
+  std::remove(path.c_str());
+  // Deterministic heartbeat clock: each reading advances 100 ms, so
+  // trials/s and ETA are well-defined without real timing.
+  double fake_ms = 0.0;
+  service::CampaignDaemon::Options options;
+  options.index_path = path;
+  options.now_ms = [&fake_ms] { return fake_ms += 100.0; };
+  options.keyframe_every = 10;
+  service::CampaignDaemon daemon{std::move(options)};
+  daemon.start();
+  auto sub = daemon.hub().subscribe();
+
+  // tier "sim" (not analytic): the profiler and the armed trace capture
+  // need actual Worlds to run.
+  const auto accepted = daemon.handle(
+      post("/campaigns",
+           "{\"bench\":\"fig07\",\"seed\":7,\"jobs\":4,\"tier\":\"sim\",\"trace\":true}"));
+  EXPECT_EQ(accepted.status, 202);
+  daemon.drain();
+
+  const auto profile = daemon.handle(get("/campaigns/c0001/profile"));
+  EXPECT_EQ(profile.status, 200);
+  EXPECT_EQ(profile.body.rfind("{\n  \"schema\": 1,\n  \"report\": \"animus-profile\"", 0), 0u)
+      << profile.body.substr(0, 120);
+  EXPECT_NE(profile.body.find("world.run_until"), std::string::npos);
+
+  // Chrome trace JSON array format: metadata records then span events.
+  const auto trace = daemon.handle(get("/campaigns/c0001/trace"));
+  EXPECT_EQ(trace.status, 200);
+  EXPECT_EQ(trace.body.rfind("[\n", 0), 0u) << trace.body.substr(0, 80);
+  EXPECT_NE(trace.body.find("\"process_name\""), std::string::npos);
+
+  // The stored record carries both artifacts and round-trips.
+  const auto one = daemon.handle(get("/campaigns/c0001"));
+  const auto rec = service::CampaignRecord::parse(one.body);
+  ASSERT_TRUE(rec.has_value()) << one.body.substr(0, 120);
+  EXPECT_EQ(rec->profile, profile.body);
+  EXPECT_EQ(rec->trace, trace.body);
+
+  daemon.stop();
+  bool saw_rates = false, saw_summary = false;
+  while (auto frame = sub->next()) {
+    if (frame->rfind("event: heartbeat\n", 0) == 0) {
+      // Every heartbeat carries throughput + remaining-time estimates.
+      EXPECT_NE(frame->find("\"trials_per_s\":"), std::string::npos) << *frame;
+      EXPECT_NE(frame->find("\"eta_s\":"), std::string::npos) << *frame;
+      saw_rates = true;
+    }
+    if (frame->rfind("event: campaign\n", 0) == 0 &&
+        frame->find("\"status\":\"done\"") != std::string::npos) {
+      // The done event ships a top-N summary, never the full blobs.
+      EXPECT_NE(frame->find("\"profile_summary\":{\"spans\":"), std::string::npos) << *frame;
+      EXPECT_EQ(frame->find("\"process_name\""), std::string::npos);
+      EXPECT_EQ(frame->find("animus-profile"), std::string::npos);
+      saw_summary = true;
+    }
+  }
+  EXPECT_TRUE(saw_rates);
+  EXPECT_TRUE(saw_summary);
+}
+
 TEST(Daemon, FailedCampaignIsRecordedAsError) {
   const auto path = temp_path("svc_daemon_error.jsonl");
   std::remove(path.c_str());
@@ -509,6 +715,62 @@ TEST(HttpServer, LoopbackRoundTripAndSseRelay) {
   daemon.stop();
 }
 
+TEST(HttpServer, DroppedSseSubscriberIsReapedOnNextPublish) {
+  const auto path = temp_path("svc_server_drop.jsonl");
+  std::remove(path.c_str());
+  service::CampaignDaemon daemon{{path, nullptr, 10}};
+  daemon.start();
+  service::HttpServer server{[&](const service::HttpRequest& req) { return daemon.handle(req); },
+                             &daemon.hub()};
+  ASSERT_TRUE(server.start(0));
+
+  // A client connects to /events, reads the headers, then vanishes
+  // (closed laptop, killed curl). The serve thread is now parked in
+  // Subscription::next().
+  ASSERT_TRUE(test_sse_connect_then_drop(server.port()));
+  for (int i = 0; i < 200 && daemon.hub().subscriber_count() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GT(daemon.hub().subscriber_count(), 0u);
+
+  // Publishing wakes it; send_all hits the dead socket (EPIPE under
+  // MSG_NOSIGNAL — no process-killing SIGPIPE), serve() breaks out and
+  // unsubscribes. The kernel may buffer the first write, so publish
+  // until the reap lands rather than asserting on one frame.
+  bool reaped = false;
+  for (int i = 0; i < 400; ++i) {
+    daemon.hub().publish(
+        service::sse_event("heartbeat", "{\"tick\":" + std::to_string(i) + "}"));
+    if (daemon.hub().subscriber_count() == 0) {
+      reaped = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(reaped);
+
+  // Nothing stalled or leaked: the server still answers plain requests
+  // and a fresh SSE subscriber still receives frames.
+  const std::string body =
+      test_http_exchange(server.port(), "GET /healthz HTTP/1.1\r\nHost: l\r\n\r\n", 0);
+  EXPECT_NE(body.find("{\"ok\":true}"), std::string::npos);
+
+  std::string sse_seen;
+  std::thread client{[&] {
+    sse_seen = test_http_exchange(server.port(), "GET /events HTTP/1.1\r\nHost: l\r\n\r\n", 1);
+  }};
+  for (int i = 0; i < 200 && daemon.hub().subscriber_count() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GT(daemon.hub().subscriber_count(), 0u);
+  daemon.hub().publish(service::sse_event("heartbeat", "{\"after\":true}"));
+  client.join();
+  EXPECT_NE(sse_seen.find("event: heartbeat\ndata: {\"after\":true}\n\n"), std::string::npos);
+
+  server.stop();
+  daemon.stop();
+}
+
 }  // namespace
 
 #ifndef _WIN32
@@ -553,6 +815,37 @@ std::string test_http_exchange(int port, const std::string& raw, std::size_t sto
   ::close(fd);
   return out;
 }
+bool test_sse_connect_then_drop(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string raw = "GET /events HTTP/1.1\r\nHost: l\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < raw.size()) {
+    const auto n = ::send(fd, raw.data() + sent, raw.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  // Read until the response headers (and the ": connected" comment) have
+  // arrived, proving the server reached its frame-relay loop.
+  std::string out;
+  char buf[1024];
+  while (out.find("\n\n") == std::string::npos) {
+    const auto n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);  // abrupt: no shutdown handshake, like a killed client
+  return out.find("text/event-stream") != std::string::npos;
+}
 #else
 std::string test_http_exchange(int, const std::string&, std::size_t) { return {}; }
+bool test_sse_connect_then_drop(int) { return false; }
 #endif
