@@ -125,11 +125,11 @@ Sample bench_periodic(int n, int repeats) {
 /// threads, fork + pipe round-trips for process shards. Catches backend
 /// regressions in the same perf-smoke trend as the kernel workloads.
 Sample bench_sweep_dispatch(const char* name, const char* backend_name, int parallelism,
-                            int trials, int repeats) {
+                            int batch, int trials, int repeats) {
   runner::RunOptions opts;
   opts.jobs = parallelism;
   std::string error;
-  const auto backend = runner::make_backend(backend_name, opts, parallelism, &error);
+  const auto backend = runner::make_backend(backend_name, opts, parallelism, batch, &error);
   if (!backend) {
     std::fprintf(stderr, "perf_report: %s\n", error.c_str());
     std::exit(1);
@@ -145,6 +145,7 @@ Sample bench_sweep_dispatch(const char* name, const char* backend_name, int para
   });
   s.note = std::string("near-empty trials through the ") + backend_name +
            " backend: pure dispatch overhead";
+  if (batch > 1) s.note += " (" + std::to_string(batch) + "-trial frames)";
   return s;
 }
 
@@ -323,7 +324,7 @@ void write_json(const char* path, const std::vector<Sample>& samples, int jobs) 
     std::fprintf(stderr, "perf_report: cannot open %s\n", path);
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"schema\": 4,\n  \"report\": \"animus-kernel\",\n");
+  std::fprintf(f, "{\n  \"schema\": 5,\n  \"report\": \"animus-kernel\",\n");
   std::fprintf(f, "  \"engine\": \"%s\",\n", sim::EventLoop::engine_name());
   std::fprintf(f, "  \"jobs\": %d,\n  \"benchmarks\": [\n", jobs);
   for (std::size_t i = 0; i < samples.size(); ++i) {
@@ -369,11 +370,15 @@ int main(int argc, char** argv) {
   samples.push_back(bench_schedule_cancel(n, repeats));
   samples.push_back(bench_periodic(n, repeats));
   const int dispatch_trials = quick ? 256 : 2048;
-  samples.push_back(
-      bench_sweep_dispatch("sweep_dispatch_threads", "threads", 2, dispatch_trials, repeats));
+  samples.push_back(bench_sweep_dispatch("sweep_dispatch_threads", "threads", 2, 1,
+                                         dispatch_trials, repeats));
 #if !defined(_WIN32)
-  samples.push_back(
-      bench_sweep_dispatch("sweep_dispatch_process", "process", 2, dispatch_trials, repeats));
+  // batch=1 is the pre-batching one-trial-in-flight protocol, retained
+  // so the round-trip tax the batched row removes stays measurable.
+  samples.push_back(bench_sweep_dispatch("sweep_dispatch_process", "process", 2, 1,
+                                         dispatch_trials, repeats));
+  samples.push_back(bench_sweep_dispatch("sweep_dispatch_process_batched", "process", 2, 64,
+                                         dispatch_trials, repeats));
 #endif
   const int tier_trials = quick ? 64 : 256;
   samples.push_back(bench_trials_per_sec("trials_per_sec_sim",

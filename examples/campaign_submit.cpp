@@ -80,8 +80,12 @@ std::optional<std::string> http_post(int port, const std::string& path,
 [[noreturn]] void usage(const char* argv0, int code) {
   std::fprintf(code == 0 ? stdout : stderr,
                "usage: %s [--port N] --bench NAME [--seed S] [--jobs N]\n"
-               "          [--backend NAME] [--shards N] [--tier NAME] [--trace] [--wait]\n"
+               "          [--backend NAME] [--shards N] [--batch N|auto] [--tier NAME]\n"
+               "          [--trace] [--wait]\n"
                "       %s [--port N] --list\n"
+               "  --batch  trials per process-backend command frame (auto = size\n"
+               "           frames from measured trial cost; results are identical\n"
+               "           at any value)\n"
                "  --trace  capture the representative trial's Chrome trace\n"
                "           (fetch it later via GET /campaigns/<id>/trace)\n"
                "  --wait   poll until the campaign finishes, print its CSV on stdout\n"
@@ -104,6 +108,7 @@ int main(int argc, char** argv) {
   std::string bench, backend, tier;
   unsigned long long seed = 0;
   int jobs = 0, shards = 0;
+  std::string batch;  // "" = omit, "auto" or a number otherwise
   bool wait = false, list = false, trace = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -123,6 +128,8 @@ int main(int argc, char** argv) {
       backend = value();
     } else if (arg == "--shards") {
       shards = std::atoi(value());
+    } else if (arg == "--batch") {
+      batch = value();
     } else if (arg == "--tier") {
       tier = value();
     } else if (arg == "--trace") {
@@ -154,6 +161,12 @@ int main(int argc, char** argv) {
                            ",\"jobs\":" + std::to_string(jobs);
   if (!backend.empty()) submission += ",\"backend\":\"" + backend + "\"";
   if (shards > 0) submission += ",\"shards\":" + std::to_string(shards);
+  if (!batch.empty()) {
+    // "auto" ships as a string; anything else as a number the daemon
+    // validates against [0, kMaxBatch].
+    submission += batch == "auto" ? ",\"batch\":\"auto\""
+                                  : ",\"batch\":" + std::to_string(std::atoi(batch.c_str()));
+  }
   if (!tier.empty()) submission += ",\"tier\":\"" + tier + "\"";
   if (trace) submission += ",\"trace\":true";
   submission += "}";

@@ -82,6 +82,7 @@ std::string RunManifest::to_json() const {
   field_u64(out, "jobs", static_cast<std::uint64_t>(jobs));
   field_str(out, "backend", backend);
   field_u64(out, "shards", static_cast<std::uint64_t>(shards));
+  field_u64(out, "batch", static_cast<std::uint64_t>(batch));
   {
     char buf[48];
     std::snprintf(buf, sizeof(buf), "%.6f", inject_fault);
@@ -141,6 +142,7 @@ std::optional<RunManifest> RunManifest::parse(std::string_view json) {
   m.jobs = static_cast<int>(as_u64(raw_value(json, "jobs")));
   if (auto v = raw_value(json, "backend")) m.backend = *v;
   m.shards = static_cast<int>(as_u64(raw_value(json, "shards")));
+  m.batch = static_cast<int>(as_u64(raw_value(json, "batch")));
   m.inject_fault = as_double(raw_value(json, "inject_fault"));
   m.deterministic = raw_value(json, "deterministic").value_or("true") == "true";
   m.csv = raw_value(json, "csv").value_or("false") == "true";

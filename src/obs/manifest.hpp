@@ -38,6 +38,7 @@ struct RunManifest {
   int jobs = 0;                    ///< requested (0 = all hardware cores)
   std::string backend = "threads"; ///< execution backend ("threads"|"process")
   int shards = 0;                  ///< process-backend workers (0 = all cores)
+  int batch = 0;                   ///< trials per process-backend frame (0 = auto)
   double inject_fault = 0.0;       ///< --inject-fault rate (0 = disabled)
   bool deterministic = true;
   bool csv = false;

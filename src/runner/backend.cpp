@@ -34,7 +34,7 @@ EncodedSweep ThreadBackend::run_encoded(const std::vector<std::size_t>& indices,
 }
 
 std::unique_ptr<ExecutionBackend> make_backend(std::string_view name, const RunOptions& run,
-                                               int shards, std::string* error) {
+                                               int shards, int batch, std::string* error) {
   if (name.empty() || name == "threads" || name == "thread") {
     return std::make_unique<ThreadBackend>(run);
   }
@@ -45,8 +45,12 @@ std::unique_ptr<ExecutionBackend> make_backend(std::string_view name, const RunO
 #else
     ProcessShardBackend::Options opts;
     opts.shards = shards;
+    opts.batch = batch;
     if (const char* crash = std::getenv("ANIMUS_SHARD_CRASH_TRIAL")) {
       opts.crash_trial = std::strtoull(crash, nullptr, 10);
+    }
+    if (const char* buf = std::getenv("ANIMUS_SHARD_PIPE_BUF")) {
+      opts.pipe_buf = static_cast<unsigned>(std::strtoul(buf, nullptr, 10));
     }
     return std::make_unique<ProcessShardBackend>(run, opts);
 #endif

@@ -10,12 +10,15 @@
 //     thread pool, bit-for-bit. Trial bodies run in-process; encoded
 //     results are returned straight from worker memory.
 //   - `ProcessShardBackend` forks N worker processes. The parent feeds
-//     trial indices over a command pipe (one in flight per worker, so
-//     skewed trial costs balance dynamically) and reads encoded results
-//     back over a result pipe. A worker that dies mid-trial — SIGSEGV
-//     inside an attack World, OOM kill, anything — is reaped by the
-//     parent: the in-flight trial is recorded as a TrialError and the
-//     REST OF THE SWEEP COMPLETES on the surviving workers.
+//     trial indices over a command pipe in length-prefixed batch frames
+//     and keeps a credit window of frames in flight per worker, so
+//     workers never idle between trials; workers ack each trial they
+//     start and write results back in batched flushes over a result
+//     pipe. A worker that dies mid-trial — SIGSEGV inside an attack
+//     World, OOM kill, anything — is reaped by the parent: the one
+//     genuinely in-flight trial is recorded as a TrialError, the rest
+//     of its dispatch window is re-queued to the survivors, and the
+//     REST OF THE SWEEP COMPLETES.
 //
 // Both backends obey the runner's determinism contract: per-trial seeds
 // are trial_seed(root, index) regardless of which worker/process runs a
@@ -98,12 +101,30 @@ class ProcessShardBackend final : public ExecutionBackend {
   struct Options {
     /// Worker processes; 0 means one per hardware core.
     int shards = 0;
+    /// Trials per command frame. 1 (the default) is the compatibility
+    /// mode: single-trial frames, one in flight per worker — the exact
+    /// pre-batching protocol and cost. 0 means auto: start with probe
+    /// frames and grow toward ~1 ms of measured trial work per frame
+    /// (clamped to kMaxBatch). Any other value is used as-is.
+    int batch = 1;
+    /// Command frames the parent keeps in flight per worker (>= 1).
+    /// With batch == 1 this is forced to 1 so the compatibility mode
+    /// reproduces the old one-trial-in-flight semantics exactly.
+    int credits = 2;
+    /// Test hook: shrink both pipes to this many bytes (F_SETPIPE_SZ)
+    /// so large frames force short writes/reads. 0 = leave the kernel
+    /// default. Read from ANIMUS_SHARD_PIPE_BUF by make_backend.
+    unsigned pipe_buf = 0;
     /// Test hook: a worker that is handed this submission index kills
     /// itself (SIGKILL) before running the trial — a deterministic
     /// stand-in for a worker crashing mid-sweep. Read from the
     /// ANIMUS_SHARD_CRASH_TRIAL environment variable by make_backend.
     std::size_t crash_trial = static_cast<std::size_t>(-1);
   };
+
+  /// Largest frame auto sizing will grow to (and the cap applied to an
+  /// explicit --batch value).
+  static constexpr int kMaxBatch = 256;
 
   ProcessShardBackend(RunOptions run, Options options)
       : run_{std::move(run)}, options_{options}, shards_{resolve_jobs(options.shards)} {}
@@ -121,10 +142,18 @@ class ProcessShardBackend final : public ExecutionBackend {
 };
 
 /// Factory for the shared --backend flag: "threads" (default) or
-/// "process". `shards` only applies to the process backend. Returns
-/// nullptr with a message in *error for an unknown name or an
-/// unsupported platform.
+/// "process". `shards` and `batch` only apply to the process backend
+/// (`batch` follows ProcessShardBackend::Options::batch: 0 = auto,
+/// 1 = the unbatched compatibility protocol). Returns nullptr with a
+/// message in *error for an unknown name or an unsupported platform.
 std::unique_ptr<ExecutionBackend> make_backend(std::string_view name, const RunOptions& run,
-                                               int shards, std::string* error);
+                                               int shards, int batch, std::string* error);
+
+/// Back-compat overload: unbatched process dispatch (batch = 1).
+inline std::unique_ptr<ExecutionBackend> make_backend(std::string_view name,
+                                                      const RunOptions& run, int shards,
+                                                      std::string* error) {
+  return make_backend(name, run, shards, 1, error);
+}
 
 }  // namespace animus::runner

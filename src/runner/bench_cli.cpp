@@ -57,7 +57,7 @@ CampaignState& state() {
   std::FILE* out = exit_code == 0 ? stdout : stderr;
   std::fprintf(
       out,
-      "usage: %s [--jobs N] [--seed S] [--backend NAME] [--shards N]\n"
+      "usage: %s [--jobs N] [--seed S] [--backend NAME] [--shards N] [--batch N|auto]\n"
       "          [--tier NAME] [--inject-fault RATE] [--csv] [--trials-out FILE]\n"
       "          [--trace-out FILE] [--trace-trial N] [--profile-out FILE]\n"
       "          [--metrics-out FILE]\n"
@@ -72,6 +72,10 @@ CampaignState& state() {
       "                        worker costs one trial, not the sweep)\n"
       "  --shards N            worker processes for --backend=process\n"
       "                        (0 = all hardware cores)\n"
+      "  --batch N|auto        trials per command frame for --backend=process\n"
+      "                        (auto = size frames from measured trial cost;\n"
+      "                        1 = one-trial-in-flight compatibility mode;\n"
+      "                        results are byte-identical at any value)\n"
       "  --tier NAME           trial tier: auto (default; analytic fast path\n"
       "                        when eligible), sim, or analytic (ineligible\n"
       "                        trials fall back to sim)\n"
@@ -213,6 +217,18 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       }
     } else if (arg == "--shards") {
       args.shards = std::atoi(value("--shards").c_str());
+    } else if (arg == "--batch") {
+      const std::string v = value("--batch");
+      if (v == "auto") {
+        args.batch = 0;
+      } else {
+        args.batch = std::atoi(v.c_str());
+        if (args.batch < 1 || args.batch > ProcessShardBackend::kMaxBatch) {
+          std::fprintf(stderr, "%s: --batch must be 'auto' or an integer in [1, %d]\n",
+                       argv[0], ProcessShardBackend::kMaxBatch);
+          usage(argv[0], 2);
+        }
+      }
     } else if (arg == "--tier") {
       args.tier = value("--tier");
       if (args.tier != "auto" && args.tier != "sim" && args.tier != "analytic") {
@@ -333,6 +349,11 @@ void report(const char* label, const SweepStats& stats, const std::vector<TrialE
   if (obs::span_profiler().enabled() && !stats.workers.empty()) {
     std::fputs(stats.worker_lines().c_str(), stderr);
   }
+  // Same rule for the batched-dispatch accounting: frame sizes under
+  // --batch=auto depend on measured trial cost, so stderr only.
+  if (obs::span_profiler().enabled() && stats.dispatch.frames > 0) {
+    std::fprintf(stderr, "[%s] %s\n", label, stats.dispatch_line().c_str());
+  }
   if (!stats.samples_ms.empty()) {
     std::fprintf(stderr, "[%s] %s\n", label, stats.latency_line().c_str());
     auto& hist = obs::global_registry().histogram("animus_trial_latency_ms",
@@ -418,7 +439,8 @@ CampaignPlan prepare_campaign(const char* label, std::size_t total, const BenchA
   }
 
   std::string backend_error;
-  plan.backend = make_backend(args.backend, args.run, args.shards, &backend_error);
+  plan.backend =
+      make_backend(args.backend, args.run, args.shards, args.batch, &backend_error);
   if (plan.backend == nullptr) {
     std::fprintf(stderr, "[%s] --backend: %s\n", label, backend_error.c_str());
     std::exit(2);
@@ -571,6 +593,7 @@ void finish(const BenchArgs& args) {
     m.jobs = args.run.jobs;
     m.backend = s.backend_name;
     m.shards = args.shards;
+    m.batch = args.batch;
     m.inject_fault = args.inject_fault;
     m.deterministic = args.run.deterministic;
     m.csv = args.csv;

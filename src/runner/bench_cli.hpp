@@ -11,6 +11,14 @@
 //                         worker costs one trial, not the sweep)
 //   --shards N            worker processes for --backend=process
 //                         (0 = all hardware cores)
+//   --batch N|auto        trials per command frame for --backend=process.
+//                         `auto` (default) sizes frames from measured
+//                         trial cost (~1 ms of work per frame, probed
+//                         with single-trial frames first); N=1 restores
+//                         the one-trial-in-flight protocol; N>1 pins
+//                         the frame size. Results are byte-identical at
+//                         any value — batching only changes dispatch
+//                         overhead
 //   --tier NAME           trial execution tier: `auto` (default; closed-form
 //                         analytic replay when a trial is eligible, full
 //                         simulation otherwise), `sim` (force simulation)
@@ -93,6 +101,7 @@ struct BenchArgs {
   RunOptions run;           ///< jobs + root_seed feed runner::sweep directly
   std::string backend;      ///< "" or "threads" or "process"
   int shards = 0;           ///< process-backend worker count (0 = all cores)
+  int batch = 0;            ///< trials per process-backend frame (0 = auto)
   std::string tier = "auto";         ///< trial tier: auto | sim | analytic
   double inject_fault = 0.0;         ///< fraction of trials to fail (0..1)
   bool csv = false;         ///< CSV tables on stdout, commentary suppressed

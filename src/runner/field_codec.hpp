@@ -18,9 +18,10 @@
 //     wants the layout (manifest JSON, future diff tooling).
 //
 // Supported field types: bool, integral, enum (encoded by underlying
-// value), float/double (exact: %.17g for finite values, explicit
-// nan/-nan/inf/-inf tokens for the non-finite ones strtod round-trips
-// inconsistently across libcs), std::string (escaped), any
+// value), float/double (exact: shortest round-trip text for finite
+// values, explicit nan/-nan/inf/-inf tokens for the non-finite ones
+// strtod round-trips inconsistently across libcs), std::string
+// (escaped), any
 // std::chrono::duration (encoded by tick count), and nested structs
 // that carry their own ANIMUS_FIELDS declaration.
 //
@@ -42,6 +43,7 @@
 #pragma once
 
 #include <cerrno>
+#include <charconv>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -104,9 +106,11 @@ void for_each_field(T& v, Fn&& fn) {
 
 namespace codec_detail {
 
-/// Exact double text: %.17g round-trips every finite value; the
-/// non-finite ones get fixed tokens because printf may emit "nan(...)"
-/// payload forms and strtod's acceptance of them varies by libc.
+/// Exact double text: shortest-round-trip to_chars recovers every
+/// finite value bit for bit at a fraction of snprintf's cost (this runs
+/// once per numeric field per trial — it is on the sweep hot path); the
+/// non-finite values get fixed tokens because strtod's acceptance of
+/// printf's "nan(...)" payload forms varies by libc.
 inline void encode_double(std::string& out, double v) {
   if (std::isnan(v)) {
     out += std::signbit(v) ? "-nan" : "nan";
@@ -117,8 +121,8 @@ inline void encode_double(std::string& out, double v) {
     return;
   }
   char buf[48];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  out += buf;
+  const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, static_cast<std::size_t>(r.ptr - buf));
 }
 
 inline bool decode_double(std::string_view s, double* out) {
@@ -139,9 +143,10 @@ inline bool decode_double(std::string_view s, double* out) {
     return true;
   }
   if (s.empty()) return false;
-  // encode_double only ever emits %.17g output (or the fixed tokens
+  // encode_double only ever emits to_chars output (or the fixed tokens
   // above), so restrict the decode domain to exactly that alphabet —
-  // strtod alone would also admit "nan(0x1)", hex floats, etc.
+  // strtod alone would also admit "nan(0x1)", hex floats, etc. The '+'
+  // stays admitted for checkpoints written by the older %.17g encoder.
   for (const char c : s) {
     const bool ok = (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.' || c == 'e';
     if (!ok) return false;

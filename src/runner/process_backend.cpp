@@ -1,17 +1,25 @@
 // ProcessShardBackend: fork N workers, feed them trial indices over
-// pipes, read codec-encoded results back, reap crashes into
-// SweepResult::errors without losing the rest of the sweep.
+// pipes in batched, credit-windowed frames, read codec-encoded results
+// back, reap crashes into SweepResult::errors without losing the rest
+// of the sweep.
 //
 // Topology: one command pipe (parent -> worker) and one result pipe
-// (worker -> parent) per worker. The parent keeps exactly ONE trial in
-// flight per worker — that is what makes a crash attributable (the
-// in-flight index is the one that died with the worker) and what load-
-// balances skewed trial costs (a worker asks for its next index only
-// when the previous one is done, so fast workers drain the queue while
-// a slow binary search occupies one shard).
+// (worker -> parent) per worker. Dispatch is FRAMED and PIPELINED: the
+// parent packs up to `batch` trials into one length-prefixed command
+// frame and keeps `credits` frames in flight per worker, so a worker
+// finishing a frame finds the next one already sitting in its pipe —
+// no round-trip stall between trials. The command pipe is non-blocking
+// (frames queue in a per-worker pending buffer flushed on POLLOUT), so
+// the parent can never deadlock against a worker that is itself
+// blocked writing results. `batch == 1` with one credit is the
+// compatibility mode: single-trial frames, one in flight — the exact
+// pre-batching protocol, retained so the unbatched dispatch cost stays
+// measurable. `batch == 0` sizes frames automatically from measured
+// trial cost (~1 ms of work per frame, up to kMaxBatch).
 //
-// Wire protocol, one line per message:
-//   parent -> worker:  "R <slot> <index>\n"   run submission index
+// Wire protocol:
+//   parent -> worker:  "B <count> <len>\n" + <len> payload bytes, the
+//                      payload being <count> records "<slot> <index>\n"
 //                      "Q\n"                  drain and _exit(0)
 //   worker -> parent:  "O <slot> <elapsed_ms> <escaped-result>\n"
 //                      "E <slot> <elapsed_ms> <escaped-what>\n"
@@ -19,6 +27,26 @@
 //                      "P <escaped-profile>\n"       span-profile tables
 // The payload escaping (backslash + newline) keeps messages line-framed
 // for any codec output; the codec itself is already line-safe.
+//
+// Result write-back is batched: a worker buffers its O/E lines and
+// flushes them with ONE write per frame. Crash attribution therefore
+// cannot ride on the result stream — a worker SIGKILLed mid-frame takes
+// its buffered results with it. Instead each worker publishes a
+// PROGRESS WORD into a page of MAP_SHARED|MAP_ANONYMOUS memory mapped
+// before the fork: one atomic store of (slot + 1) immediately before
+// each trial runs. The store costs no syscall (this is what lets the
+// batched protocol drop the per-trial ack round-trip entirely) and the
+// page survives the worker's death, because SIGKILL tears down the
+// process, not the shared mapping. When a worker dies with work
+// outstanding, the parent loads the word: the named slot — started but
+// never resulted — is the one genuinely in-flight trial and becomes the
+// TrialError. Everything else in the dead worker's window (trials it
+// never started, and trials it finished whose buffered results died
+// with it) is re-queued to the surviving workers; trials are
+// deterministic functions of (root_seed, index), so a re-run reproduces
+// the lost results exactly. A word naming an already-resolved slot
+// (worker died idle between frames, its flushes all received) blames
+// nothing: the whole window is simply re-run.
 //
 // The "P" message is the profile analogue of "T": a worker that ran with
 // the sweep profiler enabled (the enabled flag is inherited through
@@ -39,6 +67,11 @@
 // (TraceCapture::deliver_remote), making the chrome trace identical to
 // a thread-backend run of the same sweep.
 //
+// Every pipe transfer is short-write/short-read and EINTR safe: frames
+// larger than PIPE_BUF (large batches, or a deliberately shrunken pipe
+// via ANIMUS_SHARD_PIPE_BUF) arrive in fragments on both sides, and the
+// parent's writev-based frame flush resumes mid-iovec.
+//
 // Workers _exit(2) rather than exit() so inherited stdio buffers are
 // never double-flushed, and never write to stdout/stderr — the parent
 // owns all reporting, which preserves the byte-identical-stdout
@@ -47,17 +80,23 @@
 
 #if !defined(_WIN32)
 
+#include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
+#include <sys/mman.h>
 #include <sys/types.h>
+#include <sys/uio.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <string>
 
 #include "obs/profile.hpp"
@@ -98,11 +137,13 @@ std::string unescape_payload(std::string_view s) {
   return out;
 }
 
-/// Write all of `line` to fd; false on any failure (dead worker).
-bool write_all(int fd, std::string_view line) {
+/// Write all of `buf` to a BLOCKING fd; false on any failure (dead
+/// peer). Loops over short writes (a signal can interrupt a large
+/// write mid-transfer) and EINTR.
+bool write_all(int fd, std::string_view buf) {
   std::size_t off = 0;
-  while (off < line.size()) {
-    const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+  while (off < buf.size()) {
+    const ssize_t n = ::write(fd, buf.data() + off, buf.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -112,81 +153,194 @@ bool write_all(int fd, std::string_view line) {
   return true;
 }
 
-struct Worker {
-  pid_t pid = -1;
-  int cmd_w = -1;       ///< parent's write end of the command pipe
-  int res_r = -1;       ///< parent's read end of the result pipe
-  std::string buffer;   ///< partial-line accumulator for res_r
-  std::size_t in_flight = static_cast<std::size_t>(-1);  ///< slot, or -1
-  bool alive = false;
-  bool draining = false;  ///< sent "Q", waiting for a clean exit
+/// EINTR/short-read safe buffered reader over a raw fd (worker side —
+/// replaces stdio so frame payloads can be read by exact byte count).
+class FdReader {
+ public:
+  explicit FdReader(int fd) : fd_(fd) {}
+
+  /// One '\n'-terminated line, newline stripped. False on EOF/error.
+  bool read_line(std::string* line) {
+    for (;;) {
+      const auto nl = buf_.find('\n', pos_);
+      if (nl != std::string::npos) {
+        line->assign(buf_, pos_, nl - pos_);
+        pos_ = nl + 1;
+        compact();
+        return true;
+      }
+      if (!fill()) return false;
+    }
+  }
+
+  /// Exactly `n` payload bytes. False on EOF/error before `n` arrived.
+  bool read_exact(std::size_t n, std::string* out) {
+    while (buf_.size() - pos_ < n) {
+      if (!fill()) return false;
+    }
+    out->assign(buf_, pos_, n);
+    pos_ += n;
+    compact();
+    return true;
+  }
+
+ private:
+  bool fill() {
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n > 0) {
+        buf_.append(chunk, static_cast<std::size_t>(n));
+        return true;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // EOF or hard error
+    }
+  }
+
+  void compact() {
+    if (pos_ > 4096 && pos_ >= buf_.size()) {
+      buf_.clear();
+      pos_ = 0;
+    }
+  }
+
+  int fd_;
+  std::string buf_;
+  std::size_t pos_ = 0;
 };
 
 constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
+/// The crash-attribution channel: one word of MAP_SHARED memory per
+/// worker, holding (slot + 1) of the trial the worker is currently
+/// running (0 = none started yet). Written with a single atomic store
+/// before each trial — no syscall — and readable by the parent even
+/// after the worker is SIGKILLed, because the shared mapping outlives
+/// the process.
+using ProgressWord = std::atomic<std::uint64_t>;
+static_assert(ProgressWord::is_always_lock_free);
+
+struct Worker {
+  pid_t pid = -1;
+  int cmd_w = -1;      ///< parent's write end of the command pipe (nonblocking)
+  int res_r = -1;      ///< parent's read end of the result pipe
+  ProgressWord* progress = nullptr;  ///< shared crash-attribution word
+  std::string buffer;  ///< partial-line accumulator for res_r
+  std::string pending_out;  ///< frame bytes the pipe has not accepted yet
+  std::deque<std::size_t> outstanding;  ///< dispatched, unresolved slots, in order
+  bool alive = false;
+  bool draining = false;  ///< sent "Q", waiting for a clean exit
+};
+
+/// Append "<a> <b>\n" without allocating.
+void append_pair(std::string& out, std::size_t a, std::size_t b) {
+  char rec[48];
+  char* p = rec;
+  auto r = std::to_chars(p, rec + sizeof(rec), a);
+  p = r.ptr;
+  *p++ = ' ';
+  r = std::to_chars(p, rec + sizeof(rec), b);
+  p = r.ptr;
+  *p++ = '\n';
+  out.append(rec, static_cast<std::size_t>(p - rec));
+}
+
 /// The worker-side loop. Never returns.
-[[noreturn]] void worker_main(int cmd_r, int res_w, std::uint64_t root_seed,
-                              const std::vector<std::size_t>& indices, const EncodedBody& body,
+[[noreturn]] void worker_main(int cmd_r, int res_w, ProgressWord* progress,
+                              std::uint64_t root_seed, const EncodedBody& body,
                               std::size_t crash_trial) {
-  std::FILE* cmd = ::fdopen(cmd_r, "r");
-  if (cmd == nullptr) ::_exit(2);
   // The profiler's enabled flag and accumulated tables are both
   // inherited through fork: keep the flag, drop the parent's counts so
   // this worker ships only what it observes itself.
   if (obs::span_profiler().enabled()) obs::span_profiler().reset();
-  char line[128];
+  FdReader reader(cmd_r);
+  std::string line;
+  std::string payload;
+  std::string results;  ///< buffered O/E (and T) lines, flushed per frame
   std::string msg;
   bool trace_sent = false;
-  while (std::fgets(line, sizeof(line), cmd) != nullptr) {
-    if (line[0] == 'Q') break;
-    if (line[0] != 'R') continue;
-    std::size_t slot = 0;
-    unsigned long long index = 0;
-    if (std::sscanf(line + 1, "%zu %llu", &slot, &index) != 2) ::_exit(2);
-    if (index == crash_trial) ::raise(SIGKILL);  // deterministic crash hook
-    (void)indices;
-    TrialContext ctx;
-    ctx.index = static_cast<std::size_t>(index);
-    ctx.seed = trial_seed(root_seed, ctx.index);
-    const auto t0 = Clock::now();
-    char tag = 'O';
-    std::string payload;
-    try {
-      obs::TraceCapture::TrialScope scope(ctx.index);
-      payload = body(ctx);
-    } catch (const std::exception& e) {
-      tag = 'E';
-      payload = e.what();
-    } catch (...) {
-      tag = 'E';
-      payload = "unknown exception";
+  while (reader.read_line(&line)) {
+    if (line.empty() || line[0] == 'Q') break;
+    if (line[0] != 'B') continue;
+    // "B <count> <len>"
+    const char* p = line.data() + 1;
+    const char* end = line.data() + line.size();
+    while (p < end && *p == ' ') ++p;
+    std::size_t count = 0;
+    auto r = std::from_chars(p, end, count);
+    if (r.ec != std::errc{}) ::_exit(2);
+    p = r.ptr;
+    while (p < end && *p == ' ') ++p;
+    std::size_t len = 0;
+    r = std::from_chars(p, end, len);
+    if (r.ec != std::errc{}) ::_exit(2);
+    if (!reader.read_exact(len, &payload)) ::_exit(2);
+
+    results.clear();
+    const char* rp = payload.data();
+    const char* rend = payload.data() + payload.size();
+    for (std::size_t t = 0; t < count; ++t) {
+      std::size_t slot = 0;
+      std::size_t index = 0;
+      auto rr = std::from_chars(rp, rend, slot);
+      if (rr.ec != std::errc{}) ::_exit(2);
+      rp = rr.ptr + 1;  // ' '
+      rr = std::from_chars(rp, rend, index);
+      if (rr.ec != std::errc{}) ::_exit(2);
+      rp = rr.ptr + 1;  // '\n'
+      // Publish "running slot" BEFORE the trial (and before the crash
+      // hook): if this process dies anywhere past this store, the
+      // parent attributes the death to exactly this trial.
+      if (progress) progress->store(slot + 1, std::memory_order_seq_cst);
+      if (index == crash_trial) ::raise(SIGKILL);  // deterministic crash hook
+      TrialContext ctx;
+      ctx.index = index;
+      ctx.seed = trial_seed(root_seed, index);
+      const auto t0 = Clock::now();
+      char tag = 'O';
+      std::string out_payload;
+      try {
+        obs::TraceCapture::TrialScope scope(ctx.index);
+        out_payload = body(ctx);
+      } catch (const std::exception& e) {
+        tag = 'E';
+        out_payload = e.what();
+      } catch (...) {
+        tag = 'E';
+        out_payload = "unknown exception";
+      }
+      const double elapsed = ms_between(t0, Clock::now());
+      // captured() stays true for the rest of this worker's life, so
+      // ship the claimed trial's trace exactly once, ahead of its
+      // result line (same buffered flush keeps the order).
+      if (!trace_sent && obs::trace_capture().captured()) {
+        trace_sent = true;
+        results += 'T';
+        results += ' ';
+        char nb[24];
+        auto nr = std::to_chars(nb, nb + sizeof(nb), slot);
+        results.append(nb, static_cast<std::size_t>(nr.ptr - nb));
+        results += ' ';
+        escape_payload(results, sim::serialize_records(obs::trace_capture().trace()));
+        results += '\n';
+      }
+      results += tag;
+      results += ' ';
+      char nb[24];
+      auto nr = std::to_chars(nb, nb + sizeof(nb), slot);
+      results.append(nb, static_cast<std::size_t>(nr.ptr - nb));
+      results += ' ';
+      char eb[48];
+      const auto er = std::to_chars(eb, eb + sizeof(eb), elapsed,
+                                    std::chars_format::fixed, 6);
+      results.append(eb, static_cast<std::size_t>(er.ptr - eb));
+      results += ' ';
+      escape_payload(results, out_payload);
+      results += '\n';
     }
-    const double elapsed = ms_between(t0, Clock::now());
-    // captured() stays true for the rest of this worker's life, so ship
-    // the claimed trial's trace exactly once, ahead of its result line.
-    if (!trace_sent && obs::trace_capture().captured()) {
-      trace_sent = true;
-      msg.clear();
-      msg += 'T';
-      msg += ' ';
-      msg += std::to_string(slot);
-      msg += ' ';
-      escape_payload(msg, sim::serialize_records(obs::trace_capture().trace()));
-      msg += '\n';
-      if (!write_all(res_w, msg)) ::_exit(2);
-    }
-    msg.clear();
-    msg += tag;
-    msg += ' ';
-    msg += std::to_string(slot);
-    msg += ' ';
-    char buf[48];
-    std::snprintf(buf, sizeof(buf), "%.6f", elapsed);
-    msg += buf;
-    msg += ' ';
-    escape_payload(msg, payload);
-    msg += '\n';
-    if (!write_all(res_w, msg)) ::_exit(2);  // parent went away
+    // Batched write-back: one flush per frame, not per trial.
+    if (!write_all(res_w, results)) ::_exit(2);  // parent went away
   }
   // Drain requested (or the command pipe vanished): ship this worker's
   // aggregated span-profile tables once, then exit. The parent keeps
@@ -219,6 +373,7 @@ EncodedSweep ProcessShardBackend::run_encoded(const std::vector<std::size_t>& in
   out.stats.samples_ms.assign(count, 0.0);
   // One utilization slot per shard (busy = worker-measured trial time).
   out.stats.workers.assign(static_cast<std::size_t>(workers_n), WorkerUtil{});
+  DispatchStats& dispatch_stats = out.stats.dispatch;
 
   const std::uint64_t root_seed = resolve_root_seed(run_);
   const std::size_t chunk =
@@ -226,6 +381,37 @@ EncodedSweep ProcessShardBackend::run_encoded(const std::vector<std::size_t>& in
           ? run_.chunk
           : std::clamp<std::size_t>(count / (8 * static_cast<std::size_t>(workers_n)),
                                     std::size_t{1}, std::size_t{64});
+
+  // Frame sizing. An explicit batch is clamped to [1, kMaxBatch] and to
+  // a fair per-shard share of the sweep (a 60-trial sweep on 3 shards
+  // must not hand one worker a 60-trial frame). batch == 0 is auto:
+  // probe with single-trial frames, then grow toward ~1 ms of measured
+  // trial work per frame.
+  const std::size_t fair_share =
+      std::max<std::size_t>(1, (count + static_cast<std::size_t>(workers_n) - 1) /
+                                   static_cast<std::size_t>(workers_n));
+  const bool auto_batch = options_.batch <= 0;
+  const std::size_t explicit_batch = std::clamp<std::size_t>(
+      auto_batch ? 1 : static_cast<std::size_t>(options_.batch), 1,
+      static_cast<std::size_t>(kMaxBatch));
+  auto batch_now = [&]() -> std::size_t {
+    std::size_t b = explicit_batch;
+    if (auto_batch) {
+      if (out.stats.trial_ms.count() < static_cast<std::size_t>(workers_n)) {
+        b = 1;  // probe frames until every shard has reported a cost
+      } else {
+        const double mean_ms = std::max(out.stats.trial_ms.mean(), 1e-6);
+        b = static_cast<std::size_t>(std::clamp(1.0 / mean_ms, 1.0,
+                                                static_cast<double>(kMaxBatch)));
+      }
+    }
+    return std::min(b, fair_share);
+  };
+  // One credit == the old one-in-flight protocol; that is forced for
+  // batch == 1 so the compatibility mode is bit-exact in behavior.
+  const std::size_t credits = (!auto_batch && explicit_batch == 1)
+                                  ? 1
+                                  : static_cast<std::size_t>(std::max(options_.credits, 1));
 
   // A worker we just discovered dead mid-write must not SIGPIPE us.
   struct sigaction ignore_pipe {};
@@ -239,6 +425,23 @@ EncodedSweep ProcessShardBackend::run_encoded(const std::vector<std::size_t>& in
     int cmd[2] = {-1, -1};
     int res[2] = {-1, -1};
     if (::pipe(cmd) != 0 || ::pipe(res) != 0) break;
+    // The crash-attribution word: mapped shared BEFORE the fork so both
+    // sides see one cache line, surviving the child's death. A failed
+    // mmap degrades gracefully (no per-trial attribution, window still
+    // re-dispatched).
+    void* page = ::mmap(nullptr, sizeof(ProgressWord), PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    if (page != MAP_FAILED) {
+      w.progress = new (page) ProgressWord(0);
+    }
+#if defined(F_SETPIPE_SZ)
+    if (options_.pipe_buf > 0) {
+      // Test hook: shrink both pipes so batch frames exceed the pipe
+      // capacity and every transfer path sees short writes/reads.
+      ::fcntl(cmd[1], F_SETPIPE_SZ, static_cast<int>(options_.pipe_buf));
+      ::fcntl(res[1], F_SETPIPE_SZ, static_cast<int>(options_.pipe_buf));
+    }
+#endif
     const pid_t pid = ::fork();
     if (pid < 0) {
       ::close(cmd[0]);
@@ -256,10 +459,15 @@ EncodedSweep ProcessShardBackend::run_encoded(const std::vector<std::size_t>& in
       }
       ::close(cmd[1]);
       ::close(res[0]);
-      worker_main(cmd[0], res[1], root_seed, indices, body, options_.crash_trial);
+      worker_main(cmd[0], res[1], w.progress, root_seed, body, options_.crash_trial);
     }
     ::close(cmd[0]);
     ::close(res[1]);
+    // Non-blocking command writes: a full pipe queues bytes in
+    // pending_out instead of blocking the parent (which must stay free
+    // to drain result pipes — the deadlock the old one-in-flight
+    // protocol never had to think about).
+    ::fcntl(cmd[1], F_SETFL, ::fcntl(cmd[1], F_GETFL) | O_NONBLOCK);
     w.pid = pid;
     w.cmd_w = cmd[1];
     w.res_r = res[0];
@@ -267,15 +475,18 @@ EncodedSweep ProcessShardBackend::run_encoded(const std::vector<std::size_t>& in
   }
 
   std::vector<char> resolved(count, 0);
+  std::deque<std::size_t> requeued;  ///< slots returned by a crashed worker
   std::size_t next_slot = 0;
-  std::size_t outstanding = count;
+  std::size_t resolved_count = 0;
   std::size_t completed = 0;
   std::size_t failed = 0;
+  std::string frame_buf;
 
   auto record_error = [&](std::size_t slot, std::string what) {
     const std::size_t index = indices[slot];
     out.errors.push_back({index, trial_seed(root_seed, index), std::move(what)});
     resolved[slot] = 1;
+    ++resolved_count;
     ++failed;
   };
 
@@ -286,33 +497,125 @@ EncodedSweep ProcessShardBackend::run_encoded(const std::vector<std::size_t>& in
     w.cmd_w = w.res_r = -1;
     int status = 0;
     ::waitpid(w.pid, &status, 0);
+    if (w.progress != nullptr) {
+      ::munmap(w.progress, sizeof(ProgressWord));
+      w.progress = nullptr;
+    }
     return status;
   };
 
-  /// Hand the next queued slot to `w`, or tell it to drain.
-  auto dispatch = [&](Worker& w) {
+  /// Next slot to dispatch: crash-requeued work first, then the cursor.
+  /// A requeued slot can have resolved in the meantime (its "lost"
+  /// result was still buffered when the crash was handled) — skip it.
+  auto next_work = [&]() -> std::size_t {
+    while (!requeued.empty()) {
+      const std::size_t slot = requeued.front();
+      requeued.pop_front();
+      if (!resolved[slot]) return slot;
+    }
     while (next_slot < count && resolved[next_slot]) ++next_slot;
-    if (next_slot >= count) {
-      w.in_flight = kNone;
-      w.draining = true;
-      write_all(w.cmd_w, "Q\n");  // failure is fine: EOF will reap it
-      return;
+    return next_slot < count ? next_slot++ : kNone;
+  };
+
+  /// Push pending_out into the (non-blocking) command pipe. Returns
+  /// false when the worker is dead (EPIPE); EAGAIN leaves the rest in
+  /// pending_out for the next POLLOUT.
+  auto flush_pending = [&](Worker& w) -> bool {
+    std::size_t off = 0;
+    bool ok = true;
+    while (off < w.pending_out.size()) {
+      const ssize_t n =
+          ::write(w.cmd_w, w.pending_out.data() + off, w.pending_out.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        ok = false;
+        break;
+      }
+      off += static_cast<std::size_t>(n);
     }
-    const std::size_t slot = next_slot++;
-    w.in_flight = slot;
-    const std::string msg =
-        "R " + std::to_string(slot) + " " + std::to_string(indices[slot]) + "\n";
-    if (!write_all(w.cmd_w, msg)) {
-      // Worker died between trials with this one just assigned: the
-      // trial never ran, but the worker is gone — account and reap.
-      const int status = reap(w);
-      record_error(slot, WIFSIGNALED(status)
-                             ? std::string("worker killed by signal ") +
-                                   std::to_string(WTERMSIG(status)) + " before trial started"
-                             : "worker exited before trial started");
-      w.in_flight = kNone;
-      --outstanding;
+    dispatch_stats.bytes_out += off;
+    w.pending_out.erase(0, off);
+    return ok;
+  };
+
+  /// Build one frame of up to batch_now() trials and start writing it
+  /// (writev of header + payload; anything the pipe does not accept is
+  /// queued on pending_out). Returns 0 when no work was available,
+  /// 1 on success, -1 when the write hit a dead pipe.
+  auto send_frame = [&](Worker& w) -> int {
+    const std::size_t limit = batch_now();
+    const auto t0 = Clock::now();
+    frame_buf.clear();
+    std::size_t n = 0;
+    while (n < limit) {
+      const std::size_t slot = next_work();
+      if (slot == kNone) break;
+      append_pair(frame_buf, slot, indices[slot]);
+      w.outstanding.push_back(slot);
+      ++n;
     }
+    if (n == 0) return 0;
+    char header[64];
+    char* h = header;
+    *h++ = 'B';
+    *h++ = ' ';
+    auto hr = std::to_chars(h, header + sizeof(header), n);
+    h = hr.ptr;
+    *h++ = ' ';
+    hr = std::to_chars(h, header + sizeof(header), frame_buf.size());
+    h = hr.ptr;
+    *h++ = '\n';
+    const std::size_t header_len = static_cast<std::size_t>(h - header);
+    ++dispatch_stats.frames;
+    dispatch_stats.trials += n;
+    dispatch_stats.max_batch = std::max<std::uint64_t>(dispatch_stats.max_batch, n);
+    const auto t1 = Clock::now();
+    dispatch_stats.encode_ms += ms_between(t0, t1);
+
+    bool ok = true;
+    if (w.pending_out.empty()) {
+      // Fast path: writev the frame straight into the pipe, resuming
+      // mid-iovec on short writes; queue whatever does not fit.
+      iovec iov[2] = {{header, header_len},
+                      {frame_buf.data(), frame_buf.size()}};
+      std::size_t sent = 0;
+      const std::size_t frame_total = header_len + frame_buf.size();
+      while (sent < frame_total) {
+        iovec* cur = iov;
+        int cnt = 2;
+        std::size_t skip = sent;
+        while (cnt > 0 && skip >= cur->iov_len) {
+          skip -= cur->iov_len;
+          ++cur;
+          --cnt;
+        }
+        iovec adj[2];
+        for (int k = 0; k < cnt; ++k) adj[k] = cur[k];
+        adj[0].iov_base = static_cast<char*>(adj[0].iov_base) + skip;
+        adj[0].iov_len -= skip;
+        const ssize_t wrote = ::writev(w.cmd_w, adj, cnt);
+        if (wrote < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            w.pending_out.append(header, header_len);
+            w.pending_out += frame_buf;
+            w.pending_out.erase(0, sent);
+            break;
+          }
+          ok = false;
+          break;
+        }
+        sent += static_cast<std::size_t>(wrote);
+      }
+      dispatch_stats.bytes_out += std::min(sent, frame_total);
+    } else {
+      w.pending_out.append(header, header_len);
+      w.pending_out += frame_buf;
+      ok = flush_pending(w);
+    }
+    dispatch_stats.flush_ms += ms_between(t1, Clock::now());
+    return ok ? 1 : -1;
   };
 
   auto progress_beat = [&](bool force) {
@@ -323,12 +626,77 @@ EncodedSweep ProcessShardBackend::run_encoded(const std::vector<std::size_t>& in
     p.total = count;
     p.errors = failed;
     p.workers_busy = 0;
-    for (const auto& w : workers) p.workers_busy += (w.alive && w.in_flight != kNone) ? 1 : 0;
+    for (const auto& w : workers) p.workers_busy += (w.alive && !w.outstanding.empty()) ? 1 : 0;
     p.jobs = workers_n;
     run_.progress(p);
   };
 
-  /// One complete result line from worker `w`.
+  std::function<void(Worker&)> handle_death;  // forward: refill uses it
+
+  /// Top the worker's credit window back up: send frames while a full
+  /// frame of window space is free (results arrive in frame bursts, so
+  /// this refills at frame boundaries instead of dribbling one-trial
+  /// frames after every result).
+  auto refill = [&](Worker& w) {
+    if (!w.alive || w.draining) return;
+    for (;;) {
+      const std::size_t b = batch_now();
+      if (w.outstanding.size() + b > b * credits) break;
+      const int rc = send_frame(w);
+      if (rc == 0) break;  // queue empty
+      if (rc < 0) {        // command pipe is dead: the worker is gone
+        handle_death(w);
+        break;
+      }
+    }
+  };
+
+  /// A worker died (EOF on its result pipe, or a command write hit
+  /// EPIPE). Blame the one genuinely in-flight trial — the slot its
+  /// shared progress word names, started but never resulted — and
+  /// re-queue the rest of its window to the survivors.
+  handle_death = [&](Worker& w) {
+    // Load the attribution word BEFORE reap() unmaps the shared page.
+    // The word can lag the result stream (worker died idle; its last
+    // flush was fully received), in which case the named slot is
+    // already resolved and nothing is blamed.
+    std::size_t blamed = kNone;
+    if (w.progress != nullptr) {
+      const std::uint64_t word = w.progress->load(std::memory_order_seq_cst);
+      if (word != 0 && !resolved[static_cast<std::size_t>(word - 1)]) {
+        blamed = static_cast<std::size_t>(word - 1);
+      }
+    }
+    const int status = reap(w);
+    if (blamed != kNone) {
+      std::string what;
+      if (WIFSIGNALED(status)) {
+        what = "worker killed by signal " + std::to_string(WTERMSIG(status)) + " (" +
+               ::strsignal(WTERMSIG(status)) + ") while running trial " +
+               std::to_string(indices[blamed]);
+      } else {
+        what = "worker exited with status " +
+               std::to_string(WIFEXITED(status) ? WEXITSTATUS(status) : -1) +
+               " while running trial " + std::to_string(indices[blamed]);
+      }
+      record_error(blamed, std::move(what));
+      ++completed;
+    }
+    for (const std::size_t slot : w.outstanding) {
+      if (slot == blamed || resolved[slot]) continue;
+      requeued.push_back(slot);
+      ++dispatch_stats.redispatched;
+    }
+    w.outstanding.clear();
+    w.pending_out.clear();
+    progress_beat(true);
+    // The dead worker's window flows to the survivors immediately.
+    for (auto& other : workers) {
+      if (other.alive) refill(other);
+    }
+  };
+
+  /// One complete message line from worker `w`.
   auto handle_line = [&](Worker& w, std::string_view line) {
     if (line.size() >= 2 && line[0] == 'P') {
       // A draining worker's span-profile tables: fold them into the
@@ -352,13 +720,19 @@ EncodedSweep ProcessShardBackend::run_encoded(const std::vector<std::size_t>& in
       return;
     }
     if (line.size() < 2 || (line[0] != 'O' && line[0] != 'E')) return;
+    // "O <slot> <elapsed> <payload>" — parsed without sscanf or
+    // temporary strings: this runs once per trial and is the parent's
+    // hot path.
+    const char* p = line.data() + 2;
+    const char* end = line.data() + line.size();
     std::size_t slot = 0;
+    auto r = std::from_chars(p, end, slot);
+    if (r.ec != std::errc{} || r.ptr >= end || *r.ptr != ' ') return;
     double elapsed = 0.0;
-    int consumed = 0;
-    const std::string head(line.substr(1, std::min<std::size_t>(line.size() - 1, 64)));
-    if (std::sscanf(head.c_str(), "%zu %lf %n", &slot, &elapsed, &consumed) != 2) return;
-    const auto payload_at = line.find(' ', line.find(' ', 2) + 1) + 1;
-    const std::string payload = unescape_payload(line.substr(payload_at));
+    auto r2 = std::from_chars(r.ptr + 1, end, elapsed);
+    if (r2.ec != std::errc{}) return;
+    const char* payload = r2.ptr < end && *r2.ptr == ' ' ? r2.ptr + 1 : r2.ptr;
+    const std::string_view raw(payload, static_cast<std::size_t>(end - payload));
     if (slot >= count || resolved[slot]) return;
     const std::size_t index = indices[slot];
     out.stats.samples_ms[slot] = elapsed;
@@ -367,30 +741,46 @@ EncodedSweep ProcessShardBackend::run_encoded(const std::vector<std::size_t>& in
     ++util.trials;
     util.busy_ms += elapsed;
     if (line[0] == 'O') {
-      if (sink) sink(index, trial_seed(root_seed, index), payload);
-      out.encoded[slot] = payload;
+      // Fast path: most codec payloads carry no escapes at all.
+      if (std::memchr(raw.data(), '\\', raw.size()) == nullptr) {
+        if (sink) sink(index, trial_seed(root_seed, index), raw);
+        out.encoded[slot].assign(raw);
+      } else {
+        std::string decoded = unescape_payload(raw);
+        if (sink) sink(index, trial_seed(root_seed, index), decoded);
+        out.encoded[slot] = std::move(decoded);
+      }
       out.produced[slot] = 1;
+      resolved[slot] = 1;
+      ++resolved_count;
     } else {
-      out.errors.push_back({index, trial_seed(root_seed, index), payload});
-      ++failed;
+      record_error(slot, unescape_payload(raw));
     }
-    resolved[slot] = 1;
-    w.in_flight = kNone;
-    --outstanding;
+    // Results arrive in dispatch order: retire the window front.
+    if (!w.outstanding.empty() && w.outstanding.front() == slot) {
+      w.outstanding.pop_front();
+    } else {
+      const auto it = std::find(w.outstanding.begin(), w.outstanding.end(), slot);
+      if (it != w.outstanding.end()) w.outstanding.erase(it);
+    }
     ++completed;
     progress_beat(completed == count);
-    dispatch(w);
+    refill(w);
   };
 
-  // Prime every worker with one trial.
+  // Prime every worker's credit window.
   for (auto& w : workers) {
-    if (w.alive) dispatch(w);
+    if (w.alive) refill(w);
   }
 
   std::vector<pollfd> fds;
-  while (outstanding > 0) {
+  std::vector<Worker*> polled;
+  while (resolved_count < count) {
+    // Result fds poll for POLLIN; command fds with queued frame bytes
+    // poll for POLLOUT (the command pipe is non-blocking, so a full
+    // pipe parks its bytes in pending_out until the worker drains it).
     fds.clear();
-    std::vector<Worker*> polled;
+    polled.clear();
     for (auto& w : workers) {
       if (!w.alive) continue;
       fds.push_back({w.res_r, POLLIN, 0});
@@ -403,22 +793,36 @@ EncodedSweep ProcessShardBackend::run_encoded(const std::vector<std::size_t>& in
         if (!resolved[slot]) {
           record_error(slot, "no surviving worker (all " + std::to_string(workers_n) +
                                  " shards exited)");
-          --outstanding;
         }
       }
       break;
+    }
+    const std::size_t res_n = fds.size();
+    for (auto& w : workers) {
+      if (w.alive && !w.pending_out.empty()) {
+        fds.push_back({w.cmd_w, POLLOUT, 0});
+        polled.push_back(&w);
+      }
     }
     const int rc = ::poll(fds.data(), fds.size(), -1);
     if (rc < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    for (std::size_t i = 0; i < fds.size(); ++i) {
+    for (std::size_t i = res_n; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLOUT | POLLHUP | POLLERR)) == 0) continue;
+      Worker& w = *polled[i];
+      if (!w.alive) continue;
+      if (!flush_pending(w)) handle_death(w);
+    }
+    for (std::size_t i = 0; i < res_n; ++i) {
       if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       Worker& w = *polled[i];
-      char buf[4096];
+      if (!w.alive) continue;
+      char buf[8192];
       const ssize_t n = ::read(w.res_r, buf, sizeof(buf));
       if (n > 0) {
+        dispatch_stats.bytes_in += static_cast<std::uint64_t>(n);
         w.buffer.append(buf, static_cast<std::size_t>(n));
         std::size_t start = 0;
         for (std::size_t nl = w.buffer.find('\n', start); nl != std::string::npos;
@@ -430,43 +834,34 @@ EncodedSweep ProcessShardBackend::run_encoded(const std::vector<std::size_t>& in
         continue;
       }
       if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
-      // EOF: clean drain after "Q", or a crash with a trial in flight.
-      const std::size_t in_flight = w.in_flight;
-      const bool was_draining = w.draining;
-      const int status = reap(w);
-      if (in_flight != kNone) {
-        std::string what;
-        if (WIFSIGNALED(status)) {
-          what = "worker killed by signal " + std::to_string(WTERMSIG(status)) + " (" +
-                 ::strsignal(WTERMSIG(status)) + ") while running trial " +
-                 std::to_string(indices[in_flight]);
-        } else {
-          what = "worker exited with status " +
-                 std::to_string(WIFEXITED(status) ? WEXITSTATUS(status) : -1) +
-                 " while running trial " + std::to_string(indices[in_flight]);
-        }
-        record_error(in_flight, std::move(what));
-        --outstanding;
-        ++completed;
-        progress_beat(true);
-      } else if (!was_draining) {
-        // Idle worker died between dispatches; nothing was lost.
+      // EOF: clean drain after "Q", or a crash with a window in flight.
+      if (!w.outstanding.empty()) {
+        handle_death(w);
+      } else {
+        reap(w);  // idle worker died between frames; nothing was lost
       }
     }
   }
 
   // Drain the survivors and reap them. A draining worker ships its "P"
   // span-profile message between the "Q" and its clean exit — and the
-  // main poll loop may have returned (outstanding hit zero) before that
+  // main poll loop may have returned (everything resolved) before that
   // message arrived — so read each result pipe to EOF before reaping.
   for (auto& w : workers) {
     if (!w.alive) continue;
-    if (!w.draining) write_all(w.cmd_w, "Q\n");
-    char buf[4096];
+    if (!w.draining) {
+      w.draining = true;
+      // All trials are resolved here, so the command pipe is idle: a
+      // 2-byte write cannot hit EAGAIN. Failure just means the worker
+      // is already gone — EOF below handles it.
+      write_all(w.cmd_w, "Q\n");
+    }
+    char buf[8192];
     for (;;) {
       const ssize_t n = ::read(w.res_r, buf, sizeof(buf));
       if (n < 0 && errno == EINTR) continue;
       if (n <= 0) break;
+      dispatch_stats.bytes_in += static_cast<std::uint64_t>(n);
       w.buffer.append(buf, static_cast<std::size_t>(n));
       std::size_t start = 0;
       for (std::size_t nl = w.buffer.find('\n', start); nl != std::string::npos;

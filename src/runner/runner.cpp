@@ -89,6 +89,21 @@ std::string SweepStats::worker_lines() const {
   return out;
 }
 
+std::string SweepStats::dispatch_line() const {
+  if (dispatch.frames == 0) return {};
+  const double mean_batch =
+      static_cast<double>(dispatch.trials) / static_cast<double>(dispatch.frames);
+  return metrics::fmt("dispatch: %llu frames (mean %.1f, max %llu trials/frame), "
+                      "%llu redispatched, %llu B out / %llu B in, "
+                      "encode %.2f ms, flush %.2f ms",
+                      static_cast<unsigned long long>(dispatch.frames), mean_batch,
+                      static_cast<unsigned long long>(dispatch.max_batch),
+                      static_cast<unsigned long long>(dispatch.redispatched),
+                      static_cast<unsigned long long>(dispatch.bytes_out),
+                      static_cast<unsigned long long>(dispatch.bytes_in),
+                      dispatch.encode_ms, dispatch.flush_ms);
+}
+
 std::string SweepStats::to_string() const {
   if (trial_ms.count() == 0) return "0 trials";
   const double rate = wall_ms > 0.0 ? 1000.0 * static_cast<double>(trial_ms.count()) / wall_ms

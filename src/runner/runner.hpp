@@ -110,6 +110,23 @@ struct WorkerUtil {
   double wait_ms = 0.0;      ///< wall-clock acquiring work / steal-waiting
 };
 
+/// Wall-clock accounting of the process backend's batched dispatch
+/// path: frames sent, bytes moved and time the parent spent
+/// encoding/flushing command frames. Like WorkerUtil this is
+/// timing-dependent (frame sizes under --batch=auto depend on measured
+/// trial cost) — reported on stderr alongside the worker timelines when
+/// the span profiler is enabled, never in deterministic artifacts.
+struct DispatchStats {
+  std::uint64_t frames = 0;        ///< command frames written
+  std::uint64_t trials = 0;        ///< trials dispatched (incl. re-dispatch)
+  std::uint64_t redispatched = 0;  ///< trials re-queued after a worker crash
+  std::uint64_t max_batch = 0;     ///< largest frame (trials)
+  std::uint64_t bytes_out = 0;     ///< command-frame bytes written
+  std::uint64_t bytes_in = 0;      ///< result bytes read
+  double encode_ms = 0.0;          ///< parent wall-clock encoding frames
+  double flush_ms = 0.0;           ///< parent wall-clock in writev/flush
+};
+
 /// Timing report for one sweep. Trial times are wall-clock (the trial
 /// bodies run simulated worlds, so simulated time is irrelevant here).
 struct SweepStats {
@@ -123,6 +140,9 @@ struct SweepStats {
   /// entry per shard for the process backend). Wall-clock, not
   /// deterministic — excluded from profile JSON by design.
   std::vector<WorkerUtil> workers;
+  /// Batched-dispatch accounting (process backend only; frames == 0
+  /// elsewhere). Same stderr-only rule as `workers`.
+  DispatchStats dispatch;
 
   /// Fraction of jobs * wall_ms spent inside trial bodies (0..1).
   [[nodiscard]] double utilization() const;
@@ -135,6 +155,9 @@ struct SweepStats {
   /// Multi-line per-worker timeline ("worker 0: 52 trials ... [####-]"),
   /// one bar per worker; empty string when workers is empty.
   [[nodiscard]] std::string worker_lines() const;
+  /// One-line dispatch-path summary ("dispatch: 32 frames ..."); empty
+  /// string when no frames were sent (threads backend).
+  [[nodiscard]] std::string dispatch_line() const;
 };
 
 /// Thread-pool batch executor. Stateless between runs; the pool is

@@ -49,6 +49,7 @@ CampaignRecord pending_record(const std::string& id, const CampaignSubmission& s
   rec.jobs = sub.jobs;
   rec.backend = sub.backend;
   rec.shards = sub.shards;
+  rec.batch = sub.batch;
   rec.tier = sub.tier;
   if (const CampaignBench* b = find_campaign_bench(sub.bench)) rec.trials = b->trials;
   rec.status = status;
@@ -88,6 +89,21 @@ std::optional<CampaignSubmission> CampaignSubmission::parse(std::string_view jso
   if (sub.shards < 0) {
     *error = "shards must be >= 0";
     return std::nullopt;
+  }
+  if (const auto batch = json_field(json, "batch")) {
+    if (*batch == "auto") {
+      sub.batch = 0;
+    } else {
+      char* end = nullptr;
+      const long v = std::strtol(batch->c_str(), &end, 10);
+      if (end == batch->c_str() || *end != '\0' || v < 0 ||
+          v > runner::ProcessShardBackend::kMaxBatch) {
+        *error = "batch must be \"auto\" or an integer in [0, " +
+                 std::to_string(runner::ProcessShardBackend::kMaxBatch) + "]";
+        return std::nullopt;
+      }
+      sub.batch = static_cast<int>(v);
+    }
   }
   sub.tier = json_field(json, "tier").value_or("auto");
   if (sub.tier != "auto" && sub.tier != "sim" && sub.tier != "analytic") {
@@ -341,6 +357,7 @@ void CampaignDaemon::run_one(const Queued& q) {
   args.run.jobs = q.sub.jobs;
   args.backend = q.sub.backend;
   args.shards = q.sub.shards;
+  args.batch = q.sub.batch;
   args.tier = q.sub.tier;
 
   // Live telemetry: every runner progress beat publishes one heartbeat

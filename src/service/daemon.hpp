@@ -1,6 +1,6 @@
 // CampaignDaemon: the long-running campaign service behind `campaignd`.
 //
-// Submissions (bench name + seed/jobs/backend/shards/tier) enter a FIFO
+// Submissions (bench name + seed/jobs/backend/shards/batch/tier) enter a FIFO
 // queue over `POST /campaigns`; one scheduler thread drains the queue,
 // running each campaign through the shared bench registry
 // (service/benches.hpp) on the existing ExecutionBackend fleet. The
@@ -55,6 +55,9 @@ struct CampaignSubmission {
   int jobs = 0;               ///< 0 = all hardware cores
   std::string backend;        ///< "" | "threads" | "process"
   int shards = 0;
+  /// Trials per process-backend command frame. Accepted as a number in
+  /// [0, kMaxBatch] or the string "auto"; 0 = auto-sized frames.
+  int batch = 0;
   std::string tier = "auto";
   /// Capture the Chrome trace of the representative trial (index 0) and
   /// store it in the record for `GET /campaigns/<id>/trace`. Off by

@@ -33,6 +33,7 @@ std::string CampaignRecord::to_json() const {
   field_u64(out, "jobs", static_cast<std::uint64_t>(jobs));
   field_str(out, "backend", backend);
   field_u64(out, "shards", static_cast<std::uint64_t>(shards));
+  if (batch != 0) field_u64(out, "batch", static_cast<std::uint64_t>(batch));
   field_str(out, "tier", tier);
   field_u64(out, "trials", trials);
   field_u64(out, "errors", errors);
@@ -69,6 +70,7 @@ std::optional<CampaignRecord> CampaignRecord::parse(std::string_view line) {
   rec.jobs = static_cast<int>(json_u64(line, "jobs"));
   rec.backend = json_field(line, "backend").value_or("");
   rec.shards = static_cast<int>(json_u64(line, "shards"));
+  rec.batch = static_cast<int>(json_u64(line, "batch"));
   rec.tier = json_field(line, "tier").value_or("auto");
   rec.trials = json_u64(line, "trials");
   rec.errors = json_u64(line, "errors");

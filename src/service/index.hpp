@@ -35,6 +35,10 @@ struct CampaignRecord {
   int jobs = 0;               ///< worker threads (0 = all cores)
   std::string backend;        ///< "" = threads
   int shards = 0;             ///< process-backend workers
+  /// Trials per process-backend command frame (0 = auto-sized). Emitted
+  /// only when non-zero, so records written before batching existed
+  /// parse and re-serialize untouched.
+  int batch = 0;
   std::string tier = "auto";  ///< trial tier
   std::size_t trials = 0;     ///< trials run
   std::size_t errors = 0;     ///< failed trials

@@ -306,6 +306,125 @@ TEST(Backends, ProcessBackendMergesProfilesByteIdenticallyWithThreads) {
   EXPECT_EQ(via_threads, via_process);
 }
 
+TEST(Backends, BatchedDispatchIsByteIdenticalAtAnyBatchSize) {
+  // The batching/credit protocol must be unobservable in the results:
+  // any {batch, shards} combination — including batch=0 (auto-sized
+  // frames) — produces the same bytes and the same errors as the
+  // single-threaded reference.
+  runner::RunOptions run;
+  run.root_seed = 0xBA7C;
+  runner::RunOptions one = run;
+  one.jobs = 1;
+  runner::ThreadBackend reference{one};
+  const auto want = run_with(reference);
+
+  for (const int batch : {0, 1, 2, 8, 64}) {
+    for (const int shards : {2, 5}) {
+      runner::ProcessShardBackend::Options opts;
+      opts.shards = shards;
+      opts.batch = batch;
+      runner::ProcessShardBackend process{run, opts};
+      const auto got = run_with(process);
+      const std::string what =
+          "batch=" + std::to_string(batch) + " shards=" + std::to_string(shards);
+      expect_equivalent(want, got, what.c_str());
+      // Dispatch accounting matches the mode: the compatibility mode
+      // (batch=1) sends single-trial frames; batched modes frame
+      // multiple trials per command write.
+      EXPECT_GT(got.stats.dispatch.frames, 0u) << what;
+      if (batch == 1) {
+        EXPECT_EQ(got.stats.dispatch.max_batch, 1u) << what;
+      } else if (batch > 1) {
+        EXPECT_LE(got.stats.dispatch.max_batch,
+                  static_cast<std::uint64_t>(batch)) << what;
+        EXPECT_GT(got.stats.dispatch.max_batch, 1u) << what;
+      }
+    }
+  }
+
+  // Sparse resume subsets keep slot keying under batching too.
+  std::vector<std::size_t> subset = {57, 2, 40, 19, 5, 33, 26, 8, 11};
+  const auto ref_subset = reference.run_encoded(subset, kTotal, workload, nullptr);
+  runner::ProcessShardBackend::Options opts;
+  opts.shards = 3;
+  opts.batch = 4;
+  runner::ProcessShardBackend process{run, opts};
+  const auto got_subset = process.run_encoded(subset, kTotal, workload, nullptr);
+  expect_equivalent(ref_subset, got_subset, "subset batch=4 shards=3");
+}
+
+TEST(Backends, ShardKilledMidBatchLosesExactlyTheInFlightTrial) {
+  // SIGKILL mid-batch: the worker stamps its shared progress word as
+  // each trial starts, so the parent blames exactly the
+  // started-but-unresulted trial. Everything
+  // else in the dead worker's credit window — trials it never started
+  // AND trials it finished whose buffered results died with it — is
+  // re-dispatched to the survivors and completes normally.
+  runner::RunOptions run;
+  runner::ProcessShardBackend::Options opts;
+  opts.shards = 2;
+  opts.batch = 8;
+  opts.crash_trial = 21;  // worker SIGKILLs itself when handed trial 21
+  runner::ProcessShardBackend process{run, opts};
+
+  const auto sweep = run_with(process);
+  std::set<std::size_t> failed;
+  for (const auto& e : sweep.errors) failed.insert(e.index);
+  EXPECT_EQ(failed, (std::set<std::size_t>{5, 18, 21, 31, 44, 57}));
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    EXPECT_EQ(static_cast<bool>(sweep.produced[i]), failed.count(i) == 0) << i;
+  }
+  std::size_t signal_errors = 0;
+  for (const auto& e : sweep.errors) {
+    if (e.index == 21) {
+      ++signal_errors;
+      EXPECT_NE(e.what.find("signal"), std::string::npos) << e.what;
+      EXPECT_NE(e.what.find("trial 21"), std::string::npos) << e.what;
+    } else {
+      EXPECT_EQ(e.what.rfind("boom", 0), 0u) << e.what;
+    }
+  }
+  EXPECT_EQ(signal_errors, 1u);
+  // Trial 21 sat in an 8-trial frame, so killing the worker stranded
+  // window neighbors that had to be re-queued to the surviving shard.
+  EXPECT_GE(sweep.stats.dispatch.redispatched, 1u);
+}
+
+TEST(Backends, TinyPipeBufferForcesShortWritesWithoutCorruption) {
+  // Regression test for short-write/short-read handling: shrink both
+  // pipes to one page (F_SETPIPE_SZ) and push frames and result
+  // payloads far larger than that, so the parent's writev resumes
+  // mid-frame (EAGAIN on the non-blocking command pipe), the worker's
+  // frame reads arrive fragmented, and the batched result flush spans
+  // many partial writes. Payloads carry newlines and backslashes so
+  // escaping is exercised across fragment boundaries.
+  constexpr std::size_t kBig = 1024;
+  std::vector<std::size_t> indices(kBig);
+  for (std::size_t i = 0; i < kBig; ++i) indices[i] = i;
+  const runner::EncodedBody body = [](const runner::TrialContext& ctx) -> std::string {
+    std::string payload = std::to_string(ctx.index) + ":" + std::to_string(ctx.seed) + ":";
+    payload.append(1500 + ctx.index % 137, static_cast<char>('a' + ctx.index % 23));
+    payload += "\nline\\two\n";
+    return payload;
+  };
+
+  runner::RunOptions run;
+  run.root_seed = 0x517E;
+  runner::RunOptions one = run;
+  one.jobs = 1;
+  runner::ThreadBackend reference{one};
+  const auto want = reference.run_encoded(indices, kBig, body, nullptr);
+
+  runner::ProcessShardBackend::Options opts;
+  opts.shards = 2;
+  opts.batch = 256;   // ~2.3 KB command frames, two in flight per worker
+  opts.pipe_buf = 4096;  // one page — the smallest a pipe can get
+  runner::ProcessShardBackend process{run, opts};
+  const auto got = process.run_encoded(indices, kBig, body, nullptr);
+  expect_equivalent(want, got, "tiny pipe, huge frames");
+  EXPECT_TRUE(got.errors.empty());
+}
+
 TEST(Backends, FaultScheduleIsDeterministicAndRateShaped) {
   // The --inject-fault schedule is a pure function of (root seed, rate,
   // index): stable across calls, empty at 0, total at 1, and roughly

@@ -535,6 +535,7 @@ TEST(Manifest, JsonRoundTrip) {
   m.jobs = 8;
   m.backend = "process";
   m.shards = 4;
+  m.batch = 32;
   m.inject_fault = 0.125;
   m.deterministic = true;
   m.csv = true;
@@ -567,6 +568,7 @@ TEST(Manifest, JsonRoundTrip) {
   EXPECT_EQ(back->jobs, m.jobs);
   EXPECT_EQ(back->backend, m.backend);
   EXPECT_EQ(back->shards, m.shards);
+  EXPECT_EQ(back->batch, m.batch);
   EXPECT_DOUBLE_EQ(back->inject_fault, m.inject_fault);
   EXPECT_EQ(back->deterministic, m.deterministic);
   EXPECT_EQ(back->csv, m.csv);

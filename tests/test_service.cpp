@@ -294,6 +294,22 @@ TEST(ManifestIndex, TraceAndProfileFieldsAreEmittedOnlyWhenPresent) {
   EXPECT_EQ(back->to_json(), json);
 }
 
+TEST(ManifestIndex, BatchFieldIsEmittedOnlyWhenPinned) {
+  // batch=0 (auto) is the default and stays off the wire, so records
+  // written before batching existed re-serialize byte-identically.
+  auto rec = sample_record("c0011");
+  EXPECT_EQ(rec.to_json().find("\"batch\""), std::string::npos);
+
+  rec.batch = 64;
+  const std::string json = rec.to_json();
+  EXPECT_NE(json.find("\"batch\":64"), std::string::npos);
+  EXPECT_LT(json.find("\"batch\""), json.find("\"status\""));  // "status" stays last
+  const auto back = service::CampaignRecord::parse(json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->batch, 64);
+  EXPECT_EQ(back->to_json(), json);
+}
+
 // ------------------------------------------------------------- submission
 
 TEST(Submission, ValidatesEveryFieldBeforeQueueing) {
@@ -328,6 +344,26 @@ TEST(Submission, ValidatesEveryFieldBeforeQueueing) {
   EXPECT_FALSE(
       service::CampaignSubmission::parse("{\"bench\":\"fig07\",\"tier\":\"warp\"}", &error));
   EXPECT_NE(error.find("tier"), std::string::npos);
+
+  // Batch: a number in [0, kMaxBatch] or the string "auto" (= 0).
+  EXPECT_EQ(ok->batch, 0);  // absent => auto-sized frames
+  const auto batched = service::CampaignSubmission::parse(
+      "{\"bench\":\"fig07\",\"backend\":\"process\",\"batch\":64}", &error);
+  ASSERT_TRUE(batched.has_value()) << error;
+  EXPECT_EQ(batched->batch, 64);
+  const auto auto_batched = service::CampaignSubmission::parse(
+      "{\"bench\":\"fig07\",\"batch\":\"auto\"}", &error);
+  ASSERT_TRUE(auto_batched.has_value()) << error;
+  EXPECT_EQ(auto_batched->batch, 0);
+  EXPECT_FALSE(
+      service::CampaignSubmission::parse("{\"bench\":\"fig07\",\"batch\":-4}", &error));
+  EXPECT_NE(error.find("batch"), std::string::npos);
+  EXPECT_FALSE(
+      service::CampaignSubmission::parse("{\"bench\":\"fig07\",\"batch\":100000}", &error));
+  EXPECT_NE(error.find("batch"), std::string::npos);
+  EXPECT_FALSE(
+      service::CampaignSubmission::parse("{\"bench\":\"fig07\",\"batch\":\"many\"}", &error));
+  EXPECT_NE(error.find("batch"), std::string::npos);
 
   // Trace capture is opt-in and strictly boolean.
   EXPECT_FALSE(ok->trace);
