@@ -1,0 +1,45 @@
+// attack_packs — sweep registered attack scenarios through the shared
+// campaign runner.
+//
+// Every scenario in core::scenario_registry() (the four paper attacks
+// plus the related-work packs: tapjacking, notification-abuse,
+// frosted-glass) exposes a canonical campaign grid; this bench runs it
+// with full BenchArgs plumbing, so one binary exercises any pack under
+// any {--tier, --backend, --jobs, --shards, --batch} combination:
+//
+//   attack_packs --list-scenarios
+//   attack_packs --scenario tapjacking --csv
+//   attack_packs --scenario frosted-glass --tier analytic --csv
+//   attack_packs --scenario notification-abuse --backend process --shards 3
+//
+// The CSV is the determinism contract: byte-identical for a given
+// scenario across every execution strategy (CI's scenario-smoke job
+// diffs them). Without --scenario, all registered scenarios run in
+// registry (sorted-name) order.
+#include <cstdio>
+
+#include "core/attack_scenario.hpp"
+#include "metrics/table.hpp"
+#include "runner/bench_cli.hpp"
+#include "service/benches.hpp"
+
+int main(int argc, char** argv) {
+  using namespace animus;
+  const auto args = runner::BenchArgs::parse(argc, argv);
+
+  bool ok = true;
+  for (const core::AttackScenario* s : core::scenario_registry()) {
+    if (!args.scenario.empty() && s->name != args.scenario) continue;
+    runner::note(args, metrics::fmt("=== scenario %s: %s ===\n", s->name.c_str(),
+                                    s->description.c_str())
+                           .c_str());
+    const service::CampaignOutput out = service::run_scenario_campaign(*s, args);
+    runner::emit(out.table, args);
+    if (!args.csv) {
+      std::printf("\n%zu trials, %zu errors.\n", out.trials, out.errors);
+    }
+    ok = ok && out.ok;
+  }
+  runner::finish(args);
+  return ok ? 0 : 1;
+}

@@ -79,18 +79,23 @@ std::optional<std::string> http_post(int port, const std::string& path,
 
 [[noreturn]] void usage(const char* argv0, int code) {
   std::fprintf(code == 0 ? stdout : stderr,
-               "usage: %s [--port N] --bench NAME [--seed S] [--jobs N]\n"
+               "usage: %s [--port N] (--bench NAME | --scenario NAME) [--seed S] [--jobs N]\n"
                "          [--backend NAME] [--shards N] [--batch N|auto] [--tier NAME]\n"
                "          [--trace] [--wait]\n"
                "       %s [--port N] --list\n"
+               "       %s [--port N] --list-scenarios\n"
+               "  --scenario        sweep a registered attack scenario's canonical\n"
+               "                    campaign grid (names from --list-scenarios)\n"
                "  --batch  trials per process-backend command frame (auto = size\n"
                "           frames from measured trial cost; results are identical\n"
                "           at any value)\n"
                "  --trace  capture the representative trial's Chrome trace\n"
                "           (fetch it later via GET /campaigns/<id>/trace)\n"
                "  --wait   poll until the campaign finishes, print its CSV on stdout\n"
-               "  --list   dump GET /campaigns and exit\n",
-               argv0, argv0);
+               "  --list   dump GET /campaigns and exit\n"
+               "  --list-scenarios  dump GET /scenarios (name, description,\n"
+               "                    analytic-eligible flag) and exit\n",
+               argv0, argv0, argv0);
   std::exit(code);
 }
 
@@ -105,11 +110,11 @@ int main(int argc, char** argv) {
 #else
   using animus::service::json_field;
   int port = 8791;
-  std::string bench, backend, tier;
+  std::string bench, scenario, backend, tier;
   unsigned long long seed = 0;
   int jobs = 0, shards = 0;
   std::string batch;  // "" = omit, "auto" or a number otherwise
-  bool wait = false, list = false, trace = false;
+  bool wait = false, list = false, list_scenarios = false, trace = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     const auto value = [&]() -> const char* {
@@ -120,6 +125,8 @@ int main(int argc, char** argv) {
       port = std::atoi(value());
     } else if (arg == "--bench") {
       bench = value();
+    } else if (arg == "--scenario") {
+      scenario = value();
     } else if (arg == "--seed") {
       seed = std::strtoull(value(), nullptr, 0);
     } else if (arg == "--jobs") {
@@ -138,6 +145,8 @@ int main(int argc, char** argv) {
       wait = true;
     } else if (arg == "--list") {
       list = true;
+    } else if (arg == "--list-scenarios") {
+      list_scenarios = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0], 0);
     } else {
@@ -146,8 +155,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (list) {
-    const auto body = http_get(port, "/campaigns");
+  if (list || list_scenarios) {
+    const auto body = http_get(port, list ? "/campaigns" : "/scenarios");
     if (!body) {
       std::fprintf(stderr, "%s: cannot reach campaignd on port %d\n", argv[0], port);
       return 2;
@@ -155,9 +164,13 @@ int main(int argc, char** argv) {
     std::fputs(body->c_str(), stdout);
     return 0;
   }
-  if (bench.empty()) usage(argv[0], 2);
+  if (bench.empty() == scenario.empty()) usage(argv[0], 2);  // exactly one of the two
 
-  std::string submission = "{\"bench\":\"" + bench + "\",\"seed\":" + std::to_string(seed) +
+  // A scenario submission ships the "scenario" field; the daemon resolves
+  // it to the "scenario:<name>" bench (and 400s unknown names with the
+  // list of valid ones).
+  std::string submission = (scenario.empty() ? "{\"bench\":\"" + bench : "{\"scenario\":\"" + scenario) +
+                           "\",\"seed\":" + std::to_string(seed) +
                            ",\"jobs\":" + std::to_string(jobs);
   if (!backend.empty()) submission += ",\"backend\":\"" + backend + "\"";
   if (shards > 0) submission += ",\"shards\":" + std::to_string(shards);
@@ -185,7 +198,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: unexpected reply: %s\n", argv[0], reply->c_str());
     return 2;
   }
-  std::fprintf(stderr, "[campaign_submit] submitted %s as %s\n", bench.c_str(), id->c_str());
+  std::fprintf(stderr, "[campaign_submit] submitted %s as %s\n",
+               (scenario.empty() ? bench : "scenario:" + scenario).c_str(), id->c_str());
   if (!wait) {
     std::printf("%s\n", id->c_str());
     return 0;

@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
     std::printf("\nscenario OK — %d expectation(s) checked\n", result.expects_checked);
     return 0;
   }
-  std::printf("\nscenario FAILED at line %zu: %s\n", result.error->line,
+  std::printf("\nscenario FAILED at %zu:%zu: %s\n", result.error->line, result.error->column,
               result.error->message.c_str());
   return 1;
 }

@@ -1,0 +1,156 @@
+#include "core/attack_scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.hpp"
+
+namespace animus::core {
+
+// Builtin pack registration hooks, one per translation unit that owns
+// the bodies. Explicit calls (not static initializers) so the static
+// archives never drop a registration TU.
+void register_legacy_scenarios();        // trial_session.cpp
+void register_tapjacking_scenario();     // tapjacking.cpp
+void register_notification_abuse_scenario();  // notification_abuse.cpp
+void register_frosted_glass_scenario();  // frosted_glass.cpp
+
+namespace {
+
+std::vector<std::unique_ptr<AttackScenario>>& storage() {
+  static auto* s = new std::vector<std::unique_ptr<AttackScenario>>();
+  return *s;
+}
+
+}  // namespace
+
+namespace scenario_detail {
+
+AttackScenario& allocate(std::string name, std::string description) {
+  auto& all = storage();
+  for (const auto& s : all) {
+    if (s->name == name) {
+      std::fprintf(stderr,
+                   "fatal: attack scenario '%s' is already registered (%s); "
+                   "every scenario needs a unique name\n",
+                   name.c_str(), s->description.c_str());
+      std::abort();
+    }
+  }
+  auto scenario = std::make_unique<AttackScenario>();
+  scenario->name = std::move(name);
+  scenario->description = std::move(description);
+  scenario->campaign_label = "scenario:" + scenario->name;
+  // Keep the registry sorted by name so listings, campaign enumeration
+  // and the CI smoke matrix share one stable order.
+  const auto at = std::lower_bound(
+      all.begin(), all.end(), scenario,
+      [](const auto& a, const auto& b) { return a->name < b->name; });
+  return **all.insert(at, std::move(scenario));
+}
+
+void count_analytic_fallback(const std::string& scenario) {
+  obs::global_registry()
+      .counter("animus_analytic_fallbacks_total", {{"scenario", scenario}})
+      .inc();
+}
+
+void bad_encoded_config(const std::string& scenario) {
+  throw std::runtime_error("scenario '" + scenario + "': encoded config/result does not decode");
+}
+
+void typed_mismatch(const std::string& scenario) {
+  std::fprintf(stderr,
+               "fatal: scenario '%s' dispatched with mismatched config/result types\n",
+               scenario.c_str());
+  std::abort();
+}
+
+}  // namespace scenario_detail
+
+void register_builtin_scenarios() {
+  static const bool once = [] {
+    register_legacy_scenarios();
+    register_tapjacking_scenario();
+    register_notification_abuse_scenario();
+    register_frosted_glass_scenario();
+    return true;
+  }();
+  (void)once;
+}
+
+std::vector<const AttackScenario*> scenario_registry() {
+  register_builtin_scenarios();
+  std::vector<const AttackScenario*> out;
+  out.reserve(storage().size());
+  for (const auto& s : storage()) out.push_back(s.get());
+  return out;
+}
+
+const AttackScenario* find_scenario(std::string_view name) {
+  register_builtin_scenarios();
+  for (const auto& s : storage()) {
+    if (s->name == name) return s.get();
+  }
+  return nullptr;
+}
+
+const AttackScenario& require_scenario(std::string_view name) {
+  const AttackScenario* s = find_scenario(name);
+  if (s == nullptr) {
+    std::fprintf(stderr, "fatal: attack scenario '%.*s' is not registered\n",
+                 static_cast<int>(name.size()), name.data());
+    std::abort();
+  }
+  return *s;
+}
+
+std::string scenario_listing() {
+  std::string out;
+  for (const AttackScenario* s : scenario_registry()) {
+    out += s->name;
+    out += s->analytic_eligible ? " (analytic)" : " (sim-only)";
+    out += ": ";
+    out += s->description;
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+void split_csv(std::string_view line, std::vector<std::string>* out) {
+  std::size_t pos = 0;
+  for (;;) {
+    const auto comma = line.find(',', pos);
+    if (comma == std::string_view::npos) {
+      out->emplace_back(line.substr(pos));
+      return;
+    }
+    out->emplace_back(line.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+}
+
+}  // namespace
+
+metrics::Table scenario_table(const AttackScenario& scenario,
+                              const std::vector<std::string>& encoded_configs,
+                              const std::vector<std::string>& encoded_results) {
+  std::vector<std::string> columns{"scenario", "trial"};
+  split_csv(scenario.config_header, &columns);
+  split_csv(scenario.result_header, &columns);
+  metrics::Table table{columns};
+  for (std::size_t i = 0; i < encoded_configs.size(); ++i) {
+    std::vector<std::string> row{scenario.name, std::to_string(i)};
+    split_csv(scenario.config_csv_row(encoded_configs[i]), &row);
+    if (i < encoded_results.size()) {
+      split_csv(scenario.result_csv_row(encoded_results[i]), &row);
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace animus::core

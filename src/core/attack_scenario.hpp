@@ -1,0 +1,294 @@
+// Pluggable attack-scenario registry: one named descriptor per attack
+// workload, consumed uniformly by every layer that dispatches trials.
+//
+// Each scenario bundles
+//   - a config struct and a result struct, both with ANIMUS_FIELDS
+//     descriptors (core/trial_fields.hpp) so the runner's TrialCodec,
+//     checkpoints, the process-shard backend and the per-trial CSV all
+//     derive from the one field list;
+//   - a simulation body `run_sim(TrialSession&, const Config&)`;
+//   - an optional analytic tier (eligibility predicate + closed-form
+//     body). When the config carries a `tier` field the registry applies
+//     the same dispatch TrialSession always has: eligible non-kSim
+//     configs answer analytically, a forced-kAnalytic ineligible config
+//     falls back to the simulation and bumps
+//     `animus_analytic_fallbacks_total{scenario=<name>}`;
+//   - a canonical campaign grid (`campaign_configs`) so the shared bench
+//     CLI (--scenario=<name>), campaignd submissions and the
+//     scenario-smoke CI job can sweep any registered scenario without
+//     per-attack plumbing.
+//
+// Registration is explicit and lazy — register_builtin_scenarios() wires
+// the four paper attacks plus the related-work packs (tapjacking,
+// notification-abuse, frosted-glass) on first registry access. Static
+// initializers are deliberately avoided: the subsystems build as static
+// archives, and an unreferenced registration TU would be dropped by the
+// linker. Registering two scenarios under one name aborts with a clear
+// message (it is a programming error, never an input error).
+//
+// Adding a pack (see docs/scenarios.md):
+//   1. declare Config/Result structs + ANIMUS_FIELDS for both;
+//   2. write the sim body against TrialSession::begin_epoch();
+//   3. call register_scenario() from your pack's register function;
+//   4. list that function in register_builtin_scenarios().
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <typeinfo>
+#include <vector>
+
+#include "core/tier.hpp"
+#include "core/trial_session.hpp"
+#include "metrics/table.hpp"
+#include "runner/field_codec.hpp"
+
+namespace animus::core {
+
+/// Per-trial overrides a campaign applies on top of a decoded config:
+/// the sweep's per-trial seed and the CLI's --tier choice. Fields the
+/// config does not carry are silently skipped (a stochastic scenario
+/// without a `tier` field ignores --tier, which keeps its CSV
+/// byte-identical across tier flags by construction).
+struct ScenarioOverrides {
+  const std::uint64_t* seed = nullptr;
+  const Tier* tier = nullptr;
+};
+
+namespace scenario_detail {
+
+template <typename Config, typename Result>
+struct TypedOps {
+  std::function<Result(TrialSession&, const Config&)> run;
+};
+
+}  // namespace scenario_detail
+
+/// Type-erased scenario descriptor. Everything the runner, the bench CLI
+/// and campaignd need is a std::function over encoded text, so those
+/// layers stay independent of the concrete config/result types.
+struct AttackScenario {
+  std::string name;
+  std::string description;
+  /// True when the scenario registered an analytic-tier body.
+  bool analytic_eligible = false;
+  /// Stable campaign label ("scenario:<name>") whose c_str() outlives
+  /// every sweep — run_campaign keeps the pointer.
+  std::string campaign_label;
+
+  const std::type_info* config_type = nullptr;
+  const std::type_info* result_type = nullptr;
+
+  /// Flattened CSV column names derived from the field descriptors.
+  std::string config_header;
+  std::string result_header;
+  std::function<std::string(std::string_view encoded_config)> config_csv_row;
+  std::function<std::string(std::string_view encoded_result)> result_csv_row;
+
+  /// Decode a config, apply the overrides, tier-dispatch, run, encode
+  /// the result. Throws std::runtime_error when the config does not
+  /// decode (a corrupt checkpoint or submission — the campaign error
+  /// path reports it as a failed trial).
+  std::function<std::string(TrialSession&, std::string_view encoded_config,
+                            const ScenarioOverrides&)>
+      run_encoded;
+
+  /// The canonical sweep grid, already encoded. Every registered
+  /// scenario provides one so `--scenario=<name>` and campaignd can run
+  /// it without scenario-specific code.
+  std::function<std::vector<std::string>()> campaign_configs;
+
+  /// Encode/decode round-trip self-check of both structs, including
+  /// every float field forced to nan/-nan/inf/-inf. Returns false and
+  /// fills `*detail` on the first mismatch.
+  std::function<bool(std::string* detail)> codec_self_test;
+
+  /// scenario_detail::TypedOps<Config, Result>; accessed via run_scenario().
+  std::shared_ptr<void> typed;
+};
+
+/// Every registered scenario, sorted by name. Ensures the builtin packs
+/// are registered first.
+std::vector<const AttackScenario*> scenario_registry();
+
+/// Lookup by name (builtins ensured); nullptr when unknown.
+const AttackScenario* find_scenario(std::string_view name);
+
+/// Lookup that aborts with a clear message when the name is unknown —
+/// for internal callers where a miss is a programming error.
+const AttackScenario& require_scenario(std::string_view name);
+
+/// Idempotent explicit registration of the builtin scenario packs.
+void register_builtin_scenarios();
+
+/// Comma-joined "name (analytic|sim-only): description" lines for
+/// --list-scenarios style output.
+std::string scenario_listing();
+
+/// Canonical result table of one scenario campaign: one row per trial,
+/// columns scenario,trial + the flattened config and result fields.
+metrics::Table scenario_table(const AttackScenario& scenario,
+                              const std::vector<std::string>& encoded_configs,
+                              const std::vector<std::string>& encoded_results);
+
+namespace scenario_detail {
+
+/// Allocate the registry slot; aborts when `name` is already taken.
+AttackScenario& allocate(std::string name, std::string description);
+
+/// Bump animus_analytic_fallbacks_total{scenario=<name>}.
+void count_analytic_fallback(const std::string& scenario);
+
+[[noreturn]] void bad_encoded_config(const std::string& scenario);
+[[noreturn]] void typed_mismatch(const std::string& scenario);
+
+/// Force every floating-point leaf of a described struct to `x`.
+template <typename T>
+void set_float_fields(T& v, double x) {
+  runner::for_each_field(v, [&](const char*, auto& member) {
+    using M = std::remove_reference_t<decltype(member)>;
+    if constexpr (std::is_floating_point_v<M>) {
+      member = static_cast<M>(x);
+    } else if constexpr (runner::kHasFields<M>) {
+      set_float_fields(member, x);
+    }
+  });
+}
+
+template <typename T>
+bool round_trip_exact(const char* label, std::string* detail) {
+  const auto check = [&](const T& v) {
+    const std::string once = runner::TrialCodec<T>::encode(v);
+    T back{};
+    if (!runner::TrialCodec<T>::decode(once, &back)) {
+      if (detail != nullptr) *detail = std::string(label) + ": decode failed for '" + once + "'";
+      return false;
+    }
+    const std::string twice = runner::TrialCodec<T>::encode(back);
+    if (twice != once) {
+      if (detail != nullptr) {
+        *detail = std::string(label) + ": '" + once + "' re-encoded as '" + twice + "'";
+      }
+      return false;
+    }
+    return true;
+  };
+  T v{};
+  if (!check(v)) return false;
+  const double specials[] = {std::numeric_limits<double>::quiet_NaN(),
+                             -std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity()};
+  for (const double x : specials) {
+    T p{};
+    set_float_fields(p, x);
+    if (!check(p)) return false;
+  }
+  return true;
+}
+
+}  // namespace scenario_detail
+
+/// Typed registration input. The bodies are plain function pointers so a
+/// pack registers with capture-less lambdas; `eligible`/`run_analytic`
+/// stay null for simulation-only scenarios, `campaign` must produce the
+/// canonical sweep grid.
+template <typename Config, typename Result>
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  Result (*run_sim)(TrialSession&, const Config&) = nullptr;
+  bool (*eligible)(const Config&) = nullptr;
+  Result (*run_analytic)(const Config&) = nullptr;
+  std::vector<Config> (*campaign)() = nullptr;
+};
+
+template <typename Config, typename Result>
+const AttackScenario& register_scenario(ScenarioSpec<Config, Result> spec) {
+  static_assert(runner::kHasFields<Config>, "scenario config needs ANIMUS_FIELDS");
+  static_assert(runner::kHasFields<Result>, "scenario result needs ANIMUS_FIELDS");
+  using ConfigCodec = runner::TrialCodec<Config>;
+  using ResultCodec = runner::TrialCodec<Result>;
+
+  AttackScenario& s = scenario_detail::allocate(std::move(spec.name), std::move(spec.description));
+  const std::string name = s.name;
+  s.analytic_eligible = spec.run_analytic != nullptr;
+  s.config_type = &typeid(Config);
+  s.result_type = &typeid(Result);
+  s.config_header = runner::csv_header<Config>();
+  s.result_header = runner::csv_header<Result>();
+
+  auto ops = std::make_shared<scenario_detail::TypedOps<Config, Result>>();
+  auto run_sim = spec.run_sim;
+  auto eligible = spec.eligible;
+  auto run_analytic = spec.run_analytic;
+  ops->run = [run_sim, eligible, run_analytic, name](TrialSession& session,
+                                                     const Config& config) -> Result {
+    if constexpr (requires(const Config& c) { c.tier; }) {
+      if (run_analytic != nullptr && config.tier != Tier::kSim &&
+          (eligible == nullptr || eligible(config))) {
+        return run_analytic(config);
+      }
+      if (config.tier == Tier::kAnalytic) scenario_detail::count_analytic_fallback(name);
+    }
+    return run_sim(session, config);
+  };
+  s.typed = ops;
+
+  s.run_encoded = [ops, name](TrialSession& session, std::string_view encoded,
+                              const ScenarioOverrides& overrides) -> std::string {
+    Config config{};
+    if (!ConfigCodec::decode(encoded, &config)) scenario_detail::bad_encoded_config(name);
+    if (overrides.seed != nullptr) {
+      if constexpr (requires(Config& c) { c.seed; }) config.seed = *overrides.seed;
+    }
+    if (overrides.tier != nullptr) {
+      if constexpr (requires(Config& c) { c.tier; }) config.tier = *overrides.tier;
+    }
+    return ResultCodec::encode(ops->run(session, config));
+  };
+
+  auto campaign = spec.campaign;
+  s.campaign_configs = [campaign]() {
+    std::vector<std::string> out;
+    if (campaign != nullptr) {
+      for (const Config& c : campaign()) out.push_back(ConfigCodec::encode(c));
+    }
+    return out;
+  };
+
+  s.config_csv_row = [name](std::string_view encoded) -> std::string {
+    Config config{};
+    if (!ConfigCodec::decode(encoded, &config)) scenario_detail::bad_encoded_config(name);
+    return runner::csv_row(config);
+  };
+  s.result_csv_row = [name](std::string_view encoded) -> std::string {
+    Result result{};
+    if (!ResultCodec::decode(encoded, &result)) scenario_detail::bad_encoded_config(name);
+    return runner::csv_row(result);
+  };
+
+  s.codec_self_test = [](std::string* detail) {
+    return scenario_detail::round_trip_exact<Config>("config", detail) &&
+           scenario_detail::round_trip_exact<Result>("result", detail);
+  };
+  return s;
+}
+
+/// Zero-copy typed dispatch for the thin legacy wrappers: runs `name`
+/// with the registry's tier dispatch, no encode/decode round-trip.
+/// Aborts when the registered types do not match (programming error).
+template <typename Config, typename Result>
+Result run_scenario(std::string_view name, TrialSession& session, const Config& config) {
+  const AttackScenario& s = require_scenario(name);
+  if (*s.config_type != typeid(Config) || *s.result_type != typeid(Result)) {
+    scenario_detail::typed_mismatch(s.name);
+  }
+  auto* ops = static_cast<scenario_detail::TypedOps<Config, Result>*>(s.typed.get());
+  return ops->run(session, config);
+}
+
+}  // namespace animus::core

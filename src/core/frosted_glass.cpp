@@ -1,0 +1,137 @@
+#include "core/frosted_glass.hpp"
+
+#include <algorithm>
+
+#include "core/attack_scenario.hpp"
+#include "core/trial_fields.hpp"
+#include "core/trial_session.hpp"
+#include "device/registry.hpp"
+#include "server/world.hpp"
+#include "ui/animation.hpp"
+
+namespace animus::core {
+
+namespace {
+
+/// Shared trajectory accounting: both tiers walk t = 0, 10 ms, ... and
+/// feed the perceived opacity a(t) through this fold, so their results
+/// can only differ if the alpha values themselves differ.
+struct TrajectoryProbe {
+  const FrostedGlassConfig* config;
+  FrostedGlassResult result;
+
+  void sample(sim::SimTime t, double alpha) {
+    ++result.samples;
+    result.peak_alpha = std::max(result.peak_alpha, alpha);
+    if (alpha >= config->visible_threshold) {
+      if (result.first_visible_ms < 0.0) result.first_visible_ms = sim::to_ms(t);
+      result.visible_ms += sim::to_ms(ui::kDefaultRefresh);
+    }
+  }
+
+  FrostedGlassResult finish() {
+    result.noticed = result.first_visible_ms >= 0.0;
+    return result;
+  }
+};
+
+sim::SimTime trajectory_end(const FrostedGlassConfig& config) {
+  return config.appear_at + config.dwell + ui::kToastAnimDuration;
+}
+
+}  // namespace
+
+FrostedGlassResult run_frosted_glass_sim(TrialSession& session,
+                                         const FrostedGlassConfig& config) {
+  server::WorldConfig wc;
+  wc.profile = config.profile;
+  wc.seed = config.seed;
+  wc.deterministic = config.deterministic;
+  wc.trace_enabled = false;
+  server::World& world = session.begin_epoch(std::move(wc));
+
+  ui::WindowId glass = ui::kInvalidWindow;
+  world.loop().schedule_at(config.appear_at, [&world, &glass, &config] {
+    ui::Window w;
+    w.owner_uid = server::kMalwareUid;
+    w.bounds = config.bounds;
+    w.content = "attack:frosted";
+    glass = world.wms().add_toast_now(std::move(w));
+  });
+  world.loop().schedule_at(config.appear_at + config.dwell, [&world, &glass] {
+    world.wms().fade_out_and_remove(glass);
+  });
+
+  const sim::SimTime end = trajectory_end(config);
+  world.run_until(end);
+
+  TrajectoryProbe probe{&config, {}};
+  for (sim::SimTime t{0}; t < end; t += ui::kDefaultRefresh) {
+    probe.sample(t, config.glass_alpha *
+                        world.wms().max_alpha_at(server::kMalwareUid, "attack:frosted", t));
+  }
+  FrostedGlassResult r = probe.finish();
+  world.finish_epoch();
+  return r;
+}
+
+FrostedGlassResult run_frosted_glass_analytic(const FrostedGlassConfig& config) {
+  // Replay the exact alpha pipeline of the simulation: the same
+  // FadeAnimation value objects WMS attaches in add_toast_now /
+  // fade_out_and_remove, gated by the same lifetime window
+  // [added_at, removed_at) that max_alpha_at applies. Bit-identical to
+  // the sim because every arithmetic step is shared value-type code.
+  const sim::SimTime added_at = config.appear_at;
+  const sim::SimTime fade_out_at = config.appear_at + config.dwell;
+  const ui::FadeAnimation enter{ui::toast_fade_in(), added_at, /*fade_in=*/true};
+  const ui::FadeAnimation exit_fade{ui::toast_fade_out(), fade_out_at, /*fade_in=*/false};
+  const sim::SimTime removed_at = fade_out_at + exit_fade.animation.duration();
+
+  const sim::SimTime end = trajectory_end(config);
+  TrajectoryProbe probe{&config, {}};
+  for (sim::SimTime t{0}; t < end; t += ui::kDefaultRefresh) {
+    double alpha = 0.0;
+    if (t >= added_at && t < removed_at) {
+      alpha = enter.alpha_at(t);
+      if (t >= exit_fade.start) alpha = std::min(alpha, exit_fade.alpha_at(t));
+    }
+    probe.sample(t, config.glass_alpha * alpha);
+  }
+  return probe.finish();
+}
+
+FrostedGlassResult run_frosted_glass_trial(const FrostedGlassConfig& config) {
+  TrialSession session;
+  return run_scenario<FrostedGlassConfig, FrostedGlassResult>("frosted-glass", session, config);
+}
+
+namespace {
+
+std::vector<FrostedGlassConfig> frosted_glass_campaign() {
+  std::vector<FrostedGlassConfig> configs;
+  for (const double alpha : {0.05, 0.2, 0.5, 0.9}) {
+    FrostedGlassConfig c;
+    c.profile = device::reference_device();
+    c.glass_alpha = alpha;
+    configs.push_back(c);
+  }
+  return configs;
+}
+
+}  // namespace
+
+void register_frosted_glass_scenario() {
+  register_scenario<FrostedGlassConfig, FrostedGlassResult>({
+      .name = "frosted-glass",
+      .description =
+          "translucent toast-layer glass with an alpha-trajectory visibility probe",
+      .run_sim = [](TrialSession& s, const FrostedGlassConfig& c) {
+        return run_frosted_glass_sim(s, c);
+      },
+      .eligible = [](const FrostedGlassConfig& c) { return c.deterministic; },
+      .run_analytic = run_frosted_glass_analytic,
+      .campaign = frosted_glass_campaign,
+  });
+}
+
+}  // namespace animus::core

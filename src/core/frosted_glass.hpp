@@ -1,0 +1,67 @@
+// Frosted-glass pack: a translucent full-screen "glass" surface on the
+// toast layer (no SYSTEM_ALERT_WINDOW needed, Section II-B1) that dims
+// and blurs the victim's screen — e.g. to mask a UI change happening
+// beneath it. Whether the user notices is an *animation* question: the
+// surface enters through the 500 ms DecelerateInterpolator toast
+// fade-in and leaves through the AccelerateInterpolator fade-out
+// (Section IV-B), so its perceived opacity is glass_alpha scaled by the
+// frame-quantized fade trajectory. The probe samples that trajectory
+// every animation frame and reports when (and for how long) the glass
+// crossed the naked-eye visibility threshold.
+//
+// The trajectory is closed-form: the scenario registers an analytic
+// tier that replays the exact FadeAnimation value objects the Window
+// Manager attaches, so sim and analytic answers are bit-identical for
+// deterministic configs — the registry's cross-tier CSV contract.
+#pragma once
+
+#include "core/tier.hpp"
+#include "device/profile.hpp"
+#include "sim/time.hpp"
+#include "ui/geometry.hpp"
+
+namespace animus::core {
+
+class TrialSession;
+
+struct FrostedGlassConfig {
+  device::DeviceProfile profile;
+  /// Intrinsic opacity of the glass surface (0 transparent .. 1 opaque).
+  double glass_alpha = 0.35;
+  /// When the glass is posted and how long it dwells before fading out.
+  sim::SimTime appear_at = sim::ms(200);
+  sim::SimTime dwell = sim::ms(1500);
+  ui::Rect bounds{0, 0, 1080, 2280};
+  /// Perceived-opacity threshold at which a user notices the dimming.
+  double visible_threshold = 0.15;
+  std::uint64_t seed = 0x414e494d5553ULL;
+  bool deterministic = true;
+  /// Execution tier; kAuto takes the analytic fast path when eligible.
+  Tier tier = Tier::kAuto;
+};
+
+struct FrostedGlassResult {
+  /// Peak perceived opacity over the sampled trajectory.
+  double peak_alpha = 0.0;
+  /// First sample at/above the threshold; -1 when never visible.
+  double first_visible_ms = -1.0;
+  /// Total sampled time at/above the threshold.
+  double visible_ms = 0.0;
+  int samples = 0;  ///< trajectory samples taken (one per frame)
+  /// The glass ever crossed the visibility threshold.
+  bool noticed = false;
+};
+
+/// Simulation body (registry: "frosted-glass").
+FrostedGlassResult run_frosted_glass_sim(TrialSession& session, const FrostedGlassConfig& config);
+
+/// Closed-form trajectory replay (registry analytic tier).
+FrostedGlassResult run_frosted_glass_analytic(const FrostedGlassConfig& config);
+
+/// One-shot convenience (fresh session per call, registry tier dispatch).
+FrostedGlassResult run_frosted_glass_trial(const FrostedGlassConfig& config);
+
+/// Registry hook called by register_builtin_scenarios().
+void register_frosted_glass_scenario();
+
+}  // namespace animus::core

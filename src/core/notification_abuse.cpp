@@ -1,0 +1,106 @@
+#include "core/notification_abuse.hpp"
+
+#include "core/attack_scenario.hpp"
+#include "core/trial_fields.hpp"
+#include "core/trial_session.hpp"
+#include "device/registry.hpp"
+#include "server/world.hpp"
+
+namespace animus::core {
+
+NotificationAbuseResult run_notification_abuse_sim(TrialSession& session,
+                                                   const NotificationAbuseConfig& config) {
+  server::WorldConfig wc;
+  wc.profile = config.profile;
+  wc.seed = config.seed;
+  wc.deterministic = config.deterministic;
+  wc.trace_enabled = false;
+  server::World& world = session.begin_epoch(std::move(wc));
+  world.nms().set_inter_toast_gap(config.inter_toast_gap);
+
+  NotificationAbuseResult r;
+  bool victim_shown = false;
+  sim::SimTime victim_shown_at{0};
+  world.nms().add_shown_listener(
+      [&victim_shown, &victim_shown_at, &world](const server::ToastRequest& request,
+                                                ui::WindowId) {
+        if (request.uid == server::kVictimUid && !victim_shown) {
+          victim_shown = true;
+          victim_shown_at = world.now();
+        }
+      });
+
+  for (int i = 0; i < config.flood_count; ++i) {
+    const sim::SimTime at = config.flood_at + i * config.flood_interval;
+    world.loop().schedule_at(at, [&world, &config] {
+      server::ToastRequest flood;
+      flood.uid = server::kMalwareUid;
+      flood.content = "attack:flood";
+      flood.duration = config.toast_duration;
+      world.server().enqueue_toast(server::kMalwareUid, std::move(flood));
+    });
+  }
+
+  world.loop().schedule_at(config.victim_post_at, [&world] {
+    server::ToastRequest headsup;
+    headsup.uid = server::kVictimUid;
+    headsup.content = "victim:headsup";
+    headsup.duration = server::kToastShort;
+    world.server().enqueue_toast(server::kVictimUid, std::move(headsup));
+  });
+
+  world.run_until(config.duration);
+
+  const server::NotificationManagerService::Stats& stats = world.nms().stats();
+  // The victim's single token is always under its own per-app cap, so
+  // every rejection belongs to the flood.
+  r.flood_rejected = static_cast<int>(stats.rejected);
+  r.flood_enqueued = config.flood_count - r.flood_rejected;
+  r.toasts_shown = static_cast<int>(stats.shown);
+  r.max_queue_depth = static_cast<int>(stats.max_queue_depth);
+  r.victim_shown = victim_shown;
+  r.victim_delay_ms = victim_shown ? sim::to_ms(victim_shown_at - config.victim_post_at) : -1.0;
+  r.victim_in_window =
+      victim_shown && victim_shown_at - config.victim_post_at <= config.heads_up_window;
+  r.victim_queued = world.nms().queued_tokens(server::kVictimUid);
+  world.finish_epoch();
+  return r;
+}
+
+NotificationAbuseResult run_notification_abuse_trial(const NotificationAbuseConfig& config) {
+  TrialSession session;
+  return run_scenario<NotificationAbuseConfig, NotificationAbuseResult>("notification-abuse",
+                                                                        session, config);
+}
+
+namespace {
+
+std::vector<NotificationAbuseConfig> notification_abuse_campaign() {
+  std::vector<NotificationAbuseConfig> configs;
+  for (const int flood : {0, 60}) {
+    for (const int gap_ms : {0, 500}) {
+      NotificationAbuseConfig c;
+      c.profile = device::reference_device();
+      c.flood_count = flood;
+      c.inter_toast_gap = sim::ms(gap_ms);
+      configs.push_back(c);
+    }
+  }
+  return configs;
+}
+
+}  // namespace
+
+void register_notification_abuse_scenario() {
+  register_scenario<NotificationAbuseConfig, NotificationAbuseResult>({
+      .name = "notification-abuse",
+      .description =
+          "Knock-Knock toast flooding that starves the victim's heads-up slot",
+      .run_sim = [](TrialSession& s, const NotificationAbuseConfig& c) {
+        return run_notification_abuse_sim(s, c);
+      },
+      .campaign = notification_abuse_campaign,
+  });
+}
+
+}  // namespace animus::core

@@ -1,0 +1,73 @@
+// Notification-abuse pack (Knock-Knock, Patsakis & Alepis — see
+// PAPERS.md): the malware floods Toast.show() so the single heads-up
+// toast slot is held by attacker content back to back. Android's
+// post-8 pipeline shows toasts strictly FIFO, one at a time, for their
+// full duration (Section II-B), so a victim toast posted behind the
+// flood is starved: its token sits in the queue far past the moment the
+// heads-up would have mattered. The per-app 50-token cap bounds the
+// flood but does not protect the victim — 50 SHORT toasts still hold
+// the slot for ~100 s.
+//
+// The result records both the flood's fate (accepted/rejected/shown)
+// and the victim's: whether its toast surfaced at all before the trial
+// ended, how late, and whether that was inside the heads-up window the
+// victim needed. The scheduling defense of Section VII-B
+// (set_inter_toast_gap) stretches the starvation further — exercised by
+// the campaign grid and the DSL scenario.
+#pragma once
+
+#include "device/profile.hpp"
+#include "server/notification_manager.hpp"
+
+namespace animus::core {
+
+class TrialSession;
+
+struct NotificationAbuseConfig {
+  device::DeviceProfile profile;
+  /// Flood tokens the malware enqueues (0 = baseline, no attack).
+  int flood_count = 60;
+  /// When the flood starts and the spacing between Toast.show() calls.
+  sim::SimTime flood_at = sim::ms(100);
+  sim::SimTime flood_interval = sim::ms(4);
+  /// When the victim posts its heads-up toast.
+  sim::SimTime victim_post_at = sim::ms(500);
+  /// How soon the victim's toast must surface to be useful (its
+  /// "heads-up window": a 2FA code prompt, an incoming-call banner).
+  sim::SimTime heads_up_window = sim::ms(1500);
+  /// Duration of every flood toast (clamped SHORT/LONG by the NMS).
+  sim::SimTime toast_duration = server::kToastShort;
+  /// Scheduling-defense gap between successive toasts (Section VII-B).
+  sim::SimTime inter_toast_gap = sim::ms(0);
+  sim::SimTime duration = sim::seconds(6);
+  std::uint64_t seed = 0x414e494d5553ULL;
+  /// Use latency means instead of samples.
+  bool deterministic = true;
+};
+
+struct NotificationAbuseResult {
+  int flood_enqueued = 0;   ///< flood tokens accepted by the NMS
+  int flood_rejected = 0;   ///< flood tokens over the 50-token cap
+  int toasts_shown = 0;     ///< toast windows that reached the screen
+  int max_queue_depth = 0;  ///< peak NMS token-queue depth
+  /// The victim's toast surfaced before the trial ended.
+  bool victim_shown = false;
+  /// Post-to-screen latency of the victim's toast; -1 when starved.
+  double victim_delay_ms = -1.0;
+  /// The toast surfaced inside the victim's heads-up window.
+  bool victim_in_window = false;
+  /// Victim tokens still queued (slot evicted) when the trial ended.
+  int victim_queued = 0;
+};
+
+/// Simulation body (registry: "notification-abuse").
+NotificationAbuseResult run_notification_abuse_sim(TrialSession& session,
+                                                   const NotificationAbuseConfig& config);
+
+/// One-shot convenience (fresh session per call).
+NotificationAbuseResult run_notification_abuse_trial(const NotificationAbuseConfig& config);
+
+/// Registry hook called by register_builtin_scenarios().
+void register_notification_abuse_scenario();
+
+}  // namespace animus::core

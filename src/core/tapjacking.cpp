@@ -1,0 +1,101 @@
+#include "core/tapjacking.hpp"
+
+#include "core/attack_scenario.hpp"
+#include "core/overlay_attack.hpp"
+#include "core/trial_fields.hpp"
+#include "core/trial_session.hpp"
+#include "device/registry.hpp"
+
+namespace animus::core {
+
+TapjackingResult run_tapjacking_sim(TrialSession& session, const TapjackingConfig& config) {
+  server::WorldConfig wc;
+  wc.profile = config.profile;
+  wc.seed = config.seed;
+  wc.deterministic = config.deterministic;
+  wc.trace_enabled = false;
+  server::World& world = session.begin_epoch(std::move(wc));
+  world.server().grant_overlay_permission(server::kMalwareUid);
+
+  TapjackingResult r;
+  {
+    // The victim's permission dialog: a plain activity window whose
+    // whole surface acts as the Allow button for this model.
+    int victim_taps = 0;
+    world.loop().schedule_at(config.dialog_at, [&world, &victim_taps, &config] {
+      ui::Window dialog;
+      dialog.owner_uid = server::kVictimUid;
+      dialog.type = ui::WindowType::kActivity;
+      dialog.bounds = config.dialog_bounds;
+      dialog.content = "victim:dialog";
+      dialog.on_touch = [&victim_taps](sim::SimTime, ui::Point) { ++victim_taps; };
+      world.wms().add_window_now(std::move(dialog));
+    });
+
+    // The decoy: full-screen, opaque, pass-through. Draw-and-destroy
+    // cycling keeps the warning alert reset exactly as in Section III.
+    OverlayAttackConfig oc;
+    oc.attacking_window = config.attacking_window;
+    oc.bounds = ui::Rect{0, 0, config.profile.screen_w, config.profile.screen_h};
+    oc.transparent = false;
+    oc.intercept_touches = false;  // FLAG_NOT_TOUCHABLE: the tap falls through
+    oc.content = "attack:decoy";
+    OverlayAttack attack{world, oc};
+    attack.start();
+
+    // The deceived user taps the decoy's "button" — the dialog's center.
+    const ui::Point tap = config.dialog_bounds.center();
+    bool decoy_covered = false;
+    world.loop().schedule_at(config.tap_at, [&world, &decoy_covered, tap] {
+      decoy_covered = world.wms().overlay_count(server::kMalwareUid) > 0;
+      world.input().inject_tap(tap);
+    });
+
+    world.run_until(config.duration);
+
+    r.tap_delivered = victim_taps > 0;
+    r.decoy_covered = decoy_covered;
+    r.alert = world.system_ui().snapshot(server::kMalwareUid);
+    r.alert_outcome = percept::classify(r.alert);
+    r.stealthy = r.alert_outcome == percept::LambdaOutcome::kL1;
+    r.success = r.tap_delivered && r.decoy_covered && r.stealthy;
+    r.cycles = attack.stats().cycles;
+    attack.stop();
+  }
+  world.finish_epoch();
+  return r;
+}
+
+TapjackingResult run_tapjacking_trial(const TapjackingConfig& config) {
+  TrialSession session;
+  return run_scenario<TapjackingConfig, TapjackingResult>("tapjacking", session, config);
+}
+
+namespace {
+
+std::vector<TapjackingConfig> tapjacking_campaign() {
+  std::vector<TapjackingConfig> configs;
+  for (const int d : {50, 150, 400, 690, 1000}) {
+    TapjackingConfig c;
+    c.profile = device::reference_device_android9();
+    c.attacking_window = sim::ms(d);
+    configs.push_back(c);
+  }
+  return configs;
+}
+
+}  // namespace
+
+void register_tapjacking_scenario() {
+  register_scenario<TapjackingConfig, TapjackingResult>({
+      .name = "tapjacking",
+      .description =
+          "pass-through decoy overlay timed against a victim permission dialog",
+      .run_sim = [](TrialSession& s, const TapjackingConfig& c) {
+        return run_tapjacking_sim(s, c);
+      },
+      .campaign = tapjacking_campaign,
+  });
+}
+
+}  // namespace animus::core

@@ -1,0 +1,63 @@
+// Tapjacking pack (classic clickjacking, Lim et al. — see PAPERS.md):
+// a full-screen NON-UI-intercepting decoy overlay (FLAG_NOT_TOUCHABLE,
+// Section II-A) is drawn-and-destroyed with window D above a victim
+// permission dialog. The user taps what looks like the decoy's button;
+// the touch falls through to the dialog's Allow button underneath.
+//
+// The attack succeeds only inside the vulnerable D-window: the tap
+// always passes through, but for D above the device's Table II bound
+// the draw-and-destroy cycling can no longer suppress the overlay
+// warning alert (Λ2+), so the user is warned and the attack loses its
+// stealth. The result records both halves — delivery and stealth — so
+// sweeps reproduce that boundary.
+#pragma once
+
+#include "core/attack_analysis.hpp"
+#include "server/world.hpp"
+
+namespace animus::core {
+
+class TrialSession;
+
+struct TapjackingConfig {
+  device::DeviceProfile profile;
+  /// Draw-and-destroy attacking window D of the decoy overlay.
+  sim::SimTime attacking_window = sim::ms(150);
+  /// When the victim's permission dialog opens.
+  sim::SimTime dialog_at = sim::ms(100);
+  /// When the deceived user taps the decoy (over the Allow button).
+  sim::SimTime tap_at = sim::ms(1200);
+  /// Trial length; must cover the tap plus the alert's settle time.
+  sim::SimTime duration = sim::seconds(4);
+  /// The victim dialog's bounds; the Allow button is its center strip.
+  ui::Rect dialog_bounds{140, 900, 800, 480};
+  std::uint64_t seed = 0x414e494d5553ULL;
+  /// Use latency means instead of samples (boundary-search style).
+  bool deterministic = true;
+};
+
+struct TapjackingResult {
+  /// The victim dialog received the pass-through tap.
+  bool tap_delivered = false;
+  /// The decoy overlay was on screen when the user tapped (the deception
+  /// half: without a decoy there is nothing to mislead the tap).
+  bool decoy_covered = false;
+  /// The alert stayed Λ1 (never a visible pixel).
+  bool stealthy = false;
+  /// Delivered + covered + stealthy: the full tapjacking claim.
+  bool success = false;
+  int cycles = 0;  ///< draw-and-destroy rounds completed
+  server::SystemUi::AlertStats alert;
+  percept::LambdaOutcome alert_outcome = percept::LambdaOutcome::kL1;
+};
+
+/// Simulation body (registry: "tapjacking").
+TapjackingResult run_tapjacking_sim(TrialSession& session, const TapjackingConfig& config);
+
+/// One-shot convenience (fresh session per call).
+TapjackingResult run_tapjacking_trial(const TapjackingConfig& config);
+
+/// Registry hook called by register_builtin_scenarios().
+void register_tapjacking_scenario();
+
+}  // namespace animus::core

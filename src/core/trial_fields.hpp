@@ -17,12 +17,21 @@
 #pragma once
 
 #include "core/attack_analysis.hpp"
+#include "core/frosted_glass.hpp"
+#include "core/notification_abuse.hpp"
 #include "core/report.hpp"
+#include "core/tapjacking.hpp"
 #include "input/typist.hpp"
 #include "percept/flicker.hpp"
 #include "runner/field_codec.hpp"
 #include "server/system_ui.hpp"
 #include "victim/victim_app.hpp"
+
+namespace animus::ui {
+
+ANIMUS_FIELDS(Rect, x, y, w, h)
+
+}  // namespace animus::ui
 
 namespace animus::ipc {
 
@@ -87,5 +96,23 @@ ANIMUS_FIELDS(PasswordTrialResult, intended, decoded, error, success, triggered,
               leaked_to_real_keyboard, alert, alert_outcome, flicker)
 
 ANIMUS_FIELDS(CaptureTrialResult, touches, captured, rate, alert, alert_outcome)
+
+ANIMUS_FIELDS(TapjackingConfig, profile, attacking_window, dialog_at, tap_at, duration,
+              dialog_bounds, seed, deterministic)
+
+ANIMUS_FIELDS(TapjackingResult, tap_delivered, decoy_covered, stealthy, success, cycles,
+              alert, alert_outcome)
+
+ANIMUS_FIELDS(NotificationAbuseConfig, profile, flood_count, flood_at, flood_interval,
+              victim_post_at, heads_up_window, toast_duration, inter_toast_gap, duration,
+              seed, deterministic)
+
+ANIMUS_FIELDS(NotificationAbuseResult, flood_enqueued, flood_rejected, toasts_shown,
+              max_queue_depth, victim_shown, victim_delay_ms, victim_in_window, victim_queued)
+
+ANIMUS_FIELDS(FrostedGlassConfig, profile, glass_alpha, appear_at, dwell, bounds,
+              visible_threshold, seed, deterministic, tier)
+
+ANIMUS_FIELDS(FrostedGlassResult, peak_alpha, first_visible_ms, visible_ms, samples, noticed)
 
 }  // namespace animus::core

@@ -1,19 +1,13 @@
 #include "core/trial_session.hpp"
 
 #include "core/analytic.hpp"
+#include "core/attack_scenario.hpp"
 #include "core/overlay_attack.hpp"
 #include "core/password_stealer.hpp"
-#include "obs/metrics.hpp"
+#include "core/trial_fields.hpp"
+#include "device/registry.hpp"
 
 namespace animus::core {
-
-namespace {
-
-void count_analytic_fallback() {
-  obs::global_registry().counter("animus_analytic_fallbacks_total").inc();
-}
-
-}  // namespace
 
 TrialSession& TrialSession::local() {
   thread_local TrialSession session;
@@ -31,11 +25,19 @@ server::World& TrialSession::begin_epoch(server::WorldConfig config) {
 }
 
 OutcomeProbe TrialSession::run(const OutcomeProbeConfig& config) {
-  if (config.tier != Tier::kSim && analytic::eligible(config)) {
-    return analytic::run_probe(config);
-  }
-  if (config.tier == Tier::kAnalytic) count_analytic_fallback();
-  return run_sim(config);
+  return run_scenario<OutcomeProbeConfig, OutcomeProbe>("outcome-probe", *this, config);
+}
+
+DBoundTrialResult TrialSession::run(const DBoundTrialConfig& config) {
+  return run_scenario<DBoundTrialConfig, DBoundTrialResult>("d-bound", *this, config);
+}
+
+CaptureTrialResult TrialSession::run(const CaptureTrialConfig& config) {
+  return run_scenario<CaptureTrialConfig, CaptureTrialResult>("capture-rate", *this, config);
+}
+
+PasswordTrialResult TrialSession::run(const PasswordTrialConfig& config) {
+  return run_scenario<PasswordTrialConfig, PasswordTrialResult>("password-steal", *this, config);
 }
 
 OutcomeProbe TrialSession::run_sim(const OutcomeProbeConfig& config) {
@@ -65,11 +67,7 @@ OutcomeProbe TrialSession::run_sim(const OutcomeProbeConfig& config) {
   return probe;
 }
 
-DBoundTrialResult TrialSession::run(const DBoundTrialConfig& config) {
-  if (config.tier != Tier::kSim && analytic::eligible(config)) {
-    return analytic::run_d_bound(config);
-  }
-  if (config.tier == Tier::kAnalytic) count_analytic_fallback();
+DBoundTrialResult TrialSession::run_sim(const DBoundTrialConfig& config) {
   // Λ1(D) is monotone: more waiting lets the slide-in animation play
   // further. Binary search the boundary; every probe reuses this
   // session's World.
@@ -99,7 +97,7 @@ DBoundTrialResult TrialSession::run(const DBoundTrialConfig& config) {
   return r;
 }
 
-CaptureTrialResult TrialSession::run(const CaptureTrialConfig& config) {
+CaptureTrialResult TrialSession::run_sim(const CaptureTrialConfig& config) {
   server::WorldConfig wc;
   wc.profile = config.profile;
   wc.seed = config.seed;
@@ -151,7 +149,7 @@ CaptureTrialResult TrialSession::run(const CaptureTrialConfig& config) {
   return r;
 }
 
-PasswordTrialResult TrialSession::run(const PasswordTrialConfig& config) {
+PasswordTrialResult TrialSession::run_sim(const PasswordTrialConfig& config) {
   server::WorldConfig wc;
   wc.profile = config.profile;
   wc.seed = config.seed;
@@ -231,6 +229,93 @@ PasswordTrialResult TrialSession::run(const PasswordTrialConfig& config) {
   }
   world.finish_epoch();
   return r;
+}
+
+// --------------------------------------------- legacy scenario registration
+
+namespace {
+
+std::vector<OutcomeProbeConfig> outcome_probe_campaign() {
+  std::vector<OutcomeProbeConfig> configs;
+  for (const int d : {50, 150, 190, 250, 400, 690}) {
+    OutcomeProbeConfig c;
+    c.profile = device::reference_device_android9();
+    c.attacking_window = sim::ms(d);
+    configs.push_back(c);
+  }
+  return configs;
+}
+
+std::vector<DBoundTrialConfig> d_bound_campaign() {
+  std::vector<DBoundTrialConfig> configs;
+  for (const device::DeviceProfile& profile : device::all_devices()) {
+    DBoundTrialConfig c;
+    c.profile = profile;
+    configs.push_back(c);
+  }
+  return configs;
+}
+
+std::vector<CaptureTrialConfig> capture_rate_campaign() {
+  std::vector<CaptureTrialConfig> configs;
+  const auto panel = input::participant_panel(3);
+  for (const input::TypistProfile& typist : panel) {
+    for (const int d : {100, 150, 200}) {
+      CaptureTrialConfig c;
+      c.profile = device::reference_device_android9();
+      c.typist = typist;
+      c.attacking_window = sim::ms(d);
+      c.touches = 50;
+      configs.push_back(c);
+    }
+  }
+  return configs;
+}
+
+std::vector<PasswordTrialConfig> password_steal_campaign() {
+  std::vector<PasswordTrialConfig> configs;
+  const auto panel = input::participant_panel(1);
+  for (const char* password : {"Secret123", "correcthorse"}) {
+    PasswordTrialConfig c;
+    c.profile = device::reference_device();
+    c.typist = panel.front();
+    c.password = password;
+    configs.push_back(c);
+  }
+  return configs;
+}
+
+}  // namespace
+
+void register_legacy_scenarios() {
+  register_scenario<OutcomeProbeConfig, OutcomeProbe>({
+      .name = "outcome-probe",
+      .description = "Fig. 6 draw-and-destroy overlay attack outcome probe",
+      .run_sim = [](TrialSession& s, const OutcomeProbeConfig& c) { return s.run_sim(c); },
+      .eligible = [](const OutcomeProbeConfig& c) { return analytic::eligible(c); },
+      .run_analytic = analytic::run_probe,
+      .campaign = outcome_probe_campaign,
+  });
+  register_scenario<DBoundTrialConfig, DBoundTrialResult>({
+      .name = "d-bound",
+      .description = "Table II upper-bound-of-D binary search",
+      .run_sim = [](TrialSession& s, const DBoundTrialConfig& c) { return s.run_sim(c); },
+      .eligible = [](const DBoundTrialConfig& c) { return analytic::eligible(c); },
+      .run_analytic = analytic::run_d_bound,
+      .campaign = d_bound_campaign,
+  });
+  register_scenario<CaptureTrialConfig, CaptureTrialResult>({
+      .name = "capture-rate",
+      .description = "Section VI-B touch capture-rate trial (stochastic)",
+      .run_sim = [](TrialSession& s, const CaptureTrialConfig& c) { return s.run_sim(c); },
+      .campaign = capture_rate_campaign,
+  });
+  register_scenario<PasswordTrialConfig, PasswordTrialResult>({
+      .name = "password-steal",
+      .description = "Section VI-C1 end-to-end password-stealing trial (stochastic)",
+      .run_sim = [](TrialSession& s, const PasswordTrialConfig& c) { return s.run_sim(c); },
+      .campaign = password_steal_campaign,
+  });
 }
 
 // ------------------------------------------------- one-shot conveniences

@@ -9,12 +9,17 @@
 // lock the two flows together, including under fault injection — at a
 // fraction of the per-trial cost.
 //
-// The session is also the tier dispatcher: probe and D-bound configs
-// carry a `tier` field (core/tier.hpp), and eligible deterministic
-// trials are answered by the analytic replay (core/analytic.hpp)
-// without touching the World at all. `kAuto` is the default; requesting
-// `kAnalytic` for an ineligible config falls back to simulation and
-// bumps the `animus_analytic_fallbacks_total` counter.
+// Trial dispatch lives in the attack-scenario registry
+// (core/attack_scenario.hpp): each run() overload is a thin wrapper
+// over run_scenario("<name>", ...), whose registered descriptor owns
+// the tier dispatch — probe and D-bound configs carry a `tier` field
+// (core/tier.hpp), eligible deterministic trials are answered by the
+// analytic replay (core/analytic.hpp) without touching the World at
+// all, and requesting `kAnalytic` for an ineligible config falls back
+// to simulation and bumps the per-scenario
+// `animus_analytic_fallbacks_total{scenario=...}` counter. The
+// simulation bodies stay here as public run_sim() overloads; the
+// registry wires them up in register_legacy_scenarios().
 //
 // Construction idiom (uniform across every trial kind): configs are
 // aggregates with designated-initializer-friendly defaults; name the
@@ -69,14 +74,21 @@ class TrialSession {
   /// Epochs opened so far (trials run on the simulation tier).
   [[nodiscard]] std::size_t epochs() const { return epochs_; }
 
- private:
   /// Open a fresh epoch: reset the session World to `config`, or build
   /// it on first use. The returned World is byte-identical to a freshly
-  /// constructed one.
+  /// constructed one. Public so attack packs (core/attack_scenario.hpp)
+  /// can write their simulation bodies against a session.
   server::World& begin_epoch(server::WorldConfig config);
 
+  // Simulation-tier bodies, bypassing the registry's tier dispatch —
+  // these are what register_legacy_scenarios() wires up as each
+  // scenario's run_sim.
   OutcomeProbe run_sim(const OutcomeProbeConfig& config);
+  DBoundTrialResult run_sim(const DBoundTrialConfig& config);
+  CaptureTrialResult run_sim(const CaptureTrialConfig& config);
+  PasswordTrialResult run_sim(const PasswordTrialConfig& config);
 
+ private:
   std::optional<server::World> world_;
   std::size_t epochs_ = 0;
 };

@@ -70,6 +70,7 @@ std::string RunManifest::to_json() const {
   std::string out = "{\n";
   field_u64(out, "schema", static_cast<std::uint64_t>(schema));
   field_str(out, "bench", bench);
+  field_str(out, "scenario", scenario);
   out += "  \"argv\": [";
   for (std::size_t i = 0; i < argv.size(); ++i) {
     if (i) out += ", ";
@@ -138,6 +139,7 @@ std::optional<RunManifest> RunManifest::parse(std::string_view json) {
   RunManifest m;
   m.schema = static_cast<int>(as_u64(raw_value(json, "schema")));
   if (auto v = raw_value(json, "bench")) m.bench = *v;
+  if (auto v = raw_value(json, "scenario")) m.scenario = *v;
   m.root_seed = as_u64(raw_value(json, "root_seed"));
   m.jobs = static_cast<int>(as_u64(raw_value(json, "jobs")));
   if (auto v = raw_value(json, "backend")) m.backend = *v;

@@ -33,6 +33,7 @@ namespace animus::obs {
 struct RunManifest {
   int schema = 1;
   std::string bench;               ///< binary basename
+  std::string scenario;            ///< --scenario name ("" = bench-defined sweep)
   std::vector<std::string> argv;   ///< arguments after argv[0]
   std::uint64_t root_seed = 0;
   int jobs = 0;                    ///< requested (0 = all hardware cores)

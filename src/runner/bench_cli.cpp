@@ -8,6 +8,7 @@
 #include <string_view>
 #include <unordered_set>
 
+#include "core/attack_scenario.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
@@ -58,7 +59,8 @@ CampaignState& state() {
   std::fprintf(
       out,
       "usage: %s [--jobs N] [--seed S] [--backend NAME] [--shards N] [--batch N|auto]\n"
-      "          [--tier NAME] [--inject-fault RATE] [--csv] [--trials-out FILE]\n"
+      "          [--tier NAME] [--scenario NAME] [--list-scenarios]\n"
+      "          [--inject-fault RATE] [--csv] [--trials-out FILE]\n"
       "          [--trace-out FILE] [--trace-trial N] [--profile-out FILE]\n"
       "          [--metrics-out FILE]\n"
       "          [--stream-out FILE] [--stream-interval MS] [--stream-full]\n"
@@ -79,6 +81,9 @@ CampaignState& state() {
       "  --tier NAME           trial tier: auto (default; analytic fast path\n"
       "                        when eligible), sim, or analytic (ineligible\n"
       "                        trials fall back to sim)\n"
+      "  --scenario NAME       restrict a registry-driven bench to one attack\n"
+      "                        scenario; unknown names exit 2 with the list\n"
+      "  --list-scenarios      print the registered attack scenarios and exit\n"
       "  --inject-fault RATE   deterministically fail ~RATE of campaign trials\n"
       "                        (seed-derived; injected vs organic error counts\n"
       "                        are recorded in the run manifest)\n"
@@ -235,6 +240,16 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
         std::fprintf(stderr, "%s: --tier must be auto, sim or analytic\n", argv[0]);
         usage(argv[0], 2);
       }
+    } else if (arg == "--scenario") {
+      args.scenario = value("--scenario");
+      if (core::find_scenario(args.scenario) == nullptr) {
+        std::fprintf(stderr, "%s: unknown scenario '%s'; registered scenarios:\n%s", argv[0],
+                     args.scenario.c_str(), core::scenario_listing().c_str());
+        std::exit(2);
+      }
+    } else if (arg == "--list-scenarios") {
+      std::fputs(core::scenario_listing().c_str(), stdout);
+      std::exit(0);
     } else if (arg == "--inject-fault") {
       args.inject_fault = std::strtod(value("--inject-fault").c_str(), nullptr);
       if (args.inject_fault < 0.0 || args.inject_fault > 1.0) {
@@ -588,6 +603,7 @@ void finish(const BenchArgs& args) {
   if (!manifest_path.empty()) {
     obs::RunManifest m;
     m.bench = s.bench_name;
+    m.scenario = args.scenario;
     m.argv = s.argv_tail;
     m.root_seed = args.run.root_seed;
     m.jobs = args.run.jobs;

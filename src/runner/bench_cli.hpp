@@ -23,8 +23,13 @@
 //                         analytic replay when a trial is eligible, full
 //                         simulation otherwise), `sim` (force simulation)
 //                         or `analytic` (force the fast tier; ineligible
-//                         trials fall back to sim and bump the
+//                         trials fall back to sim and bump the per-scenario
 //                         animus_analytic_fallbacks_total counter)
+//   --scenario NAME       restrict a registry-driven bench to one attack
+//                         scenario (core/attack_scenario.hpp); unknown
+//                         names exit 2 listing the registered ones
+//   --list-scenarios      print every registered scenario (name, tier
+//                         eligibility, description) and exit 0
 //   --inject-fault RATE   deterministically fail ~RATE of campaign
 //                         trials (seed-derived set; exercises the error
 //                         path; injected vs organic counts land in the
@@ -103,6 +108,7 @@ struct BenchArgs {
   int shards = 0;           ///< process-backend worker count (0 = all cores)
   int batch = 0;            ///< trials per process-backend frame (0 = auto)
   std::string tier = "auto";         ///< trial tier: auto | sim | analytic
+  std::string scenario;     ///< --scenario name ("" = run the bench's own sweep)
   double inject_fault = 0.0;         ///< fraction of trials to fail (0..1)
   bool csv = false;         ///< CSV tables on stdout, commentary suppressed
   bool progress = false;    ///< stderr heartbeat even without --stream-out

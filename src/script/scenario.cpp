@@ -11,8 +11,15 @@
 namespace animus::script {
 namespace {
 
-std::vector<std::string> tokenize(std::string_view line) {
-  std::vector<std::string> tokens;
+/// A lexed token plus its 1-based column, so every parse and execution
+/// error can point at the exact offending spot of the line.
+struct Token {
+  std::string text;
+  std::size_t column = 0;
+};
+
+std::vector<Token> tokenize(std::string_view line) {
+  std::vector<Token> tokens;
   std::size_t i = 0;
   while (i < line.size()) {
     while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
@@ -20,18 +27,35 @@ std::vector<std::string> tokenize(std::string_view line) {
     if (line[i] == '"') {
       const auto end = line.find('"', i + 1);
       if (end == std::string_view::npos) {
-        tokens.emplace_back(line.substr(i));  // unterminated; caller rejects
+        tokens.push_back({std::string(line.substr(i)), i + 1});  // unterminated; caller rejects
         return tokens;
       }
-      tokens.emplace_back(line.substr(i + 1, end - i - 1));
+      tokens.push_back({std::string(line.substr(i + 1, end - i - 1)), i + 1});
       i = end + 1;
       continue;
     }
     std::size_t start = i;
     while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) ++i;
-    tokens.emplace_back(line.substr(start, i - start));
+    tokens.push_back({std::string(line.substr(start, i - start)), start + 1});
   }
   return tokens;
+}
+
+/// Levenshtein distance, for did-you-mean suggestions on unknown verbs.
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t next = std::min({row[j] + 1, row[j - 1] + 1,
+                                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = row[j];
+      row[j] = next;
+    }
+  }
+  return row[b.size()];
 }
 
 /// "key=value" accessor over a command's arguments.
@@ -48,6 +72,13 @@ std::optional<std::string_view> keyed(const std::vector<std::string>& args,
 
 std::optional<long> to_long(std::string_view s) {
   long v = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<double> to_double(std::string_view s) {
+  double v = 0.0;
   const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
   if (ec != std::errc{} || p != s.data() + s.size()) return std::nullopt;
   return v;
@@ -86,6 +117,22 @@ const std::map<std::string, int, std::less<>>& verb_arity() {
   return kArity;
 }
 
+/// The closest registered verb within edit distance 3, "" when nothing
+/// is close enough to be a plausible typo.
+std::string nearest_verb(std::string_view verb) {
+  std::string best;
+  std::size_t best_distance = 4;
+  for (const auto& [candidate, arity] : verb_arity()) {
+    (void)arity;
+    const std::size_t d = edit_distance(verb, candidate);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
 struct Runtime {
   explicit Runtime(server::WorldConfig config) : world(std::move(config)) {}
   server::World world;
@@ -93,6 +140,11 @@ struct Runtime {
   std::vector<std::unique_ptr<core::ToastAttack>> toast_attacks;
   std::unique_ptr<defense::DefenseDaemon> daemon;
   int captures = 0;
+  std::map<int, int> window_taps;  ///< uid -> taps delivered to its script windows
+  /// Content prefix -> glass opacity multiplier of an `attack frosted`
+  /// layer; `expect alpha` folds it into the window's animated alpha the
+  /// same way the frosted-glass pack's trajectory probe does.
+  std::map<std::string, double, std::less<>> glass_alpha;
 };
 
 }  // namespace
@@ -110,18 +162,26 @@ std::optional<Scenario> Scenario::parse(std::string_view text, ScenarioError* er
 
     auto tokens = tokenize(line);
     if (tokens.empty()) continue;
-    if (!tokens.back().empty() && tokens.back().front() == '"') {
-      if (error != nullptr) *error = {line_no, "unterminated quote"};
+    if (!tokens.back().text.empty() && tokens.back().text.front() == '"') {
+      if (error != nullptr) *error = {line_no, tokens.back().column, "unterminated quote"};
       return std::nullopt;
     }
     Command cmd;
     cmd.line = line_no;
-    cmd.verb = tokens.front();
-    cmd.args.assign(tokens.begin() + 1, tokens.end());
+    cmd.column = tokens.front().column;
+    cmd.verb = tokens.front().text;
+    cmd.args.reserve(tokens.size() - 1);
+    for (std::size_t t = 1; t < tokens.size(); ++t) cmd.args.push_back(tokens[t].text);
 
     const auto arity = verb_arity().find(cmd.verb);
     if (arity == verb_arity().end()) {
-      if (error != nullptr) *error = {line_no, "unknown command '" + cmd.verb + "'"};
+      if (error != nullptr) {
+        std::string msg = "unknown command '" + cmd.verb + "'";
+        if (const std::string suggestion = nearest_verb(cmd.verb); !suggestion.empty()) {
+          msg += " (did you mean '" + suggestion + "'?)";
+        }
+        *error = {line_no, cmd.column, std::move(msg)};
+      }
       return std::nullopt;
     }
     int positional = 0;
@@ -130,8 +190,8 @@ std::optional<Scenario> Scenario::parse(std::string_view text, ScenarioError* er
     }
     if (positional < arity->second) {
       if (error != nullptr) {
-        *error = {line_no, "'" + cmd.verb + "' needs at least " +
-                               std::to_string(arity->second) + " arguments"};
+        *error = {line_no, cmd.column, "'" + cmd.verb + "' needs at least " +
+                                           std::to_string(arity->second) + " arguments"};
       }
       return std::nullopt;
     }
@@ -160,14 +220,14 @@ ScenarioResult Scenario::run() const {
         dev = device::find_device(cmd.args[0]);
       }
       if (!dev) {
-        result.error = {cmd.line, "unknown device '" + cmd.args[0] + "'"};
+        result.error = {cmd.line, cmd.column, "unknown device '" + cmd.args[0] + "'"};
         return result;
       }
       config.profile = *dev;
     } else if (cmd.verb == "seed") {
       const auto v = to_long(cmd.args[0]);
       if (!v) {
-        result.error = {cmd.line, "bad seed"};
+        result.error = {cmd.line, cmd.column, "bad seed"};
         return result;
       }
       config.seed = static_cast<std::uint64_t>(*v);
@@ -179,8 +239,8 @@ ScenarioResult Scenario::run() const {
   }
 
   Runtime rt{config};
-  auto fail = [&result](std::size_t line, std::string msg) {
-    result.error = {line, std::move(msg)};
+  auto fail = [&result](const Command& cmd, std::string msg) {
+    result.error = {cmd.line, cmd.column, std::move(msg)};
     return result;
   };
   auto log = [&result, &rt](const Command& cmd) {
@@ -201,55 +261,57 @@ ScenarioResult Scenario::run() const {
     }
     if (cmd.verb == "grant-overlay") {
       const auto uid = to_long(cmd.args[0]);
-      if (!uid) return fail(cmd.line, "bad uid");
+      if (!uid) return fail(cmd, "bad uid");
       rt.world.server().grant_overlay_permission(static_cast<int>(*uid));
     } else if (cmd.verb == "defense") {
       if (cmd.args[0] == "notification") {
         const auto t = cmd.args.size() > 1 ? to_long(cmd.args[1]) : std::optional<long>(690);
-        if (!t) return fail(cmd.line, "bad delay");
+        if (!t) return fail(cmd, "bad delay");
         rt.world.server().set_alert_removal_delay(sim::ms(*t));
       } else if (cmd.args[0] == "toast-gap") {
         const auto t = cmd.args.size() > 1 ? to_long(cmd.args[1]) : std::optional<long>(500);
-        if (!t) return fail(cmd.line, "bad gap");
+        if (!t) return fail(cmd, "bad gap");
         rt.world.nms().set_inter_toast_gap(sim::ms(*t));
       } else if (cmd.args[0] == "daemon") {
         rt.daemon = std::make_unique<defense::DefenseDaemon>(rt.world);
         rt.daemon->install();
       } else {
-        return fail(cmd.line, "unknown defense '" + cmd.args[0] + "'");
+        return fail(cmd, "unknown defense '" + cmd.args[0] + "'");
       }
     } else if (cmd.verb == "window") {
-      if (cmd.args[0] != "activity") return fail(cmd.line, "only 'window activity' supported");
+      if (cmd.args[0] != "activity") return fail(cmd, "only 'window activity' supported");
       const auto uid = keyed(cmd.args, "uid");
       const auto bounds = keyed(cmd.args, "bounds");
-      if (!uid || !to_long(*uid)) return fail(cmd.line, "window needs uid=");
+      if (!uid || !to_long(*uid)) return fail(cmd, "window needs uid=");
       const auto rect = bounds ? to_rect(*bounds) : std::optional<ui::Rect>(ui::Rect{0, 0, 1080, 2280});
-      if (!rect) return fail(cmd.line, "bad bounds");
+      if (!rect) return fail(cmd, "bad bounds");
       ui::Window w;
       w.owner_uid = static_cast<int>(*to_long(*uid));
       w.type = ui::WindowType::kActivity;
       w.bounds = *rect;
       w.content = "script:activity";
+      const int owner = w.owner_uid;
+      w.on_touch = [&rt, owner](sim::SimTime, ui::Point) { ++rt.window_taps[owner]; };
       rt.world.wms().add_window_now(std::move(w));
     } else if (cmd.verb == "attack") {
       const auto at = keyed(cmd.args, "at");
       const auto delay = at ? to_long(*at) : std::optional<long>(0);
-      if (!delay) return fail(cmd.line, "bad at=");
+      if (!delay) return fail(cmd, "bad at=");
       if (cmd.args[0] == "overlay") {
         core::OverlayAttackConfig oc;
         if (const auto d = keyed(cmd.args, "d")) {
           const auto v = to_long(*d);
-          if (!v) return fail(cmd.line, "bad d=");
+          if (!v) return fail(cmd, "bad d=");
           oc.attacking_window = sim::ms(*v);
         }
         if (const auto b = keyed(cmd.args, "bounds")) {
           const auto r = to_rect(*b);
-          if (!r) return fail(cmd.line, "bad bounds=");
+          if (!r) return fail(cmd, "bad bounds=");
           oc.bounds = *r;
         }
         if (const auto u = keyed(cmd.args, "uid")) {
           const auto v = to_long(*u);
-          if (!v) return fail(cmd.line, "bad uid=");
+          if (!v) return fail(cmd, "bad uid=");
           oc.uid = static_cast<int>(*v);
         }
         oc.on_capture = [&rt](sim::SimTime, ui::Point) { ++rt.captures; };
@@ -260,34 +322,116 @@ ScenarioResult Scenario::run() const {
         core::ToastAttackConfig tc;
         if (const auto d = keyed(cmd.args, "duration")) {
           const auto v = to_long(*d);
-          if (!v) return fail(cmd.line, "bad duration=");
+          if (!v) return fail(cmd, "bad duration=");
           tc.toast_duration = sim::ms(*v);
         }
         if (const auto c = keyed(cmd.args, "content")) tc.content = std::string(*c);
         if (const auto b = keyed(cmd.args, "bounds")) {
           const auto r = to_rect(*b);
-          if (!r) return fail(cmd.line, "bad bounds=");
+          if (!r) return fail(cmd, "bad bounds=");
           tc.bounds = *r;
         }
         rt.toast_attacks.push_back(std::make_unique<core::ToastAttack>(rt.world, tc));
         auto* attack = rt.toast_attacks.back().get();
         rt.world.loop().schedule_after(sim::ms(*delay), [attack] { attack->start(); });
+      } else if (cmd.args[0] == "tapjack") {
+        // Pass-through decoy (FLAG_NOT_TOUCHABLE): draw-and-destroy
+        // cycling covers the victim window while taps land beneath it —
+        // the tapjacking pack's overlay shape.
+        core::OverlayAttackConfig oc;
+        oc.transparent = false;
+        oc.intercept_touches = false;
+        oc.content = "attack:decoy";
+        if (const auto d = keyed(cmd.args, "d")) {
+          const auto v = to_long(*d);
+          if (!v) return fail(cmd, "bad d=");
+          oc.attacking_window = sim::ms(*v);
+        }
+        if (const auto b = keyed(cmd.args, "bounds")) {
+          const auto r = to_rect(*b);
+          if (!r) return fail(cmd, "bad bounds=");
+          oc.bounds = *r;
+        }
+        rt.overlay_attacks.push_back(std::make_unique<core::OverlayAttack>(rt.world, oc));
+        auto* attack = rt.overlay_attacks.back().get();
+        rt.world.loop().schedule_after(sim::ms(*delay), [attack] { attack->start(); });
+      } else if (cmd.args[0] == "notification-flood") {
+        // Knock-Knock flood: count= toasts enqueued every interval= ms,
+        // starving the victim's heads-up slot (notification-abuse pack).
+        long count = 60, interval = 4, duration = 2000;
+        if (const auto c = keyed(cmd.args, "count")) {
+          const auto v = to_long(*c);
+          if (!v) return fail(cmd, "bad count=");
+          count = *v;
+        }
+        if (const auto iv = keyed(cmd.args, "interval")) {
+          const auto v = to_long(*iv);
+          if (!v) return fail(cmd, "bad interval=");
+          interval = *v;
+        }
+        if (const auto du = keyed(cmd.args, "duration")) {
+          const auto v = to_long(*du);
+          if (!v) return fail(cmd, "bad duration=");
+          duration = *v;
+        }
+        for (long i = 0; i < count; ++i) {
+          rt.world.loop().schedule_after(sim::ms(*delay + i * interval), [&rt, duration] {
+            server::ToastRequest flood;
+            flood.uid = server::kMalwareUid;
+            flood.content = "attack:flood";
+            flood.duration = sim::ms(duration);
+            rt.world.server().enqueue_toast(server::kMalwareUid, std::move(flood));
+          });
+        }
+      } else if (cmd.args[0] == "frosted") {
+        // Translucent glass layer on the toast plane for dwell= ms; its
+        // opacity multiplier feeds `expect alpha` (frosted-glass pack).
+        double alpha = 0.35;
+        long dwell = 1500;
+        ui::Rect bounds{0, 0, 1080, 2280};
+        if (const auto a = keyed(cmd.args, "alpha")) {
+          const auto v = to_double(*a);
+          if (!v) return fail(cmd, "bad alpha=");
+          alpha = *v;
+        }
+        if (const auto dw = keyed(cmd.args, "dwell")) {
+          const auto v = to_long(*dw);
+          if (!v) return fail(cmd, "bad dwell=");
+          dwell = *v;
+        }
+        if (const auto b = keyed(cmd.args, "bounds")) {
+          const auto r = to_rect(*b);
+          if (!r) return fail(cmd, "bad bounds=");
+          bounds = *r;
+        }
+        rt.glass_alpha["attack:frosted"] = alpha;
+        auto glass = std::make_shared<ui::WindowId>(ui::kInvalidWindow);
+        rt.world.loop().schedule_after(sim::ms(*delay), [&rt, glass, bounds] {
+          ui::Window w;
+          w.owner_uid = server::kMalwareUid;
+          w.bounds = bounds;
+          w.content = "attack:frosted";
+          *glass = rt.world.wms().add_toast_now(std::move(w));
+        });
+        rt.world.loop().schedule_after(sim::ms(*delay + dwell), [&rt, glass] {
+          rt.world.wms().fade_out_and_remove(*glass);
+        });
       } else {
-        return fail(cmd.line, "unknown attack '" + cmd.args[0] + "'");
+        return fail(cmd, "unknown attack '" + cmd.args[0] + "'");
       }
     } else if (cmd.verb == "tap") {
       const auto x = to_long(cmd.args[0]);
       const auto y = to_long(cmd.args[1]);
-      if (!x || !y) return fail(cmd.line, "bad coordinates");
+      if (!x || !y) return fail(cmd, "bad coordinates");
       const auto at = keyed(cmd.args, "at");
       const auto delay = at ? to_long(*at) : std::optional<long>(0);
-      if (!delay) return fail(cmd.line, "bad at=");
+      if (!delay) return fail(cmd, "bad at=");
       const ui::Point p{static_cast<int>(*x), static_cast<int>(*y)};
       rt.world.loop().schedule_after(sim::ms(*delay),
                                      [&rt, p] { rt.world.input().inject_tap(p); });
     } else if (cmd.verb == "run") {
       const auto v = to_long(cmd.args[0]);
-      if (!v) return fail(cmd.line, "bad duration");
+      if (!v) return fail(cmd, "bad duration");
       rt.world.run_until(rt.world.now() + sim::ms(*v));
     } else if (cmd.verb == "stop-attacks") {
       for (auto& a : rt.overlay_attacks) a->stop();
@@ -301,49 +445,111 @@ ScenarioResult Scenario::run() const {
         const std::string want = cmd.args[1];
         const std::string got_s = "L" + std::to_string(static_cast<int>(got));
         if (got_s != want) {
-          return fail(cmd.line, "expected alert " + want + ", got " + got_s);
+          return fail(cmd, "expected alert " + want + ", got " + got_s);
         }
       } else if (what == "captures") {
         // expect captures >= N | == N
-        if (cmd.args.size() < 3) return fail(cmd.line, "expect captures <op> <n>");
+        if (cmd.args.size() < 3) return fail(cmd, "expect captures <op> <n>");
         const auto n = to_long(cmd.args[2]);
-        if (!n) return fail(cmd.line, "bad count");
+        if (!n) return fail(cmd, "bad count");
         const bool ok = cmd.args[1] == ">=" ? rt.captures >= *n
                         : cmd.args[1] == "==" ? rt.captures == *n
                                               : false;
         if (!ok) {
-          return fail(cmd.line, metrics::fmt("expected captures %s %ld, got %d",
+          return fail(cmd, metrics::fmt("expected captures %s %ld, got %d",
                                              cmd.args[1].c_str(), *n, rt.captures));
         }
       } else if (what == "overlays") {
-        if (cmd.args.size() < 4) return fail(cmd.line, "expect overlays <uid> <op> <n>");
+        if (cmd.args.size() < 4) return fail(cmd, "expect overlays <uid> <op> <n>");
         const auto uid = to_long(cmd.args[1]);
         const auto n = to_long(cmd.args[3]);
-        if (!uid || !n) return fail(cmd.line, "bad arguments");
+        if (!uid || !n) return fail(cmd, "bad arguments");
         const int got = rt.world.wms().overlay_count(static_cast<int>(*uid));
         const bool ok = cmd.args[2] == ">=" ? got >= *n
                         : cmd.args[2] == "==" ? got == *n
                                               : false;
         if (!ok) {
-          return fail(cmd.line, metrics::fmt("expected overlays(%ld) %s %ld, got %d", *uid,
+          return fail(cmd, metrics::fmt("expected overlays(%ld) %s %ld, got %d", *uid,
                                              cmd.args[2].c_str(), *n, got));
         }
-      } else if (what == "flagged") {
-        if (cmd.args.size() < 3) return fail(cmd.line, "expect flagged <uid> true|false");
-        if (rt.daemon == nullptr) return fail(cmd.line, "no defense daemon installed");
+      } else if (what == "taps") {
+        // expect taps <uid> <op> <n> — taps delivered to script windows
+        if (cmd.args.size() < 4) return fail(cmd, "expect taps <uid> <op> <n>");
         const auto uid = to_long(cmd.args[1]);
-        if (!uid) return fail(cmd.line, "bad uid");
+        const auto n = to_long(cmd.args[3]);
+        if (!uid || !n) return fail(cmd, "bad arguments");
+        const auto it = rt.window_taps.find(static_cast<int>(*uid));
+        const int got = it == rt.window_taps.end() ? 0 : it->second;
+        const bool ok = cmd.args[2] == ">=" ? got >= *n
+                        : cmd.args[2] == "==" ? got == *n
+                                              : false;
+        if (!ok) {
+          return fail(cmd, metrics::fmt("expected taps(%ld) %s %ld, got %d", *uid,
+                                        cmd.args[2].c_str(), *n, got));
+        }
+      } else if (what == "queued") {
+        // expect queued <uid> <op> <n> — tokens in the NMS toast queue
+        if (cmd.args.size() < 4) return fail(cmd, "expect queued <uid> <op> <n>");
+        const auto uid = to_long(cmd.args[1]);
+        const auto n = to_long(cmd.args[3]);
+        if (!uid || !n) return fail(cmd, "bad arguments");
+        const int got = rt.world.nms().queued_tokens(static_cast<int>(*uid));
+        const bool ok = cmd.args[2] == ">=" ? got >= *n
+                        : cmd.args[2] == "==" ? got == *n
+                                              : false;
+        if (!ok) {
+          return fail(cmd, metrics::fmt("expected queued(%ld) %s %ld, got %d", *uid,
+                                        cmd.args[2].c_str(), *n, got));
+        }
+      } else if (what == "toasts-shown") {
+        // expect toasts-shown <op> <n> — NMS lifetime shown counter
+        if (cmd.args.size() < 3) return fail(cmd, "expect toasts-shown <op> <n>");
+        const auto n = to_long(cmd.args[2]);
+        if (!n) return fail(cmd, "bad count");
+        const long got = static_cast<long>(rt.world.nms().stats().shown);
+        const bool ok = cmd.args[1] == ">=" ? got >= *n
+                        : cmd.args[1] == "==" ? got == *n
+                                              : false;
+        if (!ok) {
+          return fail(cmd, metrics::fmt("expected toasts-shown %s %ld, got %ld",
+                                        cmd.args[1].c_str(), *n, got));
+        }
+      } else if (what == "alpha") {
+        // expect alpha <prefix> <op> <value> — perceived opacity of the
+        // malware-owned layer whose content starts with <prefix>, at the
+        // current simulation time (glass multiplier applied).
+        if (cmd.args.size() < 4) return fail(cmd, "expect alpha <prefix> <op> <value>");
+        const auto want = to_double(cmd.args[3]);
+        if (!want) return fail(cmd, "bad alpha value");
+        double got = rt.world.wms().max_alpha_at(server::kMalwareUid, cmd.args[1],
+                                                 rt.world.now());
+        if (const auto it = rt.glass_alpha.find(cmd.args[1]); it != rt.glass_alpha.end()) {
+          got *= it->second;
+        }
+        const bool ok = cmd.args[2] == ">=" ? got >= *want
+                        : cmd.args[2] == "<=" ? got <= *want
+                        : cmd.args[2] == "==" ? got == *want
+                                              : false;
+        if (!ok) {
+          return fail(cmd, metrics::fmt("expected alpha(%s) %s %.3f, got %.3f",
+                                        cmd.args[1].c_str(), cmd.args[2].c_str(), *want, got));
+        }
+      } else if (what == "flagged") {
+        if (cmd.args.size() < 3) return fail(cmd, "expect flagged <uid> true|false");
+        if (rt.daemon == nullptr) return fail(cmd, "no defense daemon installed");
+        const auto uid = to_long(cmd.args[1]);
+        if (!uid) return fail(cmd, "bad uid");
         const bool want = cmd.args[2] == "true";
         if (rt.daemon->neutralized(static_cast<int>(*uid)) != want) {
-          return fail(cmd.line, "flagged state mismatch for uid " + cmd.args[1]);
+          return fail(cmd, "flagged state mismatch for uid " + cmd.args[1]);
         }
       } else {
-        return fail(cmd.line, "unknown expectation '" + what + "'");
+        return fail(cmd, "unknown expectation '" + what + "'");
       }
     }
   }
   if (!trace_path.empty() && !sim::write_chrome_trace(rt.world.trace(), trace_path)) {
-    result.error = {0, "cannot write trace to " + trace_path};
+    result.error = {0, 0, "cannot write trace to " + trace_path};
     return result;
   }
   result.ok = true;

@@ -9,6 +9,9 @@
 //   grant-overlay 10666
 //   window activity uid=10100 bounds=0,0,1080,2280
 //   attack overlay d=190 bounds=0,0,1080,2280 at=0
+//   attack tapjack d=150 bounds=0,0,1080,2280 at=0
+//   attack notification-flood count=60 interval=4 at=100
+//   attack frosted alpha=0.35 dwell=1500 at=200
 //   tap 540 1200 at=1500
 //   run 5000
 //   expect alert L1
@@ -21,7 +24,8 @@
 // Times are milliseconds. `at=` schedules relative to the current
 // simulation time when the command executes; commands without `at=` act
 // immediately. `run` advances virtual time. `expect` failures abort the
-// scenario with a line-numbered message.
+// scenario with a line:column-addressed message; unknown commands
+// suggest the nearest registered verb.
 #pragma once
 
 #include <memory>
@@ -38,6 +42,7 @@ namespace animus::script {
 
 struct ScenarioError {
   std::size_t line = 0;
+  std::size_t column = 0;  ///< 1-based column of the offending token (0 = whole line)
   std::string message;
 };
 
@@ -63,6 +68,7 @@ class Scenario {
  private:
   struct Command {
     std::size_t line = 0;
+    std::size_t column = 0;  ///< 1-based column of the verb token
     std::string verb;
     std::vector<std::string> args;
   };

@@ -3,6 +3,8 @@
 #include <map>
 #include <string>
 
+#include "core/attack_scenario.hpp"
+#include "core/tier.hpp"
 #include "core/trial_session.hpp"
 #include "device/registry.hpp"
 #include "input/typist.hpp"
@@ -124,12 +126,44 @@ CampaignOutput run_fig08(const runner::BenchArgs& args) {
 
 }  // namespace
 
+CampaignOutput run_scenario_campaign(const core::AttackScenario& scenario,
+                                     const runner::BenchArgs& args) {
+  const std::vector<std::string> configs = scenario.campaign_configs();
+  const core::Tier tier = core::parse_tier(args.tier).value_or(core::Tier::kAuto);
+
+  const auto sw = runner::run_campaign(
+      scenario.campaign_label.c_str(), configs,
+      [&](const std::string& encoded, const runner::TrialContext& ctx) {
+        core::ScenarioOverrides overrides;
+        overrides.seed = &ctx.seed;
+        overrides.tier = &tier;
+        return scenario.run_encoded(core::TrialSession::local(), encoded, overrides);
+      },
+      args);
+
+  CampaignOutput out{core::scenario_table(scenario, configs, sw.results)};
+  out.trials = configs.size();
+  out.errors = sw.errors.size();
+  out.wall_ms = sw.stats.wall_ms;
+  out.ok = sw.ok();
+  return out;
+}
+
 const std::vector<CampaignBench>& campaign_benches() {
-  static const std::vector<CampaignBench> benches = {
-      {"fig07", "touch-event capture rate vs D (30-participant panel)", fig07_trials(),
-       run_fig07},
-      {"fig08", "capture rate vs D by Android version family", fig08_trials(), run_fig08},
-  };
+  static const std::vector<CampaignBench> benches = [] {
+    std::vector<CampaignBench> out = {
+        {"fig07", "touch-event capture rate vs D (30-participant panel)", fig07_trials(),
+         run_fig07},
+        {"fig08", "capture rate vs D by Android version family", fig08_trials(), run_fig08},
+    };
+    // One generic bench per registered attack scenario, named by its
+    // stable campaign label ("scenario:<name>").
+    for (const core::AttackScenario* s : core::scenario_registry()) {
+      out.push_back({s->campaign_label, s->description, s->campaign_configs().size(),
+                     [s](const runner::BenchArgs& args) { return run_scenario_campaign(*s, args); }});
+    }
+    return out;
+  }();
   return benches;
 }
 

@@ -14,11 +14,17 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "metrics/table.hpp"
 #include "runner/bench_cli.hpp"
+
+namespace animus::core {
+struct AttackScenario;
+}
 
 namespace animus::service {
 
@@ -31,16 +37,28 @@ struct CampaignOutput {
 };
 
 struct CampaignBench {
-  const char* name;          ///< submission name, e.g. "fig07"
-  const char* description;
+  std::string name;          ///< submission name, e.g. "fig07" or "scenario:tapjacking"
+  std::string description;
   std::size_t trials;        ///< sweep size (fixed per bench)
-  CampaignOutput (*run)(const runner::BenchArgs& args);
+  std::function<CampaignOutput(const runner::BenchArgs& args)> run;
 };
 
-/// Every bench a campaign submission may name.
+/// Every bench a campaign submission may name: the hand-written paper
+/// figures plus one "scenario:<name>" bench per registered attack
+/// scenario (core/attack_scenario.hpp), so campaignd sweeps any pack
+/// through the same scheduler without per-attack plumbing.
 const std::vector<CampaignBench>& campaign_benches();
 
 /// Lookup by name; nullptr when unknown.
 const CampaignBench* find_campaign_bench(std::string_view name);
+
+/// Run one registered scenario's canonical campaign grid: every config
+/// from `campaign_configs()` dispatched through `run_encoded` on the
+/// shared campaign runner (so --jobs/--backend/--shards/--batch and
+/// checkpointing all apply), tabulated with core::scenario_table(). The
+/// CSV is byte-identical however the sweep is executed; `args.tier`
+/// applies only to configs that carry a `tier` field.
+CampaignOutput run_scenario_campaign(const core::AttackScenario& scenario,
+                                     const runner::BenchArgs& args);
 
 }  // namespace animus::service

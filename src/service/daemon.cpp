@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "core/attack_scenario.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/stream.hpp"
@@ -61,15 +62,34 @@ CampaignRecord pending_record(const std::string& id, const CampaignSubmission& s
 std::optional<CampaignSubmission> CampaignSubmission::parse(std::string_view json,
                                                             std::string* error) {
   CampaignSubmission sub;
+  const auto scenario = json_field(json, "scenario");
   const auto bench = json_field(json, "bench");
-  if (!bench || bench->empty()) {
-    *error = "missing required field: bench";
-    return std::nullopt;
-  }
-  sub.bench = *bench;
-  if (find_campaign_bench(sub.bench) == nullptr) {
-    *error = "unknown bench: " + sub.bench;
-    return std::nullopt;
+  if (scenario && !scenario->empty()) {
+    if (bench && !bench->empty()) {
+      *error = "specify bench or scenario, not both";
+      return std::nullopt;
+    }
+    if (core::find_scenario(*scenario) == nullptr) {
+      std::string valid;
+      for (const core::AttackScenario* s : core::scenario_registry()) {
+        if (!valid.empty()) valid += ", ";
+        valid += s->name;
+      }
+      *error = "unknown scenario: " + *scenario + " (valid: " + valid + ")";
+      return std::nullopt;
+    }
+    sub.scenario = *scenario;
+    sub.bench = "scenario:" + *scenario;
+  } else {
+    if (!bench || bench->empty()) {
+      *error = "missing required field: bench (or scenario)";
+      return std::nullopt;
+    }
+    sub.bench = *bench;
+    if (find_campaign_bench(sub.bench) == nullptr) {
+      *error = "unknown bench: " + sub.bench;
+      return std::nullopt;
+    }
   }
   sub.seed = json_u64(json, "seed");
   sub.jobs = static_cast<int>(json_u64(json, "jobs"));
@@ -180,6 +200,23 @@ HttpResponse CampaignDaemon::handle(const HttpRequest& req) {
     if (req.method == "GET") return handle_list();
     if (req.method == "POST") return handle_submit(req);
     return method_not_allowed("GET, POST");
+  }
+  if (path == "/scenarios") {
+    if (req.method != "GET") return method_not_allowed("GET");
+    std::string body = "{\"scenarios\":[";
+    bool first = true;
+    for (const core::AttackScenario* s : core::scenario_registry()) {
+      if (!first) body += ",";
+      first = false;
+      body += "{\"name\":\"";
+      obs::append_json_escaped(body, s->name);
+      body += "\",\"description\":\"";
+      obs::append_json_escaped(body, s->description);
+      body += s->analytic_eligible ? "\",\"analytic_eligible\":true}"
+                                   : "\",\"analytic_eligible\":false}";
+    }
+    body += "]}\n";
+    return json_response(200, std::move(body));
   }
   if (path == "/events") {
     if (req.method != "GET") return method_not_allowed("GET");

@@ -1,6 +1,7 @@
 // CampaignDaemon: the long-running campaign service behind `campaignd`.
 //
-// Submissions (bench name + seed/jobs/backend/shards/batch/tier) enter a FIFO
+// Submissions (bench name or registered scenario name +
+// seed/jobs/backend/shards/batch/tier) enter a FIFO
 // queue over `POST /campaigns`; one scheduler thread drains the queue,
 // running each campaign through the shared bench registry
 // (service/benches.hpp) on the existing ExecutionBackend fleet. The
@@ -8,6 +9,8 @@
 //
 //   GET  /campaigns               queued + running + finished runs
 //   GET  /campaigns/<id>          one record, result CSV inlined
+//   GET  /scenarios               registered attack scenarios (name,
+//                                 description, analytic-eligible flag)
 //   GET  /campaigns/<id>/metrics  current metrics snapshot
 //   GET  /campaigns/<id>/trace    Chrome trace of the representative
 //                                 trial (campaigns submitted with
@@ -51,6 +54,10 @@ namespace animus::service {
 /// Parsed + validated body of `POST /campaigns`.
 struct CampaignSubmission {
   std::string bench;
+  /// Registered attack-scenario name when the submission used the
+  /// "scenario" field; bench is then "scenario:<name>". Unknown names
+  /// are rejected at parse time with the list of valid ones.
+  std::string scenario;
   std::uint64_t seed = 0;
   int jobs = 0;               ///< 0 = all hardware cores
   std::string backend;        ///< "" | "threads" | "process"

@@ -1,0 +1,97 @@
+// Golden-log harness for checked-in scenario scripts.
+//
+// Each scenarios/*.scenario file is a ctest case: the script must run
+// clean (every expect passes) AND its ScenarioResult::log — the
+// timestamped replay of every executed command — must match the
+// checked-in golden byte-for-byte, so a behavioural drift in the
+// simulation shows up as a readable log diff, not just a failed expect.
+//
+//   scenario_golden <script.scenario> <golden.log>            # compare
+//   scenario_golden <script.scenario> <golden.log> --update   # regenerate
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "script/scenario.hpp"
+
+namespace {
+
+std::optional<std::string> slurp(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Print the first differing line of two logs, with context for a human.
+void print_first_diff(const std::string& want, const std::string& got) {
+  std::istringstream ws(want), gs(got);
+  std::string wl, gl;
+  std::size_t line = 0;
+  while (true) {
+    const bool wok = static_cast<bool>(std::getline(ws, wl));
+    const bool gok = static_cast<bool>(std::getline(gs, gl));
+    ++line;
+    if (!wok && !gok) return;
+    if (wok != gok || wl != gl) {
+      std::fprintf(stderr, "first difference at log line %zu:\n  golden: %s\n  actual: %s\n",
+                   line, wok ? wl.c_str() : "<end of file>", gok ? gl.c_str() : "<end of file>");
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s <script.scenario> <golden.log> [--update]\n", argv[0]);
+    return 2;
+  }
+  const char* script_path = argv[1];
+  const char* golden_path = argv[2];
+  const bool update = argc > 3 && std::strcmp(argv[3], "--update") == 0;
+
+  const auto script = slurp(script_path);
+  if (!script) {
+    std::fprintf(stderr, "cannot read %s\n", script_path);
+    return 2;
+  }
+
+  const auto result = animus::script::run_scenario(*script);
+  if (!result.ok) {
+    std::fprintf(stderr, "%s FAILED at %zu:%zu: %s\n", script_path, result.error->line,
+                 result.error->column, result.error->message.c_str());
+    return 1;
+  }
+
+  if (update) {
+    std::ofstream out(golden_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", golden_path);
+      return 2;
+    }
+    out << result.log;
+    std::fprintf(stderr, "updated %s (%d expects)\n", golden_path, result.expects_checked);
+    return 0;
+  }
+
+  const auto golden = slurp(golden_path);
+  if (!golden) {
+    std::fprintf(stderr, "cannot read golden %s (run with --update to create it)\n",
+                 golden_path);
+    return 1;
+  }
+  if (*golden != result.log) {
+    std::fprintf(stderr, "%s: log drifted from golden %s\n", script_path, golden_path);
+    print_first_diff(*golden, result.log);
+    return 1;
+  }
+  std::printf("%s OK — %d expectation(s), log matches golden\n", script_path,
+              result.expects_checked);
+  return 0;
+}

@@ -116,7 +116,8 @@ TEST(AnalyticTier, IneligibleConfigFallsBackToSimAndCounts) {
   c.attacking_window = sim::ms(150);
   c.add_before_remove = true;
   EXPECT_FALSE(core::analytic::eligible(c));
-  auto& counter = obs::global_registry().counter("animus_analytic_fallbacks_total");
+  auto& counter = obs::global_registry().counter("animus_analytic_fallbacks_total",
+                                                 {{"scenario", "outcome-probe"}});
   const auto before = counter.value();
   EXPECT_EQ(probe_bytes(at_tier(c, Tier::kAnalytic)), probe_bytes(at_tier(c, Tier::kSim)));
   EXPECT_GT(counter.value(), before);

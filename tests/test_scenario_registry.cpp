@@ -1,0 +1,173 @@
+// Attack-scenario registry: registration invariants, codec round-trips
+// of every registered config/result struct, per-scenario fallback
+// accounting, and each related-work pack's qualitative paper claim.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/attack_scenario.hpp"
+#include "core/frosted_glass.hpp"
+#include "core/notification_abuse.hpp"
+#include "core/tapjacking.hpp"
+#include "core/trial_fields.hpp"
+#include "core/trial_session.hpp"
+#include "device/registry.hpp"
+#include "obs/metrics.hpp"
+
+namespace animus {
+namespace {
+
+using core::AttackScenario;
+
+TEST(ScenarioRegistry, ListsEveryBuiltinSortedByName) {
+  std::vector<std::string> names;
+  for (const AttackScenario* s : core::scenario_registry()) names.push_back(s->name);
+  const std::vector<std::string> expected = {
+      "capture-rate",  "d-bound",        "frosted-glass", "notification-abuse",
+      "outcome-probe", "password-steal", "tapjacking"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(ScenarioRegistry, AnalyticEligibilityFlagsMatchRegistration) {
+  EXPECT_TRUE(core::require_scenario("outcome-probe").analytic_eligible);
+  EXPECT_TRUE(core::require_scenario("d-bound").analytic_eligible);
+  EXPECT_TRUE(core::require_scenario("frosted-glass").analytic_eligible);
+  EXPECT_FALSE(core::require_scenario("capture-rate").analytic_eligible);
+  EXPECT_FALSE(core::require_scenario("password-steal").analytic_eligible);
+  EXPECT_FALSE(core::require_scenario("tapjacking").analytic_eligible);
+  EXPECT_FALSE(core::require_scenario("notification-abuse").analytic_eligible);
+}
+
+TEST(ScenarioRegistry, UnknownNameIsNullAndListingNamesEveryScenario) {
+  EXPECT_EQ(core::find_scenario("no-such-attack"), nullptr);
+  const std::string listing = core::scenario_listing();
+  for (const AttackScenario* s : core::scenario_registry()) {
+    EXPECT_NE(listing.find(s->name), std::string::npos) << s->name;
+  }
+  EXPECT_NE(listing.find("tapjacking (sim-only):"), std::string::npos);
+  EXPECT_NE(listing.find("frosted-glass (analytic):"), std::string::npos);
+}
+
+void register_duplicate_tapjacking() {
+  core::register_builtin_scenarios();  // the child process starts fresh
+  core::register_scenario<core::TapjackingConfig, core::TapjackingResult>({
+      .name = "tapjacking",
+      .description = "second registration under a taken name",
+      .run_sim = [](core::TrialSession& s, const core::TapjackingConfig& c) {
+        return core::run_tapjacking_sim(s, c);
+      },
+  });
+}
+
+TEST(ScenarioRegistryDeathTest, DuplicateRegistrationAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(register_duplicate_tapjacking(), "already registered");
+}
+
+TEST(ScenarioRegistryDeathTest, RequireScenarioAbortsOnUnknownName) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(core::require_scenario("no-such-attack"), "no-such-attack");
+}
+
+TEST(ScenarioRegistry, EveryRegisteredCodecRoundTripsIncludingNonFinite) {
+  for (const AttackScenario* s : core::scenario_registry()) {
+    std::string detail;
+    EXPECT_TRUE(s->codec_self_test(&detail)) << s->name << ": " << detail;
+  }
+}
+
+TEST(ScenarioRegistry, CampaignConfigsDecodeAndTabulate) {
+  for (const AttackScenario* s : core::scenario_registry()) {
+    const auto configs = s->campaign_configs();
+    ASSERT_FALSE(configs.empty()) << s->name;
+    for (const auto& encoded : configs) {
+      EXPECT_FALSE(s->config_csv_row(encoded).empty()) << s->name;
+    }
+  }
+}
+
+TEST(ScenarioRegistry, ForcedAnalyticOnIneligibleConfigCountsPerScenario) {
+  core::FrostedGlassConfig c;
+  c.profile = device::reference_device();
+  c.deterministic = false;  // ineligible: the analytic replay assumes determinism
+  c.tier = core::Tier::kAnalytic;
+  auto& counter = obs::global_registry().counter("animus_analytic_fallbacks_total",
+                                                 {{"scenario", "frosted-glass"}});
+  const double before = counter.value();
+  core::run_frosted_glass_trial(c);
+  EXPECT_GT(counter.value(), before);
+}
+
+// --- related-work pack qualitative claims -------------------------------
+
+TEST(TapjackingPack, CaptureSucceedsOnlyInsideVulnerableWindow) {
+  core::TapjackingConfig c;
+  c.profile = device::reference_device_android9();
+
+  c.attacking_window = sim::ms(150);  // inside the vulnerable D-window
+  const auto fast = core::run_tapjacking_trial(c);
+  EXPECT_TRUE(fast.tap_delivered);
+  EXPECT_TRUE(fast.decoy_covered);
+  EXPECT_TRUE(fast.stealthy);
+  EXPECT_TRUE(fast.success);
+
+  c.attacking_window = sim::ms(1000);  // slow cycling lets the alert mature
+  const auto slow = core::run_tapjacking_trial(c);
+  EXPECT_TRUE(slow.tap_delivered);  // taps still pass through...
+  EXPECT_FALSE(slow.stealthy);      // ...but the warning alert gives it away
+  EXPECT_FALSE(slow.success);
+}
+
+TEST(NotificationAbusePack, FloodEvictsVictimHeadsUpSlot) {
+  core::NotificationAbuseConfig c;
+  c.profile = device::reference_device();
+
+  c.flood_count = 0;  // control: no flood, the victim's toast shows promptly
+  const auto quiet = core::run_notification_abuse_trial(c);
+  EXPECT_TRUE(quiet.victim_shown);
+  EXPECT_TRUE(quiet.victim_in_window);
+
+  c.flood_count = 60;  // Knock-Knock flood monopolizes the slot
+  const auto flooded = core::run_notification_abuse_trial(c);
+  EXPECT_GT(flooded.flood_enqueued, 0);
+  EXPECT_FALSE(flooded.victim_in_window);
+  EXPECT_GE(flooded.victim_queued, 1);  // the victim's token is parked, not shown
+}
+
+TEST(FrostedGlassPack, VisibilityTracksAlphaTrajectory) {
+  core::FrostedGlassConfig c;
+  c.profile = device::reference_device();
+
+  c.glass_alpha = 0.05;  // below the visibility threshold at every sample
+  EXPECT_FALSE(core::run_frosted_glass_trial(c).noticed);
+
+  double prev_visible_ms = 0.0;
+  for (const double alpha : {0.2, 0.5, 0.9}) {
+    c.glass_alpha = alpha;
+    const auto r = core::run_frosted_glass_trial(c);
+    EXPECT_TRUE(r.noticed) << alpha;
+    EXPECT_DOUBLE_EQ(r.peak_alpha, alpha);
+    // A more opaque glass crosses the threshold earlier in the fade-in
+    // and stays visible longer into the fade-out.
+    EXPECT_GE(r.visible_ms, prev_visible_ms) << alpha;
+    prev_visible_ms = r.visible_ms;
+  }
+}
+
+TEST(FrostedGlassPack, AnalyticTierIsBitExactWithSimulation) {
+  core::TrialSession session;
+  for (const double alpha : {0.05, 0.2, 0.5, 0.9}) {
+    core::FrostedGlassConfig c;
+    c.profile = device::reference_device();
+    c.glass_alpha = alpha;
+    const auto sim_r = core::run_frosted_glass_sim(session, c);
+    const auto ana_r = core::run_frosted_glass_analytic(c);
+    EXPECT_EQ(runner::TrialCodec<core::FrostedGlassResult>::encode(sim_r),
+              runner::TrialCodec<core::FrostedGlassResult>::encode(ana_r))
+        << alpha;
+  }
+}
+
+}  // namespace
+}  // namespace animus

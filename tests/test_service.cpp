@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/attack_scenario.hpp"
 #include "service/benches.hpp"
 #include "service/daemon.hpp"
 #include "service/http.hpp"
@@ -623,6 +624,57 @@ TEST(Daemon, RunsSubmissionAndServesCsvByteIdenticalToDirectRun) {
   const auto again = reborn.handle(get("/campaigns/c0001"));
   EXPECT_EQ(again.body, one.body);
   reborn.stop();
+}
+
+TEST(Daemon, ScenarioSubmissionRunsRegistryCampaignAndListsScenarios) {
+  const auto path = temp_path("svc_daemon_scenario.jsonl");
+  std::remove(path.c_str());
+  service::CampaignDaemon daemon{{path, nullptr, 10}};
+  daemon.start();
+
+  // GET /scenarios lists every registered pack with its analytic flag.
+  const auto listing = daemon.handle(get("/scenarios"));
+  EXPECT_EQ(listing.status, 200);
+  for (const core::AttackScenario* s : core::scenario_registry()) {
+    EXPECT_NE(listing.body.find("\"name\":\"" + s->name + "\""), std::string::npos) << s->name;
+  }
+  EXPECT_NE(listing.body.find("{\"name\":\"frosted-glass\",\"description\":"), std::string::npos);
+  EXPECT_NE(listing.body.find("\"analytic_eligible\":true"), std::string::npos);
+
+  // An unknown scenario name is a 400 naming every valid one.
+  const auto bad = daemon.handle(post("/campaigns", "{\"scenario\":\"slippery-slope\"}"));
+  EXPECT_EQ(bad.status, 400);
+  EXPECT_NE(bad.body.find("unknown scenario: slippery-slope"), std::string::npos);
+  EXPECT_NE(bad.body.find("tapjacking"), std::string::npos);
+  EXPECT_NE(bad.body.find("notification-abuse"), std::string::npos);
+
+  // Naming both routes is ambiguous.
+  const auto both = daemon.handle(
+      post("/campaigns", "{\"bench\":\"fig07\",\"scenario\":\"tapjacking\"}"));
+  EXPECT_EQ(both.status, 400);
+
+  // A valid scenario submission runs the registry campaign and serves a
+  // CSV byte-identical to the direct sweep with the same arguments.
+  const auto accepted =
+      daemon.handle(post("/campaigns", "{\"scenario\":\"tapjacking\",\"seed\":3}"));
+  EXPECT_EQ(accepted.status, 202);
+  daemon.drain();
+
+  runner::BenchArgs args;
+  args.csv = true;
+  args.run.root_seed = 3;
+  const auto direct =
+      service::run_scenario_campaign(core::require_scenario("tapjacking"), args);
+
+  const auto one = daemon.handle(get("/campaigns/c0001"));
+  EXPECT_EQ(one.status, 200);
+  const auto rec = service::CampaignRecord::parse(one.body);
+  ASSERT_TRUE(rec.has_value()) << one.body;
+  EXPECT_EQ(rec->status, "done");
+  EXPECT_EQ(rec->bench, "scenario:tapjacking");
+  EXPECT_EQ(rec->trials, direct.trials);
+  EXPECT_EQ(rec->csv, direct.table.to_csv());
+  daemon.stop();
 }
 
 TEST(Daemon, TracedSimCampaignServesProfileAndTraceWithLiveRates) {
